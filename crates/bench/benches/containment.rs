@@ -1,0 +1,78 @@
+//! Klug containment (Prop. 2.10): deciding `Q₁ ⊆_O Q₂` for conjunctive
+//! queries with inequalities of growing body size, across order types.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use indord_core::parse::parse_query;
+use indord_core::sym::{Sort, Vocabulary};
+use indord_relalg::{contained_in, RelQuery};
+use indord_semantics::OrderType;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100))
+}
+
+/// Chain-shaped bodies R(x1,t1) ∧ t1<t2 ∧ R(x2,t2) ∧ … of growing length;
+/// Q2 relaxes the comparisons to <=.
+fn chain_pair(voc: &mut Vocabulary, n: usize) -> (RelQuery, RelQuery) {
+    let mut body = String::from("exists");
+    for i in 0..n {
+        body.push_str(&format!(" x{i} t{i}"));
+    }
+    body.push_str(". ");
+    let mut strict = body.clone();
+    let mut loose = body.clone();
+    for i in 0..n {
+        if i > 0 {
+            strict.push_str(&format!("& t{} < t{i} ", i - 1));
+            loose.push_str(&format!("& t{} <= t{i} ", i - 1));
+        }
+        let atom = format!(
+            "{}Rel(x{i}, t{i}) ",
+            if i == 0 { "" } else { "& " }
+        );
+        strict.push_str(&atom);
+        loose.push_str(&atom);
+    }
+    let q1 = RelQuery::boolean(parse_query(voc, &strict).unwrap().disjuncts()[0].clone());
+    let q2 = RelQuery::boolean(parse_query(voc, &loose).unwrap().disjuncts()[0].clone());
+    (q1, q2)
+}
+
+fn bench_containment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("containment");
+    for n in [2usize, 4, 8, 16] {
+        let mut voc = Vocabulary::new();
+        voc.pred("Rel", &[Sort::Object, Sort::Order]).unwrap();
+        let (q1, q2) = chain_pair(&mut voc, n);
+        for (ot, name) in
+            [(OrderType::Fin, "fin"), (OrderType::Z, "z"), (OrderType::Q, "q")]
+        {
+            g.bench_with_input(
+                BenchmarkId::new(name, n),
+                &(q1.clone(), q2.clone(), ot),
+                |b, (q1, q2, ot)| {
+                    b.iter(|| {
+                        let mut voc2 = Vocabulary::new();
+                        voc2.pred("Rel", &[Sort::Object, Sort::Order]).unwrap();
+                        // re-intern query symbols in the fresh vocabulary:
+                        // predicates line up because ids are allocated in
+                        // the same order.
+                        contained_in(&mut voc2, q1, q2, *ot).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_containment
+}
+criterion_main!(benches);

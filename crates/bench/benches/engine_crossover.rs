@@ -1,0 +1,56 @@
+//! The crossover the paper remarks on after Corollary 4.4: the path-based
+//! algorithm is linear in |D| but exponential in the query's path count,
+//! while the Theorem 4.7 search is polynomial in both at exponent k+1 —
+//! so which engine wins depends on the workload. This bench sweeps the
+//! ladder query's column count at fixed |D| and vice versa.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use indord_bench::workloads;
+use indord_entail::{bounded, paths};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(500))
+        .warm_up_time(Duration::from_millis(100))
+}
+
+fn bench_query_growth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crossover/query-growth");
+    let mut r = workloads::rng(90);
+    let db = workloads::observers_db_le(&mut r, 2, 24, 3, 0.2);
+    for cols in [2usize, 4, 6, 8, 10] {
+        let q = workloads::ladder_query(&mut r, cols, 3);
+        g.bench_with_input(BenchmarkId::new("paths", cols), &q, |b, q| {
+            b.iter(|| paths::entails(&db, q))
+        });
+        g.bench_with_input(BenchmarkId::new("bounded", cols), &q, |b, q| {
+            b.iter(|| bounded::entails(&db, q))
+        });
+    }
+    g.finish();
+}
+
+fn bench_db_growth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crossover/db-growth");
+    let mut r = workloads::rng(91);
+    let q = workloads::ladder_query(&mut r, 3, 3);
+    for len in [16usize, 64, 256, 1024] {
+        let db = workloads::observers_db_le(&mut r, 2, len / 2, 3, 0.2);
+        g.bench_with_input(BenchmarkId::new("paths", db.len()), &db, |b, db| {
+            b.iter(|| paths::entails(db, &q))
+        });
+        g.bench_with_input(BenchmarkId::new("bounded", db.len()), &db, |b, db| {
+            b.iter(|| bounded::entails(db, &q))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_query_growth, bench_db_growth
+}
+criterion_main!(benches);

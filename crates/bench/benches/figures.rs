@@ -1,0 +1,151 @@
+//! The paper's figures as executable workloads.
+//!
+//! * Fig. 1 — minimal-model enumeration of the Example 1.1 evidence;
+//! * Fig. 2 — gene-alignment feasibility for growing sequences;
+//! * Figs. 3/4 — the ternary-disjunction gadget, independent vs width-two;
+//! * Fig. 5 — `Paths(Φ)` extraction;
+//! * Fig. 6 — the `SEQ` algorithm itself (throughput);
+//! * Figs. 7/8 — the Theorem 4.6 construction (build cost + decision).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use indord_bench::workloads;
+use indord_core::parse::parse_database;
+use indord_core::sym::Vocabulary;
+use indord_core::toposort;
+use indord_entail::{disjunctive, seq};
+use indord_reductions::{thm32, thm46};
+use indord_solvers::dnf::Dnf;
+use indord_solvers::mono3sat::Mono3Sat;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(500))
+        .warm_up_time(Duration::from_millis(100))
+}
+
+fn bench_fig1_models(c: &mut Criterion) {
+    let mut voc = Vocabulary::new();
+    let db = parse_database(
+        &mut voc,
+        "IC(z1, z2, A); IC(z3, z4, B); z1 < z2 < z3 < z4;
+         IC(u1, u3, A); IC(u2, u4, B); u1 < u2 < u3 < u4;",
+    )
+    .unwrap();
+    let nd = db.normalize().unwrap();
+    c.benchmark_group("fig1")
+        .bench_function("enumerate-minimal-models", |b| {
+            b.iter(|| {
+                let mut count = 0u64;
+                toposort::for_each_minimal_model(&nd, &mut |_| {
+                    count += 1;
+                    true
+                })
+                .unwrap();
+                count
+            })
+        });
+}
+
+fn bench_fig2_alignment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2/alignment");
+    let mut voc = Vocabulary::new();
+    let a = voc.monadic_pred("A");
+    let cpred = voc.monadic_pred("C");
+    let gpred = voc.monadic_pred("G");
+    let t = voc.monadic_pred("T");
+    let bases = [a, cpred, gpred, t];
+    for len in [4usize, 8, 16] {
+        let mut r = workloads::rng(500 + len as u64);
+        // two random sequences as chains
+        let mk = |r: &mut rand::rngs::StdRng| -> Vec<indord_core::bitset::PredSet> {
+            use rand::Rng;
+            (0..len)
+                .map(|_| indord_core::bitset::PredSet::singleton(bases[r.gen_range(0..4)]))
+                .collect()
+        };
+        let db = indord_wqo::union_of_words(&[mk(&mut r), mk(&mut r)]);
+        // forbid A–G and C–T pairings
+        let forbid = |x, y| {
+            let graph = indord_core::ordgraph::OrderGraph::from_dag_edges(1, &[]).unwrap();
+            indord_core::monadic::MonadicQuery::new(
+                graph,
+                vec![[x, y].into_iter().collect()],
+            )
+        };
+        let violations = vec![forbid(a, gpred), forbid(cpred, t)];
+        g.bench_with_input(BenchmarkId::new("feasible", len), &db, |b, db| {
+            b.iter(|| disjunctive::check(db, &violations).unwrap().holds())
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig34_gadget(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig34/gadget");
+    let inst = Mono3Sat { n_vars: 3, pos_clauses: vec![[0, 1, 2]], neg_clauses: vec![] };
+    g.bench_function("build-independent", |b| {
+        b.iter(|| {
+            let mut voc = Vocabulary::new();
+            thm32::build(&mut voc, &inst, thm32::Layout::Independent)
+        })
+    });
+    g.bench_function("build-width-two", |b| {
+        b.iter(|| {
+            let mut voc = Vocabulary::new();
+            thm32::build(&mut voc, &inst, thm32::Layout::WidthTwo)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig5_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5/paths");
+    let mut r = workloads::rng(501);
+    for cols in [4usize, 8, 12] {
+        let q = workloads::ladder_query(&mut r, cols, 3);
+        g.throughput(Throughput::Elements(q.path_count() as u64));
+        g.bench_with_input(BenchmarkId::new("enumerate", cols), &q, |b, q| {
+            b.iter(|| q.paths().count())
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig6_seq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6/seq");
+    let mut r = workloads::rng(502);
+    for len in [256usize, 1024, 4096, 16384] {
+        let db = workloads::observers_db_le(&mut r, 1, len, 4, 0.3);
+        let p = workloads::random_flexiword(&mut r, 12, 4);
+        g.throughput(Throughput::Elements(len as u64));
+        g.bench_with_input(BenchmarkId::new("seq", len), &(db, p), |b, (db, p)| {
+            b.iter(|| seq::entails(db, p))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig78_thm46(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig78/thm46");
+    for m in [4usize, 8] {
+        let mut r = workloads::rng(503 + m as u64);
+        let dnf = Dnf::random(&mut r, m, m, true);
+        g.bench_with_input(BenchmarkId::new("build", m), &dnf, |b, dnf| {
+            b.iter(|| {
+                let mut voc = Vocabulary::new();
+                thm46::build(&mut voc, dnf)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fig1_models, bench_fig2_alignment, bench_fig34_gadget,
+              bench_fig5_paths, bench_fig6_seq, bench_fig78_thm46
+}
+criterion_main!(benches);

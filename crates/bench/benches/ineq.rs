@@ -1,0 +1,78 @@
+//! §7 inequality extensions: the tractable case (query-side `!=` at fixed
+//! query size) and the hard cases of Theorem 7.1 (growing graphs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use indord_bench::workloads;
+use indord_core::ordgraph::OrderGraph;
+use indord_core::monadic::MonadicQuery;
+use indord_core::sym::Vocabulary;
+use indord_entail::{ineq, Engine};
+use indord_reductions::thm71;
+use indord_solvers::coloring::Graph;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100))
+}
+
+/// Fixed [!=]-query on growing [<,<=]-databases: PTIME data complexity.
+fn bench_query_ne_data(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ineq/query-ne-data");
+    let mut r = workloads::rng(80);
+    // query: two same-labelled events at distinct points
+    let qg = OrderGraph::from_dag_edges(2, &[]).unwrap();
+    let mut q = MonadicQuery::new(
+        qg,
+        vec![workloads::random_label(&mut r, 3), workloads::random_label(&mut r, 3)],
+    );
+    q.ne.push((0, 1));
+    for len in [32usize, 128, 512] {
+        let db = workloads::observers_db_le(&mut r, 2, len, 3, 0.2);
+        g.bench_with_input(BenchmarkId::new("fixed-query", db.len()), &db, |b, db| {
+            b.iter(|| ineq::entails_query_ne(db, std::slice::from_ref(&q), 64).unwrap().holds())
+        });
+    }
+    g.finish();
+}
+
+/// Theorem 7.1(1): 3-colourability as [!=]-query evaluation — grows
+/// exponentially with the graph (expression complexity NP-hard).
+fn bench_thm71_expression(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ineq/thm71-expression");
+    for n in [4usize, 6, 8] {
+        let mut r = workloads::rng(81 + n as u64);
+        let graph = Graph::random(&mut r, n, 0.5);
+        let mut voc = Vocabulary::new();
+        let (db, q) = thm71::build_expression(&mut voc, &graph);
+        g.bench_with_input(BenchmarkId::new("vertices", n), &(db, q), |b, (db, q)| {
+            b.iter(|| Engine::new(&voc).entails(db, q).unwrap().holds())
+        });
+    }
+    g.finish();
+}
+
+/// Theorem 7.1(2): non-3-colourability as [!=]-database entailment (data
+/// complexity co-NP-hard; naive engine, exponential).
+fn bench_thm71_data(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ineq/thm71-data");
+    for n in [3usize, 4, 5] {
+        let mut r = workloads::rng(82 + n as u64);
+        let graph = Graph::random(&mut r, n, 0.6);
+        let mut voc = Vocabulary::new();
+        let (db, q) = thm71::build_data(&mut voc, &graph);
+        g.bench_with_input(BenchmarkId::new("vertices", n), &(db, q), |b, (db, q)| {
+            b.iter(|| Engine::new(&voc).entails(db, q).unwrap().holds())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_query_ne_data, bench_thm71_expression, bench_thm71_data
+}
+criterion_main!(benches);

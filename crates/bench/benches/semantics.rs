@@ -1,0 +1,64 @@
+//! §2 semantics: cost of deciding `|=_Fin`, `|=_Z`, `|=_Q` — the Z and Q
+//! reductions add only polynomial overhead (Props. 2.2/2.3, Cor. 2.6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use indord_bench::workloads;
+use indord_core::parse::{parse_database, parse_query};
+use indord_core::sym::Vocabulary;
+use indord_semantics::{entails, OrderType};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100))
+}
+
+fn bench_semantics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("semantics");
+    for len in [16usize, 64, 256] {
+        // width-2 monadic database text
+        let mut text = String::new();
+        let mut r = workloads::rng(70 + len as u64);
+        use rand::Rng;
+        for chain in ["a", "b"] {
+            for i in 0..len {
+                let p = ["P", "Q", "R"][r.gen_range(0..3)];
+                text.push_str(&format!("{p}({chain}{i});"));
+                if i > 0 {
+                    let rel = if r.gen_bool(0.2) { "<=" } else { "<" };
+                    text.push_str(&format!("{chain}{} {rel} {chain}{i};", i - 1));
+                }
+            }
+        }
+        for (ot, name) in
+            [(OrderType::Fin, "fin"), (OrderType::Z, "z"), (OrderType::Q, "q")]
+        {
+            g.bench_with_input(
+                BenchmarkId::new(name, 2 * len),
+                &(text.clone(), ot),
+                |b, (text, ot)| {
+                    b.iter(|| {
+                        let mut voc = Vocabulary::new();
+                        let db = parse_database(&mut voc, text).unwrap();
+                        let q = parse_query(
+                            &mut voc,
+                            "exists s w t. P(s) & s < w & w < t & Q(t)",
+                        )
+                        .unwrap();
+                        entails(&mut voc, &db, &q, *ot).unwrap().holds()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_semantics
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Table 1, monadic row — every cell regenerated.
+//!
+//! * data complexity (PTIME, linear): fixed conjunctive and disjunctive
+//!   queries on databases growing to thousands of constants, via the
+//!   Lemma 4.1 + SEQ pipeline and the wqo-compiled basis (Thm 6.5);
+//! * expression complexity (PTIME): growing queries model-checked against
+//!   a fixed model (Cor. 5.1);
+//! * combined complexity (co-NP-complete): the Theorem 4.6 family, whose
+//!   exponential path count defeats any fixed-parameter strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use indord_bench::workloads;
+use indord_core::model::MonadicModel;
+use indord_entail::{bounded, disjunctive, modelcheck, paths};
+use indord_core::sym::Vocabulary;
+use indord_reductions::thm46;
+use indord_solvers::dnf::Dnf;
+use indord_wqo as wqo;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(500))
+        .warm_up_time(Duration::from_millis(100))
+}
+
+fn bench_data_monadic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1/data-monadic");
+    let mut r = workloads::rng(42);
+    let query = workloads::random_query(&mut r, 4, 3);
+    let compiled = wqo::compile_conjunctive(&query);
+    for len in [64usize, 256, 1024, 4096] {
+        let db = workloads::observers_db_le(&mut r, 2, len / 2, 3, 0.2);
+        g.throughput(Throughput::Elements(db.len() as u64));
+        g.bench_with_input(BenchmarkId::new("paths-fixed-query", db.len()), &db, |b, db| {
+            b.iter(|| paths::entails(db, &query))
+        });
+        g.bench_with_input(BenchmarkId::new("wqo-compiled", db.len()), &db, |b, db| {
+            b.iter(|| compiled.entails(db))
+        });
+    }
+    // Disjunctive fixed query (2 disjuncts) on width-1 databases.
+    let d1 = workloads::random_query(&mut r, 3, 3);
+    let d2 = workloads::random_query(&mut r, 3, 3);
+    let disjuncts = vec![d1, d2];
+    for len in [64usize, 256, 1024] {
+        let db = workloads::observers_db_le(&mut r, 1, len, 3, 0.2);
+        g.bench_with_input(
+            BenchmarkId::new("disjunctive-fixed-query", db.len()),
+            &db,
+            |b, db| b.iter(|| disjunctive::entails(db, &disjuncts).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_expr_monadic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1/expr-monadic");
+    let mut r = workloads::rng(43);
+    let model = MonadicModel::new(
+        (0..256).map(|_| workloads::random_label(&mut r, 3)).collect(),
+    );
+    for qn in [4usize, 8, 16, 32] {
+        let q = workloads::random_query(&mut r, qn, 3);
+        g.bench_with_input(BenchmarkId::new("modelcheck", qn), &q, |b, q| {
+            b.iter(|| modelcheck::satisfies_conjunct(&model, q))
+        });
+    }
+    g.finish();
+}
+
+fn bench_combined_monadic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1/combined-monadic");
+    for m in [4usize, 6, 8, 10] {
+        let mut r = workloads::rng(44 + m as u64);
+        let dnf = Dnf::random(&mut r, m, m, true);
+        let mut voc = Vocabulary::new();
+        let out = thm46::build(&mut voc, &dnf);
+        g.bench_with_input(BenchmarkId::new("thm46-paths", m), &out, |b, out| {
+            b.iter(|| paths::entails(&out.db, &out.query))
+        });
+        g.bench_with_input(BenchmarkId::new("thm46-bounded", m), &out, |b, out| {
+            b.iter(|| bounded::entails(&out.db, &out.query))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_data_monadic, bench_expr_monadic, bench_combined_monadic
+}
+criterion_main!(benches);

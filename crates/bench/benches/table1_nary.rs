@@ -1,0 +1,115 @@
+//! Table 1, n-ary row — every cell regenerated.
+//!
+//! * data complexity (co-NP-complete): the fixed Theorem 3.2 query against
+//!   growing clause databases, decided by naive countermodel search —
+//!   super-polynomial growth is the expected *shape*;
+//! * expression complexity (NP-complete): Theorem 3.4 satisfiability
+//!   queries of growing formula size against the fixed database `E`;
+//! * combined complexity (Π₂ᵖ-complete): Theorem 3.3 instances of growing
+//!   quantifier blocks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use indord_bench::workloads;
+use indord_entail::{Engine, Strategy};
+use indord_core::sym::Vocabulary;
+use indord_reductions::{thm32, thm33, thm34};
+use indord_solvers::formula::Formula;
+use indord_solvers::mono3sat::Mono3Sat;
+use indord_solvers::qbf::Pi2;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(500))
+        .warm_up_time(Duration::from_millis(100))
+}
+
+/// Unsatisfiable monotone instances of growing size, via repeated-literal
+/// unit conflicts: (x0)(¬x0)…(x_{m-1})(¬x_{m-1}).
+fn unsat_instance(m: usize) -> Mono3Sat {
+    Mono3Sat {
+        n_vars: m,
+        pos_clauses: (0..m as u32).map(|i| [i, i, i]).collect(),
+        neg_clauses: (0..m as u32).map(|i| [i, i, i]).collect(),
+    }
+}
+
+fn bench_data_nary(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1/data-nary");
+    for m in [1usize, 2] {
+        let inst = unsat_instance(m);
+        let mut voc = Vocabulary::new();
+        let out = thm32::build(&mut voc, &inst, thm32::Layout::WidthTwo);
+        g.bench_with_input(BenchmarkId::new("naive-unsat", m), &m, |b, _| {
+            b.iter(|| {
+                let eng = Engine::new(&voc).with_strategy(Strategy::Naive);
+                assert!(eng.entails(&out.db, &out.query).unwrap().holds());
+            })
+        });
+    }
+    // Satisfiable instances exit at the first countermodel (certificate).
+    for m in [1usize, 2, 3] {
+        let mut r = workloads::rng(100 + m as u64);
+        let inst = Mono3Sat::random(&mut r, 3, m, 0);
+        let mut voc = Vocabulary::new();
+        let out = thm32::build(&mut voc, &inst, thm32::Layout::WidthTwo);
+        g.bench_with_input(BenchmarkId::new("naive-sat", m), &m, |b, _| {
+            b.iter(|| {
+                let eng = Engine::new(&voc).with_strategy(Strategy::Naive);
+                assert!(!eng.entails(&out.db, &out.query).unwrap().holds());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_expr_nary(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1/expr-nary");
+    for depth in [2usize, 3, 4] {
+        let mut r = workloads::rng(200 + depth as u64);
+        let f = Formula::random(&mut r, 5, depth);
+        let mut voc = Vocabulary::new();
+        let db = thm34::fixed_database(&mut voc);
+        let q = thm34::satisfiability_query(&mut voc, &f);
+        g.bench_with_input(
+            BenchmarkId::new("sat-query", f.size()),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    let eng = Engine::new(&voc);
+                    let _ = eng.entails(&db, &q).unwrap().holds();
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_combined_nary(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1/combined-nary");
+    for (n, m) in [(1usize, 1usize), (2, 1), (2, 2)] {
+        let mut r = workloads::rng(300 + (n * 10 + m) as u64);
+        let pi2 = Pi2::random(&mut r, n, m);
+        let mut voc = Vocabulary::new();
+        let out = thm33::build(&mut voc, &pi2);
+        g.bench_with_input(
+            BenchmarkId::new("pi2", format!("{n}x{m}")),
+            &(n, m),
+            |b, _| {
+                b.iter(|| {
+                    let eng = Engine::new(&voc).with_strategy(Strategy::Naive);
+                    let _ = eng.entails(&out.db, &out.query).unwrap().holds();
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_data_nary, bench_expr_nary, bench_combined_nary
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Table 2 — combined complexity of conjunctive monadic queries, all four
+//! cells:
+//!
+//! | query \ width | bounded | unbounded |
+//! |---|---|---|
+//! | sequential | PTIME (SEQ) | PTIME (SEQ) |
+//! | nonsequential | PTIME (Thm 4.7) | co-NP-complete (Thm 4.6) |
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use indord_bench::workloads;
+use indord_core::sym::Vocabulary;
+use indord_entail::{bounded, paths, seq};
+use indord_reductions::thm46;
+use indord_solvers::dnf::Dnf;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(500))
+        .warm_up_time(Duration::from_millis(100))
+}
+
+/// Sequential × bounded width: SEQ scaling in |D| at k = 2.
+fn bench_seq_bounded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2/seq-bounded");
+    let mut r = workloads::rng(20);
+    let p = workloads::random_flexiword(&mut r, 8, 3);
+    for len in [64usize, 256, 1024, 4096] {
+        let db = workloads::observers_db_le(&mut r, 2, len / 2, 3, 0.2);
+        g.throughput(Throughput::Elements(db.len() as u64));
+        g.bench_with_input(BenchmarkId::new("seq", db.len()), &db, |b, db| {
+            b.iter(|| seq::entails(db, &p))
+        });
+    }
+    g.finish();
+}
+
+/// Sequential × unbounded width: SEQ scaling in k at fixed |D| — the
+/// PTIME claim of the table's top-right cell.
+fn bench_seq_unbounded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2/seq-unbounded");
+    let mut r = workloads::rng(21);
+    let p = workloads::random_flexiword(&mut r, 8, 3);
+    for k in [1usize, 4, 16, 64] {
+        let db = workloads::observers_db_le(&mut r, k, 512 / k, 3, 0.2);
+        g.bench_with_input(BenchmarkId::new("seq-width", k), &db, |b, db| {
+            b.iter(|| seq::entails(db, &p))
+        });
+    }
+    g.finish();
+}
+
+/// Nonsequential × bounded width: Theorem 4.7 scaling in |D| at
+/// k ∈ {1, 2, 3} — the empirical exponent should track k+1.
+fn bench_nonseq_bounded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2/nonseq-bounded");
+    let mut r = workloads::rng(22);
+    let q = workloads::ladder_query(&mut r, 3, 3);
+    for k in [1usize, 2, 3] {
+        for len in [16usize, 32, 64] {
+            let db = workloads::observers_db_le(&mut r, k, len, 3, 0.2);
+            g.bench_with_input(
+                BenchmarkId::new(format!("bounded-k{k}"), db.len()),
+                &db,
+                |b, db| b.iter(|| bounded::entails(db, &q)),
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Nonsequential × unbounded width: the Theorem 4.6 family — width grows
+/// with the formula, and the cost grows super-polynomially.
+fn bench_nonseq_unbounded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2/nonseq-unbounded");
+    for m in [4usize, 6, 8] {
+        let mut r = workloads::rng(23 + m as u64);
+        let dnf = Dnf::random(&mut r, m, 2 * m, true);
+        let mut voc = Vocabulary::new();
+        let out = thm46::build(&mut voc, &dnf);
+        g.bench_with_input(BenchmarkId::new("thm46", m), &out, |b, out| {
+            b.iter(|| paths::entails(&out.db, &out.query))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_seq_bounded, bench_seq_unbounded, bench_nonseq_bounded, bench_nonseq_unbounded
+}
+criterion_main!(benches);

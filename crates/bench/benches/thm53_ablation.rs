@@ -1,0 +1,87 @@
+//! Theorem 5.3 ablation: the `O(|D|^{2k} · |Pred| · Π|Φᵢ|)` bound, swept
+//! along each parameter — database size, width `k`, and number of
+//! disjuncts — plus the polynomial-delay countermodel enumeration the
+//! paper highlights after the theorem. Props. 5.4/5.5 say the exponential
+//! dependences on width and on the number of disjuncts are unavoidable;
+//! the sweeps exhibit exactly those shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use indord_bench::workloads;
+use indord_entail::disjunctive;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(500))
+        .warm_up_time(Duration::from_millis(100))
+}
+
+fn bench_db_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm53/db-size");
+    let mut r = workloads::rng(60);
+    let disjuncts = vec![
+        workloads::random_query(&mut r, 3, 3),
+        workloads::random_query(&mut r, 3, 3),
+    ];
+    for len in [16usize, 32, 64, 128] {
+        let db = workloads::observers_db_le(&mut r, 2, len, 3, 0.2);
+        g.bench_with_input(BenchmarkId::new("k2", db.len()), &db, |b, db| {
+            b.iter(|| disjunctive::entails(db, &disjuncts).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_width(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm53/width");
+    let mut r = workloads::rng(61);
+    let disjuncts = vec![
+        workloads::random_query(&mut r, 3, 3),
+        workloads::random_query(&mut r, 3, 3),
+    ];
+    for k in [1usize, 2, 3] {
+        let db = workloads::observers_db_le(&mut r, k, 24 / k, 3, 0.2);
+        g.bench_with_input(BenchmarkId::new("width", k), &db, |b, db| {
+            b.iter(|| disjunctive::entails(db, &disjuncts).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_disjuncts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm53/disjuncts");
+    let mut r = workloads::rng(62);
+    let pool: Vec<_> = (0..4).map(|_| workloads::random_query(&mut r, 3, 3)).collect();
+    let db = workloads::observers_db_le(&mut r, 2, 16, 3, 0.2);
+    for n in [1usize, 2, 3, 4] {
+        let disjuncts = pool[..n].to_vec();
+        g.bench_with_input(BenchmarkId::new("n", n), &disjuncts, |b, dis| {
+            b.iter(|| disjunctive::entails(&db, dis).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_enumeration_delay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm53/enumeration");
+    let mut r = workloads::rng(63);
+    // A query that fails, so countermodels exist in numbers.
+    let q = workloads::random_query(&mut r, 4, 4);
+    for len in [6usize, 8, 10] {
+        let db = workloads::observers_db_le(&mut r, 2, len, 3, 0.5);
+        g.bench_with_input(BenchmarkId::new("first-16", db.len()), &db, |b, db| {
+            b.iter(|| {
+                disjunctive::countermodels(db, std::slice::from_ref(&q), 16).unwrap().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_db_size, bench_width, bench_disjuncts, bench_enumeration_delay
+}
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! # indord-bench
+//!
+//! Workload generators and measurement helpers shared by the Criterion
+//! benches and the `experiments` binary, which together regenerate every
+//! table and figure of the paper. See `benches/` and `src/bin/`.
+
+#![forbid(unsafe_code)]
+
+pub mod workloads;

@@ -1,0 +1,184 @@
+//! Workload generators shared by the Criterion benches and the
+//! `experiments` binary.
+//!
+//! Every generator targets one of the structural parameters the paper's
+//! complexity results are stated in: database size `|D|`, database width
+//! `k` (number of "observers"), query size `|Φ|`, path count, number of
+//! disjuncts, and predicate arity.
+
+use indord_core::atom::OrderRel;
+use indord_core::bitset::PredSet;
+use indord_core::flexi::FlexiWord;
+use indord_core::monadic::{MonadicDatabase, MonadicQuery};
+use indord_core::ordgraph::OrderGraph;
+use indord_core::sym::PredSym;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for reproducible workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A random label over `n_preds` predicates (biased towards 1–2 members).
+pub fn random_label<R: Rng>(rng: &mut R, n_preds: usize) -> PredSet {
+    let mut l = PredSet::new();
+    l.insert(PredSym::from_index(rng.gen_range(0..n_preds)));
+    if rng.gen_bool(0.3) {
+        l.insert(PredSym::from_index(rng.gen_range(0..n_preds)));
+    }
+    l
+}
+
+/// A width-`k` monadic database: `k` disjoint chains of `len` strictly
+/// ordered labelled points (the "k observers" shape of §2).
+pub fn observers_db<R: Rng>(
+    rng: &mut R,
+    k: usize,
+    len: usize,
+    n_preds: usize,
+) -> MonadicDatabase {
+    observers_db_le(rng, k, len, n_preds, 0.0)
+}
+
+/// As [`observers_db`] but with a fraction of `<=` edges, producing
+/// genuine point-merging indefiniteness.
+pub fn observers_db_le<R: Rng>(
+    rng: &mut R,
+    k: usize,
+    len: usize,
+    n_preds: usize,
+    le_fraction: f64,
+) -> MonadicDatabase {
+    let n = k * len;
+    let mut labels = Vec::with_capacity(n);
+    let mut edges = Vec::new();
+    for c in 0..k {
+        let base = c * len;
+        for i in 0..len {
+            labels.push(random_label(rng, n_preds));
+            if i > 0 {
+                let rel = if le_fraction > 0.0 && rng.gen_bool(le_fraction) {
+                    OrderRel::Le
+                } else {
+                    OrderRel::Lt
+                };
+                edges.push((base + i - 1, base + i, rel));
+            }
+        }
+    }
+    let graph = OrderGraph::from_dag_edges(n, &edges).expect("chains are acyclic");
+    MonadicDatabase::new(graph, labels)
+}
+
+/// A random flexi-word of the given length (sequential query).
+pub fn random_flexiword<R: Rng>(rng: &mut R, len: usize, n_preds: usize) -> FlexiWord {
+    let mut w = FlexiWord::empty();
+    for i in 0..len {
+        let rel = if i == 0 || rng.gen_bool(0.7) { OrderRel::Lt } else { OrderRel::Le };
+        w.push(rel, random_label(rng, n_preds));
+    }
+    w
+}
+
+/// A "ladder" query of `c` columns and 2 rows — width two, `2^c` paths —
+/// the query shape of Theorem 4.6 with random labels. Drives the
+/// paths-vs-bounded crossover.
+pub fn ladder_query<R: Rng>(rng: &mut R, columns: usize, n_preds: usize) -> MonadicQuery {
+    let n = 2 * columns;
+    let mut edges = Vec::new();
+    for j in 0..columns.saturating_sub(1) {
+        for r in 0..2 {
+            for r2 in 0..2 {
+                edges.push((2 * j + r, 2 * (j + 1) + r2, OrderRel::Lt));
+            }
+        }
+    }
+    let graph = OrderGraph::from_dag_edges(n, &edges).expect("acyclic");
+    let labels = (0..n).map(|_| random_label(rng, n_preds)).collect();
+    MonadicQuery::new(graph, labels)
+}
+
+/// A random conjunctive monadic dag query on `n` vertices.
+pub fn random_query<R: Rng>(rng: &mut R, n: usize, n_preds: usize) -> MonadicQuery {
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            match rng.gen_range(0..5) {
+                0 => edges.push((i, j, OrderRel::Lt)),
+                1 => edges.push((i, j, OrderRel::Le)),
+                _ => {}
+            }
+        }
+    }
+    let graph = OrderGraph::from_dag_edges(n, &edges).expect("forward edges");
+    let labels = (0..n).map(|_| random_label(rng, n_preds)).collect();
+    MonadicQuery::new(graph, labels)
+}
+
+/// Least-squares slope of `log y` against `log x` — the empirical
+/// polynomial degree of a scaling series.
+pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let (lx, ly) = (x.ln(), y.max(1e-12).ln());
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Median wall-clock time of `f` over `iters` runs (for the experiments
+/// binary; Criterion handles the real statistics in benches).
+pub fn time_median(iters: usize, mut f: impl FnMut()) -> std::time::Duration {
+    let mut samples: Vec<std::time::Duration> = (0..iters.max(1))
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observers_db_has_requested_width() {
+        let mut r = rng(1);
+        for k in 1..=4 {
+            let db = observers_db(&mut r, k, 5, 3);
+            assert_eq!(db.width(), k);
+            assert_eq!(db.len(), 5 * k);
+        }
+    }
+
+    #[test]
+    fn ladder_query_has_expected_paths() {
+        let mut r = rng(2);
+        let q = ladder_query(&mut r, 5, 2);
+        assert_eq!(q.path_count(), 32);
+        assert_eq!(q.width(), 2);
+    }
+
+    #[test]
+    fn slope_of_quadratic_is_two() {
+        let pts: Vec<(f64, f64)> =
+            (1..=6).map(|i| (i as f64, (i * i) as f64)).collect();
+        let s = log_log_slope(&pts);
+        assert!((s - 2.0).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn flexiword_generator_shape() {
+        let mut r = rng(3);
+        let w = random_flexiword(&mut r, 7, 3);
+        assert_eq!(w.len(), 7);
+    }
+}

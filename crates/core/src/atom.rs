@@ -1,0 +1,257 @@
+//! Ground atoms: proper atoms and order atoms.
+//!
+//! A database consists of ground atoms of two kinds (§2 of the paper):
+//!
+//! 1. **proper atoms** `P(a₁, …, aₙ)` where each `aᵢ` is an object or order
+//!    constant matching the predicate's signature;
+//! 2. **order atoms** `u < v` and `u <= v` between order constants.
+//!
+//! Section 7 of the paper additionally considers inequality atoms `u != v`;
+//! [`OrderRel::Ne`] supports that generalization.
+
+use crate::error::{CoreError, Result};
+use crate::sym::{ObjSym, OrdSym, PredSym, Sort, Vocabulary};
+use std::fmt;
+
+/// A ground term: either an object constant or an order constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// Object constant.
+    Obj(ObjSym),
+    /// Order constant.
+    Ord(OrdSym),
+}
+
+impl Term {
+    /// The sort of this term.
+    pub fn sort(self) -> Sort {
+        match self {
+            Term::Obj(_) => Sort::Object,
+            Term::Ord(_) => Sort::Order,
+        }
+    }
+
+    /// Unwraps an order constant, if this is one.
+    pub fn as_ord(self) -> Option<OrdSym> {
+        match self {
+            Term::Ord(u) => Some(u),
+            Term::Obj(_) => None,
+        }
+    }
+
+    /// Unwraps an object constant, if this is one.
+    pub fn as_obj(self) -> Option<ObjSym> {
+        match self {
+            Term::Obj(o) => Some(o),
+            Term::Ord(_) => None,
+        }
+    }
+}
+
+/// A ground proper atom `P(t₁, …, tₙ)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProperAtom {
+    /// The predicate.
+    pub pred: PredSym,
+    /// The argument terms.
+    pub args: Vec<Term>,
+}
+
+impl ProperAtom {
+    /// Builds a proper atom, validating arity and sorts against the
+    /// vocabulary.
+    pub fn new(voc: &Vocabulary, pred: PredSym, args: Vec<Term>) -> Result<Self> {
+        let sig = voc.signature(pred);
+        if sig.arity() != args.len() {
+            return Err(CoreError::ArityMismatch {
+                pred: voc.pred_name(pred).to_string(),
+                expected: sig.arity(),
+                found: args.len(),
+            });
+        }
+        for (i, (t, &s)) in args.iter().zip(sig.arg_sorts.iter()).enumerate() {
+            if t.sort() != s {
+                return Err(CoreError::SortMismatch {
+                    pred: voc.pred_name(pred).to_string(),
+                    position: i,
+                    expected: s,
+                });
+            }
+        }
+        Ok(ProperAtom { pred, args })
+    }
+
+    /// The order constants appearing among the arguments, in order.
+    pub fn order_args(&self) -> impl Iterator<Item = OrdSym> + '_ {
+        self.args.iter().filter_map(|t| t.as_ord())
+    }
+
+    /// Renders the atom using vocabulary names.
+    pub fn display<'a>(&'a self, voc: &'a Vocabulary) -> impl fmt::Display + 'a {
+        DisplayProper { atom: self, voc }
+    }
+}
+
+struct DisplayProper<'a> {
+    atom: &'a ProperAtom,
+    voc: &'a Vocabulary,
+}
+
+impl fmt::Display for DisplayProper<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.voc.pred_name(self.atom.pred))?;
+        for (i, t) in self.atom.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match t {
+                Term::Obj(o) => write!(f, "{}", self.voc.obj_name(*o))?,
+                Term::Ord(u) => write!(f, "{}", self.voc.ord_name(*u))?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// The order relations available in order atoms.
+///
+/// `Lt` and `Le` are the relations of the main body of the paper; `Ne` is
+/// the inequality of §7. Restricted fragments are written `[<]`, `[<=]`,
+/// `[!=]` etc., following the paper's bracket notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OrderRel {
+    /// Strict order `u < v`.
+    Lt,
+    /// Non-strict order `u <= v`.
+    Le,
+    /// Inequality `u != v` (§7).
+    Ne,
+}
+
+impl OrderRel {
+    /// Concrete syntax of the relation.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            OrderRel::Lt => "<",
+            OrderRel::Le => "<=",
+            OrderRel::Ne => "!=",
+        }
+    }
+}
+
+impl fmt::Display for OrderRel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A ground order atom `u R v`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OrderAtom {
+    /// Left order constant.
+    pub lhs: OrdSym,
+    /// The relation.
+    pub rel: OrderRel,
+    /// Right order constant.
+    pub rhs: OrdSym,
+}
+
+impl OrderAtom {
+    /// `u < v`.
+    pub fn lt(lhs: OrdSym, rhs: OrdSym) -> Self {
+        OrderAtom { lhs, rel: OrderRel::Lt, rhs }
+    }
+
+    /// `u <= v`.
+    pub fn le(lhs: OrdSym, rhs: OrdSym) -> Self {
+        OrderAtom { lhs, rel: OrderRel::Le, rhs }
+    }
+
+    /// `u != v`.
+    pub fn ne(lhs: OrdSym, rhs: OrdSym) -> Self {
+        OrderAtom { lhs, rel: OrderRel::Ne, rhs }
+    }
+
+    /// Renders the atom using vocabulary names.
+    pub fn display<'a>(&'a self, voc: &'a Vocabulary) -> impl fmt::Display + 'a {
+        DisplayOrder { atom: self, voc }
+    }
+}
+
+struct DisplayOrder<'a> {
+    atom: &'a OrderAtom,
+    voc: &'a Vocabulary,
+}
+
+impl fmt::Display for DisplayOrder<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {}",
+            self.voc.ord_name(self.atom.lhs),
+            self.atom.rel,
+            self.voc.ord_name(self.atom.rhs)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn voc() -> Vocabulary {
+        let mut v = Vocabulary::new();
+        v.pred("P", &[Sort::Object, Sort::Order]).unwrap();
+        v
+    }
+
+    #[test]
+    fn well_sorted_atom_builds() {
+        let mut v = voc();
+        let p = v.find_pred("P").unwrap();
+        let a = v.obj("a");
+        let u = v.ord("u");
+        let atom = ProperAtom::new(&v, p, vec![Term::Obj(a), Term::Ord(u)]).unwrap();
+        assert_eq!(atom.order_args().collect::<Vec<_>>(), vec![u]);
+        assert_eq!(atom.display(&v).to_string(), "P(a, u)");
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        let mut v = voc();
+        let p = v.find_pred("P").unwrap();
+        let a = v.obj("a");
+        let e = ProperAtom::new(&v, p, vec![Term::Obj(a)]).unwrap_err();
+        assert!(matches!(e, CoreError::ArityMismatch { expected: 2, found: 1, .. }));
+    }
+
+    #[test]
+    fn sorts_are_checked() {
+        let mut v = voc();
+        let p = v.find_pred("P").unwrap();
+        let u = v.ord("u");
+        let e = ProperAtom::new(&v, p, vec![Term::Ord(u), Term::Ord(u)]).unwrap_err();
+        assert!(matches!(e, CoreError::SortMismatch { position: 0, .. }));
+    }
+
+    #[test]
+    fn order_atom_display() {
+        let mut v = voc();
+        let u = v.ord("u");
+        let w = v.ord("w");
+        assert_eq!(OrderAtom::lt(u, w).display(&v).to_string(), "u < w");
+        assert_eq!(OrderAtom::le(u, w).display(&v).to_string(), "u <= w");
+        assert_eq!(OrderAtom::ne(u, w).display(&v).to_string(), "u != w");
+    }
+
+    #[test]
+    fn term_accessors() {
+        let mut v = voc();
+        let a = v.obj("a");
+        let u = v.ord("u");
+        assert_eq!(Term::Obj(a).as_obj(), Some(a));
+        assert_eq!(Term::Obj(a).as_ord(), None);
+        assert_eq!(Term::Ord(u).as_ord(), Some(u));
+        assert_eq!(Term::Ord(u).sort(), Sort::Order);
+    }
+}

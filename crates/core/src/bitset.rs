@@ -1,0 +1,349 @@
+//! Dense, growable bitsets.
+//!
+//! Two closely related types:
+//!
+//! * [`BitSet`] — a general bitset over `usize` indices, used for
+//!   reachability closures in [`crate::ordgraph`];
+//! * [`PredSet`] — a set of predicate ids, used as the *label* of a vertex
+//!   in monadic databases/queries and of a point in a model (the alphabet
+//!   `A = P(Pred)` of §4 of the paper).
+//!
+//! `PredSet` is a thin newtype over `BitSet` so the two cannot be confused,
+//! but shares the representation. Subset tests (`⊆`) dominate the hot paths
+//! of the entailment engines (they implement the `a ⊆ D[u]` tests of the
+//! `SEQ` algorithm), so they are word-parallel.
+
+use crate::sym::PredSym;
+use std::fmt;
+
+/// A growable set of small unsigned integers, stored one bit per element.
+#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        BitSet { words: Vec::new() }
+    }
+
+    /// Creates an empty set with capacity for indices `< n` without
+    /// reallocation.
+    pub fn with_capacity(n: usize) -> Self {
+        BitSet { words: vec![0; n.div_ceil(64)] }
+    }
+
+    /// Creates the set `{0, 1, ..., n-1}`.
+    pub fn full(n: usize) -> Self {
+        let mut s = BitSet::with_capacity(n);
+        for i in 0..n {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Inserts `i`; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `i`; returns `true` if it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        self.words.get(w).is_some_and(|x| x & (1 << b) != 0)
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `self ⊆ other`, word-parallel.
+    #[inline]
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        for (i, &w) in self.words.iter().enumerate() {
+            let o = other.words.get(i).copied().unwrap_or(0);
+            if w & !o != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Tests whether the two sets share any element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &BitSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (i, &w) in other.words.iter().enumerate() {
+            self.words[i] |= w;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (i, w) in self.words.iter_mut().enumerate() {
+            *w &= other.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &BitSet) {
+        for (i, w) in self.words.iter_mut().enumerate() {
+            *w &= !other.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Iterates the elements in increasing order.
+    pub fn iter(&self) -> BitSetIter<'_> {
+        BitSetIter { set: self, word: 0, bits: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// Smallest element, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = BitSet::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`].
+pub struct BitSetIter<'a> {
+    set: &'a BitSet,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for BitSetIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.bits != 0 {
+                let b = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(self.word * 64 + b);
+            }
+            self.word += 1;
+            if self.word >= self.set.words.len() {
+                return None;
+            }
+            self.bits = self.set.words[self.word];
+        }
+    }
+}
+
+/// A set of predicate symbols — one letter of the alphabet `A = P(Pred)`
+/// over which flexi-words are formed (§4 of the paper).
+#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct PredSet(BitSet);
+
+impl PredSet {
+    /// The empty label.
+    pub fn new() -> Self {
+        PredSet(BitSet::new())
+    }
+
+    /// Singleton label `{p}`.
+    pub fn singleton(p: PredSym) -> Self {
+        let mut s = PredSet::new();
+        s.insert(p);
+        s
+    }
+
+    /// Inserts a predicate; returns `true` if newly added.
+    pub fn insert(&mut self, p: PredSym) -> bool {
+        self.0.insert(p.index())
+    }
+
+    /// Removes a predicate; returns `true` if it was present.
+    pub fn remove(&mut self, p: PredSym) -> bool {
+        self.0.remove(p.index())
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, p: PredSym) -> bool {
+        self.0.contains(p.index())
+    }
+
+    /// `self ⊆ other` — the workhorse of the `SEQ` algorithm.
+    #[inline]
+    pub fn is_subset(&self, other: &PredSet) -> bool {
+        self.0.is_subset(&other.0)
+    }
+
+    /// True iff no predicates.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of predicates in the label.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// In-place union (labels of order constants merged to one point).
+    pub fn union_with(&mut self, other: &PredSet) {
+        self.0.union_with(&other.0)
+    }
+
+    /// Union returning a new set.
+    pub fn union(&self, other: &PredSet) -> PredSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// Iterates the predicate symbols in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = PredSym> + '_ {
+        self.0.iter().map(PredSym::from_index)
+    }
+}
+
+impl FromIterator<PredSym> for PredSet {
+    fn from_iter<I: IntoIterator<Item = PredSym>>(iter: I) -> Self {
+        let mut s = PredSet::new();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for PredSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.0.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(100));
+        assert!(s.contains(3));
+        assert!(s.contains(100));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn subset_across_lengths() {
+        let a: BitSet = [1, 2].into_iter().collect();
+        let b: BitSet = [1, 2, 200].into_iter().collect();
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a));
+        assert!(BitSet::new().is_subset(&a));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a: BitSet = [1, 2, 3].into_iter().collect();
+        let b: BitSet = [3, 4].into_iter().collect();
+        assert!(a.intersects(&b));
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        a.difference_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2]);
+        a.intersect_with(&b);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn full_and_first() {
+        let s = BitSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert_eq!(s.first(), Some(0));
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+        assert_eq!(BitSet::new().first(), None);
+    }
+
+    #[test]
+    fn iter_order() {
+        let s: BitSet = [64, 0, 63, 128].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 128]);
+    }
+
+    #[test]
+    fn predset_basics() {
+        let p0 = PredSym::from_index(0);
+        let p1 = PredSym::from_index(1);
+        let mut a = PredSet::singleton(p0);
+        assert!(a.contains(p0));
+        assert!(!a.contains(p1));
+        a.insert(p1);
+        let b = PredSet::singleton(p1);
+        assert!(b.is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert_eq!(a.union(&b).len(), 2);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![p0, p1]);
+    }
+
+    #[test]
+    fn debug_formatting() {
+        let s: BitSet = [5].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{5}");
+    }
+}

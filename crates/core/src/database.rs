@@ -1,0 +1,368 @@
+//! Indefinite order databases.
+//!
+//! A [`Database`] is a finite set of ground proper atoms and order atoms
+//! (§2). [`Database::normalize`] applies rules N1/N2, checks consistency,
+//! and produces a [`NormalDatabase`] whose order constants are mapped onto
+//! the vertices of an [`OrderGraph`] — the form every engine consumes.
+
+use crate::atom::{OrderAtom, OrderRel, ProperAtom, Term};
+use crate::error::Result;
+use crate::ordgraph::OrderGraph;
+use crate::sym::{ObjSym, OrdSym, PredSym, Vocabulary};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A raw indefinite order database: ground proper facts plus order facts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Database {
+    proper: Vec<ProperAtom>,
+    order: Vec<OrderAtom>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Adds a proper atom (validated against the vocabulary).
+    pub fn assert_fact(&mut self, voc: &Vocabulary, pred: PredSym, args: Vec<Term>) -> Result<()> {
+        self.proper.push(ProperAtom::new(voc, pred, args)?);
+        Ok(())
+    }
+
+    /// Adds an already-validated proper atom.
+    pub fn push_proper(&mut self, atom: ProperAtom) {
+        self.proper.push(atom);
+    }
+
+    /// Adds the order atom `u < v`.
+    pub fn assert_lt(&mut self, u: OrdSym, v: OrdSym) {
+        self.order.push(OrderAtom::lt(u, v));
+    }
+
+    /// Adds the order atom `u <= v`.
+    pub fn assert_le(&mut self, u: OrdSym, v: OrdSym) {
+        self.order.push(OrderAtom::le(u, v));
+    }
+
+    /// Adds the inequality atom `u != v` (§7).
+    pub fn assert_ne(&mut self, u: OrdSym, v: OrdSym) {
+        self.order.push(OrderAtom::ne(u, v));
+    }
+
+    /// Adds a chain `u₁ r u₂ r … r uₙ` of order atoms with one relation.
+    pub fn assert_chain(&mut self, rel: OrderRel, chain: &[OrdSym]) {
+        for w in chain.windows(2) {
+            self.order.push(OrderAtom { lhs: w[0], rel, rhs: w[1] });
+        }
+    }
+
+    /// The proper atoms.
+    pub fn proper_atoms(&self) -> &[ProperAtom] {
+        &self.proper
+    }
+
+    /// The order atoms.
+    pub fn order_atoms(&self) -> &[OrderAtom] {
+        &self.order
+    }
+
+    /// Total number of atoms (the size measure `|D|` of the paper).
+    pub fn len(&self) -> usize {
+        self.proper.len() + self.order.len()
+    }
+
+    /// True when the database has no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.proper.is_empty() && self.order.is_empty()
+    }
+
+    /// Merges another database into this one (used by the reductions, which
+    /// build databases from independent components).
+    pub fn extend(&mut self, other: &Database) {
+        self.proper.extend(other.proper.iter().cloned());
+        self.order.extend(other.order.iter().copied());
+    }
+
+    /// All order constants mentioned anywhere (order atoms *or* order
+    /// positions of proper atoms), deduplicated, in first-seen order.
+    pub fn order_constants(&self) -> Vec<OrdSym> {
+        let mut seen: HashMap<OrdSym, ()> = HashMap::new();
+        let mut out = Vec::new();
+        let mut visit = |u: OrdSym| {
+            if seen.insert(u, ()).is_none() {
+                out.push(u);
+            }
+        };
+        for a in &self.proper {
+            for u in a.order_args() {
+                visit(u);
+            }
+        }
+        for a in &self.order {
+            visit(a.lhs);
+            visit(a.rhs);
+        }
+        out
+    }
+
+    /// Number of distinct order constants.
+    pub fn order_constant_count(&self) -> usize {
+        self.order_constants().len()
+    }
+
+    /// All object constants mentioned in proper atoms.
+    pub fn object_constants(&self) -> Vec<ObjSym> {
+        let mut seen: HashMap<ObjSym, ()> = HashMap::new();
+        let mut out = Vec::new();
+        for a in &self.proper {
+            for t in &a.args {
+                if let Term::Obj(o) = t {
+                    if seen.insert(*o, ()).is_none() {
+                        out.push(*o);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Normalizes the database: applies N1/N2 to the order atoms, checks
+    /// consistency, and maps order constants onto dag vertices.
+    ///
+    /// Inequality atoms `u != v` are carried through unchanged (as vertex
+    /// pairs); a pair that N1 merged into a single vertex makes the database
+    /// inconsistent only under the `!=` semantics, which the engines check.
+    pub fn normalize(&self) -> Result<NormalDatabase> {
+        let consts = self.order_constants();
+        let mut index: HashMap<OrdSym, usize> = HashMap::with_capacity(consts.len());
+        for (i, &u) in consts.iter().enumerate() {
+            index.insert(u, i);
+        }
+        let mut edges = Vec::with_capacity(self.order.len());
+        let mut ne_pairs = Vec::new();
+        for a in &self.order {
+            let (l, r) = (index[&a.lhs], index[&a.rhs]);
+            match a.rel {
+                OrderRel::Lt | OrderRel::Le => edges.push((l, r, a.rel)),
+                OrderRel::Ne => ne_pairs.push((l, r)),
+            }
+        }
+        let nz = OrderGraph::normalize(consts.len(), &edges)?;
+        let vertex_of: HashMap<OrdSym, usize> = consts
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| (u, nz.class_of[i]))
+            .collect();
+        let members: Vec<Vec<OrdSym>> = nz
+            .members
+            .iter()
+            .map(|raws| raws.iter().map(|&i| consts[i]).collect())
+            .collect();
+        let ne: Vec<(usize, usize)> = ne_pairs
+            .into_iter()
+            .map(|(l, r)| (nz.class_of[l], nz.class_of[r]))
+            .collect();
+        Ok(NormalDatabase {
+            proper: self.proper.clone(),
+            graph: nz.graph,
+            vertex_of,
+            members,
+            ne,
+        })
+    }
+
+    /// Renders the database using vocabulary names.
+    pub fn display<'a>(&'a self, voc: &'a Vocabulary) -> impl fmt::Display + 'a {
+        DisplayDb { db: self, voc }
+    }
+}
+
+struct DisplayDb<'a> {
+    db: &'a Database,
+    voc: &'a Vocabulary,
+}
+
+impl fmt::Display for DisplayDb<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for a in &self.db.proper {
+            writeln!(f, "{};", a.display(self.voc))?;
+        }
+        for a in &self.db.order {
+            writeln!(f, "{};", a.display(self.voc))?;
+        }
+        Ok(())
+    }
+}
+
+/// A normalized database: proper atoms plus a consistent order dag, with
+/// order constants mapped to dag vertices (possibly many-to-one after N1).
+#[derive(Debug, Clone)]
+pub struct NormalDatabase {
+    /// The proper atoms (unchanged; interpret their order arguments through
+    /// [`NormalDatabase::vertex_of`]).
+    pub proper: Vec<ProperAtom>,
+    /// The normalized order dag.
+    pub graph: OrderGraph,
+    /// Mapping order constant → dag vertex.
+    pub vertex_of: HashMap<OrdSym, usize>,
+    /// The constants merged into each vertex.
+    pub members: Vec<Vec<OrdSym>>,
+    /// Inequality constraints between vertices (§7); empty for `[<,<=]`
+    /// databases. A pair `(v, v)` is possible (after merging) and makes the
+    /// database unsatisfiable under `!=` semantics.
+    pub ne: Vec<(usize, usize)>,
+}
+
+impl NormalDatabase {
+    /// Vertex of an order constant.
+    pub fn vertex(&self, u: OrdSym) -> usize {
+        self.vertex_of[&u]
+    }
+
+    /// True when no `!=` constraint is present.
+    pub fn is_ne_free(&self) -> bool {
+        self.ne.is_empty()
+    }
+
+    /// True if some `!=` pair was merged by N1 (then no model exists).
+    pub fn has_contradictory_ne(&self) -> bool {
+        self.ne.iter().any(|&(a, b)| a == b)
+    }
+
+    /// The width of the database (§2) — the key tractability parameter.
+    pub fn width(&self) -> usize {
+        self.graph.width()
+    }
+
+    /// Proper atoms that mention no order constant (the *definite* part).
+    pub fn definite_atoms(&self) -> impl Iterator<Item = &ProperAtom> {
+        self.proper.iter().filter(|a| a.order_args().next().is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::Sort;
+
+    fn setup() -> (Vocabulary, Database) {
+        let mut voc = Vocabulary::new();
+        voc.pred("IC", &[Sort::Order, Sort::Order, Sort::Object]).unwrap();
+        (voc, Database::new())
+    }
+
+    #[test]
+    fn example_1_1_guard_log_builds() {
+        // IC(z1,z2,A), IC(z3,z4,B), z1<z2<z3<z4  (the guard's log).
+        let (mut voc, mut db) = setup();
+        let ic = voc.find_pred("IC").unwrap();
+        let a = voc.obj("A");
+        let b = voc.obj("B");
+        let z: Vec<_> = (1..=4).map(|i| voc.ord(&format!("z{i}"))).collect();
+        db.assert_fact(&voc, ic, vec![Term::Ord(z[0]), Term::Ord(z[1]), Term::Obj(a)])
+            .unwrap();
+        db.assert_fact(&voc, ic, vec![Term::Ord(z[2]), Term::Ord(z[3]), Term::Obj(b)])
+            .unwrap();
+        db.assert_chain(OrderRel::Lt, &z);
+        assert_eq!(db.len(), 5);
+        assert_eq!(db.order_constant_count(), 4);
+        let nd = db.normalize().unwrap();
+        assert_eq!(nd.graph.len(), 4);
+        assert_eq!(nd.width(), 1);
+        assert!(nd.is_ne_free());
+    }
+
+    #[test]
+    fn merged_constants_share_vertex() {
+        let (_, mut db) = setup();
+        let mut voc = Vocabulary::new();
+        let u = voc.ord("u");
+        let v = voc.ord("v");
+        db.assert_le(u, v);
+        db.assert_le(v, u);
+        let nd = db.normalize().unwrap();
+        assert_eq!(nd.graph.len(), 1);
+        assert_eq!(nd.vertex(u), nd.vertex(v));
+        assert_eq!(nd.members[0].len(), 2);
+    }
+
+    #[test]
+    fn unconstrained_order_constants_become_vertices() {
+        let mut voc = Vocabulary::new();
+        let p = voc.pred("P", &[Sort::Order]).unwrap();
+        let mut db = Database::new();
+        let u = voc.ord("u");
+        db.assert_fact(&voc, p, vec![Term::Ord(u)]).unwrap();
+        let nd = db.normalize().unwrap();
+        assert_eq!(nd.graph.len(), 1);
+        assert_eq!(nd.width(), 1);
+    }
+
+    #[test]
+    fn inconsistent_database_rejected() {
+        let mut voc = Vocabulary::new();
+        let mut db = Database::new();
+        let u = voc.ord("u");
+        let v = voc.ord("v");
+        db.assert_lt(u, v);
+        db.assert_le(v, u);
+        assert!(db.normalize().is_err());
+    }
+
+    #[test]
+    fn ne_pairs_map_to_vertices() {
+        let mut voc = Vocabulary::new();
+        let mut db = Database::new();
+        let u = voc.ord("u");
+        let v = voc.ord("v");
+        let w = voc.ord("w");
+        db.assert_le(u, v);
+        db.assert_le(v, u);
+        db.assert_ne(u, w);
+        db.assert_ne(u, v); // merged pair → contradictory
+        let nd = db.normalize().unwrap();
+        assert!(!nd.is_ne_free());
+        assert!(nd.has_contradictory_ne());
+        assert_eq!(nd.ne.len(), 2);
+    }
+
+    #[test]
+    fn width_two_for_two_observers() {
+        let mut voc = Vocabulary::new();
+        let mut db = Database::new();
+        let z: Vec<_> = (0..3).map(|i| voc.ord(&format!("z{i}"))).collect();
+        let u: Vec<_> = (0..3).map(|i| voc.ord(&format!("u{i}"))).collect();
+        db.assert_chain(OrderRel::Lt, &z);
+        db.assert_chain(OrderRel::Lt, &u);
+        let nd = db.normalize().unwrap();
+        assert_eq!(nd.width(), 2);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut voc = Vocabulary::new();
+        let mut d1 = Database::new();
+        let mut d2 = Database::new();
+        d1.assert_lt(voc.ord("a"), voc.ord("b"));
+        d2.assert_lt(voc.ord("c"), voc.ord("d"));
+        d1.extend(&d2);
+        assert_eq!(d1.order_atoms().len(), 2);
+        assert_eq!(d1.order_constant_count(), 4);
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let mut voc = Vocabulary::new();
+        let p = voc.pred("P", &[Sort::Order]).unwrap();
+        let mut db = Database::new();
+        let u = voc.ord("u");
+        let v = voc.ord("v");
+        db.assert_fact(&voc, p, vec![Term::Ord(u)]).unwrap();
+        db.assert_lt(u, v);
+        let s = db.display(&voc).to_string();
+        assert!(s.contains("P(u);"));
+        assert!(s.contains("u < v;"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Error types shared across the core crate.
+
+use std::fmt;
+
+/// Result alias used throughout `indord-core`.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised while building or transforming databases and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A predicate was used with the wrong number of arguments.
+    ArityMismatch {
+        /// Predicate name.
+        pred: String,
+        /// Declared arity.
+        expected: usize,
+        /// Arity at the offending use site.
+        found: usize,
+    },
+    /// A predicate was used with an argument of the wrong sort.
+    SortMismatch {
+        /// Predicate name.
+        pred: String,
+        /// Argument position (0-based).
+        position: usize,
+        /// Sort declared in the signature.
+        expected: crate::sym::Sort,
+    },
+    /// The same name was declared with two different signatures.
+    SignatureConflict {
+        /// Predicate name.
+        pred: String,
+    },
+    /// The order atoms are unsatisfiable (a `<`-cycle exists; §2, rules N1/N2).
+    InconsistentOrder {
+        /// Human-readable witness of the cycle.
+        witness: String,
+    },
+    /// A query used a variable that was never quantified.
+    UnboundVariable {
+        /// The variable name.
+        name: String,
+    },
+    /// The operation requires monadic predicates but an n-ary one was found.
+    NotMonadic {
+        /// Offending predicate name.
+        pred: String,
+    },
+    /// The operation requires a sequential query (width-one order graph).
+    NotSequential,
+    /// Parse error with position information.
+    Parse {
+        /// Byte offset in the input.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// An enumeration cap was exceeded (guards exponential fallbacks).
+    CapExceeded {
+        /// Which cap.
+        what: String,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ArityMismatch { pred, expected, found } => write!(
+                f,
+                "predicate `{pred}` declared with arity {expected} but used with {found} arguments"
+            ),
+            CoreError::SortMismatch { pred, position, expected } => write!(
+                f,
+                "predicate `{pred}` argument {position} must have sort {expected:?}"
+            ),
+            CoreError::SignatureConflict { pred } => {
+                write!(f, "predicate `{pred}` declared with conflicting signatures")
+            }
+            CoreError::InconsistentOrder { witness } => {
+                write!(f, "order constraints are inconsistent: {witness}")
+            }
+            CoreError::UnboundVariable { name } => {
+                write!(f, "variable `{name}` is not bound by any quantifier")
+            }
+            CoreError::NotMonadic { pred } => {
+                write!(f, "operation requires monadic predicates; `{pred}` is not monadic")
+            }
+            CoreError::NotSequential => {
+                write!(f, "operation requires a sequential (width-one) query")
+            }
+            CoreError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            CoreError::CapExceeded { what, limit } => {
+                write!(f, "enumeration cap exceeded for {what} (limit {limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::ArityMismatch { pred: "P".into(), expected: 2, found: 3 };
+        let s = e.to_string();
+        assert!(s.contains("P") && s.contains('2') && s.contains('3'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(CoreError::NotSequential, CoreError::NotSequential);
+        assert_ne!(
+            CoreError::NotSequential,
+            CoreError::UnboundVariable { name: "x".into() }
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! Flexi-words (§4 of the paper).
+//!
+//! Given a set `Pred` of monadic predicates, with `A = P(Pred)` the set of
+//! labels, a **flexi-word** is a sequence
+//!
+//! ```text
+//! a₁ r₁ a₂ r₂ … rₙ₋₁ aₙ       aᵢ ∈ A,  rᵢ ∈ {<, <=}
+//! ```
+//!
+//! Flexi-words perspicuously represent three different things at once:
+//! sequential queries, width-one monadic databases, and finite models
+//! (whose relations are all `<`). The paper freely switches between these
+//! readings and so does this crate: [`FlexiWord::to_query`] and
+//! [`FlexiWord::to_database`] produce the other representations.
+//!
+//! A flexi-word whose relations are all `<` is called a **word**; for words
+//! entailment coincides with the *subword* relation (Prop. 4.5), which
+//! [`FlexiWord::is_subword_of`] implements.
+
+use crate::atom::OrderRel;
+use crate::bitset::PredSet;
+use crate::error::{CoreError, Result};
+use crate::model::MonadicModel;
+use crate::sym::Vocabulary;
+use std::fmt;
+
+/// A flexi-word over the monadic predicate alphabet.
+///
+/// Invariant: `rels.len() + 1 == labels.len()`, unless the word is empty
+/// (both empty). Relations are only `<` / `<=` (never `!=`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FlexiWord {
+    labels: Vec<PredSet>,
+    rels: Vec<OrderRel>,
+}
+
+impl FlexiWord {
+    /// The empty flexi-word.
+    pub fn empty() -> Self {
+        FlexiWord::default()
+    }
+
+    /// A one-letter flexi-word.
+    pub fn letter(a: PredSet) -> Self {
+        FlexiWord { labels: vec![a], rels: Vec::new() }
+    }
+
+    /// Builds a *word*: all relations strict.
+    pub fn word(labels: Vec<PredSet>) -> Self {
+        let rels = vec![OrderRel::Lt; labels.len().saturating_sub(1)];
+        FlexiWord { labels, rels }
+    }
+
+    /// Builds from interleaved labels and relations.
+    ///
+    /// # Panics
+    /// If lengths are inconsistent or a relation is `!=`.
+    pub fn new(labels: Vec<PredSet>, rels: Vec<OrderRel>) -> Self {
+        assert_eq!(
+            rels.len() + usize::from(!labels.is_empty()),
+            labels.len().max(1),
+            "flexi-word shape: n labels need n-1 relations"
+        );
+        assert!(rels.iter().all(|r| *r != OrderRel::Ne), "!= cannot occur in a flexi-word");
+        FlexiWord { labels, rels }
+    }
+
+    /// Appends a letter with the given relation to the previous letter.
+    pub fn push(&mut self, rel: OrderRel, label: PredSet) {
+        assert!(rel != OrderRel::Ne);
+        if self.labels.is_empty() {
+            self.labels.push(label);
+        } else {
+            self.rels.push(rel);
+            self.labels.push(label);
+        }
+    }
+
+    /// Number of letters.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when there are no letters.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The label sequence.
+    pub fn labels(&self) -> &[PredSet] {
+        &self.labels
+    }
+
+    /// The relation sequence (`len()-1` long).
+    pub fn rels(&self) -> &[OrderRel] {
+        &self.rels
+    }
+
+    /// True when every relation is `<` (the word case).
+    pub fn is_word(&self) -> bool {
+        self.rels.iter().all(|r| *r == OrderRel::Lt)
+    }
+
+    /// The suffix starting at letter `i` (shares no storage; small words).
+    pub fn suffix(&self, i: usize) -> FlexiWord {
+        if i >= self.labels.len() {
+            return FlexiWord::empty();
+        }
+        FlexiWord {
+            labels: self.labels[i..].to_vec(),
+            rels: self.rels[i.min(self.rels.len())..].to_vec(),
+        }
+    }
+
+    /// Subword test for **words** (Prop. 4.5): `self = a₁…aₙ` is a subword
+    /// of `other = b₁…bₘ` iff there are indices `i₁ < … < iₙ` with
+    /// `aⱼ ⊆ b_{iⱼ}`. For words `q |= p` iff `p` is a subword of `q`.
+    ///
+    /// # Panics
+    /// If either flexi-word is not a word.
+    pub fn is_subword_of(&self, other: &FlexiWord) -> bool {
+        assert!(self.is_word() && other.is_word(), "subword is defined on words");
+        let mut j = 0;
+        for b in &other.labels {
+            if j == self.labels.len() {
+                break;
+            }
+            if self.labels[j].is_subset(b) {
+                j += 1;
+            }
+        }
+        j == self.labels.len()
+    }
+
+    /// Reads a flexi-word off a finite monadic model (all relations `<`).
+    pub fn from_model(m: &MonadicModel) -> FlexiWord {
+        FlexiWord::word(m.labels.clone())
+    }
+
+    /// Interprets the flexi-word as a finite model. Only valid for words
+    /// (models have strictly increasing points).
+    pub fn to_model(&self) -> Result<MonadicModel> {
+        if !self.is_word() {
+            return Err(CoreError::NotSequential);
+        }
+        Ok(MonadicModel::new(self.labels.clone()))
+    }
+
+    /// Interprets the flexi-word as a width-one monadic database.
+    pub fn to_database(&self) -> crate::monadic::MonadicDatabase {
+        crate::monadic::MonadicDatabase::from_flexiword(self)
+    }
+
+    /// Interprets the flexi-word as a sequential monadic query.
+    pub fn to_query(&self) -> crate::monadic::MonadicQuery {
+        crate::monadic::MonadicQuery::from_flexiword(self)
+    }
+
+    /// Renders e.g. `{P,Q} < {P} <= {R}`.
+    pub fn display<'a>(&'a self, voc: &'a Vocabulary) -> impl fmt::Display + 'a {
+        DisplayFw { w: self, voc }
+    }
+}
+
+struct DisplayFw<'a> {
+    w: &'a FlexiWord,
+    voc: &'a Vocabulary,
+}
+
+impl fmt::Display for DisplayFw<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, l) in self.w.labels.iter().enumerate() {
+            if i > 0 {
+                write!(f, " {} ", self.w.rels[i - 1])?;
+            }
+            write!(f, "{{")?;
+            for (j, p) in l.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{}", self.voc.pred_name(p))?;
+            }
+            write!(f, "}}")?;
+        }
+        if self.w.labels.is_empty() {
+            write!(f, "ε")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::PredSym;
+
+    fn ps(ids: &[usize]) -> PredSet {
+        ids.iter().map(|&i| PredSym::from_index(i)).collect()
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let mut w = FlexiWord::empty();
+        assert!(w.is_empty());
+        w.push(OrderRel::Lt, ps(&[0]));
+        w.push(OrderRel::Le, ps(&[1]));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.rels(), &[OrderRel::Le]);
+        assert!(!w.is_word());
+        let v = FlexiWord::word(vec![ps(&[0]), ps(&[1])]);
+        assert!(v.is_word());
+    }
+
+    #[test]
+    #[should_panic(expected = "flexi-word shape")]
+    fn bad_shape_panics() {
+        let _ = FlexiWord::new(vec![ps(&[0])], vec![OrderRel::Lt]);
+    }
+
+    #[test]
+    fn subword_positive_paper_example() {
+        // [P,Q][P][R] is a subword of [P,Q,R][R][P,R][P,Q,R]  (§4).
+        let p = 0;
+        let q = 1;
+        let r = 2;
+        let small = FlexiWord::word(vec![ps(&[p, q]), ps(&[p]), ps(&[r])]);
+        let big = FlexiWord::word(vec![ps(&[p, q, r]), ps(&[r]), ps(&[p, r]), ps(&[p, q, r])]);
+        assert!(small.is_subword_of(&big));
+        assert!(!big.is_subword_of(&small));
+    }
+
+    #[test]
+    fn subword_requires_order() {
+        let a = FlexiWord::word(vec![ps(&[0]), ps(&[1])]);
+        let b = FlexiWord::word(vec![ps(&[1]), ps(&[0])]);
+        assert!(!a.is_subword_of(&b));
+        assert!(a.is_subword_of(&a));
+        assert!(FlexiWord::empty().is_subword_of(&a));
+    }
+
+    #[test]
+    fn greedy_subword_is_correct_here() {
+        // Greedy matching is complete for the subset-subword relation:
+        // matching a letter as early as possible never hurts.
+        let small = FlexiWord::word(vec![ps(&[0]), ps(&[0])]);
+        let big = FlexiWord::word(vec![ps(&[0]), ps(&[1]), ps(&[0])]);
+        assert!(small.is_subword_of(&big));
+    }
+
+    #[test]
+    fn suffix_behaviour() {
+        let w = FlexiWord::new(
+            vec![ps(&[0]), ps(&[1]), ps(&[2])],
+            vec![OrderRel::Lt, OrderRel::Le],
+        );
+        let s = w.suffix(1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.rels(), &[OrderRel::Le]);
+        assert!(w.suffix(3).is_empty());
+        assert_eq!(w.suffix(0), w);
+    }
+
+    #[test]
+    fn model_round_trip() {
+        let w = FlexiWord::word(vec![ps(&[0, 1]), ps(&[2])]);
+        let m = w.to_model().unwrap();
+        assert_eq!(FlexiWord::from_model(&m), w);
+        let fw = FlexiWord::new(vec![ps(&[0]), ps(&[1])], vec![OrderRel::Le]);
+        assert!(fw.to_model().is_err());
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut voc = Vocabulary::new();
+        let p = voc.monadic_pred("P");
+        let q = voc.monadic_pred("Q");
+        let w = FlexiWord::new(
+            vec![[p, q].into_iter().collect(), PredSet::singleton(q)],
+            vec![OrderRel::Le],
+        );
+        assert_eq!(w.display(&voc).to_string(), "{P,Q} <= {Q}");
+        assert_eq!(FlexiWord::empty().display(&voc).to_string(), "ε");
+    }
+}

@@ -1,0 +1,461 @@
+//! Interval data over indefinite orders (§1 of the paper).
+//!
+//! The paper's motivating examples (the embassy investigation, seriation,
+//! Allen's interval algebra) concern *intervals*: binary predicates whose
+//! two order arguments are the endpoints of a continuous period, as in
+//! `IC(u, v, x)` — "x was in the compound from `u` to `v`".
+//!
+//! This module provides the interval layer as sugar over the point-based
+//! core: [`IntervalStore`] asserts interval facts (endpoint pairs with
+//! `start <= end`), and [`AllenRelation`] compiles each of Allen's
+//! thirteen interval relations to the corresponding conjunction of
+//! endpoint order atoms, following the point-based translation that
+//! Vilain–Kautz–van Beek (cited in §1) use to obtain tractable point
+//! fragments. Whether a relation *possibly* or *necessarily* holds between
+//! two stored intervals then becomes ordinary certain-answer entailment.
+//!
+//! The translation uses the closed-interval convention `start <= end` with
+//! `before` meaning `end₁ < start₂` (abutting intervals `end₁ = start₂`
+//! are `meets`).
+
+use crate::atom::{OrderRel, ProperAtom, Term};
+use crate::database::Database;
+use crate::error::Result;
+use crate::query::{QTerm, QueryExpr};
+use crate::sym::{ObjSym, OrdSym, PredSym, Sort, Vocabulary};
+
+/// Allen's thirteen primitive interval relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllenRelation {
+    /// `i` ends strictly before `j` starts.
+    Before,
+    /// `i` ends exactly when `j` starts.
+    Meets,
+    /// proper overlap: starts before, ends inside.
+    Overlaps,
+    /// same start, `i` ends first.
+    Starts,
+    /// strictly inside.
+    During,
+    /// same end, `i` starts later.
+    Finishes,
+    /// identical endpoints.
+    Equals,
+    /// inverse of [`AllenRelation::Before`].
+    After,
+    /// inverse of [`AllenRelation::Meets`].
+    MetBy,
+    /// inverse of [`AllenRelation::Overlaps`].
+    OverlappedBy,
+    /// inverse of [`AllenRelation::Starts`].
+    StartedBy,
+    /// inverse of [`AllenRelation::During`].
+    Contains,
+    /// inverse of [`AllenRelation::Finishes`].
+    FinishedBy,
+}
+
+impl AllenRelation {
+    /// All thirteen relations.
+    pub const ALL: [AllenRelation; 13] = [
+        AllenRelation::Before,
+        AllenRelation::Meets,
+        AllenRelation::Overlaps,
+        AllenRelation::Starts,
+        AllenRelation::During,
+        AllenRelation::Finishes,
+        AllenRelation::Equals,
+        AllenRelation::After,
+        AllenRelation::MetBy,
+        AllenRelation::OverlappedBy,
+        AllenRelation::StartedBy,
+        AllenRelation::Contains,
+        AllenRelation::FinishedBy,
+    ];
+
+    /// The inverse relation (`i R j ⟺ j R⁻¹ i`).
+    pub fn inverse(self) -> AllenRelation {
+        use AllenRelation::*;
+        match self {
+            Before => After,
+            After => Before,
+            Meets => MetBy,
+            MetBy => Meets,
+            Overlaps => OverlappedBy,
+            OverlappedBy => Overlaps,
+            Starts => StartedBy,
+            StartedBy => Starts,
+            During => Contains,
+            Contains => During,
+            Finishes => FinishedBy,
+            FinishedBy => Finishes,
+            Equals => Equals,
+        }
+    }
+
+    /// The endpoint constraints of `(s1,e1) R (s2,e2)` as a list of
+    /// `(endpoint, rel, endpoint)` triples over indices
+    /// `0 = s1, 1 = e1, 2 = s2, 3 = e2`. `(a, Lt, b)` means "a before b";
+    /// equality is encoded as the pair of `Le` atoms both ways.
+    pub fn endpoint_constraints(self) -> Vec<(usize, OrderRel, usize)> {
+        use AllenRelation::*;
+        use OrderRel::{Le, Lt};
+        // equality s = t as s <= t, t <= s (queries are constant-free and
+        // equality-free; N1 merges the variables).
+        let eq = |a: usize, b: usize| vec![(a, Le, b), (b, Le, a)];
+        match self {
+            Before => vec![(1, Lt, 2)],
+            Meets => eq(1, 2),
+            Overlaps => vec![(0, Lt, 2), (2, Lt, 1), (1, Lt, 3)],
+            Starts => {
+                let mut v = eq(0, 2);
+                v.push((1, Lt, 3));
+                v
+            }
+            During => vec![(2, Lt, 0), (1, Lt, 3)],
+            Finishes => {
+                let mut v = eq(1, 3);
+                v.push((2, Lt, 0));
+                v
+            }
+            Equals => {
+                let mut v = eq(0, 2);
+                v.extend(eq(1, 3));
+                v
+            }
+            other => other
+                .inverse()
+                .endpoint_constraints()
+                .into_iter()
+                // swap the interval roles: 0↔2, 1↔3
+                .map(|(a, r, b)| (a ^ 2, r, b ^ 2))
+                .collect(),
+        }
+    }
+}
+
+/// A stored interval: endpoints plus the object it concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Start endpoint.
+    pub start: OrdSym,
+    /// End endpoint.
+    pub end: OrdSym,
+    /// The object the interval is about.
+    pub object: ObjSym,
+}
+
+/// An interval store: a thin layer asserting `P(start, end, object)` facts
+/// with `start <= end` into an underlying [`Database`].
+#[derive(Debug, Clone)]
+pub struct IntervalStore {
+    /// The interval predicate, with signature `(ord, ord, obj)`.
+    pub pred: PredSym,
+    /// The underlying point database.
+    pub db: Database,
+    intervals: Vec<Interval>,
+}
+
+impl IntervalStore {
+    /// Creates a store over a named ternary predicate.
+    pub fn new(voc: &mut Vocabulary, pred_name: &str) -> Result<Self> {
+        let pred = voc.pred(pred_name, &[Sort::Order, Sort::Order, Sort::Object])?;
+        Ok(IntervalStore { pred, db: Database::new(), intervals: Vec::new() })
+    }
+
+    /// Asserts an interval for `object`, creating fresh endpoints named
+    /// from `hint`. Adds `start <= end` (degenerate intervals allowed; use
+    /// [`IntervalStore::assert_proper`] to require `start < end`).
+    pub fn assert(&mut self, voc: &mut Vocabulary, object: ObjSym, hint: &str) -> Interval {
+        self.assert_with(voc, object, hint, OrderRel::Le)
+    }
+
+    /// Asserts an interval with strictly ordered endpoints.
+    pub fn assert_proper(
+        &mut self,
+        voc: &mut Vocabulary,
+        object: ObjSym,
+        hint: &str,
+    ) -> Interval {
+        self.assert_with(voc, object, hint, OrderRel::Lt)
+    }
+
+    fn assert_with(
+        &mut self,
+        voc: &mut Vocabulary,
+        object: ObjSym,
+        hint: &str,
+        rel: OrderRel,
+    ) -> Interval {
+        let start = voc.fresh_ord(&format!("{hint}_s"));
+        let end = voc.fresh_ord(&format!("{hint}_e"));
+        match rel {
+            OrderRel::Lt => self.db.assert_lt(start, end),
+            OrderRel::Le => self.db.assert_le(start, end),
+            OrderRel::Ne => unreachable!("intervals are ordered"),
+        }
+        self.db.push_proper(ProperAtom {
+            pred: self.pred,
+            args: vec![Term::Ord(start), Term::Ord(end), Term::Obj(object)],
+        });
+        let iv = Interval { start, end, object };
+        self.intervals.push(iv);
+        iv
+    }
+
+    /// Asserts a known Allen relation between two stored intervals,
+    /// translating it to endpoint order atoms in the database.
+    /// Equality constraints become a `<=` pair (merged by N1).
+    pub fn relate(&mut self, i: Interval, r: AllenRelation, j: Interval) {
+        let endpoints = [i.start, i.end, j.start, j.end];
+        for (a, rel, b) in r.endpoint_constraints() {
+            match rel {
+                OrderRel::Lt => self.db.assert_lt(endpoints[a], endpoints[b]),
+                OrderRel::Le => self.db.assert_le(endpoints[a], endpoints[b]),
+                OrderRel::Ne => unreachable!(),
+            }
+        }
+    }
+
+    /// The stored intervals, in assertion order.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// The query "intervals `i` and `j` stand in relation `r`", as a
+    /// positive existential query over this store's predicate: the
+    /// endpoints are pinned to the stored constants with `<=`-pairs
+    /// (merged by N1 after constant elimination), then constrained by the
+    /// relation's endpoint atoms. Decide *necessity* with `D |= Φ`; decide
+    /// *possibility* through [`IntervalStore::possibly_query`].
+    pub fn relation_query(&self, i: Interval, r: AllenRelation, j: Interval) -> QueryExpr {
+        let vars = ["s1", "e1", "s2", "e2"];
+        let obj_vars = ["x1", "x2"];
+        let pin = |v: &str, c: OrdSym| {
+            QueryExpr::And(vec![
+                QueryExpr::Order {
+                    lhs: QTerm::Var(v.into()),
+                    rel: OrderRel::Le,
+                    rhs: QTerm::OrdConst(c),
+                },
+                QueryExpr::Order {
+                    lhs: QTerm::OrdConst(c),
+                    rel: OrderRel::Le,
+                    rhs: QTerm::Var(v.into()),
+                },
+            ])
+        };
+        let mut parts = vec![
+            QueryExpr::Proper {
+                pred: self.pred,
+                args: vec![
+                    QTerm::Var(vars[0].into()),
+                    QTerm::Var(vars[1].into()),
+                    QTerm::Var(obj_vars[0].into()),
+                ],
+            },
+            QueryExpr::Proper {
+                pred: self.pred,
+                args: vec![
+                    QTerm::Var(vars[2].into()),
+                    QTerm::Var(vars[3].into()),
+                    QTerm::Var(obj_vars[1].into()),
+                ],
+            },
+            pin(vars[0], i.start),
+            pin(vars[1], i.end),
+            pin(vars[2], j.start),
+            pin(vars[3], j.end),
+        ];
+        for (a, rel, b) in r.endpoint_constraints() {
+            parts.push(QueryExpr::Order {
+                lhs: QTerm::Var(vars[a].into()),
+                rel,
+                rhs: QTerm::Var(vars[b].into()),
+            });
+        }
+        let mut names: Vec<String> = vars.iter().map(|s| s.to_string()).collect();
+        names.extend(obj_vars.iter().map(|s| s.to_string()));
+        QueryExpr::Exists(names, Box::new(QueryExpr::And(parts)))
+    }
+
+    /// The disjunction of [`IntervalStore::relation_query`] over a set of
+    /// relations — e.g. "possibly before" is the *failure* of the
+    /// complementary necessity query.
+    pub fn possibly_query(
+        &self,
+        i: Interval,
+        rs: &[AllenRelation],
+        j: Interval,
+    ) -> QueryExpr {
+        let complement: Vec<QueryExpr> = AllenRelation::ALL
+            .iter()
+            .filter(|r| !rs.contains(r))
+            .map(|&r| self.relation_query(i, r, j))
+            .collect();
+        QueryExpr::Or(complement)
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::eliminate_constants;
+
+    fn setup() -> (Vocabulary, IntervalStore, Interval, Interval) {
+        let mut voc = Vocabulary::new();
+        let mut store = IntervalStore::new(&mut voc, "IV").unwrap();
+        let a = voc.obj("a");
+        let b = voc.obj("b");
+        let i = store.assert_proper(&mut voc, a, "i");
+        let j = store.assert_proper(&mut voc, b, "j");
+        (voc, store, i, j)
+    }
+
+    #[test]
+    fn inverses_are_involutive() {
+        for r in AllenRelation::ALL {
+            assert_eq!(r.inverse().inverse(), r);
+        }
+        assert_eq!(AllenRelation::Equals.inverse(), AllenRelation::Equals);
+    }
+
+    #[test]
+    fn endpoint_constraints_are_consistent() {
+        // Each relation's constraints must be satisfiable with s1<e1,
+        // s2<e2 — check against a brute-force placement of 4 endpoints.
+        for r in AllenRelation::ALL {
+            let cs = r.endpoint_constraints();
+            let mut found = false;
+            // endpoints take values 0..4 (with repetition)
+            'outer: for mask in 0..(4u32.pow(4)) {
+                let vals = [
+                    (mask % 4) as i32,
+                    (mask / 4 % 4) as i32,
+                    (mask / 16 % 4) as i32,
+                    (mask / 64 % 4) as i32,
+                ];
+                if vals[0] >= vals[1] || vals[2] >= vals[3] {
+                    continue; // proper intervals
+                }
+                for &(a, rel, b) in &cs {
+                    let ok = match rel {
+                        OrderRel::Lt => vals[a] < vals[b],
+                        OrderRel::Le => vals[a] <= vals[b],
+                        OrderRel::Ne => vals[a] != vals[b],
+                    };
+                    if !ok {
+                        continue 'outer;
+                    }
+                }
+                found = true;
+                break;
+            }
+            assert!(found, "{r:?} has unsatisfiable constraints");
+        }
+    }
+
+    #[test]
+    fn relations_are_mutually_exclusive_on_concrete_intervals() {
+        // For concrete integer intervals, exactly one Allen relation holds.
+        let cases = [
+            ((0, 2), (5, 7), AllenRelation::Before),
+            ((0, 2), (2, 7), AllenRelation::Meets),
+            ((0, 4), (2, 7), AllenRelation::Overlaps),
+            ((0, 2), (0, 7), AllenRelation::Starts),
+            ((3, 4), (2, 7), AllenRelation::During),
+            ((5, 7), (2, 7), AllenRelation::Finishes),
+            ((2, 7), (2, 7), AllenRelation::Equals),
+        ];
+        for ((s1, e1), (s2, e2), expected) in cases {
+            let vals = [s1, e1, s2, e2];
+            let mut holding = Vec::new();
+            for r in AllenRelation::ALL {
+                let ok = r.endpoint_constraints().iter().all(|&(a, rel, b)| match rel {
+                    OrderRel::Lt => vals[a] < vals[b],
+                    OrderRel::Le => vals[a] <= vals[b],
+                    OrderRel::Ne => vals[a] != vals[b],
+                });
+                if ok {
+                    holding.push(r);
+                }
+            }
+            assert_eq!(holding, vec![expected], "intervals {vals:?}");
+        }
+    }
+
+    #[test]
+    fn asserted_relation_becomes_necessary() {
+        let (mut voc, mut store, i, j) = setup();
+        store.relate(i, AllenRelation::Before, j);
+        let q = store.relation_query(i, AllenRelation::Before, j);
+        let (db, dnf) = eliminate_constants(&mut voc, &store.db, &q).unwrap();
+        // decided by the naive engine through the normalized database
+        let nd = db.normalize().unwrap();
+        let mut all_models_satisfy = true;
+        crate::toposort::for_each_minimal_model(&nd, &mut |m| {
+            if !m.satisfies(&dnf) {
+                all_models_satisfy = false;
+                false
+            } else {
+                true
+            }
+        })
+        .unwrap();
+        assert!(all_models_satisfy, "asserted Before must be certain");
+    }
+
+    #[test]
+    fn unrelated_intervals_have_no_necessary_relation() {
+        let (mut voc, store, i, j) = setup();
+        for r in AllenRelation::ALL {
+            let q = store.relation_query(i, r, j);
+            let (db, dnf) = eliminate_constants(&mut voc, &store.db, &q).unwrap();
+            let nd = db.normalize().unwrap();
+            let mut all = true;
+            crate::toposort::for_each_minimal_model(&nd, &mut |m| {
+                if !m.satisfies(&dnf) {
+                    all = false;
+                    false
+                } else {
+                    true
+                }
+            })
+            .unwrap();
+            assert!(!all, "{r:?} cannot be necessary between unrelated intervals");
+        }
+    }
+
+    #[test]
+    fn possibly_query_complements_necessity() {
+        let (mut voc, mut store, i, j) = setup();
+        store.relate(i, AllenRelation::Before, j);
+        // "possibly After" should FAIL: the complement (everything except
+        // After) is certain.
+        let poss_after = store.possibly_query(i, &[AllenRelation::After], j);
+        let (db, dnf) = eliminate_constants(&mut voc, &store.db, &poss_after).unwrap();
+        let nd = db.normalize().unwrap();
+        let mut all = true;
+        crate::toposort::for_each_minimal_model(&nd, &mut |m| {
+            if !m.satisfies(&dnf) {
+                all = false;
+                false
+            } else {
+                true
+            }
+        })
+        .unwrap();
+        // complement certain ⟹ After impossible.
+        assert!(all, "Before was asserted, so the non-After disjunction is certain");
+    }
+
+    #[test]
+    fn meets_merges_endpoints() {
+        let (mut voc, mut store, i, j) = setup();
+        store.relate(i, AllenRelation::Meets, j);
+        let nd = store.db.normalize().unwrap();
+        assert_eq!(nd.vertex(i.end), nd.vertex(j.start), "meets merges e1 with s2");
+        let _ = &mut voc;
+    }
+}

@@ -1,0 +1,82 @@
+//! # indord-core
+//!
+//! Data model and combinatorial substrate for **indefinite order databases**,
+//! after Ron van der Meyden, *"The Complexity of Querying Indefinite Data
+//! about Linearly Ordered Domains"* (PODS 1992 / JCSS 54, 1997).
+//!
+//! An indefinite order database is a finite set of ground *proper atoms*
+//! (ordinary facts such as `InCompound(t1, t2, agentA)`) together with
+//! *order atoms* `u < v` and `u <= v` over a special sort of **order
+//! constants** — null-like values denoting unknown points of a linearly
+//! ordered domain (time, positions in a sequence, stratigraphic depth, ...).
+//! The database only pins down a *partial* order; query answering asks what
+//! holds in **every** compatible linear order (certain-answer semantics).
+//!
+//! This crate provides:
+//!
+//! * [`sym`] — interned symbols and the two-sorted [`sym::Vocabulary`];
+//! * [`bitset`] — dense bitsets used for label sets and reachability;
+//! * [`atom`] / [`database`] — ground facts and the [`database::Database`] type;
+//! * [`query`] — positive existential queries, DNF normal form,
+//!   tightness (Prop. 2.2) and fullness (§2) transforms;
+//! * [`ordgraph`] — the order dag: normalization rules N1/N2, consistency,
+//!   derived-atom closure, width (maximum antichain), minor vertices;
+//! * [`toposort`] — the paper's generalized topological sorts (rules S1/S2)
+//!   and exhaustive minimal-model enumeration (Prop. 2.8);
+//! * [`model`] — finite models, minimal models, and model checking;
+//! * [`flexi`] — flexi-words `A·({<,<=}·A)*` (§4) and the subword relation;
+//! * [`monadic`] — labelled-dag views of monadic databases and queries and
+//!   the `Paths(·)` decomposition (Lemma 4.1);
+//! * [`parse`] — a small text syntax for databases and queries.
+//!
+//! Entailment engines live in the companion crate `indord-entail`; the
+//! order-type semantics (`Fin`/`Z`/`Q`, §2 of the paper) in
+//! `indord-semantics`.
+//!
+//! ## Example
+//!
+//! ```
+//! use indord_core::prelude::*;
+//!
+//! let mut voc = Vocabulary::new();
+//! let db = parse_database(
+//!     &mut voc,
+//!     "P(u); Q(v); u < v;",
+//! ).unwrap();
+//! let q = parse_query(&mut voc, "exists s t. P(s) & s < t & Q(t)").unwrap();
+//! // `db` has a single minimal model shape: P then Q, so the query is
+//! // certain. (Engines in indord-entail decide this; here we just build.)
+//! assert_eq!(db.order_constant_count(), 2);
+//! assert_eq!(q.disjuncts().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atom;
+pub mod bitset;
+pub mod database;
+pub mod error;
+pub mod flexi;
+pub mod intervals;
+pub mod model;
+pub mod monadic;
+pub mod ordgraph;
+pub mod parse;
+pub mod query;
+pub mod sym;
+pub mod toposort;
+
+/// Convenient re-exports of the most common types.
+pub mod prelude {
+    pub use crate::atom::{OrderAtom, OrderRel, ProperAtom, Term};
+    pub use crate::database::Database;
+    pub use crate::error::{CoreError, Result};
+    pub use crate::flexi::FlexiWord;
+    pub use crate::model::{FiniteModel, MonadicModel};
+    pub use crate::monadic::{MonadicDatabase, MonadicQuery};
+    pub use crate::ordgraph::OrderGraph;
+    pub use crate::parse::{parse_database, parse_query};
+    pub use crate::query::{ConjunctiveQuery, DnfQuery, QueryExpr};
+    pub use crate::sym::{ObjSym, OrdSym, PredSym, Sort, Vocabulary};
+}

@@ -1,0 +1,454 @@
+//! Finite models and model checking.
+//!
+//! A structure for an order database interprets the order sort as a linear
+//! order and supports the database atoms (§2). For entailment it suffices to
+//! consider **minimal models** (Prop. 2.8 / Cor. 2.9): models obtained by
+//! interpreting object constants as themselves and topologically sorting
+//! the order dag. [`FiniteModel`] represents such models with points
+//! `0 < 1 < … < n-1`.
+//!
+//! [`FiniteModel::satisfies`] implements model checking of positive
+//! existential queries (the expression-complexity-in-NP observation of
+//! §3) by backtracking homomorphism search, including `!=` atoms (§7).
+
+use crate::bitset::PredSet;
+use crate::query::{ConjunctiveQuery, DnfQuery, QArg};
+use crate::sym::{ObjSym, OrdSym, PredSym, Vocabulary};
+use crate::atom::OrderRel;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A term of a finite model's facts: an object constant or a point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MTerm {
+    /// An object constant (interpreted as itself in minimal models).
+    Obj(ObjSym),
+    /// A point of the finite linear order, `0 <= p < n_points`.
+    Pt(usize),
+}
+
+/// A ground fact holding in a finite model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroundFact {
+    /// The predicate.
+    pub pred: PredSym,
+    /// Arguments (objects and points).
+    pub args: Vec<MTerm>,
+}
+
+/// A finite model: `n_points` linearly ordered points, an interpretation of
+/// the database's order constants, and the proper facts that hold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiniteModel {
+    /// Number of points; point `i` precedes point `j` iff `i < j`.
+    pub n_points: usize,
+    /// Interpretation of order constants.
+    pub point_of: HashMap<OrdSym, usize>,
+    /// The proper facts.
+    pub facts: Vec<GroundFact>,
+}
+
+impl FiniteModel {
+    /// The object constants occurring in the facts.
+    pub fn objects(&self) -> Vec<ObjSym> {
+        let mut seen = HashMap::new();
+        let mut out = Vec::new();
+        for f in &self.facts {
+            for a in &f.args {
+                if let MTerm::Obj(o) = a {
+                    if seen.insert(*o, ()).is_none() {
+                        out.push(*o);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Model checking: `M |= Φ` for a DNF positive existential query,
+    /// by backtracking homomorphism search disjunct by disjunct.
+    pub fn satisfies(&self, query: &DnfQuery) -> bool {
+        query.disjuncts.iter().any(|cq| self.satisfies_conjunct(cq))
+    }
+
+    /// Model checking for a single conjunctive disjunct.
+    pub fn satisfies_conjunct(&self, cq: &ConjunctiveQuery) -> bool {
+        // Index facts by predicate.
+        let mut by_pred: HashMap<PredSym, Vec<&GroundFact>> = HashMap::new();
+        for f in &self.facts {
+            by_pred.entry(f.pred).or_default().push(f);
+        }
+        let mut obj_assign: Vec<Option<ObjSym>> = vec![None; cq.n_obj_vars];
+        let mut ord_assign: Vec<Option<usize>> = vec![None; cq.n_ord_vars];
+        self.match_proper(cq, &by_pred, 0, &mut obj_assign, &mut ord_assign)
+    }
+
+    fn order_atoms_consistent(
+        cq: &ConjunctiveQuery,
+        ord_assign: &[Option<usize>],
+    ) -> bool {
+        cq.order.iter().all(|&(l, rel, r)| {
+            match (ord_assign[l as usize], ord_assign[r as usize]) {
+                (Some(a), Some(b)) => match rel {
+                    OrderRel::Lt => a < b,
+                    OrderRel::Le => a <= b,
+                    OrderRel::Ne => a != b,
+                },
+                _ => true, // not yet fully assigned
+            }
+        })
+    }
+
+    fn match_proper(
+        &self,
+        cq: &ConjunctiveQuery,
+        by_pred: &HashMap<PredSym, Vec<&GroundFact>>,
+        atom_idx: usize,
+        obj_assign: &mut Vec<Option<ObjSym>>,
+        ord_assign: &mut Vec<Option<usize>>,
+    ) -> bool {
+        if atom_idx == cq.proper.len() {
+            return self.assign_order_only(cq, 0, ord_assign);
+        }
+        let atom = &cq.proper[atom_idx];
+        let Some(facts) = by_pred.get(&atom.pred) else {
+            return false;
+        };
+        'facts: for f in facts {
+            debug_assert_eq!(f.args.len(), atom.args.len());
+            // Attempt unification, remembering what we newly bound.
+            let mut bound_obj: Vec<usize> = Vec::new();
+            let mut bound_ord: Vec<usize> = Vec::new();
+            let undo = |obj_assign: &mut Vec<Option<ObjSym>>,
+                            ord_assign: &mut Vec<Option<usize>>,
+                            bound_obj: &[usize],
+                            bound_ord: &[usize]| {
+                for &i in bound_obj {
+                    obj_assign[i] = None;
+                }
+                for &i in bound_ord {
+                    ord_assign[i] = None;
+                }
+            };
+            for (qa, ma) in atom.args.iter().zip(&f.args) {
+                let ok = match (qa, ma) {
+                    (QArg::Obj(i), MTerm::Obj(o)) => {
+                        let i = *i as usize;
+                        match obj_assign[i] {
+                            Some(prev) => prev == *o,
+                            None => {
+                                obj_assign[i] = Some(*o);
+                                bound_obj.push(i);
+                                true
+                            }
+                        }
+                    }
+                    (QArg::Ord(i), MTerm::Pt(p)) => {
+                        let i = *i as usize;
+                        match ord_assign[i] {
+                            Some(prev) => prev == *p,
+                            None => {
+                                ord_assign[i] = Some(*p);
+                                bound_ord.push(i);
+                                true
+                            }
+                        }
+                    }
+                    _ => false, // sort clash: ill-typed fact for this atom
+                };
+                if !ok {
+                    undo(obj_assign, ord_assign, &bound_obj, &bound_ord);
+                    continue 'facts;
+                }
+            }
+            if !Self::order_atoms_consistent(cq, ord_assign) {
+                undo(obj_assign, ord_assign, &bound_obj, &bound_ord);
+                continue 'facts;
+            }
+            if self.match_proper(cq, by_pred, atom_idx + 1, obj_assign, ord_assign) {
+                return true;
+            }
+            undo(obj_assign, ord_assign, &bound_obj, &bound_ord);
+        }
+        false
+    }
+
+    /// Assigns the order variables not bound by any proper atom (the
+    /// non-tight variables) by iterating over all points.
+    fn assign_order_only(
+        &self,
+        cq: &ConjunctiveQuery,
+        from: usize,
+        ord_assign: &mut Vec<Option<usize>>,
+    ) -> bool {
+        let Some(next) = (from..cq.n_ord_vars).find(|&i| ord_assign[i].is_none()) else {
+            return Self::order_atoms_consistent(cq, ord_assign);
+        };
+        for p in 0..self.n_points {
+            ord_assign[next] = Some(p);
+            if Self::order_atoms_consistent(cq, ord_assign)
+                && self.assign_order_only(cq, next + 1, ord_assign)
+            {
+                return true;
+            }
+            ord_assign[next] = None;
+        }
+        false
+    }
+
+    /// Renders the model point by point.
+    pub fn display<'a>(&'a self, voc: &'a Vocabulary) -> impl fmt::Display + 'a {
+        DisplayModel { m: self, voc }
+    }
+}
+
+struct DisplayModel<'a> {
+    m: &'a FiniteModel,
+    voc: &'a Vocabulary,
+}
+
+impl fmt::Display for DisplayModel<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "points 0..{}", self.m.n_points)?;
+        let mut consts: Vec<(&str, usize)> = self
+            .m
+            .point_of
+            .iter()
+            .map(|(u, &p)| (self.voc.ord_name(*u), p))
+            .collect();
+        consts.sort_by_key(|&(_, p)| p);
+        for (name, p) in consts {
+            writeln!(f, "  {name} ↦ {p}")?;
+        }
+        for fact in &self.m.facts {
+            write!(f, "  {}(", self.voc.pred_name(fact.pred))?;
+            for (i, a) in fact.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                match a {
+                    MTerm::Obj(o) => write!(f, "{}", self.voc.obj_name(*o))?,
+                    MTerm::Pt(p) => write!(f, "pt{p}")?,
+                }
+            }
+            writeln!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// A finite model over monadic (order-sorted) predicates: one label set per
+/// point. This is exactly the *word representation* of models from §4 —
+/// `M[u₁] < M[u₂] < … < M[uₙ]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct MonadicModel {
+    /// `labels[p]` is the set of predicates true at point `p`.
+    pub labels: Vec<PredSet>,
+}
+
+impl MonadicModel {
+    /// Builds from label sets.
+    pub fn new(labels: Vec<PredSet>) -> Self {
+        MonadicModel { labels }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the model has no points.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Renders as a word, e.g. `{P,Q} {R} {}`.
+    pub fn display<'a>(&'a self, voc: &'a Vocabulary) -> impl fmt::Display + 'a {
+        DisplayMonadic { m: self, voc }
+    }
+}
+
+struct DisplayMonadic<'a> {
+    m: &'a MonadicModel,
+    voc: &'a Vocabulary,
+}
+
+impl fmt::Display for DisplayMonadic<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, l) in self.m.labels.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{{")?;
+            for (j, p) in l.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{}", self.voc.pred_name(p))?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryExpr;
+    use crate::sym::Sort;
+
+    fn fixture() -> (Vocabulary, FiniteModel) {
+        let mut v = Vocabulary::new();
+        v.pred("P", &[Sort::Object, Sort::Order]).unwrap();
+        v.monadic_pred("Q");
+        let p = v.find_pred("P").unwrap();
+        let q = v.find_pred("Q").unwrap();
+        let a = v.obj("a");
+        let b = v.obj("b");
+        let m = FiniteModel {
+            n_points: 3,
+            point_of: HashMap::new(),
+            facts: vec![
+                GroundFact { pred: p, args: vec![MTerm::Obj(a), MTerm::Pt(0)] },
+                GroundFact { pred: p, args: vec![MTerm::Obj(b), MTerm::Pt(2)] },
+                GroundFact { pred: q, args: vec![MTerm::Pt(1)] },
+            ],
+        };
+        (v, m)
+    }
+
+    fn dnf(v: &Vocabulary, e: QueryExpr) -> DnfQuery {
+        e.to_dnf(v).unwrap()
+    }
+
+    #[test]
+    fn positive_match() {
+        let (v, m) = fixture();
+        let p = v.find_pred("P").unwrap();
+        // exists x s t. P(x,s) & s < t & P(x2,t) with distinct object vars
+        let e = QueryExpr::Exists(
+            vec!["x".into(), "y".into(), "s".into(), "t".into()],
+            Box::new(QueryExpr::And(vec![
+                QueryExpr::Proper {
+                    pred: p,
+                    args: vec![crate::query::QTerm::Var("x".into()), crate::query::QTerm::Var("s".into())],
+                },
+                QueryExpr::lt("s", "t"),
+                QueryExpr::Proper {
+                    pred: p,
+                    args: vec![crate::query::QTerm::Var("y".into()), crate::query::QTerm::Var("t".into())],
+                },
+            ])),
+        );
+        assert!(m.satisfies(&dnf(&v, e)));
+    }
+
+    #[test]
+    fn object_variable_consistency() {
+        let (v, m) = fixture();
+        let p = v.find_pred("P").unwrap();
+        // same object at two strictly ordered times: a is at 0 only, b at 2
+        // only, so this must fail.
+        let e = QueryExpr::Exists(
+            vec!["x".into(), "s".into(), "t".into()],
+            Box::new(QueryExpr::And(vec![
+                QueryExpr::Proper {
+                    pred: p,
+                    args: vec![crate::query::QTerm::Var("x".into()), crate::query::QTerm::Var("s".into())],
+                },
+                QueryExpr::lt("s", "t"),
+                QueryExpr::Proper {
+                    pred: p,
+                    args: vec![crate::query::QTerm::Var("x".into()), crate::query::QTerm::Var("t".into())],
+                },
+            ])),
+        );
+        assert!(!m.satisfies(&dnf(&v, e)));
+    }
+
+    #[test]
+    fn order_only_variable_needs_intermediate_point() {
+        let (v, m) = fixture();
+        let q = v.find_pred("Q").unwrap();
+        // exists s w t. Q(s) & s < w & w < t — needs two points above Q(1):
+        // only point 2 exists above 1, so exists w: 1 < w < t fails… w=2
+        // needs t>2 which does not exist. Must fail.
+        let e = QueryExpr::Exists(
+            vec!["s".into(), "w".into(), "t".into()],
+            Box::new(QueryExpr::And(vec![
+                QueryExpr::atom1(q, "s"),
+                QueryExpr::lt("s", "w"),
+                QueryExpr::lt("w", "t"),
+            ])),
+        );
+        assert!(!m.satisfies(&dnf(&v, e)));
+        // exists s w. Q(s) & s < w succeeds with w = 2.
+        let e = QueryExpr::Exists(
+            vec!["s".into(), "w".into()],
+            Box::new(QueryExpr::And(vec![
+                QueryExpr::atom1(q, "s"),
+                QueryExpr::lt("s", "w"),
+            ])),
+        );
+        assert!(m.satisfies(&dnf(&v, e)));
+    }
+
+    #[test]
+    fn le_and_ne_atoms() {
+        let (v, m) = fixture();
+        let q = v.find_pred("Q").unwrap();
+        // exists s t. Q(s) & s <= t & s != t: t must differ from s → t=2 ok? s=1, t must be >= 1 and != 1 → t=2. holds.
+        let e = QueryExpr::Exists(
+            vec!["s".into(), "t".into()],
+            Box::new(QueryExpr::And(vec![
+                QueryExpr::atom1(q, "s"),
+                QueryExpr::le("s", "t"),
+                QueryExpr::ne("s", "t"),
+            ])),
+        );
+        assert!(m.satisfies(&dnf(&v, e)));
+    }
+
+    #[test]
+    fn disjunction_checked_per_disjunct() {
+        let (v, m) = fixture();
+        let q = v.find_pred("Q").unwrap();
+        // (exists s t. Q(s) & Q(t) & s<t)  |  (exists s. Q(s))
+        let e = QueryExpr::Or(vec![
+            QueryExpr::Exists(
+                vec!["s".into(), "t".into()],
+                Box::new(QueryExpr::And(vec![
+                    QueryExpr::atom1(q, "s"),
+                    QueryExpr::atom1(q, "t"),
+                    QueryExpr::lt("s", "t"),
+                ])),
+            ),
+            QueryExpr::Exists(vec!["s".into()], Box::new(QueryExpr::atom1(q, "s"))),
+        ]);
+        assert!(m.satisfies(&dnf(&v, e)));
+    }
+
+    #[test]
+    fn empty_model_satisfies_nothing_with_atoms() {
+        let (v, _) = fixture();
+        let q = v.find_pred("Q").unwrap();
+        let m = FiniteModel { n_points: 0, point_of: HashMap::new(), facts: vec![] };
+        let e = QueryExpr::Exists(vec!["s".into()], Box::new(QueryExpr::atom1(q, "s")));
+        assert!(!m.satisfies(&dnf(&v, e)));
+    }
+
+    #[test]
+    fn monadic_model_display() {
+        let mut v = Vocabulary::new();
+        let p = v.monadic_pred("P");
+        let q = v.monadic_pred("Q");
+        let m = MonadicModel::new(vec![
+            [p, q].into_iter().collect(),
+            PredSet::new(),
+            PredSet::singleton(q),
+        ]);
+        assert_eq!(m.display(&v).to_string(), "{P,Q} {} {Q}");
+        assert_eq!(m.len(), 3);
+    }
+}

@@ -1,0 +1,628 @@
+//! Monadic databases and queries as labelled dags (§4).
+//!
+//! When all predicates are monadic, a normalized database is exactly a
+//! vertex-labelled dag: `D[u]` is the set of predicates `P` with `P(u) ∈ D`
+//! (Fig. 5 of the paper shows the query version). This module provides
+//! [`MonadicDatabase`] and [`MonadicQuery`] in that representation,
+//! conversions from the general types, the object/order query split of §4,
+//! and the `Paths(·)` enumeration used by Lemma 4.1.
+
+use crate::atom::{OrderRel, Term};
+use crate::bitset::PredSet;
+use crate::database::NormalDatabase;
+use crate::error::{CoreError, Result};
+use crate::flexi::FlexiWord;
+use crate::model::MonadicModel;
+use crate::ordgraph::OrderGraph;
+use crate::query::{ConjunctiveQuery, QArg};
+use crate::sym::Vocabulary;
+
+/// A monadic database: an order dag with a predicate-set label per vertex,
+/// plus optional `!=` constraints between vertices (§7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonadicDatabase {
+    /// The order dag.
+    pub graph: OrderGraph,
+    /// `labels[v] = D[v]`, the predicates asserted of vertex `v`.
+    pub labels: Vec<PredSet>,
+    /// Inequality constraints (vertex pairs); empty in the `[<,<=]` case.
+    pub ne: Vec<(usize, usize)>,
+}
+
+impl MonadicDatabase {
+    /// Builds from a normalized database, requiring every proper atom to be
+    /// monadic over the order sort. Labels of constants merged by N1 are
+    /// unioned.
+    pub fn from_normal(voc: &Vocabulary, db: &NormalDatabase) -> Result<Self> {
+        let mut labels = vec![PredSet::new(); db.graph.len()];
+        for a in &db.proper {
+            let sig = voc.signature(a.pred);
+            if !sig.is_monadic_order() {
+                return Err(CoreError::NotMonadic {
+                    pred: voc.pred_name(a.pred).to_string(),
+                });
+            }
+            match a.args[0] {
+                Term::Ord(u) => labels[db.vertex_of[&u]].insert(a.pred),
+                Term::Obj(_) => unreachable!("signature is order-sorted"),
+            };
+        }
+        Ok(MonadicDatabase { graph: db.graph.clone(), labels, ne: db.ne.clone() })
+    }
+
+    /// Builds directly from a dag and labels.
+    pub fn new(graph: OrderGraph, labels: Vec<PredSet>) -> Self {
+        assert_eq!(graph.len(), labels.len());
+        MonadicDatabase { graph, labels, ne: Vec::new() }
+    }
+
+    /// Builds the width-one database of a flexi-word.
+    pub fn from_flexiword(w: &FlexiWord) -> Self {
+        let n = w.len();
+        let edges: Vec<(usize, usize, OrderRel)> =
+            (0..n.saturating_sub(1)).map(|i| (i, i + 1, w.rels()[i])).collect();
+        let graph = OrderGraph::from_dag_edges(n, &edges).expect("chain is acyclic");
+        MonadicDatabase { graph, labels: w.labels().to_vec(), ne: Vec::new() }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// True when the database has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// The width of the database (§2).
+    pub fn width(&self) -> usize {
+        self.graph.width()
+    }
+
+    /// Size measure `|D|` = vertices + edges.
+    pub fn size(&self) -> usize {
+        self.graph.len() + self.graph.edge_count()
+    }
+
+    /// Converts back to a flexi-word when the database has width ≤ 1.
+    ///
+    /// Consecutive vertices in the chain are related by `<` when a strict
+    /// path joins them and `<=` otherwise. Unrelated vertices would make
+    /// the width exceed one.
+    pub fn to_flexiword(&self) -> Result<FlexiWord> {
+        if self.graph.len() > 1 && self.graph.width() > 1 {
+            return Err(CoreError::NotSequential);
+        }
+        let order = chain_order(&self.graph)?;
+        let strict = self.graph.strict_reachability();
+        let mut w = FlexiWord::empty();
+        for (i, &v) in order.iter().enumerate() {
+            let rel = if i == 0 {
+                OrderRel::Lt // ignored for the first letter
+            } else if strict[order[i - 1]].contains(v) {
+                OrderRel::Lt
+            } else {
+                OrderRel::Le
+            };
+            w.push(rel, self.labels[v].clone());
+        }
+        Ok(w)
+    }
+
+    /// Enumerates `Paths(D)`: the flexi-words of the maximal width-one
+    /// sub-dags, realized as source-to-sink edge paths.
+    pub fn paths(&self) -> PathsIter<'_> {
+        PathsIter::new(&self.graph, &self.labels)
+    }
+
+    /// Number of source-to-sink paths (computed by DP, no enumeration).
+    pub fn path_count(&self) -> u128 {
+        path_count(&self.graph)
+    }
+
+    /// The minimal models of a width-one `[<,<=]` database are obtained by
+    /// merging `<=`-adjacent letters; the *unique* minimal model exists
+    /// only for words. For general use see the `indord-entail` engines.
+    pub fn as_unique_model(&self) -> Option<MonadicModel> {
+        let w = self.to_flexiword().ok()?;
+        w.is_word().then(|| MonadicModel::new(w.labels().to_vec()))
+    }
+}
+
+/// A conjunctive monadic query as a labelled dag (Fig. 5), plus optional
+/// `!=` atoms between variables (§7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonadicQuery {
+    /// The order dag over the query's order variables.
+    pub graph: OrderGraph,
+    /// `labels[t] = Φ[t]`, the predicates required of variable `t`.
+    pub labels: Vec<PredSet>,
+    /// Inequality atoms (§7).
+    pub ne: Vec<(usize, usize)>,
+}
+
+impl MonadicQuery {
+    /// Builds from a normalized conjunctive query, requiring every proper
+    /// atom to be monadic over the order sort (use
+    /// [`split_object_part`] first when monadic-object atoms are present).
+    pub fn from_conjunctive(voc: &Vocabulary, cq: &ConjunctiveQuery) -> Result<Self> {
+        let mut labels = vec![PredSet::new(); cq.n_ord_vars];
+        for a in &cq.proper {
+            let sig = voc.signature(a.pred);
+            if !sig.is_monadic_order() {
+                return Err(CoreError::NotMonadic {
+                    pred: voc.pred_name(a.pred).to_string(),
+                });
+            }
+            match a.args[0] {
+                QArg::Ord(t) => labels[t as usize].insert(a.pred),
+                QArg::Obj(_) => unreachable!("signature is order-sorted"),
+            };
+        }
+        let graph = cq.order_graph();
+        let ne = cq
+            .order
+            .iter()
+            .filter(|(_, r, _)| *r == OrderRel::Ne)
+            .map(|&(l, _, r)| (l as usize, r as usize))
+            .collect();
+        Ok(MonadicQuery { graph, labels, ne })
+    }
+
+    /// Builds directly from a dag and labels.
+    pub fn new(graph: OrderGraph, labels: Vec<PredSet>) -> Self {
+        assert_eq!(graph.len(), labels.len());
+        MonadicQuery { graph, labels, ne: Vec::new() }
+    }
+
+    /// Builds the sequential query of a flexi-word.
+    pub fn from_flexiword(w: &FlexiWord) -> Self {
+        let db = MonadicDatabase::from_flexiword(w);
+        MonadicQuery { graph: db.graph, labels: db.labels, ne: Vec::new() }
+    }
+
+    /// Number of order variables.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// True when the query has no variables (trivially true query).
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Size measure `|Φ|` = variables + atoms.
+    pub fn size(&self) -> usize {
+        self.graph.len() + self.graph.edge_count() + self.ne.len()
+    }
+
+    /// Sequentiality: dag width ≤ 1 and no `!=` atoms.
+    pub fn is_sequential(&self) -> bool {
+        self.ne.is_empty() && (self.graph.len() <= 1 || self.graph.width() <= 1)
+    }
+
+    /// Width of the query dag.
+    pub fn width(&self) -> usize {
+        self.graph.width()
+    }
+
+    /// Converts a sequential query to its flexi-word.
+    pub fn to_flexiword(&self) -> Result<FlexiWord> {
+        if !self.is_sequential() {
+            return Err(CoreError::NotSequential);
+        }
+        MonadicDatabase { graph: self.graph.clone(), labels: self.labels.clone(), ne: Vec::new() }
+            .to_flexiword()
+    }
+
+    /// Enumerates `Paths(Φ)` (Lemma 4.1): the maximal sequential subqueries
+    /// as flexi-words, realized as source-to-sink edge paths of the dag.
+    pub fn paths(&self) -> PathsIter<'_> {
+        PathsIter::new(&self.graph, &self.labels)
+    }
+
+    /// Number of paths (DP).
+    pub fn path_count(&self) -> u128 {
+        path_count(&self.graph)
+    }
+
+    /// Naive model checking `M |= Φ` by backtracking assignment of query
+    /// vertices to points (used as a test oracle; the efficient checker is
+    /// `indord-entail`'s `modelcheck`, Cor. 5.1).
+    pub fn holds_in_naive(&self, m: &MonadicModel) -> bool {
+        let n = self.graph.len();
+        let mut assign = vec![usize::MAX; n];
+        self.backtrack(m, &mut assign, 0)
+    }
+
+    fn backtrack(&self, m: &MonadicModel, assign: &mut Vec<usize>, v: usize) -> bool {
+        if v == self.graph.len() {
+            return true;
+        }
+        'points: for p in 0..m.len() {
+            if !self.labels[v].is_subset(&m.labels[p]) {
+                continue;
+            }
+            assign[v] = p;
+            // check all order atoms with both endpoints assigned
+            for (a, b, rel) in self.graph.edges() {
+                let (pa, pb) = (assign[a], assign[b]);
+                if pa == usize::MAX || pb == usize::MAX {
+                    continue;
+                }
+                let ok = match rel {
+                    OrderRel::Lt => pa < pb,
+                    OrderRel::Le => pa <= pb,
+                    OrderRel::Ne => unreachable!(),
+                };
+                if !ok {
+                    assign[v] = usize::MAX;
+                    continue 'points;
+                }
+            }
+            for &(a, b) in &self.ne {
+                let (pa, pb) = (assign[a], assign[b]);
+                if pa != usize::MAX && pb != usize::MAX && pa == pb {
+                    assign[v] = usize::MAX;
+                    continue 'points;
+                }
+            }
+            if self.backtrack(m, assign, v + 1) {
+                return true;
+            }
+            assign[v] = usize::MAX;
+        }
+        false
+    }
+}
+
+/// Totally orders the vertices of a width-≤1 dag by reachability.
+fn chain_order(g: &OrderGraph) -> Result<Vec<usize>> {
+    let reach = g.reachability();
+    let mut order: Vec<usize> = (0..g.len()).collect();
+    // Sort by number of reachable vertices, descending — in a chain this is
+    // a strict total order.
+    order.sort_by_key(|&v| std::cmp::Reverse(reach[v].len()));
+    for w in order.windows(2) {
+        if !reach[w[0]].contains(w[1]) {
+            return Err(CoreError::NotSequential);
+        }
+    }
+    Ok(order)
+}
+
+/// DP count of source-to-sink paths of a dag.
+fn path_count(g: &OrderGraph) -> u128 {
+    let order = g.topo_order();
+    let mut count = vec![0u128; g.len()];
+    let mut total = 0u128;
+    for &v in order.iter().rev() {
+        if g.successors(v).is_empty() {
+            count[v] = 1;
+        } else {
+            count[v] = g
+                .successors(v)
+                .iter()
+                .map(|&(w, _)| count[w as usize])
+                .sum();
+        }
+        if g.predecessors(v).is_empty() {
+            total += count[v];
+        }
+    }
+    total
+}
+
+/// Lazy iterator over the source-to-sink edge paths of a labelled dag,
+/// yielding each as a [`FlexiWord`].
+pub struct PathsIter<'a> {
+    graph: &'a OrderGraph,
+    labels: &'a [PredSet],
+    /// The vertices of the current path.
+    stack: Vec<usize>,
+    /// `branch[j]` is the successor-edge index taken from `stack[j]`
+    /// (`stack.len()-1` entries).
+    branch: Vec<usize>,
+    /// `rels[j]` is the label of that edge (`stack.len()-1` entries).
+    rels: Vec<OrderRel>,
+    sources: Vec<usize>,
+    next_source: usize,
+    done: bool,
+}
+
+impl<'a> PathsIter<'a> {
+    fn new(graph: &'a OrderGraph, labels: &'a [PredSet]) -> Self {
+        let sources: Vec<usize> = (0..graph.len())
+            .filter(|&v| graph.predecessors(v).is_empty())
+            .collect();
+        PathsIter {
+            graph,
+            labels,
+            stack: Vec::new(),
+            branch: Vec::new(),
+            rels: Vec::new(),
+            sources,
+            next_source: 0,
+            done: graph.is_empty(),
+        }
+    }
+
+    fn current_word(&self) -> FlexiWord {
+        let labels = self.stack.iter().map(|&v| self.labels[v].clone()).collect();
+        FlexiWord::new(labels, self.rels.clone())
+    }
+
+    /// Extends the path from the top vertex to a sink, always taking the
+    /// first successor edge.
+    fn descend(&mut self) {
+        loop {
+            let v = *self.stack.last().expect("descend on nonempty stack");
+            let succ = self.graph.successors(v);
+            if succ.is_empty() {
+                return;
+            }
+            let (w, rel) = succ[0];
+            self.branch.push(0);
+            self.rels.push(rel);
+            self.stack.push(w as usize);
+        }
+    }
+
+    /// Advances to the next path after having yielded the current one.
+    fn advance(&mut self) {
+        loop {
+            self.stack.pop();
+            if self.stack.is_empty() {
+                self.next_source += 1;
+                if self.next_source >= self.sources.len() {
+                    self.done = true;
+                }
+                return;
+            }
+            let v = *self.stack.last().expect("nonempty");
+            let i = self.branch.pop().expect("branch per inner vertex");
+            self.rels.pop();
+            let succ = self.graph.successors(v);
+            if i + 1 < succ.len() {
+                let (w, rel) = succ[i + 1];
+                self.branch.push(i + 1);
+                self.rels.push(rel);
+                self.stack.push(w as usize);
+                self.descend();
+                return;
+            }
+        }
+    }
+}
+
+impl Iterator for PathsIter<'_> {
+    type Item = FlexiWord;
+
+    fn next(&mut self) -> Option<FlexiWord> {
+        if self.done {
+            return None;
+        }
+        if self.stack.is_empty() {
+            if self.next_source >= self.sources.len() {
+                self.done = true;
+                return None;
+            }
+            self.stack.push(self.sources[self.next_source]);
+            self.descend();
+        }
+        let w = self.current_word();
+        self.advance();
+        Some(w)
+    }
+}
+
+/// The object part of a monadic query disjunct (§4): for each object
+/// variable, the monadic-object predicates required of it. Evaluated
+/// directly against the definite facts, independent of the order part.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObjectPart {
+    /// Required predicate set per object variable.
+    pub requirements: Vec<PredSet>,
+}
+
+impl ObjectPart {
+    /// Evaluates against the definite facts of a database: each variable
+    /// needs some object constant carrying all its required predicates.
+    /// Takes the facts as `(pred, object)` pairs.
+    pub fn holds(&self, facts: &[(crate::sym::PredSym, crate::sym::ObjSym)]) -> bool {
+        use std::collections::HashMap;
+        let mut by_obj: HashMap<crate::sym::ObjSym, PredSet> = HashMap::new();
+        for &(p, o) in facts {
+            by_obj.entry(o).or_default().insert(p);
+        }
+        self.requirements
+            .iter()
+            .all(|req| by_obj.values().any(|have| req.is_subset(have)))
+    }
+}
+
+/// Splits a conjunctive query with monadic predicates of both sorts into
+/// its object part and order part: `Φ = ∃x Φ₁(x) ∧ ∃t Φ₂(t)` (§4). Errors
+/// on predicates that are neither monadic-object nor monadic-order.
+pub fn split_object_part(
+    voc: &Vocabulary,
+    cq: &ConjunctiveQuery,
+) -> Result<(ObjectPart, MonadicQuery)> {
+    let mut requirements = vec![PredSet::new(); cq.n_obj_vars];
+    let mut order_atoms = Vec::new();
+    for a in &cq.proper {
+        let sig = voc.signature(a.pred);
+        if sig.is_monadic_object() {
+            match a.args[0] {
+                QArg::Obj(x) => {
+                    requirements[x as usize].insert(a.pred);
+                }
+                QArg::Ord(_) => unreachable!(),
+            }
+        } else if sig.is_monadic_order() {
+            order_atoms.push(a.clone());
+        } else {
+            return Err(CoreError::NotMonadic { pred: voc.pred_name(a.pred).to_string() });
+        }
+    }
+    let order_cq = ConjunctiveQuery {
+        n_obj_vars: 0,
+        n_ord_vars: cq.n_ord_vars,
+        proper: order_atoms,
+        order: cq.order.clone(),
+    };
+    let mq = MonadicQuery::from_conjunctive(voc, &order_cq)?;
+    // Drop variables with no requirements? No: an object variable with no
+    // atoms cannot arise (variables are introduced by atom occurrences).
+    Ok((ObjectPart { requirements }, mq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::OrderRel::{Le, Lt};
+    use crate::sym::{PredSym, Sort};
+
+    fn ps(ids: &[usize]) -> PredSet {
+        ids.iter().map(|&i| PredSym::from_index(i)).collect()
+    }
+
+    fn dag(n: usize, edges: &[(usize, usize, OrderRel)]) -> OrderGraph {
+        OrderGraph::from_dag_edges(n, edges).unwrap()
+    }
+
+    /// The query of Fig. 5: t1<t2<t3, t2<=t4 with labels
+    /// Φ[t1]={P,Q}, Φ[t2]={P}, Φ[t3]={R}, Φ[t4]={S}.
+    fn fig5() -> MonadicQuery {
+        let g = dag(4, &[(0, 1, Lt), (1, 2, Lt), (1, 3, Le)]);
+        MonadicQuery::new(g, vec![ps(&[0, 1]), ps(&[0]), ps(&[2]), ps(&[3])])
+    }
+
+    #[test]
+    fn fig5_paths_match_paper() {
+        let q = fig5();
+        let mut paths: Vec<FlexiWord> = q.paths().collect();
+        assert_eq!(paths.len(), 2);
+        assert_eq!(q.path_count(), 2);
+        // [P,Q] < [P] < [R]  and  [P,Q] < [P] <= [S]
+        let want1 = FlexiWord::new(vec![ps(&[0, 1]), ps(&[0]), ps(&[2])], vec![Lt, Lt]);
+        let want2 = FlexiWord::new(vec![ps(&[0, 1]), ps(&[0]), ps(&[3])], vec![Lt, Le]);
+        paths.sort_by_key(|w| format!("{w:?}"));
+        let mut want = vec![want1, want2];
+        want.sort_by_key(|w| format!("{w:?}"));
+        assert_eq!(paths, want);
+    }
+
+    #[test]
+    fn isolated_vertices_are_singleton_paths() {
+        let g = dag(3, &[]);
+        let q = MonadicQuery::new(g, vec![ps(&[0]), ps(&[1]), ps(&[2])]);
+        let paths: Vec<_> = q.paths().collect();
+        assert_eq!(paths.len(), 3);
+        assert!(paths.iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    fn empty_graph_has_no_paths() {
+        let g = dag(0, &[]);
+        let q = MonadicQuery::new(g, vec![]);
+        assert_eq!(q.paths().count(), 0);
+        assert_eq!(q.path_count(), 0);
+    }
+
+    #[test]
+    fn diamond_has_two_paths() {
+        let g = dag(4, &[(0, 1, Lt), (0, 2, Le), (1, 3, Lt), (2, 3, Lt)]);
+        let q = MonadicQuery::new(g, vec![ps(&[0]); 4]);
+        assert_eq!(q.paths().count(), 2);
+        assert_eq!(q.path_count(), 2);
+    }
+
+    #[test]
+    fn flexiword_database_round_trip() {
+        let w = FlexiWord::new(vec![ps(&[0]), ps(&[1]), ps(&[2])], vec![Lt, Le]);
+        let db = MonadicDatabase::from_flexiword(&w);
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.width(), 1);
+        assert_eq!(db.to_flexiword().unwrap(), w);
+    }
+
+    #[test]
+    fn nonsequential_flexiword_conversion_fails() {
+        let g = dag(3, &[(0, 1, Lt)]);
+        let db = MonadicDatabase::new(g, vec![ps(&[0]); 3]);
+        assert!(db.to_flexiword().is_err());
+        let q = fig5();
+        assert!(!q.is_sequential());
+        assert!(q.to_flexiword().is_err());
+    }
+
+    #[test]
+    fn sequential_detection() {
+        let w = FlexiWord::word(vec![ps(&[0]), ps(&[1])]);
+        let q = MonadicQuery::from_flexiword(&w);
+        assert!(q.is_sequential());
+        assert_eq!(q.width(), 1);
+        assert_eq!(q.to_flexiword().unwrap(), w);
+    }
+
+    #[test]
+    fn unique_model_of_word_database() {
+        let w = FlexiWord::word(vec![ps(&[0]), ps(&[1])]);
+        let db = w.to_database();
+        let m = db.as_unique_model().unwrap();
+        assert_eq!(m.labels, vec![ps(&[0]), ps(&[1])]);
+        // <=-databases have several minimal models → none unique here.
+        let w2 = FlexiWord::new(vec![ps(&[0]), ps(&[1])], vec![Le]);
+        assert!(w2.to_database().as_unique_model().is_none());
+    }
+
+    #[test]
+    fn naive_model_check() {
+        let q = fig5();
+        // model {P,Q} {P} {R,S}: t1→0, t2→1, t3→2, t4→2 works (t2<=t4).
+        let m = MonadicModel::new(vec![ps(&[0, 1]), ps(&[0]), ps(&[2, 3])]);
+        assert!(q.holds_in_naive(&m));
+        // model {P,Q} {P} {R}: t4 needs S — fails.
+        let m = MonadicModel::new(vec![ps(&[0, 1]), ps(&[0]), ps(&[2])]);
+        assert!(!q.holds_in_naive(&m));
+    }
+
+    #[test]
+    fn ne_atoms_in_naive_check() {
+        let g = dag(2, &[]);
+        let mut q = MonadicQuery::new(g, vec![ps(&[0]), ps(&[0])]);
+        q.ne.push((0, 1));
+        // model with a single {P} point: both vars would collide.
+        let m = MonadicModel::new(vec![ps(&[0])]);
+        assert!(!q.holds_in_naive(&m));
+        let m = MonadicModel::new(vec![ps(&[0]), ps(&[0])]);
+        assert!(q.holds_in_naive(&m));
+    }
+
+    #[test]
+    fn object_part_split_and_eval() {
+        use crate::query::QueryExpr;
+        let mut voc = Vocabulary::new();
+        let husband = voc.pred("Employee", &[Sort::Object]).unwrap();
+        let p = voc.monadic_pred("P");
+        let e = QueryExpr::Exists(
+            vec!["x".into(), "t".into()],
+            Box::new(QueryExpr::And(vec![
+                QueryExpr::Proper {
+                    pred: husband,
+                    args: vec![crate::query::QTerm::Var("x".into())],
+                },
+                QueryExpr::atom1(p, "t"),
+            ])),
+        );
+        let d = e.to_dnf(&voc).unwrap();
+        let (obj, mq) = split_object_part(&voc, &d.disjuncts[0]).unwrap();
+        assert_eq!(obj.requirements.len(), 1);
+        assert_eq!(mq.len(), 1);
+        let alice = voc.obj("alice");
+        assert!(obj.holds(&[(husband, alice)]));
+        assert!(!obj.holds(&[]));
+    }
+}

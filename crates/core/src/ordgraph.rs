@@ -1,0 +1,685 @@
+//! The order dag associated with a database or conjunctive query (§2).
+//!
+//! Vertices are order constants (or order variables); for each atom `u < v`
+//! there is an edge labelled `<`, and for each `u <= v` an edge labelled
+//! `<=`. The paper's normalization rules are applied at construction:
+//!
+//! * **N1** — if `u₁ <= u₂, …, uₙ₋₁ <= uₙ, uₙ <= u₁` all hold, identify
+//!   `u₁ … uₙ` (we collapse strongly connected components);
+//! * **N2** — delete atoms `u <= u`.
+//!
+//! A normalized structure is *inconsistent* iff a cycle remains, which
+//! happens exactly when some strongly connected component of the raw graph
+//! contains a `<` edge (§2). Construction rejects inconsistent input.
+//!
+//! The module also implements the derived-atom closure (*full* databases),
+//! reachability and strict reachability, **minimal** and **minor** vertices,
+//! antichains, and the **width** (maximum antichain size) via Dilworth's
+//! theorem and bipartite matching.
+
+use crate::atom::OrderRel;
+use crate::bitset::BitSet;
+use crate::error::{CoreError, Result};
+
+/// A directed edge label: one of the two order relations `<` / `<=`.
+///
+/// Inequality (`!=`, §7) is *not* an edge label; it is carried separately by
+/// [`crate::database::NormalDatabase`].
+pub type EdgeRel = OrderRel;
+
+/// A normalized, consistent order dag.
+///
+/// Vertices are dense indices `0..n`. Between any ordered pair of vertices
+/// at most one edge is stored; if both `u < v` and `u <= v` were asserted,
+/// only the stronger `<` is kept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderGraph {
+    n: usize,
+    /// Successor adjacency: `succ[u]` lists `(v, rel)` edges `u → v`.
+    succ: Vec<Vec<(u32, EdgeRel)>>,
+    /// Predecessor adjacency: `pred[v]` lists `(u, rel)` edges `u → v`.
+    pred: Vec<Vec<(u32, EdgeRel)>>,
+}
+
+/// Result of normalizing a raw edge list: the quotient graph together with
+/// the mapping from raw vertices to quotient vertices.
+#[derive(Debug, Clone)]
+pub struct Normalized {
+    /// The quotient dag.
+    pub graph: OrderGraph,
+    /// `class_of[raw_vertex] = quotient_vertex`.
+    pub class_of: Vec<usize>,
+    /// Members of each quotient class, in raw-vertex order.
+    pub members: Vec<Vec<usize>>,
+}
+
+impl OrderGraph {
+    /// Builds a graph directly from deduplicated dag edges. Callers must
+    /// guarantee acyclicity; [`OrderGraph::normalize`] is the checked path.
+    pub fn from_dag_edges(n: usize, edges: &[(usize, usize, EdgeRel)]) -> Result<Self> {
+        let mut g = OrderGraph { n, succ: vec![Vec::new(); n], pred: vec![Vec::new(); n] };
+        for &(u, v, rel) in edges {
+            assert!(u < n && v < n, "edge endpoint out of range");
+            debug_assert!(rel != OrderRel::Ne, "!= is not an order-graph edge");
+            g.add_edge_dedup(u, v, rel);
+        }
+        if g.has_cycle() {
+            return Err(CoreError::InconsistentOrder {
+                witness: "cycle through a `<` edge".to_string(),
+            });
+        }
+        Ok(g)
+    }
+
+    /// Normalizes a raw multigraph of `<` / `<=` edges over `n` vertices:
+    /// applies rules N1 and N2, checks consistency, and returns the
+    /// quotient dag plus the vertex mapping.
+    pub fn normalize(n: usize, edges: &[(usize, usize, EdgeRel)]) -> Result<Normalized> {
+        // Tarjan SCC over the full edge set (both labels).
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(u, v, _) in edges {
+            assert!(u < n && v < n, "edge endpoint out of range");
+            adj[u].push(v);
+        }
+        let raw_scc = tarjan_scc(n, &adj);
+        let n_classes = raw_scc.iter().copied().max().map_or(0, |m| m + 1);
+        // Renumber components in first-seen raw-vertex order, so that when
+        // nothing merges the mapping is the identity.
+        let mut relabel = vec![usize::MAX; n_classes];
+        let mut next = 0usize;
+        let scc: Vec<usize> = raw_scc
+            .iter()
+            .map(|&c| {
+                if relabel[c] == usize::MAX {
+                    relabel[c] = next;
+                    next += 1;
+                }
+                relabel[c]
+            })
+            .collect();
+
+        // A `<` edge inside one component (including self loops `u < u`)
+        // witnesses inconsistency; `<=` self/internal edges are discharged
+        // by N1/N2.
+        for &(u, v, rel) in edges {
+            if rel == OrderRel::Lt && scc[u] == scc[v] {
+                return Err(CoreError::InconsistentOrder {
+                    witness: format!("vertices {u} and {v} lie on a cycle through `<`"),
+                });
+            }
+        }
+
+        let mut graph = OrderGraph {
+            n: n_classes,
+            succ: vec![Vec::new(); n_classes],
+            pred: vec![Vec::new(); n_classes],
+        };
+        for &(u, v, rel) in edges {
+            let (cu, cv) = (scc[u], scc[v]);
+            if cu != cv {
+                graph.add_edge_dedup(cu, cv, rel);
+            }
+        }
+        debug_assert!(!graph.has_cycle(), "SCC quotient must be acyclic");
+
+        let mut members = vec![Vec::new(); n_classes];
+        for (raw, &c) in scc.iter().enumerate() {
+            members[c].push(raw);
+        }
+        Ok(Normalized { graph, class_of: scc, members })
+    }
+
+    fn add_edge_dedup(&mut self, u: usize, v: usize, rel: EdgeRel) {
+        if let Some(slot) = self.succ[u].iter_mut().find(|(w, _)| *w as usize == v) {
+            if slot.1 == OrderRel::Le && rel == OrderRel::Lt {
+                slot.1 = OrderRel::Lt;
+                let back = self.pred[v]
+                    .iter_mut()
+                    .find(|(w, _)| *w as usize == u)
+                    .expect("pred mirror");
+                back.1 = OrderRel::Lt;
+            }
+            return;
+        }
+        self.succ[u].push((v as u32, rel));
+        self.pred[v].push((u as u32, rel));
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of stored (deduplicated) edges.
+    pub fn edge_count(&self) -> usize {
+        self.succ.iter().map(Vec::len).sum()
+    }
+
+    /// Successor edges of `u`.
+    pub fn successors(&self, u: usize) -> &[(u32, EdgeRel)] {
+        &self.succ[u]
+    }
+
+    /// Predecessor edges of `v`.
+    pub fn predecessors(&self, v: usize) -> &[(u32, EdgeRel)] {
+        &self.pred[v]
+    }
+
+    /// All edges `(u, v, rel)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, EdgeRel)> + '_ {
+        self.succ
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&(v, r)| (u, v as usize, r)))
+    }
+
+    fn has_cycle(&self) -> bool {
+        // Kahn's algorithm; cycle iff not all vertices are output.
+        let mut indeg: Vec<usize> = (0..self.n).map(|v| self.pred[v].len()).collect();
+        let mut stack: Vec<usize> =
+            (0..self.n).filter(|&v| indeg[v] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = stack.pop() {
+            seen += 1;
+            for &(v, _) in &self.succ[u] {
+                indeg[v as usize] -= 1;
+                if indeg[v as usize] == 0 {
+                    stack.push(v as usize);
+                }
+            }
+        }
+        seen != self.n
+    }
+
+    /// One topological order of the vertices (standard sense).
+    pub fn topo_order(&self) -> Vec<usize> {
+        let mut indeg: Vec<usize> = (0..self.n).map(|v| self.pred[v].len()).collect();
+        let mut stack: Vec<usize> = (0..self.n).filter(|&v| indeg[v] == 0).collect();
+        let mut out = Vec::with_capacity(self.n);
+        while let Some(u) = stack.pop() {
+            out.push(u);
+            for &(v, _) in &self.succ[u] {
+                indeg[v as usize] -= 1;
+                if indeg[v as usize] == 0 {
+                    stack.push(v as usize);
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), self.n);
+        out
+    }
+
+    /// Reachability closure: `reach[u]` contains `v` iff there is a
+    /// (possibly empty) path `u → v`; `u` itself is included.
+    pub fn reachability(&self) -> Vec<BitSet> {
+        let order = self.topo_order();
+        let mut reach = vec![BitSet::with_capacity(self.n); self.n];
+        for &u in order.iter().rev() {
+            let mut r = BitSet::with_capacity(self.n);
+            r.insert(u);
+            for &(v, _) in &self.succ[u] {
+                let taken = std::mem::take(&mut reach[v as usize]);
+                r.union_with(&taken);
+                reach[v as usize] = taken;
+            }
+            reach[u] = r;
+        }
+        reach
+    }
+
+    /// Strict reachability: `strict[u]` contains `v` iff there is a path
+    /// `u → v` passing through at least one `<` edge. Together with
+    /// [`OrderGraph::reachability`] this realizes the derived-atom rules of
+    /// §2 (*full* closure): `u <= v` derivable iff `v ∈ reach[u]`, `u < v`
+    /// derivable iff `v ∈ strict[u]`.
+    pub fn strict_reachability(&self) -> Vec<BitSet> {
+        let order = self.topo_order();
+        let reach = self.reachability();
+        let mut strict = vec![BitSet::with_capacity(self.n); self.n];
+        for &u in order.iter().rev() {
+            let mut s = BitSet::with_capacity(self.n);
+            for &(v, rel) in &self.succ[u] {
+                match rel {
+                    OrderRel::Lt => s.union_with(&reach[v as usize]),
+                    OrderRel::Le => s.union_with(&strict[v as usize]),
+                    OrderRel::Ne => unreachable!("!= is never an edge"),
+                }
+            }
+            strict[u] = s;
+        }
+        strict
+    }
+
+    /// The *full* closure of the graph: a graph with a `<`-edge `u → v`
+    /// whenever a strict path exists and a `<=`-edge whenever only a
+    /// non-strict path exists (derived-atom rules 1–2 of §2).
+    pub fn full_closure(&self) -> OrderGraph {
+        let reach = self.reachability();
+        let strict = self.strict_reachability();
+        let mut g = OrderGraph {
+            n: self.n,
+            succ: vec![Vec::new(); self.n],
+            pred: vec![Vec::new(); self.n],
+        };
+        for u in 0..self.n {
+            for v in reach[u].iter() {
+                if v == u {
+                    continue;
+                }
+                let rel = if strict[u].contains(v) { OrderRel::Lt } else { OrderRel::Le };
+                g.add_edge_dedup(u, v, rel);
+            }
+            // Strictly reachable vertices not in reach[u] cannot exist.
+            debug_assert!(strict[u].is_subset(&reach[u]));
+        }
+        g
+    }
+
+    /// Minimal vertices (no incoming edges) among the `live` set, edges
+    /// restricted to live endpoints.
+    pub fn minimal_within(&self, live: &BitSet) -> BitSet {
+        let mut out = BitSet::with_capacity(self.n);
+        for v in live.iter() {
+            if self.pred[v].iter().all(|&(u, _)| !live.contains(u as usize)) {
+                out.insert(v);
+            }
+        }
+        out
+    }
+
+    /// Minimal vertices of the whole graph.
+    pub fn minimal_vertices(&self) -> BitSet {
+        self.minimal_within(&BitSet::full(self.n))
+    }
+
+    /// Minor vertices among `live` (§2): `v` is **minor** iff no ascending
+    /// path *within the live subgraph* that ends at `v` passes through a
+    /// `<` edge. Equivalently: all live in-edges of `v` are `<=` edges from
+    /// minor vertices.
+    pub fn minor_within(&self, live: &BitSet) -> BitSet {
+        let mut minor = BitSet::with_capacity(self.n);
+        // Process in topological order restricted to live vertices.
+        for v in self.topo_order() {
+            if !live.contains(v) {
+                continue;
+            }
+            let ok = self.pred[v].iter().all(|&(u, rel)| {
+                !live.contains(u as usize)
+                    || (rel == OrderRel::Le && minor.contains(u as usize))
+            });
+            if ok {
+                minor.insert(v);
+            }
+        }
+        minor
+    }
+
+    /// Minor vertices of the whole graph.
+    pub fn minor_vertices(&self) -> BitSet {
+        self.minor_within(&BitSet::full(self.n))
+    }
+
+    /// Tests whether `set` is an antichain: no path between two distinct
+    /// members.
+    pub fn is_antichain(&self, set: &BitSet) -> bool {
+        let reach = self.reachability();
+        for u in set.iter() {
+            for v in set.iter() {
+                if u != v && reach[u].contains(v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The **width** of the dag: the maximum cardinality of an antichain.
+    ///
+    /// By Dilworth's theorem this equals the minimum number of chains
+    /// covering the poset, computed as `n - M` where `M` is a maximum
+    /// matching of the bipartite graph whose edges are the pairs of the
+    /// *reachability closure* (König–Fulkerson construction).
+    pub fn width(&self) -> usize {
+        if self.n == 0 {
+            return 0;
+        }
+        let reach = self.reachability();
+        // Bipartite graph: left copy u — right copy v for u <R v, u != v.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.n];
+        for u in 0..self.n {
+            for v in reach[u].iter() {
+                if v != u {
+                    adj[u].push(v);
+                }
+            }
+        }
+        let matching = max_bipartite_matching(self.n, self.n, &adj);
+        self.n - matching
+    }
+
+    /// The set of vertices reachable from any vertex of `from` (inclusive),
+    /// i.e. the vertex set of the paper's `D ↾ S`.
+    pub fn up_set(&self, from: &BitSet) -> BitSet {
+        let mut out = from.clone();
+        let mut stack: Vec<usize> = from.iter().collect();
+        while let Some(u) = stack.pop() {
+            for &(v, _) in &self.succ[u] {
+                if out.insert(v as usize) {
+                    stack.push(v as usize);
+                }
+            }
+        }
+        out
+    }
+
+    /// Enumerates every antichain (including the empty one) of size at most
+    /// `max_size`, invoking `f` on each. Intended for the bounded-width
+    /// engines where `max_size = k` is small.
+    pub fn antichains_up_to(&self, max_size: usize, mut f: impl FnMut(&[usize])) {
+        let reach = self.reachability();
+        let mut current: Vec<usize> = Vec::new();
+        fn go(
+            n: usize,
+            reach: &[BitSet],
+            max: usize,
+            start: usize,
+            current: &mut Vec<usize>,
+            f: &mut impl FnMut(&[usize]),
+        ) {
+            f(current);
+            if current.len() == max {
+                return;
+            }
+            for v in start..n {
+                let incomparable = current
+                    .iter()
+                    .all(|&u| !reach[u].contains(v) && !reach[v].contains(u));
+                if incomparable {
+                    current.push(v);
+                    go(n, reach, max, v + 1, current, f);
+                    current.pop();
+                }
+            }
+        }
+        go(self.n, &reach, max_size, 0, &mut current, &mut f);
+    }
+
+    /// Restricts the graph to the vertices in `keep`, renumbering vertices
+    /// densely in increasing old-index order. Returns the restricted graph
+    /// and the old-index list (`new → old`).
+    pub fn restrict(&self, keep: &BitSet) -> (OrderGraph, Vec<usize>) {
+        let old_of: Vec<usize> = keep.iter().collect();
+        let mut new_of = vec![usize::MAX; self.n];
+        for (new, &old) in old_of.iter().enumerate() {
+            new_of[old] = new;
+        }
+        let mut g = OrderGraph {
+            n: old_of.len(),
+            succ: vec![Vec::new(); old_of.len()],
+            pred: vec![Vec::new(); old_of.len()],
+        };
+        for (u, v, rel) in self.edges() {
+            if keep.contains(u) && keep.contains(v) {
+                g.add_edge_dedup(new_of[u], new_of[v], rel);
+            }
+        }
+        (g, old_of)
+    }
+}
+
+/// Iterative Tarjan strongly-connected-components; returns the component id
+/// of each vertex. Component ids are assigned in reverse topological order
+/// of the condensation; only the partition matters to callers.
+fn tarjan_scc(n: usize, adj: &[Vec<usize>]) -> Vec<usize> {
+    const UNSEEN: usize = usize::MAX;
+    let mut index = vec![UNSEEN; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![UNSEEN; n];
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+
+    // Explicit DFS stack: (vertex, next child position).
+    let mut call: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNSEEN {
+            continue;
+        }
+        call.push((root, 0));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            if *ci < adj[v].len() {
+                let w = adj[v][*ci];
+                *ci += 1;
+                if index[w] == UNSEEN {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Maximum bipartite matching (Kuhn's augmenting paths). `adj[l]` lists the
+/// right vertices adjacent to left vertex `l`.
+fn max_bipartite_matching(n_left: usize, n_right: usize, adj: &[Vec<usize>]) -> usize {
+    let mut match_right: Vec<Option<usize>> = vec![None; n_right];
+    let mut matched = 0usize;
+
+    fn try_kuhn(
+        l: usize,
+        adj: &[Vec<usize>],
+        visited: &mut [bool],
+        match_right: &mut [Option<usize>],
+    ) -> bool {
+        for &r in &adj[l] {
+            if visited[r] {
+                continue;
+            }
+            visited[r] = true;
+            if match_right[r].is_none()
+                || try_kuhn(match_right[r].unwrap(), adj, visited, match_right)
+            {
+                match_right[r] = Some(l);
+                return true;
+            }
+        }
+        false
+    }
+
+    let mut visited = vec![false; n_right];
+    for l in 0..n_left {
+        visited.iter_mut().for_each(|v| *v = false);
+        if try_kuhn(l, adj, &mut visited, &mut match_right) {
+            matched += 1;
+        }
+    }
+    matched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use OrderRel::{Le, Lt};
+
+    fn norm(n: usize, edges: &[(usize, usize, EdgeRel)]) -> Normalized {
+        OrderGraph::normalize(n, edges).unwrap()
+    }
+
+    #[test]
+    fn le_cycle_collapses_n1() {
+        // u <= v <= w <= u: all identified.
+        let nz = norm(3, &[(0, 1, Le), (1, 2, Le), (2, 0, Le)]);
+        assert_eq!(nz.graph.len(), 1);
+        assert_eq!(nz.class_of[0], nz.class_of[1]);
+        assert_eq!(nz.class_of[1], nz.class_of[2]);
+        assert_eq!(nz.graph.edge_count(), 0); // N2 removed the self loop
+    }
+
+    #[test]
+    fn lt_cycle_is_inconsistent() {
+        let e = OrderGraph::normalize(2, &[(0, 1, Lt), (1, 0, Le)]).unwrap_err();
+        assert!(matches!(e, CoreError::InconsistentOrder { .. }));
+        let e = OrderGraph::normalize(1, &[(0, 0, Lt)]).unwrap_err();
+        assert!(matches!(e, CoreError::InconsistentOrder { .. }));
+    }
+
+    #[test]
+    fn self_le_removed_n2() {
+        let nz = norm(1, &[(0, 0, Le)]);
+        assert_eq!(nz.graph.len(), 1);
+        assert_eq!(nz.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn parallel_edges_keep_strongest() {
+        let nz = norm(2, &[(0, 1, Le), (0, 1, Lt), (0, 1, Le)]);
+        assert_eq!(nz.graph.edge_count(), 1);
+        assert_eq!(nz.graph.edges().next().unwrap().2, Lt);
+    }
+
+    #[test]
+    fn example_2_4_minors() {
+        // u < v < w, u <= t <= w  (paper Example 2.4: minors are u and t).
+        // vertices: u=0, v=1, w=2, t=3
+        let nz = norm(4, &[(0, 1, Lt), (1, 2, Lt), (0, 3, Le), (3, 2, Le)]);
+        let minors = nz.graph.minor_vertices();
+        assert_eq!(minors.iter().collect::<Vec<_>>(), vec![0, 3]);
+        let minimal = nz.graph.minimal_vertices();
+        assert_eq!(minimal.iter().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn reachability_and_strictness() {
+        // 0 <= 1 < 2, 0 <= 3
+        let nz = norm(4, &[(0, 1, Le), (1, 2, Lt), (0, 3, Le)]);
+        let reach = nz.graph.reachability();
+        assert!(reach[0].contains(2));
+        assert!(reach[0].contains(3));
+        assert!(!reach[3].contains(2));
+        let strict = nz.graph.strict_reachability();
+        assert!(strict[0].contains(2)); // through the `<` edge
+        assert!(!strict[0].contains(1)); // only `<=` so far
+        assert!(!strict[0].contains(3));
+        assert!(strict[1].contains(2));
+    }
+
+    #[test]
+    fn full_closure_adds_derived_atoms() {
+        // The paper's example: u <= v, v <= w, plus derived u <= w.
+        let nz = norm(3, &[(0, 1, Le), (1, 2, Le)]);
+        let full = nz.graph.full_closure();
+        assert_eq!(full.edge_count(), 3);
+        assert!(full.edges().any(|(u, v, r)| (u, v, r) == (0, 2, Le)));
+        // u < v, v <= w derives u < w.
+        let nz = norm(3, &[(0, 1, Lt), (1, 2, Le)]);
+        let full = nz.graph.full_closure();
+        assert!(full.edges().any(|(u, v, r)| (u, v, r) == (0, 2, Lt)));
+    }
+
+    #[test]
+    fn width_of_chains_and_antichains() {
+        // A chain has width 1.
+        let nz = norm(4, &[(0, 1, Lt), (1, 2, Lt), (2, 3, Lt)]);
+        assert_eq!(nz.graph.width(), 1);
+        // Four isolated vertices: width 4.
+        let nz = norm(4, &[]);
+        assert_eq!(nz.graph.width(), 4);
+        // Two parallel chains (the "two observers" example): width 2.
+        let nz = norm(4, &[(0, 1, Lt), (2, 3, Lt)]);
+        assert_eq!(nz.graph.width(), 2);
+        // Diamond 0 < {1,2} < 3: width 2.
+        let nz = norm(4, &[(0, 1, Lt), (0, 2, Lt), (1, 3, Lt), (2, 3, Lt)]);
+        assert_eq!(nz.graph.width(), 2);
+        assert_eq!(OrderGraph::from_dag_edges(0, &[]).unwrap().width(), 0);
+    }
+
+    #[test]
+    fn width_counts_paths_not_just_edges() {
+        // 0 -> 1 -> 2 plus isolated 3: the antichain {0,2} is NOT one
+        // (path exists); max antichain is {0,3} or {1,3} etc. => width 2.
+        let nz = norm(4, &[(0, 1, Le), (1, 2, Le)]);
+        assert_eq!(nz.graph.width(), 2);
+        assert!(nz.graph.is_antichain(&[0usize, 3].into_iter().collect()));
+        assert!(!nz.graph.is_antichain(&[0usize, 2].into_iter().collect()));
+    }
+
+    #[test]
+    fn up_set_and_restrict() {
+        let nz = norm(4, &[(0, 1, Lt), (1, 2, Le), (3, 2, Lt)]);
+        let up = nz.graph.up_set(&[0usize].into_iter().collect());
+        assert_eq!(up.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        let (sub, old_of) = nz.graph.restrict(&up);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(old_of, vec![0, 1, 2]);
+        assert_eq!(sub.edge_count(), 2);
+    }
+
+    #[test]
+    fn antichain_enumeration_bounded() {
+        let nz = norm(3, &[(0, 1, Lt)]);
+        let mut count = 0;
+        nz.graph.antichains_up_to(2, |_| count += 1);
+        // antichains: {}, {0}, {1}, {2}, {0,2}, {1,2}
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn minor_within_subgraph() {
+        // 0 < 1, 2 <= 1. Whole graph: minors are 0 and 2 (1 has a `<`
+        // in-edge). Restricted to {1, 2}: the `<` edge leaves the live set,
+        // so 1 becomes minor (via `<=` from minor 2).
+        let nz = norm(3, &[(0, 1, Lt), (2, 1, Le)]);
+        let whole = nz.graph.minor_vertices();
+        assert_eq!(whole.iter().collect::<Vec<_>>(), vec![0, 2]);
+        let live: BitSet = [1usize, 2].into_iter().collect();
+        let minors = nz.graph.minor_within(&live);
+        assert_eq!(minors.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn big_le_component_with_external_edges() {
+        // {0,1} merge; 2 sits strictly above the merged class.
+        let nz = norm(3, &[(0, 1, Le), (1, 0, Le), (1, 2, Lt)]);
+        assert_eq!(nz.graph.len(), 2);
+        let merged = nz.class_of[0];
+        assert_eq!(nz.class_of[1], merged);
+        let other = nz.class_of[2];
+        assert_ne!(merged, other);
+        assert_eq!(nz.members[merged].len(), 2);
+        assert!(nz.graph.edges().any(|(u, v, r)| u == merged && v == other && r == Lt));
+    }
+}

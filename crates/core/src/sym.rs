@@ -1,0 +1,309 @@
+//! Interned symbols and the two-sorted vocabulary.
+//!
+//! The paper's language is two-sorted (§2): an *object* sort and an *order*
+//! sort, the latter denoting points of a linearly ordered domain. Every
+//! predicate has a fixed signature assigning a sort to each argument
+//! position. There are no function symbols.
+//!
+//! A [`Vocabulary`] interns predicate, object-constant, and order-constant
+//! names to dense `u32` ids, so that databases, queries, and models built
+//! against the same vocabulary compare symbols by id.
+
+use crate::error::{CoreError, Result};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The sort of a term position: object or order (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sort {
+    /// Ordinary domain elements.
+    Object,
+    /// Points of the linearly ordered domain.
+    Order,
+}
+
+macro_rules! symbol_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// The dense index of this symbol within its vocabulary table.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds a symbol from a dense index. The caller is responsible
+            /// for the index being valid for the vocabulary in use.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                $name(u32::try_from(i).expect("symbol index overflow"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+symbol_type!(
+    /// An interned predicate symbol.
+    PredSym
+);
+symbol_type!(
+    /// An interned object constant.
+    ObjSym
+);
+symbol_type!(
+    /// An interned order constant (a named unknown point).
+    OrdSym
+);
+
+/// A predicate signature: the sorts of its argument positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// Sort of each argument position.
+    pub arg_sorts: Vec<Sort>,
+}
+
+impl Signature {
+    /// Number of arguments.
+    pub fn arity(&self) -> usize {
+        self.arg_sorts.len()
+    }
+
+    /// A predicate is *monadic-on-order* when it has exactly one argument of
+    /// the order sort. These are the predicates of §4–6 of the paper.
+    pub fn is_monadic_order(&self) -> bool {
+        self.arg_sorts.len() == 1 && self.arg_sorts[0] == Sort::Order
+    }
+
+    /// A predicate is *monadic-on-object* when it has exactly one argument
+    /// of the object sort.
+    pub fn is_monadic_object(&self) -> bool {
+        self.arg_sorts.len() == 1 && self.arg_sorts[0] == Sort::Object
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Table {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Table {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = u32::try_from(self.names.len()).expect("too many symbols");
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), i);
+        i
+    }
+
+    fn lookup(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+}
+
+/// The shared symbol table for a family of databases, queries, and models.
+///
+/// Interning is cheap and idempotent; ids are dense per kind. Fresh-name
+/// generation (used by the reductions and the constant-elimination
+/// transform) is supported through [`Vocabulary::fresh_ord`] and friends.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    preds: Table,
+    sigs: Vec<Signature>,
+    objs: Table,
+    ords: Table,
+    fresh_counter: u64,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Vocabulary::default()
+    }
+
+    /// Declares (or re-finds) a predicate with the given signature.
+    ///
+    /// Returns an error if the name is already declared with a *different*
+    /// signature.
+    pub fn pred(&mut self, name: &str, arg_sorts: &[Sort]) -> Result<PredSym> {
+        if let Some(i) = self.preds.lookup(name) {
+            if self.sigs[i as usize].arg_sorts != arg_sorts {
+                return Err(CoreError::SignatureConflict { pred: name.to_string() });
+            }
+            return Ok(PredSym(i));
+        }
+        let i = self.preds.intern(name);
+        debug_assert_eq!(i as usize, self.sigs.len());
+        self.sigs.push(Signature { arg_sorts: arg_sorts.to_vec() });
+        Ok(PredSym(i))
+    }
+
+    /// Declares a monadic predicate over the order sort — the common case in
+    /// §4–6 of the paper.
+    pub fn monadic_pred(&mut self, name: &str) -> PredSym {
+        self.pred(name, &[Sort::Order]).expect("monadic signature conflict")
+    }
+
+    /// Interns an object constant.
+    pub fn obj(&mut self, name: &str) -> ObjSym {
+        ObjSym(self.objs.intern(name))
+    }
+
+    /// Interns an order constant.
+    pub fn ord(&mut self, name: &str) -> OrdSym {
+        OrdSym(self.ords.intern(name))
+    }
+
+    /// Generates a fresh order constant guaranteed not to collide with any
+    /// interned name (names of the shape `$oN` are reserved for this).
+    pub fn fresh_ord(&mut self, hint: &str) -> OrdSym {
+        loop {
+            let name = format!("${hint}{}", self.fresh_counter);
+            self.fresh_counter += 1;
+            if self.ords.lookup(&name).is_none() {
+                return OrdSym(self.ords.intern(&name));
+            }
+        }
+    }
+
+    /// Generates a fresh monadic predicate (used by the constant-elimination
+    /// transform of §2: one predicate `P_u` per eliminated constant).
+    pub fn fresh_pred(&mut self, hint: &str, arg_sorts: &[Sort]) -> PredSym {
+        loop {
+            let name = format!("${hint}{}", self.fresh_counter);
+            self.fresh_counter += 1;
+            if self.preds.lookup(&name).is_none() {
+                return self.pred(&name, arg_sorts).expect("fresh name collided");
+            }
+        }
+    }
+
+    /// Looks up a predicate by name.
+    pub fn find_pred(&self, name: &str) -> Option<PredSym> {
+        self.preds.lookup(name).map(PredSym)
+    }
+
+    /// Looks up an object constant by name.
+    pub fn find_obj(&self, name: &str) -> Option<ObjSym> {
+        self.objs.lookup(name).map(ObjSym)
+    }
+
+    /// Looks up an order constant by name.
+    pub fn find_ord(&self, name: &str) -> Option<OrdSym> {
+        self.ords.lookup(name).map(OrdSym)
+    }
+
+    /// Name of a predicate.
+    pub fn pred_name(&self, p: PredSym) -> &str {
+        &self.preds.names[p.index()]
+    }
+
+    /// Signature of a predicate.
+    pub fn signature(&self, p: PredSym) -> &Signature {
+        &self.sigs[p.index()]
+    }
+
+    /// Name of an object constant.
+    pub fn obj_name(&self, o: ObjSym) -> &str {
+        &self.objs.names[o.index()]
+    }
+
+    /// Name of an order constant.
+    pub fn ord_name(&self, u: OrdSym) -> &str {
+        &self.ords.names[u.index()]
+    }
+
+    /// Number of interned predicates.
+    pub fn pred_count(&self) -> usize {
+        self.preds.names.len()
+    }
+
+    /// Number of interned object constants.
+    pub fn obj_count(&self) -> usize {
+        self.objs.names.len()
+    }
+
+    /// Number of interned order constants.
+    pub fn ord_count(&self) -> usize {
+        self.ords.names.len()
+    }
+
+    /// True when *every* declared predicate is monadic over the order sort.
+    pub fn all_monadic_order(&self) -> bool {
+        self.sigs.iter().all(Signature::is_monadic_order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let p1 = v.pred("P", &[Sort::Order]).unwrap();
+        let p2 = v.pred("P", &[Sort::Order]).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(v.pred_count(), 1);
+        assert_eq!(v.pred_name(p1), "P");
+    }
+
+    #[test]
+    fn signature_conflicts_are_rejected() {
+        let mut v = Vocabulary::new();
+        v.pred("P", &[Sort::Order]).unwrap();
+        let e = v.pred("P", &[Sort::Object]).unwrap_err();
+        assert!(matches!(e, CoreError::SignatureConflict { .. }));
+    }
+
+    #[test]
+    fn sorts_are_separate_namespaces() {
+        let mut v = Vocabulary::new();
+        let o = v.obj("a");
+        let u = v.ord("a");
+        assert_eq!(v.obj_name(o), "a");
+        assert_eq!(v.ord_name(u), "a");
+        assert_eq!(v.obj_count(), 1);
+        assert_eq!(v.ord_count(), 1);
+    }
+
+    #[test]
+    fn fresh_names_do_not_collide() {
+        let mut v = Vocabulary::new();
+        v.ord("$u0"); // occupy the first candidate name
+        let f1 = v.fresh_ord("u");
+        let f2 = v.fresh_ord("u");
+        assert_ne!(f1, f2);
+        assert_ne!(v.ord_name(f1), "$u0");
+    }
+
+    #[test]
+    fn monadic_detection() {
+        let mut v = Vocabulary::new();
+        v.monadic_pred("P");
+        assert!(v.all_monadic_order());
+        v.pred("R", &[Sort::Order, Sort::Order]).unwrap();
+        assert!(!v.all_monadic_order());
+        assert!(v.signature(v.find_pred("P").unwrap()).is_monadic_order());
+        assert!(!v.signature(v.find_pred("R").unwrap()).is_monadic_order());
+    }
+
+    #[test]
+    fn lookup_misses() {
+        let v = Vocabulary::new();
+        assert!(v.find_pred("nope").is_none());
+        assert!(v.find_obj("nope").is_none());
+        assert!(v.find_ord("nope").is_none());
+    }
+}

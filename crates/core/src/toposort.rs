@@ -1,0 +1,403 @@
+//! Generalized topological sorts and minimal-model enumeration.
+//!
+//! The paper's notion of topological sort (§2) is more general than the
+//! usual one: a sort is any mapping `f` from the dag's vertices **onto** a
+//! linear order that preserves the order relations — distinct vertices may
+//! map to the *same* point (they were only `<=`-related or unrelated).
+//!
+//! Sorts are produced stage by stage. At each stage a set `S` of vertices
+//! is selected subject to (Example 2.4):
+//!
+//! * **S1** — each element of `S` is *minor* in the subgraph of unsorted
+//!   vertices (no ascending path through a `<` edge ends at it);
+//! * **S2** — if `u ∈ S` and there is an unsorted `v` with an edge
+//!   `v <= u`, then `v ∈ S` as well.
+//!
+//! The elements of `S` map to the next point. Every order-preserving onto
+//! mapping arises this way, so enumerating stage choices enumerates the
+//! **minimal models** of a database (Prop. 2.8), which suffice for
+//! entailment (Cor. 2.9). The enumeration is exponential — it is the
+//! reference ("naive") decision procedure, and the engines exist to avoid
+//! it.
+
+use crate::atom::{OrderRel, Term};
+use crate::bitset::BitSet;
+use crate::database::NormalDatabase;
+use crate::error::{CoreError, Result};
+use crate::model::{FiniteModel, GroundFact, MTerm};
+use crate::ordgraph::OrderGraph;
+
+/// Hard cap on the number of minor vertices for which stage subsets are
+/// enumerated (the subset loop is `2^minors`).
+const MAX_MINORS: usize = 22;
+
+/// A topological sort of an order graph: `stage_of[v]` is the point vertex
+/// `v` maps to; stages are `0..n_stages`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoSort {
+    /// Point assigned to each vertex.
+    pub stage_of: Vec<usize>,
+    /// Number of points.
+    pub n_stages: usize,
+}
+
+impl TopoSort {
+    /// The vertex sets of each stage.
+    pub fn stages(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.n_stages];
+        for (v, &s) in self.stage_of.iter().enumerate() {
+            out[s].push(v);
+        }
+        out
+    }
+}
+
+/// Whether enumeration ran to completion or was stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnumOutcome {
+    /// All sorts were visited.
+    Exhausted,
+    /// The callback requested an early stop.
+    Stopped,
+}
+
+/// Enumerates every generalized topological sort of `graph`, calling
+/// `f(&stage_of, n_stages)`; `f` returns `false` to stop early.
+///
+/// Errors with [`CoreError::CapExceeded`] when some stage offers more than
+/// a fixed cap of minor vertices (the stage-subset loop is exponential).
+pub fn for_each_sort(
+    graph: &OrderGraph,
+    f: &mut dyn FnMut(&[usize], usize) -> bool,
+) -> Result<EnumOutcome> {
+    let n = graph.len();
+    let mut stage_of = vec![usize::MAX; n];
+    let live = BitSet::full(n);
+    go(graph, &live, 0, &mut stage_of, f)
+}
+
+fn go(
+    graph: &OrderGraph,
+    live: &BitSet,
+    stage: usize,
+    stage_of: &mut Vec<usize>,
+    f: &mut dyn FnMut(&[usize], usize) -> bool,
+) -> Result<EnumOutcome> {
+    if live.is_empty() {
+        return if f(stage_of, stage) {
+            Ok(EnumOutcome::Exhausted)
+        } else {
+            Ok(EnumOutcome::Stopped)
+        };
+    }
+    let minors: Vec<usize> = graph.minor_within(live).iter().collect();
+    if minors.len() > MAX_MINORS {
+        return Err(CoreError::CapExceeded {
+            what: "minor vertices per stage in topological sort enumeration".to_string(),
+            limit: MAX_MINORS,
+        });
+    }
+    // Enumerate nonempty subsets S of the minors closed under rule S2:
+    // u ∈ S and live v with v <= u  ⟹  v ∈ S.
+    'subsets: for mask in 1u32..(1 << minors.len()) {
+        let mut in_s = BitSet::with_capacity(graph.len());
+        for (i, &v) in minors.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                in_s.insert(v);
+            }
+        }
+        // S2 closure check (predecessors of S-members through <= edges
+        // that are still live must be in S; they are guaranteed minor).
+        for u in in_s.iter() {
+            for &(v, rel) in graph.predecessors(u) {
+                let v = v as usize;
+                if rel == OrderRel::Le && live.contains(v) && !in_s.contains(v) {
+                    continue 'subsets;
+                }
+            }
+        }
+        for v in in_s.iter() {
+            stage_of[v] = stage;
+        }
+        let mut next_live = live.clone();
+        next_live.difference_with(&in_s);
+        match go(graph, &next_live, stage + 1, stage_of, f)? {
+            EnumOutcome::Stopped => return Ok(EnumOutcome::Stopped),
+            EnumOutcome::Exhausted => {}
+        }
+        for v in in_s.iter() {
+            stage_of[v] = usize::MAX;
+        }
+    }
+    Ok(EnumOutcome::Exhausted)
+}
+
+/// Collects all sorts (use only for small graphs; guarded by `cap`).
+pub fn all_sorts(graph: &OrderGraph, cap: usize) -> Result<Vec<TopoSort>> {
+    let mut out = Vec::new();
+    let outcome = for_each_sort(graph, &mut |stage_of, n_stages| {
+        out.push(TopoSort { stage_of: stage_of.to_vec(), n_stages });
+        out.len() < cap
+    })?;
+    if outcome == EnumOutcome::Stopped {
+        return Err(CoreError::CapExceeded { what: "topological sorts".to_string(), limit: cap });
+    }
+    Ok(out)
+}
+
+/// One canonical sort: at each stage take *all* minor vertices. This yields
+/// the sort with the fewest stages.
+pub fn canonical_sort(graph: &OrderGraph) -> TopoSort {
+    let n = graph.len();
+    let mut stage_of = vec![usize::MAX; n];
+    let mut live = BitSet::full(n);
+    let mut stage = 0;
+    while !live.is_empty() {
+        let minors = graph.minor_within(&live);
+        debug_assert!(!minors.is_empty(), "a dag always has a minor vertex");
+        for v in minors.iter() {
+            stage_of[v] = stage;
+        }
+        live.difference_with(&minors);
+        stage += 1;
+    }
+    TopoSort { stage_of, n_stages: stage }
+}
+
+/// Builds the minimal model determined by a sort of a database's graph
+/// (Example 2.7): object constants denote themselves, each order constant
+/// maps to its vertex's stage, and the facts are the images of the
+/// database's proper atoms.
+pub fn model_of_sort(db: &NormalDatabase, sort: &TopoSort) -> FiniteModel {
+    let point_of = db
+        .vertex_of
+        .iter()
+        .map(|(&u, &v)| (u, sort.stage_of[v]))
+        .collect();
+    let mut facts: Vec<GroundFact> = db
+        .proper
+        .iter()
+        .map(|a| GroundFact {
+            pred: a.pred,
+            args: a
+                .args
+                .iter()
+                .map(|t| match *t {
+                    Term::Obj(o) => MTerm::Obj(o),
+                    Term::Ord(u) => MTerm::Pt(sort.stage_of[db.vertex_of[&u]]),
+                })
+                .collect(),
+        })
+        .collect();
+    facts.sort();
+    facts.dedup();
+    FiniteModel { n_points: sort.n_stages, point_of, facts }
+}
+
+/// Whether a sort respects the database's `!=` constraints (§7).
+pub fn sort_respects_ne(db: &NormalDatabase, sort: &TopoSort) -> bool {
+    db.ne.iter().all(|&(a, b)| sort.stage_of[a] != sort.stage_of[b])
+}
+
+/// Enumerates the minimal models of a database, deduplicated by their
+/// stage assignment, respecting `!=` constraints. `f` returns `false` to
+/// stop early.
+pub fn for_each_minimal_model(
+    db: &NormalDatabase,
+    f: &mut dyn FnMut(&FiniteModel) -> bool,
+) -> Result<EnumOutcome> {
+    for_each_sort(&db.graph, &mut |stage_of, n_stages| {
+        let sort = TopoSort { stage_of: stage_of.to_vec(), n_stages };
+        if !sort_respects_ne(db, &sort) {
+            return true;
+        }
+        f(&model_of_sort(db, &sort))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::OrderRel::{Le, Lt};
+
+    fn graph(n: usize, edges: &[(usize, usize, OrderRel)]) -> OrderGraph {
+        OrderGraph::normalize(n, edges).unwrap().graph
+    }
+
+    fn count_sorts(g: &OrderGraph) -> usize {
+        let mut c = 0;
+        for_each_sort(g, &mut |_, _| {
+            c += 1;
+            true
+        })
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn single_vertex_has_one_sort() {
+        let g = graph(1, &[]);
+        assert_eq!(count_sorts(&g), 1);
+    }
+
+    #[test]
+    fn two_incomparable_vertices_have_three_sorts() {
+        // u,v unrelated: u<v, v<u, u=v — the three relationships of §1.
+        let g = graph(2, &[]);
+        assert_eq!(count_sorts(&g), 3);
+    }
+
+    #[test]
+    fn le_edge_gives_two_sorts() {
+        // u <= v: either u < v or u = v.
+        let g = graph(2, &[(0, 1, Le)]);
+        assert_eq!(count_sorts(&g), 2);
+    }
+
+    #[test]
+    fn lt_edge_gives_one_sort() {
+        let g = graph(2, &[(0, 1, Lt)]);
+        assert_eq!(count_sorts(&g), 1);
+        let s = canonical_sort(&g);
+        assert_eq!(s.stage_of, vec![0, 1]);
+    }
+
+    #[test]
+    fn example_2_4_sort_reachable() {
+        // u < v < w, u <= t <= w; the example's sort: {u,t} {v} {w}.
+        let g = graph(4, &[(0, 1, Lt), (1, 2, Lt), (0, 3, Le), (3, 2, Le)]);
+        let mut found = false;
+        for_each_sort(&g, &mut |stage_of, n| {
+            if n == 3 && stage_of == [0, 1, 2, 0] {
+                found = true;
+            }
+            true
+        })
+        .unwrap();
+        assert!(found, "the sort of Example 2.4 must be enumerated");
+    }
+
+    #[test]
+    fn s2_forces_le_predecessors_along() {
+        // v <= u: u may only be placed together with v or after it; the
+        // stage containing u at stage 0 must contain v.
+        let g = graph(2, &[(1, 0, Le)]);
+        for_each_sort(&g, &mut |stage_of, _| {
+            assert!(stage_of[1] <= stage_of[0]);
+            true
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn canonical_sort_is_valid_and_minimal_stage_count() {
+        let g = graph(4, &[(0, 1, Lt), (1, 2, Lt), (0, 3, Le), (3, 2, Le)]);
+        let s = canonical_sort(&g);
+        assert_eq!(s.n_stages, 3);
+        // order constraints respected
+        for (u, v, rel) in g.edges() {
+            match rel {
+                Lt => assert!(s.stage_of[u] < s.stage_of[v]),
+                Le => assert!(s.stage_of[u] <= s.stage_of[v]),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn all_sorts_cap() {
+        let g = graph(3, &[]);
+        assert!(all_sorts(&g, 2).is_err());
+        let sorts = all_sorts(&g, 1000).unwrap();
+        // 3 unrelated vertices: 13 ordered set partitions (Fubini number a(3)).
+        assert_eq!(sorts.len(), 13);
+    }
+
+    #[test]
+    fn every_sort_respects_edges() {
+        let g = graph(5, &[(0, 1, Lt), (1, 2, Le), (3, 4, Lt), (0, 4, Le)]);
+        for_each_sort(&g, &mut |stage_of, _| {
+            for (u, v, rel) in g.edges() {
+                match rel {
+                    Lt => assert!(stage_of[u] < stage_of[v]),
+                    Le => assert!(stage_of[u] <= stage_of[v]),
+                    _ => unreachable!(),
+                }
+            }
+            true
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn sorts_are_onto() {
+        let g = graph(3, &[(0, 1, Le)]);
+        for_each_sort(&g, &mut |stage_of, n_stages| {
+            let mut seen = vec![false; n_stages];
+            for &s in stage_of {
+                seen[s] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "every point must be hit");
+            true
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn minimal_models_respect_ne() {
+        use crate::database::Database;
+        use crate::sym::Vocabulary;
+        let mut voc = Vocabulary::new();
+        let mut db = Database::new();
+        let u = voc.ord("u");
+        let v = voc.ord("v");
+        db.assert_ne(u, v);
+        let nd = db.normalize().unwrap();
+        let mut count = 0;
+        for_each_minimal_model(&nd, &mut |m| {
+            assert_eq!(m.n_points, 2, "u=v excluded by !=");
+            count += 1;
+            true
+        })
+        .unwrap();
+        // u<v and v<u remain.
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn model_of_sort_builds_facts() {
+        use crate::database::Database;
+        use crate::sym::{Sort, Vocabulary};
+        let mut voc = Vocabulary::new();
+        let b = voc.pred("B", &[Sort::Object, Sort::Order]).unwrap();
+        let mut db = Database::new();
+        let (u, v, w, t) = (voc.ord("u"), voc.ord("v"), voc.ord("w"), voc.ord("t"));
+        let a = voc.obj("a");
+        let bb = voc.obj("b");
+        db.assert_lt(u, v);
+        db.assert_lt(v, w);
+        db.assert_le(u, t);
+        db.assert_le(t, w);
+        db.assert_fact(&voc, b, vec![Term::Obj(a), Term::Ord(t)]).unwrap();
+        db.assert_fact(&voc, b, vec![Term::Obj(bb), Term::Ord(w)]).unwrap();
+        let nd = db.normalize().unwrap();
+        // Example 2.7: the sort f(u)=f(t)=x1, f(v)=x2, f(w)=x3; the image
+        // of B(a,t) is B(a, f(t)) and of B(b,w) is B(b, f(w)).
+        let mut stage_of = vec![0usize; 4];
+        stage_of[nd.vertex(u)] = 0;
+        stage_of[nd.vertex(t)] = 0;
+        stage_of[nd.vertex(v)] = 1;
+        stage_of[nd.vertex(w)] = 2;
+        let sort = TopoSort { stage_of, n_stages: 3 };
+        let m = model_of_sort(&nd, &sort);
+        assert_eq!(m.n_points, 3);
+        assert!(m.facts.contains(&GroundFact {
+            pred: nd.proper[0].pred,
+            args: vec![MTerm::Obj(a), MTerm::Pt(0)]
+        }));
+        assert!(m.facts.contains(&GroundFact {
+            pred: nd.proper[1].pred,
+            args: vec![MTerm::Obj(bb), MTerm::Pt(2)]
+        }));
+    }
+}

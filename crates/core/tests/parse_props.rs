@@ -1,0 +1,86 @@
+//! Property tests for the parser: display ∘ parse round trips, and the
+//! parser never panics on random token soup.
+
+use indord_core::parse::{parse_database, parse_query};
+use indord_core::sym::Vocabulary;
+use proptest::prelude::*;
+
+/// A random database text over monadic predicates P/Q/R and constants
+/// u0..u5, built from well-formed statements.
+fn db_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..3, 0usize..6).prop_map(|(p, u)| {
+                format!("{}(u{u});", ["P", "Q", "R"][p])
+            }),
+            (0usize..6, 0usize..6, 0usize..3).prop_map(|(a, b, r)| {
+                format!("u{a} {} u{b};", ["<", "<=", "!="][r])
+            }),
+        ],
+        1..8,
+    )
+    .prop_map(|stmts| {
+        // guarantee all constants are order-sorted
+        let mut text = String::from("pred P(ord); pred Q(ord); pred R(ord);");
+        for s in stmts {
+            text.push_str(&s);
+        }
+        text
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Parsing a printed database reproduces the same atoms (when the
+    /// order atoms are consistent; inconsistent inputs simply fail to
+    /// normalize, which is also checked to be stable).
+    #[test]
+    fn display_parse_round_trip(text in db_text()) {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, &text).unwrap();
+        let printed = db.display(&voc).to_string();
+        let mut voc2 = Vocabulary::new();
+        // re-parse needs the declarations again (display omits them)
+        let full = format!("pred P(ord); pred Q(ord); pred R(ord);{printed}");
+        let db2 = parse_database(&mut voc2, &full).unwrap();
+        prop_assert_eq!(db.proper_atoms().len(), db2.proper_atoms().len());
+        prop_assert_eq!(db.order_atoms().len(), db2.order_atoms().len());
+        prop_assert_eq!(
+            db.normalize().is_ok(),
+            db2.normalize().is_ok()
+        );
+    }
+
+    /// The parser returns errors, never panics, on arbitrary input.
+    #[test]
+    fn parser_never_panics(input in "[a-z0-9<>=!&|();. ]{0,60}") {
+        let mut voc = Vocabulary::new();
+        let _ = parse_database(&mut voc, &input);
+        let _ = parse_query(&mut voc, &input);
+    }
+
+    /// Query parsing of well-formed sequential queries always succeeds
+    /// and produces tight, sequential disjuncts.
+    #[test]
+    fn sequential_query_parse(labels in proptest::collection::vec(0usize..3, 1..5)) {
+        let mut voc = Vocabulary::new();
+        parse_database(&mut voc, "pred P(ord); pred Q(ord); pred R(ord);").unwrap();
+        let mut q = String::from("exists");
+        for i in 0..labels.len() {
+            q.push_str(&format!(" t{i}"));
+        }
+        q.push_str(". ");
+        for (i, p) in labels.iter().enumerate() {
+            if i > 0 {
+                q.push_str(&format!("& t{} < t{i} ", i - 1));
+            }
+            q.push_str(&format!("& {}(t{i}) ", ["P", "Q", "R"][*p]));
+        }
+        let q = q.replacen(". & ", ". ", 1);
+        let parsed = parse_query(&mut voc, &q).unwrap();
+        prop_assert_eq!(parsed.disjuncts().len(), 1);
+        prop_assert!(parsed.disjuncts()[0].is_sequential());
+        prop_assert!(parsed.is_tight());
+    }
+}

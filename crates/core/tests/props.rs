@@ -1,0 +1,194 @@
+//! Property tests for the core combinatorial substrate.
+
+use indord_core::atom::OrderRel;
+use indord_core::bitset::BitSet;
+use indord_core::ordgraph::OrderGraph;
+use indord_core::toposort;
+use proptest::prelude::*;
+
+/// Random forward-edge dags on up to `max_n` vertices.
+fn dag(max_n: usize) -> impl Strategy<Value = OrderGraph> {
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(
+            (0..n * n, prop_oneof![Just(OrderRel::Lt), Just(OrderRel::Le)]),
+            0..=2 * n,
+        )
+        .prop_map(move |raw| {
+            let mut edges = Vec::new();
+            for (code, rel) in raw {
+                let (i, j) = (code / n, code % n);
+                if i < j {
+                    edges.push((i, j, rel));
+                }
+            }
+            OrderGraph::from_dag_edges(n, &edges).expect("forward edges are acyclic")
+        })
+    })
+}
+
+/// Brute-force maximum antichain via subset enumeration.
+fn width_brute(g: &OrderGraph) -> usize {
+    let n = g.len();
+    let reach = g.reachability();
+    let mut best = 0;
+    for mask in 0u32..(1 << n) {
+        let members: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+        let ok = members.iter().all(|&u| {
+            members.iter().all(|&v| u == v || !reach[u].contains(v))
+        });
+        if ok {
+            best = best.max(members.len());
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Dilworth-based width equals brute-force maximum antichain.
+    #[test]
+    fn width_matches_brute_force(g in dag(7)) {
+        prop_assert_eq!(g.width(), width_brute(&g));
+    }
+
+    /// Full closure is idempotent and only adds edges.
+    #[test]
+    fn full_closure_idempotent(g in dag(6)) {
+        let full = g.full_closure();
+        let full2 = full.full_closure();
+        prop_assert_eq!(full.edge_count(), full2.edge_count());
+        prop_assert!(full.edge_count() >= g.edge_count());
+        // Every original edge is still implied (possibly strengthened).
+        for (u, v, rel) in g.edges() {
+            let found = full.edges().find(|&(a, b, _)| a == u && b == v);
+            match found {
+                Some((_, _, OrderRel::Lt)) => {}
+                Some((_, _, r)) => prop_assert_eq!(r, rel),
+                _ => prop_assert!(false, "edge {}->{} lost in closure", u, v),
+            }
+        }
+    }
+
+    /// Strict reachability is contained in reachability, and agrees with
+    /// the closure's `<` edges.
+    #[test]
+    fn strictness_consistency(g in dag(6)) {
+        let reach = g.reachability();
+        let strict = g.strict_reachability();
+        for u in 0..g.len() {
+            prop_assert!(strict[u].is_subset(&reach[u]));
+        }
+        let full = g.full_closure();
+        for (u, v, rel) in full.edges() {
+            match rel {
+                OrderRel::Lt => prop_assert!(strict[u].contains(v)),
+                OrderRel::Le => prop_assert!(
+                    reach[u].contains(v) && !strict[u].contains(v)
+                ),
+                OrderRel::Ne => prop_assert!(false, "closure cannot contain !="),
+            }
+        }
+    }
+
+    /// Every enumerated sort is a valid order-preserving onto map, and
+    /// sorts are pairwise distinct.
+    #[test]
+    fn sorts_are_valid_and_distinct(g in dag(5)) {
+        let mut seen = std::collections::HashSet::new();
+        toposort::for_each_sort(&g, &mut |stage_of, n_stages| {
+            // order preservation
+            for (u, v, rel) in g.edges() {
+                match rel {
+                    OrderRel::Lt => assert!(stage_of[u] < stage_of[v]),
+                    OrderRel::Le => assert!(stage_of[u] <= stage_of[v]),
+                    OrderRel::Ne => unreachable!(),
+                }
+            }
+            // onto
+            let mut hit = vec![false; n_stages];
+            for &s in stage_of {
+                hit[s] = true;
+            }
+            assert!(hit.iter().all(|&b| b));
+            assert!(seen.insert(stage_of.to_vec()), "duplicate sort");
+            true
+        })
+        .unwrap();
+        prop_assert!(!seen.is_empty(), "every dag has at least one sort");
+    }
+
+    /// The canonical sort uses the minimum number of stages among all
+    /// enumerated sorts.
+    #[test]
+    fn canonical_sort_is_stage_minimal(g in dag(5)) {
+        let canonical = toposort::canonical_sort(&g);
+        let mut min_stages = usize::MAX;
+        toposort::for_each_sort(&g, &mut |_, n_stages| {
+            min_stages = min_stages.min(n_stages);
+            true
+        })
+        .unwrap();
+        prop_assert_eq!(canonical.n_stages, min_stages);
+    }
+
+    /// Minor vertices are exactly those reachable from no `<` edge:
+    /// cross-check against a reachability-based definition.
+    #[test]
+    fn minor_vertices_characterization(g in dag(6)) {
+        let minors = g.minor_vertices();
+        let strict = g.strict_reachability();
+        for v in 0..g.len() {
+            let strictly_reached = (0..g.len()).any(|u| strict[u].contains(v));
+            prop_assert_eq!(minors.contains(v), !strictly_reached, "vertex {}", v);
+        }
+    }
+
+    /// `up_set` is monotone and contains its seed.
+    #[test]
+    fn up_set_properties(g in dag(6), seed_bits in 0u32..64) {
+        let n = g.len();
+        let seed: BitSet = (0..n).filter(|i| seed_bits & (1 << i) != 0).collect();
+        let up = g.up_set(&seed);
+        prop_assert!(seed.is_subset(&up));
+        let reach = g.reachability();
+        for v in 0..n {
+            let expected = seed.iter().any(|s| reach[s].contains(v));
+            prop_assert_eq!(up.contains(v), expected);
+        }
+    }
+
+    /// Restriction to the full vertex set is the identity (up to order).
+    #[test]
+    fn restrict_identity(g in dag(6)) {
+        let all = BitSet::full(g.len());
+        let (sub, old_of) = g.restrict(&all);
+        prop_assert_eq!(sub.len(), g.len());
+        prop_assert_eq!(sub.edge_count(), g.edge_count());
+        prop_assert_eq!(old_of, (0..g.len()).collect::<Vec<_>>());
+    }
+}
+
+/// Normalization handles `<=`-cycles of every length.
+#[test]
+fn n1_collapses_long_cycles() {
+    for len in 2..6usize {
+        let mut edges: Vec<(usize, usize, OrderRel)> =
+            (0..len).map(|i| (i, (i + 1) % len, OrderRel::Le)).collect();
+        edges.push((0, len, OrderRel::Lt)); // plus a tail vertex
+        let nz = OrderGraph::normalize(len + 1, &edges).unwrap();
+        assert_eq!(nz.graph.len(), 2, "cycle of length {len} collapses to one class");
+        assert_eq!(nz.graph.edge_count(), 1);
+    }
+}
+
+/// Mixed cycles through `<` are always inconsistent.
+#[test]
+fn lt_cycles_rejected_at_any_length() {
+    for len in 1..6usize {
+        let mut edges: Vec<(usize, usize, OrderRel)> =
+            (0..len.saturating_sub(1)).map(|i| (i, i + 1, OrderRel::Le)).collect();
+        edges.push((len.saturating_sub(1), 0, OrderRel::Lt));
+        assert!(OrderGraph::normalize(len.max(1), &edges).is_err(), "length {len}");
+    }
+}

@@ -1,0 +1,579 @@
+//! Disjunctive monadic entailment (Theorem 5.3), with countermodel
+//! enumeration at polynomial delay.
+//!
+//! The search explores tuples `(S, T, u₁…uₙ, x₁…xₙ)` where
+//!
+//! * `S`, `T` are antichains of the database dag: `D↾(S∪T)` is the unsorted
+//!   portion of a topological sort under construction, and
+//!   `D(S,T) = (D↾S) \ (D↾T)` is the provisional set of vertices mapping to
+//!   the *next* point of the model;
+//! * `uᵢ` is a vertex of disjunct `Φᵢ`: some path of `Φᵢ` has been
+//!   satisfied up to but not including `uᵢ`;
+//! * `xᵢ ∈ {0,1}` records that `uᵢ` was reached through a `<` edge whose
+//!   source sits at the current point, so `uᵢ` cannot also be placed here.
+//!
+//! Transitions: **(a)** move a minor vertex `v ∈ T` to the `S` side;
+//! **(b)** if the least `j` with `x_j = 0` whose label fits
+//! `a(S,T)` (the union of labels of `D(S,T)`) has an out-edge, advance its
+//! pointer — greedy earliest placement, which is complete for path
+//! satisfaction in words; **(c)** when *no* pointer fits (or all fitting
+//! ones have `x = 1`), commit `D(S,T)` as the next point. `D |≠ Φ` iff the
+//! all-empty tuple is reachable; the committed labels along the way spell a
+//! countermodel.
+//!
+//! For width-`k` databases the state space is `O(|D|^{2k}·Π|Φᵢ|)`
+//! (Theorem 5.3); the same search run on unbounded-width input realizes
+//! the co-NP upper bound of Proposition 5.2.
+
+use crate::verdict::MonadicVerdict;
+use indord_core::atom::OrderRel;
+use indord_core::bitset::{BitSet, PredSet};
+use indord_core::error::{CoreError, Result};
+use indord_core::model::MonadicModel;
+use indord_core::monadic::{MonadicDatabase, MonadicQuery};
+use std::collections::HashMap;
+
+/// Maximum number of disjuncts (pointer `x`-bits are packed in a `u64`).
+pub const MAX_DISJUNCTS: usize = 64;
+
+/// Guard on the number of explored states: the search is exponential in
+/// the database width and the number of disjuncts (Theorem 5.3's
+/// `O(|D|^{2k}·Π|Φᵢ|)`), so runaway inputs surface as
+/// [`CoreError::CapExceeded`] instead of exhausting memory.
+pub const STATE_CAP: usize = 4_000_000;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    s: Vec<u32>,
+    t: Vec<u32>,
+    ptr: Vec<u32>,
+    x: u64,
+}
+
+/// How a state was reached — needed to reconstruct countermodels.
+#[derive(Debug, Clone)]
+enum Step {
+    Root,
+    /// Plain edge ((a) or (b)).
+    Plain(State),
+    /// A (c) edge committing the given point label.
+    Commit(State, PredSet),
+}
+
+/// Decides `D |= Φ₁ ∨ … ∨ Φₙ`.
+pub fn entails(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Result<bool> {
+    Ok(check(db, disjuncts)?.holds())
+}
+
+/// Decides entailment, producing a countermodel on failure.
+pub fn check(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Result<MonadicVerdict> {
+    let mut found: Option<MonadicModel> = None;
+    run(db, disjuncts, &mut |m| {
+        found = Some(m);
+        false // stop at the first countermodel
+    })?;
+    Ok(match found {
+        Some(m) => MonadicVerdict::Countermodel(m),
+        None => MonadicVerdict::Entailed,
+    })
+}
+
+/// Enumerates countermodels (models of `D` falsifying every disjunct),
+/// deduplicated, up to `cap` of them.
+///
+/// The state graph is a dag (each transition strictly shrinks the unsorted
+/// region or advances a query pointer), so after pruning states that cannot
+/// reach a final tuple, every maximal path spells a countermodel — walking
+/// the pruned graph emits models with polynomial delay, as the paper notes
+/// after Theorem 5.3. Distinct paths may spell the same model; results are
+/// deduplicated here.
+pub fn countermodels(
+    db: &MonadicDatabase,
+    disjuncts: &[MonadicQuery],
+    cap: usize,
+) -> Result<Vec<MonadicModel>> {
+    let graph = explore(db, disjuncts)?;
+    let Some(graph) = graph else {
+        return Ok(Vec::new()); // trivially entailed (an empty disjunct)
+    };
+    // Backward-prune: keep only states from which a final state is
+    // reachable.
+    let mut reverse: HashMap<&State, Vec<&State>> = HashMap::new();
+    for (from, outs) in &graph.edges {
+        for (to, _) in outs {
+            reverse.entry(to).or_default().push(from);
+        }
+    }
+    let mut alive: std::collections::HashSet<&State> = std::collections::HashSet::new();
+    let mut work: Vec<&State> = graph.finals.iter().collect();
+    while let Some(st) = work.pop() {
+        if alive.insert(st) {
+            if let Some(preds) = reverse.get(st) {
+                work.extend(preds.iter().copied());
+            }
+        }
+    }
+    // Depth-first path enumeration over the pruned dag.
+    let mut out: Vec<MonadicModel> = Vec::new();
+    let mut seen: std::collections::HashSet<MonadicModel> = std::collections::HashSet::new();
+    // stack of (state, next edge index); labels committed along the path.
+    for init in &graph.initials {
+        if !alive.contains(init) {
+            continue;
+        }
+        let mut stack: Vec<(&State, usize)> = vec![(init, 0)];
+        let mut labels: Vec<Option<PredSet>> = vec![None];
+        while let Some(&mut (st, ref mut idx)) = stack.last_mut() {
+            if graph.finals.contains(st) && *idx == 0 {
+                let model: Vec<PredSet> =
+                    labels.iter().filter_map(|l| l.clone()).collect();
+                let m = MonadicModel::new(model);
+                if seen.insert(m.clone()) {
+                    out.push(m);
+                    if out.len() >= cap {
+                        return Ok(out);
+                    }
+                }
+            }
+            let outs = graph.edges.get(st).map(Vec::as_slice).unwrap_or(&[]);
+            let mut advanced = false;
+            while *idx < outs.len() {
+                let (ref to, ref lbl) = outs[*idx];
+                *idx += 1;
+                if alive.contains(to) {
+                    labels.push(lbl.clone());
+                    stack.push((to, 0));
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced && {
+                let (_, i) = *stack.last().unwrap();
+                i >= outs.len()
+            } {
+                stack.pop();
+                labels.pop();
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The fully explored state graph.
+struct StateGraph {
+    edges: HashMap<State, Vec<(State, Option<PredSet>)>>,
+    initials: Vec<State>,
+    finals: std::collections::HashSet<State>,
+}
+
+/// Explores all reachable states, recording edges. Returns `None` when the
+/// query is trivially entailed (some disjunct is empty).
+fn explore(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Result<Option<StateGraph>> {
+    debug_assert!(db.ne.is_empty(), "Thm 5.3 is for [<,<=] databases");
+    if disjuncts.len() > MAX_DISJUNCTS {
+        return Err(CoreError::CapExceeded {
+            what: "disjuncts in Theorem 5.3 search".to_string(),
+            limit: MAX_DISJUNCTS,
+        });
+    }
+    if disjuncts.iter().any(|q| q.graph.is_empty()) {
+        return Ok(None);
+    }
+    let initials = initial_states(db, disjuncts);
+    let mut edges: HashMap<State, Vec<(State, Option<PredSet>)>> = HashMap::new();
+    let mut finals = std::collections::HashSet::new();
+    let mut stack: Vec<State> = Vec::new();
+    for st in &initials {
+        if !edges.contains_key(st) {
+            edges.insert(st.clone(), Vec::new());
+            stack.push(st.clone());
+        }
+    }
+    while let Some(st) = stack.pop() {
+        if edges.len() > STATE_CAP {
+            return Err(CoreError::CapExceeded {
+                what: "states in Theorem 5.3 exploration".to_string(),
+                limit: STATE_CAP,
+            });
+        }
+        if st.s.is_empty() && st.t.is_empty() {
+            finals.insert(st);
+            continue;
+        }
+        let outs = successors(db, disjuncts, &st);
+        for (to, _) in &outs {
+            if !edges.contains_key(to) {
+                edges.insert(to.clone(), Vec::new());
+                stack.push(to.clone());
+            }
+        }
+        edges.insert(st, outs);
+    }
+    Ok(Some(StateGraph { edges, initials, finals }))
+}
+
+/// All initial states: S = ∅, T = min(D), one pointer combination per
+/// choice of minimal query vertices.
+fn initial_states(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Vec<State> {
+    let n = disjuncts.len();
+    let init_t: Vec<u32> = db.graph.minimal_vertices().iter().map(|v| v as u32).collect();
+    let sources: Vec<Vec<u32>> = disjuncts
+        .iter()
+        .map(|q| {
+            (0..q.graph.len())
+                .filter(|&v| q.graph.predecessors(v).is_empty())
+                .map(|v| v as u32)
+                .collect()
+        })
+        .collect();
+    let mut out = Vec::new();
+    let mut combo = vec![0usize; n];
+    loop {
+        let ptr: Vec<u32> = (0..n).map(|j| sources[j][combo[j]]).collect();
+        out.push(State { s: Vec::new(), t: init_t.clone(), ptr, x: 0 });
+        let mut j = 0;
+        loop {
+            if j == n {
+                break;
+            }
+            combo[j] += 1;
+            if combo[j] < sources[j].len() {
+                break;
+            }
+            combo[j] = 0;
+            j += 1;
+        }
+        if j == n {
+            break;
+        }
+    }
+    out
+}
+
+/// The outgoing transitions of a non-final state. The `Option<PredSet>` is
+/// `Some(label)` exactly on (c) edges, carrying the committed point label.
+fn successors(
+    db: &MonadicDatabase,
+    disjuncts: &[MonadicQuery],
+    st: &State,
+) -> Vec<(State, Option<PredSet>)> {
+    let n = disjuncts.len();
+    let mut outs = Vec::new();
+    let s_bits: BitSet = st.s.iter().map(|&v| v as usize).collect();
+    let t_bits: BitSet = st.t.iter().map(|&v| v as usize).collect();
+    let region_s = db.graph.up_set(&s_bits);
+    let region_t = db.graph.up_set(&t_bits);
+    let mut dst = region_s.clone();
+    dst.difference_with(&region_t);
+    let mut a = PredSet::new();
+    for v in dst.iter() {
+        a.union_with(&db.labels[v]);
+    }
+
+    // Edge (b): the least pointer with x=0 that fits must advance first.
+    let fits: Vec<bool> = (0..n)
+        .map(|j| disjuncts[j].labels[st.ptr[j] as usize].is_subset(&a))
+        .collect();
+    if let Some(j) = (0..n).find(|&j| st.x & (1 << j) == 0 && fits[j]) {
+        let u = st.ptr[j] as usize;
+        for &(w, rel) in disjuncts[j].graph.successors(u) {
+            let mut ptr = st.ptr.clone();
+            ptr[j] = w;
+            let x = match rel {
+                OrderRel::Lt => st.x | (1 << j),
+                OrderRel::Le => st.x & !(1 << j),
+                OrderRel::Ne => unreachable!(),
+            };
+            outs.push((State { s: st.s.clone(), t: st.t.clone(), ptr, x }, None));
+        }
+    } else if !dst.is_empty() {
+        // Edge (c): commit the provisional point.
+        outs.push((
+            State { s: Vec::new(), t: st.t.clone(), ptr: st.ptr.clone(), x: 0 },
+            Some(a.clone()),
+        ));
+    }
+
+    // Edge (a): move a minor unsorted vertex from T to the S side.
+    let mut region_union = region_s.clone();
+    region_union.union_with(&region_t);
+    let minors = db.graph.minor_within(&region_union);
+    for &v in &st.t {
+        if !minors.contains(v as usize) {
+            continue;
+        }
+        let mut s_new_bits = s_bits.clone();
+        s_new_bits.insert(v as usize);
+        let s2: Vec<u32> = db
+            .graph
+            .minimal_within(&db.graph.up_set(&s_new_bits))
+            .iter()
+            .map(|w| w as u32)
+            .collect();
+        let mut t_rest = region_t.clone();
+        t_rest.remove(v as usize);
+        let t2: Vec<u32> = db.graph.minimal_within(&t_rest).iter().map(|w| w as u32).collect();
+        outs.push((State { s: s2, t: t2, ptr: st.ptr.clone(), x: st.x }, None));
+    }
+    outs
+}
+
+/// Core search for the *first* countermodel. Invokes `on_model` on it;
+/// `on_model` returns `false` to stop (which `check` always does).
+fn run(
+    db: &MonadicDatabase,
+    disjuncts: &[MonadicQuery],
+    on_model: &mut dyn FnMut(MonadicModel) -> bool,
+) -> Result<()> {
+    debug_assert!(db.ne.is_empty(), "Thm 5.3 is for [<,<=] databases");
+    if disjuncts.len() > MAX_DISJUNCTS {
+        return Err(CoreError::CapExceeded {
+            what: "disjuncts in Theorem 5.3 search".to_string(),
+            limit: MAX_DISJUNCTS,
+        });
+    }
+    if disjuncts.iter().any(|q| q.graph.is_empty()) {
+        return Ok(());
+    }
+    let mut visited: HashMap<State, Step> = HashMap::new();
+    let mut stack: Vec<State> = Vec::new();
+    for st in initial_states(db, disjuncts) {
+        if !visited.contains_key(&st) {
+            visited.insert(st.clone(), Step::Root);
+            stack.push(st);
+        }
+    }
+    while let Some(st) = stack.pop() {
+        if visited.len() > STATE_CAP {
+            return Err(CoreError::CapExceeded {
+                what: "states in Theorem 5.3 search".to_string(),
+                limit: STATE_CAP,
+            });
+        }
+        if st.s.is_empty() && st.t.is_empty() {
+            // Final tuple: reconstruct the committed points.
+            let mut labels: Vec<PredSet> = Vec::new();
+            let mut cur = st.clone();
+            loop {
+                match visited.get(&cur).cloned().expect("visited state has a step") {
+                    Step::Root => break,
+                    Step::Plain(p) => cur = p,
+                    Step::Commit(p, label) => {
+                        labels.push(label);
+                        cur = p;
+                    }
+                }
+            }
+            labels.reverse();
+            if !on_model(MonadicModel::new(labels)) {
+                return Ok(());
+            }
+            continue;
+        }
+        for (to, lbl) in successors(db, disjuncts, &st) {
+            let step = match lbl {
+                Some(label) => Step::Commit(st.clone(), label),
+                None => Step::Plain(st.clone()),
+            };
+            push(&mut visited, &mut stack, to, step);
+        }
+    }
+    Ok(())
+}
+
+fn push(visited: &mut HashMap<State, Step>, stack: &mut Vec<State>, to: State, how: Step) {
+    if !visited.contains_key(&to) {
+        visited.insert(to.clone(), how);
+        stack.push(to);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modelcheck;
+    use indord_core::atom::OrderRel::{Le, Lt};
+    use indord_core::flexi::FlexiWord;
+    use indord_core::ordgraph::OrderGraph;
+    use indord_core::sym::PredSym;
+
+    fn ps(ids: &[usize]) -> PredSet {
+        ids.iter().map(|&i| PredSym::from_index(i)).collect()
+    }
+
+    fn q1(label: &[usize]) -> MonadicQuery {
+        let g = OrderGraph::from_dag_edges(1, &[]).unwrap();
+        MonadicQuery::new(g, vec![ps(label)])
+    }
+
+    #[test]
+    fn single_disjunct_agrees_with_paths() {
+        let db = FlexiWord::word(vec![ps(&[0, 1]), ps(&[2])]).to_database();
+        let q = MonadicQuery::from_flexiword(&FlexiWord::word(vec![ps(&[0]), ps(&[2])]));
+        assert!(entails(&db, &[q.clone()]).unwrap());
+        assert!(crate::paths::entails(&db, &q));
+        let q2 = MonadicQuery::from_flexiword(&FlexiWord::word(vec![ps(&[2]), ps(&[0])]));
+        assert!(!entails(&db, &[q2.clone()]).unwrap());
+        assert!(!crate::paths::entails(&db, &q2));
+    }
+
+    #[test]
+    fn genuine_disjunction() {
+        // D: P(u), Q(v) unordered. Neither "P<Q" nor "Q<P" is certain,
+        // but their disjunction is not certain either (u=v model has
+        // neither)… wait: u=v gives one point {P,Q}; P<Q needs two points.
+        // The disjunction "P before-or-equal Q" ∨ "Q before-or-equal P"
+        // IS certain.
+        let g = OrderGraph::from_dag_edges(2, &[]).unwrap();
+        let db = MonadicDatabase::new(g, vec![ps(&[0]), ps(&[1])]);
+        let p_lt_q = MonadicQuery::from_flexiword(&FlexiWord::word(vec![ps(&[0]), ps(&[1])]));
+        let q_lt_p = MonadicQuery::from_flexiword(&FlexiWord::word(vec![ps(&[1]), ps(&[0])]));
+        assert!(!entails(&db, &[p_lt_q.clone()]).unwrap());
+        assert!(!entails(&db, &[q_lt_p.clone()]).unwrap());
+        assert!(!entails(&db, &[p_lt_q.clone(), q_lt_p.clone()]).unwrap());
+        let p_le_q = MonadicQuery::from_flexiword(&FlexiWord::new(
+            vec![ps(&[0]), ps(&[1])],
+            vec![Le],
+        ));
+        let q_le_p = MonadicQuery::from_flexiword(&FlexiWord::new(
+            vec![ps(&[1]), ps(&[0])],
+            vec![Le],
+        ));
+        assert!(entails(&db, &[p_le_q, q_le_p]).unwrap());
+    }
+
+    #[test]
+    fn disjunction_strictly_stronger_than_members() {
+        // D: {P} <= {Q}: minimal models are {P}{Q} and {PQ}.
+        // Φ₁ = P<Q holds only in the first, Φ₂ = "PQ together" only in the
+        // second; the disjunction is entailed though neither disjunct is.
+        let g = OrderGraph::from_dag_edges(2, &[(0, 1, Le)]).unwrap();
+        let db = MonadicDatabase::new(g, vec![ps(&[0]), ps(&[1])]);
+        let phi1 = MonadicQuery::from_flexiword(&FlexiWord::word(vec![ps(&[0]), ps(&[1])]));
+        let phi2 = q1(&[0, 1]);
+        assert!(!entails(&db, &[phi1.clone()]).unwrap());
+        assert!(!entails(&db, &[phi2.clone()]).unwrap());
+        assert!(entails(&db, &[phi1, phi2]).unwrap());
+    }
+
+    #[test]
+    fn countermodels_enumerate_all_minimal_falsifiers() {
+        // D: two unordered points P, Q; query "exists t. P(t) & Q(t)".
+        // Countermodels: the two-point models {P}{Q} and {Q}{P}.
+        let g = OrderGraph::from_dag_edges(2, &[]).unwrap();
+        let db = MonadicDatabase::new(g, vec![ps(&[0]), ps(&[1])]);
+        let q = q1(&[0, 1]);
+        let models = countermodels(&db, &[q.clone()], 100).unwrap();
+        assert_eq!(models.len(), 2);
+        for m in &models {
+            assert!(modelcheck::is_model_of(m, &db));
+            assert!(!modelcheck::satisfies_conjunct(m, &q));
+            assert_eq!(m.len(), 2);
+        }
+    }
+
+    #[test]
+    fn no_countermodels_when_entailed() {
+        let db = FlexiWord::word(vec![ps(&[0]), ps(&[1])]).to_database();
+        let q = MonadicQuery::from_flexiword(&FlexiWord::word(vec![ps(&[0]), ps(&[1])]));
+        assert!(countermodels(&db, &[q], 10).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_disjunct_trivially_entailed() {
+        let g = OrderGraph::from_dag_edges(1, &[]).unwrap();
+        let db = MonadicDatabase::new(g, vec![ps(&[0])]);
+        let empty = MonadicQuery::new(OrderGraph::from_dag_edges(0, &[]).unwrap(), vec![]);
+        assert!(entails(&db, &[q1(&[5]), empty]).unwrap());
+    }
+
+    #[test]
+    fn empty_database_countermodel_is_empty_model() {
+        let g = OrderGraph::from_dag_edges(0, &[]).unwrap();
+        let db = MonadicDatabase::new(g, vec![]);
+        match check(&db, &[q1(&[0])]).unwrap() {
+            MonadicVerdict::Countermodel(m) => assert!(m.is_empty()),
+            MonadicVerdict::Entailed => panic!("empty db cannot entail P"),
+        }
+    }
+
+    #[test]
+    fn non_tight_disjunct() {
+        // Φ: exists t1 t2. t1 < t2 (no proper atoms) — "at least 2 points".
+        // D with a <= edge: the merged model has 1 point → not entailed.
+        let qg = OrderGraph::from_dag_edges(2, &[(0, 1, Lt)]).unwrap();
+        let q = MonadicQuery::new(qg, vec![PredSet::new(), PredSet::new()]);
+        let g = OrderGraph::from_dag_edges(2, &[(0, 1, Le)]).unwrap();
+        let db = MonadicDatabase::new(g, vec![ps(&[0]), ps(&[1])]);
+        assert!(!entails(&db, &[q.clone()]).unwrap());
+        // With a < edge, every model has ≥ 2 points → entailed.
+        let g = OrderGraph::from_dag_edges(2, &[(0, 1, Lt)]).unwrap();
+        let db = MonadicDatabase::new(g, vec![ps(&[0]), ps(&[1])]);
+        assert!(entails(&db, &[q]).unwrap());
+    }
+
+    #[test]
+    fn all_countermodels_verified_randomized() {
+        let mut seed = 0x2545F4914F6CDD1Du64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..100 {
+            let n = (rng() % 4) as usize + 1;
+            let mut edges = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    match rng() % 4 {
+                        0 => edges.push((i, j, Lt)),
+                        1 => edges.push((i, j, Le)),
+                        _ => {}
+                    }
+                }
+            }
+            let g = OrderGraph::from_dag_edges(n, &edges).unwrap();
+            let labels = (0..n)
+                .map(|_| {
+                    let bits = rng() % 8;
+                    (0..3).filter(|i| bits & (1 << i) != 0).map(PredSym::from_index).collect()
+                })
+                .collect();
+            let db = MonadicDatabase::new(g, labels);
+            let mk_query = |rng: &mut dyn FnMut() -> u64| {
+                let qn = (rng() % 3) as usize + 1;
+                let mut edges = Vec::new();
+                for i in 0..qn {
+                    for j in (i + 1)..qn {
+                        match rng() % 4 {
+                            0 => edges.push((i, j, Lt)),
+                            1 => edges.push((i, j, Le)),
+                            _ => {}
+                        }
+                    }
+                }
+                let g = OrderGraph::from_dag_edges(qn, &edges).unwrap();
+                let labels = (0..qn)
+                    .map(|_| {
+                        let bits = rng() % 8;
+                        (0..3)
+                            .filter(|i| bits & (1 << i) != 0)
+                            .map(PredSym::from_index)
+                            .collect()
+                    })
+                    .collect();
+                MonadicQuery::new(g, labels)
+            };
+            let disjuncts: Vec<MonadicQuery> =
+                (0..(rng() % 2 + 1)).map(|_| mk_query(&mut rng)).collect();
+            for m in countermodels(&db, &disjuncts, 50).unwrap() {
+                assert!(modelcheck::is_model_of(&m, &db), "round {round}");
+                assert!(
+                    !modelcheck::satisfies(&m, &disjuncts),
+                    "round {round}: countermodel satisfies a disjunct"
+                );
+            }
+        }
+    }
+}

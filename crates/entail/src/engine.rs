@@ -1,0 +1,356 @@
+//! The strategy-selecting entailment facade.
+//!
+//! [`Engine::entails`] accepts a raw [`Database`] and a [`DnfQuery`] and
+//! routes to the best applicable algorithm:
+//!
+//! 1. the database is normalized (N1/N2, consistency);
+//! 2. when every predicate in play is monadic, the monadic pipeline runs:
+//!    the object part of each disjunct (§4) is evaluated against the
+//!    definite facts, the order parts go to `SEQ` / paths / Theorem 4.7 /
+//!    Theorem 5.3 depending on shape;
+//! 3. otherwise the naive n-ary engine decides by minimal-model
+//!    enumeration (with enumeration caps surfaced as errors).
+//!
+//! The [`Strategy`] enum pins a specific algorithm, which the benchmarks
+//! and the cross-validation tests use.
+
+use crate::verdict::{MonadicVerdict, NaryVerdict};
+use crate::{bounded, disjunctive, ineq, naive, paths, seq};
+use indord_core::database::Database;
+use indord_core::error::{CoreError, Result};
+use indord_core::model::{FiniteModel, MonadicModel};
+use indord_core::monadic::{split_object_part, MonadicQuery};
+use indord_core::query::DnfQuery;
+use indord_core::sym::Vocabulary;
+
+/// Which algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Choose automatically from the query/database shape.
+    #[default]
+    Auto,
+    /// Naive minimal-model enumeration (works for everything; exponential).
+    Naive,
+    /// `SEQ` — requires a single sequential monadic disjunct.
+    Seq,
+    /// Path decomposition (Lemma 4.1) — conjunctive monadic.
+    Paths,
+    /// Theorem 4.7 product search — conjunctive monadic.
+    BoundedWidth,
+    /// Theorem 5.3 product search — disjunctive monadic.
+    Disjunctive,
+}
+
+/// The unified verdict of the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The query is certain.
+    Entailed,
+    /// Falsified by a monadic countermodel.
+    MonadicCountermodel(MonadicModel),
+    /// Falsified by an n-ary countermodel.
+    NaryCountermodel(Box<FiniteModel>),
+}
+
+impl Verdict {
+    /// True when entailed.
+    pub fn holds(&self) -> bool {
+        matches!(self, Verdict::Entailed)
+    }
+}
+
+impl From<MonadicVerdict> for Verdict {
+    fn from(v: MonadicVerdict) -> Verdict {
+        match v {
+            MonadicVerdict::Entailed => Verdict::Entailed,
+            MonadicVerdict::Countermodel(m) => Verdict::MonadicCountermodel(m),
+        }
+    }
+}
+
+impl From<NaryVerdict> for Verdict {
+    fn from(v: NaryVerdict) -> Verdict {
+        match v {
+            NaryVerdict::Entailed => Verdict::Entailed,
+            NaryVerdict::Countermodel(m) => Verdict::NaryCountermodel(m),
+        }
+    }
+}
+
+/// The entailment engine (borrowing the vocabulary for signature lookups).
+#[derive(Debug, Clone, Copy)]
+pub struct Engine<'a> {
+    voc: &'a Vocabulary,
+    strategy: Strategy,
+    /// Cap for `!=` eliminations and similar expansions.
+    expansion_cap: usize,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine with the automatic strategy.
+    pub fn new(voc: &'a Vocabulary) -> Self {
+        Engine { voc, strategy: Strategy::Auto, expansion_cap: 4096 }
+    }
+
+    /// Pins a strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Decides `D |= Φ`.
+    pub fn entails(&self, db: &Database, query: &DnfQuery) -> Result<Verdict> {
+        let nd = db.normalize()?;
+        if query.disjuncts.is_empty() {
+            // The false query: entailed only by an inconsistent database,
+            // and normalization already rejected those — except when a
+            // merged `!=` pair leaves no models at all.
+            return Ok(if nd.has_contradictory_ne() {
+                Verdict::Entailed
+            } else {
+                Verdict::MonadicCountermodel(MonadicModel::new(Vec::new())).into_first_model(&nd)
+            });
+        }
+
+        // Monadic route?
+        let monadic_applicable = self.strategy != Strategy::Naive && self.monadic_applicable(query);
+        if monadic_applicable {
+            if let Ok(mdb) = indord_core::monadic::MonadicDatabase::from_normal(self.voc, &nd) {
+                // Split object parts, filter disjuncts by their truth.
+                let definite: Vec<_> = nd
+                    .definite_atoms()
+                    .filter_map(|a| match (a.args.first(), a.args.len()) {
+                        (Some(indord_core::atom::Term::Obj(o)), 1) => Some((a.pred, *o)),
+                        _ => None,
+                    })
+                    .collect();
+                let mut order_disjuncts: Vec<MonadicQuery> = Vec::new();
+                for cq in &query.disjuncts {
+                    let (obj, mq) = split_object_part(self.voc, cq)?;
+                    if !obj.holds(&definite) {
+                        continue; // this disjunct can never fire
+                    }
+                    if mq.is_empty() {
+                        return Ok(Verdict::Entailed); // object part suffices
+                    }
+                    order_disjuncts.push(mq);
+                }
+                return Ok(self.monadic_entails(&mdb, &order_disjuncts)?.into());
+            }
+        }
+
+        // n-ary route.
+        match self.strategy {
+            Strategy::Auto | Strategy::Naive => Ok(naive::nary_check(&nd, query)?.into()),
+            s => Err(CoreError::Parse {
+                offset: 0,
+                message: format!("strategy {s:?} requires monadic predicates"),
+            }),
+        }
+    }
+
+    fn monadic_applicable(&self, query: &DnfQuery) -> bool {
+        query.disjuncts.iter().all(|cq| {
+            cq.proper.iter().all(|a| {
+                let sig = self.voc.signature(a.pred);
+                sig.is_monadic_order() || sig.is_monadic_object()
+            })
+        })
+    }
+
+    /// The monadic pipeline on prepared inputs.
+    pub fn monadic_entails(
+        &self,
+        mdb: &indord_core::monadic::MonadicDatabase,
+        disjuncts: &[MonadicQuery],
+    ) -> Result<MonadicVerdict> {
+        if disjuncts.is_empty() {
+            // No disjunct survived object-part filtering: find any model.
+            return naive_first_model(mdb);
+        }
+        let has_ne =
+            !mdb.ne.is_empty() || disjuncts.iter().any(|q| !q.ne.is_empty());
+        match self.strategy {
+            Strategy::Naive => naive::monadic_check(mdb, disjuncts),
+            Strategy::Seq => {
+                if disjuncts.len() != 1 || !disjuncts[0].is_sequential() {
+                    return Err(CoreError::NotSequential);
+                }
+                Ok(seq::check(mdb, &disjuncts[0].to_flexiword()?))
+            }
+            Strategy::Paths => {
+                if disjuncts.len() != 1 {
+                    return Err(CoreError::Parse {
+                        offset: 0,
+                        message: "Paths strategy requires a conjunctive query".to_string(),
+                    });
+                }
+                Ok(paths::check(mdb, &disjuncts[0]))
+            }
+            Strategy::BoundedWidth => {
+                if disjuncts.len() != 1 {
+                    return Err(CoreError::Parse {
+                        offset: 0,
+                        message: "BoundedWidth strategy requires a conjunctive query".to_string(),
+                    });
+                }
+                Ok(bounded::check(mdb, &disjuncts[0]))
+            }
+            Strategy::Disjunctive => disjunctive::check(mdb, disjuncts),
+            Strategy::Auto => {
+                if !mdb.ne.is_empty() {
+                    return ineq::entails_db_ne(mdb, disjuncts);
+                }
+                if has_ne {
+                    return ineq::entails_query_ne(mdb, disjuncts, self.expansion_cap);
+                }
+                if disjuncts.len() == 1 {
+                    let q = &disjuncts[0];
+                    if q.is_sequential() {
+                        return Ok(seq::check(mdb, &q.to_flexiword()?));
+                    }
+                    // Few paths: Lemma 4.1 with SEQ per path (linear in
+                    // |D|); otherwise the Theorem 4.7 product search.
+                    if q.path_count() <= 32 {
+                        return Ok(paths::check(mdb, q));
+                    }
+                    return Ok(bounded::check(mdb, q));
+                }
+                disjunctive::check(mdb, disjuncts)
+            }
+        }
+    }
+}
+
+/// Produces some model of the database (to witness failure of the false
+/// query).
+fn naive_first_model(
+    mdb: &indord_core::monadic::MonadicDatabase,
+) -> Result<MonadicVerdict> {
+    naive::monadic_check(mdb, &[])
+}
+
+impl Verdict {
+    /// Helper: for the empty query, produce a concrete witnessing model of
+    /// the database rather than the placeholder empty model.
+    fn into_first_model(self, nd: &indord_core::database::NormalDatabase) -> Verdict {
+        // Any minimal model will do; build the canonical sort.
+        let sort = indord_core::toposort::canonical_sort(&nd.graph);
+        if indord_core::toposort::sort_respects_ne(nd, &sort) {
+            Verdict::NaryCountermodel(Box::new(indord_core::toposort::model_of_sort(nd, &sort)))
+        } else {
+            // Fall back to enumeration (rare: canonical sort merged a !=
+            // pair).
+            let mut found = None;
+            let _ = indord_core::toposort::for_each_minimal_model(nd, &mut |m| {
+                found = Some(m.clone());
+                false
+            });
+            match found {
+                Some(m) => Verdict::NaryCountermodel(Box::new(m)),
+                None => Verdict::Entailed, // genuinely no models
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indord_core::parse::{parse_database, parse_query, parse_query_with_db};
+
+    #[test]
+    fn auto_routes_monadic_sequential() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "P(u); Q(v); u < v;").unwrap();
+        let q = parse_query(&mut voc, "exists s t. P(s) & s < t & Q(t)").unwrap();
+        let q2 = parse_query(&mut voc, "exists s t. Q(s) & s < t & P(t)").unwrap();
+        let eng = Engine::new(&voc);
+        assert!(eng.entails(&db, &q).unwrap().holds());
+        assert!(!eng.entails(&db, &q2).unwrap().holds());
+    }
+
+    #[test]
+    fn strategies_agree_on_monadic_conjunctive() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(
+            &mut voc,
+            "P(u1); Q(u2); u1 < u2; P(v1); R(v2); v1 <= v2;",
+        )
+        .unwrap();
+        let q = parse_query(&mut voc, "exists a b c. P(a) & a < b & Q(b) & a <= c & R(c)")
+            .unwrap();
+        let mut verdicts = Vec::new();
+        for s in [Strategy::Naive, Strategy::Paths, Strategy::BoundedWidth, Strategy::Disjunctive]
+        {
+            let eng = Engine::new(&voc).with_strategy(s);
+            verdicts.push(eng.entails(&db, &q).unwrap().holds());
+        }
+        assert!(verdicts.windows(2).all(|w| w[0] == w[1]), "{verdicts:?}");
+    }
+
+    #[test]
+    fn object_part_filters_disjuncts() {
+        let mut voc = Vocabulary::new();
+        // Employee is monadic over objects; P over order points.
+        let db = parse_database(
+            &mut voc,
+            "pred Employee(obj); pred P(ord); Employee(alice); P(u);",
+        )
+        .unwrap();
+        // disjunct 1 requires an object with Boss (absent) — filtered out;
+        // disjunct 2 requires Employee + P — holds.
+        let db2 = parse_database(&mut voc, "pred Boss(obj);").unwrap();
+        assert!(db2.is_empty());
+        let q = parse_query(
+            &mut voc,
+            "(exists x t. Boss(x) & P(t)) | (exists x t. Employee(x) & P(t))",
+        )
+        .unwrap();
+        let q2 = parse_query(&mut voc, "exists x t. Boss(x) & P(t)").unwrap();
+        let eng = Engine::new(&voc);
+        assert!(eng.entails(&db, &q).unwrap().holds());
+        assert!(!eng.entails(&db, &q2).unwrap().holds());
+    }
+
+    #[test]
+    fn nary_falls_back_to_naive() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "R(u, v); u < v;").unwrap();
+        let q = parse_query(&mut voc, "exists s t. R(s, t) & s < t").unwrap();
+        let q2 = parse_query(&mut voc, "exists s t. R(s, t) & t < s").unwrap();
+        let eng = Engine::new(&voc);
+        assert!(eng.entails(&db, &q).unwrap().holds());
+        assert!(!eng.entails(&db, &q2).unwrap().holds());
+    }
+
+    #[test]
+    fn empty_query_not_entailed_by_consistent_db() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "P(u);").unwrap();
+        let eng = Engine::new(&voc);
+        let v = eng.entails(&db, &DnfQuery::default()).unwrap();
+        assert!(!v.holds());
+    }
+
+    #[test]
+    fn constants_in_queries_work_end_to_end() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "P(a, u); P(b, v); u < v;").unwrap();
+        let (gdb, q) = parse_query_with_db(
+            &mut voc,
+            &db,
+            "exists s t. P(a, s) & s < t & P(b, t)",
+        )
+        .unwrap();
+        let (gdb2, q2) = parse_query_with_db(
+            &mut voc,
+            &db,
+            "exists s t. P(b, s) & s < t & P(a, t)",
+        )
+        .unwrap();
+        let eng = Engine::new(&voc);
+        assert!(eng.entails(&gdb, &q).unwrap().holds());
+        assert!(!eng.entails(&gdb2, &q2).unwrap().holds());
+    }
+}

@@ -1,0 +1,171 @@
+//! Inequality extensions (§7 of the paper).
+//!
+//! Adding `u != v` atoms changes the complexity landscape drastically
+//! (Theorem 7.1: expression complexity becomes NP-hard on a fixed width-one
+//! database, data complexity of a fixed sequential query co-NP-hard). The
+//! cases the paper identifies as tractable are implemented directly:
+//!
+//! * **`[<,<=,!=]`-queries on `[<,<=]`-databases** stay in PTIME *data*
+//!   complexity: each `!=` atom expands to `u < v ∨ v < u`, an exponential
+//!   blow-up in the (fixed) query only ([`entails_query_ne`]).
+//! * **`[!=]`-databases** in general require the naive engine
+//!   ([`entails_db_ne`]), matching the hardness results.
+
+use crate::verdict::MonadicVerdict;
+use crate::{disjunctive, naive};
+use indord_core::atom::OrderRel;
+use indord_core::error::{CoreError, Result};
+use indord_core::monadic::{MonadicDatabase, MonadicQuery};
+use indord_core::ordgraph::OrderGraph;
+
+/// Expands the `!=` atoms of a monadic query into `2^m` `[<,<=]`-queries
+/// (dropping inconsistent orientations). Guarded by `cap`.
+pub fn eliminate_ne(q: &MonadicQuery, cap: usize) -> Result<Vec<MonadicQuery>> {
+    if q.ne.is_empty() {
+        return Ok(vec![q.clone()]);
+    }
+    let m = q.ne.len();
+    if m >= usize::BITS as usize || (1usize << m) > cap {
+        return Err(CoreError::CapExceeded {
+            what: "!= elimination in monadic query".to_string(),
+            limit: cap,
+        });
+    }
+    let base: Vec<(usize, usize, OrderRel)> = q.graph.edges().collect();
+    let mut out = Vec::new();
+    for mask in 0..(1usize << m) {
+        let mut edges = base.clone();
+        for (bit, &(a, b)) in q.ne.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                edges.push((a, b, OrderRel::Lt));
+            } else {
+                edges.push((b, a, OrderRel::Lt));
+            }
+        }
+        // An orientation creating a cycle is inconsistent: drop it.
+        if let Ok(g) = OrderGraph::from_dag_edges(q.graph.len(), &edges) {
+            out.push(MonadicQuery::new(g, q.labels.clone()));
+        }
+    }
+    Ok(out)
+}
+
+/// Decides `D |= Φ₁ ∨ … ∨ Φₙ` where disjuncts may contain `!=` atoms but
+/// the database is a `[<,<=]`-database: eliminates `!=` per disjunct and
+/// runs the Theorem 5.3 engine on the expanded disjunction.
+pub fn entails_query_ne(
+    db: &MonadicDatabase,
+    disjuncts: &[MonadicQuery],
+    cap: usize,
+) -> Result<MonadicVerdict> {
+    if !db.ne.is_empty() {
+        return entails_db_ne(db, disjuncts);
+    }
+    let mut expanded = Vec::new();
+    for q in disjuncts {
+        match eliminate_ne(q, cap) {
+            Ok(qs) => expanded.extend(qs),
+            Err(CoreError::CapExceeded { .. }) => {
+                // Too many != atoms to expand: the problem is NP-hard in
+                // the query (Thm 7.1(1)); decide by naive enumeration.
+                return naive::monadic_check(db, disjuncts);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    // The Theorem 5.3 search is exponential in the number of disjuncts
+    // (Π|Φᵢ|); beyond a handful the naive engine is the better fallback —
+    // and matches the paper, which offers no better bound here
+    // (Theorem 7.1 shows the problem is genuinely hard).
+    if expanded.len() > 12 {
+        return naive::monadic_check(db, disjuncts);
+    }
+    match disjunctive::check(db, &expanded) {
+        Ok(v) => Ok(v),
+        Err(indord_core::error::CoreError::CapExceeded { .. }) => {
+            naive::monadic_check(db, disjuncts)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Decides entailment when the *database* contains `!=` constraints, by
+/// naive minimal-model enumeration with `!=` filtering. Exponential —
+/// necessarily so in the worst case (Theorem 7.1(2) encodes graph
+/// non-3-colourability in exactly this problem).
+pub fn entails_db_ne(
+    db: &MonadicDatabase,
+    disjuncts: &[MonadicQuery],
+) -> Result<MonadicVerdict> {
+    naive::monadic_check(db, disjuncts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indord_core::bitset::PredSet;
+    use indord_core::flexi::FlexiWord;
+    use indord_core::sym::PredSym;
+
+    fn ps(ids: &[usize]) -> PredSet {
+        ids.iter().map(|&i| PredSym::from_index(i)).collect()
+    }
+
+    #[test]
+    fn ne_elimination_orientations() {
+        let g = OrderGraph::from_dag_edges(2, &[]).unwrap();
+        let mut q = MonadicQuery::new(g, vec![ps(&[0]), ps(&[0])]);
+        q.ne.push((0, 1));
+        let ex = eliminate_ne(&q, 16).unwrap();
+        assert_eq!(ex.len(), 2);
+        assert!(ex.iter().all(|e| e.ne.is_empty()));
+        // An orientation conflicting with an existing edge is dropped.
+        let g = OrderGraph::from_dag_edges(2, &[(0, 1, OrderRel::Lt)]).unwrap();
+        let mut q = MonadicQuery::new(g, vec![ps(&[0]), ps(&[0])]);
+        q.ne.push((0, 1));
+        let ex = eliminate_ne(&q, 16).unwrap();
+        assert_eq!(ex.len(), 1);
+    }
+
+    #[test]
+    fn query_ne_semantics() {
+        // D: {P} < {P}: two distinct P points. Query: two P's at distinct
+        // points — entailed.
+        let db = FlexiWord::word(vec![ps(&[0]), ps(&[0])]).to_database();
+        let g = OrderGraph::from_dag_edges(2, &[]).unwrap();
+        let mut q = MonadicQuery::new(g, vec![ps(&[0]), ps(&[0])]);
+        q.ne.push((0, 1));
+        assert!(entails_query_ne(&db, &[q.clone()], 64).unwrap().holds());
+        // D: single {P} point: not entailed.
+        let db1 = FlexiWord::word(vec![ps(&[0])]).to_database();
+        let v = entails_query_ne(&db1, &[q], 64).unwrap();
+        assert!(!v.holds());
+        assert_eq!(v.countermodel().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn db_ne_forces_separation() {
+        // D: P(u), P(v), u != v. Query "P < P" (two strict points) holds.
+        let g = OrderGraph::from_dag_edges(2, &[]).unwrap();
+        let mut db = MonadicDatabase::new(g, vec![ps(&[0]), ps(&[0])]);
+        db.ne.push((0, 1));
+        let q = MonadicQuery::from_flexiword(&FlexiWord::word(vec![ps(&[0]), ps(&[0])]));
+        assert!(entails_db_ne(&db, &[q.clone()]).unwrap().holds());
+        // Without the constraint it fails (u = v model).
+        let db2 = MonadicDatabase::new(db.graph.clone(), db.labels.clone());
+        assert!(!entails_db_ne(&db2, &[q]).unwrap().holds());
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let g = OrderGraph::from_dag_edges(4, &[]).unwrap();
+        let mut q = MonadicQuery::new(g, vec![ps(&[0]); 4]);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                q.ne.push((i, j));
+            }
+        }
+        assert!(eliminate_ne(&q, 4).is_err());
+        assert!(eliminate_ne(&q, 64).is_ok());
+    }
+}

@@ -1,0 +1,222 @@
+//! Model checking monadic queries in finite models (Corollary 5.1).
+//!
+//! `M |= Φ` is decided in `O(|M|·|Φ|·|Pred|)` by **greedy earliest
+//! placement**: processing the query dag in topological order, each
+//! variable is mapped to the earliest point that satisfies its label and
+//! its lower bounds from already-placed predecessors. Greedy placement is
+//! complete: if any satisfying assignment `θ` exists then by induction
+//! `e(v) ≤ θ(v)` for every variable, so the greedy assignment is itself
+//! satisfying. (This is the width-one specialization of the Theorem 4.7
+//! search that the paper's proof of Corollary 5.1 describes.)
+//!
+//! Queries with `!=` atoms (§7) fall back to backtracking search — greedy
+//! placement is not complete for them (Theorem 7.1(1) shows the problem is
+//! NP-hard).
+
+use indord_core::atom::OrderRel;
+use indord_core::model::MonadicModel;
+use indord_core::monadic::MonadicQuery;
+
+/// Decides `M |= Φ` for a conjunctive monadic `[<,<=]` query.
+/// Falls back to backtracking when `!=` atoms are present.
+pub fn satisfies_conjunct(m: &MonadicModel, q: &MonadicQuery) -> bool {
+    if !q.ne.is_empty() {
+        return q.holds_in_naive(m);
+    }
+    earliest_placement(m, q).is_some()
+}
+
+/// Decides `M |= Φ₁ ∨ … ∨ Φₙ`.
+pub fn satisfies(m: &MonadicModel, disjuncts: &[MonadicQuery]) -> bool {
+    disjuncts.iter().any(|q| satisfies_conjunct(m, q))
+}
+
+/// Checks that `M` is a model of the database `D` read as a conjunctive
+/// query (every database vertex embeds order-preservingly with its label).
+/// Used to validate countermodels.
+pub fn is_model_of(m: &MonadicModel, db: &indord_core::monadic::MonadicDatabase) -> bool {
+    let q = MonadicQuery::new(db.graph.clone(), db.labels.clone());
+    if earliest_placement(m, &q).is_none() {
+        return false;
+    }
+    if db.ne.is_empty() {
+        true
+    } else {
+        // With != constraints the embedding must also separate the pairs;
+        // use the backtracking checker.
+        let mut q = q;
+        q.ne = db.ne.clone();
+        q.holds_in_naive(m)
+    }
+}
+
+/// The greedy earliest-placement assignment, if one exists.
+///
+/// Returns `assign[v] = point` for every query vertex.
+pub fn earliest_placement(m: &MonadicModel, q: &MonadicQuery) -> Option<Vec<usize>> {
+    debug_assert!(q.ne.is_empty(), "greedy placement requires a [<,<=] query");
+    let order = q.graph.topo_order();
+    let mut assign = vec![0usize; q.graph.len()];
+    for &v in &order {
+        let mut lower = 0usize;
+        for &(u, rel) in q.graph.predecessors(v) {
+            let bound = assign[u as usize] + usize::from(rel == OrderRel::Lt);
+            lower = lower.max(bound);
+        }
+        let mut placed = false;
+        for p in lower..m.len() {
+            if q.labels[v].is_subset(&m.labels[p]) {
+                assign[v] = p;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return None;
+        }
+    }
+    Some(assign)
+}
+
+/// Checks `M |= p` for every path `p` of a conjunctive query — by Lemma 4.1
+/// this is equivalent to `D_M |= Φ`, i.e. to `M |= Φ` (the check used to
+/// re-validate countermodels in tests; exponential in the path count).
+pub fn satisfies_all_paths(m: &MonadicModel, q: &MonadicQuery) -> bool {
+    let db = indord_core::flexi::FlexiWord::from_model(m).to_database();
+    q.paths().all(|p| crate::seq::entails(&db, &p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indord_core::atom::OrderRel::{Le, Lt};
+    use indord_core::bitset::PredSet;
+    use indord_core::ordgraph::OrderGraph;
+    use indord_core::sym::PredSym;
+
+    fn ps(ids: &[usize]) -> PredSet {
+        ids.iter().map(|&i| PredSym::from_index(i)).collect()
+    }
+
+    fn model(labels: &[&[usize]]) -> MonadicModel {
+        MonadicModel::new(labels.iter().map(|l| ps(l)).collect())
+    }
+
+    fn fig5() -> MonadicQuery {
+        let g = OrderGraph::from_dag_edges(4, &[(0, 1, Lt), (1, 2, Lt), (1, 3, Le)]).unwrap();
+        MonadicQuery::new(g, vec![ps(&[0, 1]), ps(&[0]), ps(&[2]), ps(&[3])])
+    }
+
+    #[test]
+    fn greedy_matches_naive_on_fig5() {
+        let q = fig5();
+        let models = [
+            model(&[&[0, 1], &[0], &[2, 3]]),
+            model(&[&[0, 1], &[0], &[2]]),
+            model(&[&[0, 1], &[0, 3], &[2]]),
+            model(&[&[0], &[0], &[2, 3]]),
+            model(&[&[0, 1], &[0], &[3], &[2]]),
+        ];
+        for m in &models {
+            assert_eq!(satisfies_conjunct(m, &q), q.holds_in_naive(m), "model {m:?}");
+        }
+    }
+
+    #[test]
+    fn greedy_matches_naive_randomized() {
+        let mut seed = 0x853c49e6748fea9bu64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..300 {
+            // random dag on 4 vertices, random labels over 3 predicates
+            let n = 4;
+            let mut edges = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    match rng() % 4 {
+                        0 => edges.push((i, j, Lt)),
+                        1 => edges.push((i, j, Le)),
+                        _ => {}
+                    }
+                }
+            }
+            let g = OrderGraph::from_dag_edges(n, &edges).unwrap();
+            let labels: Vec<PredSet> = (0..n)
+                .map(|_| {
+                    let bits = rng() % 8;
+                    (0..3).filter(|i| bits & (1 << i) != 0).map(PredSym::from_index).collect()
+                })
+                .collect();
+            let q = MonadicQuery::new(g, labels);
+            let mlen = (rng() % 4) as usize + 1;
+            let m = MonadicModel::new(
+                (0..mlen)
+                    .map(|_| {
+                        let bits = rng() % 8;
+                        (0..3)
+                            .filter(|i| bits & (1 << i) != 0)
+                            .map(PredSym::from_index)
+                            .collect()
+                    })
+                    .collect(),
+            );
+            assert_eq!(satisfies_conjunct(&m, &q), q.holds_in_naive(&m));
+            assert_eq!(satisfies_all_paths(&m, &q), q.holds_in_naive(&m));
+        }
+    }
+
+    #[test]
+    fn le_edges_share_points() {
+        // t0 <= t1, labels P, Q: satisfied by single point {P,Q}.
+        let g = OrderGraph::from_dag_edges(2, &[(0, 1, Le)]).unwrap();
+        let q = MonadicQuery::new(g, vec![ps(&[0]), ps(&[1])]);
+        assert!(satisfies_conjunct(&model(&[&[0, 1]]), &q));
+        // t0 < t1 needs two points.
+        let g = OrderGraph::from_dag_edges(2, &[(0, 1, Lt)]).unwrap();
+        let q = MonadicQuery::new(g, vec![ps(&[0]), ps(&[1])]);
+        assert!(!satisfies_conjunct(&model(&[&[0, 1]]), &q));
+        assert!(satisfies_conjunct(&model(&[&[0], &[1]]), &q));
+    }
+
+    #[test]
+    fn empty_query_always_satisfied() {
+        let g = OrderGraph::from_dag_edges(0, &[]).unwrap();
+        let q = MonadicQuery::new(g, vec![]);
+        assert!(satisfies_conjunct(&model(&[]), &q));
+        assert!(satisfies_conjunct(&model(&[&[0]]), &q));
+    }
+
+    #[test]
+    fn disjunction_any_semantics() {
+        let g1 = OrderGraph::from_dag_edges(1, &[]).unwrap();
+        let q1 = MonadicQuery::new(g1.clone(), vec![ps(&[0])]);
+        let q2 = MonadicQuery::new(g1, vec![ps(&[1])]);
+        let m = model(&[&[1]]);
+        assert!(!satisfies_conjunct(&m, &q1));
+        assert!(satisfies(&m, &[q1.clone(), q2.clone()]));
+        assert!(!satisfies(&m, &[q1]));
+    }
+
+    #[test]
+    fn ne_fallback() {
+        let g = OrderGraph::from_dag_edges(2, &[]).unwrap();
+        let mut q = MonadicQuery::new(g, vec![ps(&[0]), ps(&[0])]);
+        q.ne.push((0, 1));
+        assert!(!satisfies_conjunct(&model(&[&[0]]), &q));
+        assert!(satisfies_conjunct(&model(&[&[0], &[0]]), &q));
+    }
+
+    #[test]
+    fn is_model_of_checks_embedding() {
+        use indord_core::monadic::MonadicDatabase;
+        let g = OrderGraph::from_dag_edges(2, &[(0, 1, Le)]).unwrap();
+        let db = MonadicDatabase::new(g, vec![ps(&[0]), ps(&[1])]);
+        assert!(is_model_of(&model(&[&[0, 1]]), &db));
+        assert!(is_model_of(&model(&[&[0], &[1]]), &db));
+        assert!(!is_model_of(&model(&[&[1], &[0]]), &db));
+    }
+}

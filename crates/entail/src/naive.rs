@@ -1,0 +1,199 @@
+//! The naive reference engines: exhaustive minimal-model enumeration.
+//!
+//! By Corollary 2.9, `D |= Φ` iff every **minimal model** of `D` — every
+//! generalized topological sort of its order dag — satisfies `Φ`. These
+//! engines enumerate the sorts outright. They are exponential (the number
+//! of sorts of `n` unrelated constants is the ordered Bell number `a(n)`),
+//! exist as the ground-truth oracle against which the polynomial engines
+//! are validated, and realize the upper-bound arguments of §3
+//! (Proposition 3.1: data complexity in co-NP, a countermodel being the
+//! certificate).
+
+use crate::modelcheck;
+use crate::verdict::{MonadicVerdict, NaryVerdict};
+use indord_core::bitset::PredSet;
+use indord_core::database::NormalDatabase;
+use indord_core::error::Result;
+use indord_core::model::MonadicModel;
+use indord_core::monadic::{MonadicDatabase, MonadicQuery};
+use indord_core::query::DnfQuery;
+use indord_core::toposort;
+
+/// Decides `D |= Φ₁ ∨ … ∨ Φₙ` for monadic databases/queries by enumerating
+/// every minimal model. Handles `!=` constraints in the database (models
+/// merging a `!=` pair are excluded) and in queries (via the backtracking
+/// model checker).
+pub fn monadic_check(
+    db: &MonadicDatabase,
+    disjuncts: &[MonadicQuery],
+) -> Result<MonadicVerdict> {
+    let mut verdict = MonadicVerdict::Entailed;
+    toposort::for_each_sort(&db.graph, &mut |stage_of, n_stages| {
+        // != constraints: vertices mapped to one stage violate them.
+        if !db.ne.iter().all(|&(a, b)| stage_of[a] != stage_of[b]) {
+            return true;
+        }
+        let mut labels = vec![PredSet::new(); n_stages];
+        for (v, &s) in stage_of.iter().enumerate() {
+            labels[s].union_with(&db.labels[v]);
+        }
+        let m = MonadicModel::new(labels);
+        if modelcheck::satisfies(&m, disjuncts) {
+            true
+        } else {
+            verdict = MonadicVerdict::Countermodel(m);
+            false
+        }
+    })?;
+    Ok(verdict)
+}
+
+/// Counts the minimal models of a monadic database (respecting `!=`).
+pub fn count_minimal_models(db: &MonadicDatabase) -> Result<u64> {
+    let mut count = 0u64;
+    toposort::for_each_sort(&db.graph, &mut |stage_of, _| {
+        if db.ne.iter().all(|&(a, b)| stage_of[a] != stage_of[b]) {
+            count += 1;
+        }
+        true
+    })?;
+    Ok(count)
+}
+
+/// Decides `D |= Φ` for arbitrary (n-ary) databases and positive
+/// existential queries by enumerating minimal models (Cor. 2.9) and
+/// model-checking each (backtracking homomorphism search).
+pub fn nary_check(db: &NormalDatabase, query: &DnfQuery) -> Result<NaryVerdict> {
+    let mut verdict = NaryVerdict::Entailed;
+    toposort::for_each_minimal_model(db, &mut |m| {
+        if m.satisfies(query) {
+            true
+        } else {
+            verdict = NaryVerdict::Countermodel(Box::new(m.clone()));
+            false
+        }
+    })?;
+    Ok(verdict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indord_core::atom::OrderRel::{Le, Lt};
+    use indord_core::flexi::FlexiWord;
+    use indord_core::ordgraph::OrderGraph;
+    use indord_core::parse::{parse_database, parse_query};
+    use indord_core::sym::{PredSym, Vocabulary};
+
+    fn ps(ids: &[usize]) -> PredSet {
+        ids.iter().map(|&i| PredSym::from_index(i)).collect()
+    }
+
+    #[test]
+    fn counts_ordered_bell_numbers() {
+        // n unrelated vertices have a(n) sorts: 1, 3, 13, 75.
+        for (n, want) in [(1usize, 1u64), (2, 3), (3, 13), (4, 75)] {
+            let g = OrderGraph::from_dag_edges(n, &[]).unwrap();
+            let db = MonadicDatabase::new(g, vec![PredSet::new(); n]);
+            assert_eq!(count_minimal_models(&db).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn ne_constraints_exclude_merges() {
+        let g = OrderGraph::from_dag_edges(2, &[]).unwrap();
+        let mut db = MonadicDatabase::new(g, vec![ps(&[0]), ps(&[1])]);
+        assert_eq!(count_minimal_models(&db).unwrap(), 3);
+        db.ne.push((0, 1));
+        assert_eq!(count_minimal_models(&db).unwrap(), 2);
+    }
+
+    #[test]
+    fn monadic_agrees_with_seq_randomized() {
+        let mut seed = 0xDEADBEEFCAFEF00Du64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..200 {
+            let n = (rng() % 4 + 1) as usize;
+            let mut edges = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    match rng() % 4 {
+                        0 => edges.push((i, j, Lt)),
+                        1 => edges.push((i, j, Le)),
+                        _ => {}
+                    }
+                }
+            }
+            let g = OrderGraph::from_dag_edges(n, &edges).unwrap();
+            let labels = (0..n)
+                .map(|_| {
+                    let bits = rng() % 8;
+                    (0..3).filter(|i| bits & (1 << i) != 0).map(PredSym::from_index).collect()
+                })
+                .collect();
+            let db = MonadicDatabase::new(g, labels);
+            // random sequential query
+            let qlen = (rng() % 3 + 1) as usize;
+            let mut fw = FlexiWord::empty();
+            for _ in 0..qlen {
+                let bits = rng() % 8;
+                let label: PredSet =
+                    (0..3).filter(|i| bits & (1 << i) != 0).map(PredSym::from_index).collect();
+                let rel = if rng() % 2 == 0 { Lt } else { Le };
+                fw.push(rel, label);
+            }
+            let q = MonadicQuery::from_flexiword(&fw);
+            let naive = monadic_check(&db, &[q]).unwrap().holds();
+            let fast = crate::seq::entails(&db, &fw);
+            assert_eq!(naive, fast, "round {round}: db={db:?} fw={fw:?}");
+        }
+    }
+
+    #[test]
+    fn nary_example_same_object_twice() {
+        // P(a,u), P(a,v), u < v: "a occurs at two strictly ordered times"
+        // is certain; "b occurs" is not.
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "P(a, u); P(a, v); u < v;").unwrap();
+        let nd = db.normalize().unwrap();
+        let q = parse_query(&mut voc, "exists x s t. P(x, s) & s < t & P(x, t)").unwrap();
+        assert!(nary_check(&nd, &q).unwrap().holds());
+        voc.obj("b"); // `b` exists in the vocabulary but has no facts
+        let q2 = parse_query(&mut voc, "exists s t. P(b, s) & s < t & P(b, t)").unwrap();
+        // `b` is unknown — constant guard makes it unsatisfiable…
+        // (no fact mentions b, so the guarded query fails)
+        assert!(!nary_check(&nd, &q2).unwrap().holds());
+    }
+
+    #[test]
+    fn nary_indefinite_disjunction() {
+        // P(a,u), P(b,v) with u,v unordered: "a before-or-equal b, or b
+        // before-or-equal a" is certain, while each disjunct alone is not.
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "P(a, u); P(b, v); u <= u;").unwrap();
+        let (gdb, either) = indord_core::parse::parse_query_with_db(
+            &mut voc,
+            &db,
+            "(exists s t. P(a, s) & s <= t & P(b, t)) | (exists s t. P(b, s) & s <= t & P(a, t))",
+        )
+        .unwrap();
+        assert!(nary_check(&gdb.normalize().unwrap(), &either).unwrap().holds());
+
+        let (gdb2, first) = indord_core::parse::parse_query_with_db(
+            &mut voc,
+            &db,
+            "exists s t. P(a, s) & s <= t & P(b, t)",
+        )
+        .unwrap();
+        let v = nary_check(&gdb2.normalize().unwrap(), &first).unwrap();
+        assert!(!v.holds());
+        // the countermodel places b strictly before a
+        let m = v.countermodel().unwrap();
+        assert!(!m.satisfies(&first));
+    }
+}

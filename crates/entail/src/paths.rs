@@ -1,0 +1,121 @@
+//! Conjunctive monadic entailment via path decomposition (Lemma 4.1).
+//!
+//! `D |= Φ` iff `D |= p` for every path `p ∈ Paths(Φ)` — so a conjunctive
+//! monadic query is decided by running [`crate::seq`] once per path. For a
+//! *fixed* query the path set is fixed, giving **linear-time data
+//! complexity** (Corollary 4.4); but the number of paths can be exponential
+//! in `|Φ|`, which is why combined complexity needs Theorem 4.7 instead
+//! (and why the co-NP lower bound of Theorem 4.6 is consistent with this
+//! algorithm).
+
+use crate::seq;
+use crate::verdict::MonadicVerdict;
+use indord_core::monadic::{MonadicDatabase, MonadicQuery};
+
+/// Decides `D |= Φ` for a conjunctive monadic query by checking every path.
+pub fn entails(db: &MonadicDatabase, q: &MonadicQuery) -> bool {
+    q.paths().all(|p| seq::entails(db, &p))
+}
+
+/// Decides `D |= Φ`, returning the countermodel of the first failing path.
+///
+/// A model falsifying any single path falsifies `Φ` itself, since every
+/// model satisfying `Φ` satisfies each of its paths.
+pub fn check(db: &MonadicDatabase, q: &MonadicQuery) -> MonadicVerdict {
+    for p in q.paths() {
+        if let MonadicVerdict::Countermodel(m) = seq::check(db, &p) {
+            return MonadicVerdict::Countermodel(m);
+        }
+    }
+    MonadicVerdict::Entailed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modelcheck;
+    use indord_core::atom::OrderRel::{Le, Lt};
+    use indord_core::bitset::PredSet;
+    use indord_core::flexi::FlexiWord;
+    use indord_core::ordgraph::OrderGraph;
+    use indord_core::sym::PredSym;
+
+    fn ps(ids: &[usize]) -> PredSet {
+        ids.iter().map(|&i| PredSym::from_index(i)).collect()
+    }
+
+    fn fig5_query() -> MonadicQuery {
+        let g = OrderGraph::from_dag_edges(4, &[(0, 1, Lt), (1, 2, Lt), (1, 3, Le)]).unwrap();
+        MonadicQuery::new(g, vec![ps(&[0, 1]), ps(&[0]), ps(&[2]), ps(&[3])])
+    }
+
+    #[test]
+    fn fig5_query_against_witnessing_database() {
+        // A width-one database satisfying both paths of the Fig. 5 query.
+        let db = FlexiWord::word(vec![ps(&[0, 1]), ps(&[0]), ps(&[2, 3])]).to_database();
+        assert!(entails(&db, &fig5_query()));
+        // Remove S from the last point: the <=-path fails.
+        let db = FlexiWord::word(vec![ps(&[0, 1]), ps(&[0]), ps(&[2])]).to_database();
+        assert!(!entails(&db, &fig5_query()));
+    }
+
+    #[test]
+    fn branching_query_needs_all_branches() {
+        // Query: t0 < t1, t0 < t2 with labels P; Q; R — a fork.
+        let g = OrderGraph::from_dag_edges(3, &[(0, 1, Lt), (0, 2, Lt)]).unwrap();
+        let q = MonadicQuery::new(g, vec![ps(&[0]), ps(&[1]), ps(&[2])]);
+        // D1: P < Q only — missing the R branch.
+        let d1 = FlexiWord::word(vec![ps(&[0]), ps(&[1])]).to_database();
+        assert!(!entails(&d1, &q));
+        // D2: P < {Q,R} satisfies both paths.
+        let d2 = FlexiWord::word(vec![ps(&[0]), ps(&[1, 2])]).to_database();
+        assert!(entails(&d2, &q));
+        // D3: P < Q and P < R on separate chains from a shared root.
+        let g3 = OrderGraph::from_dag_edges(3, &[(0, 1, Lt), (0, 2, Lt)]).unwrap();
+        let d3 = MonadicDatabase::new(g3, vec![ps(&[0]), ps(&[1]), ps(&[2])]);
+        assert!(entails(&d3, &q));
+    }
+
+    #[test]
+    fn paths_countermodels_verify() {
+        let q = fig5_query();
+        let db = FlexiWord::word(vec![ps(&[0, 1]), ps(&[0]), ps(&[2])]).to_database();
+        match check(&db, &q) {
+            MonadicVerdict::Entailed => panic!("expected countermodel"),
+            MonadicVerdict::Countermodel(m) => {
+                assert!(modelcheck::is_model_of(&m, &db));
+                assert!(!modelcheck::satisfies_conjunct(&m, &q));
+            }
+        }
+    }
+
+    #[test]
+    fn le_only_diamond() {
+        // Query diamond with <= edges collapses onto a single point.
+        let g = OrderGraph::from_dag_edges(
+            4,
+            &[(0, 1, Le), (0, 2, Le), (1, 3, Le), (2, 3, Le)],
+        )
+        .unwrap();
+        let q = MonadicQuery::new(g, vec![ps(&[0]), ps(&[1]), ps(&[2]), ps(&[3])]);
+        let db = FlexiWord::word(vec![ps(&[0, 1, 2, 3])]).to_database();
+        assert!(entails(&db, &q));
+        let db2 = FlexiWord::word(vec![ps(&[0, 1]), ps(&[2, 3])]).to_database();
+        // Path P <= Q <= S: points 0,0?,.. Q at point 0, S at point 1: ok.
+        // Path P <= R <= S: R only at point 1, S at 1: ok.
+        assert!(entails(&db2, &q));
+        let db3 = FlexiWord::word(vec![ps(&[0, 3]), ps(&[1, 2])]).to_database();
+        // Path P <= Q <= S: S only at point 0, Q only at point 1: fails.
+        assert!(!entails(&db3, &q));
+    }
+
+    #[test]
+    fn empty_query_entailed_by_anything() {
+        let g = OrderGraph::from_dag_edges(0, &[]).unwrap();
+        let q = MonadicQuery::new(g, vec![]);
+        let db = FlexiWord::word(vec![ps(&[0])]).to_database();
+        assert!(entails(&db, &q));
+    }
+
+    use indord_core::monadic::MonadicDatabase;
+}

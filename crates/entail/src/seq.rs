@@ -1,0 +1,368 @@
+//! The `SEQ` algorithm (Fig. 6 of the paper): entailment of **sequential**
+//! monadic queries by arbitrary monadic databases.
+//!
+//! `SEQ(D, p)` decides `D |= p` for a flexi-word `p` in time
+//! `O(|D|·|p|·|Pred|)` by the three-case recursion of Lemma 4.2:
+//!
+//! * **Case I** — `p = aσ` and some minimal vertex `u` of `D` has
+//!   `a ⊄ D[u]`: then `D |= p` iff `D \ {u} |= p`.
+//! * **Case II** — `p = a<p'` and every minimal vertex fits `a`: then
+//!   `D |= p` iff `D \ minor(D) |= p'`.
+//! * **Case III** — `p = a<=p'` and every minimal vertex fits `a`: then
+//!   `D |= p` iff `D |= p'`.
+//!
+//! When `p` is a single letter fitting every minimal vertex the answer is
+//! *yes* (every minimal model's first point contains some minimal vertex's
+//! label); when `D` runs out first the answer is *no*, and the sequence of
+//! deleted labels, read in deletion order, is a **countermodel** — a model
+//! of `D` falsifying `p` (the modification noted after Lemma 4.2).
+
+use crate::verdict::MonadicVerdict;
+use indord_core::atom::OrderRel;
+use indord_core::bitset::PredSet;
+use indord_core::flexi::FlexiWord;
+use indord_core::model::MonadicModel;
+use indord_core::monadic::MonadicDatabase;
+
+/// Decides `D |= p` (see module docs). Equivalent to
+/// `check(db, p).holds()` but skips countermodel bookkeeping.
+pub fn entails(db: &MonadicDatabase, p: &FlexiWord) -> bool {
+    run(db, p, false).holds()
+}
+
+/// Decides `D |= p`, producing a countermodel on failure.
+pub fn check(db: &MonadicDatabase, p: &FlexiWord) -> MonadicVerdict {
+    run(db, p, true)
+}
+
+struct SeqState<'a> {
+    db: &'a MonadicDatabase,
+    live: Vec<bool>,
+    /// Live in-degree of each vertex.
+    indeg: Vec<usize>,
+    /// Current minimal vertices (lazily pruned: dead entries are skipped).
+    min_list: Vec<usize>,
+    live_count: usize,
+    /// Per-phase mark stamps for the minor-deletion trick (§4, the
+    /// implementation discussion after Lemma 4.2).
+    stamp: Vec<u32>,
+    phase: u32,
+}
+
+impl<'a> SeqState<'a> {
+    fn new(db: &'a MonadicDatabase) -> Self {
+        let n = db.graph.len();
+        let indeg: Vec<usize> = (0..n).map(|v| db.graph.predecessors(v).len()).collect();
+        let min_list = (0..n).filter(|&v| indeg[v] == 0).collect();
+        SeqState {
+            db,
+            live: vec![true; n],
+            indeg,
+            min_list,
+            live_count: n,
+            stamp: vec![0; n],
+            phase: 0,
+        }
+    }
+
+    /// Deletes vertex `u`; newly minimal successors are appended to
+    /// `min_list`, and the unmarked ones (minor candidates for the current
+    /// phase) are appended to `newly_minor`.
+    fn delete(&mut self, u: usize, newly_minor: &mut Vec<usize>) {
+        debug_assert!(self.live[u]);
+        self.live[u] = false;
+        self.live_count -= 1;
+        for &(v, rel) in self.db.graph.successors(u) {
+            let v = v as usize;
+            if !self.live[v] {
+                continue;
+            }
+            if rel == OrderRel::Lt {
+                self.stamp[v] = self.phase;
+            }
+            self.indeg[v] -= 1;
+            if self.indeg[v] == 0 {
+                self.min_list.push(v);
+                if self.stamp[v] != self.phase {
+                    newly_minor.push(v);
+                }
+            }
+        }
+    }
+}
+
+fn run(db: &MonadicDatabase, p: &FlexiWord, want_model: bool) -> MonadicVerdict {
+    debug_assert!(db.ne.is_empty(), "SEQ is defined for [<,<=] databases");
+    let mut st = SeqState::new(db);
+    let mut prefix: Vec<PredSet> = Vec::new();
+    let mut pos = 0usize;
+
+    loop {
+        if pos == p.len() {
+            return MonadicVerdict::Entailed;
+        }
+        if st.live_count == 0 {
+            // Remaining letters cannot be placed: the deleted labels, in
+            // order, form a model of D falsifying p.
+            return if want_model {
+                MonadicVerdict::Countermodel(MonadicModel::new(prefix))
+            } else {
+                MonadicVerdict::Countermodel(MonadicModel::new(Vec::new()))
+            };
+        }
+        let a = &p.labels()[pos];
+
+        // Case I: delete minimal vertices that do not fit `a`. Scanning with
+        // a stable index is safe: vertices already scanned fit `a`, and `a`
+        // does not change within this loop.
+        st.phase += 1; // fresh marks: deletions here are of minimal vertices
+        let mut i = 0;
+        let mut deleted_any = false;
+        while i < st.min_list.len() {
+            let u = st.min_list[i];
+            if !st.live[u] {
+                st.min_list.swap_remove(i);
+                continue;
+            }
+            if a.is_subset(&st.db.labels[u]) {
+                i += 1;
+                continue;
+            }
+            st.min_list.swap_remove(i);
+            if want_model {
+                prefix.push(st.db.labels[u].clone());
+            }
+            st.delete(u, &mut Vec::new());
+            deleted_any = true;
+            // Newly minimal vertices were appended after `i`; do not reset.
+        }
+        if deleted_any && st.live_count == 0 {
+            continue; // loop top handles exhaustion
+        }
+        // All live minimal vertices (if any) fit `a`.
+        if st.live_count == 0 {
+            continue;
+        }
+        if pos + 1 == p.len() {
+            // Single remaining letter fitting all minimal vertices.
+            return MonadicVerdict::Entailed;
+        }
+        match p.rels()[pos] {
+            OrderRel::Le => {
+                // Case III: advance the query only.
+                pos += 1;
+            }
+            OrderRel::Lt => {
+                // Case II: delete the minor vertices, all mapping to one
+                // point of the countermodel.
+                st.phase += 1;
+                let mut point = PredSet::new();
+                let mut work: Vec<usize> = Vec::new();
+                let mut j = 0;
+                while j < st.min_list.len() {
+                    let u = st.min_list[j];
+                    if !st.live[u] {
+                        st.min_list.swap_remove(j);
+                        continue;
+                    }
+                    if st.stamp[u] != st.phase {
+                        work.push(u);
+                    }
+                    j += 1;
+                }
+                while let Some(u) = work.pop() {
+                    if !st.live[u] || st.stamp[u] == st.phase {
+                        continue;
+                    }
+                    if want_model {
+                        point.union_with(&st.db.labels[u]);
+                    }
+                    // A deleted vertex leaves min_list lazily (live=false).
+                    st.delete(u, &mut work);
+                }
+                if want_model {
+                    prefix.push(point);
+                }
+                pos += 1;
+            }
+            OrderRel::Ne => unreachable!("flexi-words never contain !="),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indord_core::atom::OrderRel::{Le, Lt};
+    use indord_core::ordgraph::OrderGraph;
+    use indord_core::sym::PredSym;
+
+    fn ps(ids: &[usize]) -> PredSet {
+        ids.iter().map(|&i| PredSym::from_index(i)).collect()
+    }
+
+    fn word_db(labels: &[&[usize]]) -> MonadicDatabase {
+        FlexiWord::word(labels.iter().map(|l| ps(l)).collect()).to_database()
+    }
+
+    fn word(labels: &[&[usize]]) -> FlexiWord {
+        FlexiWord::word(labels.iter().map(|l| ps(l)).collect())
+    }
+
+    #[test]
+    fn word_entailment_is_subword() {
+        let db = word_db(&[&[0, 1], &[2], &[0, 2]]);
+        assert!(entails(&db, &word(&[&[0], &[2]])));
+        assert!(entails(&db, &word(&[&[0, 1], &[2], &[0]])));
+        assert!(!entails(&db, &word(&[&[2], &[1]])));
+        assert!(!entails(&db, &word(&[&[0], &[0], &[0]])));
+        assert!(entails(&db, &FlexiWord::empty()));
+    }
+
+    #[test]
+    fn matches_subword_relation_on_random_words() {
+        // Prop 4.5: for words, q |= p iff p is a subword of q.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..500 {
+            let mk = |rng: &mut dyn FnMut() -> u64| {
+                let len = (rng() % 5) as usize;
+                let labels: Vec<PredSet> = (0..len)
+                    .map(|_| {
+                        let bits = rng() % 8;
+                        (0..3).filter(|i| bits & (1 << i) != 0).map(PredSym::from_index).collect()
+                    })
+                    .collect();
+                FlexiWord::word(labels)
+            };
+            let q = mk(&mut rng);
+            let p = mk(&mut rng);
+            assert_eq!(
+                entails(&q.to_database(), &p),
+                p.is_subword_of(&q),
+                "q={q:?} p={p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn le_in_query_allows_equality() {
+        // D: {P} < {Q}; query {P} <= {Q}: needs a model point ≥ P-point
+        // carrying Q — holds (the next point). Query {P,Q} fails.
+        let db = word_db(&[&[0], &[1]]);
+        let q = FlexiWord::new(vec![ps(&[0]), ps(&[1])], vec![Le]);
+        assert!(entails(&db, &q));
+        assert!(!entails(&db, &word(&[&[0, 1]])));
+    }
+
+    #[test]
+    fn le_in_database_creates_indefiniteness() {
+        // D: P(u), Q(v), u <= v. Models: P then Q, or PQ together.
+        // Query {P} < {Q} fails (the merged model falsifies it);
+        // query {P} <= {Q} holds.
+        let g = OrderGraph::from_dag_edges(2, &[(0, 1, Le)]).unwrap();
+        let db = MonadicDatabase::new(g, vec![ps(&[0]), ps(&[1])]);
+        assert!(!entails(&db, &word(&[&[0], &[1]])));
+        let q = FlexiWord::new(vec![ps(&[0]), ps(&[1])], vec![Le]);
+        assert!(entails(&db, &q));
+    }
+
+    #[test]
+    fn unordered_database_vertices() {
+        // D: P(u), Q(v), unordered. Neither {P}<{Q} nor {Q}<{P} holds,
+        // but {P} does and {Q} does.
+        let g = OrderGraph::from_dag_edges(2, &[]).unwrap();
+        let db = MonadicDatabase::new(g, vec![ps(&[0]), ps(&[1])]);
+        assert!(!entails(&db, &word(&[&[0], &[1]])));
+        assert!(!entails(&db, &word(&[&[1], &[0]])));
+        assert!(entails(&db, &word(&[&[0]])));
+        assert!(entails(&db, &word(&[&[1]])));
+        // {P,Q} fails: the model separating u and v has no PQ point.
+        assert!(!entails(&db, &word(&[&[0, 1]])));
+    }
+
+    #[test]
+    fn empty_database_entails_only_empty_query() {
+        let g = OrderGraph::from_dag_edges(0, &[]).unwrap();
+        let db = MonadicDatabase::new(g, vec![]);
+        assert!(entails(&db, &FlexiWord::empty()));
+        assert!(!entails(&db, &word(&[&[0]])));
+    }
+
+    #[test]
+    fn countermodels_are_genuine() {
+        // Whenever SEQ says "no", the countermodel must (a) falsify the
+        // query and (b) be a model of the database.
+        let cases: Vec<(MonadicDatabase, FlexiWord)> = vec![
+            (word_db(&[&[0], &[1]]), word(&[&[1], &[0]])),
+            (word_db(&[&[0, 1], &[2]]), word(&[&[0], &[0]])),
+            (
+                MonadicDatabase::new(
+                    OrderGraph::from_dag_edges(2, &[]).unwrap(),
+                    vec![ps(&[0]), ps(&[1])],
+                ),
+                word(&[&[0], &[1]]),
+            ),
+            (
+                MonadicDatabase::new(
+                    OrderGraph::from_dag_edges(3, &[(0, 1, Le), (1, 2, Lt)]).unwrap(),
+                    vec![ps(&[0]), ps(&[1]), ps(&[0])],
+                ),
+                word(&[&[0], &[1], &[0], &[0]]),
+            ),
+        ];
+        for (db, p) in cases {
+            match check(&db, &p) {
+                MonadicVerdict::Entailed => panic!("expected failure for {p:?}"),
+                MonadicVerdict::Countermodel(m) => {
+                    let q = p.to_query();
+                    assert!(!q.holds_in_naive(&m), "countermodel satisfies the query: {m:?}");
+                    // the database, read as a query, must hold in m
+                    let dbq = indord_core::monadic::MonadicQuery::new(
+                        db.graph.clone(),
+                        db.labels.clone(),
+                    );
+                    assert!(dbq.holds_in_naive(&m), "countermodel is not a model of D: {m:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn example_2_4_database_entailments() {
+        // u < v < w, u <= t <= w with labels P,Q,R,S.
+        let g = OrderGraph::from_dag_edges(
+            4,
+            &[(0, 1, Lt), (1, 2, Lt), (0, 3, Le), (3, 2, Le)],
+        )
+        .unwrap();
+        let db = MonadicDatabase::new(g, vec![ps(&[0]), ps(&[1]), ps(&[2]), ps(&[3])]);
+        // P < Q < R holds along the strict chain.
+        assert!(entails(&db, &word(&[&[0], &[1], &[2]])));
+        // S <= R holds (t <= w).
+        let q = FlexiWord::new(vec![ps(&[3]), ps(&[2])], vec![Le]);
+        assert!(entails(&db, &q));
+        // P < S fails: t may share u's point.
+        assert!(!entails(&db, &word(&[&[0], &[3]])));
+        // P <= S holds.
+        let q = FlexiWord::new(vec![ps(&[0]), ps(&[3])], vec![Le]);
+        assert!(entails(&db, &q));
+        // S < R fails? t <= w allows t = w. So yes, fails.
+        assert!(!entails(&db, &word(&[&[3], &[2]])));
+    }
+
+    #[test]
+    fn minor_deletion_marks_do_not_leak_across_phases() {
+        // Chain 0 <1 with query needing two strict steps over singleton
+        // labels; phase marks must reset so the second deletion phase can
+        // remove the vertex marked in the first.
+        let db = word_db(&[&[0], &[0], &[0]]);
+        assert!(entails(&db, &word(&[&[0], &[0], &[0]])));
+        assert!(!entails(&db, &word(&[&[0], &[0], &[0], &[0]])));
+    }
+}

@@ -1,0 +1,75 @@
+//! Verdict types returned by the engines.
+
+use indord_core::model::{FiniteModel, MonadicModel};
+
+/// The outcome of a monadic entailment check: either the query is certain
+/// (holds in every model), or a countermodel witnesses failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonadicVerdict {
+    /// `D |= Φ`.
+    Entailed,
+    /// `D |≠ Φ`: the contained model supports `D` and falsifies `Φ`.
+    Countermodel(MonadicModel),
+}
+
+impl MonadicVerdict {
+    /// True when the query is entailed.
+    pub fn holds(&self) -> bool {
+        matches!(self, MonadicVerdict::Entailed)
+    }
+
+    /// The countermodel, when entailment fails.
+    pub fn countermodel(&self) -> Option<&MonadicModel> {
+        match self {
+            MonadicVerdict::Entailed => None,
+            MonadicVerdict::Countermodel(m) => Some(m),
+        }
+    }
+
+    /// Converts to the countermodel, when entailment fails.
+    pub fn into_countermodel(self) -> Option<MonadicModel> {
+        match self {
+            MonadicVerdict::Entailed => None,
+            MonadicVerdict::Countermodel(m) => Some(m),
+        }
+    }
+}
+
+/// The outcome of an n-ary entailment check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NaryVerdict {
+    /// `D |= Φ`.
+    Entailed,
+    /// `D |≠ Φ` with a witnessing minimal model.
+    Countermodel(Box<FiniteModel>),
+}
+
+impl NaryVerdict {
+    /// True when the query is entailed.
+    pub fn holds(&self) -> bool {
+        matches!(self, NaryVerdict::Entailed)
+    }
+
+    /// The countermodel, when entailment fails.
+    pub fn countermodel(&self) -> Option<&FiniteModel> {
+        match self {
+            NaryVerdict::Entailed => None,
+            NaryVerdict::Countermodel(m) => Some(m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert!(MonadicVerdict::Entailed.holds());
+        assert!(MonadicVerdict::Entailed.countermodel().is_none());
+        let cm = MonadicVerdict::Countermodel(MonadicModel::new(vec![]));
+        assert!(!cm.holds());
+        assert!(cm.countermodel().is_some());
+        assert!(cm.into_countermodel().is_some());
+    }
+}

@@ -1,0 +1,230 @@
+//! The boolean-evaluation substrate shared by Theorems 3.3 and 3.4: the
+//! truth-table database `E` and the inductive query `Val(α, z⃗, x)`.
+//!
+//! `E` contains (paper, proof of Theorem 3.3):
+//!
+//! ```text
+//! Istrue(t)
+//! And(t,t,t)  Or(t,t,t)
+//! And(t,f,f)  Or(t,f,t)  Not(t,f)
+//! And(f,t,f)  Or(f,t,t)  Not(f,t)
+//! And(f,f,f)  Or(f,f,f)
+//! ```
+//!
+//! `Val(α, z⃗, x)` asserts that the truth value of α under the assignment
+//! `z⃗` is `x`; it is built by structural recursion with fresh existential
+//! variables per connective. The paper's base case `Val(pᵢ, z⃗, x) = (x=zᵢ)`
+//! is realized by *substitution* (the output term simply **is** `zᵢ`),
+//! eliminating equality exactly as the paper describes.
+
+use indord_core::atom::{ProperAtom, Term};
+use indord_core::database::Database;
+use indord_core::query::{QTerm, QueryExpr};
+use indord_core::sym::{ObjSym, PredSym, Sort, Vocabulary};
+use indord_solvers::formula::Formula;
+
+/// Interned symbols of the boolean substrate.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolSyms {
+    /// `Istrue` (monadic over objects).
+    pub istrue: PredSym,
+    /// `And(a, b, result)`.
+    pub and: PredSym,
+    /// `Or(a, b, result)`.
+    pub or: PredSym,
+    /// `Not(a, result)`.
+    pub not: PredSym,
+    /// The truth constant `t`.
+    pub t: ObjSym,
+    /// The falsity constant `f`.
+    pub f: ObjSym,
+}
+
+/// Interns the boolean predicates and constants.
+pub fn symbols(voc: &mut Vocabulary) -> BoolSyms {
+    let o = Sort::Object;
+    BoolSyms {
+        istrue: voc.pred("Istrue", &[o]).expect("signature"),
+        and: voc.pred("BAnd", &[o, o, o]).expect("signature"),
+        or: voc.pred("BOr", &[o, o, o]).expect("signature"),
+        not: voc.pred("BNot", &[o, o]).expect("signature"),
+        t: voc.obj("$true"),
+        f: voc.obj("$false"),
+    }
+}
+
+/// The truth-table database `E`.
+pub fn truth_table(voc: &mut Vocabulary) -> (BoolSyms, Database) {
+    let s = symbols(voc);
+    let (t, f) = (Term::Obj(s.t), Term::Obj(s.f));
+    let mut db = Database::new();
+    db.push_proper(ProperAtom { pred: s.istrue, args: vec![t] });
+    for (a, b) in [(t, t), (t, f), (f, t), (f, f)] {
+        let and_v = if a == t && b == t { t } else { f };
+        let or_v = if a == t || b == t { t } else { f };
+        db.push_proper(ProperAtom { pred: s.and, args: vec![a, b, and_v] });
+        db.push_proper(ProperAtom { pred: s.or, args: vec![a, b, or_v] });
+    }
+    db.push_proper(ProperAtom { pred: s.not, args: vec![t, f] });
+    db.push_proper(ProperAtom { pred: s.not, args: vec![f, t] });
+    (s, db)
+}
+
+/// Builder state for `Val` queries.
+pub struct ValBuilder {
+    syms: BoolSyms,
+    /// Conjuncts accumulated so far.
+    pub atoms: Vec<QueryExpr>,
+    /// Fresh variables introduced (to be existentially quantified).
+    pub fresh: Vec<String>,
+    counter: usize,
+}
+
+impl ValBuilder {
+    /// Creates a builder over the given symbols.
+    pub fn new(syms: BoolSyms) -> Self {
+        ValBuilder { syms, atoms: Vec::new(), fresh: Vec::new(), counter: 0 }
+    }
+
+    fn fresh_var(&mut self) -> String {
+        self.counter += 1;
+        let v = format!("$val{}", self.counter);
+        self.fresh.push(v.clone());
+        v
+    }
+
+    /// Emits atoms asserting that the value of `formula` under the variable
+    /// assignment named by `var_name(i)` is the returned term. Base-case
+    /// variables are passed through by name (the equality elimination of
+    /// the paper).
+    pub fn emit(
+        &mut self,
+        formula: &Formula,
+        var_name: &dyn Fn(u32) -> String,
+    ) -> String {
+        match formula {
+            Formula::Var(i) => var_name(*i),
+            Formula::Not(g) => {
+                let gv = self.emit(g, var_name);
+                let out = self.fresh_var();
+                self.atoms.push(QueryExpr::Proper {
+                    pred: self.syms.not,
+                    args: vec![QTerm::Var(gv), QTerm::Var(out.clone())],
+                });
+                out
+            }
+            Formula::And(gs) => self.fold(gs, self.syms.and, var_name),
+            Formula::Or(gs) => self.fold(gs, self.syms.or, var_name),
+        }
+    }
+
+    /// Folds an n-ary connective into binary atoms.
+    fn fold(
+        &mut self,
+        gs: &[Formula],
+        pred: PredSym,
+        var_name: &dyn Fn(u32) -> String,
+    ) -> String {
+        assert!(!gs.is_empty(), "normalize empty connectives away first");
+        let mut acc = self.emit(&gs[0], var_name);
+        for g in &gs[1..] {
+            let gv = self.emit(g, var_name);
+            let out = self.fresh_var();
+            self.atoms.push(QueryExpr::Proper {
+                pred,
+                args: vec![QTerm::Var(acc), QTerm::Var(gv), QTerm::Var(out.clone())],
+            });
+            acc = out;
+        }
+        acc
+    }
+
+    /// Finishes: returns `∃ fresh… [atoms ∧ Istrue(root)]`.
+    pub fn finish_requiring_true(mut self, root: String) -> QueryExpr {
+        self.atoms.push(QueryExpr::Proper {
+            pred: self.syms.istrue,
+            args: vec![QTerm::Var(root)],
+        });
+        QueryExpr::Exists(self.fresh, Box::new(QueryExpr::And(self.atoms)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indord_entail::Engine;
+
+    /// The database E evaluates formulas correctly: for ground assignments
+    /// (z_i substituted by the constants) the Val query is entailed iff the
+    /// formula evaluates to true.
+    #[test]
+    fn val_matches_evaluation_on_ground_assignments() {
+        use indord_solvers::formula::Formula::*;
+        let cases = vec![
+            (And(vec![Var(0), Var(1)]), vec![true, true], true),
+            (And(vec![Var(0), Var(1)]), vec![true, false], false),
+            (Or(vec![Var(0), Var(1)]), vec![false, false], false),
+            (Or(vec![Var(0), Var(1)]), vec![false, true], true),
+            (Not(Box::new(Var(0))), vec![false], true),
+            (
+                Or(vec![And(vec![Var(0), Not(Box::new(Var(1)))]), Var(2)]),
+                vec![true, false, false],
+                true,
+            ),
+            (
+                Or(vec![And(vec![Var(0), Not(Box::new(Var(1)))]), Var(2)]),
+                vec![false, true, false],
+                false,
+            ),
+        ];
+        for (formula, assignment, expect) in cases {
+            let mut voc = Vocabulary::new();
+            let (syms, db) = truth_table(&mut voc);
+            let mut b = ValBuilder::new(syms);
+            // Ground the variables to constants through guard predicates:
+            // use QTerm constants directly via substitution names that we
+            // bind with Istrue-like guards — simplest is to emit with names
+            // and then wrap each name as a constant through elimination.
+            let name = |i: u32| format!("$z{i}");
+            let root = b.emit(&formula, &name);
+            let expr = b.finish_requiring_true(root);
+            // Bind $z_i to the right constant with And(z,z,z)-style guards:
+            // And(t,t,t) and And(f,f,f) are facts, so And(z,z,z) forces
+            // z ∈ {t,f}; to force a *specific* value use Istrue for true
+            // and Not(z, $w) & Istrue($w) for false.
+            let mut guards = Vec::new();
+            for (i, &val) in assignment.iter().enumerate() {
+                let z = name(i as u32);
+                if val {
+                    guards.push(QueryExpr::Proper {
+                        pred: syms.istrue,
+                        args: vec![QTerm::Var(z)],
+                    });
+                } else {
+                    let w = format!("$w{i}");
+                    guards.push(QueryExpr::Exists(
+                        vec![w.clone()],
+                        Box::new(QueryExpr::And(vec![
+                            QueryExpr::Proper {
+                                pred: syms.not,
+                                args: vec![QTerm::Var(z), QTerm::Var(w.clone())],
+                            },
+                            QueryExpr::Proper { pred: syms.istrue, args: vec![QTerm::Var(w)] },
+                        ])),
+                    ));
+                }
+            }
+            guards.push(expr);
+            let names: Vec<String> =
+                (0..assignment.len()).map(|i| name(i as u32)).collect();
+            let full = QueryExpr::Exists(names, Box::new(QueryExpr::And(guards)));
+            let q = full.to_dnf(&voc).unwrap();
+            let eng = Engine::new(&voc);
+            assert_eq!(
+                eng.entails(&db, &q).unwrap().holds(),
+                expect,
+                "formula {formula:?} under {assignment:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # indord-reductions
+//!
+//! The paper's hardness constructions, as executable reductions:
+//!
+//! * [`thm32`] — monotone 3-SAT → data complexity of a fixed conjunctive
+//!   query with binary predicates (co-NP-hardness, Theorem 3.2), including
+//!   the width-two layout of Fig. 4 and the `[<=]`-variant;
+//! * [`thm33`] — Π₂-SAT → combined complexity (Π₂ᵖ-hardness, Theorem 3.3),
+//!   with the `Val(α, z⃗, x)` query builder and the fixed-predicate chain
+//!   encoding noted after the theorem;
+//! * [`thm34`] — SAT → expression complexity (NP-hardness, Theorem 3.4);
+//! * [`thm46`] — DNF tautology → combined complexity of monadic conjunctive
+//!   queries (co-NP-hardness, Theorem 4.6; Figs. 7–8), plus the
+//!   `[<=]`-variant with alternating `P`/`Q` labels;
+//! * [`thm71`] — graph 3-colourability → both parts of Theorem 7.1
+//!   (inequality extensions).
+//!
+//! Every construction is paired with tests that decide the produced
+//! `(database, query)` instance with the `indord-entail` engines and
+//! compare against the `indord-solvers` reference decider — reductions are
+//! *verified*, not assumed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boolmodel;
+pub mod thm32;
+pub mod thm33;
+pub mod thm34;
+pub mod thm46;
+pub mod thm71;

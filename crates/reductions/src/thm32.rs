@@ -1,0 +1,442 @@
+//! Theorem 3.2: a fixed conjunctive `[<]`-query with binary predicates has
+//! co-NP-hard data complexity.
+//!
+//! The reduction maps a monotone 3-SAT instance `S ∪ S'` to a database
+//! `D(S) ∪ D(S') ∪ F` such that `D |= Φ` iff the instance is
+//! **unsatisfiable**, where `Φ` is a *fixed* query.
+//!
+//! The heart is the ternary-disjunction gadget of Fig. 3:
+//!
+//! ```text
+//! D(a,b,c; u,v,w,t) = { P(u,a), P(u,b), u<v, P(v,a), P(v,c), v<w,
+//!                       P(w,b), P(w,c), P(t,a), P(t,b), P(t,c) }
+//! φ(x) = ∃t₁t₂t₃ [P(t₁,x) ∧ t₁<t₂ ∧ P(t₂,x) ∧ t₂<t₃ ∧ P(t₃,x)]
+//! ```
+//!
+//! The unconstrained `t` can slide along the chain `u<v<w`: placing `t = w`
+//! makes only `φ(a)` true, `t = v` only `φ(b)`, `t = u` only `φ(c)` (D2),
+//! while *some* `φ` holds in every model (D1). Clause letters connect via
+//! `Q(lᵢⱼ, ·)` facts and complementation via `Comp(l, l̄)`; the fixed query
+//!
+//! ```text
+//! Φ = ∃x y [ψ(x) ∧ Comp(x,y) ∧ ψ(y)],   ψ(x) = ∃z [Q(x,z) ∧ φ(z)]
+//! ```
+//!
+//! fires exactly when every valuation is refuted.
+//!
+//! [`Layout::WidthTwo`] chains the gadgets' order constants into two linear
+//! sequences (Fig. 4), bounding the database width by two without breaking
+//! the argument — the `t`-chain stays free relative to each gadget's
+//! `u<v<w` segment.
+
+use indord_core::database::Database;
+use indord_core::prelude::*;
+use indord_core::query::{QTerm, QueryExpr};
+use indord_core::sym::Sort;
+use indord_solvers::mono3sat::Mono3Sat;
+
+/// How the gadgets' order constants are arranged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// Each clause gadget is an independent component (width grows with
+    /// the number of clauses).
+    Independent,
+    /// All gadgets share two chains (Fig. 4): the database has width 2.
+    WidthTwo,
+}
+
+/// The output of the reduction.
+#[derive(Debug, Clone)]
+pub struct Thm32Instance {
+    /// The database `D(S) ∪ D(S') ∪ F`.
+    pub db: Database,
+    /// The fixed query `Φ` (does not depend on the 3-SAT instance).
+    pub query: DnfQuery,
+}
+
+/// Interns the two binary predicates and `Comp`.
+fn predicates(voc: &mut Vocabulary) -> (PredSym, PredSym, PredSym) {
+    let p = voc.pred("P32", &[Sort::Order, Sort::Object]).expect("signature");
+    let q = voc.pred("Q32", &[Sort::Object, Sort::Object]).expect("signature");
+    let comp = voc.pred("Comp32", &[Sort::Object, Sort::Object]).expect("signature");
+    (p, q, comp)
+}
+
+/// The fixed query `Φ` of Theorem 3.2 (independent of the instance).
+pub fn fixed_query(voc: &mut Vocabulary) -> DnfQuery {
+    let (p, q, comp) = predicates(voc);
+    // φ(z): z occurs at three strictly increasing points.
+    let phi = |z: &str, k: usize| -> QueryExpr {
+        let t1 = format!("t{k}_1");
+        let t2 = format!("t{k}_2");
+        let t3 = format!("t{k}_3");
+        QueryExpr::Exists(
+            vec![t1.clone(), t2.clone(), t3.clone()],
+            Box::new(QueryExpr::And(vec![
+                QueryExpr::Proper {
+                    pred: p,
+                    args: vec![QTerm::Var(t1.clone()), QTerm::Var(z.into())],
+                },
+                QueryExpr::lt(&t1, &t2),
+                QueryExpr::Proper {
+                    pred: p,
+                    args: vec![QTerm::Var(t2.clone()), QTerm::Var(z.into())],
+                },
+                QueryExpr::lt(&t2, &t3),
+                QueryExpr::Proper { pred: p, args: vec![QTerm::Var(t3), QTerm::Var(z.into())] },
+            ])),
+        )
+    };
+    // ψ(x) = ∃z Q(x, z) ∧ φ(z)
+    let psi = |x: &str, k: usize| -> QueryExpr {
+        let z = format!("z{k}");
+        QueryExpr::Exists(
+            vec![z.clone()],
+            Box::new(QueryExpr::And(vec![
+                QueryExpr::Proper {
+                    pred: q,
+                    args: vec![QTerm::Var(x.into()), QTerm::Var(z.clone())],
+                },
+                phi(&z, k),
+            ])),
+        )
+    };
+    let expr = QueryExpr::Exists(
+        vec!["x".into(), "y".into()],
+        Box::new(QueryExpr::And(vec![
+            psi("x", 0),
+            QueryExpr::Proper {
+                pred: comp,
+                args: vec![QTerm::Var("x".into()), QTerm::Var("y".into())],
+            },
+            psi("y", 1),
+        ])),
+    );
+    expr.to_dnf(voc).expect("fixed query is well formed")
+}
+
+/// Builds the Theorem 3.2 instance for a monotone 3-SAT input.
+/// `D |= Φ` iff `inst` is unsatisfiable.
+pub fn build(voc: &mut Vocabulary, inst: &Mono3Sat, layout: Layout) -> Thm32Instance {
+    let (p, q, comp) = predicates(voc);
+    let mut db = Database::new();
+
+    // Complement facts F: Comp(l, l̄) for every letter.
+    let letters: Vec<ObjSym> =
+        (0..inst.n_vars).map(|i| voc.obj(&format!("$lit{i}"))).collect();
+    let neg_letters: Vec<ObjSym> =
+        (0..inst.n_vars).map(|i| voc.obj(&format!("$nlit{i}"))).collect();
+    for i in 0..inst.n_vars {
+        db.push_proper(indord_core::atom::ProperAtom {
+            pred: comp,
+            args: vec![Term::Obj(letters[i]), Term::Obj(neg_letters[i])],
+        });
+    }
+
+    // One gadget per clause; positive clauses link to letters, negative
+    // ones to complemented letters.
+    let mut gadget_chain: Vec<OrdSym> = Vec::new(); // u,v,w chain (WidthTwo)
+    let mut t_chain: Vec<OrdSym> = Vec::new();
+    let mut add_gadget = |db: &mut Database,
+                          voc: &mut Vocabulary,
+                          idx: usize,
+                          clause: &[u32; 3],
+                          lits: &[ObjSym]| {
+        let a = voc.obj(&format!("$a{idx}"));
+        let b = voc.obj(&format!("$b{idx}"));
+        let c = voc.obj(&format!("$c{idx}"));
+        let u = voc.ord(&format!("$u{idx}"));
+        let v = voc.ord(&format!("$v{idx}"));
+        let w = voc.ord(&format!("$w{idx}"));
+        let t = voc.ord(&format!("$t{idx}"));
+        let pf = |db: &mut Database, pt: OrdSym, obj: ObjSym| {
+            db.push_proper(indord_core::atom::ProperAtom {
+                pred: p,
+                args: vec![Term::Ord(pt), Term::Obj(obj)],
+            });
+        };
+        pf(db, u, a);
+        pf(db, u, b);
+        pf(db, v, a);
+        pf(db, v, c);
+        pf(db, w, b);
+        pf(db, w, c);
+        pf(db, t, a);
+        pf(db, t, b);
+        pf(db, t, c);
+        db.assert_lt(u, v);
+        db.assert_lt(v, w);
+        for (obj, &lv) in [a, b, c].iter().zip(clause.iter()) {
+            db.push_proper(indord_core::atom::ProperAtom {
+                pred: q,
+                args: vec![Term::Obj(lits[lv as usize]), Term::Obj(*obj)],
+            });
+        }
+        gadget_chain.extend([u, v, w]);
+        t_chain.push(t);
+    };
+
+    let mut idx = 0;
+    for clause in &inst.pos_clauses {
+        add_gadget(&mut db, voc, idx, clause, &letters);
+        idx += 1;
+    }
+    for clause in &inst.neg_clauses {
+        add_gadget(&mut db, voc, idx, clause, &neg_letters);
+        idx += 1;
+    }
+
+    if layout == Layout::WidthTwo {
+        // Fig. 4: chain all u<v<w segments into one sequence, all t's into
+        // another. Per-gadget freedom of t against its own segment is
+        // preserved.
+        db.assert_chain(indord_core::atom::OrderRel::Lt, &gadget_chain);
+        db.assert_chain(indord_core::atom::OrderRel::Lt, &t_chain);
+    }
+
+    Thm32Instance { db, query: fixed_query(voc) }
+}
+
+/// The `[<=]`-variant noted after Theorem 3.2: the ternary disjunction is
+/// generated by the permutation database
+/// `D(u,v,w) = { P3(x,y,z) : (x,y,z) a permutation of (u,v,w) }` with query
+/// `φ(x) = ∃y z [P3(x,y,z) ∧ x<=y<=z]` — "x is a minimum of the three".
+/// Returns `(db, query)` with `D |= Φ` iff `inst` is unsatisfiable.
+pub fn build_le_variant(voc: &mut Vocabulary, inst: &Mono3Sat) -> Thm32Instance {
+    let p3 = voc
+        .pred("P32le", &[Sort::Order, Sort::Order, Sort::Order])
+        .expect("signature");
+    let q = voc.pred("Q32le", &[Sort::Object, Sort::Order]).expect("signature");
+    let comp = voc.pred("Comp32", &[Sort::Object, Sort::Object]).expect("signature");
+    let mut db = Database::new();
+
+    let letters: Vec<ObjSym> =
+        (0..inst.n_vars).map(|i| voc.obj(&format!("$lit{i}"))).collect();
+    let neg_letters: Vec<ObjSym> =
+        (0..inst.n_vars).map(|i| voc.obj(&format!("$nlit{i}"))).collect();
+    for i in 0..inst.n_vars {
+        db.push_proper(indord_core::atom::ProperAtom {
+            pred: comp,
+            args: vec![Term::Obj(letters[i]), Term::Obj(neg_letters[i])],
+        });
+    }
+
+    let mut idx = 0;
+    let add = |db: &mut Database,
+                   voc: &mut Vocabulary,
+                   idx: usize,
+                   clause: &[u32; 3],
+                   lits: &[ObjSym]| {
+        let u = voc.ord(&format!("$leu{idx}"));
+        let v = voc.ord(&format!("$lev{idx}"));
+        let w = voc.ord(&format!("$lew{idx}"));
+        let perms: [[OrdSym; 3]; 6] = [
+            [u, v, w],
+            [u, w, v],
+            [v, u, w],
+            [v, w, u],
+            [w, u, v],
+            [w, v, u],
+        ];
+        for perm in perms {
+            db.push_proper(indord_core::atom::ProperAtom {
+                pred: p3,
+                args: perm.iter().map(|&x| Term::Ord(x)).collect(),
+            });
+        }
+        for (pt, &lv) in [u, v, w].iter().zip(clause.iter()) {
+            db.push_proper(indord_core::atom::ProperAtom {
+                pred: q,
+                args: vec![Term::Obj(lits[lv as usize]), Term::Ord(*pt)],
+            });
+        }
+    };
+    for clause in &inst.pos_clauses {
+        add(&mut db, voc, idx, clause, &letters);
+        idx += 1;
+    }
+    for clause in &inst.neg_clauses {
+        add(&mut db, voc, idx, clause, &neg_letters);
+        idx += 1;
+    }
+
+    // φ(x): x is a minimum of its triple (strictly first in some ordering
+    // of the other two): ∃ y z. P3(x,y,z) ∧ x<=y<=z — satisfied iff x can
+    // be least. ψ(o) = ∃x Q(o, x) ∧ φ(x).
+    let phi = |x: &str, k: usize| -> QueryExpr {
+        let y = format!("ly{k}");
+        let z = format!("lz{k}");
+        QueryExpr::Exists(
+            vec![y.clone(), z.clone()],
+            Box::new(QueryExpr::And(vec![
+                QueryExpr::Proper {
+                    pred: p3,
+                    args: vec![
+                        QTerm::Var(x.into()),
+                        QTerm::Var(y.clone()),
+                        QTerm::Var(z.clone()),
+                    ],
+                },
+                QueryExpr::le(x, &y),
+                QueryExpr::le(&y, &z),
+            ])),
+        )
+    };
+    let psi = |o: &str, k: usize| -> QueryExpr {
+        let x = format!("lx{k}");
+        QueryExpr::Exists(
+            vec![x.clone()],
+            Box::new(QueryExpr::And(vec![
+                QueryExpr::Proper {
+                    pred: q,
+                    args: vec![QTerm::Var(o.into()), QTerm::Var(x.clone())],
+                },
+                phi(&x, k),
+            ])),
+        )
+    };
+    let expr = QueryExpr::Exists(
+        vec!["o1".into(), "o2".into()],
+        Box::new(QueryExpr::And(vec![
+            psi("o1", 0),
+            QueryExpr::Proper {
+                pred: comp,
+                args: vec![QTerm::Var("o1".into()), QTerm::Var("o2".into())],
+            },
+            psi("o2", 1),
+        ])),
+    );
+    let query = expr.to_dnf(voc).expect("well formed");
+    Thm32Instance { db, query }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indord_core::parse::parse_query_with_db;
+    use indord_entail::{Engine, Strategy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn decide(inst: &Mono3Sat, layout: Layout) -> bool {
+        let mut voc = Vocabulary::new();
+        let out = build(&mut voc, inst, layout);
+        let eng = Engine::new(&voc).with_strategy(Strategy::Naive);
+        eng.entails(&out.db, &out.query).unwrap().holds()
+    }
+
+    /// D1/D2 for the Fig. 3 gadget, checked by model enumeration.
+    #[test]
+    fn gadget_d1_d2() {
+        let mut voc = Vocabulary::new();
+        let inst = Mono3Sat { n_vars: 3, pos_clauses: vec![[0, 1, 2]], neg_clauses: vec![] };
+        let out = build(&mut voc, &inst, Layout::Independent);
+        let phi = |name: &str| {
+            format!(
+                "exists t1 t2 t3. P32(t1, {name}) & t1 < t2 & P32(t2, {name}) & t2 < t3 & P32(t3, {name})"
+            )
+        };
+        // D1: φ(a) ∨ φ(b) ∨ φ(c) is entailed.
+        let disj = format!("({}) | ({}) | ({})", phi("$a0"), phi("$b0"), phi("$c0"));
+        let (gdb, q) = parse_query_with_db(&mut voc, &out.db, &disj).unwrap();
+        let eng = Engine::new(&voc).with_strategy(Strategy::Naive);
+        assert!(eng.entails(&gdb, &q).unwrap().holds(), "D1 fails");
+        // D2: no single φ is entailed (t = w / v / u models refute).
+        for name in ["$a0", "$b0", "$c0"] {
+            let (gdb, q) = parse_query_with_db(&mut voc, &out.db, &phi(name)).unwrap();
+            let eng = Engine::new(&voc).with_strategy(Strategy::Naive);
+            assert!(!eng.entails(&gdb, &q).unwrap().holds(), "D2 fails for {name}");
+        }
+    }
+
+    #[test]
+    fn satisfiable_instances_are_not_entailed() {
+        // Distinct-variable monotone instances over few variables are
+        // satisfiable; the reduction must answer "not entailed".
+        let mut rng = StdRng::seed_from_u64(1234);
+        for _ in 0..6 {
+            let inst = Mono3Sat::random(&mut rng, 3, 1, 1);
+            assert!(inst.satisfiable());
+            assert!(!decide(&inst, Layout::WidthTwo), "{inst:?}");
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_instance_is_entailed() {
+        // Repeated literals give the smallest unsatisfiable monotone
+        // instance: (x0) ∧ (¬x0), encoded as the degenerate 3-clauses
+        // [0,0,0] positive and negative.
+        let inst =
+            Mono3Sat { n_vars: 1, pos_clauses: vec![[0, 0, 0]], neg_clauses: vec![[0, 0, 0]] };
+        assert!(!inst.satisfiable());
+        assert!(decide(&inst, Layout::WidthTwo), "unsat instance must be entailed");
+    }
+
+    #[test]
+    fn independent_layout_agrees_on_small_instance() {
+        let inst =
+            Mono3Sat { n_vars: 1, pos_clauses: vec![[0, 0, 0]], neg_clauses: vec![[0, 0, 0]] };
+        assert!(decide(&inst, Layout::Independent));
+        let sat = Mono3Sat { n_vars: 3, pos_clauses: vec![[0, 1, 2]], neg_clauses: vec![] };
+        assert!(!decide(&sat, Layout::Independent));
+    }
+
+    #[test]
+    fn width_two_layout_has_width_two() {
+        let mut voc = Vocabulary::new();
+        let inst = Mono3Sat {
+            n_vars: 4,
+            pos_clauses: vec![[0, 1, 2], [1, 2, 3]],
+            neg_clauses: vec![[0, 2, 3]],
+        };
+        let out = build(&mut voc, &inst, Layout::WidthTwo);
+        let nd = out.db.normalize().unwrap();
+        assert_eq!(nd.width(), 2);
+        let out_ind = build(&mut Vocabulary::new(), &inst, Layout::Independent);
+        let nd_ind = out_ind.db.normalize().unwrap();
+        assert!(nd_ind.width() > 2);
+    }
+
+    #[test]
+    fn le_variant_both_directions() {
+        // Satisfiable single clause: not entailed.
+        let sat = Mono3Sat { n_vars: 3, pos_clauses: vec![[0, 1, 2]], neg_clauses: vec![] };
+        let mut voc = Vocabulary::new();
+        let out = build_le_variant(&mut voc, &sat);
+        let eng = Engine::new(&voc).with_strategy(Strategy::Naive);
+        assert!(!eng.entails(&out.db, &out.query).unwrap().holds());
+        // Unsatisfiable unit conflict: entailed.
+        let unsat =
+            Mono3Sat { n_vars: 1, pos_clauses: vec![[0, 0, 0]], neg_clauses: vec![[0, 0, 0]] };
+        let mut voc = Vocabulary::new();
+        let out = build_le_variant(&mut voc, &unsat);
+        let eng = Engine::new(&voc).with_strategy(Strategy::Naive);
+        assert!(eng.entails(&out.db, &out.query).unwrap().holds());
+    }
+
+    #[test]
+    fn le_variant_uses_only_le() {
+        let inst = Mono3Sat { n_vars: 3, pos_clauses: vec![[0, 1, 2]], neg_clauses: vec![] };
+        let mut voc = Vocabulary::new();
+        let out = build_le_variant(&mut voc, &inst);
+        assert!(out.db.order_atoms().is_empty(), "gadgets are unconstrained");
+        for cq in &out.query.disjuncts {
+            assert!(cq
+                .order
+                .iter()
+                .all(|(_, rel, _)| *rel == indord_core::atom::OrderRel::Le));
+        }
+    }
+
+    #[test]
+    fn fixed_query_is_fixed() {
+        let mut voc = Vocabulary::new();
+        let q1 = fixed_query(&mut voc);
+        let q2 = fixed_query(&mut voc);
+        assert_eq!(q1, q2);
+        assert_eq!(q1.disjuncts.len(), 1);
+        let cq = &q1.disjuncts[0];
+        assert_eq!(cq.n_ord_vars, 6);
+        assert_eq!(cq.n_obj_vars, 4);
+    }
+}

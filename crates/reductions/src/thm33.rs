@@ -1,0 +1,288 @@
+//! Theorem 3.3: combined complexity of `[<]`-databases and conjunctive
+//! `[<]`-queries is Π₂ᵖ-hard.
+//!
+//! A Π₂ sentence `∀p₁…pₙ ∃q₁…qₘ α` maps to a database/query pair with
+//! `D |= Φ` iff the sentence is true. For each universal variable `pᵢ` the
+//! binary-disjunction gadget
+//!
+//! ```text
+//! Dᵢ = { Pᵢ(uᵢ,t), Pᵢ(vᵢ,f), uᵢ<vᵢ, Pᵢ(wᵢ,t), Pᵢ(wᵢ,f) }
+//! φᵢ(x) = ∃s₁s₂ [Pᵢ(s₁,x) ∧ Pᵢ(s₂,x) ∧ s₁<s₂]
+//! ```
+//!
+//! forces `φᵢ(t) ∨ φᵢ(f)` in every model while allowing models where
+//! exactly one holds (`wᵢ = uᵢ` → only `f`; `wᵢ = vᵢ` → only `t`): minimal
+//! models range over the universal assignments. The query
+//!
+//! ```text
+//! Φ = ∃z₁…zₙ [φ₁(z₁) ∧ … ∧ φₙ(zₙ) ∧ ∃x e⃗ (Istrue(x) ∧ Val(α, z⃗e⃗, x))]
+//! ```
+//!
+//! then expresses the inner `∃q⃗ α` against the truth-table database `E`
+//! (see [`crate::boolmodel`]).
+//!
+//! [`build_fixed_preds`] applies the chain encoding noted after the
+//! theorem, replacing the indexed `Pᵢ` by a fixed set `{P, R, Q}`:
+//! `Pᵢ(u, o)` becomes `P(u, o, c₀), R(c₀,c₁), …, R(c_{i-1},c_i), Q(c_i)`.
+
+use crate::boolmodel::{self, BoolSyms, ValBuilder};
+use indord_core::atom::{ProperAtom, Term};
+use indord_core::database::Database;
+use indord_core::prelude::*;
+use indord_core::query::{QTerm, QueryExpr};
+use indord_core::sym::Sort;
+use indord_solvers::qbf::Pi2;
+
+/// Output of the reduction.
+#[derive(Debug, Clone)]
+pub struct Thm33Instance {
+    /// The database `⋃Dᵢ ∪ E`.
+    pub db: Database,
+    /// The query `Φ`.
+    pub query: DnfQuery,
+}
+
+/// Builds the Theorem 3.3 instance with indexed predicates `Pᵢ`.
+/// `D |= Φ` iff `pi2` is true.
+pub fn build(voc: &mut Vocabulary, pi2: &Pi2) -> Thm33Instance {
+    let (syms, mut db) = boolmodel::truth_table(voc);
+    let n = pi2.n_universal;
+    let preds: Vec<PredSym> = (0..n)
+        .map(|i| {
+            voc.pred(&format!("P33_{i}"), &[Sort::Order, Sort::Object]).expect("signature")
+        })
+        .collect();
+    for (i, &p) in preds.iter().enumerate() {
+        push_gadget(voc, &mut db, syms, i, |pt, obj, db| {
+            db.push_proper(ProperAtom { pred: p, args: vec![Term::Ord(pt), Term::Obj(obj)] });
+        });
+    }
+    let phi = |i: usize, z: &str| -> QueryExpr {
+        let s1 = format!("$s{i}_1");
+        let s2 = format!("$s{i}_2");
+        QueryExpr::Exists(
+            vec![s1.clone(), s2.clone()],
+            Box::new(QueryExpr::And(vec![
+                QueryExpr::Proper {
+                    pred: preds[i],
+                    args: vec![QTerm::Var(s1.clone()), QTerm::Var(z.into())],
+                },
+                QueryExpr::Proper {
+                    pred: preds[i],
+                    args: vec![QTerm::Var(s2.clone()), QTerm::Var(z.into())],
+                },
+                QueryExpr::lt(&s1, &s2),
+            ])),
+        )
+    };
+    let query = assemble_query(voc, pi2, syms, &phi);
+    Thm33Instance { db, query }
+}
+
+/// Builds the variant with a *fixed* predicate set `{P, R, Q}` via the
+/// chain encoding. `D |= Φ` iff `pi2` is true.
+pub fn build_fixed_preds(voc: &mut Vocabulary, pi2: &Pi2) -> Thm33Instance {
+    let (syms, mut db) = boolmodel::truth_table(voc);
+    let p = voc
+        .pred("P33c", &[Sort::Order, Sort::Object, Sort::Object])
+        .expect("signature");
+    let r = voc.pred("R33c", &[Sort::Object, Sort::Object]).expect("signature");
+    let q = voc.pred("Q33c", &[Sort::Object]).expect("signature");
+    let n = pi2.n_universal;
+
+    for i in 0..n {
+        // chain nodes c₀ … cᵢ, one fresh chain per gadget *atom* would be
+        // wasteful; one chain per gadget suffices (all its P-facts share
+        // the chain head).
+        let chain: Vec<ObjSym> =
+            (0..=i).map(|j| voc.obj(&format!("$c{i}_{j}"))).collect();
+        for w in chain.windows(2) {
+            db.push_proper(ProperAtom {
+                pred: r,
+                args: vec![Term::Obj(w[0]), Term::Obj(w[1])],
+            });
+        }
+        db.push_proper(ProperAtom {
+            pred: q,
+            args: vec![Term::Obj(*chain.last().expect("nonempty chain"))],
+        });
+        let head = chain[0];
+        push_gadget(voc, &mut db, syms, i, |pt, obj, db| {
+            db.push_proper(ProperAtom {
+                pred: p,
+                args: vec![Term::Ord(pt), Term::Obj(obj), Term::Obj(head)],
+            });
+        });
+    }
+
+    let phi = move |i: usize, z: &str| -> QueryExpr {
+        let s1 = format!("$s{i}_1");
+        let s2 = format!("$s{i}_2");
+        // chain variables per occurrence
+        let mut vars = vec![s1.clone(), s2.clone()];
+        let mut atoms = vec![QueryExpr::lt(&s1, &s2)];
+        for (occ, s) in [(0usize, &s1), (1, &s2)] {
+            let cs: Vec<String> =
+                (0..=i).map(|j| format!("$cc{i}_{occ}_{j}")).collect();
+            vars.extend(cs.iter().cloned());
+            atoms.push(QueryExpr::Proper {
+                pred: p,
+                args: vec![
+                    QTerm::Var(s.clone()),
+                    QTerm::Var(z.into()),
+                    QTerm::Var(cs[0].clone()),
+                ],
+            });
+            for w in cs.windows(2) {
+                atoms.push(QueryExpr::Proper {
+                    pred: r,
+                    args: vec![QTerm::Var(w[0].clone()), QTerm::Var(w[1].clone())],
+                });
+            }
+            atoms.push(QueryExpr::Proper {
+                pred: q,
+                args: vec![QTerm::Var(cs[cs.len() - 1].clone())],
+            });
+        }
+        QueryExpr::Exists(vars, Box::new(QueryExpr::And(atoms)))
+    };
+    let query = assemble_query(voc, pi2, syms, &phi);
+    Thm33Instance { db, query }
+}
+
+/// The gadget Dᵢ, with the P-fact emission abstracted so both encodings
+/// share it.
+fn push_gadget(
+    voc: &mut Vocabulary,
+    db: &mut Database,
+    syms: BoolSyms,
+    i: usize,
+    mut emit: impl FnMut(OrdSym, ObjSym, &mut Database),
+) {
+    let u = voc.ord(&format!("$gu{i}"));
+    let v = voc.ord(&format!("$gv{i}"));
+    let w = voc.ord(&format!("$gw{i}"));
+    emit(u, syms.t, db);
+    emit(v, syms.f, db);
+    emit(w, syms.t, db);
+    emit(w, syms.f, db);
+    db.assert_lt(u, v);
+}
+
+/// Assembles `Φ` from the per-gadget `φᵢ` builder and the `Val` query.
+fn assemble_query(
+    voc: &Vocabulary,
+    pi2: &Pi2,
+    syms: BoolSyms,
+    phi: &dyn Fn(usize, &str) -> QueryExpr,
+) -> DnfQuery {
+    let n = pi2.n_universal;
+    let zname = |i: u32| {
+        if (i as usize) < n {
+            format!("$z{i}")
+        } else {
+            format!("$e{i}")
+        }
+    };
+    let mut builder = ValBuilder::new(syms);
+    let root = builder.emit(&pi2.matrix, &zname);
+    let val_expr = builder.finish_requiring_true(root);
+
+    let mut parts: Vec<QueryExpr> = (0..n).map(|i| phi(i, &format!("$z{i}"))).collect();
+    parts.push(val_expr);
+    let mut names: Vec<String> = (0..n).map(|i| format!("$z{i}")).collect();
+    names.extend((n..pi2.n_vars()).map(|i| format!("$e{i}")));
+    let expr = QueryExpr::Exists(names, Box::new(QueryExpr::And(parts)));
+    expr.to_dnf(voc).expect("well-formed Theorem 3.3 query")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indord_entail::{Engine, Strategy};
+    use indord_solvers::formula::Formula;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn decide(pi2: &Pi2) -> bool {
+        let mut voc = Vocabulary::new();
+        let out = build(&mut voc, pi2);
+        let eng = Engine::new(&voc).with_strategy(Strategy::Naive);
+        eng.entails(&out.db, &out.query).unwrap().holds()
+    }
+
+    #[test]
+    fn forall_exists_equal_is_true() {
+        // ∀p ∃q (p ↔ q)
+        let iff = Formula::Or(vec![
+            Formula::And(vec![Formula::Var(0), Formula::Var(1)]),
+            Formula::And(vec![
+                Formula::Not(Box::new(Formula::Var(0))),
+                Formula::Not(Box::new(Formula::Var(1))),
+            ]),
+        ]);
+        let pi2 = Pi2 { n_universal: 1, n_existential: 1, matrix: iff };
+        assert!(pi2.is_true());
+        assert!(decide(&pi2));
+    }
+
+    #[test]
+    fn forall_p_p_is_false() {
+        let pi2 = Pi2 { n_universal: 1, n_existential: 0, matrix: Formula::Var(0) };
+        assert!(!pi2.is_true());
+        assert!(!decide(&pi2));
+    }
+
+    #[test]
+    fn pure_existential_is_sat() {
+        let pi2 = Pi2 {
+            n_universal: 0,
+            n_existential: 2,
+            matrix: Formula::And(vec![Formula::Var(0), Formula::Var(1)]),
+        };
+        assert!(decide(&pi2));
+        let unsat = Pi2 {
+            n_universal: 0,
+            n_existential: 1,
+            matrix: Formula::And(vec![Formula::Var(0), Formula::Not(Box::new(Formula::Var(0)))]),
+        };
+        assert!(!decide(&unsat));
+    }
+
+    #[test]
+    fn randomized_agreement_with_qbf_solver() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut seen = [0usize; 2];
+        for _ in 0..10 {
+            let pi2 = Pi2::random(&mut rng, 2, 2);
+            let want = pi2.is_true();
+            assert_eq!(decide(&pi2), want, "{pi2:?}");
+            seen[usize::from(want)] += 1;
+        }
+        assert!(seen[0] > 0 && seen[1] > 0, "need both outcomes: {seen:?}");
+    }
+
+    #[test]
+    fn fixed_preds_variant_agrees() {
+        let mut rng = StdRng::seed_from_u64(66);
+        for _ in 0..5 {
+            let pi2 = Pi2::random(&mut rng, 2, 1);
+            let mut voc = Vocabulary::new();
+            let out = build_fixed_preds(&mut voc, &pi2);
+            let eng = Engine::new(&voc).with_strategy(Strategy::Naive);
+            let got = eng.entails(&out.db, &out.query).unwrap().holds();
+            assert_eq!(got, pi2.is_true(), "{pi2:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_preds_use_three_extra_predicates() {
+        let mut voc = Vocabulary::new();
+        let pi2 = Pi2 { n_universal: 2, n_existential: 1, matrix: Formula::Var(0) };
+        let _ = build_fixed_preds(&mut voc, &pi2);
+        assert!(voc.find_pred("P33c").is_some());
+        assert!(voc.find_pred("R33c").is_some());
+        assert!(voc.find_pred("Q33c").is_some());
+        assert!(voc.find_pred("P33_0").is_none(), "no indexed predicates");
+    }
+}

@@ -1,0 +1,83 @@
+//! Theorem 3.4: there is a (fixed) database with NP-hard expression
+//! complexity for conjunctive queries.
+//!
+//! The database is the truth-table database `E` of Theorem 3.3; the
+//! formula α maps to the query `∃x z⃗ [Istrue(x) ∧ Val(α, z⃗, x)]`, which
+//! `E` entails iff α is satisfiable. (As the paper notes, this is really a
+//! fact about relational databases: `E` contains no order constants at
+//! all, so the single minimal model *is* `E`.)
+
+use crate::boolmodel::{self, ValBuilder};
+use indord_core::database::Database;
+use indord_core::prelude::*;
+use indord_core::query::QueryExpr;
+use indord_solvers::formula::Formula;
+
+/// The fixed database `E`.
+pub fn fixed_database(voc: &mut Vocabulary) -> Database {
+    boolmodel::truth_table(voc).1
+}
+
+/// The query for a formula: entailed by `E` iff `formula` is satisfiable.
+pub fn satisfiability_query(voc: &mut Vocabulary, formula: &Formula) -> DnfQuery {
+    let syms = boolmodel::symbols(voc);
+    let n = formula.num_vars();
+    let mut b = ValBuilder::new(syms);
+    let name = |i: u32| format!("$z{i}");
+    let root = b.emit(formula, &name);
+    let val = b.finish_requiring_true(root);
+    let names: Vec<String> = (0..n).map(|i| name(i as u32)).collect();
+    let expr = QueryExpr::Exists(names, Box::new(val));
+    expr.to_dnf(voc).expect("well-formed Theorem 3.4 query")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indord_entail::Engine;
+    use indord_solvers::dpll;
+    use indord_solvers::cnf::Cnf;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn decide(formula: &Formula) -> bool {
+        let mut voc = Vocabulary::new();
+        let db = fixed_database(&mut voc);
+        let q = satisfiability_query(&mut voc, formula);
+        let eng = Engine::new(&voc);
+        eng.entails(&db, &q).unwrap().holds()
+    }
+
+    #[test]
+    fn contradiction_not_entailed() {
+        let f = Formula::And(vec![Formula::Var(0), Formula::Not(Box::new(Formula::Var(0)))]);
+        assert!(!decide(&f));
+    }
+
+    #[test]
+    fn simple_satisfiable() {
+        let f = Formula::Or(vec![Formula::Var(0), Formula::Var(1)]);
+        assert!(decide(&f));
+    }
+
+    #[test]
+    fn randomized_agreement_with_dpll() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let mut seen = [0usize; 2];
+        for _ in 0..40 {
+            let f = Formula::random(&mut rng, 4, 3);
+            let want = dpll::satisfiable(&Cnf::tseitin(&f, 4));
+            assert_eq!(decide(&f), want, "{f:?}");
+            seen[usize::from(want)] += 1;
+        }
+        assert!(seen[0] > 0 && seen[1] > 0, "need both outcomes: {seen:?}");
+    }
+
+    #[test]
+    fn database_is_order_free() {
+        let mut voc = Vocabulary::new();
+        let db = fixed_database(&mut voc);
+        assert_eq!(db.order_constant_count(), 0);
+        assert!(db.order_atoms().is_empty());
+    }
+}

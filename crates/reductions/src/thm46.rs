@@ -1,0 +1,298 @@
+//! Theorem 4.6: combined complexity of `[<]`-databases and width-two
+//! conjunctive monadic `[<]`-queries over two fixed predicates is
+//! co-NP-hard.
+//!
+//! A DNF formula α over `m` variables maps to:
+//!
+//! * the query `Φ(α)` (Fig. 7): two rows of `m` vertices, row one labelled
+//!   `T`, row two `F`, with `<`-edges from both vertices of column `j` to
+//!   both of column `j+1` — its source-to-sink paths are exactly the words
+//!   `{T,F}^m`, i.e. all valuations;
+//! * the database `D(α)`: one component per disjunct δ, keeping from
+//!   column `j` only the `T` vertex if `pⱼ ∈ δ`, only `F` if `¬pⱼ ∈ δ`,
+//!   and both otherwise (Fig. 8) — its paths are the valuations
+//!   *satisfying* δ.
+//!
+//! All paths have length `m`, so `D(α) |= Φ(α)` iff every valuation
+//! satisfies some disjunct — iff α is a tautology.
+//!
+//! [`build_le_variant`] is the `[<=]` version sketched after the theorem:
+//! edges become `<=` and two further predicates `P`/`Q` label odd/even
+//! columns so that equal-length flexi-words entail each other only when
+//! equal.
+
+use indord_core::atom::OrderRel;
+use indord_core::bitset::PredSet;
+use indord_core::monadic::{MonadicDatabase, MonadicQuery};
+use indord_core::ordgraph::OrderGraph;
+use indord_core::sym::Vocabulary;
+use indord_solvers::cnf::var_of;
+use indord_solvers::dnf::Dnf;
+
+/// Output of the reduction.
+#[derive(Debug, Clone)]
+pub struct Thm46Instance {
+    /// The database `D(α)`.
+    pub db: MonadicDatabase,
+    /// The width-two conjunctive query `Φ(α)`.
+    pub query: MonadicQuery,
+}
+
+/// Which column vertices a disjunct keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Keep {
+    Both,
+    TrueOnly,
+    FalseOnly,
+    /// The disjunct is contradictory (contains `p` and `¬p`).
+    None,
+}
+
+fn keeps(term: &[i32], m: usize) -> Vec<Keep> {
+    let mut ks = vec![Keep::Both; m];
+    let mut dead = false;
+    for &l in term {
+        let v = var_of(l);
+        let want = if l > 0 { Keep::TrueOnly } else { Keep::FalseOnly };
+        ks[v] = match (ks[v], want) {
+            (Keep::Both, w) => w,
+            (k, w) if k == w => k,
+            _ => {
+                dead = true;
+                Keep::None
+            }
+        };
+    }
+    if dead {
+        vec![Keep::None; m]
+    } else {
+        ks
+    }
+}
+
+/// Builds the `[<]` instance. `db |= query` iff `dnf` is a tautology.
+pub fn build(voc: &mut Vocabulary, dnf: &Dnf) -> Thm46Instance {
+    let t = voc.monadic_pred("T46");
+    let f = voc.monadic_pred("F46");
+    let m = dnf.n_vars;
+    assert!(m >= 1, "at least one variable");
+
+    // Query Φ(α): vertex (j, row) = 2j + row; row 0 = T, row 1 = F.
+    let mut qedges = Vec::new();
+    for j in 0..m.saturating_sub(1) {
+        for r in 0..2 {
+            for r2 in 0..2 {
+                qedges.push((2 * j + r, 2 * (j + 1) + r2, OrderRel::Lt));
+            }
+        }
+    }
+    let qgraph = OrderGraph::from_dag_edges(2 * m, &qedges).expect("acyclic");
+    let qlabels: Vec<PredSet> = (0..2 * m)
+        .map(|v| PredSet::singleton(if v % 2 == 0 { t } else { f }))
+        .collect();
+    let query = MonadicQuery::new(qgraph, qlabels);
+
+    // Database D(α): disjoint components per (non-contradictory) disjunct.
+    let mut labels: Vec<PredSet> = Vec::new();
+    let mut edges: Vec<(usize, usize, OrderRel)> = Vec::new();
+    for term in &dnf.terms {
+        let ks = keeps(term, m);
+        if ks.contains(&Keep::None) {
+            continue; // contradictory disjunct satisfies no valuation
+        }
+        let base = labels.len();
+        // vertex layout per column: list of (local index, is_true_row)
+        let mut col_vertices: Vec<Vec<usize>> = Vec::with_capacity(m);
+        for k in &ks {
+            let mut vs = Vec::new();
+            match k {
+                Keep::Both => {
+                    labels.push(PredSet::singleton(t));
+                    vs.push(labels.len() - 1);
+                    labels.push(PredSet::singleton(f));
+                    vs.push(labels.len() - 1);
+                }
+                Keep::TrueOnly => {
+                    labels.push(PredSet::singleton(t));
+                    vs.push(labels.len() - 1);
+                }
+                Keep::FalseOnly => {
+                    labels.push(PredSet::singleton(f));
+                    vs.push(labels.len() - 1);
+                }
+                Keep::None => unreachable!(),
+            }
+            col_vertices.push(vs);
+        }
+        for j in 0..m.saturating_sub(1) {
+            for &a in &col_vertices[j] {
+                for &b in &col_vertices[j + 1] {
+                    edges.push((a, b, OrderRel::Lt));
+                }
+            }
+        }
+        let _ = base;
+    }
+    let graph = OrderGraph::from_dag_edges(labels.len(), &edges).expect("acyclic");
+    let db = MonadicDatabase::new(graph, labels);
+    Thm46Instance { db, query }
+}
+
+/// The `[<=]`-variant: same combinatorics with `<=` edges; odd columns are
+/// additionally labelled `P46`, even columns `Q46`, so that flexi-words of
+/// the same shape entail each other only when equal.
+pub fn build_le_variant(voc: &mut Vocabulary, dnf: &Dnf) -> Thm46Instance {
+    let base = build(voc, dnf);
+    let p = voc.monadic_pred("P46");
+    let q = voc.monadic_pred("Q46");
+    let m = dnf.n_vars;
+
+    let relabel = |graph: &OrderGraph, labels: &[PredSet], col_of: &dyn Fn(usize) -> usize| {
+        let edges: Vec<(usize, usize, OrderRel)> = graph
+            .edges()
+            .map(|(a, b, _)| (a, b, OrderRel::Le))
+            .collect();
+        let g = OrderGraph::from_dag_edges(graph.len(), &edges).expect("acyclic");
+        let labels: Vec<PredSet> = labels
+            .iter()
+            .enumerate()
+            .map(|(v, l)| {
+                let mut l = l.clone();
+                l.insert(if col_of(v).is_multiple_of(2) { p } else { q });
+                l
+            })
+            .collect();
+        (g, labels)
+    };
+
+    // Query columns: vertex v is in column v / 2.
+    let (qg, ql) = relabel(&base.query.graph, &base.query.labels, &|v| v / 2);
+    // Database columns: recover from topological structure — the column of
+    // a vertex is its distance from its component's source column. With
+    // all paths of length m, the longest path *to* a vertex gives it.
+    let depth = longest_path_depth(&base.db.graph);
+    let (dg, dl) = relabel(&base.db.graph, &base.db.labels, &|v| depth[v]);
+    let _ = m;
+    Thm46Instance {
+        db: MonadicDatabase::new(dg, dl),
+        query: MonadicQuery::new(qg, ql),
+    }
+}
+
+fn longest_path_depth(g: &OrderGraph) -> Vec<usize> {
+    let order = g.topo_order();
+    let mut depth = vec![0usize; g.len()];
+    for &v in &order {
+        for &(w, _) in g.successors(v) {
+            depth[w as usize] = depth[w as usize].max(depth[v] + 1);
+        }
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indord_entail::{bounded, naive, paths};
+    use indord_solvers::cnf::{lit, neg};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn query_shape_matches_fig7() {
+        let mut voc = Vocabulary::new();
+        let dnf = Dnf { n_vars: 3, terms: vec![vec![lit(0)]] };
+        let out = build(&mut voc, &dnf);
+        assert_eq!(out.query.len(), 6);
+        assert_eq!(out.query.width(), 2);
+        assert_eq!(out.query.path_count(), 8); // {T,F}^3
+    }
+
+    #[test]
+    fn component_shape_matches_fig8() {
+        // The paper's example disjunct over 4 variables: p1 ∧ ¬p3 ∧ p4
+        // (1-indexed) keeps T | both | F | T.
+        let mut voc = Vocabulary::new();
+        let dnf = Dnf { n_vars: 4, terms: vec![vec![lit(0), neg(2), lit(3)]] };
+        let out = build(&mut voc, &dnf);
+        assert_eq!(out.db.len(), 1 + 2 + 1 + 1);
+        assert_eq!(out.db.path_count(), 2);
+    }
+
+    #[test]
+    fn tautology_iff_entailed_handpicked() {
+        let mut voc = Vocabulary::new();
+        // x ∨ ¬x over one variable: tautology.
+        let taut = Dnf { n_vars: 1, terms: vec![vec![lit(0)], vec![neg(0)]] };
+        let out = build(&mut voc, &taut);
+        assert!(paths::entails(&out.db, &out.query));
+        assert!(bounded::entails(&out.db, &out.query));
+        // x alone: not a tautology.
+        let nt = Dnf { n_vars: 1, terms: vec![vec![lit(0)]] };
+        let out = build(&mut voc, &nt);
+        assert!(!paths::entails(&out.db, &out.query));
+        assert!(!bounded::entails(&out.db, &out.query));
+    }
+
+    #[test]
+    fn randomized_agreement_with_dnf_solver() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let mut seen = [0usize; 2];
+        for _ in 0..60 {
+            let dnf = Dnf::random(&mut rng, 3, 4, true);
+            let want = dnf.is_tautology();
+            let mut voc = Vocabulary::new();
+            let out = build(&mut voc, &dnf);
+            let got_paths = paths::entails(&out.db, &out.query);
+            let got_bounded = bounded::entails(&out.db, &out.query);
+            assert_eq!(got_paths, want, "{dnf:?}");
+            assert_eq!(got_bounded, want, "{dnf:?}");
+            seen[usize::from(want)] += 1;
+        }
+        assert!(seen[0] > 0 && seen[1] > 0);
+    }
+
+    #[test]
+    fn naive_agrees_on_tiny_instances() {
+        let mut rng = StdRng::seed_from_u64(146);
+        for _ in 0..10 {
+            let dnf = Dnf::random(&mut rng, 2, 2, true);
+            let mut voc = Vocabulary::new();
+            let out = build(&mut voc, &dnf);
+            let fast = paths::entails(&out.db, &out.query);
+            let slow = naive::monadic_check(&out.db, &[out.query.clone()]).unwrap().holds();
+            assert_eq!(fast, slow, "{dnf:?}");
+        }
+    }
+
+    #[test]
+    fn contradictory_disjuncts_are_ignored() {
+        let mut voc = Vocabulary::new();
+        let dnf = Dnf { n_vars: 2, terms: vec![vec![lit(0), neg(0)], vec![lit(1)], vec![neg(1)]] };
+        let out = build(&mut voc, &dnf);
+        // contradictory first term contributes no component
+        assert_eq!(out.db.path_count(), 2 + 2);
+        assert!(paths::entails(&out.db, &out.query)); // p2 ∨ ¬p2 is a tautology
+    }
+
+    #[test]
+    fn le_variant_agrees_with_dnf_solver() {
+        let mut rng = StdRng::seed_from_u64(246);
+        let mut seen = [0usize; 2];
+        for _ in 0..40 {
+            let dnf = Dnf::random(&mut rng, 3, 3, true);
+            let want = dnf.is_tautology();
+            let mut voc = Vocabulary::new();
+            let out = build_le_variant(&mut voc, &dnf);
+            assert!(out
+                .db
+                .graph
+                .edges()
+                .all(|(_, _, r)| r == OrderRel::Le));
+            let got = bounded::entails(&out.db, &out.query);
+            assert_eq!(got, want, "{dnf:?}");
+            seen[usize::from(want)] += 1;
+        }
+        assert!(seen[0] > 0 && seen[1] > 0);
+    }
+}

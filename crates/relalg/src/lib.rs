@@ -1,0 +1,656 @@
+//! # indord-relalg
+//!
+//! A minimal relational-database substrate and **containment of
+//! conjunctive queries with inequalities** — the problem of Klug
+//! (JACM 35(1), 1988) that the paper connects to indefinite order
+//! databases through Proposition 2.10.
+//!
+//! A relational database with order is a finite two-sorted structure whose
+//! order sort is interpreted in a linear order (here `i64`). `Q₁` is
+//! **O-contained** in `Q₂` when `Ans(Q₁,M) ⊆ Ans(Q₂,M)` for every database
+//! `M` whose order is of type `O`. Proposition 2.10 makes this
+//! *equivalent* (both directions, PTIME) to entailment in indefinite order
+//! databases:
+//!
+//! * containment → entailment: freeze `Q₁`'s body into a database (its
+//!   variables become fresh constants) and ask whether it entails `Q₂`'s
+//!   body with `Q₂`'s head variables bound to the frozen head constants;
+//! * entailment → containment: `D |= Φ` iff
+//!   `[() : ⋀D] ⊆ [() : Φ]`.
+//!
+//! Combining with Theorem 3.3 settles Klug's open problem: containment of
+//! conjunctive queries with inequalities is Π₂ᵖ-complete (see
+//! `examples/containment.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use indord_core::atom::{OrderAtom, OrderRel, ProperAtom, Term};
+use indord_core::database::Database;
+use indord_core::error::{CoreError, Result};
+use indord_core::query::{ConjunctiveQuery, DnfQuery, QArg};
+use indord_core::sym::{ObjSym, PredSym, Sort, Vocabulary};
+use indord_semantics::OrderType;
+use std::collections::HashMap;
+
+/// A value of a relational tuple: an object constant or an order-sort
+/// number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RelVal {
+    /// Object-sorted value.
+    Obj(ObjSym),
+    /// Order-sorted value (interpreted in the `i64` line).
+    Num(i64),
+}
+
+/// A ground relational fact.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RelFact {
+    /// The relation.
+    pub pred: PredSym,
+    /// The tuple.
+    pub args: Vec<RelVal>,
+}
+
+/// A finite relational instance.
+#[derive(Debug, Clone, Default)]
+pub struct RelInstance {
+    /// The facts.
+    pub facts: Vec<RelFact>,
+}
+
+impl RelInstance {
+    /// Adds a fact, validating sorts against the vocabulary.
+    pub fn insert(&mut self, voc: &Vocabulary, pred: PredSym, args: Vec<RelVal>) -> Result<()> {
+        let sig = voc.signature(pred);
+        if sig.arity() != args.len() {
+            return Err(CoreError::ArityMismatch {
+                pred: voc.pred_name(pred).to_string(),
+                expected: sig.arity(),
+                found: args.len(),
+            });
+        }
+        for (i, (v, &s)) in args.iter().zip(&sig.arg_sorts).enumerate() {
+            let ok = matches!(
+                (v, s),
+                (RelVal::Obj(_), Sort::Object) | (RelVal::Num(_), Sort::Order)
+            );
+            if !ok {
+                return Err(CoreError::SortMismatch {
+                    pred: voc.pred_name(pred).to_string(),
+                    position: i,
+                    expected: s,
+                });
+            }
+        }
+        self.facts.push(RelFact { pred, args });
+        Ok(())
+    }
+}
+
+/// A relational conjunctive query with inequalities
+/// `[x⃗ : ∃y⃗ φ(x⃗, y⃗)]`: a body (over dense variables) plus the head
+/// projection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelQuery {
+    /// Head: object-variable indices of the body, in output order.
+    pub head_obj: Vec<u32>,
+    /// Head: order-variable indices of the body, in output order.
+    pub head_ord: Vec<u32>,
+    /// The body.
+    pub body: ConjunctiveQuery,
+}
+
+impl RelQuery {
+    /// A boolean query (empty head).
+    pub fn boolean(body: ConjunctiveQuery) -> RelQuery {
+        RelQuery { head_obj: Vec::new(), head_ord: Vec::new(), body }
+    }
+
+    /// Evaluates the answer set `Ans(Q, M)` by backtracking join.
+    pub fn answers(&self, inst: &RelInstance) -> Vec<Vec<RelVal>> {
+        let mut by_pred: HashMap<PredSym, Vec<&RelFact>> = HashMap::new();
+        for f in &inst.facts {
+            by_pred.entry(f.pred).or_default().push(f);
+        }
+        let mut obj = vec![None; self.body.n_obj_vars];
+        let mut ord = vec![None; self.body.n_ord_vars];
+        let mut out = Vec::new();
+        self.join(&by_pred, 0, &mut obj, &mut ord, &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn order_ok(&self, ord: &[Option<i64>]) -> bool {
+        self.body.order.iter().all(|&(l, rel, r)| {
+            match (ord[l as usize], ord[r as usize]) {
+                (Some(a), Some(b)) => match rel {
+                    OrderRel::Lt => a < b,
+                    OrderRel::Le => a <= b,
+                    OrderRel::Ne => a != b,
+                },
+                _ => true,
+            }
+        })
+    }
+
+    fn join(
+        &self,
+        by_pred: &HashMap<PredSym, Vec<&RelFact>>,
+        atom_idx: usize,
+        obj: &mut Vec<Option<ObjSym>>,
+        ord: &mut Vec<Option<i64>>,
+        out: &mut Vec<Vec<RelVal>>,
+    ) {
+        if atom_idx == self.body.proper.len() {
+            if !self.order_ok(ord) {
+                return;
+            }
+            // Head variables must be bound (safe queries): unbound head
+            // variables make the query unsafe; we skip such assignments.
+            let mut tuple = Vec::with_capacity(self.head_obj.len() + self.head_ord.len());
+            for &i in &self.head_obj {
+                match obj[i as usize] {
+                    Some(o) => tuple.push(RelVal::Obj(o)),
+                    None => return,
+                }
+            }
+            for &i in &self.head_ord {
+                match ord[i as usize] {
+                    Some(n) => tuple.push(RelVal::Num(n)),
+                    None => return,
+                }
+            }
+            out.push(tuple);
+            return;
+        }
+        let atom = &self.body.proper[atom_idx];
+        let Some(facts) = by_pred.get(&atom.pred) else { return };
+        'facts: for f in facts {
+            let mut bound_obj = Vec::new();
+            let mut bound_ord = Vec::new();
+            for (qa, v) in atom.args.iter().zip(&f.args) {
+                let ok = match (qa, v) {
+                    (QArg::Obj(i), RelVal::Obj(o)) => {
+                        let i = *i as usize;
+                        match obj[i] {
+                            Some(prev) => prev == *o,
+                            None => {
+                                obj[i] = Some(*o);
+                                bound_obj.push(i);
+                                true
+                            }
+                        }
+                    }
+                    (QArg::Ord(i), RelVal::Num(n)) => {
+                        let i = *i as usize;
+                        match ord[i] {
+                            Some(prev) => prev == *n,
+                            None => {
+                                ord[i] = Some(*n);
+                                bound_ord.push(i);
+                                true
+                            }
+                        }
+                    }
+                    _ => false,
+                };
+                if !ok {
+                    for &i in &bound_obj {
+                        obj[i] = None;
+                    }
+                    for &i in &bound_ord {
+                        ord[i] = None;
+                    }
+                    continue 'facts;
+                }
+            }
+            if self.order_ok(ord) {
+                self.join(by_pred, atom_idx + 1, obj, ord, out);
+            }
+            for &i in &bound_obj {
+                obj[i] = None;
+            }
+            for &i in &bound_ord {
+                ord[i] = None;
+            }
+        }
+    }
+}
+
+/// Decides `Q₁ ⊆_O Q₂` via Proposition 2.10: freeze `Q₁`'s body into an
+/// indefinite order database and test entailment of `Q₂`'s body with heads
+/// identified.
+///
+/// Requires matching head signatures. `!=` atoms are supported in both
+/// queries (entailment handles them through the §7 machinery).
+pub fn contained_in(
+    voc: &mut Vocabulary,
+    q1: &RelQuery,
+    q2: &RelQuery,
+    order_type: OrderType,
+) -> Result<bool> {
+    if q1.head_obj.len() != q2.head_obj.len() || q1.head_ord.len() != q2.head_ord.len() {
+        return Err(CoreError::Parse {
+            offset: 0,
+            message: "containment requires equal head signatures".to_string(),
+        });
+    }
+    // Freeze Q1's variables into fresh constants.
+    let objs: Vec<ObjSym> = (0..q1.body.n_obj_vars)
+        .map(|i| {
+            let name = format!("frz_o{i}");
+            let _ = name;
+            voc.fresh_obj_for_freeze(i)
+        })
+        .collect();
+    let ords: Vec<_> = (0..q1.body.n_ord_vars).map(|i| voc.fresh_ord(&format!("frz{i}_"))).collect();
+    let mut db = Database::new();
+    for a in &q1.body.proper {
+        let args = a
+            .args
+            .iter()
+            .map(|qa| match *qa {
+                QArg::Obj(i) => Term::Obj(objs[i as usize]),
+                QArg::Ord(i) => Term::Ord(ords[i as usize]),
+            })
+            .collect();
+        db.push_proper(ProperAtom { pred: a.pred, args });
+    }
+    for &(l, rel, r) in &q1.body.order {
+        db.order_push_rel(rel, ords[l as usize], ords[r as usize]);
+    }
+
+    // Q2's body with head variables replaced by the frozen constants of
+    // Q1's head. Guard predicates pin the constants (the §2 trick).
+    let mut head_obj_guard: HashMap<u32, PredSym> = HashMap::new();
+    let mut head_ord_guard: HashMap<u32, PredSym> = HashMap::new();
+    for (k, &i2) in q2.head_obj.iter().enumerate() {
+        let g = voc.fresh_pred(&format!("hguard_o{k}_"), &[Sort::Object]);
+        head_obj_guard.insert(i2, g);
+        db.push_proper(ProperAtom {
+            pred: g,
+            args: vec![Term::Obj(objs[q1.head_obj[k] as usize])],
+        });
+    }
+    for (k, &i2) in q2.head_ord.iter().enumerate() {
+        let g = voc.fresh_pred(&format!("hguard_t{k}_"), &[Sort::Order]);
+        head_ord_guard.insert(i2, g);
+        db.push_proper(ProperAtom {
+            pred: g,
+            args: vec![Term::Ord(ords[q1.head_ord[k] as usize])],
+        });
+    }
+    let mut body2 = q2.body.clone();
+    for (&var, &g) in &head_obj_guard {
+        body2.proper.push(indord_core::query::QueryAtom { pred: g, args: vec![QArg::Obj(var)] });
+    }
+    for (&var, &g) in &head_ord_guard {
+        body2.proper.push(indord_core::query::QueryAtom { pred: g, args: vec![QArg::Ord(var)] });
+    }
+    let query = DnfQuery::conjunctive(body2);
+    Ok(indord_semantics::entails(voc, &db, &query, order_type)?.holds())
+}
+
+/// Reduction in the other direction (Prop. 2.10): an entailment instance
+/// `(D, Φ)` becomes the containment `[() : ⋀D] ⊆ [() : Φ]` of boolean
+/// queries. Returns the two queries (per disjunct of `Φ` when disjunctive:
+/// callers test containment in the union — for conjunctive `Φ` a single
+/// pair).
+pub fn entailment_as_containment(
+    voc: &mut Vocabulary,
+    db: &Database,
+    query: &ConjunctiveQuery,
+) -> Result<(RelQuery, RelQuery)> {
+    // Q1's body: the database atoms with constants turned into variables.
+    let mut obj_index: HashMap<ObjSym, u32> = HashMap::new();
+    let mut ord_index: HashMap<indord_core::sym::OrdSym, u32> = HashMap::new();
+    let mut proper = Vec::new();
+    for a in db.proper_atoms() {
+        let args = a
+            .args
+            .iter()
+            .map(|t| match *t {
+                Term::Obj(o) => {
+                    let n = obj_index.len() as u32;
+                    QArg::Obj(*obj_index.entry(o).or_insert(n))
+                }
+                Term::Ord(u) => {
+                    let n = ord_index.len() as u32;
+                    QArg::Ord(*ord_index.entry(u).or_insert(n))
+                }
+            })
+            .collect();
+        proper.push(indord_core::query::QueryAtom { pred: a.pred, args });
+    }
+    let mut order = Vec::new();
+    for &OrderAtom { lhs, rel, rhs } in db.order_atoms() {
+        let nl = ord_index.len() as u32;
+        let l = *ord_index.entry(lhs).or_insert(nl);
+        let nr = ord_index.len() as u32;
+        let r = *ord_index.entry(rhs).or_insert(nr);
+        order.push((l, rel, r));
+    }
+    let body1 = ConjunctiveQuery {
+        n_obj_vars: obj_index.len(),
+        n_ord_vars: ord_index.len(),
+        proper,
+        order,
+    };
+    let _ = voc;
+    Ok((RelQuery::boolean(body1), RelQuery::boolean(query.clone())))
+}
+
+/// Conjunctive-query **minimization** via containment — the optimization
+/// use-case Klug (and §2 of the paper) give for the containment problem:
+/// repeatedly drop a proper atom whose removal leaves the query equivalent
+/// (mutual containment over the chosen order type), until no atom is
+/// redundant. The result is an equivalent query with a minimal atom set
+/// among those reachable by single-atom deletions.
+///
+/// Order atoms are also pruned when they are implied by the remainder
+/// (the *fullness* closure in reverse).
+pub fn minimize(
+    voc: &mut Vocabulary,
+    q: &RelQuery,
+    order_type: OrderType,
+) -> Result<RelQuery> {
+    let mut current = q.clone();
+    // 1. Drop redundant proper atoms.
+    loop {
+        let mut dropped = false;
+        for i in 0..current.body.proper.len() {
+            let mut candidate = current.clone();
+            candidate.body.proper.remove(i);
+            if heads_still_bound(&candidate)
+                && contained_in(voc, &candidate, &current, order_type)?
+                && contained_in(voc, &current, &candidate, order_type)?
+            {
+                current = candidate;
+                dropped = true;
+                break;
+            }
+        }
+        if !dropped {
+            break;
+        }
+    }
+    // 2. Drop order atoms implied by the rest.
+    loop {
+        let mut dropped = false;
+        for i in 0..current.body.order.len() {
+            let mut candidate = current.clone();
+            candidate.body.order.remove(i);
+            if contained_in(voc, &candidate, &current, order_type)? {
+                // candidate ⊆ current always needs checking; the converse
+                // holds syntactically (fewer conjuncts = weaker).
+                current = candidate;
+                dropped = true;
+                break;
+            }
+        }
+        if !dropped {
+            break;
+        }
+    }
+    Ok(current)
+}
+
+/// A head variable must keep at least one binding occurrence in the body;
+/// otherwise the projection is unsafe.
+fn heads_still_bound(q: &RelQuery) -> bool {
+    let mut obj_bound = vec![false; q.body.n_obj_vars];
+    let mut ord_bound = vec![false; q.body.n_ord_vars];
+    for a in &q.body.proper {
+        for arg in &a.args {
+            match *arg {
+                QArg::Obj(i) => obj_bound[i as usize] = true,
+                QArg::Ord(i) => ord_bound[i as usize] = true,
+            }
+        }
+    }
+    q.head_obj.iter().all(|&i| obj_bound[i as usize])
+        && q.head_ord.iter().all(|&i| ord_bound[i as usize])
+}
+
+/// Searches for a containment counterexample among given instances: an
+/// instance where some `Q₁`-answer is not a `Q₂`-answer. Used as an
+/// independent soundness check on [`contained_in`].
+pub fn find_counterexample<'a>(
+    q1: &RelQuery,
+    q2: &RelQuery,
+    instances: &'a [RelInstance],
+) -> Option<(&'a RelInstance, Vec<RelVal>)> {
+    for inst in instances {
+        let a2 = q2.answers(inst);
+        for t in q1.answers(inst) {
+            if !a2.contains(&t) {
+                return Some((inst, t));
+            }
+        }
+    }
+    None
+}
+
+/// Helper trait additions for the vocabulary (freeze-constant naming).
+trait FreezeExt {
+    fn fresh_obj_for_freeze(&mut self, i: usize) -> ObjSym;
+}
+
+impl FreezeExt for Vocabulary {
+    fn fresh_obj_for_freeze(&mut self, i: usize) -> ObjSym {
+        // fresh per call: include a counter via fresh_pred-like loop
+        let mut k = 0usize;
+        loop {
+            let name = format!("$frz_o{i}_{k}");
+            if self.find_obj(&name).is_none() {
+                return self.obj(&name);
+            }
+            k += 1;
+        }
+    }
+}
+
+/// Database extension used by the freezing construction.
+trait OrderPushExt {
+    fn order_push_rel(&mut self, rel: OrderRel, l: indord_core::sym::OrdSym, r: indord_core::sym::OrdSym);
+}
+
+impl OrderPushExt for Database {
+    fn order_push_rel(
+        &mut self,
+        rel: OrderRel,
+        l: indord_core::sym::OrdSym,
+        r: indord_core::sym::OrdSym,
+    ) {
+        match rel {
+            OrderRel::Lt => self.assert_lt(l, r),
+            OrderRel::Le => self.assert_le(l, r),
+            OrderRel::Ne => self.assert_ne(l, r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indord_core::parse::parse_query;
+
+    fn setup() -> Vocabulary {
+        let mut voc = Vocabulary::new();
+        voc.pred("R", &[Sort::Object, Sort::Order]).unwrap();
+        voc.pred("S", &[Sort::Order, Sort::Order]).unwrap();
+        voc
+    }
+
+    fn cq(voc: &mut Vocabulary, text: &str) -> ConjunctiveQuery {
+        parse_query(voc, text).unwrap().disjuncts[0].clone()
+    }
+
+    #[test]
+    fn evaluation_with_inequalities() {
+        let mut voc = setup();
+        let r = voc.find_pred("R").unwrap();
+        let a = voc.obj("a");
+        let b = voc.obj("b");
+        let mut inst = RelInstance::default();
+        inst.insert(&voc, r, vec![RelVal::Obj(a), RelVal::Num(1)]).unwrap();
+        inst.insert(&voc, r, vec![RelVal::Obj(b), RelVal::Num(5)]).unwrap();
+        // boolean: ∃x s t y. R(x,s) & s < t & R(y,t)
+        let body = cq(&mut voc, "exists x s t y. R(x, s) & s < t & R(y, t)");
+        let q = RelQuery::boolean(body);
+        assert_eq!(q.answers(&inst).len(), 1); // the null tuple
+        // with head: [x : ∃s. R(x,s) & exists t y. R(y,t) & s < t]
+        let body = cq(&mut voc, "exists x s t y. R(x, s) & s < t & R(y, t)");
+        let q = RelQuery { head_obj: vec![0], head_ord: vec![], body };
+        let ans = q.answers(&inst);
+        assert_eq!(ans, vec![vec![RelVal::Obj(a)]]);
+    }
+
+    #[test]
+    fn trivial_containments() {
+        let mut voc = setup();
+        // Q ⊆ Q for a couple of bodies.
+        for text in [
+            "exists x s. R(x, s)",
+            "exists x s t. R(x, s) & s < t",
+            "exists s t. S(s, t) & s <= t",
+        ] {
+            let b = cq(&mut voc, text);
+            let q = RelQuery::boolean(b);
+            assert!(contained_in(&mut voc, &q, &q, OrderType::Fin).unwrap(), "{text}");
+        }
+    }
+
+    #[test]
+    fn strict_containment_direction() {
+        let mut voc = setup();
+        // Q1 = ∃x s t. R(x,s) ∧ s<t ∧ S(s,t) is contained in
+        // Q2 = ∃x s t. R(x,s) ∧ s<=t ∧ S(s,t) but not conversely.
+        let q1 = RelQuery::boolean(cq(&mut voc, "exists x s t. R(x, s) & s < t & S(s, t)"));
+        let q2 = RelQuery::boolean(cq(&mut voc, "exists x s t. R(x, s) & s <= t & S(s, t)"));
+        assert!(contained_in(&mut voc, &q1, &q2, OrderType::Fin).unwrap());
+        assert!(!contained_in(&mut voc, &q2, &q1, OrderType::Fin).unwrap());
+    }
+
+    #[test]
+    fn containment_disagrees_with_counterexample_search_never(
+    ) {
+        // Soundness: when contained_in says yes, no sampled instance may
+        // be a counterexample; when it says no, the frozen database itself
+        // is one (checked implicitly by the reduction's correctness).
+        let mut voc = setup();
+        let r = voc.find_pred("R").unwrap();
+        let s = voc.find_pred("S").unwrap();
+        let a = voc.obj("a");
+        let q1 = RelQuery::boolean(cq(&mut voc, "exists x s t. R(x, s) & S(s, t) & s < t"));
+        let q2 = RelQuery::boolean(cq(&mut voc, "exists x s t. R(x, s) & S(s, t) & s <= t"));
+        assert!(contained_in(&mut voc, &q1, &q2, OrderType::Fin).unwrap());
+        let mut insts = Vec::new();
+        for (n1, n2) in [(1i64, 2i64), (2, 1), (1, 1), (0, 5)] {
+            let mut inst = RelInstance::default();
+            inst.insert(&voc, r, vec![RelVal::Obj(a), RelVal::Num(n1)]).unwrap();
+            inst.insert(&voc, s, vec![RelVal::Num(n1), RelVal::Num(n2)]).unwrap();
+            insts.push(inst);
+        }
+        assert!(find_counterexample(&q1, &q2, &insts).is_none());
+        // The reverse direction must admit a counterexample among samples
+        // (an instance with s = t).
+        assert!(find_counterexample(&q2, &q1, &insts).is_some());
+    }
+
+    #[test]
+    fn head_variables_constrain_containment() {
+        let mut voc = setup();
+        // [x : R(x,s)] vs [x : R(x,s) & s < t & S(s,t)]: the latter is
+        // contained in the former, not conversely.
+        let b1 = cq(&mut voc, "exists x s. R(x, s)");
+        let b2 = cq(&mut voc, "exists x s t. R(x, s) & s < t & S(s, t)");
+        let q1 = RelQuery { head_obj: vec![0], head_ord: vec![], body: b1 };
+        let q2 = RelQuery { head_obj: vec![0], head_ord: vec![], body: b2 };
+        assert!(contained_in(&mut voc, &q2, &q1, OrderType::Fin).unwrap());
+        assert!(!contained_in(&mut voc, &q1, &q2, OrderType::Fin).unwrap());
+    }
+
+    #[test]
+    fn entailment_round_trips_through_containment() {
+        let mut voc = Vocabulary::new();
+        let db = indord_core::parse::parse_database(&mut voc, "P(u); Q(v); u < v;").unwrap();
+        let phi = cq(&mut voc, "exists s t. P(s) & s < t & Q(t)");
+        let (q1, q2) = entailment_as_containment(&mut voc, &db, &phi).unwrap();
+        assert!(contained_in(&mut voc, &q1, &q2, OrderType::Fin).unwrap());
+        let phi_bad = cq(&mut voc, "exists s t. Q(s) & s < t & P(t)");
+        let (q1, q2) = entailment_as_containment(&mut voc, &db, &phi_bad).unwrap();
+        assert!(!contained_in(&mut voc, &q1, &q2, OrderType::Fin).unwrap());
+    }
+
+    #[test]
+    fn minimization_removes_duplicate_atoms() {
+        let mut voc = setup();
+        // R(x,s) ∧ R(y,t) ∧ s <= t ∧ s <= t … with a genuinely redundant
+        // second R-atom: ∃x s y t. R(x,s) ∧ R(y,t) ∧ s <= s — the atom
+        // R(y,t) is redundant for the boolean query (map y,t onto x,s).
+        let q = RelQuery::boolean(cq(
+            &mut voc,
+            "exists x s y t. R(x, s) & R(y, t) & s <= s",
+        ));
+        let m = minimize(&mut voc, &q, OrderType::Fin).unwrap();
+        assert_eq!(m.body.proper.len(), 1, "one R-atom suffices: {m:?}");
+        // Equivalence is preserved.
+        assert!(contained_in(&mut voc, &q, &m, OrderType::Fin).unwrap());
+        assert!(contained_in(&mut voc, &m, &q, OrderType::Fin).unwrap());
+    }
+
+    #[test]
+    fn minimization_keeps_necessary_atoms() {
+        let mut voc = setup();
+        // R(x,s) ∧ s < t ∧ S(s,t): nothing can go — the S-atom and the
+        // order atom genuinely constrain.
+        let q = RelQuery::boolean(cq(&mut voc, "exists x s t. R(x, s) & s < t & S(s, t)"));
+        let m = minimize(&mut voc, &q, OrderType::Fin).unwrap();
+        assert_eq!(m.body.proper.len(), 2);
+        assert_eq!(m.body.order.len(), 1);
+    }
+
+    #[test]
+    fn minimization_prunes_implied_order_atoms() {
+        let mut voc = setup();
+        // s < t is implied by S(s,t) ∧ s < w ∧ w < t? No — implied order
+        // atoms come from transitivity: s < w ∧ w < t ⟹ s < t… but w, t
+        // are bound through S-atoms to keep the query safe.
+        let q = RelQuery::boolean(cq(
+            &mut voc,
+            "exists s w t. S(s, w) & S(w, t) & s < w & w < t & s < t",
+        ));
+        let m = minimize(&mut voc, &q, OrderType::Fin).unwrap();
+        assert!(m.body.order.len() < 3, "the transitive s < t must be pruned: {m:?}");
+        assert!(contained_in(&mut voc, &m, &q, OrderType::Fin).unwrap());
+        assert!(contained_in(&mut voc, &q, &m, OrderType::Fin).unwrap());
+    }
+
+    #[test]
+    fn minimization_respects_heads() {
+        let mut voc = setup();
+        // [x : R(x,s) ∧ R(y,t)]: the R(y,t) atom is redundant but R(x,s)
+        // binds the head and must stay.
+        let b = cq(&mut voc, "exists x s y t. R(x, s) & R(y, t)");
+        let q = RelQuery { head_obj: vec![0], head_ord: vec![], body: b };
+        let m = minimize(&mut voc, &q, OrderType::Fin).unwrap();
+        assert_eq!(m.body.proper.len(), 1);
+        assert_eq!(m.head_obj, vec![0]);
+    }
+
+    #[test]
+    fn containment_over_q_semantics_differs_on_density() {
+        let mut voc = setup();
+        // Q1 = ∃s t. S(s,t) ∧ s<t ; Q2 = ∃s w t. S(s,t) ∧ s<w ∧ w<t.
+        // Over Q (dense), Q1 ⊆ Q2 (a midpoint always exists); over Fin/Z
+        // it fails (adjacent points).
+        let q1 = RelQuery::boolean(cq(&mut voc, "exists s t. S(s, t) & s < t"));
+        let q2 = RelQuery::boolean(cq(&mut voc, "exists s w t. S(s, t) & s < w & w < t"));
+        assert!(contained_in(&mut voc, &q1, &q2, OrderType::Q).unwrap());
+        assert!(!contained_in(&mut voc, &q1, &q2, OrderType::Fin).unwrap());
+        assert!(!contained_in(&mut voc, &q1, &q2, OrderType::Z).unwrap());
+    }
+}

@@ -1,0 +1,272 @@
+//! # indord-semantics
+//!
+//! The three order-type semantics of §2 of the paper and the reductions
+//! between them.
+//!
+//! A model interprets `<` over a linear order; restricting the order type
+//! gives three consequence relations:
+//!
+//! * `|=_Fin` — all **finite** linear orders;
+//! * `|=_Z`   — orders isomorphic to the **integers**;
+//! * `|=_Q`   — dense orders isomorphic to the **rationals**.
+//!
+//! Proposition 2.1 gives `|=_Fin ⊆ |=_Z ⊆ |=_Q`, with strict inclusions
+//! witnessed by non-*tight* queries (order variables occurring in no proper
+//! atom). For tight queries the three coincide (Prop. 2.2). The paper
+//! reduces both `|=_Z` and `|=_Q` to `|=_Fin`:
+//!
+//! * **Prop. 2.3**: `D |=_Z Φ` iff `D' |=_Fin Φ` where `D'` adds sentinel
+//!   chains `l₁<…<lₙ` below and `r₁<…<rₙ` above every order constant of
+//!   `D` (`n` = number of variables of `Φ`);
+//! * **Lemma 2.5 / Cor. 2.6**: `D |=_Q Φ` iff `D |=_Fin Φ'` where `Φ'`
+//!   deletes from each *full* disjunct its order-only variables.
+//!
+//! [`entails`] exposes all three relations through one entry point, and
+//! is decided by the `indord-entail` engines after reduction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use indord_core::database::Database;
+use indord_core::error::Result;
+use indord_core::query::{ConjunctiveQuery, DnfQuery};
+use indord_core::sym::Vocabulary;
+use indord_entail::engine::Verdict;
+use indord_entail::{Engine, Strategy};
+
+/// The order type over which `<` is interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderType {
+    /// Finite linear orders.
+    #[default]
+    Fin,
+    /// Orders isomorphic to the integers.
+    Z,
+    /// Dense orders isomorphic to the rationals.
+    Q,
+}
+
+/// Decides `D |=_O Φ` by reducing to the finite semantics and running the
+/// auto-strategy engine.
+pub fn entails(
+    voc: &mut Vocabulary,
+    db: &Database,
+    query: &DnfQuery,
+    order_type: OrderType,
+) -> Result<Verdict> {
+    entails_with(voc, db, query, order_type, Strategy::Auto)
+}
+
+/// As [`entails`] with a pinned engine strategy.
+pub fn entails_with(
+    voc: &mut Vocabulary,
+    db: &Database,
+    query: &DnfQuery,
+    order_type: OrderType,
+    strategy: Strategy,
+) -> Result<Verdict> {
+    match order_type {
+        OrderType::Fin => Engine::new(voc).with_strategy(strategy).entails(db, query),
+        OrderType::Z => {
+            let reduced = reduce_z(voc, db, query);
+            Engine::new(voc).with_strategy(strategy).entails(&reduced, query)
+        }
+        OrderType::Q => {
+            let reduced_q = reduce_q(query);
+            Engine::new(voc).with_strategy(strategy).entails(db, &reduced_q)
+        }
+    }
+}
+
+/// The Prop. 2.3 database transform for the integer semantics: adds
+/// sentinel chains `l₁<…<lₙ < (every order constant) < r₁<…<rₙ` where `n`
+/// is the number of order variables in the query.
+pub fn reduce_z(voc: &mut Vocabulary, db: &Database, query: &DnfQuery) -> Database {
+    let n = query
+        .disjuncts
+        .iter()
+        .map(|cq| cq.n_ord_vars)
+        .max()
+        .unwrap_or(0);
+    let mut out = db.clone();
+    if n == 0 {
+        return out;
+    }
+    let ls: Vec<_> = (0..n).map(|i| voc.fresh_ord(&format!("zl{i}_"))).collect();
+    let rs: Vec<_> = (0..n).map(|i| voc.fresh_ord(&format!("zr{i}_"))).collect();
+    out.assert_chain(indord_core::atom::OrderRel::Lt, &ls);
+    out.assert_chain(indord_core::atom::OrderRel::Lt, &rs);
+    let last_l = *ls.last().expect("n > 0");
+    let first_r = rs[0];
+    for u in db.order_constants() {
+        out.assert_lt(last_l, u);
+        out.assert_lt(u, first_r);
+    }
+    // With no order constants in D, the two chains still must sit on one
+    // line in the right mutual order.
+    out.assert_lt(last_l, first_r);
+    out
+}
+
+/// The Cor. 2.6 query transform for the rational semantics: close each
+/// disjunct under the derived-atom rules (*fullness*), then delete order
+/// variables that occur in no proper atom. The result is tight, so
+/// `D |=_Q Φ` iff `D |=_Fin Φ'`.
+pub fn reduce_q(query: &DnfQuery) -> DnfQuery {
+    DnfQuery {
+        disjuncts: query
+            .disjuncts
+            .iter()
+            .map(|cq| cq.to_full().drop_order_only_vars())
+            .filter_map(|cq| cq.normalized())
+            .collect(),
+    }
+}
+
+/// Tightness of a query (Prop. 2.2): if tight, all three semantics agree.
+pub fn is_tight(query: &DnfQuery) -> bool {
+    query.is_tight()
+}
+
+/// Decides the query under all three semantics: returns `(fin, z, q)`,
+/// which Prop. 2.1 guarantees to be monotonically weaker.
+pub fn all_semantics(
+    voc: &mut Vocabulary,
+    db: &Database,
+    query: &DnfQuery,
+) -> Result<(bool, bool, bool)> {
+    let fin = entails(voc, db, query, OrderType::Fin)?.holds();
+    let z = entails(voc, db, query, OrderType::Z)?.holds();
+    let q = entails(voc, db, query, OrderType::Q)?.holds();
+    Ok((fin, z, q))
+}
+
+/// Integrity-constraint composition (Example 1.1): querying `Φ` under the
+/// constraint `¬Ψ` is `D ∧ ¬Ψ |= Φ` iff `D |= Ψ ∨ Φ`; this helper builds
+/// the modified query.
+pub fn with_integrity_constraint(violation: &DnfQuery, query: &DnfQuery) -> DnfQuery {
+    violation.clone().or(query.clone())
+}
+
+/// Number of order variables of a conjunctive query (used by callers
+/// sizing the Z-reduction).
+pub fn ord_var_count(cq: &ConjunctiveQuery) -> usize {
+    cq.n_ord_vars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indord_core::parse::{parse_database, parse_query};
+
+    /// `|=_Z ∃t₁t₂ (t₁<t₂)` but not `|=_Fin` (single-point order exists).
+    #[test]
+    fn paper_separating_example_fin_vs_z() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "pred P(ord); P(u);").unwrap();
+        let q = parse_query(&mut voc, "exists t1 t2. t1 < t2").unwrap();
+        assert!(!q.is_tight());
+        let (fin, z, qq) = all_semantics(&mut voc, &db, &q).unwrap();
+        assert!(!fin, "a one-point finite model refutes it");
+        assert!(z, "Z always has two ordered points");
+        assert!(qq, "Q always has two ordered points");
+    }
+
+    /// `D = {P(u), P(v), u<v}`, `Φ = ∃t₁t₂t₃ (P(t₁) ∧ t₁<t₂<t₃ ∧ P(t₃))`:
+    /// `|=_Q` (density) but not `|=_Z` (u, v may be adjacent integers).
+    #[test]
+    fn paper_separating_example_z_vs_q() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "P(u); P(v); u < v;").unwrap();
+        let q = parse_query(&mut voc, "exists t1 t2 t3. P(t1) & t1 < t2 & t2 < t3 & P(t3)")
+            .unwrap();
+        assert!(!q.is_tight());
+        let (fin, z, qq) = all_semantics(&mut voc, &db, &q).unwrap();
+        assert!(!fin);
+        assert!(!z, "adjacent integers leave no room for t2");
+        assert!(qq, "density provides the midpoint");
+    }
+
+    #[test]
+    fn tight_queries_agree_across_semantics() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "pred R(ord); P(u); Q(v); u < v; R(w);").unwrap();
+        for qtext in [
+            "exists s t. P(s) & s < t & Q(t)",
+            "exists s t. Q(s) & s < t & P(t)",
+            "(exists s t. P(s) & Q(t) & s < t) | exists s. R(s)",
+            "exists s t. P(s) & s <= t & R(t)",
+        ] {
+            let q = parse_query(&mut voc, qtext).unwrap();
+            assert!(q.is_tight(), "{qtext}");
+            let (fin, z, qq) = all_semantics(&mut voc, &db, &q).unwrap();
+            assert_eq!(fin, z, "{qtext}");
+            assert_eq!(z, qq, "{qtext}");
+        }
+    }
+
+    #[test]
+    fn containments_hold_prop21() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "P(u); P(v); u <= v;").unwrap();
+        for qtext in [
+            "exists t1 t2. t1 < t2",
+            "exists s t. P(s) & s < t",
+            "exists s w t. P(s) & s < w & w < t & P(t)",
+            "exists s. P(s)",
+        ] {
+            let q = parse_query(&mut voc, qtext).unwrap();
+            let (fin, z, qq) = all_semantics(&mut voc, &db, &q).unwrap();
+            assert!(!fin || z, "Fin ⊆ Z violated on {qtext}");
+            assert!(!z || qq, "Z ⊆ Q violated on {qtext}");
+        }
+    }
+
+    #[test]
+    fn q_reduction_produces_tight_query() {
+        let mut voc = Vocabulary::new();
+        parse_database(&mut voc, "pred P(ord); P(u);").unwrap();
+        let q = parse_query(&mut voc, "exists s w t. P(s) & s < w & w < t & P(t)").unwrap();
+        assert!(!q.is_tight());
+        let reduced = reduce_q(&q);
+        assert!(reduced.is_tight());
+        // s < w < t collapses to the derived s < t.
+        assert_eq!(reduced.disjuncts[0].n_ord_vars, 2);
+    }
+
+    #[test]
+    fn z_reduction_adds_sentinels() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "pred P(ord); P(u);").unwrap();
+        let q = parse_query(&mut voc, "exists t1 t2 t3. t1 < t2 & t2 < t3").unwrap();
+        let reduced = reduce_z(&mut voc, &db, &q);
+        // 3 variables → 3 sentinels on each side.
+        assert_eq!(reduced.order_constant_count(), 1 + 3 + 3);
+    }
+
+    #[test]
+    fn integrity_constraint_composition() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "pred P(ord); pred Q(ord); P(u); Q(v);").unwrap();
+        let violation = parse_query(&mut voc, "exists t. P(t) & Q(t)").unwrap();
+        let q = parse_query(&mut voc, "exists s t. P(s) & s < t & Q(t)").unwrap();
+        let combined = with_integrity_constraint(&violation, &q);
+        assert_eq!(combined.disjuncts.len(), 2);
+        // u, v unordered: the v<u model satisfies neither disjunct, so the
+        // combined query is still not certain.
+        let eng = Engine::new(&voc);
+        assert!(!eng.entails(&db, &combined).unwrap().holds());
+        // But it is weaker than the plain query: entailment is monotone in
+        // added disjuncts (sanity check via direct evaluation).
+        assert!(!eng.entails(&db, &q).unwrap().holds());
+    }
+
+    #[test]
+    fn empty_query_z_reduction_is_identity() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "pred P(ord); P(u);").unwrap();
+        let q = DnfQuery::default();
+        let reduced = reduce_z(&mut voc, &db, &q);
+        assert_eq!(reduced, db);
+    }
+}

@@ -1,0 +1,211 @@
+//! Conjunctive normal form and the Tseitin transform.
+//!
+//! Literals are encoded as non-zero `i32`s: `+(v+1)` for variable `v`,
+//! `-(v+1)` for its negation (the DIMACS convention).
+
+use crate::formula::Formula;
+use rand::Rng;
+
+/// A CNF formula.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cnf {
+    /// Number of variables (`0..n_vars`).
+    pub n_vars: usize,
+    /// Clauses as literal lists.
+    pub clauses: Vec<Vec<i32>>,
+}
+
+/// Encodes variable `v` as a positive literal.
+pub fn lit(v: usize) -> i32 {
+    i32::try_from(v + 1).expect("variable index overflow")
+}
+
+/// Encodes the negation of variable `v`.
+pub fn neg(v: usize) -> i32 {
+    -lit(v)
+}
+
+/// The variable of a literal.
+pub fn var_of(l: i32) -> usize {
+    (l.unsigned_abs() as usize) - 1
+}
+
+impl Cnf {
+    /// Evaluates under a total assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| {
+            c.iter().any(|&l| {
+                let v = var_of(l);
+                if l > 0 {
+                    assignment[v]
+                } else {
+                    !assignment[v]
+                }
+            })
+        })
+    }
+
+    /// Brute-force satisfiability (oracle for small instances).
+    pub fn satisfiable_brute(&self) -> bool {
+        assert!(self.n_vars < 26, "brute force capped at 25 variables");
+        let mut assignment = vec![false; self.n_vars];
+        for mask in 0..(1u64 << self.n_vars) {
+            for (i, a) in assignment.iter_mut().enumerate() {
+                *a = mask & (1 << i) != 0;
+            }
+            if self.eval(&assignment) {
+                return true;
+            }
+        }
+        self.clauses.is_empty() && self.n_vars == 0
+    }
+
+    /// Tseitin transform: an equisatisfiable CNF with one fresh variable
+    /// per connective. The original variables keep their indices, so a
+    /// satisfying assignment restricted to `0..n_original` satisfies `f`.
+    pub fn tseitin(f: &Formula, n_original: usize) -> Cnf {
+        let mut cnf = Cnf { n_vars: n_original.max(f.num_vars()), clauses: Vec::new() };
+        let root = encode(f, &mut cnf);
+        cnf.clauses.push(vec![root]);
+        cnf
+    }
+
+    /// A random 3-CNF with the given clause count.
+    pub fn random_3cnf<R: Rng>(rng: &mut R, n_vars: usize, n_clauses: usize) -> Cnf {
+        assert!(n_vars >= 3);
+        let mut clauses = Vec::with_capacity(n_clauses);
+        for _ in 0..n_clauses {
+            let mut vars = [0usize; 3];
+            vars[0] = rng.gen_range(0..n_vars);
+            loop {
+                vars[1] = rng.gen_range(0..n_vars);
+                if vars[1] != vars[0] {
+                    break;
+                }
+            }
+            loop {
+                vars[2] = rng.gen_range(0..n_vars);
+                if vars[2] != vars[0] && vars[2] != vars[1] {
+                    break;
+                }
+            }
+            let clause = vars
+                .iter()
+                .map(|&v| if rng.gen() { lit(v) } else { neg(v) })
+                .collect();
+            clauses.push(clause);
+        }
+        Cnf { n_vars, clauses }
+    }
+}
+
+/// Returns the literal representing `f`'s truth value, adding defining
+/// clauses to `cnf`.
+fn encode(f: &Formula, cnf: &mut Cnf) -> i32 {
+    match f {
+        Formula::Var(v) => lit(*v as usize),
+        Formula::Not(g) => -encode(g, cnf),
+        Formula::And(gs) => {
+            let ls: Vec<i32> = gs.iter().map(|g| encode(g, cnf)).collect();
+            let x = fresh(cnf);
+            // x ↔ ⋀ ls
+            for &l in &ls {
+                cnf.clauses.push(vec![-x, l]);
+            }
+            let mut big: Vec<i32> = ls.iter().map(|&l| -l).collect();
+            big.push(x);
+            cnf.clauses.push(big);
+            x
+        }
+        Formula::Or(gs) => {
+            let ls: Vec<i32> = gs.iter().map(|g| encode(g, cnf)).collect();
+            let x = fresh(cnf);
+            // x ↔ ⋁ ls
+            for &l in &ls {
+                cnf.clauses.push(vec![x, -l]);
+            }
+            let mut big = ls;
+            big.push(-x);
+            cnf.clauses.push(big);
+            x
+        }
+    }
+}
+
+fn fresh(cnf: &mut Cnf) -> i32 {
+    let v = cnf.n_vars;
+    cnf.n_vars += 1;
+    lit(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn literal_encoding_round_trips() {
+        assert_eq!(var_of(lit(5)), 5);
+        assert_eq!(var_of(neg(5)), 5);
+        assert!(lit(0) > 0 && neg(0) < 0);
+    }
+
+    #[test]
+    fn eval_and_brute() {
+        // (x0 ∨ x1) ∧ (¬x0 ∨ ¬x1): xor-ish, satisfiable.
+        let cnf = Cnf { n_vars: 2, clauses: vec![vec![lit(0), lit(1)], vec![neg(0), neg(1)]] };
+        assert!(cnf.eval(&[true, false]));
+        assert!(!cnf.eval(&[true, true]));
+        assert!(cnf.satisfiable_brute());
+        // x0 ∧ ¬x0
+        let cnf = Cnf { n_vars: 1, clauses: vec![vec![lit(0)], vec![neg(0)]] };
+        assert!(!cnf.satisfiable_brute());
+    }
+
+    #[test]
+    fn tseitin_is_equisatisfiable() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let f = Formula::random(&mut rng, 4, 3);
+            let direct = f.satisfiable_brute(4);
+            let ts = Cnf::tseitin(&f, 4);
+            assert_eq!(ts.satisfiable_brute(), direct, "formula {f:?}");
+        }
+    }
+
+    #[test]
+    fn tseitin_preserves_models_on_originals() {
+        // If the Tseitin CNF is satisfied, the restriction to original
+        // variables satisfies the formula.
+        let f = Formula::Or(vec![
+            Formula::And(vec![Formula::Var(0), Formula::Var(1)]),
+            Formula::Not(Box::new(Formula::Var(2))),
+        ]);
+        let ts = Cnf::tseitin(&f, 3);
+        let mut assignment = vec![false; ts.n_vars];
+        'outer: for mask in 0..(1u64 << ts.n_vars) {
+            for (i, a) in assignment.iter_mut().enumerate() {
+                *a = mask & (1 << i) != 0;
+            }
+            if ts.eval(&assignment) {
+                assert!(f.eval(&assignment[..3]));
+                break 'outer;
+            }
+        }
+    }
+
+    #[test]
+    fn random_3cnf_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cnf = Cnf::random_3cnf(&mut rng, 6, 10);
+        assert_eq!(cnf.clauses.len(), 10);
+        for c in &cnf.clauses {
+            assert_eq!(c.len(), 3);
+            let mut vs: Vec<usize> = c.iter().map(|&l| var_of(l)).collect();
+            vs.sort_unstable();
+            vs.dedup();
+            assert_eq!(vs.len(), 3, "distinct variables per clause");
+        }
+    }
+}

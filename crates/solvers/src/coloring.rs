@@ -1,0 +1,164 @@
+//! Graph 3-colourability (the complete problem used by Theorem 7.1).
+
+use rand::Rng;
+
+/// An undirected graph on vertices `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Undirected edges (stored once per pair).
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl Graph {
+    /// Builds a graph, normalizing and deduplicating the edge list.
+    pub fn new(n: usize, edges: &[(u32, u32)]) -> Graph {
+        let mut es: Vec<(u32, u32)> = edges
+            .iter()
+            .filter(|&&(a, b)| a != b)
+            .map(|&(a, b)| if a < b { (a, b) } else { (b, a) })
+            .collect();
+        es.sort_unstable();
+        es.dedup();
+        for &(a, b) in &es {
+            assert!((a as usize) < n && (b as usize) < n, "edge out of range");
+        }
+        Graph { n, edges: es }
+    }
+
+    /// Adjacency lists.
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.n];
+        for &(a, b) in &self.edges {
+            adj[a as usize].push(b as usize);
+            adj[b as usize].push(a as usize);
+        }
+        adj
+    }
+
+    /// Decides `k`-colourability by backtracking with symmetry breaking
+    /// (vertex 0 gets colour 0); returns a colouring when one exists.
+    pub fn colorable(&self, k: usize) -> Option<Vec<usize>> {
+        if self.n == 0 {
+            return Some(Vec::new());
+        }
+        let adj = self.adjacency();
+        let mut colors = vec![usize::MAX; self.n];
+        fn go(v: usize, k: usize, adj: &[Vec<usize>], colors: &mut Vec<usize>) -> bool {
+            if v == adj.len() {
+                return true;
+            }
+            let limit = if v == 0 { 1 } else { k };
+            for c in 0..limit {
+                if adj[v].iter().all(|&w| colors[w] != c) {
+                    colors[v] = c;
+                    if go(v + 1, k, adj, colors) {
+                        return true;
+                    }
+                    colors[v] = usize::MAX;
+                }
+            }
+            false
+        }
+        go(0, k, &adj, &mut colors).then_some(colors)
+    }
+
+    /// 3-colourability.
+    pub fn three_colorable(&self) -> bool {
+        self.colorable(3).is_some()
+    }
+
+    /// Validates a colouring.
+    pub fn is_proper_coloring(&self, colors: &[usize]) -> bool {
+        colors.len() == self.n
+            && self.edges.iter().all(|&(a, b)| colors[a as usize] != colors[b as usize])
+    }
+
+    /// A random G(n, p) graph.
+    pub fn random<R: Rng>(rng: &mut R, n: usize, p: f64) -> Graph {
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if rng.gen_bool(p) {
+                    edges.push((a as u32, b as u32));
+                }
+            }
+        }
+        Graph::new(n, &edges)
+    }
+
+    /// The complete graph `K_n` (not 3-colourable for `n ≥ 4`).
+    pub fn complete(n: usize) -> Graph {
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                edges.push((a as u32, b as u32));
+            }
+        }
+        Graph::new(n, &edges)
+    }
+
+    /// The cycle `C_n` (3-colourable for every `n ≠ 0`, 2-colourable iff
+    /// even).
+    pub fn cycle(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> =
+            (0..n).map(|i| (i as u32, ((i + 1) % n) as u32)).collect();
+        Graph::new(n, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_classics() {
+        assert!(Graph::complete(3).three_colorable());
+        assert!(!Graph::complete(4).three_colorable());
+        assert!(Graph::cycle(5).three_colorable());
+        assert!(Graph::cycle(5).colorable(2).is_none());
+        assert!(Graph::cycle(6).colorable(2).is_some());
+    }
+
+    #[test]
+    fn colorings_are_proper() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..50 {
+            let g = Graph::random(&mut rng, 8, 0.4);
+            if let Some(c) = g.colorable(3) {
+                assert!(g.is_proper_coloring(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_normalization() {
+        let g = Graph::new(3, &[(1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0, &[]);
+        assert!(g.three_colorable());
+        let g1 = Graph::new(5, &[]);
+        assert!(g1.colorable(1).is_some());
+    }
+
+    #[test]
+    fn petersen_graph_is_3_colorable() {
+        // Outer C5 (0-4), inner pentagram (5-9), spokes.
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            edges.push((i, (i + 1) % 5));
+            edges.push((i + 5, ((i + 2) % 5) + 5));
+            edges.push((i, i + 5));
+        }
+        let g = Graph::new(10, &edges);
+        assert!(g.three_colorable());
+        assert!(g.colorable(2).is_none());
+    }
+}

@@ -1,0 +1,145 @@
+//! DNF formulas and tautology checking (the complete problem for co-NP
+//! used by Theorem 4.6).
+//!
+//! A DNF formula is a disjunction of *terms* (conjunctions of literals).
+//! Tautology is decided by refuting the complement with DPLL (negating a
+//! DNF yields a CNF clause per term), and by brute force for
+//! cross-checking.
+
+use crate::cnf::{lit, neg, var_of, Cnf};
+use crate::dpll;
+use rand::Rng;
+
+/// A DNF formula. Terms use the same `±(v+1)` literal encoding as
+/// [`crate::cnf`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dnf {
+    /// Number of variables.
+    pub n_vars: usize,
+    /// The disjuncts (terms); each a conjunction of literals.
+    pub terms: Vec<Vec<i32>>,
+}
+
+impl Dnf {
+    /// Evaluates under a total assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.terms.iter().any(|t| {
+            t.iter().all(|&l| {
+                let v = var_of(l);
+                if l > 0 {
+                    assignment[v]
+                } else {
+                    !assignment[v]
+                }
+            })
+        })
+    }
+
+    /// Tautology via DPLL on the complement: ¬(⋁ tᵢ) = ⋀ ¬tᵢ, each `¬tᵢ` a
+    /// clause of negated literals. The DNF is a tautology iff the
+    /// complement is unsatisfiable.
+    pub fn is_tautology(&self) -> bool {
+        let clauses: Vec<Vec<i32>> =
+            self.terms.iter().map(|t| t.iter().map(|&l| -l).collect()).collect();
+        !dpll::satisfiable(&Cnf { n_vars: self.n_vars, clauses })
+    }
+
+    /// Brute-force tautology check (oracle).
+    pub fn is_tautology_brute(&self) -> bool {
+        assert!(self.n_vars < 26, "brute force capped at 25 variables");
+        let mut assignment = vec![false; self.n_vars];
+        for mask in 0..(1u64 << self.n_vars) {
+            for (i, a) in assignment.iter_mut().enumerate() {
+                *a = mask & (1 << i) != 0;
+            }
+            if !self.eval(&assignment) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// A random DNF with terms of 1–3 distinct literals. With `taut_bias`,
+    /// half of the instances are seeded with a complementary singleton pair
+    /// (`x`, `¬x`), guaranteeing a tautology — so reduction tests exercise
+    /// both outcomes.
+    pub fn random<R: Rng>(rng: &mut R, n_vars: usize, n_terms: usize, taut_bias: bool) -> Dnf {
+        let mut terms = Vec::with_capacity(n_terms);
+        if taut_bias && n_terms >= 2 && rng.gen_bool(0.5) {
+            let v = rng.gen_range(0..n_vars);
+            terms.push(vec![lit(v)]);
+            terms.push(vec![neg(v)]);
+        }
+        while terms.len() < n_terms {
+            let k = rng.gen_range(1..=3usize.min(n_vars));
+            let mut vars: Vec<usize> = Vec::with_capacity(k);
+            while vars.len() < k {
+                let v = rng.gen_range(0..n_vars);
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+            terms.push(vars.iter().map(|&v| if rng.gen() { lit(v) } else { neg(v) }).collect());
+        }
+        Dnf { n_vars, terms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn excluded_middle_is_tautology() {
+        let d = Dnf { n_vars: 1, terms: vec![vec![lit(0)], vec![neg(0)]] };
+        assert!(d.is_tautology());
+        assert!(d.is_tautology_brute());
+    }
+
+    #[test]
+    fn single_term_is_not() {
+        let d = Dnf { n_vars: 2, terms: vec![vec![lit(0), lit(1)]] };
+        assert!(!d.is_tautology());
+        assert!(!d.is_tautology_brute());
+    }
+
+    #[test]
+    fn all_sign_patterns_of_two_vars() {
+        // x∧y ∨ x∧¬y ∨ ¬x∧y ∨ ¬x∧¬y covers everything.
+        let d = Dnf {
+            n_vars: 2,
+            terms: vec![
+                vec![lit(0), lit(1)],
+                vec![lit(0), neg(1)],
+                vec![neg(0), lit(1)],
+                vec![neg(0), neg(1)],
+            ],
+        };
+        assert!(d.is_tautology());
+        // dropping one pattern breaks it
+        let d2 = Dnf { n_vars: 2, terms: d.terms[..3].to_vec() };
+        assert!(!d2.is_tautology());
+    }
+
+    #[test]
+    fn dpll_agrees_with_brute_randomized() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut tautologies = 0;
+        for _ in 0..300 {
+            let d = Dnf::random(&mut rng, 4, 6, true);
+            let fast = d.is_tautology();
+            assert_eq!(fast, d.is_tautology_brute(), "{d:?}");
+            tautologies += usize::from(fast);
+        }
+        assert!(tautologies > 10, "generator should produce some tautologies");
+        assert!(tautologies < 290, "generator should produce some non-tautologies");
+    }
+
+    #[test]
+    fn empty_dnf_is_not_tautology() {
+        let d = Dnf { n_vars: 1, terms: vec![] };
+        assert!(!d.is_tautology());
+    }
+}

@@ -1,0 +1,201 @@
+//! A DPLL satisfiability solver.
+//!
+//! Classic recursive DPLL with unit propagation and pure-literal
+//! elimination; branching picks the variable occurring most often. Entirely
+//! adequate for the instance sizes the reductions produce (tens of
+//! variables), and cross-checked against brute force.
+
+use crate::cnf::{var_of, Cnf};
+
+/// Solves a CNF; returns a satisfying assignment of the first
+/// `cnf.n_vars` variables, or `None` when unsatisfiable.
+pub fn solve(cnf: &Cnf) -> Option<Vec<bool>> {
+    let mut assignment: Vec<Option<bool>> = vec![None; cnf.n_vars];
+    if dpll(&cnf.clauses, &mut assignment) {
+        Some(assignment.into_iter().map(|a| a.unwrap_or(false)).collect())
+    } else {
+        None
+    }
+}
+
+/// Convenience: satisfiability only.
+pub fn satisfiable(cnf: &Cnf) -> bool {
+    solve(cnf).is_some()
+}
+
+#[derive(PartialEq)]
+enum Simplified {
+    Sat,
+    Conflict,
+    Continue(Vec<Vec<i32>>),
+}
+
+fn value_of(l: i32, assignment: &[Option<bool>]) -> Option<bool> {
+    assignment[var_of(l)].map(|b| if l > 0 { b } else { !b })
+}
+
+/// Removes satisfied clauses and false literals under the assignment.
+fn simplify(clauses: &[Vec<i32>], assignment: &[Option<bool>]) -> Simplified {
+    let mut out = Vec::with_capacity(clauses.len());
+    for c in clauses {
+        let mut reduced = Vec::with_capacity(c.len());
+        let mut satisfied = false;
+        for &l in c {
+            match value_of(l, assignment) {
+                Some(true) => {
+                    satisfied = true;
+                    break;
+                }
+                Some(false) => {}
+                None => reduced.push(l),
+            }
+        }
+        if satisfied {
+            continue;
+        }
+        if reduced.is_empty() {
+            return Simplified::Conflict;
+        }
+        out.push(reduced);
+    }
+    if out.is_empty() {
+        Simplified::Sat
+    } else {
+        Simplified::Continue(out)
+    }
+}
+
+fn dpll(clauses: &[Vec<i32>], assignment: &mut Vec<Option<bool>>) -> bool {
+    let mut clauses = match simplify(clauses, assignment) {
+        Simplified::Sat => return true,
+        Simplified::Conflict => return false,
+        Simplified::Continue(c) => c,
+    };
+
+    // Unit propagation to fixpoint.
+    loop {
+        let unit = clauses.iter().find(|c| c.len() == 1).map(|c| c[0]);
+        let Some(l) = unit else { break };
+        assignment[var_of(l)] = Some(l > 0);
+        match simplify(&clauses, assignment) {
+            Simplified::Sat => return true,
+            Simplified::Conflict => {
+                assignment[var_of(l)] = None;
+                return false;
+            }
+            Simplified::Continue(c) => clauses = c,
+        }
+    }
+
+    // Pure literal elimination.
+    {
+        let mut pos = vec![false; assignment.len()];
+        let mut negv = vec![false; assignment.len()];
+        for c in &clauses {
+            for &l in c {
+                if l > 0 {
+                    pos[var_of(l)] = true;
+                } else {
+                    negv[var_of(l)] = true;
+                }
+            }
+        }
+        let mut changed = false;
+        for v in 0..assignment.len() {
+            if assignment[v].is_none() && pos[v] != negv[v] && (pos[v] || negv[v]) {
+                assignment[v] = Some(pos[v]);
+                changed = true;
+            }
+        }
+        if changed {
+            match simplify(&clauses, assignment) {
+                Simplified::Sat => return true,
+                Simplified::Conflict => unreachable!("pure literals cannot conflict"),
+                Simplified::Continue(c) => clauses = c,
+            }
+        }
+    }
+
+    // Branch on the most frequent unassigned variable.
+    let mut count = vec![0usize; assignment.len()];
+    for c in &clauses {
+        for &l in c {
+            count[var_of(l)] += 1;
+        }
+    }
+    let Some(v) = (0..assignment.len())
+        .filter(|&v| assignment[v].is_none() && count[v] > 0)
+        .max_by_key(|&v| count[v])
+    else {
+        return true; // no clauses mention unassigned variables
+    };
+
+    let undo: Vec<Option<bool>> = assignment.clone();
+    for b in [true, false] {
+        assignment[v] = Some(b);
+        if dpll(&clauses, assignment) {
+            return true;
+        }
+        assignment.clone_from(&undo);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::{lit, neg};
+    use crate::formula::Formula;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn trivial_cases() {
+        assert!(satisfiable(&Cnf { n_vars: 0, clauses: vec![] }));
+        assert!(!satisfiable(&Cnf { n_vars: 1, clauses: vec![vec![lit(0)], vec![neg(0)]] }));
+        let m = solve(&Cnf { n_vars: 1, clauses: vec![vec![lit(0)]] }).unwrap();
+        assert!(m[0]);
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_unsat() {
+        // Two pigeons, one hole: p0 ∧ p1 ∧ ¬(p0 ∧ p1).
+        let cnf = Cnf {
+            n_vars: 2,
+            clauses: vec![vec![lit(0)], vec![lit(1)], vec![neg(0), neg(1)]],
+        };
+        assert!(!satisfiable(&cnf));
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_3cnf() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let n = rng.gen_range(3..8);
+            let m = rng.gen_range(1..20);
+            let cnf = Cnf::random_3cnf(&mut rng, n, m);
+            assert_eq!(satisfiable(&cnf), cnf.satisfiable_brute(), "{cnf:?}");
+        }
+    }
+
+    #[test]
+    fn models_returned_are_genuine() {
+        let mut rng = StdRng::seed_from_u64(4242);
+        for _ in 0..100 {
+            let cnf = Cnf::random_3cnf(&mut rng, 8, 20);
+            if let Some(m) = solve(&cnf) {
+                assert!(cnf.eval(&m), "returned model does not satisfy: {cnf:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tseitin_pipeline_agrees_with_formula_brute() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..100 {
+            let f = Formula::random(&mut rng, 5, 3);
+            let ts = Cnf::tseitin(&f, 5);
+            assert_eq!(satisfiable(&ts), f.satisfiable_brute(5), "{f:?}");
+        }
+    }
+}

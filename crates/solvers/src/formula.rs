@@ -1,0 +1,138 @@
+//! Propositional formulas.
+//!
+//! The Theorem 3.3 reduction builds its `Val(α, z⃗, x)` query by structural
+//! recursion over an arbitrary propositional formula α, so formulas are
+//! kept as a tree rather than eagerly clausified.
+
+use rand::Rng;
+
+/// A propositional formula over variables `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// A variable.
+    Var(u32),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction (empty = true).
+    And(Vec<Formula>),
+    /// Disjunction (empty = false).
+    Or(Vec<Formula>),
+}
+
+impl Formula {
+    /// Evaluates under a total assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        match self {
+            Formula::Var(v) => assignment[*v as usize],
+            Formula::Not(f) => !f.eval(assignment),
+            Formula::And(fs) => fs.iter().all(|f| f.eval(assignment)),
+            Formula::Or(fs) => fs.iter().any(|f| f.eval(assignment)),
+        }
+    }
+
+    /// Largest variable index + 1 (0 for variable-free formulas).
+    pub fn num_vars(&self) -> usize {
+        match self {
+            Formula::Var(v) => *v as usize + 1,
+            Formula::Not(f) => f.num_vars(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(Formula::num_vars).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Number of connectives + leaves (the size measure for reductions).
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::Var(_) => 1,
+            Formula::Not(f) => 1 + f.size(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                1 + fs.iter().map(Formula::size).sum::<usize>()
+            }
+        }
+    }
+
+    /// Satisfiability by brute force over all assignments of `n_vars`
+    /// variables; the oracle for small instances.
+    pub fn satisfiable_brute(&self, n_vars: usize) -> bool {
+        assert!(n_vars < 26, "brute force capped at 25 variables");
+        let mut assignment = vec![false; n_vars];
+        for mask in 0..(1u64 << n_vars) {
+            for (i, a) in assignment.iter_mut().enumerate() {
+                *a = mask & (1 << i) != 0;
+            }
+            if self.eval(&assignment) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// A random formula of the given depth over `n_vars` variables.
+    pub fn random<R: Rng>(rng: &mut R, n_vars: u32, depth: usize) -> Formula {
+        assert!(n_vars > 0);
+        if depth == 0 || rng.gen_ratio(1, 4) {
+            return Formula::Var(rng.gen_range(0..n_vars));
+        }
+        match rng.gen_range(0..3) {
+            0 => Formula::Not(Box::new(Formula::random(rng, n_vars, depth - 1))),
+            1 => {
+                let k = rng.gen_range(2..=3);
+                Formula::And((0..k).map(|_| Formula::random(rng, n_vars, depth - 1)).collect())
+            }
+            _ => {
+                let k = rng.gen_range(2..=3);
+                Formula::Or((0..k).map(|_| Formula::random(rng, n_vars, depth - 1)).collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn xor(a: Formula, b: Formula) -> Formula {
+        Formula::Or(vec![
+            Formula::And(vec![a.clone(), Formula::Not(Box::new(b.clone()))]),
+            Formula::And(vec![Formula::Not(Box::new(a)), b]),
+        ])
+    }
+
+    #[test]
+    fn evaluation() {
+        let f = xor(Formula::Var(0), Formula::Var(1));
+        assert!(!f.eval(&[false, false]));
+        assert!(f.eval(&[true, false]));
+        assert!(f.eval(&[false, true]));
+        assert!(!f.eval(&[true, true]));
+        assert_eq!(f.num_vars(), 2);
+    }
+
+    #[test]
+    fn empty_connectives() {
+        assert!(Formula::And(vec![]).eval(&[]));
+        assert!(!Formula::Or(vec![]).eval(&[]));
+    }
+
+    #[test]
+    fn brute_force_satisfiability() {
+        let f = Formula::And(vec![Formula::Var(0), Formula::Not(Box::new(Formula::Var(0)))]);
+        assert!(!f.satisfiable_brute(1));
+        let g = xor(Formula::Var(0), Formula::Var(1));
+        assert!(g.satisfiable_brute(2));
+    }
+
+    #[test]
+    fn random_formulas_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let f = Formula::random(&mut rng, 4, 3);
+            assert!(f.num_vars() <= 4);
+            assert!(f.size() >= 1);
+            let _ = f.eval(&[true, false, true, false]);
+        }
+    }
+}

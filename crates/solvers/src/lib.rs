@@ -1,0 +1,26 @@
+//! # indord-solvers
+//!
+//! Reference deciders for the complete problems the paper reduces from:
+//!
+//! * [`formula`] — propositional formulas and random generators;
+//! * [`cnf`] — CNF, the Tseitin transform, brute-force satisfiability;
+//! * [`dpll`] — a DPLL SAT solver (unit propagation, pure literals);
+//! * [`qbf`] — Π₂ quantified boolean formulas `∀p⃗ ∃q⃗ α` (Theorem 3.3);
+//! * [`dnf`] — DNF tautology checking (Theorem 4.6);
+//! * [`mono3sat`] — monotone 3-SAT instances (Theorem 3.2);
+//! * [`coloring`] — graph 3-colourability (Theorem 7.1).
+//!
+//! Everything is implemented from scratch so the hardness reductions of
+//! `indord-reductions` can be *verified*: both sides of each
+//! "`D |= Φ` iff instance-is-X" equivalence are computed independently.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cnf;
+pub mod coloring;
+pub mod dnf;
+pub mod dpll;
+pub mod formula;
+pub mod mono3sat;
+pub mod qbf;

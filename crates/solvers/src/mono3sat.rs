@@ -1,0 +1,136 @@
+//! Monotone 3-SAT instances (the complete problem used by Theorem 3.2).
+//!
+//! In monotone 3-SAT every clause is either all-positive or all-negative
+//! [Garey & Johnson, LO2]. The Theorem 3.2 reduction builds one database
+//! component per positive clause and one per negative clause, so the
+//! instance type keeps the two clause families separate.
+
+use crate::cnf::{lit, neg, Cnf};
+use crate::dpll;
+use rand::Rng;
+
+/// A monotone 3-SAT instance over variables `0..n_vars`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mono3Sat {
+    /// Number of propositional variables.
+    pub n_vars: usize,
+    /// All-positive clauses `l₁ ∨ l₂ ∨ l₃`.
+    pub pos_clauses: Vec<[u32; 3]>,
+    /// All-negative clauses `¬l₁ ∨ ¬l₂ ∨ ¬l₃`.
+    pub neg_clauses: Vec<[u32; 3]>,
+}
+
+impl Mono3Sat {
+    /// Converts to plain CNF.
+    pub fn to_cnf(&self) -> Cnf {
+        let mut clauses = Vec::with_capacity(self.pos_clauses.len() + self.neg_clauses.len());
+        for c in &self.pos_clauses {
+            clauses.push(c.iter().map(|&v| lit(v as usize)).collect());
+        }
+        for c in &self.neg_clauses {
+            clauses.push(c.iter().map(|&v| neg(v as usize)).collect());
+        }
+        Cnf { n_vars: self.n_vars, clauses }
+    }
+
+    /// Satisfiability via DPLL.
+    pub fn satisfiable(&self) -> bool {
+        dpll::satisfiable(&self.to_cnf())
+    }
+
+    /// Evaluates under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.to_cnf().eval(assignment)
+    }
+
+    /// Total clause count.
+    pub fn n_clauses(&self) -> usize {
+        self.pos_clauses.len() + self.neg_clauses.len()
+    }
+
+    /// Random instance with the given clause counts; all clauses use three
+    /// distinct variables.
+    pub fn random<R: Rng>(rng: &mut R, n_vars: usize, n_pos: usize, n_neg: usize) -> Mono3Sat {
+        assert!(n_vars >= 3);
+        let pick3 = |rng: &mut R| -> [u32; 3] {
+            let mut vs = [0u32; 3];
+            vs[0] = rng.gen_range(0..n_vars) as u32;
+            loop {
+                vs[1] = rng.gen_range(0..n_vars) as u32;
+                if vs[1] != vs[0] {
+                    break;
+                }
+            }
+            loop {
+                vs[2] = rng.gen_range(0..n_vars) as u32;
+                if vs[2] != vs[0] && vs[2] != vs[1] {
+                    break;
+                }
+            }
+            vs
+        };
+        Mono3Sat {
+            n_vars,
+            pos_clauses: (0..n_pos).map(|_| pick3(rng)).collect(),
+            neg_clauses: (0..n_neg).map(|_| pick3(rng)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pure_positive_always_satisfiable() {
+        let inst = Mono3Sat {
+            n_vars: 4,
+            pos_clauses: vec![[0, 1, 2], [1, 2, 3]],
+            neg_clauses: vec![],
+        };
+        assert!(inst.satisfiable());
+        assert!(inst.eval(&[true; 4]));
+    }
+
+    #[test]
+    fn all_triples_instance_is_unsat() {
+        // Over 6 variables, taking every 3-subset both positively and
+        // negatively demands ≤2 false vars and ≤2 true vars — impossible.
+        let mut pos = Vec::new();
+        for a in 0..6u32 {
+            for b in (a + 1)..6 {
+                for c in (b + 1)..6 {
+                    pos.push([a, b, c]);
+                }
+            }
+        }
+        let inst = Mono3Sat { n_vars: 6, pos_clauses: pos.clone(), neg_clauses: pos };
+        assert!(!inst.satisfiable());
+    }
+
+    #[test]
+    fn dpll_agrees_with_brute_randomized() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let inst = Mono3Sat::random(&mut rng, 6, 12, 12);
+            assert_eq!(inst.satisfiable(), inst.to_cnf().satisfiable_brute(), "{inst:?}");
+        }
+    }
+
+    #[test]
+    fn monotone_shape() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let inst = Mono3Sat::random(&mut rng, 5, 4, 3);
+        assert_eq!(inst.n_clauses(), 7);
+        let cnf = inst.to_cnf();
+        for (i, c) in cnf.clauses.iter().enumerate() {
+            if i < 4 {
+                assert!(c.iter().all(|&l| l > 0));
+            } else {
+                assert!(c.iter().all(|&l| l < 0));
+            }
+        }
+    }
+}

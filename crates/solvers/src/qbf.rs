@@ -1,0 +1,208 @@
+//! Π₂ quantified boolean formulas: `∀p₁…pₙ ∃q₁…qₘ α` (the complete problem
+//! for Π₂ᵖ used by Theorem 3.3).
+//!
+//! Evaluation enumerates the `2ⁿ` universal assignments; for each, the
+//! existential part is decided by the DPLL solver on a Tseitin encoding of
+//! α with the universals substituted. A brute-force evaluator cross-checks.
+
+use crate::cnf::Cnf;
+use crate::dpll;
+use crate::formula::Formula;
+use rand::Rng;
+
+/// A Π₂ sentence. Variables `0..n_universal` are universally quantified;
+/// `n_universal..n_universal+n_existential` existentially.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pi2 {
+    /// Number of universal variables (the `p` block).
+    pub n_universal: usize,
+    /// Number of existential variables (the `q` block).
+    pub n_existential: usize,
+    /// The matrix α over all `n_universal + n_existential` variables.
+    pub matrix: Formula,
+}
+
+impl Pi2 {
+    /// Total variable count.
+    pub fn n_vars(&self) -> usize {
+        self.n_universal + self.n_existential
+    }
+
+    /// Evaluates the sentence (DPLL-backed).
+    pub fn is_true(&self) -> bool {
+        assert!(self.n_universal < 26, "universal block capped at 25");
+        let mut universals = vec![false; self.n_universal];
+        for mask in 0..(1u64 << self.n_universal) {
+            for (i, u) in universals.iter_mut().enumerate() {
+                *u = mask & (1 << i) != 0;
+            }
+            if !self.exists_extension(&universals) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Does some existential assignment extend the given universals?
+    fn exists_extension(&self, universals: &[bool]) -> bool {
+        let substituted = substitute(&self.matrix, universals);
+        match substituted {
+            Sub::Const(b) => b,
+            Sub::Formula(f) => {
+                let cnf = Cnf::tseitin(&f, self.n_vars());
+                dpll::satisfiable(&cnf)
+            }
+        }
+    }
+
+    /// Brute-force evaluation over both blocks (oracle).
+    pub fn is_true_brute(&self) -> bool {
+        let n = self.n_vars();
+        assert!(n < 26, "brute force capped at 25 variables");
+        let mut assignment = vec![false; n];
+        'outer: for umask in 0..(1u64 << self.n_universal) {
+            for (i, a) in assignment.iter_mut().take(self.n_universal).enumerate() {
+                *a = umask & (1 << i) != 0;
+            }
+            for emask in 0..(1u64 << self.n_existential) {
+                for i in 0..self.n_existential {
+                    assignment[self.n_universal + i] = emask & (1 << i) != 0;
+                }
+                if self.matrix.eval(&assignment) {
+                    continue 'outer;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// A random Π₂ sentence.
+    pub fn random<R: Rng>(rng: &mut R, n_universal: usize, n_existential: usize) -> Pi2 {
+        let matrix =
+            Formula::random(rng, (n_universal + n_existential) as u32, 4);
+        Pi2 { n_universal, n_existential, matrix }
+    }
+}
+
+enum Sub {
+    Const(bool),
+    Formula(Formula),
+}
+
+/// Substitutes the universal prefix, simplifying constants away.
+fn substitute(f: &Formula, universals: &[bool]) -> Sub {
+    match f {
+        Formula::Var(v) => {
+            let v = *v as usize;
+            if v < universals.len() {
+                Sub::Const(universals[v])
+            } else {
+                Sub::Formula(Formula::Var(v as u32))
+            }
+        }
+        Formula::Not(g) => match substitute(g, universals) {
+            Sub::Const(b) => Sub::Const(!b),
+            Sub::Formula(g) => Sub::Formula(Formula::Not(Box::new(g))),
+        },
+        Formula::And(gs) => {
+            let mut parts = Vec::new();
+            for g in gs {
+                match substitute(g, universals) {
+                    Sub::Const(false) => return Sub::Const(false),
+                    Sub::Const(true) => {}
+                    Sub::Formula(g) => parts.push(g),
+                }
+            }
+            if parts.is_empty() {
+                Sub::Const(true)
+            } else {
+                Sub::Formula(Formula::And(parts))
+            }
+        }
+        Formula::Or(gs) => {
+            let mut parts = Vec::new();
+            for g in gs {
+                match substitute(g, universals) {
+                    Sub::Const(true) => return Sub::Const(true),
+                    Sub::Const(false) => {}
+                    Sub::Formula(g) => parts.push(g),
+                }
+            }
+            if parts.is_empty() {
+                Sub::Const(false)
+            } else {
+                Sub::Formula(Formula::Or(parts))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tautology_forall_exists_equal() {
+        // ∀p ∃q (p ↔ q): true.
+        let iff = Formula::Or(vec![
+            Formula::And(vec![Formula::Var(0), Formula::Var(1)]),
+            Formula::And(vec![
+                Formula::Not(Box::new(Formula::Var(0))),
+                Formula::Not(Box::new(Formula::Var(1))),
+            ]),
+        ]);
+        let f = Pi2 { n_universal: 1, n_existential: 1, matrix: iff };
+        assert!(f.is_true());
+        assert!(f.is_true_brute());
+    }
+
+    #[test]
+    fn false_when_existential_cannot_track() {
+        // ∀p ∃q (p ∧ q): false (p = false kills it).
+        let f = Pi2 {
+            n_universal: 1,
+            n_existential: 1,
+            matrix: Formula::And(vec![Formula::Var(0), Formula::Var(1)]),
+        };
+        assert!(!f.is_true());
+        assert!(!f.is_true_brute());
+    }
+
+    #[test]
+    fn no_universals_reduces_to_sat() {
+        let f = Pi2 {
+            n_universal: 0,
+            n_existential: 2,
+            matrix: Formula::And(vec![Formula::Var(0), Formula::Var(1)]),
+        };
+        assert!(f.is_true());
+    }
+
+    #[test]
+    fn no_existentials_reduces_to_validity() {
+        // ∀p (p ∨ ¬p): true. ∀p p: false.
+        let f = Pi2 {
+            n_universal: 1,
+            n_existential: 0,
+            matrix: Formula::Or(vec![
+                Formula::Var(0),
+                Formula::Not(Box::new(Formula::Var(0))),
+            ]),
+        };
+        assert!(f.is_true());
+        let g = Pi2 { n_universal: 1, n_existential: 0, matrix: Formula::Var(0) };
+        assert!(!g.is_true());
+    }
+
+    #[test]
+    fn dpll_backed_agrees_with_brute() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..100 {
+            let f = Pi2::random(&mut rng, 3, 3);
+            assert_eq!(f.is_true(), f.is_true_brute(), "{f:?}");
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! # indord-wqo
+//!
+//! The well-quasi-order machinery of §6 of the paper, which proves —
+//! *nonconstructively* — that disjunctive monadic queries have linear-time
+//! data complexity (Theorem 6.5).
+//!
+//! The chain of ideas, all implemented here:
+//!
+//! 1. flexi-words are quasi-ordered by `p ⊑ q ⟺ q |= p` (Lemma 6.3 shows
+//!    this is a wqo — a generalization of Higman's subword lemma);
+//! 2. finite sets lift pointwise: `S₁ ⪯ S₂` iff every element of `S₁` is
+//!    below some element of `S₂`;
+//! 3. databases are quasi-ordered by `D₁ ⊑ D₂ ⟺ Paths(D₁) ⪯ Paths(D₂)`,
+//!    and query satisfaction `S(Φ) = {D : D |= Φ}` is **upward closed**
+//!    (Lemma 6.4);
+//! 4. therefore `S(Φ)` has a finite basis of minimal elements, and
+//!    `D |= Φ` iff some basis element sits below `D` — a fixed number of
+//!    `SEQ` runs, each linear in `|D|`.
+//!
+//! For conjunctive `Φ` the basis is the single database `D_Φ` (the query
+//! read as a database), making compilation constructive
+//! ([`compile_conjunctive`]). For disjunctive queries no general algorithm
+//! is known (the paper's footnote 5 reports one for the `[<]`-only case);
+//! [`bounded_basis_search`] implements a size-capped search over
+//! chain-union candidates that is exact when the true basis fits the caps,
+//! and is validated probabilistically against the Theorem 5.3 engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use indord_core::atom::OrderRel;
+use indord_core::bitset::PredSet;
+use indord_core::error::Result;
+use indord_core::flexi::FlexiWord;
+use indord_core::monadic::{MonadicDatabase, MonadicQuery};
+use indord_core::ordgraph::OrderGraph;
+use indord_entail::{disjunctive, seq};
+
+/// The flexi-word quasi-order `p ⊑ q ⟺ q |= p` (Lemma 6.3).
+pub fn flexi_le(p: &FlexiWord, q: &FlexiWord) -> bool {
+    seq::entails(&q.to_database(), p)
+}
+
+/// The finite-powerset lifting: `S₁ ⪯ S₂` iff each `p ∈ S₁` has `q ∈ S₂`
+/// with `p ⊑ q`.
+pub fn set_le(s1: &[FlexiWord], s2: &[FlexiWord]) -> bool {
+    s1.iter().all(|p| s2.iter().any(|q| flexi_le(p, q)))
+}
+
+/// The database quasi-order `D₁ ⊑ D₂ ⟺ Paths(D₁) ⪯ Paths(D₂)`.
+///
+/// By Lemma 4.2, `p` is below some path of `D₂` iff `D₂ |= p`, so the test
+/// runs `SEQ(D₂, p)` once per path of `D₁` — linear in `|D₂|` for fixed
+/// `D₁`. This is exactly how compiled queries evaluate.
+pub fn db_le(d1: &MonadicDatabase, d2: &MonadicDatabase) -> bool {
+    d1.paths().all(|p| seq::entails(d2, &p))
+}
+
+/// Is `x` minimal within `set` under `le` (quasi-order minimality:
+/// everything below it is also above it)?
+pub fn is_minimal<T>(x: &T, set: &[T], le: impl Fn(&T, &T) -> bool) -> bool {
+    set.iter().all(|y| !le(y, x) || le(x, y))
+}
+
+/// Extracts a minimal basis from a finite set under a quasi-order: keeps
+/// one representative of each minimal equivalence class.
+pub fn minimal_basis<T: Clone>(set: &[T], le: impl Fn(&T, &T) -> bool) -> Vec<T> {
+    let mut out: Vec<T> = Vec::new();
+    for x in set {
+        if !is_minimal(x, set, &le) {
+            continue;
+        }
+        if out.iter().any(|y| le(x, y) && le(y, x)) {
+            continue; // already represented
+        }
+        out.push(x.clone());
+    }
+    out
+}
+
+/// Is the sequence *bad* — no `i < j` with `xᵢ ⊑ xⱼ`? A wqo admits no
+/// infinite bad sequence; finite prefixes can be bad, which tests use to
+/// probe the order's structure.
+pub fn is_bad_sequence<T>(seq: &[T], le: impl Fn(&T, &T) -> bool) -> bool {
+    for i in 0..seq.len() {
+        for j in (i + 1)..seq.len() {
+            if le(&seq[i], &seq[j]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// A compiled query: the finite basis of `S(Φ)`. Evaluation is a fixed
+/// number of `SEQ` runs, i.e. **linear-time data complexity**
+/// (Theorem 6.5).
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// The basis elements (minimal databases entailing the query).
+    pub basis: Vec<MonadicDatabase>,
+}
+
+impl CompiledQuery {
+    /// Evaluates `D |= Φ` through the basis: true iff some basis element
+    /// is `⊑ D`.
+    pub fn entails(&self, db: &MonadicDatabase) -> bool {
+        self.basis.iter().any(|b| db_le(b, db))
+    }
+
+    /// Total size of the basis (for reporting).
+    pub fn size(&self) -> usize {
+        self.basis.iter().map(MonadicDatabase::size).sum()
+    }
+}
+
+/// Compiles a conjunctive monadic query: the basis is the single database
+/// `D_Φ` with the query's labelled graph (discussion after Theorem 6.5).
+pub fn compile_conjunctive(q: &MonadicQuery) -> CompiledQuery {
+    assert!(q.ne.is_empty(), "compilation is defined for [<,<=] queries");
+    let db = MonadicDatabase::new(q.graph.clone(), q.labels.clone());
+    CompiledQuery { basis: vec![db] }
+}
+
+/// Limits for [`bounded_basis_search`].
+#[derive(Debug, Clone, Copy)]
+pub struct SearchLimits {
+    /// Maximum number of chains per candidate database.
+    pub max_chains: usize,
+    /// Maximum total letters per candidate database.
+    pub max_letters: usize,
+}
+
+impl Default for SearchLimits {
+    fn default() -> Self {
+        SearchLimits { max_chains: 2, max_letters: 4 }
+    }
+}
+
+/// Size-capped basis search for disjunctive `[<]`-queries (experimental;
+/// see module docs). Candidates are disjoint unions of *words* over the
+/// label alphabet generated by the predicates occurring in the query —
+/// sufficient because every database is `⊑`-equivalent to the disjoint
+/// union of its paths.
+///
+/// The result is sound (every basis element entails the query and is
+/// minimal among candidates); it is complete exactly when the true basis
+/// fits within the limits, which callers should validate against the
+/// Theorem 5.3 engine on sample databases.
+pub fn bounded_basis_search(
+    disjuncts: &[MonadicQuery],
+    limits: SearchLimits,
+) -> Result<CompiledQuery> {
+    // Alphabet: all unions of label sets occurring in the query.
+    let mut letters: Vec<PredSet> = vec![PredSet::new()];
+    for q in disjuncts {
+        for l in &q.labels {
+            let mut next = Vec::new();
+            for existing in &letters {
+                let mut u = existing.clone();
+                u.union_with(l);
+                next.push(u);
+            }
+            letters.extend(next);
+            letters.sort();
+            letters.dedup();
+        }
+    }
+
+    // Enumerate words of length 1..=max_letters over the alphabet.
+    let mut frontier: Vec<Vec<PredSet>> = vec![Vec::new()];
+    let mut all_words: Vec<Vec<PredSet>> = Vec::new();
+    for _ in 0..limits.max_letters {
+        let mut next = Vec::new();
+        for w in &frontier {
+            for l in &letters {
+                let mut w2 = w.clone();
+                w2.push(l.clone());
+                next.push(w2);
+            }
+        }
+        all_words.extend(next.iter().cloned());
+        frontier = next;
+    }
+
+    let mut entailing: Vec<MonadicDatabase> = Vec::new();
+    for w in &all_words {
+        let db = FlexiWord::word(w.clone()).to_database();
+        if disjunctive::entails(&db, disjuncts)? {
+            entailing.push(db);
+        }
+    }
+    if limits.max_chains >= 2 {
+        for (i, w1) in all_words.iter().enumerate() {
+            for w2 in all_words.iter().skip(i) {
+                if w1.len() + w2.len() > limits.max_letters {
+                    continue;
+                }
+                let db = union_of_words(&[w1.clone(), w2.clone()]);
+                if disjunctive::entails(&db, disjuncts)? {
+                    entailing.push(db);
+                }
+            }
+        }
+    }
+    let basis = minimal_basis(&entailing, db_le);
+    Ok(CompiledQuery { basis })
+}
+
+/// The disjoint union of chains as one monadic database.
+pub fn union_of_words(words: &[Vec<PredSet>]) -> MonadicDatabase {
+    let total: usize = words.iter().map(Vec::len).sum();
+    let mut labels = Vec::with_capacity(total);
+    let mut edges = Vec::new();
+    for w in words {
+        let base = labels.len();
+        for (i, l) in w.iter().enumerate() {
+            labels.push(l.clone());
+            if i > 0 {
+                edges.push((base + i - 1, base + i, OrderRel::Lt));
+            }
+        }
+    }
+    let graph = OrderGraph::from_dag_edges(total, &edges).expect("chains are acyclic");
+    MonadicDatabase::new(graph, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indord_core::sym::PredSym;
+    use indord_entail::paths;
+
+    fn ps(ids: &[usize]) -> PredSet {
+        ids.iter().map(|&i| PredSym::from_index(i)).collect()
+    }
+
+    fn word(labels: &[&[usize]]) -> FlexiWord {
+        FlexiWord::word(labels.iter().map(|l| ps(l)).collect())
+    }
+
+    #[test]
+    fn flexi_le_is_reflexive_and_transitive() {
+        let ws = [
+            word(&[&[0]]),
+            word(&[&[0], &[1]]),
+            word(&[&[0, 1]]),
+            word(&[&[1], &[0], &[1]]),
+            FlexiWord::new(vec![ps(&[0]), ps(&[1])], vec![OrderRel::Le]),
+        ];
+        for a in &ws {
+            assert!(flexi_le(a, a), "reflexivity on {a:?}");
+            for b in &ws {
+                for c in &ws {
+                    if flexi_le(a, b) && flexi_le(b, c) {
+                        assert!(flexi_le(a, c), "transitivity {a:?} {b:?} {c:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flexi_le_matches_subword_on_words() {
+        let a = word(&[&[0], &[1]]);
+        let b = word(&[&[0], &[2], &[1]]);
+        assert!(flexi_le(&a, &b));
+        assert!(a.is_subword_of(&b));
+        assert!(!flexi_le(&b, &a));
+        assert!(set_le(
+            &[a.clone(), word(&[&[2]])],
+            &[b.clone()]
+        ));
+    }
+
+    #[test]
+    fn upward_closure_lemma_6_4() {
+        // If D1 ⊑ D2 and D1 |= Φ then D2 |= Φ, exercised on a family.
+        let d1 = word(&[&[0], &[1]]).to_database();
+        let d2 = word(&[&[0, 2], &[2], &[1, 2]]).to_database();
+        assert!(db_le(&d1, &d2));
+        let q = MonadicQuery::from_flexiword(&word(&[&[0], &[1]]));
+        assert!(paths::entails(&d1, &q));
+        assert!(paths::entails(&d2, &q));
+    }
+
+    #[test]
+    fn conjunctive_compilation_agrees_with_paths_engine() {
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let rand_labels = |n: usize, rng: &mut dyn FnMut() -> u64| -> Vec<PredSet> {
+            (0..n)
+                .map(|_| {
+                    let bits = rng() % 8;
+                    (0..3).filter(|i| bits & (1 << i) != 0).map(PredSym::from_index).collect()
+                })
+                .collect()
+        };
+        let rand_dag = |n: usize, rng: &mut dyn FnMut() -> u64| -> OrderGraph {
+            let mut edges = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    match rng() % 4 {
+                        0 => edges.push((i, j, OrderRel::Lt)),
+                        1 => edges.push((i, j, OrderRel::Le)),
+                        _ => {}
+                    }
+                }
+            }
+            OrderGraph::from_dag_edges(n, &edges).unwrap()
+        };
+        for round in 0..150 {
+            let qn = (rng() % 3 + 1) as usize;
+            let q = MonadicQuery::new(rand_dag(qn, &mut rng), rand_labels(qn, &mut rng));
+            let compiled = compile_conjunctive(&q);
+            let dn = (rng() % 4 + 1) as usize;
+            let db = MonadicDatabase::new(rand_dag(dn, &mut rng), rand_labels(dn, &mut rng));
+            assert_eq!(
+                compiled.entails(&db),
+                paths::entails(&db, &q),
+                "round {round}: q={q:?} db={db:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn minimal_basis_extraction() {
+        let xs = vec![word(&[&[0]]), word(&[&[0], &[0]]), word(&[&[1]])];
+        let basis = minimal_basis(&xs, flexi_le);
+        // [0] ⊑ [0][0], so the two-letter word is not minimal.
+        assert_eq!(basis.len(), 2);
+        assert!(basis.contains(&word(&[&[0]])));
+        assert!(basis.contains(&word(&[&[1]])));
+    }
+
+    #[test]
+    fn bad_sequence_detection() {
+        let good = vec![word(&[&[0]]), word(&[&[0], &[1]])];
+        assert!(!is_bad_sequence(&good, flexi_le));
+        let bad = vec![word(&[&[0], &[0]]), word(&[&[1]])];
+        assert!(is_bad_sequence(&bad, flexi_le));
+    }
+
+    #[test]
+    fn basis_search_on_simple_disjunction() {
+        // Φ = (P < Q) ∨ (Q < P).
+        let q1 = MonadicQuery::from_flexiword(&word(&[&[0], &[1]]));
+        let q2 = MonadicQuery::from_flexiword(&word(&[&[1], &[0]]));
+        let disjuncts = vec![q1, q2];
+        let compiled = bounded_basis_search(
+            &disjuncts,
+            SearchLimits { max_chains: 2, max_letters: 3 },
+        )
+        .unwrap();
+        assert!(!compiled.basis.is_empty());
+        // Validate against the Theorem 5.3 engine on sample databases.
+        let samples = vec![
+            word(&[&[0], &[1]]).to_database(),
+            word(&[&[1], &[0]]).to_database(),
+            word(&[&[0]]).to_database(),
+            word(&[&[0, 1]]).to_database(),
+            word(&[&[1], &[2], &[0]]).to_database(),
+            union_of_words(&[vec![ps(&[0])], vec![ps(&[1])]]),
+        ];
+        for db in &samples {
+            assert_eq!(
+                compiled.entails(db),
+                disjunctive::entails(db, &disjuncts).unwrap(),
+                "db={db:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn basis_search_finds_multichain_minimal_element() {
+        // Φ = (P<Q) ∨ (Q<P) ∨ (PQ together): the two-chain {[P], [Q]}
+        // entails Φ and sits strictly below the word [P][Q].
+        let q1 = MonadicQuery::from_flexiword(&word(&[&[0], &[1]]));
+        let q2 = MonadicQuery::from_flexiword(&word(&[&[1], &[0]]));
+        let q3 = MonadicQuery::from_flexiword(&word(&[&[0, 1]]));
+        let disjuncts = vec![q1, q2, q3];
+        let compiled = bounded_basis_search(
+            &disjuncts,
+            SearchLimits { max_chains: 2, max_letters: 2 },
+        )
+        .unwrap();
+        let two_chain = union_of_words(&[vec![ps(&[0])], vec![ps(&[1])]]);
+        assert!(
+            compiled.basis.iter().any(|b| db_le(b, &two_chain) && db_le(&two_chain, b)),
+            "the two-chain minimal element must be in the basis: {:?}",
+            compiled.basis
+        );
+        for db in [
+            word(&[&[0], &[1]]).to_database(),
+            word(&[&[2]]).to_database(),
+            two_chain,
+        ] {
+            assert_eq!(
+                compiled.entails(&db),
+                disjunctive::entails(&db, &disjuncts).unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Containment of conjunctive queries with inequalities — Klug's problem
+//! (JACM 1988), connected to indefinite order databases by Prop. 2.10 and
+//! settled as Π₂ᵖ-complete by Theorem 3.3.
+//!
+//! Run with `cargo run --example containment`.
+
+use indord::core::parse::parse_query;
+use indord::prelude::*;
+use indord::relalg::{contained_in, entailment_as_containment, RelQuery};
+use indord::solvers::formula::Formula;
+use indord::solvers::qbf::Pi2;
+
+fn main() {
+    let mut voc = Vocabulary::new();
+    voc.pred("R", &[indord::core::sym::Sort::Object, indord::core::sym::Sort::Order])
+        .expect("signature");
+    voc.pred("S", &[indord::core::sym::Sort::Order, indord::core::sym::Sort::Order])
+        .expect("signature");
+
+    let bool_query = |voc: &mut Vocabulary, text: &str| -> RelQuery {
+        RelQuery::boolean(parse_query(voc, text).expect("query").disjuncts()[0].clone())
+    };
+
+    // 1. A containment that holds over every order type: tightening `<=`
+    //    to `<` shrinks answers.
+    let strict = bool_query(&mut voc, "exists x s t. R(x, s) & S(s, t) & s < t");
+    let loose = bool_query(&mut voc, "exists x s t. R(x, s) & S(s, t) & s <= t");
+    let yes = contained_in(&mut voc, &strict, &loose, OrderType::Fin).expect("decide");
+    let no = contained_in(&mut voc, &loose, &strict, OrderType::Fin).expect("decide");
+    println!("[Q<]  ⊆ [Q<=] over Fin:  {yes}");
+    println!("[Q<=] ⊆ [Q<]  over Fin:  {no}");
+    assert!(yes && !no);
+
+    // 2. The order type matters: midpoint interpolation holds over the
+    //    rationals only (Klug's semantics-sensitivity).
+    let pair = bool_query(&mut voc, "exists s t. S(s, t) & s < t");
+    let mid = bool_query(&mut voc, "exists s w t. S(s, t) & s < w & w < t");
+    for (ot, name) in [(OrderType::Fin, "Fin"), (OrderType::Z, "Z"), (OrderType::Q, "Q")] {
+        let held = contained_in(&mut voc, &pair, &mid, ot).expect("decide");
+        println!("[s<t] ⊆ [∃w s<w<t] over {name:>3}: {held}");
+        assert_eq!(held, matches!(ot, OrderType::Q));
+    }
+
+    // 3. Entailment instances are containment instances (Prop. 2.10): the
+    //    embassy database entails its query iff the corresponding boolean
+    //    queries are contained.
+    let mut voc2 = Vocabulary::new();
+    let db = indord::core::parse::parse_database(
+        &mut voc2,
+        "P(u); Q(v); u < v;",
+    )
+    .expect("db");
+    let phi = parse_query(&mut voc2, "exists s t. P(s) & s < t & Q(t)")
+        .expect("query")
+        .disjuncts()[0]
+        .clone();
+    let (q1, q2) = entailment_as_containment(&mut voc2, &db, &phi).expect("reduce");
+    let contained = contained_in(&mut voc2, &q1, &q2, OrderType::Fin).expect("decide");
+    println!("\nProp 2.10 round-trip: D |= Φ as containment: {contained}");
+    assert!(contained);
+
+    // 4. The Π₂ᵖ-hardness: a true and a false Π₂ sentence, pushed through
+    //    Theorem 3.3 and then through Prop. 2.10 into containment.
+    let tautology = Pi2 {
+        n_universal: 1,
+        n_existential: 1,
+        // ∀p ∃q (p ↔ q)
+        matrix: Formula::Or(vec![
+            Formula::And(vec![Formula::Var(0), Formula::Var(1)]),
+            Formula::And(vec![
+                Formula::Not(Box::new(Formula::Var(0))),
+                Formula::Not(Box::new(Formula::Var(1))),
+            ]),
+        ]),
+    };
+    let falsity = Pi2 { n_universal: 1, n_existential: 0, matrix: Formula::Var(0) };
+    for (pi2, name) in [(&tautology, "∀p∃q(p↔q)"), (&falsity, "∀p.p")] {
+        let mut voc3 = Vocabulary::new();
+        let inst = indord::reductions::thm33::build(&mut voc3, pi2);
+        let (q1, q2) =
+            entailment_as_containment(&mut voc3, &inst.db, &inst.query.disjuncts()[0])
+                .expect("reduce");
+        let contained = contained_in(&mut voc3, &q1, &q2, OrderType::Fin).expect("decide");
+        println!("Π₂ sentence {name:<12} → containment: {contained}");
+        assert_eq!(contained, pi2.is_true());
+    }
+    println!("\nContainment of conjunctive queries with inequalities thus");
+    println!("inherits Π₂ᵖ-hardness — the lower bound Klug left open.");
+}

@@ -1,0 +1,119 @@
+//! Gene alignment (the paper's Example 1.2).
+//!
+//! Base sequences become width-one monadic chains; a *model* of their
+//! union is an alignment (positions mapped to common columns). Integrity
+//! constraints forbid unwanted alignments — e.g. pairing `A` with `G` —
+//! as query disjuncts: an admissible alignment exists iff the constraint
+//! query is **not** entailed, and the countermodels *are* the alignments.
+//!
+//! Run with `cargo run --example gene_alignment`.
+
+use indord::core::bitset::PredSet;
+use indord::core::flexi::FlexiWord;
+use indord::core::model::MonadicModel;
+use indord::core::monadic::{MonadicDatabase, MonadicQuery};
+use indord::core::ordgraph::OrderGraph;
+use indord::core::atom::OrderRel;
+use indord::entail::disjunctive;
+use indord::prelude::*;
+
+fn main() {
+    let mut voc = Vocabulary::new();
+    let bases: Vec<PredSym> =
+        ["C", "G", "A", "T"].iter().map(|b| voc.monadic_pred(b)).collect();
+    let base_of = |c: char| -> PredSym {
+        match c {
+            'C' => bases[0],
+            'G' => bases[1],
+            'A' => bases[2],
+            'T' => bases[3],
+            _ => panic!("unknown base {c}"),
+        }
+    };
+
+    let s1 = "GAT";
+    let s2 = "GTA";
+    println!("Aligning  s1 = {s1}  with  s2 = {s2}\n");
+
+    // Each sequence s₁s₂…sₙ becomes facts s₁(u₁), …, sₙ(uₙ) with
+    // u₁ < u₂ < … < uₙ; the union is a width-two database.
+    let db = union_of_sequences(&[s1, s2], &base_of);
+    assert_eq!(db.width(), 2);
+
+    // Integrity constraints: no column may align A with G, nor C with T.
+    let forbid = |x: PredSym, y: PredSym| -> MonadicQuery {
+        let g = OrderGraph::from_dag_edges(1, &[]).expect("single vertex");
+        MonadicQuery::new(g, vec![[x, y].into_iter().collect()])
+    };
+    let violations =
+        vec![forbid(base_of('A'), base_of('G')), forbid(base_of('C'), base_of('T'))];
+
+    // An admissible alignment exists iff the violation query is NOT
+    // entailed; every countermodel is an admissible alignment.
+    let verdict = disjunctive::check(&db, &violations).expect("engine");
+    match &verdict {
+        MonadicVerdict::Entailed => {
+            println!("No admissible alignment exists (every model violates).");
+        }
+        MonadicVerdict::Countermodel(m) => {
+            println!("Admissible alignments exist. One of them:");
+            print_alignment(&voc, m);
+        }
+    }
+    assert!(!verdict.holds());
+
+    // Enumerate several alignments (countermodels, Theorem 5.3's
+    // polynomial-delay enumeration).
+    let models = disjunctive::countermodels(&db, &violations, 5).expect("engine");
+    println!("\nFirst {} admissible alignments:", models.len());
+    for (i, m) in models.iter().enumerate() {
+        println!("--- alignment {} ---", i + 1);
+        print_alignment(&voc, m);
+    }
+
+    // A stricter constraint set that admits no alignment: in addition,
+    // forbid *every* mixed column and demand… length mismatch suffices:
+    // aligning "GA" with "TT" while forbidding G–T and A–T pairings and
+    // any unmatched…  Simplest impossible case: align "G" with "A" while
+    // forbidding the G–A pairing *and* requiring a single column by
+    // construction — two one-letter sequences CAN still misalign into two
+    // columns, so instead show entailment on the query "some column mixes
+    // G and A, or some column holds G alone, or A alone" — a tautological
+    // cover of all models:
+    let g_alone = forbid(base_of('G'), base_of('G'));
+    let a_alone = forbid(base_of('A'), base_of('A'));
+    let mixed = forbid(base_of('G'), base_of('A'));
+    let db2 = union_of_sequences(&["G", "A"], &base_of);
+    let cover = disjunctive::check(&db2, &[g_alone, a_alone, mixed]).expect("engine");
+    assert!(cover.holds(), "every alignment has a G column, an A column, or a mix");
+    println!("\nSanity: every alignment of \"G\" and \"A\" shows G, A, or a mixed column — certain.");
+}
+
+fn union_of_sequences(
+    seqs: &[&str],
+    base_of: &dyn Fn(char) -> PredSym,
+) -> MonadicDatabase {
+    let mut labels: Vec<PredSet> = Vec::new();
+    let mut edges: Vec<(usize, usize, OrderRel)> = Vec::new();
+    for s in seqs {
+        let start = labels.len();
+        for (i, c) in s.chars().enumerate() {
+            labels.push(PredSet::singleton(base_of(c)));
+            if i > 0 {
+                edges.push((start + i - 1, start + i, OrderRel::Lt));
+            }
+        }
+    }
+    let graph = OrderGraph::from_dag_edges(labels.len(), &edges).expect("chains");
+    MonadicDatabase::new(graph, labels)
+}
+
+fn print_alignment(voc: &Vocabulary, m: &MonadicModel) {
+    let _ = FlexiWord::from_model(m); // alignments are words
+    let mut row = String::new();
+    for l in &m.labels {
+        let names: Vec<&str> = l.iter().map(|p| voc.pred_name(p)).collect();
+        row.push_str(&format!("{:^5}", names.join("/")));
+    }
+    println!("  columns: {row}");
+}

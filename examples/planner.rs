@@ -1,0 +1,93 @@
+//! Nonlinear planning (§1 of the paper): a partially ordered plan's
+//! executions are the compatible linear orders, so "does X happen before Y
+//! in *every* execution?" is certain-answer entailment, and the
+//! countermodel enumeration of Theorem 5.3 lists candidate schedules.
+//!
+//! Run with `cargo run --example planner`.
+
+use indord::entail::disjunctive;
+use indord::prelude::*;
+
+fn main() {
+    let mut voc = Vocabulary::new();
+
+    // A kitchen plan: two cooks work in parallel.
+    //   chop < fry < plate          (cook 1)
+    //   boil < sauce < plate2?      (cook 2: boil, then sauce)
+    //   fry and sauce both precede serving; chop precedes boil? unknown.
+    let db = parse_database(
+        &mut voc,
+        "
+        Chop(c); Fry(f); Boil(b); Sauce(s); Serve(v);
+        c < f; b < s;
+        f < v; s < v;
+        ",
+    )
+    .expect("plan is consistent");
+    println!("Plan steps and ordering constraints:\n{}", db.display(&voc));
+
+    let certain = |voc: &mut Vocabulary, text: &str| -> bool {
+        let q = parse_query(voc, text).expect("query");
+        Engine::new(voc).entails_owned(&db, &q)
+    };
+
+    // Certain precedences.
+    let cases = [
+        ("Chop before Serve", "exists x y. Chop(x) & x < y & Serve(y)", true),
+        ("Chop before Fry", "exists x y. Chop(x) & x < y & Fry(y)", true),
+        ("Chop before Boil", "exists x y. Chop(x) & x < y & Boil(y)", false),
+        ("Boil before Fry", "exists x y. Boil(x) & x < y & Fry(y)", false),
+        (
+            "Chop and Boil ever simultaneous or ordered either way",
+            "(exists x. Chop(x) & Boil(x)) |
+             (exists x y. Chop(x) & x <= y & Boil(y)) |
+             (exists x y. Boil(x) & x <= y & Chop(y))",
+            true,
+        ),
+    ];
+    for (name, text, expect) in cases {
+        let got = certain(&mut voc, text);
+        println!(
+            "{name:<55} {}",
+            if got { "certain" } else { "not certain" }
+        );
+        assert_eq!(got, expect, "{name}");
+    }
+
+    // Enumerate possible schedules (minimal models) in which Boil strictly
+    // precedes Fry — i.e. countermodels of "Fry before-or-with Boil".
+    let mdb = indord::core::monadic::MonadicDatabase::from_normal(
+        &voc,
+        &db.normalize().expect("consistent"),
+    )
+    .expect("monadic");
+    let fry_first = parse_query(
+        &mut voc,
+        "(exists x y. Fry(x) & x <= y & Boil(y)) | (exists x. Fry(x) & Boil(x))",
+    )
+    .expect("query");
+    let disjuncts: Vec<_> = fry_first
+        .disjuncts()
+        .iter()
+        .map(|cq| {
+            indord::core::monadic::MonadicQuery::from_conjunctive(&voc, cq).expect("monadic")
+        })
+        .collect();
+    let schedules = disjunctive::countermodels(&mdb, &disjuncts, 10).expect("engine");
+    println!("\nSchedules in which Boil strictly precedes Fry ({}):", schedules.len());
+    for m in &schedules {
+        println!("  {}", m.display(&voc));
+    }
+    assert!(!schedules.is_empty());
+}
+
+/// Small helper: entailment as a bool (panics on malformed input).
+trait Entails {
+    fn entails_owned(&self, db: &Database, q: &DnfQuery) -> bool;
+}
+
+impl Entails for Engine<'_> {
+    fn entails_owned(&self, db: &Database, q: &DnfQuery) -> bool {
+        self.entails(db, q).expect("engine").holds()
+    }
+}

@@ -1,0 +1,107 @@
+//! Quickstart: the embassy investigation of the paper's Example 1.1.
+//!
+//! A document was leaked overnight; the culprit must have been in the
+//! compound twice. The guard's log and agent A's testimony only fix a
+//! partial order on the relevant times, so the investigator must reason
+//! over *all* compatible linear orders.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use indord::prelude::*;
+use indord::semantics;
+
+fn main() {
+    let mut voc = Vocabulary::new();
+
+    // IC(u, v, x): "x was in the compound continuously from time u to v".
+    //
+    // Guard's log:    IC(z1,z2,A), IC(z3,z4,B), z1<z2<z3<z4
+    // A's testimony:  IC(u1,u3,A), IC(u2,u4,B), u1<u2<u3<u4
+    let db = parse_database(
+        &mut voc,
+        "
+        IC(z1, z2, A); IC(z3, z4, B); z1 < z2 < z3 < z4;
+        IC(u1, u3, A); IC(u2, u4, B); u1 < u2 < u3 < u4;
+        ",
+    )
+    .expect("well-formed database");
+    println!("The evidence:\n{}", db.display(&voc));
+
+    // Integrity constraint: overlapping-but-not-identical IC intervals for
+    // the same agent are impossible. Rather than asserting ¬Ψ, the paper
+    // disjoins the violation pattern Ψ onto every query:
+    //     D ∧ ¬Ψ |= Φ   iff   D |= Ψ ∨ Φ.
+    let violation = parse_query(
+        &mut voc,
+        "exists x t1 t2 t3 t4 w.
+            IC(t1, t2, x) & IC(t3, t4, x) &
+            t1 < w & w < t2 & t3 < w & w < t4 &
+            (t1 < t3 | t2 < t4)",
+    )
+    .expect("well-formed constraint");
+
+    // "Did someone enter the compound twice?" — Ψ ∨ ∃x Φ(x) where Φ(x)
+    // says x was in over two intervals with distinct starting times.
+    let somebody = parse_query(
+        &mut voc,
+        "exists x t1 t2 t3 t4.
+            IC(t1, t2, x) & IC(t3, t4, x) & t1 < t3",
+    )
+    .expect("well-formed query");
+    // Time is dense: evaluate under the rational-order semantics |=_Q
+    // (the integrity constraint's interior witness w is a non-tight
+    // variable, so the order type matters — §2 of the paper).
+    let q_somebody = with_integrity_constraint(&violation, &somebody);
+    let verdict =
+        semantics::entails(&mut voc, &db, &q_somebody, OrderType::Q).expect("engine");
+    println!(
+        "Did someone enter twice?            {}",
+        if verdict.holds() { "YES — certain" } else { "not certain" }
+    );
+    assert!(verdict.holds());
+
+    // "Did agent A (respectively B) enter twice?" — Ψ ∨ Φ(A), Ψ ∨ Φ(B):
+    // each fails, with a countermodel exonerating that agent.
+    let phi_text = |who: &str| {
+        format!(
+            "exists t1 t2 t3 t4. IC(t1, t2, {who}) & IC(t3, t4, {who}) & t1 < t3"
+        )
+    };
+    for who in ["A", "B"] {
+        let (gdb, phi_who) =
+            parse_query_with_db(&mut voc, &db, &phi_text(who)).expect("query");
+        let q = with_integrity_constraint(&violation, &phi_who);
+        let verdict = semantics::entails(&mut voc, &gdb, &q, OrderType::Q).expect("engine");
+        println!(
+            "Did agent {who} enter twice?           {}",
+            if verdict.holds() { "YES — certain" } else { "not certain" }
+        );
+        assert!(!verdict.holds(), "not enough evidence against {who} alone");
+        if let Verdict::NaryCountermodel(m) = verdict {
+            println!(
+                "  a consistent scenario where {who} entered once only:\n{}",
+                indent(&m.display(&voc).to_string())
+            );
+        }
+    }
+
+    // "Did A or B enter twice?" — Ψ ∨ Φ(A) ∨ Φ(B): certain, even though
+    // neither disjunct alone is. This is genuinely disjunctive knowledge.
+    let (gdb1, phi_a) = parse_query_with_db(&mut voc, &db, &phi_text("A")).expect("query");
+    let (gdb2, phi_b) = parse_query_with_db(&mut voc, &gdb1, &phi_text("B")).expect("query");
+    let q_either = with_integrity_constraint(&violation, &phi_a.or(phi_b));
+    let verdict =
+        semantics::entails(&mut voc, &gdb2, &q_either, OrderType::Q).expect("engine");
+    println!(
+        "Did agent A or agent B enter twice? {}",
+        if verdict.holds() { "YES — certain" } else { "not certain" }
+    );
+    assert!(verdict.holds());
+
+    println!("\nConclusion: one of the two was in the compound twice; there");
+    println!("is not yet enough evidence to charge either agent individually.");
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("    {l}")).collect::<Vec<_>>().join("\n")
+}

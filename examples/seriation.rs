@@ -1,0 +1,113 @@
+//! Archaeological seriation (§1 of the paper, after Kendall).
+//!
+//! Several excavation trenches each yield a stratigraphic column — a
+//! *chain* of layers, oldest at the bottom. Artifact types label the
+//! layers where they were found. The union of `k` trenches is a width-`k`
+//! indefinite order database: layers within one trench are totally
+//! ordered, layers of different trenches are not.
+//!
+//! Certain-answer queries then settle chronology questions: "is type X
+//! certainly attested before type Y?", with countermodels exhibiting a
+//! chronology in which the claim fails.
+//!
+//! Run with `cargo run --example seriation`.
+
+use indord::entail::{bounded, paths, seq};
+use indord::prelude::*;
+
+fn main() {
+    let mut voc = Vocabulary::new();
+
+    // Three trenches; layers listed bottom (oldest) to top. Types:
+    //   Cord = cord-decorated pottery, Bead = glass beads,
+    //   Coin = silver coinage, Urn = burial urns.
+    let db = parse_database(
+        &mut voc,
+        "
+        // Trench I: Cord below Bead below Coin
+        Cord(i1); Bead(i2); Coin(i3); i1 < i2 < i3;
+        // Trench II: Cord below Bead&Urn layer
+        Cord(j1); Bead(j2); Urn(j2); j1 < j2;
+        // Trench III: Bead below Coin
+        Bead(k1); Coin(k2); k1 < k2;
+        ",
+    )
+    .expect("trenches are consistent");
+    let nd = db.normalize().expect("consistent");
+    println!("Trenches recorded; database width = {} (three observers).", nd.width());
+    assert_eq!(nd.width(), 3);
+
+    let mdb = indord::core::monadic::MonadicDatabase::from_normal(&voc, &nd)
+        .expect("artifact types are monadic");
+
+    let check = |voc: &mut Vocabulary, name: &str, text: &str, expect: bool| {
+        let q = parse_query(voc, text).expect("query");
+        let cq = &q.disjuncts()[0];
+        let mq = indord::core::monadic::MonadicQuery::from_conjunctive(voc, cq)
+            .expect("monadic");
+        // Decide with all three conjunctive engines — they must agree.
+        let by_paths = paths::entails(&mdb, &mq);
+        let by_bounded = bounded::entails(&mdb, &mq);
+        assert_eq!(by_paths, by_bounded);
+        if mq.is_sequential() {
+            let fw = mq.to_flexiword().expect("sequential");
+            assert_eq!(seq::entails(&mdb, &fw), by_paths);
+        }
+        println!(
+            "{name:<48} {}",
+            if by_paths { "certain" } else { "not certain" }
+        );
+        assert_eq!(by_paths, expect, "{name}");
+        by_paths
+    };
+
+    check(
+        &mut voc,
+        "Cord-ware certainly predates some coinage",
+        "exists x y. Cord(x) & x < y & Coin(y)",
+        true,
+    );
+    check(
+        &mut voc,
+        "Cord-ware certainly predates the urns",
+        "exists x y. Cord(x) & x < y & Urn(y)",
+        true,
+    );
+    check(
+        &mut voc,
+        "Beads certainly predate some coinage",
+        "exists x y. Bead(x) & x < y & Coin(y)",
+        true,
+    );
+    check(
+        &mut voc,
+        "Urns certainly predate coinage",
+        "exists x y. Urn(x) & x < y & Coin(y)",
+        false,
+    );
+    check(
+        &mut voc,
+        "Some layer holds beads and urns together",
+        "exists x. Bead(x) & Urn(x)",
+        true,
+    );
+    // A branching (nonsequential) query: a Cord layer with a later Bead
+    // layer and a later (possibly different) Urn layer.
+    check(
+        &mut voc,
+        "Cord predates both beads and urns (branching)",
+        "exists x y z. Cord(x) & x < y & Bead(y) & x < z & Urn(z)",
+        true,
+    );
+
+    // Show a countermodel for the failing claim.
+    let q = parse_query(&mut voc, "exists x y. Urn(x) & x < y & Coin(y)").expect("query");
+    let mq = indord::core::monadic::MonadicQuery::from_conjunctive(&voc, &q.disjuncts()[0])
+        .expect("monadic");
+    if let MonadicVerdict::Countermodel(m) = bounded::check(&mdb, &mq) {
+        println!("\nA chronology in which the urns do NOT predate coinage:");
+        println!("  {}", m.display(&voc));
+    } else {
+        unreachable!("claim was not certain");
+    }
+}

@@ -1,0 +1,165 @@
+//! The most valuable correctness check in the repository: every engine
+//! must agree with the naive minimal-model oracle on randomized inputs.
+
+use indord::core::atom::OrderRel;
+use indord::core::bitset::PredSet;
+use indord::core::flexi::FlexiWord;
+use indord::core::monadic::{MonadicDatabase, MonadicQuery};
+use indord::core::ordgraph::OrderGraph;
+use indord::core::sym::PredSym;
+use indord::entail::{bounded, disjunctive, modelcheck, naive, paths, seq};
+use indord::wqo;
+use proptest::prelude::*;
+
+const NPREDS: usize = 3;
+
+fn pred_set() -> impl Strategy<Value = PredSet> {
+    proptest::bits::u8::between(0, NPREDS)
+        .prop_map(|bits| {
+            (0..NPREDS)
+                .filter(|i| bits & (1 << i) != 0)
+                .map(PredSym::from_index)
+                .collect()
+        })
+}
+
+/// A random labelled dag on up to `n` vertices.
+fn labelled_dag(max_n: usize) -> impl Strategy<Value = (OrderGraph, Vec<PredSet>)> {
+    (1..=max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n * n, prop_oneof![Just(OrderRel::Lt), Just(OrderRel::Le), Just(OrderRel::Ne)]),
+            0..=n * 2,
+        );
+        let labels = proptest::collection::vec(pred_set(), n);
+        (Just(n), edges, labels).prop_map(|(n, raw_edges, labels)| {
+            let mut edges = Vec::new();
+            for (code, rel) in raw_edges {
+                let (i, j) = (code / n, code % n);
+                if i < j && rel != OrderRel::Ne {
+                    edges.push((i, j, rel));
+                }
+            }
+            (OrderGraph::from_dag_edges(n, &edges).expect("forward edges are acyclic"), labels)
+        })
+    })
+}
+
+fn db_strategy(max_n: usize) -> impl Strategy<Value = MonadicDatabase> {
+    labelled_dag(max_n).prop_map(|(g, l)| MonadicDatabase::new(g, l))
+}
+
+fn query_strategy(max_n: usize) -> impl Strategy<Value = MonadicQuery> {
+    labelled_dag(max_n).prop_map(|(g, l)| MonadicQuery::new(g, l))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// paths (Lemma 4.1 + SEQ) == bounded (Thm 4.7) == disjunctive
+    /// (Thm 5.3, singleton) == compiled (Thm 6.5 basis) == naive oracle.
+    #[test]
+    fn conjunctive_engines_agree(
+        db in db_strategy(5),
+        q in query_strategy(4),
+    ) {
+        let by_naive = naive::monadic_check(&db, std::slice::from_ref(&q)).unwrap().holds();
+        let by_paths = paths::entails(&db, &q);
+        let by_bounded = bounded::entails(&db, &q);
+        let by_disj = disjunctive::entails(&db, std::slice::from_ref(&q)).unwrap();
+        let by_compiled = wqo::compile_conjunctive(&q).entails(&db);
+        prop_assert_eq!(by_paths, by_naive, "paths vs naive");
+        prop_assert_eq!(by_bounded, by_naive, "bounded vs naive");
+        prop_assert_eq!(by_disj, by_naive, "disjunctive vs naive");
+        prop_assert_eq!(by_compiled, by_naive, "compiled vs naive");
+    }
+
+    /// Disjunctive engine == naive oracle on 2-disjunct queries, and its
+    /// countermodels are genuine.
+    #[test]
+    fn disjunctive_engine_agrees(
+        db in db_strategy(4),
+        q1 in query_strategy(3),
+        q2 in query_strategy(3),
+    ) {
+        let disjuncts = vec![q1, q2];
+        let by_naive = naive::monadic_check(&db, &disjuncts).unwrap().holds();
+        let verdict = disjunctive::check(&db, &disjuncts).unwrap();
+        prop_assert_eq!(verdict.holds(), by_naive);
+        if let Some(m) = verdict.countermodel() {
+            prop_assert!(modelcheck::is_model_of(m, &db), "countermodel supports D");
+            prop_assert!(!modelcheck::satisfies(m, &disjuncts), "countermodel falsifies Φ");
+        }
+    }
+
+    /// Sequential queries: SEQ == naive oracle, and SEQ countermodels are
+    /// genuine.
+    #[test]
+    fn seq_agrees_with_oracle(
+        db in db_strategy(5),
+        labels in proptest::collection::vec(pred_set(), 1..4),
+        rels in proptest::collection::vec(
+            prop_oneof![Just(OrderRel::Lt), Just(OrderRel::Le)], 3),
+    ) {
+        let mut fw = FlexiWord::empty();
+        for (i, l) in labels.iter().enumerate() {
+            if i == 0 {
+                fw.push(OrderRel::Lt, l.clone());
+            } else {
+                fw.push(rels[i - 1], l.clone());
+            }
+        }
+        let q = MonadicQuery::from_flexiword(&fw);
+        let by_naive = naive::monadic_check(&db, &[q.clone()]).unwrap().holds();
+        match seq::check(&db, &fw) {
+            indord::entail::MonadicVerdict::Entailed => prop_assert!(by_naive),
+            indord::entail::MonadicVerdict::Countermodel(m) => {
+                prop_assert!(!by_naive);
+                prop_assert!(modelcheck::is_model_of(&m, &db));
+                prop_assert!(!modelcheck::satisfies_conjunct(&m, &q));
+            }
+        }
+    }
+
+    /// Countermodel enumeration: every enumerated model is a genuine
+    /// countermodel, and enumeration is nonempty iff entailment fails.
+    #[test]
+    fn countermodel_enumeration_is_sound(
+        db in db_strategy(4),
+        q in query_strategy(3),
+    ) {
+        let disjuncts = vec![q];
+        let holds = disjunctive::entails(&db, &disjuncts).unwrap();
+        let models = disjunctive::countermodels(&db, &disjuncts, 64).unwrap();
+        prop_assert_eq!(holds, models.is_empty());
+        for m in &models {
+            prop_assert!(modelcheck::is_model_of(m, &db));
+            prop_assert!(!modelcheck::satisfies(m, &disjuncts));
+        }
+    }
+
+    /// The wqo order is monotone for entailment (Lemma 6.4): D1 ⊑ D2 and
+    /// D1 |= Φ imply D2 |= Φ.
+    #[test]
+    fn lemma_6_4_upward_closure(
+        d1 in db_strategy(3),
+        d2 in db_strategy(4),
+        q in query_strategy(3),
+    ) {
+        if wqo::db_le(&d1, &d2) && paths::entails(&d1, &q) {
+            prop_assert!(paths::entails(&d2, &q));
+        }
+    }
+
+    /// Greedy model checking (Cor 5.1) == backtracking model checking.
+    #[test]
+    fn modelcheck_greedy_equals_backtracking(
+        labels in proptest::collection::vec(pred_set(), 0..5),
+        q in query_strategy(4),
+    ) {
+        let m = indord::core::model::MonadicModel::new(labels);
+        prop_assert_eq!(
+            modelcheck::satisfies_conjunct(&m, &q),
+            q.holds_in_naive(&m)
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Cross-crate integration: semantics reductions against direct checks,
+//! containment round-trips, compiled queries in the full pipeline, and
+//! the public parsing surface.
+
+use indord::prelude::*;
+use indord::relalg::{contained_in, entailment_as_containment, RelQuery};
+use indord::semantics::{all_semantics, reduce_q, reduce_z};
+use proptest::prelude::*;
+
+/// Prop. 2.1 containments on randomized monadic inputs: Fin ⊆ Z ⊆ Q.
+#[test]
+fn semantics_containments_randomized() {
+    let mut runner = proptest::test_runner::TestRunner::new(ProptestConfig::with_cases(48));
+    runner
+        .run(
+            &(
+                proptest::collection::vec((0usize..3, 0usize..3, proptest::bool::ANY), 0..4),
+                proptest::collection::vec(0usize..3, 1..4),
+            ),
+            |(db_spec, q_spec)| {
+                let mut voc = Vocabulary::new();
+                let preds = ["P", "Q", "R"];
+                for p in preds {
+                    voc.monadic_pred(p);
+                }
+                // database: chain u0 < u1 < u2 with labels from spec, plus
+                // optional extra le edges
+                let mut text = String::from("P(u0); Q(u1); R(u2); u0 <= u1; ");
+                for (a, b, strict) in &db_spec {
+                    if a < b {
+                        text.push_str(&format!(
+                            "u{a} {} u{b}; ",
+                            if *strict { "<" } else { "<=" }
+                        ));
+                    }
+                }
+                let db = parse_database(&mut voc, &text).expect("db");
+                // query: sequence of labels, strict steps, with one
+                // order-only variable to keep it non-tight sometimes
+                let mut q = String::from("exists w");
+                for i in 0..q_spec.len() {
+                    q.push_str(&format!(" t{i}"));
+                }
+                q.push_str(". ");
+                for (i, p) in q_spec.iter().enumerate() {
+                    if i > 0 {
+                        q.push_str(&format!("& t{} < t{i} ", i - 1));
+                    }
+                    q.push_str(&format!("& {}(t{i}) ", preds[*p]));
+                }
+                let q = q.replacen(". & ", ". ", 1);
+                let q = parse_query(&mut voc, &q).expect("query");
+                let (fin, z, qq) = all_semantics(&mut voc, &db, &q).expect("semantics");
+                prop_assert!(!fin || z, "Fin ⊆ Z");
+                prop_assert!(!z || qq, "Z ⊆ Q");
+                Ok(())
+            },
+        )
+        .unwrap();
+}
+
+/// For tight queries the reductions are no-ops semantically: all three
+/// agree with the direct finite check.
+#[test]
+fn tight_reductions_agree_with_direct() {
+    let mut voc = Vocabulary::new();
+    let db = parse_database(&mut voc, "P(u); Q(v); u < v; P(w); v <= w;").unwrap();
+    for text in [
+        "exists s t. P(s) & s < t & Q(t)",
+        "exists s t. P(s) & s <= t & P(t)",
+        "(exists s. P(s) & Q(s)) | exists s t. Q(s) & s <= t & P(t)",
+    ] {
+        let q = parse_query(&mut voc, text).unwrap();
+        assert!(q.is_tight());
+        let direct = Engine::new(&voc).entails(&db, &q).unwrap().holds();
+        let via_z = {
+            let dz = reduce_z(&mut voc, &db, &q);
+            Engine::new(&voc).entails(&dz, &q).unwrap().holds()
+        };
+        let via_q = {
+            let qq = reduce_q(&q);
+            Engine::new(&voc).entails(&db, &qq).unwrap().holds()
+        };
+        assert_eq!(direct, via_z, "{text}");
+        assert_eq!(direct, via_q, "{text}");
+    }
+}
+
+/// Prop. 2.10 round trip: entailment → containment → entailment.
+#[test]
+fn containment_entailment_round_trip() {
+    let cases = [
+        ("P(u); Q(v); u < v;", "exists s t. P(s) & s < t & Q(t)", true),
+        ("P(u); Q(v); u < v;", "exists s t. Q(s) & s < t & P(t)", false),
+        ("P(u); Q(v); u <= v;", "exists s t. P(s) & s <= t & Q(t)", true),
+        ("pred P(ord); pred Q(ord); P(u); Q(v);", "exists s t. P(s) & s <= t & Q(t)", false),
+        ("P(u); Q(u);", "exists s. P(s) & Q(s)", true),
+    ];
+    for (db_text, q_text, expect) in cases {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, db_text).unwrap();
+        let q = parse_query(&mut voc, q_text).unwrap();
+        let direct = Engine::new(&voc).entails(&db, &q).unwrap().holds();
+        assert_eq!(direct, expect, "direct: {db_text} |= {q_text}");
+        let (q1, q2) =
+            entailment_as_containment(&mut voc, &db, &q.disjuncts()[0]).unwrap();
+        let via_containment = contained_in(&mut voc, &q1, &q2, OrderType::Fin).unwrap();
+        assert_eq!(via_containment, expect, "containment: {db_text} |= {q_text}");
+    }
+}
+
+/// Containment answers agree with brute-force falsification on sampled
+/// instances (soundness direction).
+#[test]
+fn containment_never_contradicted_by_samples() {
+    use indord::relalg::{find_counterexample, RelInstance, RelVal};
+    let mut voc = Vocabulary::new();
+    voc.pred("R", &[indord::core::sym::Sort::Object, indord::core::sym::Sort::Order])
+        .unwrap();
+    let r = voc.find_pred("R").unwrap();
+    let a = voc.obj("a");
+    let b = voc.obj("b");
+
+    let q1 = RelQuery::boolean(
+        parse_query(&mut voc, "exists x s y t. R(x, s) & R(y, t) & s < t")
+            .unwrap()
+            .disjuncts()[0]
+            .clone(),
+    );
+    let q2 = RelQuery::boolean(
+        parse_query(&mut voc, "exists x s y t. R(x, s) & R(y, t) & s <= t")
+            .unwrap()
+            .disjuncts()[0]
+            .clone(),
+    );
+    assert!(contained_in(&mut voc, &q1, &q2, OrderType::Fin).unwrap());
+    let mut instances = Vec::new();
+    for vals in [[1i64, 2], [2, 1], [3, 3], [0, 7]] {
+        let mut inst = RelInstance::default();
+        inst.insert(&voc, r, vec![RelVal::Obj(a), RelVal::Num(vals[0])]).unwrap();
+        inst.insert(&voc, r, vec![RelVal::Obj(b), RelVal::Num(vals[1])]).unwrap();
+        instances.push(inst);
+    }
+    assert!(find_counterexample(&q1, &q2, &instances).is_none());
+    assert!(find_counterexample(&q2, &q1, &instances).is_some());
+}
+
+/// Parsing, display, and re-parsing round-trips databases.
+#[test]
+fn parser_display_round_trip() {
+    let mut voc = Vocabulary::new();
+    let db = parse_database(
+        &mut voc,
+        "IC(z1, z2, A); P(u); z1 < z2; u <= z1; z2 != u;",
+    )
+    .unwrap();
+    let printed = db.display(&voc).to_string();
+    let mut voc2 = Vocabulary::new();
+    let db2 = parse_database(&mut voc2, &printed).unwrap();
+    assert_eq!(db.proper_atoms().len(), db2.proper_atoms().len());
+    assert_eq!(db.order_atoms().len(), db2.order_atoms().len());
+    // same entailments on a sample query
+    let q1 = parse_query(&mut voc, "exists s t x. IC(s, t, x) & s < t").unwrap();
+    let q2 = parse_query(&mut voc2, "exists s t x. IC(s, t, x) & s < t").unwrap();
+    assert_eq!(
+        Engine::new(&voc).entails(&db, &q1).unwrap().holds(),
+        Engine::new(&voc2).entails(&db2, &q2).unwrap().holds(),
+    );
+}
+
+/// The width computation matches the "number of observers" intuition on
+/// union-of-chains databases.
+#[test]
+fn width_matches_observer_count() {
+    for k in 1..=5usize {
+        let mut voc = Vocabulary::new();
+        let mut text = String::new();
+        for o in 0..k {
+            text.push_str(&format!("o{o}a < o{o}b; o{o}b < o{o}c;"));
+        }
+        let db = parse_database(&mut voc, &text).unwrap();
+        assert_eq!(db.normalize().unwrap().width(), k);
+    }
+}
+
+/// Inequality end to end: certain distinctness over the §7 extension.
+#[test]
+fn inequality_end_to_end() {
+    let mut voc = Vocabulary::new();
+    // Two distinct P-events at unknown order.
+    let db = parse_database(&mut voc, "P(u); P(v); u != v;").unwrap();
+    // "Two P's at genuinely distinct times" is certain…
+    let q = parse_query(&mut voc, "exists s t. P(s) & P(t) & s != t").unwrap();
+    assert!(Engine::new(&voc).entails(&db, &q).unwrap().holds());
+    // …but "a P strictly before a P" is also certain (either order works).
+    let q2 = parse_query(&mut voc, "exists s t. P(s) & s < t & P(t)").unwrap();
+    assert!(Engine::new(&voc).entails(&db, &q2).unwrap().holds());
+    // Without the != the latter fails.
+    let db2 = parse_database(&mut voc, "P(u2); P(v2); u2 <= u2;").unwrap();
+    let q3 = parse_query(&mut voc, "exists s t. P(s) & s < t & P(t)").unwrap();
+    assert!(!Engine::new(&voc).entails(&db2, &q3).unwrap().holds());
+}

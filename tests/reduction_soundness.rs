@@ -1,0 +1,157 @@
+//! Cross-validation of every hardness reduction against its reference
+//! decider — the "lower bound" half of reproducing Tables 1 and 2.
+
+use indord::prelude::*;
+use indord::reductions::{thm32, thm33, thm34, thm46, thm71};
+use indord::solvers::coloring::Graph;
+use indord::solvers::dnf::Dnf;
+use indord::solvers::formula::Formula;
+use indord::solvers::mono3sat::Mono3Sat;
+use indord::solvers::qbf::Pi2;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Theorem 3.2 (data complexity co-NP-hard): D(S) |= Φ iff S unsat.
+#[test]
+fn thm32_reduction_verified() {
+    let mut rng = StdRng::seed_from_u64(2001);
+    // Satisfiable random instances (distinct-variable clauses over 3 vars
+    // are always satisfiable) plus the canonical unsat unit conflict.
+    for _ in 0..4 {
+        let inst = Mono3Sat::random(&mut rng, 3, 1, 1);
+        let mut voc = Vocabulary::new();
+        let out = thm32::build(&mut voc, &inst, thm32::Layout::WidthTwo);
+        let got = Engine::new(&voc)
+            .with_strategy(Strategy::Naive)
+            .entails(&out.db, &out.query)
+            .unwrap()
+            .holds();
+        assert_eq!(got, !inst.satisfiable());
+    }
+    let unsat = Mono3Sat {
+        n_vars: 1,
+        pos_clauses: vec![[0, 0, 0]],
+        neg_clauses: vec![[0, 0, 0]],
+    };
+    let mut voc = Vocabulary::new();
+    let out = thm32::build(&mut voc, &unsat, thm32::Layout::WidthTwo);
+    assert!(Engine::new(&voc)
+        .with_strategy(Strategy::Naive)
+        .entails(&out.db, &out.query)
+        .unwrap()
+        .holds());
+}
+
+/// Theorem 3.3 (combined complexity Π₂ᵖ-hard): D |= Φ iff the Π₂ sentence
+/// is true.
+#[test]
+fn thm33_reduction_verified() {
+    let mut rng = StdRng::seed_from_u64(2002);
+    let mut both = [false, false];
+    for _ in 0..6 {
+        let pi2 = Pi2::random(&mut rng, 2, 2);
+        let mut voc = Vocabulary::new();
+        let out = thm33::build(&mut voc, &pi2);
+        let got = Engine::new(&voc)
+            .with_strategy(Strategy::Naive)
+            .entails(&out.db, &out.query)
+            .unwrap()
+            .holds();
+        assert_eq!(got, pi2.is_true());
+        both[usize::from(got)] = true;
+    }
+    assert!(both[0] || both[1]);
+}
+
+/// Theorem 3.4 (expression complexity NP-hard): E |= Φ(α) iff α is
+/// satisfiable.
+#[test]
+fn thm34_reduction_verified() {
+    let mut rng = StdRng::seed_from_u64(2003);
+    for _ in 0..25 {
+        let f = Formula::random(&mut rng, 4, 3);
+        let mut voc = Vocabulary::new();
+        let db = thm34::fixed_database(&mut voc);
+        let q = thm34::satisfiability_query(&mut voc, &f);
+        let got = Engine::new(&voc).entails(&db, &q).unwrap().holds();
+        assert_eq!(got, f.satisfiable_brute(4), "{f:?}");
+    }
+}
+
+/// Theorem 4.6 (monadic combined complexity co-NP-hard): D(α) |= Φ(α) iff
+/// α is a tautology — decided by three different engines.
+#[test]
+fn thm46_reduction_verified() {
+    let mut rng = StdRng::seed_from_u64(2004);
+    for _ in 0..30 {
+        let dnf = Dnf::random(&mut rng, 3, 4, true);
+        let want = dnf.is_tautology();
+        let mut voc = Vocabulary::new();
+        let out = thm46::build(&mut voc, &dnf);
+        assert_eq!(indord::entail::paths::entails(&out.db, &out.query), want);
+        assert_eq!(indord::entail::bounded::entails(&out.db, &out.query), want);
+        assert_eq!(
+            indord::entail::disjunctive::entails(&out.db, std::slice::from_ref(&out.query))
+                .unwrap(),
+            want
+        );
+    }
+}
+
+/// Theorem 7.1(1): expression complexity of [!=]-queries ~ 3-colourability.
+#[test]
+fn thm71_expression_verified() {
+    let mut rng = StdRng::seed_from_u64(2005);
+    for _ in 0..10 {
+        let g = Graph::random(&mut rng, 5, 0.5);
+        let mut voc = Vocabulary::new();
+        let (db, q) = thm71::build_expression(&mut voc, &g);
+        let got = Engine::new(&voc).entails(&db, &q).unwrap().holds();
+        assert_eq!(got, g.three_colorable(), "{g:?}");
+    }
+}
+
+/// Theorem 7.1(2): data complexity of a fixed sequential query over
+/// [!=]-databases ~ non-3-colourability.
+#[test]
+fn thm71_data_verified() {
+    let mut rng = StdRng::seed_from_u64(2006);
+    for _ in 0..8 {
+        let g = Graph::random(&mut rng, 5, 0.6);
+        let mut voc = Vocabulary::new();
+        let (db, q) = thm71::build_data(&mut voc, &g);
+        let got = Engine::new(&voc).entails(&db, &q).unwrap().holds();
+        assert_eq!(got, !g.three_colorable(), "{g:?}");
+    }
+}
+
+/// The [<=]-variants of Theorems 3.2 and 4.6 agree with their [<] forms.
+#[test]
+fn le_variants_verified() {
+    // Thm 3.2 [<=]: unsat unit conflict entailed, satisfiable not.
+    let unsat = Mono3Sat {
+        n_vars: 1,
+        pos_clauses: vec![[0, 0, 0]],
+        neg_clauses: vec![[0, 0, 0]],
+    };
+    let mut voc = Vocabulary::new();
+    let out = thm32::build_le_variant(&mut voc, &unsat);
+    assert!(Engine::new(&voc)
+        .with_strategy(Strategy::Naive)
+        .entails(&out.db, &out.query)
+        .unwrap()
+        .holds());
+
+    // Thm 4.6 [<=]: spot-check tautology and non-tautology.
+    let mut rng = StdRng::seed_from_u64(2007);
+    for _ in 0..10 {
+        let dnf = Dnf::random(&mut rng, 3, 3, true);
+        let mut voc = Vocabulary::new();
+        let le = thm46::build_le_variant(&mut voc, &dnf);
+        assert_eq!(
+            indord::entail::bounded::entails(&le.db, &le.query),
+            dnf.is_tautology(),
+            "{dnf:?}"
+        );
+    }
+}
