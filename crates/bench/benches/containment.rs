@@ -30,10 +30,7 @@ fn chain_pair(voc: &mut Vocabulary, n: usize) -> (RelQuery, RelQuery) {
             strict.push_str(&format!("& t{} < t{i} ", i - 1));
             loose.push_str(&format!("& t{} <= t{i} ", i - 1));
         }
-        let atom = format!(
-            "{}Rel(x{i}, t{i}) ",
-            if i == 0 { "" } else { "& " }
-        );
+        let atom = format!("{}Rel(x{i}, t{i}) ", if i == 0 { "" } else { "& " });
         strict.push_str(&atom);
         loose.push_str(&atom);
     }
@@ -48,9 +45,11 @@ fn bench_containment(c: &mut Criterion) {
         let mut voc = Vocabulary::new();
         voc.pred("Rel", &[Sort::Object, Sort::Order]).unwrap();
         let (q1, q2) = chain_pair(&mut voc, n);
-        for (ot, name) in
-            [(OrderType::Fin, "fin"), (OrderType::Z, "z"), (OrderType::Q, "q")]
-        {
+        for (ot, name) in [
+            (OrderType::Fin, "fin"),
+            (OrderType::Z, "z"),
+            (OrderType::Q, "q"),
+        ] {
             g.bench_with_input(
                 BenchmarkId::new(name, n),
                 &(q1.clone(), q2.clone(), ot),

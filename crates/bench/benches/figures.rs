@@ -62,17 +62,14 @@ fn bench_fig2_alignment(c: &mut Criterion) {
         let mk = |r: &mut rand::rngs::StdRng| -> Vec<indord_core::bitset::PredSet> {
             use rand::Rng;
             (0..len)
-                .map(|_| indord_core::bitset::PredSet::singleton(bases[r.gen_range(0..4)]))
+                .map(|_| indord_core::bitset::PredSet::singleton(bases[r.gen_range(0..4usize)]))
                 .collect()
         };
         let db = indord_wqo::union_of_words(&[mk(&mut r), mk(&mut r)]);
         // forbid A–G and C–T pairings
         let forbid = |x, y| {
             let graph = indord_core::ordgraph::OrderGraph::from_dag_edges(1, &[]).unwrap();
-            indord_core::monadic::MonadicQuery::new(
-                graph,
-                vec![[x, y].into_iter().collect()],
-            )
+            indord_core::monadic::MonadicQuery::new(graph, vec![[x, y].into_iter().collect()])
         };
         let violations = vec![forbid(a, gpred), forbid(cpred, t)];
         g.bench_with_input(BenchmarkId::new("feasible", len), &db, |b, db| {
@@ -84,7 +81,11 @@ fn bench_fig2_alignment(c: &mut Criterion) {
 
 fn bench_fig34_gadget(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig34/gadget");
-    let inst = Mono3Sat { n_vars: 3, pos_clauses: vec![[0, 1, 2]], neg_clauses: vec![] };
+    let inst = Mono3Sat {
+        n_vars: 3,
+        pos_clauses: vec![[0, 1, 2]],
+        neg_clauses: vec![],
+    };
     g.bench_function("build-independent", |b| {
         b.iter(|| {
             let mut voc = Vocabulary::new();

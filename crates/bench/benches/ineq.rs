@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use indord_bench::workloads;
-use indord_core::ordgraph::OrderGraph;
 use indord_core::monadic::MonadicQuery;
+use indord_core::ordgraph::OrderGraph;
 use indord_core::sym::Vocabulary;
 use indord_entail::{ineq, Engine};
 use indord_reductions::thm71;
@@ -26,13 +26,20 @@ fn bench_query_ne_data(c: &mut Criterion) {
     let qg = OrderGraph::from_dag_edges(2, &[]).unwrap();
     let mut q = MonadicQuery::new(
         qg,
-        vec![workloads::random_label(&mut r, 3), workloads::random_label(&mut r, 3)],
+        vec![
+            workloads::random_label(&mut r, 3),
+            workloads::random_label(&mut r, 3),
+        ],
     );
     q.ne.push((0, 1));
     for len in [32usize, 128, 512] {
         let db = workloads::observers_db_le(&mut r, 2, len, 3, 0.2);
         g.bench_with_input(BenchmarkId::new("fixed-query", db.len()), &db, |b, db| {
-            b.iter(|| ineq::entails_query_ne(db, std::slice::from_ref(&q), 64).unwrap().holds())
+            b.iter(|| {
+                ineq::entails_query_ne(db, std::slice::from_ref(&q), 64)
+                    .unwrap()
+                    .holds()
+            })
         });
     }
     g.finish();

@@ -24,7 +24,7 @@ fn bench_semantics(c: &mut Criterion) {
         use rand::Rng;
         for chain in ["a", "b"] {
             for i in 0..len {
-                let p = ["P", "Q", "R"][r.gen_range(0..3)];
+                let p = ["P", "Q", "R"][r.gen_range(0..3usize)];
                 text.push_str(&format!("{p}({chain}{i});"));
                 if i > 0 {
                     let rel = if r.gen_bool(0.2) { "<=" } else { "<" };
@@ -32,9 +32,11 @@ fn bench_semantics(c: &mut Criterion) {
                 }
             }
         }
-        for (ot, name) in
-            [(OrderType::Fin, "fin"), (OrderType::Z, "z"), (OrderType::Q, "q")]
-        {
+        for (ot, name) in [
+            (OrderType::Fin, "fin"),
+            (OrderType::Z, "z"),
+            (OrderType::Q, "q"),
+        ] {
             g.bench_with_input(
                 BenchmarkId::new(name, 2 * len),
                 &(text.clone(), ot),
@@ -42,11 +44,8 @@ fn bench_semantics(c: &mut Criterion) {
                     b.iter(|| {
                         let mut voc = Vocabulary::new();
                         let db = parse_database(&mut voc, text).unwrap();
-                        let q = parse_query(
-                            &mut voc,
-                            "exists s w t. P(s) & s < w & w < t & Q(t)",
-                        )
-                        .unwrap();
+                        let q = parse_query(&mut voc, "exists s w t. P(s) & s < w & w < t & Q(t)")
+                            .unwrap();
                         entails(&mut voc, &db, &q, *ot).unwrap().holds()
                     })
                 },

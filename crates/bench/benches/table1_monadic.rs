@@ -11,8 +11,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use indord_bench::workloads;
 use indord_core::model::MonadicModel;
-use indord_entail::{bounded, disjunctive, modelcheck, paths};
 use indord_core::sym::Vocabulary;
+use indord_entail::{bounded, disjunctive, modelcheck, paths};
 use indord_reductions::thm46;
 use indord_solvers::dnf::Dnf;
 use indord_wqo as wqo;
@@ -33,9 +33,11 @@ fn bench_data_monadic(c: &mut Criterion) {
     for len in [64usize, 256, 1024, 4096] {
         let db = workloads::observers_db_le(&mut r, 2, len / 2, 3, 0.2);
         g.throughput(Throughput::Elements(db.len() as u64));
-        g.bench_with_input(BenchmarkId::new("paths-fixed-query", db.len()), &db, |b, db| {
-            b.iter(|| paths::entails(db, &query))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("paths-fixed-query", db.len()),
+            &db,
+            |b, db| b.iter(|| paths::entails(db, &query)),
+        );
         g.bench_with_input(BenchmarkId::new("wqo-compiled", db.len()), &db, |b, db| {
             b.iter(|| compiled.entails(db))
         });
@@ -59,7 +61,9 @@ fn bench_expr_monadic(c: &mut Criterion) {
     let mut g = c.benchmark_group("t1/expr-monadic");
     let mut r = workloads::rng(43);
     let model = MonadicModel::new(
-        (0..256).map(|_| workloads::random_label(&mut r, 3)).collect(),
+        (0..256)
+            .map(|_| workloads::random_label(&mut r, 3))
+            .collect(),
     );
     for qn in [4usize, 8, 16, 32] {
         let q = workloads::random_query(&mut r, qn, 3);

@@ -10,8 +10,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use indord_bench::workloads;
-use indord_entail::{Engine, Strategy};
 use indord_core::sym::Vocabulary;
+use indord_entail::{Engine, Strategy};
 use indord_reductions::{thm32, thm33, thm34};
 use indord_solvers::formula::Formula;
 use indord_solvers::mono3sat::Mono3Sat;
@@ -72,16 +72,12 @@ fn bench_expr_nary(c: &mut Criterion) {
         let mut voc = Vocabulary::new();
         let db = thm34::fixed_database(&mut voc);
         let q = thm34::satisfiability_query(&mut voc, &f);
-        g.bench_with_input(
-            BenchmarkId::new("sat-query", f.size()),
-            &depth,
-            |b, _| {
-                b.iter(|| {
-                    let eng = Engine::new(&voc);
-                    let _ = eng.entails(&db, &q).unwrap().holds();
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("sat-query", f.size()), &depth, |b, _| {
+            b.iter(|| {
+                let eng = Engine::new(&voc);
+                let _ = eng.entails(&db, &q).unwrap().holds();
+            })
+        });
     }
     g.finish();
 }

@@ -52,7 +52,9 @@ fn bench_width(c: &mut Criterion) {
 fn bench_disjuncts(c: &mut Criterion) {
     let mut g = c.benchmark_group("thm53/disjuncts");
     let mut r = workloads::rng(62);
-    let pool: Vec<_> = (0..4).map(|_| workloads::random_query(&mut r, 3, 3)).collect();
+    let pool: Vec<_> = (0..4)
+        .map(|_| workloads::random_query(&mut r, 3, 3))
+        .collect();
     let db = workloads::observers_db_le(&mut r, 2, 16, 3, 0.2);
     for n in [1usize, 2, 3, 4] {
         let disjuncts = pool[..n].to_vec();
@@ -72,7 +74,9 @@ fn bench_enumeration_delay(c: &mut Criterion) {
         let db = workloads::observers_db_le(&mut r, 2, len, 3, 0.5);
         g.bench_with_input(BenchmarkId::new("first-16", db.len()), &db, |b, db| {
             b.iter(|| {
-                disjunctive::countermodels(db, std::slice::from_ref(&q), 16).unwrap().len()
+                disjunctive::countermodels(db, std::slice::from_ref(&q), 16)
+                    .unwrap()
+                    .len()
             })
         });
     }

@@ -51,10 +51,7 @@ fn structural_ladder(columns: usize) -> indord_core::monadic::MonadicQuery {
         }
     }
     let graph = indord_core::ordgraph::OrderGraph::from_dag_edges(n, &edges).unwrap();
-    indord_core::monadic::MonadicQuery::new(
-        graph,
-        vec![indord_core::bitset::PredSet::new(); n],
-    )
+    indord_core::monadic::MonadicQuery::new(graph, vec![indord_core::bitset::PredSet::new(); n])
 }
 
 /// A single-vertex query whose label no database point carries.
@@ -76,7 +73,11 @@ fn complete_dnf(m: usize) -> Dnf {
         let term = (0..m)
             .map(|i| {
                 let v = (i + 1) as i32;
-                if mask & (1 << i) != 0 { v } else { -v }
+                if mask & (1 << i) != 0 {
+                    v
+                } else {
+                    -v
+                }
             })
             .collect();
         terms.push(term);
@@ -112,7 +113,9 @@ fn table1_nary() {
         total += 1;
     }
     assert_eq!(agree, total);
-    println!("  [data]     Thm 3.2 vs DPLL agreement: {agree}/{total} (fixed query, width-2 databases)");
+    println!(
+        "  [data]     Thm 3.2 vs DPLL agreement: {agree}/{total} (fixed query, width-2 databases)"
+    );
 
     // Growth of the naive countermodel search on unsat families.
     let mut pts = Vec::new();
@@ -129,10 +132,16 @@ fn table1_nary() {
             assert!(eng.entails(&out.db, &out.query).unwrap().holds());
         });
         pts.push((out.db.len() as f64, secs(t)));
-        println!("  [data]     naive co-NP search, {m} clause pair(s): |D|={} t={:.4}s", out.db.len(), secs(t));
+        println!(
+            "  [data]     naive co-NP search, {m} clause pair(s): |D|={} t={:.4}s",
+            out.db.len(),
+            secs(t)
+        );
     }
     let ratio = pts[1].1 / pts[0].1.max(1e-9);
-    println!("  [data]     growth factor for ~2x database: {ratio:.1}x  (super-polynomial shape ✓)");
+    println!(
+        "  [data]     growth factor for ~2x database: {ratio:.1}x  (super-polynomial shape ✓)"
+    );
 
     // Expression complexity: Theorem 3.4 vs DPLL.
     let mut agree = 0;
@@ -196,11 +205,16 @@ fn table1_monadic() {
     let s1 = log_log_slope(&pts_paths);
     let s2 = log_log_slope(&pts_wqo);
     println!("  [data]     log-log slope: paths {s1:.2}, compiled {s2:.2}  (paper: linear, ≈1) ");
-    assert!(s1 < 1.7, "paths data complexity should be ~linear, got {s1}");
+    assert!(
+        s1 < 1.7,
+        "paths data complexity should be ~linear, got {s1}"
+    );
 
     // Expression complexity: model checking growing queries (Cor 5.1).
     let model = MonadicModel::new(
-        (0..512).map(|_| workloads::random_label(&mut r, 3)).collect(),
+        (0..512)
+            .map(|_| workloads::random_label(&mut r, 3))
+            .collect(),
     );
     let mut pts = Vec::new();
     for qn in [4usize, 8, 16, 32] {
@@ -235,7 +249,11 @@ fn table1_monadic() {
         let t = secs(time_median(3, || {
             let _ = paths::entails(&out.db, &out.query);
         }));
-        let note = if prev > 0.0 { format!("  ({:.1}x)", t / prev) } else { String::new() };
+        let note = if prev > 0.0 {
+            format!("  ({:.1}x)", t / prev)
+        } else {
+            String::new()
+        };
         println!("  [combined] Thm 4.6 m={m:2}: paths engine {t:.5}s{note}");
         prev = t;
     }
@@ -246,7 +264,9 @@ fn table1_monadic() {
 
 fn table2() {
     println!("## Table 2 — combined complexity of conjunctive monadic queries");
-    println!("paper: sequential PTIME (any width) | nonsequential PTIME (bounded) / co-NP (unbounded)\n");
+    println!(
+        "paper: sequential PTIME (any width) | nonsequential PTIME (bounded) / co-NP (unbounded)\n"
+    );
 
     // Sequential: SEQ slope in |D| at width 2 and in width at fixed |D|.
     let mut r = workloads::rng(1020);
@@ -277,7 +297,11 @@ fn table2() {
     let mut r = workloads::rng(1021);
     let q = workloads::ladder_query(&mut r, 3, 2);
     let _ = structural_ladder(2); // (helper exercised elsewhere)
-    for (k, lens) in [(1usize, [256usize, 1024, 4096]), (2, [64, 128, 256]), (3, [32, 64, 128])] {
+    for (k, lens) in [
+        (1usize, [256usize, 1024, 4096]),
+        (2, [64, 128, 256]),
+        (3, [32, 64, 128]),
+    ] {
         let mut pts = Vec::new();
         for len in lens {
             let db = workloads::observers_db_le(&mut r, k, len, 2, 0.2);
@@ -287,8 +311,14 @@ fn table2() {
             pts.push((db.len() as f64, t));
         }
         let s = log_log_slope(&pts);
-        println!("  [nonseq-b] Thm 4.7 width k={k}: measured exponent {s:.2} ≤ bound {}", k + 1);
-        assert!(s < (k + 1) as f64 + 0.5, "exponent must respect the Thm 4.7 bound");
+        println!(
+            "  [nonseq-b] Thm 4.7 width k={k}: measured exponent {s:.2} ≤ bound {}",
+            k + 1
+        );
+        assert!(
+            s < (k + 1) as f64 + 0.5,
+            "exponent must respect the Thm 4.7 bound"
+        );
     }
 
     // Nonsequential unbounded: the Theorem 4.6 family on *complete* DNFs
@@ -301,8 +331,15 @@ fn table2() {
         let t = secs(time_median(3, || {
             assert!(paths::entails(&out.db, &out.query));
         }));
-        let note = if prev > 0.0 { format!("  ({:.1}x per +2 vars)", t / prev) } else { String::new() };
-        println!("  [nonseq-u] Thm 4.6 m={m:2} (width {}): {t:.5}s{note}", out.db.width());
+        let note = if prev > 0.0 {
+            format!("  ({:.1}x per +2 vars)", t / prev)
+        } else {
+            String::new()
+        };
+        println!(
+            "  [nonseq-u] Thm 4.6 m={m:2} (width {}): {t:.5}s{note}",
+            out.db.width()
+        );
         prev = t;
     }
     println!();
@@ -313,7 +350,9 @@ fn table2() {
 fn thm53_ablation() {
     println!("## Theorem 5.3 — O(|D|^2k · |Pred| · Π|Φi|), ablations");
     let mut r = workloads::rng(1030);
-    let disjuncts: Vec<_> = (0..4).map(|_| workloads::random_query(&mut r, 3, 3)).collect();
+    let disjuncts: Vec<_> = (0..4)
+        .map(|_| workloads::random_query(&mut r, 3, 3))
+        .collect();
 
     // |D| sweep at k = 2 with an unsatisfiable-label disjunct: the pointer
     // never advances, so the search walks the full (S, T) space — the
@@ -326,9 +365,15 @@ fn thm53_ablation() {
             assert!(!disjunctive::entails(&db, &impossible).unwrap());
         }));
         pts.push((db.len() as f64, t));
-        println!("  [size]     |D|={:4} k=2 n=1(worst case): {t:.5}s", db.len());
+        println!(
+            "  [size]     |D|={:4} k=2 n=1(worst case): {t:.5}s",
+            db.len()
+        );
     }
-    println!("  [size]     empirical exponent: {:.2}  (paper: ≤ 2k = 4)", log_log_slope(&pts));
+    println!(
+        "  [size]     empirical exponent: {:.2}  (paper: ≤ 2k = 4)",
+        log_log_slope(&pts)
+    );
 
     // width sweep.
     for k in [1usize, 2, 3] {
@@ -348,7 +393,11 @@ fn thm53_ablation() {
         let t = secs(time_median(3, || {
             let _ = disjunctive::entails(&db, &disjuncts[..n]).unwrap();
         }));
-        let note = if prev > 0.0 { format!("  ({:.1}x)", t / prev) } else { String::new() };
+        let note = if prev > 0.0 {
+            format!("  ({:.1}x)", t / prev)
+        } else {
+            String::new()
+        };
         println!("  [disjunct] n={n}: {t:.5}s{note}");
         prev = t;
     }
@@ -362,7 +411,11 @@ fn thm53_ablation() {
         let t = secs(time_median(3, || {
             let _ = disjunctive::countermodels(&db, std::slice::from_ref(&q), 16).unwrap();
         }));
-        let per = if models.is_empty() { 0.0 } else { t / models.len() as f64 };
+        let per = if models.is_empty() {
+            0.0
+        } else {
+            t / models.len() as f64
+        };
         println!(
             "  [enum]     |D|={:3}: {} countermodels, {per:.6}s each (polynomial delay)",
             db.len(),
@@ -386,8 +439,11 @@ fn section2_semantics() {
 
     let mut voc = Vocabulary::new();
     let db = parse_database(&mut voc, "P(u); P(v); u < v;").unwrap();
-    let q = parse_query(&mut voc, "exists t1 t2 t3. P(t1) & t1 < t2 & t2 < t3 & P(t3)")
-        .unwrap();
+    let q = parse_query(
+        &mut voc,
+        "exists t1 t2 t3. P(t1) & t1 < t2 & t2 < t3 & P(t3)",
+    )
+    .unwrap();
     let (fin, z, qq) = all_semantics(&mut voc, &db, &q).unwrap();
     println!("  midpoint query:            Fin={fin} Z={z} Q={qq}  (paper: false/false/true)");
     assert_eq!((fin, z, qq), (false, false, true));
@@ -399,10 +455,16 @@ fn section2_semantics() {
         let mut voc = Vocabulary::new();
         let db = parse_database(&mut voc, "P(u); Q(v); u < v; R(w); v <= w;").unwrap();
         use rand::Rng;
-        let (a, b) = (["P", "Q", "R"][r.gen_range(0..3)], ["P", "Q", "R"][r.gen_range(0..3)]);
+        let (a, b) = (
+            ["P", "Q", "R"][r.gen_range(0..3usize)],
+            ["P", "Q", "R"][r.gen_range(0..3usize)],
+        );
         let rel = if i % 2 == 0 { "<" } else { "<=" };
-        let q = parse_query(&mut voc, &format!("exists s t. {a}(s) & s {rel} t & {b}(t)"))
-            .unwrap();
+        let q = parse_query(
+            &mut voc,
+            &format!("exists s t. {a}(s) & s {rel} t & {b}(t)"),
+        )
+        .unwrap();
         let (fin, z, qq) = all_semantics(&mut voc, &db, &q).unwrap();
         agree += usize::from(fin == z && z == qq);
     }
@@ -443,7 +505,10 @@ fn klug_containment() {
     let mut voc = Vocabulary::new();
     voc.pred("S", &[Sort::Order, Sort::Order]).unwrap();
     let q1 = RelQuery::boolean(
-        parse_query(&mut voc, "exists s t. S(s, t) & s < t").unwrap().disjuncts()[0].clone(),
+        parse_query(&mut voc, "exists s t. S(s, t) & s < t")
+            .unwrap()
+            .disjuncts()[0]
+            .clone(),
     );
     let q2 = RelQuery::boolean(
         parse_query(&mut voc, "exists s w t. S(s, t) & s < w & w < t")
@@ -473,7 +538,11 @@ fn klug_containment() {
         ),
         (false, 1, 0, Formula::Var(0)),
     ] {
-        let pi2 = Pi2 { n_universal: n_u, n_existential: n_e, matrix };
+        let pi2 = Pi2 {
+            n_universal: n_u,
+            n_existential: n_e,
+            matrix,
+        };
         assert_eq!(pi2.is_true(), truth);
         let mut voc = Vocabulary::new();
         let inst = thm33::build(&mut voc, &pi2);
@@ -519,7 +588,10 @@ fn wqo_compilation() {
     let disjuncts = vec![q1, q2];
     let compiled = wqo::bounded_basis_search(
         &disjuncts,
-        wqo::SearchLimits { max_chains: 2, max_letters: 3 },
+        wqo::SearchLimits {
+            max_chains: 2,
+            max_letters: 3,
+        },
     )
     .unwrap();
     let mut agree = 0;

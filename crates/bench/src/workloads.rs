@@ -8,10 +8,11 @@
 
 use indord_core::atom::OrderRel;
 use indord_core::bitset::PredSet;
+use indord_core::database::Database;
 use indord_core::flexi::FlexiWord;
 use indord_core::monadic::{MonadicDatabase, MonadicQuery};
 use indord_core::ordgraph::OrderGraph;
-use indord_core::sym::PredSym;
+use indord_core::sym::{PredSym, Vocabulary};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -32,12 +33,7 @@ pub fn random_label<R: Rng>(rng: &mut R, n_preds: usize) -> PredSet {
 
 /// A width-`k` monadic database: `k` disjoint chains of `len` strictly
 /// ordered labelled points (the "k observers" shape of §2).
-pub fn observers_db<R: Rng>(
-    rng: &mut R,
-    k: usize,
-    len: usize,
-    n_preds: usize,
-) -> MonadicDatabase {
+pub fn observers_db<R: Rng>(rng: &mut R, k: usize, len: usize, n_preds: usize) -> MonadicDatabase {
     observers_db_le(rng, k, len, n_preds, 0.0)
 }
 
@@ -71,11 +67,59 @@ pub fn observers_db_le<R: Rng>(
     MonadicDatabase::new(graph, labels)
 }
 
+/// As [`observers_db_le`] but at the [`Database`] level: the vocabulary
+/// gains monadic predicates `P0..P{n_preds}`, and the database holds the
+/// raw facts and order atoms (the input shape of the engine facade and
+/// of `Session`s, exercising normalization in the measurement).
+pub fn observers_database<R: Rng>(
+    voc: &mut Vocabulary,
+    rng: &mut R,
+    k: usize,
+    len: usize,
+    n_preds: usize,
+    le_fraction: f64,
+) -> Database {
+    let preds: Vec<PredSym> = (0..n_preds)
+        .map(|i| voc.monadic_pred(&format!("P{i}")))
+        .collect();
+    let mut db = Database::new();
+    for c in 0..k {
+        let mut chain = Vec::with_capacity(len);
+        for i in 0..len {
+            let t = voc.ord(&format!("t{c}_{i}"));
+            chain.push(t);
+            let label = random_label(rng, n_preds);
+            for p in label.iter() {
+                db.push_proper(
+                    indord_core::atom::ProperAtom::new(
+                        voc,
+                        preds[p.index()],
+                        vec![indord_core::atom::Term::Ord(t)],
+                    )
+                    .expect("monadic order atom"),
+                );
+            }
+        }
+        for w in chain.windows(2) {
+            if le_fraction > 0.0 && rng.gen_bool(le_fraction) {
+                db.assert_le(w[0], w[1]);
+            } else {
+                db.assert_lt(w[0], w[1]);
+            }
+        }
+    }
+    db
+}
+
 /// A random flexi-word of the given length (sequential query).
 pub fn random_flexiword<R: Rng>(rng: &mut R, len: usize, n_preds: usize) -> FlexiWord {
     let mut w = FlexiWord::empty();
     for i in 0..len {
-        let rel = if i == 0 || rng.gen_bool(0.7) { OrderRel::Lt } else { OrderRel::Le };
+        let rel = if i == 0 || rng.gen_bool(0.7) {
+            OrderRel::Lt
+        } else {
+            OrderRel::Le
+        };
         w.push(rel, random_label(rng, n_preds));
     }
     w
@@ -169,8 +213,7 @@ mod tests {
 
     #[test]
     fn slope_of_quadratic_is_two() {
-        let pts: Vec<(f64, f64)> =
-            (1..=6).map(|i| (i as f64, (i * i) as f64)).collect();
+        let pts: Vec<(f64, f64)> = (1..=6).map(|i| (i as f64, (i * i) as f64)).collect();
         let s = log_log_slope(&pts);
         assert!((s - 2.0).abs() < 1e-9, "{s}");
     }

@@ -159,17 +159,29 @@ pub struct OrderAtom {
 impl OrderAtom {
     /// `u < v`.
     pub fn lt(lhs: OrdSym, rhs: OrdSym) -> Self {
-        OrderAtom { lhs, rel: OrderRel::Lt, rhs }
+        OrderAtom {
+            lhs,
+            rel: OrderRel::Lt,
+            rhs,
+        }
     }
 
     /// `u <= v`.
     pub fn le(lhs: OrdSym, rhs: OrdSym) -> Self {
-        OrderAtom { lhs, rel: OrderRel::Le, rhs }
+        OrderAtom {
+            lhs,
+            rel: OrderRel::Le,
+            rhs,
+        }
     }
 
     /// `u != v`.
     pub fn ne(lhs: OrdSym, rhs: OrdSym) -> Self {
-        OrderAtom { lhs, rel: OrderRel::Ne, rhs }
+        OrderAtom {
+            lhs,
+            rel: OrderRel::Ne,
+            rhs,
+        }
     }
 
     /// Renders the atom using vocabulary names.
@@ -222,7 +234,14 @@ mod tests {
         let p = v.find_pred("P").unwrap();
         let a = v.obj("a");
         let e = ProperAtom::new(&v, p, vec![Term::Obj(a)]).unwrap_err();
-        assert!(matches!(e, CoreError::ArityMismatch { expected: 2, found: 1, .. }));
+        assert!(matches!(
+            e,
+            CoreError::ArityMismatch {
+                expected: 2,
+                found: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -31,7 +31,9 @@ impl BitSet {
     /// Creates an empty set with capacity for indices `< n` without
     /// reallocation.
     pub fn with_capacity(n: usize) -> Self {
-        BitSet { words: vec![0; n.div_ceil(64)] }
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
     }
 
     /// Creates the set `{0, 1, ..., n-1}`.
@@ -133,7 +135,11 @@ impl BitSet {
 
     /// Iterates the elements in increasing order.
     pub fn iter(&self) -> BitSetIter<'_> {
-        BitSetIter { set: self, word: 0, bits: self.words.first().copied().unwrap_or(0) }
+        BitSetIter {
+            set: self,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// Smallest element, if any.

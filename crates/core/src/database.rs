@@ -54,7 +54,11 @@ impl Database {
     /// Adds a chain `u₁ r u₂ r … r uₙ` of order atoms with one relation.
     pub fn assert_chain(&mut self, rel: OrderRel, chain: &[OrdSym]) {
         for w in chain.windows(2) {
-            self.order.push(OrderAtom { lhs: w[0], rel, rhs: w[1] });
+            self.order.push(OrderAtom {
+                lhs: w[0],
+                rel,
+                rhs: w[1],
+            });
         }
     }
 
@@ -238,7 +242,9 @@ impl NormalDatabase {
 
     /// Proper atoms that mention no order constant (the *definite* part).
     pub fn definite_atoms(&self) -> impl Iterator<Item = &ProperAtom> {
-        self.proper.iter().filter(|a| a.order_args().next().is_none())
+        self.proper
+            .iter()
+            .filter(|a| a.order_args().next().is_none())
     }
 }
 
@@ -249,7 +255,8 @@ mod tests {
 
     fn setup() -> (Vocabulary, Database) {
         let mut voc = Vocabulary::new();
-        voc.pred("IC", &[Sort::Order, Sort::Order, Sort::Object]).unwrap();
+        voc.pred("IC", &[Sort::Order, Sort::Order, Sort::Object])
+            .unwrap();
         (voc, Database::new())
     }
 
@@ -261,10 +268,18 @@ mod tests {
         let a = voc.obj("A");
         let b = voc.obj("B");
         let z: Vec<_> = (1..=4).map(|i| voc.ord(&format!("z{i}"))).collect();
-        db.assert_fact(&voc, ic, vec![Term::Ord(z[0]), Term::Ord(z[1]), Term::Obj(a)])
-            .unwrap();
-        db.assert_fact(&voc, ic, vec![Term::Ord(z[2]), Term::Ord(z[3]), Term::Obj(b)])
-            .unwrap();
+        db.assert_fact(
+            &voc,
+            ic,
+            vec![Term::Ord(z[0]), Term::Ord(z[1]), Term::Obj(a)],
+        )
+        .unwrap();
+        db.assert_fact(
+            &voc,
+            ic,
+            vec![Term::Ord(z[2]), Term::Ord(z[3]), Term::Obj(b)],
+        )
+        .unwrap();
         db.assert_chain(OrderRel::Lt, &z);
         assert_eq!(db.len(), 5);
         assert_eq!(db.order_constant_count(), 4);

@@ -62,16 +62,27 @@ pub enum CoreError {
         /// The configured limit.
         limit: usize,
     },
+    /// A session's cached views were built against a different vocabulary
+    /// than the one now supplied (sessions are single-vocabulary).
+    VocabularyMismatch,
 }
 
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CoreError::ArityMismatch { pred, expected, found } => write!(
+            CoreError::ArityMismatch {
+                pred,
+                expected,
+                found,
+            } => write!(
                 f,
                 "predicate `{pred}` declared with arity {expected} but used with {found} arguments"
             ),
-            CoreError::SortMismatch { pred, position, expected } => write!(
+            CoreError::SortMismatch {
+                pred,
+                position,
+                expected,
+            } => write!(
                 f,
                 "predicate `{pred}` argument {position} must have sort {expected:?}"
             ),
@@ -85,7 +96,10 @@ impl fmt::Display for CoreError {
                 write!(f, "variable `{name}` is not bound by any quantifier")
             }
             CoreError::NotMonadic { pred } => {
-                write!(f, "operation requires monadic predicates; `{pred}` is not monadic")
+                write!(
+                    f,
+                    "operation requires monadic predicates; `{pred}` is not monadic"
+                )
             }
             CoreError::NotSequential => {
                 write!(f, "operation requires a sequential (width-one) query")
@@ -95,6 +109,12 @@ impl fmt::Display for CoreError {
             }
             CoreError::CapExceeded { what, limit } => {
                 write!(f, "enumeration cap exceeded for {what} (limit {limit})")
+            }
+            CoreError::VocabularyMismatch => {
+                write!(
+                    f,
+                    "session views were cached against a different vocabulary"
+                )
             }
         }
     }
@@ -108,7 +128,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = CoreError::ArityMismatch { pred: "P".into(), expected: 2, found: 3 };
+        let e = CoreError::ArityMismatch {
+            pred: "P".into(),
+            expected: 2,
+            found: 3,
+        };
         let s = e.to_string();
         assert!(s.contains("P") && s.contains('2') && s.contains('3'));
     }

@@ -42,7 +42,10 @@ impl FlexiWord {
 
     /// A one-letter flexi-word.
     pub fn letter(a: PredSet) -> Self {
-        FlexiWord { labels: vec![a], rels: Vec::new() }
+        FlexiWord {
+            labels: vec![a],
+            rels: Vec::new(),
+        }
     }
 
     /// Builds a *word*: all relations strict.
@@ -61,7 +64,10 @@ impl FlexiWord {
             labels.len().max(1),
             "flexi-word shape: n labels need n-1 relations"
         );
-        assert!(rels.iter().all(|r| *r != OrderRel::Ne), "!= cannot occur in a flexi-word");
+        assert!(
+            rels.iter().all(|r| *r != OrderRel::Ne),
+            "!= cannot occur in a flexi-word"
+        );
         FlexiWord { labels, rels }
     }
 
@@ -119,7 +125,10 @@ impl FlexiWord {
     /// # Panics
     /// If either flexi-word is not a word.
     pub fn is_subword_of(&self, other: &FlexiWord) -> bool {
-        assert!(self.is_word() && other.is_word(), "subword is defined on words");
+        assert!(
+            self.is_word() && other.is_word(),
+            "subword is defined on words"
+        );
         let mut j = 0;
         for b in &other.labels {
             if j == self.labels.len() {

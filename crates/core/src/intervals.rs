@@ -160,7 +160,11 @@ impl IntervalStore {
     /// Creates a store over a named ternary predicate.
     pub fn new(voc: &mut Vocabulary, pred_name: &str) -> Result<Self> {
         let pred = voc.pred(pred_name, &[Sort::Order, Sort::Order, Sort::Object])?;
-        Ok(IntervalStore { pred, db: Database::new(), intervals: Vec::new() })
+        Ok(IntervalStore {
+            pred,
+            db: Database::new(),
+            intervals: Vec::new(),
+        })
     }
 
     /// Asserts an interval for `object`, creating fresh endpoints named
@@ -171,12 +175,7 @@ impl IntervalStore {
     }
 
     /// Asserts an interval with strictly ordered endpoints.
-    pub fn assert_proper(
-        &mut self,
-        voc: &mut Vocabulary,
-        object: ObjSym,
-        hint: &str,
-    ) -> Interval {
+    pub fn assert_proper(&mut self, voc: &mut Vocabulary, object: ObjSym, hint: &str) -> Interval {
         self.assert_with(voc, object, hint, OrderRel::Lt)
     }
 
@@ -282,12 +281,7 @@ impl IntervalStore {
     /// The disjunction of [`IntervalStore::relation_query`] over a set of
     /// relations — e.g. "possibly before" is the *failure* of the
     /// complementary necessity query.
-    pub fn possibly_query(
-        &self,
-        i: Interval,
-        rs: &[AllenRelation],
-        j: Interval,
-    ) -> QueryExpr {
+    pub fn possibly_query(&self, i: Interval, rs: &[AllenRelation], j: Interval) -> QueryExpr {
         let complement: Vec<QueryExpr> = AllenRelation::ALL
             .iter()
             .filter(|r| !rs.contains(r))
@@ -296,7 +290,6 @@ impl IntervalStore {
         QueryExpr::Or(complement)
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -372,11 +365,14 @@ mod tests {
             let vals = [s1, e1, s2, e2];
             let mut holding = Vec::new();
             for r in AllenRelation::ALL {
-                let ok = r.endpoint_constraints().iter().all(|&(a, rel, b)| match rel {
-                    OrderRel::Lt => vals[a] < vals[b],
-                    OrderRel::Le => vals[a] <= vals[b],
-                    OrderRel::Ne => vals[a] != vals[b],
-                });
+                let ok = r
+                    .endpoint_constraints()
+                    .iter()
+                    .all(|&(a, rel, b)| match rel {
+                        OrderRel::Lt => vals[a] < vals[b],
+                        OrderRel::Le => vals[a] <= vals[b],
+                        OrderRel::Ne => vals[a] != vals[b],
+                    });
                 if ok {
                     holding.push(r);
                 }
@@ -423,7 +419,10 @@ mod tests {
                 }
             })
             .unwrap();
-            assert!(!all, "{r:?} cannot be necessary between unrelated intervals");
+            assert!(
+                !all,
+                "{r:?} cannot be necessary between unrelated intervals"
+            );
         }
     }
 
@@ -447,7 +446,10 @@ mod tests {
         })
         .unwrap();
         // complement certain ⟹ After impossible.
-        assert!(all, "Before was asserted, so the non-After disjunction is certain");
+        assert!(
+            all,
+            "Before was asserted, so the non-After disjunction is certain"
+        );
     }
 
     #[test]
@@ -455,7 +457,11 @@ mod tests {
         let (mut voc, mut store, i, j) = setup();
         store.relate(i, AllenRelation::Meets, j);
         let nd = store.db.normalize().unwrap();
-        assert_eq!(nd.vertex(i.end), nd.vertex(j.start), "meets merges e1 with s2");
+        assert_eq!(
+            nd.vertex(i.end),
+            nd.vertex(j.start),
+            "meets merges e1 with s2"
+        );
         let _ = &mut voc;
     }
 }

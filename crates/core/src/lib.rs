@@ -64,6 +64,7 @@ pub mod monadic;
 pub mod ordgraph;
 pub mod parse;
 pub mod query;
+pub mod session;
 pub mod sym;
 pub mod toposort;
 
@@ -78,5 +79,6 @@ pub mod prelude {
     pub use crate::ordgraph::OrderGraph;
     pub use crate::parse::{parse_database, parse_query};
     pub use crate::query::{ConjunctiveQuery, DnfQuery, QueryExpr};
+    pub use crate::session::Session;
     pub use crate::sym::{ObjSym, OrdSym, PredSym, Sort, Vocabulary};
 }

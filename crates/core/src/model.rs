@@ -11,10 +11,10 @@
 //! existential queries (the expression-complexity-in-NP observation of
 //! §3) by backtracking homomorphism search, including `!=` atoms (§7).
 
+use crate::atom::OrderRel;
 use crate::bitset::PredSet;
 use crate::query::{ConjunctiveQuery, DnfQuery, QArg};
 use crate::sym::{ObjSym, OrdSym, PredSym, Vocabulary};
-use crate::atom::OrderRel;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -83,10 +83,7 @@ impl FiniteModel {
         self.match_proper(cq, &by_pred, 0, &mut obj_assign, &mut ord_assign)
     }
 
-    fn order_atoms_consistent(
-        cq: &ConjunctiveQuery,
-        ord_assign: &[Option<usize>],
-    ) -> bool {
+    fn order_atoms_consistent(cq: &ConjunctiveQuery, ord_assign: &[Option<usize>]) -> bool {
         cq.order.iter().all(|&(l, rel, r)| {
             match (ord_assign[l as usize], ord_assign[r as usize]) {
                 (Some(a), Some(b)) => match rel {
@@ -120,9 +117,9 @@ impl FiniteModel {
             let mut bound_obj: Vec<usize> = Vec::new();
             let mut bound_ord: Vec<usize> = Vec::new();
             let undo = |obj_assign: &mut Vec<Option<ObjSym>>,
-                            ord_assign: &mut Vec<Option<usize>>,
-                            bound_obj: &[usize],
-                            bound_ord: &[usize]| {
+                        ord_assign: &mut Vec<Option<usize>>,
+                        bound_obj: &[usize],
+                        bound_ord: &[usize]| {
                 for &i in bound_obj {
                     obj_assign[i] = None;
                 }
@@ -310,9 +307,18 @@ mod tests {
             n_points: 3,
             point_of: HashMap::new(),
             facts: vec![
-                GroundFact { pred: p, args: vec![MTerm::Obj(a), MTerm::Pt(0)] },
-                GroundFact { pred: p, args: vec![MTerm::Obj(b), MTerm::Pt(2)] },
-                GroundFact { pred: q, args: vec![MTerm::Pt(1)] },
+                GroundFact {
+                    pred: p,
+                    args: vec![MTerm::Obj(a), MTerm::Pt(0)],
+                },
+                GroundFact {
+                    pred: p,
+                    args: vec![MTerm::Obj(b), MTerm::Pt(2)],
+                },
+                GroundFact {
+                    pred: q,
+                    args: vec![MTerm::Pt(1)],
+                },
             ],
         };
         (v, m)
@@ -332,12 +338,18 @@ mod tests {
             Box::new(QueryExpr::And(vec![
                 QueryExpr::Proper {
                     pred: p,
-                    args: vec![crate::query::QTerm::Var("x".into()), crate::query::QTerm::Var("s".into())],
+                    args: vec![
+                        crate::query::QTerm::Var("x".into()),
+                        crate::query::QTerm::Var("s".into()),
+                    ],
                 },
                 QueryExpr::lt("s", "t"),
                 QueryExpr::Proper {
                     pred: p,
-                    args: vec![crate::query::QTerm::Var("y".into()), crate::query::QTerm::Var("t".into())],
+                    args: vec![
+                        crate::query::QTerm::Var("y".into()),
+                        crate::query::QTerm::Var("t".into()),
+                    ],
                 },
             ])),
         );
@@ -355,12 +367,18 @@ mod tests {
             Box::new(QueryExpr::And(vec![
                 QueryExpr::Proper {
                     pred: p,
-                    args: vec![crate::query::QTerm::Var("x".into()), crate::query::QTerm::Var("s".into())],
+                    args: vec![
+                        crate::query::QTerm::Var("x".into()),
+                        crate::query::QTerm::Var("s".into()),
+                    ],
                 },
                 QueryExpr::lt("s", "t"),
                 QueryExpr::Proper {
                     pred: p,
-                    args: vec![crate::query::QTerm::Var("x".into()), crate::query::QTerm::Var("t".into())],
+                    args: vec![
+                        crate::query::QTerm::Var("x".into()),
+                        crate::query::QTerm::Var("t".into()),
+                    ],
                 },
             ])),
         );
@@ -433,7 +451,11 @@ mod tests {
     fn empty_model_satisfies_nothing_with_atoms() {
         let (v, _) = fixture();
         let q = v.find_pred("Q").unwrap();
-        let m = FiniteModel { n_points: 0, point_of: HashMap::new(), facts: vec![] };
+        let m = FiniteModel {
+            n_points: 0,
+            point_of: HashMap::new(),
+            facts: vec![],
+        };
         let e = QueryExpr::Exists(vec!["s".into()], Box::new(QueryExpr::atom1(q, "s")));
         assert!(!m.satisfies(&dnf(&v, e)));
     }

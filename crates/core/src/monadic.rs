@@ -31,12 +31,18 @@ pub struct MonadicDatabase {
 
 impl MonadicDatabase {
     /// Builds from a normalized database, requiring every proper atom to be
-    /// monadic over the order sort. Labels of constants merged by N1 are
-    /// unioned.
+    /// monadic. Monadic-order atoms become vertex labels (those of constants
+    /// merged by N1 are unioned); monadic-*object* atoms are definite facts
+    /// that constrain no order point — they are skipped here and evaluated
+    /// through the object-profile side of the §4 split
+    /// ([`crate::session::Session::object_profiles`]).
     pub fn from_normal(voc: &Vocabulary, db: &NormalDatabase) -> Result<Self> {
         let mut labels = vec![PredSet::new(); db.graph.len()];
         for a in &db.proper {
             let sig = voc.signature(a.pred);
+            if sig.is_monadic_object() {
+                continue;
+            }
             if !sig.is_monadic_order() {
                 return Err(CoreError::NotMonadic {
                     pred: voc.pred_name(a.pred).to_string(),
@@ -47,22 +53,35 @@ impl MonadicDatabase {
                 Term::Obj(_) => unreachable!("signature is order-sorted"),
             };
         }
-        Ok(MonadicDatabase { graph: db.graph.clone(), labels, ne: db.ne.clone() })
+        Ok(MonadicDatabase {
+            graph: db.graph.clone(),
+            labels,
+            ne: db.ne.clone(),
+        })
     }
 
     /// Builds directly from a dag and labels.
     pub fn new(graph: OrderGraph, labels: Vec<PredSet>) -> Self {
         assert_eq!(graph.len(), labels.len());
-        MonadicDatabase { graph, labels, ne: Vec::new() }
+        MonadicDatabase {
+            graph,
+            labels,
+            ne: Vec::new(),
+        }
     }
 
     /// Builds the width-one database of a flexi-word.
     pub fn from_flexiword(w: &FlexiWord) -> Self {
         let n = w.len();
-        let edges: Vec<(usize, usize, OrderRel)> =
-            (0..n.saturating_sub(1)).map(|i| (i, i + 1, w.rels()[i])).collect();
+        let edges: Vec<(usize, usize, OrderRel)> = (0..n.saturating_sub(1))
+            .map(|i| (i, i + 1, w.rels()[i]))
+            .collect();
         let graph = OrderGraph::from_dag_edges(n, &edges).expect("chain is acyclic");
-        MonadicDatabase { graph, labels: w.labels().to_vec(), ne: Vec::new() }
+        MonadicDatabase {
+            graph,
+            labels: w.labels().to_vec(),
+            ne: Vec::new(),
+        }
     }
 
     /// Number of vertices.
@@ -98,9 +117,8 @@ impl MonadicDatabase {
         let strict = self.graph.strict_reachability();
         let mut w = FlexiWord::empty();
         for (i, &v) in order.iter().enumerate() {
-            let rel = if i == 0 {
-                OrderRel::Lt // ignored for the first letter
-            } else if strict[order[i - 1]].contains(v) {
+            // The relation of the first letter is ignored by `push`.
+            let rel = if i == 0 || strict[order[i - 1]].contains(v) {
                 OrderRel::Lt
             } else {
                 OrderRel::Le
@@ -173,13 +191,21 @@ impl MonadicQuery {
     /// Builds directly from a dag and labels.
     pub fn new(graph: OrderGraph, labels: Vec<PredSet>) -> Self {
         assert_eq!(graph.len(), labels.len());
-        MonadicQuery { graph, labels, ne: Vec::new() }
+        MonadicQuery {
+            graph,
+            labels,
+            ne: Vec::new(),
+        }
     }
 
     /// Builds the sequential query of a flexi-word.
     pub fn from_flexiword(w: &FlexiWord) -> Self {
         let db = MonadicDatabase::from_flexiword(w);
-        MonadicQuery { graph: db.graph, labels: db.labels, ne: Vec::new() }
+        MonadicQuery {
+            graph: db.graph,
+            labels: db.labels,
+            ne: Vec::new(),
+        }
     }
 
     /// Number of order variables.
@@ -212,8 +238,12 @@ impl MonadicQuery {
         if !self.is_sequential() {
             return Err(CoreError::NotSequential);
         }
-        MonadicDatabase { graph: self.graph.clone(), labels: self.labels.clone(), ne: Vec::new() }
-            .to_flexiword()
+        MonadicDatabase {
+            graph: self.graph.clone(),
+            labels: self.labels.clone(),
+            ne: Vec::new(),
+        }
+        .to_flexiword()
     }
 
     /// Enumerates `Paths(Φ)` (Lemma 4.1): the maximal sequential subqueries
@@ -436,9 +466,22 @@ impl ObjectPart {
         for &(p, o) in facts {
             by_obj.entry(o).or_default().insert(p);
         }
+        let profiles: Vec<PredSet> = by_obj.into_values().collect();
+        self.holds_against(&profiles)
+    }
+
+    /// Evaluates against precomputed per-object predicate profiles (one
+    /// `PredSet` per object constant), as cached by
+    /// [`crate::session::Session::object_profiles`].
+    pub fn holds_against(&self, profiles: &[PredSet]) -> bool {
         self.requirements
             .iter()
-            .all(|req| by_obj.values().any(|have| req.is_subset(have)))
+            .all(|req| profiles.iter().any(|have| req.is_subset(have)))
+    }
+
+    /// True when the object part imposes no requirements.
+    pub fn is_empty(&self) -> bool {
+        self.requirements.is_empty()
     }
 }
 
@@ -463,7 +506,9 @@ pub fn split_object_part(
         } else if sig.is_monadic_order() {
             order_atoms.push(a.clone());
         } else {
-            return Err(CoreError::NotMonadic { pred: voc.pred_name(a.pred).to_string() });
+            return Err(CoreError::NotMonadic {
+                pred: voc.pred_name(a.pred).to_string(),
+            });
         }
     }
     let order_cq = ConjunctiveQuery {

@@ -57,7 +57,11 @@ impl OrderGraph {
     /// Builds a graph directly from deduplicated dag edges. Callers must
     /// guarantee acyclicity; [`OrderGraph::normalize`] is the checked path.
     pub fn from_dag_edges(n: usize, edges: &[(usize, usize, EdgeRel)]) -> Result<Self> {
-        let mut g = OrderGraph { n, succ: vec![Vec::new(); n], pred: vec![Vec::new(); n] };
+        let mut g = OrderGraph {
+            n,
+            succ: vec![Vec::new(); n],
+            pred: vec![Vec::new(); n],
+        };
         for &(u, v, rel) in edges {
             assert!(u < n && v < n, "edge endpoint out of range");
             debug_assert!(rel != OrderRel::Ne, "!= is not an order-graph edge");
@@ -126,7 +130,11 @@ impl OrderGraph {
         for (raw, &c) in scc.iter().enumerate() {
             members[c].push(raw);
         }
-        Ok(Normalized { graph, class_of: scc, members })
+        Ok(Normalized {
+            graph,
+            class_of: scc,
+            members,
+        })
     }
 
     fn add_edge_dedup(&mut self, u: usize, v: usize, rel: EdgeRel) {
@@ -181,8 +189,7 @@ impl OrderGraph {
     fn has_cycle(&self) -> bool {
         // Kahn's algorithm; cycle iff not all vertices are output.
         let mut indeg: Vec<usize> = (0..self.n).map(|v| self.pred[v].len()).collect();
-        let mut stack: Vec<usize> =
-            (0..self.n).filter(|&v| indeg[v] == 0).collect();
+        let mut stack: Vec<usize> = (0..self.n).filter(|&v| indeg[v] == 0).collect();
         let mut seen = 0;
         while let Some(u) = stack.pop() {
             seen += 1;
@@ -271,7 +278,11 @@ impl OrderGraph {
                 if v == u {
                     continue;
                 }
-                let rel = if strict[u].contains(v) { OrderRel::Lt } else { OrderRel::Le };
+                let rel = if strict[u].contains(v) {
+                    OrderRel::Lt
+                } else {
+                    OrderRel::Le
+                };
                 g.add_edge_dedup(u, v, rel);
             }
             // Strictly reachable vertices not in reach[u] cannot exist.
@@ -285,7 +296,10 @@ impl OrderGraph {
     pub fn minimal_within(&self, live: &BitSet) -> BitSet {
         let mut out = BitSet::with_capacity(self.n);
         for v in live.iter() {
-            if self.pred[v].iter().all(|&(u, _)| !live.contains(u as usize)) {
+            if self.pred[v]
+                .iter()
+                .all(|&(u, _)| !live.contains(u as usize))
+            {
                 out.insert(v);
             }
         }
@@ -309,8 +323,7 @@ impl OrderGraph {
                 continue;
             }
             let ok = self.pred[v].iter().all(|&(u, rel)| {
-                !live.contains(u as usize)
-                    || (rel == OrderRel::Le && minor.contains(u as usize))
+                !live.contains(u as usize) || (rel == OrderRel::Le && minor.contains(u as usize))
             });
             if ok {
                 minor.insert(v);
@@ -680,6 +693,9 @@ mod tests {
         let other = nz.class_of[2];
         assert_ne!(merged, other);
         assert_eq!(nz.members[merged].len(), 2);
-        assert!(nz.graph.edges().any(|(u, v, r)| u == merged && v == other && r == Lt));
+        assert!(nz
+            .graph
+            .edges()
+            .any(|(u, v, r)| u == merged && v == other && r == Lt));
     }
 }

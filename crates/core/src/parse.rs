@@ -189,8 +189,15 @@ struct Parser {
 /// An atom as parsed, before sort resolution.
 #[derive(Debug, Clone)]
 enum RawFact {
-    Proper { pred: String, args: Vec<String> },
-    Order { lhs: String, rel: OrderRel, rhs: String },
+    Proper {
+        pred: String,
+        args: Vec<String>,
+    },
+    Order {
+        lhs: String,
+        rel: OrderRel,
+        rhs: String,
+    },
 }
 
 impl Parser {
@@ -228,7 +235,10 @@ impl Parser {
     }
 
     fn err(&self, msg: &str) -> CoreError {
-        CoreError::Parse { offset: self.offset(), message: msg.to_string() }
+        CoreError::Parse {
+            offset: self.offset(),
+            message: msg.to_string(),
+        }
     }
 
     fn ident(&mut self) -> Result<String> {
@@ -357,7 +367,10 @@ impl Parser {
                         };
                         terms.push(t);
                     }
-                    db.push_proper(crate::atom::ProperAtom { pred: p, args: terms });
+                    db.push_proper(crate::atom::ProperAtom {
+                        pred: p,
+                        args: terms,
+                    });
                 }
                 RawFact::Order { lhs, rel, rhs } => {
                     let l = voc.ord(lhs);
@@ -372,7 +385,10 @@ impl Parser {
     /// `pred NAME(sorts)` lookahead: `pred` followed by an identifier.
     fn peek_is_decl(&self) -> bool {
         matches!(&self.tokens[self.pos].0, Tok::Ident(s) if s == "pred")
-            && matches!(&self.tokens.get(self.pos + 1).map(|t| &t.0), Some(Tok::Ident(_)))
+            && matches!(
+                &self.tokens.get(self.pos + 1).map(|t| &t.0),
+                Some(Tok::Ident(_))
+            )
     }
 
     /// Parses `pred NAME(ord, obj, ...)`.
@@ -427,7 +443,11 @@ impl Parser {
             let mut any = false;
             while let Some(rel) = self.rel() {
                 let next = self.ident()?;
-                out.push(RawFact::Order { lhs: prev.clone(), rel, rhs: next.clone() });
+                out.push(RawFact::Order {
+                    lhs: prev.clone(),
+                    rel,
+                    rhs: next.clone(),
+                });
                 prev = next;
                 any = true;
             }
@@ -450,7 +470,11 @@ impl Parser {
             self.bump();
             parts.push(self.conjunction(voc)?);
         }
-        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { QueryExpr::Or(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            QueryExpr::Or(parts)
+        })
     }
 
     fn conjunction(&mut self, voc: &mut Vocabulary) -> Result<QueryExpr> {
@@ -459,7 +483,11 @@ impl Parser {
             self.bump();
             parts.push(self.primary(voc)?);
         }
-        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { QueryExpr::And(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            QueryExpr::And(parts)
+        })
     }
 
     fn primary(&mut self, voc: &mut Vocabulary) -> Result<QueryExpr> {
@@ -526,7 +554,11 @@ impl Parser {
                         let next = self.ident()?;
                         let l = self.qterm(voc, &prev, Some(Sort::Order))?;
                         let r = self.qterm(voc, &next, Some(Sort::Order))?;
-                        atoms.push(QueryExpr::Order { lhs: l, rel, rhs: r });
+                        atoms.push(QueryExpr::Order {
+                            lhs: l,
+                            rel,
+                            rhs: r,
+                        });
                         prev = next;
                         any = true;
                     }
@@ -641,8 +673,7 @@ mod tests {
     fn parse_query_chain_and_parens() {
         let mut voc = Vocabulary::new();
         parse_database(&mut voc, "pred P(ord);").unwrap();
-        let q =
-            parse_query(&mut voc, "exists a b c. P(a) & a < b <= c & (P(b) | P(c))").unwrap();
+        let q = parse_query(&mut voc, "exists a b c. P(a) & a < b <= c & (P(b) | P(c))").unwrap();
         assert_eq!(q.disjuncts().len(), 2);
     }
 
@@ -650,8 +681,7 @@ mod tests {
     fn query_constants_are_guarded() {
         let mut voc = Vocabulary::new();
         let db = parse_database(&mut voc, "P(u); u < v; P(v);").unwrap();
-        let (db2, q) =
-            parse_query_with_db(&mut voc, &db, "exists t. P(t) & u < t").unwrap();
+        let (db2, q) = parse_query_with_db(&mut voc, &db, "exists t. P(t) & u < t").unwrap();
         // guard fact for `u` was added
         assert_eq!(db2.proper_atoms().len(), db.proper_atoms().len() + 1);
         assert!(q.is_tight());
@@ -677,8 +707,7 @@ mod tests {
     #[test]
     fn comments_are_skipped() {
         let mut voc = Vocabulary::new();
-        let db = parse_database(&mut voc, "// the guard's log\nP(u); // trailing\nu < v;")
-            .unwrap();
+        let db = parse_database(&mut voc, "// the guard's log\nP(u); // trailing\nu < v;").unwrap();
         assert_eq!(db.len(), 2);
     }
 
@@ -691,8 +720,7 @@ mod tests {
     #[test]
     fn explicit_declarations() {
         let mut voc = Vocabulary::new();
-        let db = parse_database(&mut voc, "pred P(ord); pred E(obj, ord); P(u); E(a, u);")
-            .unwrap();
+        let db = parse_database(&mut voc, "pred P(ord); pred E(obj, ord); P(u); E(a, u);").unwrap();
         assert_eq!(db.proper_atoms().len(), 2);
         let e = voc.find_pred("E").unwrap();
         assert_eq!(voc.signature(e).arg_sorts, vec![Sort::Object, Sort::Order]);

@@ -96,7 +96,10 @@ impl QueryExpr {
 
     /// A monadic proper atom `P(x)` on a named variable.
     pub fn atom1(pred: PredSym, var: &str) -> QueryExpr {
-        QueryExpr::Proper { pred, args: vec![QTerm::Var(var.into())] }
+        QueryExpr::Proper {
+            pred,
+            args: vec![QTerm::Var(var.into())],
+        }
     }
 
     /// Converts to disjunctive normal form and normalizes each disjunct.
@@ -122,8 +125,15 @@ impl QueryExpr {
 /// An atom with scope-resolved variables, produced during DNF flattening.
 #[derive(Debug, Clone)]
 enum FlatAtom {
-    Proper { pred: PredSym, args: Vec<FlatTerm> },
-    Order { lhs: FlatTerm, rel: OrderRel, rhs: FlatTerm },
+    Proper {
+        pred: PredSym,
+        args: Vec<FlatTerm>,
+    },
+    Order {
+        lhs: FlatTerm,
+        rel: OrderRel,
+        rhs: FlatTerm,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -158,9 +168,15 @@ fn flatten(
 
     match e {
         QueryExpr::Proper { pred, args } => {
-            let args = args.iter().map(|t| resolve(t, scope)).collect::<Result<Vec<_>>>()?;
+            let args = args
+                .iter()
+                .map(|t| resolve(t, scope))
+                .collect::<Result<Vec<_>>>()?;
             for d in acc.iter_mut() {
-                d.push(FlatAtom::Proper { pred: *pred, args: args.clone() });
+                d.push(FlatAtom::Proper {
+                    pred: *pred,
+                    args: args.clone(),
+                });
             }
             Ok(())
         }
@@ -168,7 +184,11 @@ fn flatten(
             let l = resolve(lhs, scope)?;
             let r = resolve(rhs, scope)?;
             for d in acc.iter_mut() {
-                d.push(FlatAtom::Order { lhs: l.clone(), rel: *rel, rhs: r.clone() });
+                d.push(FlatAtom::Order {
+                    lhs: l.clone(),
+                    rel: *rel,
+                    rhs: r.clone(),
+                });
             }
             Ok(())
         }
@@ -349,7 +369,10 @@ impl ConjunctiveQuery {
                         };
                         qargs.push(qa);
                     }
-                    proper.push(QueryAtom { pred: *pred, args: qargs });
+                    proper.push(QueryAtom {
+                        pred: *pred,
+                        args: qargs,
+                    });
                 }
                 FlatAtom::Order { lhs, rel, rhs } => {
                     let l = intern_ord(lhs, &mut ord_index);
@@ -473,8 +496,10 @@ impl ConjunctiveQuery {
     /// **Fullness** closure (§2): adds every derived order atom.
     pub fn to_full(&self) -> ConjunctiveQuery {
         let g = self.order_graph().full_closure();
-        let mut order: Vec<(u32, OrderRel, u32)> =
-            g.edges().map(|(u, v, rel)| (u as u32, rel, v as u32)).collect();
+        let mut order: Vec<(u32, OrderRel, u32)> = g
+            .edges()
+            .map(|(u, v, rel)| (u as u32, rel, v as u32))
+            .collect();
         for &(l, rel, r) in &self.order {
             if rel == OrderRel::Ne {
                 order.push((l, rel, r));
@@ -482,7 +507,10 @@ impl ConjunctiveQuery {
         }
         order.sort_unstable();
         order.dedup();
-        ConjunctiveQuery { order, ..self.clone() }
+        ConjunctiveQuery {
+            order,
+            ..self.clone()
+        }
     }
 
     /// Lemma 2.5 transform: assuming the disjunct is full, deletes order
@@ -548,7 +576,10 @@ impl ConjunctiveQuery {
             return Ok(vec![self.clone()]);
         }
         if 1usize.checked_shl(ne.len() as u32).is_none_or(|n| n > cap) {
-            return Err(CoreError::CapExceeded { what: "!= elimination".to_string(), limit: cap });
+            return Err(CoreError::CapExceeded {
+                what: "!= elimination".to_string(),
+                limit: cap,
+            });
         }
         let base: Vec<(u32, OrderRel, u32)> = self
             .order
@@ -566,7 +597,10 @@ impl ConjunctiveQuery {
                     order.push((r, OrderRel::Lt, l));
                 }
             }
-            let cand = ConjunctiveQuery { order, ..self.clone() };
+            let cand = ConjunctiveQuery {
+                order,
+                ..self.clone()
+            };
             if let Some(n) = cand.normalized() {
                 out.push(n);
             }
@@ -644,7 +678,9 @@ impl DnfQuery {
 
     /// A conjunctive query viewed as a one-disjunct DNF.
     pub fn conjunctive(cq: ConjunctiveQuery) -> DnfQuery {
-        DnfQuery { disjuncts: vec![cq] }
+        DnfQuery {
+            disjuncts: vec![cq],
+        }
     }
 
     /// True when every disjunct is tight (Prop. 2.2 applies).
@@ -659,7 +695,13 @@ impl DnfQuery {
 
     /// Fullness closure applied to every disjunct.
     pub fn to_full(&self) -> DnfQuery {
-        DnfQuery { disjuncts: self.disjuncts.iter().map(ConjunctiveQuery::to_full).collect() }
+        DnfQuery {
+            disjuncts: self
+                .disjuncts
+                .iter()
+                .map(ConjunctiveQuery::to_full)
+                .collect(),
+        }
     }
 
     /// Disjunction of two queries.
@@ -734,13 +776,13 @@ pub fn eliminate_constants(
         let mut guards: Vec<QueryExpr> = Vec::new();
         let mut fresh_vars: Vec<String> = Vec::new();
         let handle = |t: &QTerm,
-                          voc: &mut Vocabulary,
-                          new_db: &mut Database,
-                          obj_guard: &mut HashMap<ObjSym, (PredSym, String)>,
-                          ord_guard: &mut HashMap<OrdSym, (PredSym, String)>,
-                          counter: &mut usize,
-                          guards: &mut Vec<QueryExpr>,
-                          fresh_vars: &mut Vec<String>|
+                      voc: &mut Vocabulary,
+                      new_db: &mut Database,
+                      obj_guard: &mut HashMap<ObjSym, (PredSym, String)>,
+                      ord_guard: &mut HashMap<OrdSym, (PredSym, String)>,
+                      counter: &mut usize,
+                      guards: &mut Vec<QueryExpr>,
+                      fresh_vars: &mut Vec<String>|
          -> Result<QTerm> {
             match t {
                 QTerm::Var(_) => Ok(t.clone()),
@@ -837,7 +879,11 @@ pub fn eliminate_constants(
                     &mut guards,
                     &mut fresh_vars,
                 )?;
-                QueryExpr::Order { lhs: l, rel: *rel, rhs: r }
+                QueryExpr::Order {
+                    lhs: l,
+                    rel: *rel,
+                    rhs: r,
+                }
             }
             QueryExpr::And(ps) => QueryExpr::And(
                 ps.iter()
@@ -859,11 +905,21 @@ pub fn eliminate_constants(
         } else {
             let mut parts = guards;
             parts.push(core);
-            Ok(QueryExpr::Exists(fresh_vars, Box::new(QueryExpr::And(parts))))
+            Ok(QueryExpr::Exists(
+                fresh_vars,
+                Box::new(QueryExpr::And(parts)),
+            ))
         }
     }
 
-    let rewritten = rewrite(query, voc, &mut new_db, &mut obj_guard, &mut ord_guard, &mut counter)?;
+    let rewritten = rewrite(
+        query,
+        voc,
+        &mut new_db,
+        &mut obj_guard,
+        &mut ord_guard,
+        &mut counter,
+    )?;
     let dnf = rewritten.to_dnf(voc)?;
     Ok((new_db, dnf))
 }
@@ -931,7 +987,10 @@ mod tests {
     fn unbound_variable_is_an_error() {
         let v = voc();
         let e = QueryExpr::atom1(p(&v, "P"), "t");
-        assert!(matches!(e.to_dnf(&v), Err(CoreError::UnboundVariable { .. })));
+        assert!(matches!(
+            e.to_dnf(&v),
+            Err(CoreError::UnboundVariable { .. })
+        ));
     }
 
     #[test]
@@ -940,7 +999,10 @@ mod tests {
         // exists s t. s < t & t < s   is unsatisfiable
         let e = QueryExpr::Exists(
             vec!["s".into(), "t".into()],
-            Box::new(QueryExpr::And(vec![QueryExpr::lt("s", "t"), QueryExpr::lt("t", "s")])),
+            Box::new(QueryExpr::And(vec![
+                QueryExpr::lt("s", "t"),
+                QueryExpr::lt("t", "s"),
+            ])),
         );
         let d = e.to_dnf(&v).unwrap();
         assert!(d.is_empty());
@@ -1072,7 +1134,10 @@ mod tests {
         let e = QueryExpr::Exists(
             vec!["t".into()],
             Box::new(QueryExpr::And(vec![
-                QueryExpr::Proper { pred: pp, args: vec![QTerm::Var("t".into())] },
+                QueryExpr::Proper {
+                    pred: pp,
+                    args: vec![QTerm::Var("t".into())],
+                },
                 QueryExpr::Order {
                     lhs: QTerm::OrdConst(u),
                     rel: OrderRel::Lt,

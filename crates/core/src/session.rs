@@ -1,0 +1,497 @@
+//! Sessions: a [`Database`] plus lazily-computed, mutation-invalidated
+//! derived views.
+//!
+//! Every entailment algorithm of the paper consumes not the raw database
+//! but one of its derived forms: the N1/N2-normalized [`NormalDatabase`],
+//! the labelled-dag [`MonadicDatabase`] (§4), and the per-object predicate
+//! profiles that decide object parts of queries. Re-deriving those on
+//! every query is pure waste under repeated-query traffic, so a
+//! [`Session`] owns the database and caches each view on first use:
+//!
+//! * [`Session::normal`] — the normalized database (rules N1/N2,
+//!   consistency check, constant → vertex mapping);
+//! * [`Session::monadic`] — the labelled dag, when every stored predicate
+//!   is monadic over the order sort;
+//! * [`Session::object_profiles`] — for each object constant, the set of
+//!   monadic predicates asserted of it (evaluates `ObjectPart`s).
+//!
+//! Mutations go through the session ([`Session::push_proper`],
+//! [`Session::assert_lt`], …) and invalidate exactly what they must:
+//! inserting a proper fact over already-known order constants updates the
+//! cached views *in place* (the order dag is unchanged), while order
+//! atoms and facts over fresh constants drop the caches for lazy
+//! recomputation. The [`Session::epoch`] counter increments on every
+//! mutation, so external caches keyed on a session can detect staleness.
+//!
+//! Caches live in [`std::sync::OnceLock`]s: a `&Session` can be shared
+//! across threads serving the same (read-only) workload.
+//!
+//! A session must be used with a single [`Vocabulary`]: the first call to
+//! [`Session::monadic`] fixes the vocabulary whose signatures the cached
+//! view was built against.
+
+use crate::atom::{OrderRel, ProperAtom, Term};
+use crate::bitset::PredSet;
+use crate::database::{Database, NormalDatabase};
+use crate::error::Result;
+use crate::monadic::MonadicDatabase;
+use crate::sym::{ObjSym, OrdSym, PredSym, Vocabulary};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Per-object predicate profiles, derived from the definite part of the
+/// database (§4: object parts of queries are decided against these).
+#[derive(Debug, Clone, Default)]
+struct ObjectProfiles {
+    index_of: HashMap<ObjSym, usize>,
+    sets: Vec<PredSet>,
+}
+
+impl ObjectProfiles {
+    fn from_normal(nd: &NormalDatabase) -> Self {
+        let mut profiles = ObjectProfiles::default();
+        for a in nd.definite_atoms() {
+            if let (Some(Term::Obj(o)), 1) = (a.args.first(), a.args.len()) {
+                profiles.insert(a.pred, *o);
+            }
+        }
+        profiles
+    }
+
+    fn insert(&mut self, pred: PredSym, obj: ObjSym) {
+        let n = self.sets.len();
+        let i = *self.index_of.entry(obj).or_insert(n);
+        if i == self.sets.len() {
+            self.sets.push(PredSet::new());
+        }
+        self.sets[i].insert(pred);
+    }
+}
+
+/// Computes the per-object predicate profiles of a normalized database's
+/// definite part — the structure [`Session::object_profiles`] caches.
+/// One-shot callers (the unprepared compatibility path) use this
+/// directly.
+pub fn object_profiles_of(nd: &NormalDatabase) -> Vec<PredSet> {
+    ObjectProfiles::from_normal(nd).sets
+}
+
+/// Fingerprint of the vocabulary prefix a monadic view was built
+/// against: predicate count plus a hash of names and signatures. Later
+/// calls may use a *grown* vocabulary (new predicates cannot occur in
+/// the already-stored facts) but never a different one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct VocStamp {
+    preds: usize,
+    hash: u64,
+}
+
+impl VocStamp {
+    fn of(voc: &Vocabulary) -> Self {
+        VocStamp {
+            preds: voc.pred_count(),
+            hash: Self::hash_prefix(voc, voc.pred_count()),
+        }
+    }
+
+    fn hash_prefix(voc: &Vocabulary, preds: usize) -> u64 {
+        // FNV-1a over predicate names and argument sorts.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for i in 0..preds {
+            let p = PredSym::from_index(i);
+            for b in voc.pred_name(p).bytes() {
+                eat(b);
+            }
+            eat(0xFF);
+            for &s in &voc.signature(p).arg_sorts {
+                eat(s as u8);
+            }
+            eat(0xFE);
+        }
+        h
+    }
+
+    /// Re-hashes the stamped prefix on every call: vocabularies are tiny
+    /// (tens of bytes of predicate names), so this is nanoseconds against
+    /// the microseconds of an evaluation, and anything cheaper would have
+    /// to assume two distinct vocabularies with equal predicate counts
+    /// are the same — the exact silent-wrong-answer case the stamp exists
+    /// to catch.
+    fn accepts(&self, voc: &Vocabulary) -> bool {
+        voc.pred_count() >= self.preds && Self::hash_prefix(voc, self.preds) == self.hash
+    }
+}
+
+/// A database plus its cached derived views. See the module docs.
+#[derive(Debug, Default)]
+pub struct Session {
+    db: Database,
+    epoch: u64,
+    normal: OnceLock<Result<NormalDatabase>>,
+    monadic: OnceLock<Result<MonadicDatabase>>,
+    voc_stamp: OnceLock<VocStamp>,
+    profiles: OnceLock<ObjectProfiles>,
+}
+
+impl Clone for Session {
+    fn clone(&self) -> Self {
+        // Cached views are cheap to rebuild relative to cloning; start the
+        // clone cold so the two sessions never share stale state.
+        Session {
+            db: self.db.clone(),
+            epoch: self.epoch,
+            ..Session::default()
+        }
+    }
+}
+
+impl From<Database> for Session {
+    fn from(db: Database) -> Self {
+        Session::new(db)
+    }
+}
+
+impl Session {
+    /// Wraps a database in a fresh (cold-cache) session.
+    pub fn new(db: Database) -> Self {
+        Session {
+            db,
+            ..Session::default()
+        }
+    }
+
+    /// The underlying database (read-only; mutate through the session).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Unwraps back into the database, dropping the caches.
+    pub fn into_database(self) -> Database {
+        self.db
+    }
+
+    /// Mutation counter: increments on every insertion.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of atoms (`|D|`).
+    pub fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    /// True when the database has no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.db.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Cached views
+    // ------------------------------------------------------------------
+
+    /// The normalized database, computing and caching it on first use.
+    pub fn normal(&self) -> Result<&NormalDatabase> {
+        self.normal
+            .get_or_init(|| self.db.normalize())
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// The labelled-dag monadic view, computing and caching it on first
+    /// use. Errors if normalization fails, a stored predicate is not
+    /// monadic, or `voc` is not the vocabulary (or a grown version of
+    /// the vocabulary) the view was first built against.
+    pub fn monadic(&self, voc: &Vocabulary) -> Result<&MonadicDatabase> {
+        let nd = self.normal()?;
+        let stamp = self.voc_stamp.get_or_init(|| VocStamp::of(voc));
+        if !stamp.accepts(voc) {
+            return Err(crate::error::CoreError::VocabularyMismatch);
+        }
+        self.monadic
+            .get_or_init(|| MonadicDatabase::from_normal(voc, nd))
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// Predicate profiles of the object constants in the definite part of
+    /// the database, computing and caching them on first use.
+    pub fn object_profiles(&self) -> Result<&[PredSet]> {
+        let nd = self.normal()?;
+        Ok(&self
+            .profiles
+            .get_or_init(|| ObjectProfiles::from_normal(nd))
+            .sets)
+    }
+
+    /// True when [`Session::normal`] is already cached (test/observability
+    /// hook: a hot session performs no re-normalization).
+    pub fn is_warm(&self) -> bool {
+        matches!(self.normal.get(), Some(Ok(_)))
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation (incremental where the order dag is unchanged)
+    // ------------------------------------------------------------------
+
+    /// Adds a proper fact (validated against the vocabulary).
+    pub fn insert_fact(&mut self, voc: &Vocabulary, pred: PredSym, args: Vec<Term>) -> Result<()> {
+        self.push_proper(ProperAtom::new(voc, pred, args)?);
+        Ok(())
+    }
+
+    /// Adds an already-validated proper fact.
+    ///
+    /// When the atom's order arguments are all already mapped to dag
+    /// vertices, the cached views are updated in place; otherwise (a fresh
+    /// order constant appears) they are dropped and recomputed lazily.
+    pub fn push_proper(&mut self, atom: ProperAtom) {
+        self.epoch += 1;
+        let incremental = match self.normal.get() {
+            Some(Ok(nd)) => atom.order_args().all(|u| nd.vertex_of.contains_key(&u)),
+            _ => false,
+        };
+        if !incremental {
+            self.invalidate_all();
+            self.db.push_proper(atom);
+            return;
+        }
+
+        // The order dag is untouched: patch each computed view. A 1-ary
+        // atom is monadic-order or monadic-object exactly by the sort of
+        // its argument (construction validated it against the signature).
+        match (atom.args.first(), atom.args.len()) {
+            (Some(Term::Ord(u)), 1) => {
+                if let Some(Ok(mdb)) = self.monadic.get_mut() {
+                    let v = match self.normal.get() {
+                        Some(Ok(nd)) => nd.vertex_of[u],
+                        _ => unreachable!("incremental implies a warm normal cache"),
+                    };
+                    mdb.labels[v].insert(atom.pred);
+                }
+            }
+            (Some(Term::Obj(o)), 1) => {
+                // Definite monadic-object fact: the monadic view skips
+                // these (§4 split), only the profiles change.
+                if let Some(profiles) = self.profiles.get_mut() {
+                    profiles.insert(atom.pred, *o);
+                }
+            }
+            _ => {
+                // An n-ary fact: the monadic view (if any) no longer
+                // matches the database — it only exists for monadic ones.
+                self.monadic.take();
+            }
+        }
+        if let Some(Ok(nd)) = self.normal.get_mut() {
+            nd.proper.push(atom.clone());
+        }
+        self.db.push_proper(atom);
+    }
+
+    /// Adds `u < v`, dropping the cached views (the dag changes).
+    pub fn assert_lt(&mut self, u: OrdSym, v: OrdSym) {
+        self.mutate_order(|db| db.assert_lt(u, v));
+    }
+
+    /// Adds `u <= v`, dropping the cached views.
+    pub fn assert_le(&mut self, u: OrdSym, v: OrdSym) {
+        self.mutate_order(|db| db.assert_le(u, v));
+    }
+
+    /// Adds `u != v` (§7), dropping the cached views.
+    pub fn assert_ne(&mut self, u: OrdSym, v: OrdSym) {
+        self.mutate_order(|db| db.assert_ne(u, v));
+    }
+
+    /// Adds a chain of order atoms with one relation, dropping the caches.
+    pub fn assert_chain(&mut self, rel: OrderRel, chain: &[OrdSym]) {
+        self.mutate_order(|db| db.assert_chain(rel, chain));
+    }
+
+    /// Merges another database in, dropping the caches.
+    pub fn extend(&mut self, other: &Database) {
+        self.mutate_order(|db| db.extend(other));
+    }
+
+    fn mutate_order(&mut self, f: impl FnOnce(&mut Database)) {
+        self.epoch += 1;
+        self.invalidate_all();
+        f(&mut self.db);
+    }
+
+    fn invalidate_all(&mut self) {
+        self.normal.take();
+        self.monadic.take();
+        // The vocabulary stamp deliberately survives invalidation:
+        // mutations change the stored atoms, never the meaning of the
+        // already-interned symbols, and dropping it would silently
+        // re-open the mismatch guard after every insertion.
+        self.profiles.take();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_database;
+
+    #[test]
+    fn caches_warm_lazily_and_survive_reads() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "P(u); Q(v); u < v;").unwrap();
+        let s = Session::new(db);
+        assert!(!s.is_warm());
+        let n1 = s.normal().unwrap().graph.len();
+        assert!(s.is_warm());
+        let n2 = s.normal().unwrap().graph.len();
+        assert_eq!(n1, n2);
+        assert_eq!(s.monadic(&voc).unwrap().len(), 2);
+        assert_eq!(s.epoch(), 0);
+    }
+
+    #[test]
+    fn order_mutation_invalidates() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "pred P(ord); pred Q(ord); P(u); Q(v);").unwrap();
+        let mut s = Session::new(db);
+        assert_eq!(s.normal().unwrap().width(), 2);
+        let (u, v) = (voc.ord("u"), voc.ord("v"));
+        s.assert_lt(u, v);
+        assert!(!s.is_warm());
+        assert_eq!(s.normal().unwrap().width(), 1);
+        assert_eq!(s.epoch(), 1);
+    }
+
+    #[test]
+    fn incremental_fact_insert_updates_views_in_place() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "P(u); Q(v); u < v;").unwrap();
+        let mut s = Session::new(db);
+        let p = voc.find_pred("P").unwrap();
+        let q = voc.find_pred("Q").unwrap();
+        let mdb0 = s.monadic(&voc).unwrap().clone();
+        assert!(!mdb0.labels[1].contains(p));
+        // Insert P(v): order constant `v` is already a vertex.
+        let v = voc.ord("v");
+        s.insert_fact(&voc, p, vec![Term::Ord(v)]).unwrap();
+        assert!(s.is_warm(), "in-place update must keep the cache warm");
+        let mdb = s.monadic(&voc).unwrap();
+        let vx = s.normal().unwrap().vertex(v);
+        assert!(mdb.labels[vx].contains(p) && mdb.labels[vx].contains(q));
+        // And the patched view matches a cold recomputation.
+        let fresh = Session::new(s.database().clone());
+        assert_eq!(fresh.monadic(&voc).unwrap(), mdb);
+        assert_eq!(s.epoch(), 1);
+    }
+
+    #[test]
+    fn fresh_constant_invalidates() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "pred P(ord); P(u);").unwrap();
+        let mut s = Session::new(db);
+        s.normal().unwrap();
+        let p = voc.find_pred("P").unwrap();
+        let w = voc.ord("w");
+        s.insert_fact(&voc, p, vec![Term::Ord(w)]).unwrap();
+        assert!(!s.is_warm());
+        assert_eq!(s.normal().unwrap().graph.len(), 2);
+    }
+
+    #[test]
+    fn object_profiles_compute_and_update() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "pred Emp(obj); pred Boss(obj); Emp(alice);").unwrap();
+        let mut s = Session::new(db);
+        let emp = voc.find_pred("Emp").unwrap();
+        let boss = voc.find_pred("Boss").unwrap();
+        let profiles = s.object_profiles().unwrap();
+        assert_eq!(profiles.len(), 1);
+        assert!(profiles[0].contains(emp));
+        // Incremental definite insert extends the cached profiles.
+        let alice = voc.find_obj("alice").unwrap();
+        s.insert_fact(&voc, boss, vec![Term::Obj(alice)]).unwrap();
+        let profiles = s.object_profiles().unwrap();
+        assert!(profiles[0].contains(boss));
+        let fresh = Session::new(s.database().clone());
+        assert_eq!(fresh.object_profiles().unwrap(), profiles);
+    }
+
+    #[test]
+    fn nary_insert_invalidates_monadic_but_not_normal() {
+        let mut voc = Vocabulary::new();
+        voc.pred("R", &[crate::sym::Sort::Order, crate::sym::Sort::Order])
+            .unwrap();
+        let db = parse_database(&mut voc, "P(u); Q(v); u < v;").unwrap();
+        let mut s = Session::new(db);
+        assert!(s.monadic(&voc).is_ok());
+        let r = voc.find_pred("R").unwrap();
+        let (u, v) = (voc.ord("u"), voc.ord("v"));
+        s.insert_fact(&voc, r, vec![Term::Ord(u), Term::Ord(v)])
+            .unwrap();
+        assert!(s.is_warm(), "normal view updated in place");
+        assert!(s.monadic(&voc).is_err(), "monadic view must now reject");
+        assert_eq!(s.normal().unwrap().proper.len(), 3);
+    }
+
+    #[test]
+    fn inconsistent_database_error_is_cached_and_cleared() {
+        let mut voc = Vocabulary::new();
+        let mut db = Database::new();
+        let (u, v) = (voc.ord("u"), voc.ord("v"));
+        db.assert_lt(u, v);
+        db.assert_lt(v, u);
+        let mut s = Session::new(db);
+        assert!(s.normal().is_err());
+        assert!(s.normal().is_err());
+        // The session can recover if the database is rebuilt.
+        let mut fixed = Database::new();
+        fixed.assert_lt(u, v);
+        s = Session::new(fixed);
+        assert!(s.normal().is_ok());
+    }
+
+    #[test]
+    fn mismatched_vocabulary_is_rejected_grown_one_accepted() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "P(u); Q(v); u < v;").unwrap();
+        let s = Session::new(db);
+        assert!(s.monadic(&voc).is_ok());
+        // The same vocabulary, grown by a new predicate: still accepted.
+        voc.monadic_pred("R");
+        assert!(s.monadic(&voc).is_ok());
+        // A structurally different vocabulary: rejected, not silently
+        // answered off the stale view.
+        let mut other = Vocabulary::new();
+        other.monadic_pred("X");
+        other.monadic_pred("Y");
+        assert_eq!(
+            s.monadic(&other).unwrap_err(),
+            crate::error::CoreError::VocabularyMismatch
+        );
+        // The guard survives mutations: invalidating the cached views
+        // must not re-open the session to a foreign vocabulary.
+        let mut s = s;
+        let (a, b) = (voc.ord("a"), voc.ord("b"));
+        s.assert_le(a, b);
+        assert_eq!(
+            s.monadic(&other).unwrap_err(),
+            crate::error::CoreError::VocabularyMismatch
+        );
+        assert!(s.monadic(&voc).is_ok());
+    }
+
+    #[test]
+    fn clone_starts_cold_with_same_content() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "P(u); Q(v); u <= v;").unwrap();
+        let s = Session::new(db);
+        s.normal().unwrap();
+        let c = s.clone();
+        assert!(!c.is_warm());
+        assert_eq!(c.database(), s.database());
+    }
+}

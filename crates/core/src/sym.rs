@@ -139,20 +139,25 @@ impl Vocabulary {
     pub fn pred(&mut self, name: &str, arg_sorts: &[Sort]) -> Result<PredSym> {
         if let Some(i) = self.preds.lookup(name) {
             if self.sigs[i as usize].arg_sorts != arg_sorts {
-                return Err(CoreError::SignatureConflict { pred: name.to_string() });
+                return Err(CoreError::SignatureConflict {
+                    pred: name.to_string(),
+                });
             }
             return Ok(PredSym(i));
         }
         let i = self.preds.intern(name);
         debug_assert_eq!(i as usize, self.sigs.len());
-        self.sigs.push(Signature { arg_sorts: arg_sorts.to_vec() });
+        self.sigs.push(Signature {
+            arg_sorts: arg_sorts.to_vec(),
+        });
         Ok(PredSym(i))
     }
 
     /// Declares a monadic predicate over the order sort — the common case in
     /// §4–6 of the paper.
     pub fn monadic_pred(&mut self, name: &str) -> PredSym {
-        self.pred(name, &[Sort::Order]).expect("monadic signature conflict")
+        self.pred(name, &[Sort::Order])
+            .expect("monadic signature conflict")
     }
 
     /// Interns an object constant.

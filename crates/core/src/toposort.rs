@@ -136,11 +136,17 @@ fn go(
 pub fn all_sorts(graph: &OrderGraph, cap: usize) -> Result<Vec<TopoSort>> {
     let mut out = Vec::new();
     let outcome = for_each_sort(graph, &mut |stage_of, n_stages| {
-        out.push(TopoSort { stage_of: stage_of.to_vec(), n_stages });
+        out.push(TopoSort {
+            stage_of: stage_of.to_vec(),
+            n_stages,
+        });
         out.len() < cap
     })?;
     if outcome == EnumOutcome::Stopped {
-        return Err(CoreError::CapExceeded { what: "topological sorts".to_string(), limit: cap });
+        return Err(CoreError::CapExceeded {
+            what: "topological sorts".to_string(),
+            limit: cap,
+        });
     }
     Ok(out)
 }
@@ -161,7 +167,10 @@ pub fn canonical_sort(graph: &OrderGraph) -> TopoSort {
         live.difference_with(&minors);
         stage += 1;
     }
-    TopoSort { stage_of, n_stages: stage }
+    TopoSort {
+        stage_of,
+        n_stages: stage,
+    }
 }
 
 /// Builds the minimal model determined by a sort of a database's graph
@@ -191,12 +200,18 @@ pub fn model_of_sort(db: &NormalDatabase, sort: &TopoSort) -> FiniteModel {
         .collect();
     facts.sort();
     facts.dedup();
-    FiniteModel { n_points: sort.n_stages, point_of, facts }
+    FiniteModel {
+        n_points: sort.n_stages,
+        point_of,
+        facts,
+    }
 }
 
 /// Whether a sort respects the database's `!=` constraints (§7).
 pub fn sort_respects_ne(db: &NormalDatabase, sort: &TopoSort) -> bool {
-    db.ne.iter().all(|&(a, b)| sort.stage_of[a] != sort.stage_of[b])
+    db.ne
+        .iter()
+        .all(|&(a, b)| sort.stage_of[a] != sort.stage_of[b])
 }
 
 /// Enumerates the minimal models of a database, deduplicated by their
@@ -207,7 +222,10 @@ pub fn for_each_minimal_model(
     f: &mut dyn FnMut(&FiniteModel) -> bool,
 ) -> Result<EnumOutcome> {
     for_each_sort(&db.graph, &mut |stage_of, n_stages| {
-        let sort = TopoSort { stage_of: stage_of.to_vec(), n_stages };
+        let sort = TopoSort {
+            stage_of: stage_of.to_vec(),
+            n_stages,
+        };
         if !sort_respects_ne(db, &sort) {
             return true;
         }
@@ -378,8 +396,10 @@ mod tests {
         db.assert_lt(v, w);
         db.assert_le(u, t);
         db.assert_le(t, w);
-        db.assert_fact(&voc, b, vec![Term::Obj(a), Term::Ord(t)]).unwrap();
-        db.assert_fact(&voc, b, vec![Term::Obj(bb), Term::Ord(w)]).unwrap();
+        db.assert_fact(&voc, b, vec![Term::Obj(a), Term::Ord(t)])
+            .unwrap();
+        db.assert_fact(&voc, b, vec![Term::Obj(bb), Term::Ord(w)])
+            .unwrap();
         let nd = db.normalize().unwrap();
         // Example 2.7: the sort f(u)=f(t)=x1, f(v)=x2, f(w)=x3; the image
         // of B(a,t) is B(a, f(t)) and of B(b,w) is B(b, f(w)).
@@ -388,7 +408,10 @@ mod tests {
         stage_of[nd.vertex(t)] = 0;
         stage_of[nd.vertex(v)] = 1;
         stage_of[nd.vertex(w)] = 2;
-        let sort = TopoSort { stage_of, n_stages: 3 };
+        let sort = TopoSort {
+            stage_of,
+            n_stages: 3,
+        };
         let m = model_of_sort(&nd, &sort);
         assert_eq!(m.n_points, 3);
         assert!(m.facts.contains(&GroundFact {

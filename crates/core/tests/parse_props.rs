@@ -10,12 +10,9 @@ use proptest::prelude::*;
 fn db_text() -> impl Strategy<Value = String> {
     proptest::collection::vec(
         prop_oneof![
-            (0usize..3, 0usize..6).prop_map(|(p, u)| {
-                format!("{}(u{u});", ["P", "Q", "R"][p])
-            }),
-            (0usize..6, 0usize..6, 0usize..3).prop_map(|(a, b, r)| {
-                format!("u{a} {} u{b};", ["<", "<=", "!="][r])
-            }),
+            (0usize..3, 0usize..6).prop_map(|(p, u)| { format!("{}(u{u});", ["P", "Q", "R"][p]) }),
+            (0usize..6, 0usize..6, 0usize..3)
+                .prop_map(|(a, b, r)| { format!("u{a} {} u{b};", ["<", "<=", "!="][r]) }),
         ],
         1..8,
     )

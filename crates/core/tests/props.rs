@@ -10,7 +10,10 @@ use proptest::prelude::*;
 fn dag(max_n: usize) -> impl Strategy<Value = OrderGraph> {
     (1..=max_n).prop_flat_map(|n| {
         proptest::collection::vec(
-            (0..n * n, prop_oneof![Just(OrderRel::Lt), Just(OrderRel::Le)]),
+            (
+                0..n * n,
+                prop_oneof![Just(OrderRel::Lt), Just(OrderRel::Le)],
+            ),
             0..=2 * n,
         )
         .prop_map(move |raw| {
@@ -33,9 +36,9 @@ fn width_brute(g: &OrderGraph) -> usize {
     let mut best = 0;
     for mask in 0u32..(1 << n) {
         let members: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
-        let ok = members.iter().all(|&u| {
-            members.iter().all(|&v| u == v || !reach[u].contains(v))
-        });
+        let ok = members
+            .iter()
+            .all(|&u| members.iter().all(|&v| u == v || !reach[u].contains(v)));
         if ok {
             best = best.max(members.len());
         }
@@ -177,7 +180,11 @@ fn n1_collapses_long_cycles() {
             (0..len).map(|i| (i, (i + 1) % len, OrderRel::Le)).collect();
         edges.push((0, len, OrderRel::Lt)); // plus a tail vertex
         let nz = OrderGraph::normalize(len + 1, &edges).unwrap();
-        assert_eq!(nz.graph.len(), 2, "cycle of length {len} collapses to one class");
+        assert_eq!(
+            nz.graph.len(),
+            2,
+            "cycle of length {len} collapses to one class"
+        );
         assert_eq!(nz.graph.edge_count(), 1);
     }
 }
@@ -186,9 +193,13 @@ fn n1_collapses_long_cycles() {
 #[test]
 fn lt_cycles_rejected_at_any_length() {
     for len in 1..6usize {
-        let mut edges: Vec<(usize, usize, OrderRel)> =
-            (0..len.saturating_sub(1)).map(|i| (i, i + 1, OrderRel::Le)).collect();
+        let mut edges: Vec<(usize, usize, OrderRel)> = (0..len.saturating_sub(1))
+            .map(|i| (i, i + 1, OrderRel::Le))
+            .collect();
         edges.push((len.saturating_sub(1), 0, OrderRel::Lt));
-        assert!(OrderGraph::normalize(len.max(1), &edges).is_err(), "length {len}");
+        assert!(
+            OrderGraph::normalize(len.max(1), &edges).is_err(),
+            "length {len}"
+        );
     }
 }

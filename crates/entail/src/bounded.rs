@@ -85,14 +85,22 @@ fn search(db: &MonadicDatabase, q: &MonadicQuery) -> Option<Vec<usize>> {
     if q.graph.is_empty() {
         return None; // the empty query is always entailed
     }
-    let init_s: Vec<u32> = db.graph.minimal_vertices().iter().map(|v| v as u32).collect();
+    let init_s: Vec<u32> = db
+        .graph
+        .minimal_vertices()
+        .iter()
+        .map(|v| v as u32)
+        .collect();
 
     // parent map: state -> predecessor state (for path reconstruction)
     let mut parent: HashMap<State, Option<State>> = HashMap::new();
     let mut stack: Vec<State> = Vec::new();
     for u0 in 0..q.graph.len() {
         if q.graph.predecessors(u0).is_empty() {
-            let st = State { s: init_s.clone(), u: u0 as u32 };
+            let st = State {
+                s: init_s.clone(),
+                u: u0 as u32,
+            };
             if !parent.contains_key(&st) {
                 parent.insert(st.clone(), None);
                 stack.push(st);
@@ -120,12 +128,18 @@ fn search(db: &MonadicDatabase, q: &MonadicQuery) -> Option<Vec<usize>> {
 
         // Edge (a): some antichain element fails the label test. One edge
         // suffices (the Remark in the paper); we pick the first.
-        if let Some(&bad) = st.s.iter().find(|&&v| !q.labels[u].is_subset(&db.labels[v as usize]))
+        if let Some(&bad) =
+            st.s.iter()
+                .find(|&&v| !q.labels[u].is_subset(&db.labels[v as usize]))
         {
             let mut rest = region.clone();
             rest.remove(bad as usize);
-            let s2: Vec<u32> =
-                db.graph.minimal_within(&rest).iter().map(|v| v as u32).collect();
+            let s2: Vec<u32> = db
+                .graph
+                .minimal_within(&rest)
+                .iter()
+                .map(|v| v as u32)
+                .collect();
             push(&mut parent, &mut stack, &st, State { s: s2, u: st.u });
             continue;
         }
@@ -145,13 +159,25 @@ fn search(db: &MonadicDatabase, q: &MonadicQuery) -> Option<Vec<usize>> {
                             let minors = db.graph.minor_within(&region);
                             let mut rest = region.clone();
                             rest.difference_with(&minors);
-                            db.graph.minimal_within(&rest).iter().map(|w| w as u32).collect()
+                            db.graph
+                                .minimal_within(&rest)
+                                .iter()
+                                .map(|w| w as u32)
+                                .collect()
                         })
                         .clone();
                     push(&mut parent, &mut stack, &st, State { s: s2, u: v });
                 }
                 OrderRel::Le => {
-                    push(&mut parent, &mut stack, &st, State { s: st.s.clone(), u: v });
+                    push(
+                        &mut parent,
+                        &mut stack,
+                        &st,
+                        State {
+                            s: st.s.clone(),
+                            u: v,
+                        },
+                    );
                 }
                 OrderRel::Ne => unreachable!(),
             }
@@ -215,7 +241,10 @@ mod tests {
             (0..n)
                 .map(|_| {
                     let bits = rng() % 8;
-                    (0..3).filter(|i| bits & (1 << i) != 0).map(PredSym::from_index).collect()
+                    (0..3)
+                        .filter(|i| bits & (1 << i) != 0)
+                        .map(PredSym::from_index)
+                        .collect()
                 })
                 .collect()
         };
@@ -241,7 +270,10 @@ mod tests {
             let b = paths::entails(&db, &q);
             assert_eq!(a, b, "round {round}: db={db:?} q={q:?}");
             if let MonadicVerdict::Countermodel(m) = check(&db, &q) {
-                assert!(modelcheck::is_model_of(&m, &db), "round {round}: bad countermodel");
+                assert!(
+                    modelcheck::is_model_of(&m, &db),
+                    "round {round}: bad countermodel"
+                );
                 assert!(
                     !modelcheck::satisfies_conjunct(&m, &q),
                     "round {round}: countermodel satisfies query"

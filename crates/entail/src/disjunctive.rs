@@ -125,8 +125,7 @@ pub fn countermodels(
         let mut labels: Vec<Option<PredSet>> = vec![None];
         while let Some(&mut (st, ref mut idx)) = stack.last_mut() {
             if graph.finals.contains(st) && *idx == 0 {
-                let model: Vec<PredSet> =
-                    labels.iter().filter_map(|l| l.clone()).collect();
+                let model: Vec<PredSet> = labels.iter().filter_map(|l| l.clone()).collect();
                 let m = MonadicModel::new(model);
                 if seen.insert(m.clone()) {
                     out.push(m);
@@ -209,14 +208,23 @@ fn explore(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Result<Option<St
         }
         edges.insert(st, outs);
     }
-    Ok(Some(StateGraph { edges, initials, finals }))
+    Ok(Some(StateGraph {
+        edges,
+        initials,
+        finals,
+    }))
 }
 
 /// All initial states: S = ∅, T = min(D), one pointer combination per
 /// choice of minimal query vertices.
 fn initial_states(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Vec<State> {
     let n = disjuncts.len();
-    let init_t: Vec<u32> = db.graph.minimal_vertices().iter().map(|v| v as u32).collect();
+    let init_t: Vec<u32> = db
+        .graph
+        .minimal_vertices()
+        .iter()
+        .map(|v| v as u32)
+        .collect();
     let sources: Vec<Vec<u32>> = disjuncts
         .iter()
         .map(|q| {
@@ -230,7 +238,12 @@ fn initial_states(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Vec<State
     let mut combo = vec![0usize; n];
     loop {
         let ptr: Vec<u32> = (0..n).map(|j| sources[j][combo[j]]).collect();
-        out.push(State { s: Vec::new(), t: init_t.clone(), ptr, x: 0 });
+        out.push(State {
+            s: Vec::new(),
+            t: init_t.clone(),
+            ptr,
+            x: 0,
+        });
         let mut j = 0;
         loop {
             if j == n {
@@ -284,12 +297,25 @@ fn successors(
                 OrderRel::Le => st.x & !(1 << j),
                 OrderRel::Ne => unreachable!(),
             };
-            outs.push((State { s: st.s.clone(), t: st.t.clone(), ptr, x }, None));
+            outs.push((
+                State {
+                    s: st.s.clone(),
+                    t: st.t.clone(),
+                    ptr,
+                    x,
+                },
+                None,
+            ));
         }
     } else if !dst.is_empty() {
         // Edge (c): commit the provisional point.
         outs.push((
-            State { s: Vec::new(), t: st.t.clone(), ptr: st.ptr.clone(), x: 0 },
+            State {
+                s: Vec::new(),
+                t: st.t.clone(),
+                ptr: st.ptr.clone(),
+                x: 0,
+            },
             Some(a.clone()),
         ));
     }
@@ -312,8 +338,21 @@ fn successors(
             .collect();
         let mut t_rest = region_t.clone();
         t_rest.remove(v as usize);
-        let t2: Vec<u32> = db.graph.minimal_within(&t_rest).iter().map(|w| w as u32).collect();
-        outs.push((State { s: s2, t: t2, ptr: st.ptr.clone(), x: st.x }, None));
+        let t2: Vec<u32> = db
+            .graph
+            .minimal_within(&t_rest)
+            .iter()
+            .map(|w| w as u32)
+            .collect();
+        outs.push((
+            State {
+                s: s2,
+                t: t2,
+                ptr: st.ptr.clone(),
+                x: st.x,
+            },
+            None,
+        ));
     }
     outs
 }
@@ -355,7 +394,11 @@ fn run(
             let mut labels: Vec<PredSet> = Vec::new();
             let mut cur = st.clone();
             loop {
-                match visited.get(&cur).cloned().expect("visited state has a step") {
+                match visited
+                    .get(&cur)
+                    .cloned()
+                    .expect("visited state has a step")
+                {
                     Step::Root => break,
                     Step::Plain(p) => cur = p,
                     Step::Commit(p, label) => {
@@ -410,10 +453,10 @@ mod tests {
     fn single_disjunct_agrees_with_paths() {
         let db = FlexiWord::word(vec![ps(&[0, 1]), ps(&[2])]).to_database();
         let q = MonadicQuery::from_flexiword(&FlexiWord::word(vec![ps(&[0]), ps(&[2])]));
-        assert!(entails(&db, &[q.clone()]).unwrap());
+        assert!(entails(&db, std::slice::from_ref(&q)).unwrap());
         assert!(crate::paths::entails(&db, &q));
         let q2 = MonadicQuery::from_flexiword(&FlexiWord::word(vec![ps(&[2]), ps(&[0])]));
-        assert!(!entails(&db, &[q2.clone()]).unwrap());
+        assert!(!entails(&db, std::slice::from_ref(&q2)).unwrap());
         assert!(!crate::paths::entails(&db, &q2));
     }
 
@@ -428,17 +471,13 @@ mod tests {
         let db = MonadicDatabase::new(g, vec![ps(&[0]), ps(&[1])]);
         let p_lt_q = MonadicQuery::from_flexiword(&FlexiWord::word(vec![ps(&[0]), ps(&[1])]));
         let q_lt_p = MonadicQuery::from_flexiword(&FlexiWord::word(vec![ps(&[1]), ps(&[0])]));
-        assert!(!entails(&db, &[p_lt_q.clone()]).unwrap());
-        assert!(!entails(&db, &[q_lt_p.clone()]).unwrap());
+        assert!(!entails(&db, std::slice::from_ref(&p_lt_q)).unwrap());
+        assert!(!entails(&db, std::slice::from_ref(&q_lt_p)).unwrap());
         assert!(!entails(&db, &[p_lt_q.clone(), q_lt_p.clone()]).unwrap());
-        let p_le_q = MonadicQuery::from_flexiword(&FlexiWord::new(
-            vec![ps(&[0]), ps(&[1])],
-            vec![Le],
-        ));
-        let q_le_p = MonadicQuery::from_flexiword(&FlexiWord::new(
-            vec![ps(&[1]), ps(&[0])],
-            vec![Le],
-        ));
+        let p_le_q =
+            MonadicQuery::from_flexiword(&FlexiWord::new(vec![ps(&[0]), ps(&[1])], vec![Le]));
+        let q_le_p =
+            MonadicQuery::from_flexiword(&FlexiWord::new(vec![ps(&[1]), ps(&[0])], vec![Le]));
         assert!(entails(&db, &[p_le_q, q_le_p]).unwrap());
     }
 
@@ -451,8 +490,8 @@ mod tests {
         let db = MonadicDatabase::new(g, vec![ps(&[0]), ps(&[1])]);
         let phi1 = MonadicQuery::from_flexiword(&FlexiWord::word(vec![ps(&[0]), ps(&[1])]));
         let phi2 = q1(&[0, 1]);
-        assert!(!entails(&db, &[phi1.clone()]).unwrap());
-        assert!(!entails(&db, &[phi2.clone()]).unwrap());
+        assert!(!entails(&db, std::slice::from_ref(&phi1)).unwrap());
+        assert!(!entails(&db, std::slice::from_ref(&phi2)).unwrap());
         assert!(entails(&db, &[phi1, phi2]).unwrap());
     }
 
@@ -463,7 +502,7 @@ mod tests {
         let g = OrderGraph::from_dag_edges(2, &[]).unwrap();
         let db = MonadicDatabase::new(g, vec![ps(&[0]), ps(&[1])]);
         let q = q1(&[0, 1]);
-        let models = countermodels(&db, &[q.clone()], 100).unwrap();
+        let models = countermodels(&db, std::slice::from_ref(&q), 100).unwrap();
         assert_eq!(models.len(), 2);
         for m in &models {
             assert!(modelcheck::is_model_of(m, &db));
@@ -505,7 +544,7 @@ mod tests {
         let q = MonadicQuery::new(qg, vec![PredSet::new(), PredSet::new()]);
         let g = OrderGraph::from_dag_edges(2, &[(0, 1, Le)]).unwrap();
         let db = MonadicDatabase::new(g, vec![ps(&[0]), ps(&[1])]);
-        assert!(!entails(&db, &[q.clone()]).unwrap());
+        assert!(!entails(&db, std::slice::from_ref(&q)).unwrap());
         // With a < edge, every model has ≥ 2 points → entailed.
         let g = OrderGraph::from_dag_edges(2, &[(0, 1, Lt)]).unwrap();
         let db = MonadicDatabase::new(g, vec![ps(&[0]), ps(&[1])]);
@@ -537,7 +576,10 @@ mod tests {
             let labels = (0..n)
                 .map(|_| {
                     let bits = rng() % 8;
-                    (0..3).filter(|i| bits & (1 << i) != 0).map(PredSym::from_index).collect()
+                    (0..3)
+                        .filter(|i| bits & (1 << i) != 0)
+                        .map(PredSym::from_index)
+                        .collect()
                 })
                 .collect();
             let db = MonadicDatabase::new(g, labels);

@@ -1,7 +1,22 @@
 //! The strategy-selecting entailment facade.
 //!
-//! [`Engine::entails`] accepts a raw [`Database`] and a [`DnfQuery`] and
-//! routes to the best applicable algorithm:
+//! The engine works in two phases, mirroring the paper's separation of
+//! per-query compilation from per-database normalization:
+//!
+//! * [`Engine::prepare`] compiles a [`DnfQuery`] into a
+//!   [`PreparedQuery`]: DNF disjuncts, object/order splits (§4),
+//!   flexi-words, path decompositions (Lemma 4.1), `!=` expansion plans
+//!   (§7), and a [`Plan`] recording which algorithm each disjunct routes
+//!   to.
+//! * [`Engine::entails_prepared`] evaluates a prepared query against a
+//!   [`Session`], whose normalized and monadic views are cached across
+//!   calls — a hot session performs no re-normalization and a prepared
+//!   query no recompilation. [`Engine::entails_batch`] amortizes one
+//!   session across a whole batch.
+//!
+//! [`Engine::entails`] remains as the one-shot compatibility wrapper:
+//! prepare, normalize, evaluate, discard. All paths share one executor,
+//! so prepared and unprepared evaluation agree by construction:
 //!
 //! 1. the database is normalized (N1/N2, consistency);
 //! 2. when every predicate in play is monadic, the monadic pipeline runs:
@@ -14,14 +29,18 @@
 //! The [`Strategy`] enum pins a specific algorithm, which the benchmarks
 //! and the cross-validation tests use.
 
+use crate::prepared::{MonadicPlan, NeExpansion, Plan, PreparedQuery};
 use crate::verdict::{MonadicVerdict, NaryVerdict};
 use crate::{bounded, disjunctive, ineq, naive, paths, seq};
-use indord_core::database::Database;
+use indord_core::bitset::PredSet;
+use indord_core::database::{Database, NormalDatabase};
 use indord_core::error::{CoreError, Result};
 use indord_core::model::{FiniteModel, MonadicModel};
-use indord_core::monadic::{split_object_part, MonadicQuery};
+use indord_core::monadic::{MonadicDatabase, MonadicQuery};
 use indord_core::query::DnfQuery;
+use indord_core::session::{object_profiles_of, Session};
 use indord_core::sym::Vocabulary;
+use std::cell::OnceCell;
 
 /// Which algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -89,7 +108,11 @@ pub struct Engine<'a> {
 impl<'a> Engine<'a> {
     /// Creates an engine with the automatic strategy.
     pub fn new(voc: &'a Vocabulary) -> Self {
-        Engine { voc, strategy: Strategy::Auto, expansion_cap: 4096 }
+        Engine {
+            voc,
+            strategy: Strategy::Auto,
+            expansion_cap: 4096,
+        }
     }
 
     /// Pins a strategy.
@@ -98,50 +121,100 @@ impl<'a> Engine<'a> {
         self
     }
 
-    /// Decides `D |= Φ`.
+    /// Compiles a query for repeated evaluation: every
+    /// database-independent artifact (object splits, flexi-words, path
+    /// decompositions, `!=` expansions, per-disjunct routing) is computed
+    /// here, once.
+    pub fn prepare(&self, query: &DnfQuery) -> Result<PreparedQuery> {
+        PreparedQuery::compile(self.voc, query, self.strategy, self.expansion_cap)
+    }
+
+    /// Decides `D |= Φ` for a prepared query against a session, reusing
+    /// the session's cached normalized/monadic views. No normalization or
+    /// query compilation happens on a warm session.
+    pub fn entails_prepared(&self, session: &Session, pq: &PreparedQuery) -> Result<Verdict> {
+        self.execute(
+            &SessionView {
+                session,
+                voc: self.voc,
+            },
+            pq,
+        )
+    }
+
+    /// Evaluates a batch of prepared queries against one session; the
+    /// database is normalized (at most) once for the whole batch.
+    pub fn entails_batch(
+        &self,
+        session: &Session,
+        queries: &[PreparedQuery],
+    ) -> Result<Vec<Verdict>> {
+        queries
+            .iter()
+            .map(|pq| self.entails_prepared(session, pq))
+            .collect()
+    }
+
+    /// Decides `D |= Φ` in one shot: compatibility wrapper that prepares
+    /// the query, normalizes the database, evaluates, and discards both
+    /// artifacts. Repeated-query callers should use [`Engine::prepare`] +
+    /// [`Engine::entails_prepared`].
     pub fn entails(&self, db: &Database, query: &DnfQuery) -> Result<Verdict> {
-        let nd = db.normalize()?;
-        if query.disjuncts.is_empty() {
+        let pq = self.prepare(query)?;
+        let view = FreshView {
+            voc: self.voc,
+            nd: db.normalize()?,
+            mdb: OnceCell::new(),
+            profiles: OnceCell::new(),
+        };
+        self.execute(&view, &pq)
+    }
+
+    /// The shared executor behind [`Engine::entails`] and
+    /// [`Engine::entails_prepared`].
+    fn execute(&self, view: &dyn DbView, pq: &PreparedQuery) -> Result<Verdict> {
+        let nd = view.normal()?;
+        if pq.query.disjuncts.is_empty() {
             // The false query: entailed only by an inconsistent database,
             // and normalization already rejected those — except when a
             // merged `!=` pair leaves no models at all.
             return Ok(if nd.has_contradictory_ne() {
                 Verdict::Entailed
             } else {
-                Verdict::MonadicCountermodel(MonadicModel::new(Vec::new())).into_first_model(&nd)
+                Verdict::MonadicCountermodel(MonadicModel::new(Vec::new())).into_first_model(nd)
             });
         }
 
         // Monadic route?
-        let monadic_applicable = self.strategy != Strategy::Naive && self.monadic_applicable(query);
-        if monadic_applicable {
-            if let Ok(mdb) = indord_core::monadic::MonadicDatabase::from_normal(self.voc, &nd) {
-                // Split object parts, filter disjuncts by their truth.
-                let definite: Vec<_> = nd
-                    .definite_atoms()
-                    .filter_map(|a| match (a.args.first(), a.args.len()) {
-                        (Some(indord_core::atom::Term::Obj(o)), 1) => Some((a.pred, *o)),
-                        _ => None,
-                    })
-                    .collect();
-                let mut order_disjuncts: Vec<MonadicQuery> = Vec::new();
-                for cq in &query.disjuncts {
-                    let (obj, mq) = split_object_part(self.voc, cq)?;
-                    if !obj.holds(&definite) {
-                        continue; // this disjunct can never fire
+        if let Some(plan) = &pq.monadic {
+            match view.monadic() {
+                Ok(mdb) => {
+                    // Filter disjuncts by the truth of their object parts.
+                    let profiles = view.object_profiles()?;
+                    let mut survivors = Vec::with_capacity(plan.objects.len());
+                    for (i, object) in plan.objects.iter().enumerate() {
+                        if !object.holds_against(profiles) {
+                            continue; // this disjunct can never fire
+                        }
+                        if plan.orders[i].is_empty() {
+                            return Ok(Verdict::Entailed); // object part suffices
+                        }
+                        survivors.push(i);
                     }
-                    if mq.is_empty() {
-                        return Ok(Verdict::Entailed); // object part suffices
-                    }
-                    order_disjuncts.push(mq);
+                    return Ok(execute_monadic(pq.strategy, mdb, plan, &survivors)?.into());
                 }
-                return Ok(self.monadic_entails(&mdb, &order_disjuncts)?.into());
+                // An n-ary database: decide by the naive engine below.
+                Err(CoreError::NotMonadic { .. }) => {}
+                // Anything else (e.g. a session warmed against a different
+                // vocabulary) must surface, not silently fall back to an
+                // engine that would misread the predicate symbols.
+                Err(e) => return Err(e),
             }
         }
 
         // n-ary route.
-        match self.strategy {
-            Strategy::Auto | Strategy::Naive => Ok(naive::nary_check(&nd, query)?.into()),
+        match pq.strategy {
+            Strategy::Auto | Strategy::Naive => Ok(naive::nary_check(nd, &pq.query)?.into()),
             s => Err(CoreError::Parse {
                 offset: 0,
                 message: format!("strategy {s:?} requires monadic predicates"),
@@ -149,84 +222,202 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn monadic_applicable(&self, query: &DnfQuery) -> bool {
-        query.disjuncts.iter().all(|cq| {
-            cq.proper.iter().all(|a| {
-                let sig = self.voc.signature(a.pred);
-                sig.is_monadic_order() || sig.is_monadic_object()
-            })
-        })
-    }
-
-    /// The monadic pipeline on prepared inputs.
+    /// The monadic pipeline on raw order disjuncts: compiles them on the
+    /// fly and runs the shared monadic executor (kept for callers that
+    /// already hold [`MonadicDatabase`]/[`MonadicQuery`] values).
     pub fn monadic_entails(
         &self,
-        mdb: &indord_core::monadic::MonadicDatabase,
+        mdb: &MonadicDatabase,
         disjuncts: &[MonadicQuery],
     ) -> Result<MonadicVerdict> {
-        if disjuncts.is_empty() {
-            // No disjunct survived object-part filtering: find any model.
-            return naive_first_model(mdb);
+        let plan = MonadicPlan::from_orders(disjuncts, self.expansion_cap);
+        let survivors: Vec<usize> = (0..plan.orders.len()).collect();
+        execute_monadic(self.strategy, mdb, &plan, &survivors)
+    }
+}
+
+/// Runs the monadic pipeline over the disjuncts selected by
+/// `survivors` (indices into `plan.orders`), routing exactly as the
+/// historical `monadic_entails` did but off precompiled artifacts.
+fn execute_monadic(
+    strategy: Strategy,
+    mdb: &MonadicDatabase,
+    plan: &MonadicPlan,
+    survivors: &[usize],
+) -> Result<MonadicVerdict> {
+    if survivors.is_empty() {
+        // No disjunct survived object-part filtering: find any model.
+        return naive_first_model(mdb);
+    }
+    let all_survive = survivors.len() == plan.orders.len();
+    let owned: Vec<MonadicQuery>;
+    let orders: &[MonadicQuery] = if all_survive {
+        &plan.orders
+    } else {
+        owned = survivors.iter().map(|&i| plan.orders[i].clone()).collect();
+        &owned
+    };
+    let has_ne = !mdb.ne.is_empty() || orders.iter().any(|q| !q.ne.is_empty());
+    let single = |what: &str| -> Result<usize> {
+        if survivors.len() != 1 {
+            return Err(CoreError::Parse {
+                offset: 0,
+                message: format!("{what} strategy requires a conjunctive query"),
+            });
         }
-        let has_ne =
-            !mdb.ne.is_empty() || disjuncts.iter().any(|q| !q.ne.is_empty());
-        match self.strategy {
-            Strategy::Naive => naive::monadic_check(mdb, disjuncts),
-            Strategy::Seq => {
-                if disjuncts.len() != 1 || !disjuncts[0].is_sequential() {
-                    return Err(CoreError::NotSequential);
-                }
-                Ok(seq::check(mdb, &disjuncts[0].to_flexiword()?))
+        Ok(survivors[0])
+    };
+    // The pinned special-purpose algorithms (SEQ, Lemma 4.1, Thm 4.7,
+    // Thm 5.3) are defined for `[<,<=]` inputs only; silently ignoring
+    // `!=` constraints would return wrong verdicts, so refuse them
+    // (Auto and Naive handle `!=` via the §7 routes).
+    let refuse_ne = |what: &str| -> Result<()> {
+        if has_ne {
+            return Err(CoreError::Parse {
+                offset: 0,
+                message: format!(
+                    "{what} strategy requires [<,<=] inputs; use Auto or Naive for !="
+                ),
+            });
+        }
+        Ok(())
+    };
+    match strategy {
+        Strategy::Naive => naive::monadic_check(mdb, orders),
+        Strategy::Seq => {
+            refuse_ne("Seq")?;
+            if survivors.len() != 1 {
+                return Err(CoreError::NotSequential);
             }
-            Strategy::Paths => {
-                if disjuncts.len() != 1 {
-                    return Err(CoreError::Parse {
-                        offset: 0,
-                        message: "Paths strategy requires a conjunctive query".to_string(),
-                    });
-                }
-                Ok(paths::check(mdb, &disjuncts[0]))
+            match &plan.compiled()[survivors[0]].flexi {
+                Some(w) => Ok(seq::check(mdb, w)),
+                None => Err(CoreError::NotSequential),
             }
-            Strategy::BoundedWidth => {
-                if disjuncts.len() != 1 {
-                    return Err(CoreError::Parse {
-                        offset: 0,
-                        message: "BoundedWidth strategy requires a conjunctive query".to_string(),
-                    });
-                }
-                Ok(bounded::check(mdb, &disjuncts[0]))
+        }
+        Strategy::Paths => {
+            refuse_ne("Paths")?;
+            let i = single("Paths")?;
+            Ok(run_paths(mdb, plan, i))
+        }
+        Strategy::BoundedWidth => {
+            refuse_ne("BoundedWidth")?;
+            let i = single("BoundedWidth")?;
+            Ok(bounded::check(mdb, &plan.orders[i]))
+        }
+        Strategy::Disjunctive => {
+            refuse_ne("Disjunctive")?;
+            disjunctive::check(mdb, orders)
+        }
+        Strategy::Auto => {
+            if !mdb.ne.is_empty() {
+                return ineq::entails_db_ne(mdb, orders);
             }
-            Strategy::Disjunctive => disjunctive::check(mdb, disjuncts),
-            Strategy::Auto => {
-                if !mdb.ne.is_empty() {
-                    return ineq::entails_db_ne(mdb, disjuncts);
-                }
-                if has_ne {
-                    return ineq::entails_query_ne(mdb, disjuncts, self.expansion_cap);
-                }
-                if disjuncts.len() == 1 {
-                    let q = &disjuncts[0];
-                    if q.is_sequential() {
-                        return Ok(seq::check(mdb, &q.to_flexiword()?));
-                    }
+            if has_ne {
+                return run_query_ne(mdb, plan, survivors, all_survive, orders);
+            }
+            if survivors.len() == 1 {
+                let i = survivors[0];
+                let d = &plan.compiled()[i];
+                return Ok(match (&d.flexi, d.plan) {
+                    (Some(w), _) => seq::check(mdb, w),
                     // Few paths: Lemma 4.1 with SEQ per path (linear in
                     // |D|); otherwise the Theorem 4.7 product search.
-                    if q.path_count() <= 32 {
-                        return Ok(paths::check(mdb, q));
-                    }
-                    return Ok(bounded::check(mdb, q));
-                }
-                disjunctive::check(mdb, disjuncts)
+                    (None, Plan::Paths) => run_paths(mdb, plan, i),
+                    (None, _) => bounded::check(mdb, &plan.orders[i]),
+                });
             }
+            disjunctive::check(mdb, orders)
         }
+    }
+}
+
+/// Lemma 4.1 off the cached path decomposition when present, lazy
+/// enumeration otherwise.
+fn run_paths(mdb: &MonadicDatabase, plan: &MonadicPlan, i: usize) -> MonadicVerdict {
+    match &plan.compiled()[i].paths {
+        Some(ps) => paths::check_precompiled(mdb, ps),
+        None => paths::check(mdb, &plan.orders[i]),
+    }
+}
+
+/// The §7 query-`!=` route off precomputed expansions.
+fn run_query_ne(
+    mdb: &MonadicDatabase,
+    plan: &MonadicPlan,
+    survivors: &[usize],
+    all_survive: bool,
+    orders: &[MonadicQuery],
+) -> Result<MonadicVerdict> {
+    let ne = plan.ne_plan();
+    if all_survive {
+        return ineq::entails_expanded(mdb, orders, ne.full.as_deref());
+    }
+    let mut expanded = Vec::new();
+    for &i in survivors {
+        match &ne.per_disjunct[i] {
+            NeExpansion::Unneeded => expanded.push(plan.orders[i].clone()),
+            NeExpansion::Expanded(e) => expanded.extend(e.iter().cloned()),
+            NeExpansion::Capped => return ineq::entails_expanded(mdb, orders, None),
+        }
+    }
+    ineq::entails_expanded(mdb, orders, Some(&expanded))
+}
+
+/// Database views the executor runs against: a cached [`Session`] or a
+/// freshly-normalized one-shot database. Both are lazy about the monadic
+/// view and object profiles — the n-ary route never computes them.
+trait DbView {
+    fn normal(&self) -> Result<&NormalDatabase>;
+    fn monadic(&self) -> Result<&MonadicDatabase>;
+    fn object_profiles(&self) -> Result<&[PredSet]>;
+}
+
+struct SessionView<'a> {
+    session: &'a Session,
+    voc: &'a Vocabulary,
+}
+
+impl DbView for SessionView<'_> {
+    fn normal(&self) -> Result<&NormalDatabase> {
+        self.session.normal()
+    }
+
+    fn monadic(&self) -> Result<&MonadicDatabase> {
+        self.session.monadic(self.voc)
+    }
+
+    fn object_profiles(&self) -> Result<&[PredSet]> {
+        self.session.object_profiles()
+    }
+}
+
+struct FreshView<'a> {
+    voc: &'a Vocabulary,
+    nd: NormalDatabase,
+    mdb: OnceCell<Result<MonadicDatabase>>,
+    profiles: OnceCell<Vec<PredSet>>,
+}
+
+impl DbView for FreshView<'_> {
+    fn normal(&self) -> Result<&NormalDatabase> {
+        Ok(&self.nd)
+    }
+
+    fn monadic(&self) -> Result<&MonadicDatabase> {
+        self.mdb
+            .get_or_init(|| MonadicDatabase::from_normal(self.voc, &self.nd))
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    fn object_profiles(&self) -> Result<&[PredSet]> {
+        Ok(self.profiles.get_or_init(|| object_profiles_of(&self.nd)))
     }
 }
 
 /// Produces some model of the database (to witness failure of the false
 /// query).
-fn naive_first_model(
-    mdb: &indord_core::monadic::MonadicDatabase,
-) -> Result<MonadicVerdict> {
+fn naive_first_model(mdb: &indord_core::monadic::MonadicDatabase) -> Result<MonadicVerdict> {
     naive::monadic_check(mdb, &[])
 }
 
@@ -257,6 +448,7 @@ impl Verdict {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::prepared::Plan;
     use indord_core::parse::{parse_database, parse_query, parse_query_with_db};
 
     #[test]
@@ -273,16 +465,20 @@ mod tests {
     #[test]
     fn strategies_agree_on_monadic_conjunctive() {
         let mut voc = Vocabulary::new();
-        let db = parse_database(
+        let db =
+            parse_database(&mut voc, "P(u1); Q(u2); u1 < u2; P(v1); R(v2); v1 <= v2;").unwrap();
+        let q = parse_query(
             &mut voc,
-            "P(u1); Q(u2); u1 < u2; P(v1); R(v2); v1 <= v2;",
+            "exists a b c. P(a) & a < b & Q(b) & a <= c & R(c)",
         )
         .unwrap();
-        let q = parse_query(&mut voc, "exists a b c. P(a) & a < b & Q(b) & a <= c & R(c)")
-            .unwrap();
         let mut verdicts = Vec::new();
-        for s in [Strategy::Naive, Strategy::Paths, Strategy::BoundedWidth, Strategy::Disjunctive]
-        {
+        for s in [
+            Strategy::Naive,
+            Strategy::Paths,
+            Strategy::BoundedWidth,
+            Strategy::Disjunctive,
+        ] {
             let eng = Engine::new(&voc).with_strategy(s);
             verdicts.push(eng.entails(&db, &q).unwrap().holds());
         }
@@ -334,21 +530,97 @@ mod tests {
     }
 
     #[test]
+    fn prepared_agrees_with_one_shot_and_skips_renormalization() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "P(u); Q(v); u < v;").unwrap();
+        let q = parse_query(&mut voc, "exists s t. P(s) & s < t & Q(t)").unwrap();
+        let q2 = parse_query(&mut voc, "exists s t. Q(s) & s < t & P(t)").unwrap();
+        let eng = Engine::new(&voc);
+        let session = indord_core::session::Session::new(db.clone());
+        let (p1, p2) = (eng.prepare(&q).unwrap(), eng.prepare(&q2).unwrap());
+        assert_eq!(p1.plan(), Plan::Seq);
+        for _ in 0..3 {
+            assert_eq!(
+                eng.entails_prepared(&session, &p1).unwrap(),
+                eng.entails(&db, &q).unwrap()
+            );
+            assert_eq!(
+                eng.entails_prepared(&session, &p2).unwrap(),
+                eng.entails(&db, &q2).unwrap()
+            );
+        }
+        assert!(session.is_warm());
+        let batch = eng.entails_batch(&session, &[p1, p2]).unwrap();
+        assert!(batch[0].holds() && !batch[1].holds());
+    }
+
+    #[test]
+    fn prepared_tracks_session_mutation() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "P(u); Q(v); u <= v;").unwrap();
+        let q = parse_query(&mut voc, "exists s t. P(s) & s < t & Q(t)").unwrap();
+        let (u, v) = (voc.ord("u"), voc.ord("v"));
+        let eng = Engine::new(&voc);
+        let pq = eng.prepare(&q).unwrap();
+        let mut session = indord_core::session::Session::new(db);
+        assert!(!eng.entails_prepared(&session, &pq).unwrap().holds());
+        // u < v makes the query certain; the session must see it.
+        session.assert_lt(u, v);
+        assert!(eng.entails_prepared(&session, &pq).unwrap().holds());
+        assert_eq!(
+            eng.entails(session.database(), &q).unwrap(),
+            eng.entails_prepared(&session, &pq).unwrap()
+        );
+    }
+
+    #[test]
+    fn mismatched_vocabulary_surfaces_not_misroutes() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "P(u); Q(v); u < v;").unwrap();
+        let q = parse_query(&mut voc, "exists s t. P(s) & s < t & Q(t)").unwrap();
+        let session = indord_core::session::Session::new(db);
+        let eng = Engine::new(&voc);
+        let pq = eng.prepare(&q).unwrap();
+        assert!(eng.entails_prepared(&session, &pq).unwrap().holds());
+        // An engine over a structurally different vocabulary must get a
+        // typed error, not a silently-misread verdict off shared indices.
+        let mut other = Vocabulary::new();
+        other.monadic_pred("X");
+        other.monadic_pred("Y");
+        let q2 = parse_query(&mut other, "exists t. X(t)").unwrap();
+        let eng2 = Engine::new(&other);
+        let pq2 = eng2.prepare(&q2).unwrap();
+        assert_eq!(
+            eng2.entails_prepared(&session, &pq2).unwrap_err(),
+            CoreError::VocabularyMismatch
+        );
+    }
+
+    #[test]
+    fn prepared_nary_and_empty_queries() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "R(u, v); u < v;").unwrap();
+        let q = parse_query(&mut voc, "exists s t. R(s, t) & s < t").unwrap();
+        let eng = Engine::new(&voc);
+        let session = indord_core::session::Session::new(db.clone());
+        let pq = eng.prepare(&q).unwrap();
+        assert_eq!(pq.plan(), Plan::Naive);
+        assert!(eng.entails_prepared(&session, &pq).unwrap().holds());
+        let empty = eng.prepare(&DnfQuery::default()).unwrap();
+        assert_eq!(
+            eng.entails_prepared(&session, &empty).unwrap().holds(),
+            eng.entails(&db, &DnfQuery::default()).unwrap().holds()
+        );
+    }
+
+    #[test]
     fn constants_in_queries_work_end_to_end() {
         let mut voc = Vocabulary::new();
         let db = parse_database(&mut voc, "P(a, u); P(b, v); u < v;").unwrap();
-        let (gdb, q) = parse_query_with_db(
-            &mut voc,
-            &db,
-            "exists s t. P(a, s) & s < t & P(b, t)",
-        )
-        .unwrap();
-        let (gdb2, q2) = parse_query_with_db(
-            &mut voc,
-            &db,
-            "exists s t. P(b, s) & s < t & P(a, t)",
-        )
-        .unwrap();
+        let (gdb, q) =
+            parse_query_with_db(&mut voc, &db, "exists s t. P(a, s) & s < t & P(b, t)").unwrap();
+        let (gdb2, q2) =
+            parse_query_with_db(&mut voc, &db, "exists s t. P(b, s) & s < t & P(a, t)").unwrap();
         let eng = Engine::new(&voc);
         assert!(eng.entails(&gdb, &q).unwrap().holds());
         assert!(!eng.entails(&gdb2, &q2).unwrap().holds());

@@ -62,17 +62,38 @@ pub fn entails_query_ne(
         return entails_db_ne(db, disjuncts);
     }
     let mut expanded = Vec::new();
+    let mut capped = false;
     for q in disjuncts {
         match eliminate_ne(q, cap) {
             Ok(qs) => expanded.extend(qs),
             Err(CoreError::CapExceeded { .. }) => {
                 // Too many != atoms to expand: the problem is NP-hard in
                 // the query (Thm 7.1(1)); decide by naive enumeration.
-                return naive::monadic_check(db, disjuncts);
+                capped = true;
+                break;
             }
             Err(e) => return Err(e),
         }
     }
+    entails_expanded(db, disjuncts, (!capped).then_some(expanded.as_slice()))
+}
+
+/// Decides `D |= Φ₁ ∨ … ∨ Φₙ` given an already-computed `!=` expansion
+/// of the disjuncts (the prepared-query pipeline caches it at prepare
+/// time; pass `None` when the expansion was capped to fall back to naive
+/// enumeration over the original disjuncts).
+pub fn entails_expanded(
+    db: &MonadicDatabase,
+    disjuncts: &[MonadicQuery],
+    expanded: Option<&[MonadicQuery]>,
+) -> Result<MonadicVerdict> {
+    if !db.ne.is_empty() {
+        return entails_db_ne(db, disjuncts);
+    }
+    let expanded = match expanded {
+        Some(e) => e,
+        None => return naive::monadic_check(db, disjuncts),
+    };
     // The Theorem 5.3 search is exponential in the number of disjuncts
     // (Π|Φᵢ|); beyond a handful the naive engine is the better fallback —
     // and matches the paper, which offers no better bound here
@@ -80,11 +101,9 @@ pub fn entails_query_ne(
     if expanded.len() > 12 {
         return naive::monadic_check(db, disjuncts);
     }
-    match disjunctive::check(db, &expanded) {
+    match disjunctive::check(db, expanded) {
         Ok(v) => Ok(v),
-        Err(indord_core::error::CoreError::CapExceeded { .. }) => {
-            naive::monadic_check(db, disjuncts)
-        }
+        Err(CoreError::CapExceeded { .. }) => naive::monadic_check(db, disjuncts),
         Err(e) => Err(e),
     }
 }
@@ -93,10 +112,7 @@ pub fn entails_query_ne(
 /// naive minimal-model enumeration with `!=` filtering. Exponential —
 /// necessarily so in the worst case (Theorem 7.1(2) encodes graph
 /// non-3-colourability in exactly this problem).
-pub fn entails_db_ne(
-    db: &MonadicDatabase,
-    disjuncts: &[MonadicQuery],
-) -> Result<MonadicVerdict> {
+pub fn entails_db_ne(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Result<MonadicVerdict> {
     naive::monadic_check(db, disjuncts)
 }
 
@@ -135,7 +151,9 @@ mod tests {
         let g = OrderGraph::from_dag_edges(2, &[]).unwrap();
         let mut q = MonadicQuery::new(g, vec![ps(&[0]), ps(&[0])]);
         q.ne.push((0, 1));
-        assert!(entails_query_ne(&db, &[q.clone()], 64).unwrap().holds());
+        assert!(entails_query_ne(&db, std::slice::from_ref(&q), 64)
+            .unwrap()
+            .holds());
         // D: single {P} point: not entailed.
         let db1 = FlexiWord::word(vec![ps(&[0])]).to_database();
         let v = entails_query_ne(&db1, &[q], 64).unwrap();
@@ -150,7 +168,9 @@ mod tests {
         let mut db = MonadicDatabase::new(g, vec![ps(&[0]), ps(&[0])]);
         db.ne.push((0, 1));
         let q = MonadicQuery::from_flexiword(&FlexiWord::word(vec![ps(&[0]), ps(&[0])]));
-        assert!(entails_db_ne(&db, &[q.clone()]).unwrap().holds());
+        assert!(entails_db_ne(&db, std::slice::from_ref(&q))
+            .unwrap()
+            .holds());
         // Without the constraint it fails (u = v model).
         let db2 = MonadicDatabase::new(db.graph.clone(), db.labels.clone());
         assert!(!entails_db_ne(&db2, &[q]).unwrap().holds());

@@ -12,7 +12,8 @@
 //! | [`modelcheck`] | `M \|= Φ` for monadic queries | Cor. 5.1 | `O(\|M\|·\|Φ\|·\|Pred\|)` |
 //! | [`naive`] | minimal-model enumeration (reference oracle) | Cor. 2.9 / §3 | exponential |
 //! | [`ineq`] | `!=` extensions | §7 | see module docs |
-//! | [`engine`] | strategy-selecting facade | — | — |
+//! | [`prepared`] | compile-once query artifacts | — | — |
+//! | [`engine`] | strategy-selecting facade, prepare/execute split | — | — |
 //!
 //! Engines that answer "not entailed" return a **countermodel**: a model of
 //! the database falsifying the query, which callers can re-verify
@@ -28,8 +29,10 @@ pub mod ineq;
 pub mod modelcheck;
 pub mod naive;
 pub mod paths;
+pub mod prepared;
 pub mod seq;
 pub mod verdict;
 
 pub use engine::{Engine, Strategy};
+pub use prepared::{Plan, PreparedQuery};
 pub use verdict::MonadicVerdict;

@@ -118,7 +118,11 @@ mod tests {
             model(&[&[0, 1], &[0], &[3], &[2]]),
         ];
         for m in &models {
-            assert_eq!(satisfies_conjunct(m, &q), q.holds_in_naive(m), "model {m:?}");
+            assert_eq!(
+                satisfies_conjunct(m, &q),
+                q.holds_in_naive(m),
+                "model {m:?}"
+            );
         }
     }
 
@@ -148,7 +152,10 @@ mod tests {
             let labels: Vec<PredSet> = (0..n)
                 .map(|_| {
                     let bits = rng() % 8;
-                    (0..3).filter(|i| bits & (1 << i) != 0).map(PredSym::from_index).collect()
+                    (0..3)
+                        .filter(|i| bits & (1 << i) != 0)
+                        .map(PredSym::from_index)
+                        .collect()
                 })
                 .collect();
             let q = MonadicQuery::new(g, labels);

@@ -23,10 +23,7 @@ use indord_core::toposort;
 /// every minimal model. Handles `!=` constraints in the database (models
 /// merging a `!=` pair are excluded) and in queries (via the backtracking
 /// model checker).
-pub fn monadic_check(
-    db: &MonadicDatabase,
-    disjuncts: &[MonadicQuery],
-) -> Result<MonadicVerdict> {
+pub fn monadic_check(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Result<MonadicVerdict> {
     let mut verdict = MonadicVerdict::Entailed;
     toposort::for_each_sort(&db.graph, &mut |stage_of, n_stages| {
         // != constraints: vertices mapped to one stage violate them.
@@ -133,7 +130,10 @@ mod tests {
             let labels = (0..n)
                 .map(|_| {
                     let bits = rng() % 8;
-                    (0..3).filter(|i| bits & (1 << i) != 0).map(PredSym::from_index).collect()
+                    (0..3)
+                        .filter(|i| bits & (1 << i) != 0)
+                        .map(PredSym::from_index)
+                        .collect()
                 })
                 .collect();
             let db = MonadicDatabase::new(g, labels);
@@ -142,8 +142,10 @@ mod tests {
             let mut fw = FlexiWord::empty();
             for _ in 0..qlen {
                 let bits = rng() % 8;
-                let label: PredSet =
-                    (0..3).filter(|i| bits & (1 << i) != 0).map(PredSym::from_index).collect();
+                let label: PredSet = (0..3)
+                    .filter(|i| bits & (1 << i) != 0)
+                    .map(PredSym::from_index)
+                    .collect();
                 let rel = if rng() % 2 == 0 { Lt } else { Le };
                 fw.push(rel, label);
             }
@@ -182,7 +184,9 @@ mod tests {
             "(exists s t. P(a, s) & s <= t & P(b, t)) | (exists s t. P(b, s) & s <= t & P(a, t))",
         )
         .unwrap();
-        assert!(nary_check(&gdb.normalize().unwrap(), &either).unwrap().holds());
+        assert!(nary_check(&gdb.normalize().unwrap(), &either)
+            .unwrap()
+            .holds());
 
         let (gdb2, first) = indord_core::parse::parse_query_with_db(
             &mut voc,

@@ -10,6 +10,7 @@
 
 use crate::seq;
 use crate::verdict::MonadicVerdict;
+use indord_core::flexi::FlexiWord;
 use indord_core::monadic::{MonadicDatabase, MonadicQuery};
 
 /// Decides `D |= Φ` for a conjunctive monadic query by checking every path.
@@ -24,6 +25,17 @@ pub fn entails(db: &MonadicDatabase, q: &MonadicQuery) -> bool {
 pub fn check(db: &MonadicDatabase, q: &MonadicQuery) -> MonadicVerdict {
     for p in q.paths() {
         if let MonadicVerdict::Countermodel(m) = seq::check(db, &p) {
+            return MonadicVerdict::Countermodel(m);
+        }
+    }
+    MonadicVerdict::Entailed
+}
+
+/// As [`check`], over a path decomposition computed once at prepare time
+/// (the prepared-query pipeline caches `Paths(Φ)` next to the query).
+pub fn check_precompiled(db: &MonadicDatabase, paths: &[FlexiWord]) -> MonadicVerdict {
+    for p in paths {
+        if let MonadicVerdict::Countermodel(m) = seq::check(db, p) {
             return MonadicVerdict::Countermodel(m);
         }
     }
@@ -92,11 +104,8 @@ mod tests {
     #[test]
     fn le_only_diamond() {
         // Query diamond with <= edges collapses onto a single point.
-        let g = OrderGraph::from_dag_edges(
-            4,
-            &[(0, 1, Le), (0, 2, Le), (1, 3, Le), (2, 3, Le)],
-        )
-        .unwrap();
+        let g = OrderGraph::from_dag_edges(4, &[(0, 1, Le), (0, 2, Le), (1, 3, Le), (2, 3, Le)])
+            .unwrap();
         let q = MonadicQuery::new(g, vec![ps(&[0]), ps(&[1]), ps(&[2]), ps(&[3])]);
         let db = FlexiWord::word(vec![ps(&[0, 1, 2, 3])]).to_database();
         assert!(entails(&db, &q));

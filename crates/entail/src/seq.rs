@@ -235,7 +235,10 @@ mod tests {
                 let labels: Vec<PredSet> = (0..len)
                     .map(|_| {
                         let bits = rng() % 8;
-                        (0..3).filter(|i| bits & (1 << i) != 0).map(PredSym::from_index).collect()
+                        (0..3)
+                            .filter(|i| bits & (1 << i) != 0)
+                            .map(PredSym::from_index)
+                            .collect()
                     })
                     .collect();
                 FlexiWord::word(labels)
@@ -321,13 +324,19 @@ mod tests {
                 MonadicVerdict::Entailed => panic!("expected failure for {p:?}"),
                 MonadicVerdict::Countermodel(m) => {
                     let q = p.to_query();
-                    assert!(!q.holds_in_naive(&m), "countermodel satisfies the query: {m:?}");
+                    assert!(
+                        !q.holds_in_naive(&m),
+                        "countermodel satisfies the query: {m:?}"
+                    );
                     // the database, read as a query, must hold in m
                     let dbq = indord_core::monadic::MonadicQuery::new(
                         db.graph.clone(),
                         db.labels.clone(),
                     );
-                    assert!(dbq.holds_in_naive(&m), "countermodel is not a model of D: {m:?}");
+                    assert!(
+                        dbq.holds_in_naive(&m),
+                        "countermodel is not a model of D: {m:?}"
+                    );
                 }
             }
         }
@@ -336,11 +345,8 @@ mod tests {
     #[test]
     fn example_2_4_database_entailments() {
         // u < v < w, u <= t <= w with labels P,Q,R,S.
-        let g = OrderGraph::from_dag_edges(
-            4,
-            &[(0, 1, Lt), (1, 2, Lt), (0, 3, Le), (3, 2, Le)],
-        )
-        .unwrap();
+        let g = OrderGraph::from_dag_edges(4, &[(0, 1, Lt), (1, 2, Lt), (0, 3, Le), (3, 2, Le)])
+            .unwrap();
         let db = MonadicDatabase::new(g, vec![ps(&[0]), ps(&[1]), ps(&[2]), ps(&[3])]);
         // P < Q < R holds along the strict chain.
         assert!(entails(&db, &word(&[&[0], &[1], &[2]])));

@@ -54,10 +54,11 @@ pub use indord_wqo as wqo;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use indord_core::prelude::*;
     pub use indord_core::parse::{parse_query_expr, parse_query_with_db};
+    pub use indord_core::prelude::*;
+    pub use indord_core::session::Session;
     pub use indord_entail::engine::Verdict;
-    pub use indord_entail::{Engine, MonadicVerdict, Strategy};
+    pub use indord_entail::{Engine, MonadicVerdict, Plan, PreparedQuery, Strategy};
     pub use indord_semantics::{with_integrity_constraint, OrderType};
 }
 
@@ -71,5 +72,20 @@ mod tests {
         let db = parse_database(&mut voc, "P(u); Q(v); u < v;").unwrap();
         let q = parse_query(&mut voc, "exists s t. P(s) & s < t & Q(t)").unwrap();
         assert!(Engine::new(&voc).entails(&db, &q).unwrap().holds());
+    }
+
+    #[test]
+    fn facade_prepared_round_trip() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "P(u); Q(v); u < v;").unwrap();
+        let q = parse_query(&mut voc, "exists s t. P(s) & s < t & Q(t)").unwrap();
+        let engine = Engine::new(&voc);
+        let session = Session::new(db);
+        let prepared: PreparedQuery = engine.prepare(&q).unwrap();
+        assert_eq!(prepared.plan(), Plan::Seq);
+        assert!(engine
+            .entails_prepared(&session, &prepared)
+            .unwrap()
+            .holds());
     }
 }

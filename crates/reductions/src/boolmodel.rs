@@ -58,15 +58,30 @@ pub fn truth_table(voc: &mut Vocabulary) -> (BoolSyms, Database) {
     let s = symbols(voc);
     let (t, f) = (Term::Obj(s.t), Term::Obj(s.f));
     let mut db = Database::new();
-    db.push_proper(ProperAtom { pred: s.istrue, args: vec![t] });
+    db.push_proper(ProperAtom {
+        pred: s.istrue,
+        args: vec![t],
+    });
     for (a, b) in [(t, t), (t, f), (f, t), (f, f)] {
         let and_v = if a == t && b == t { t } else { f };
         let or_v = if a == t || b == t { t } else { f };
-        db.push_proper(ProperAtom { pred: s.and, args: vec![a, b, and_v] });
-        db.push_proper(ProperAtom { pred: s.or, args: vec![a, b, or_v] });
+        db.push_proper(ProperAtom {
+            pred: s.and,
+            args: vec![a, b, and_v],
+        });
+        db.push_proper(ProperAtom {
+            pred: s.or,
+            args: vec![a, b, or_v],
+        });
     }
-    db.push_proper(ProperAtom { pred: s.not, args: vec![t, f] });
-    db.push_proper(ProperAtom { pred: s.not, args: vec![f, t] });
+    db.push_proper(ProperAtom {
+        pred: s.not,
+        args: vec![t, f],
+    });
+    db.push_proper(ProperAtom {
+        pred: s.not,
+        args: vec![f, t],
+    });
     (s, db)
 }
 
@@ -83,7 +98,12 @@ pub struct ValBuilder {
 impl ValBuilder {
     /// Creates a builder over the given symbols.
     pub fn new(syms: BoolSyms) -> Self {
-        ValBuilder { syms, atoms: Vec::new(), fresh: Vec::new(), counter: 0 }
+        ValBuilder {
+            syms,
+            atoms: Vec::new(),
+            fresh: Vec::new(),
+            counter: 0,
+        }
     }
 
     fn fresh_var(&mut self) -> String {
@@ -97,11 +117,7 @@ impl ValBuilder {
     /// assignment named by `var_name(i)` is the returned term. Base-case
     /// variables are passed through by name (the equality elimination of
     /// the paper).
-    pub fn emit(
-        &mut self,
-        formula: &Formula,
-        var_name: &dyn Fn(u32) -> String,
-    ) -> String {
+    pub fn emit(&mut self, formula: &Formula, var_name: &dyn Fn(u32) -> String) -> String {
         match formula {
             Formula::Var(i) => var_name(*i),
             Formula::Not(g) => {
@@ -119,12 +135,7 @@ impl ValBuilder {
     }
 
     /// Folds an n-ary connective into binary atoms.
-    fn fold(
-        &mut self,
-        gs: &[Formula],
-        pred: PredSym,
-        var_name: &dyn Fn(u32) -> String,
-    ) -> String {
+    fn fold(&mut self, gs: &[Formula], pred: PredSym, var_name: &dyn Fn(u32) -> String) -> String {
         assert!(!gs.is_empty(), "normalize empty connectives away first");
         let mut acc = self.emit(&gs[0], var_name);
         for g in &gs[1..] {
@@ -209,14 +220,16 @@ mod tests {
                                 pred: syms.not,
                                 args: vec![QTerm::Var(z), QTerm::Var(w.clone())],
                             },
-                            QueryExpr::Proper { pred: syms.istrue, args: vec![QTerm::Var(w)] },
+                            QueryExpr::Proper {
+                                pred: syms.istrue,
+                                args: vec![QTerm::Var(w)],
+                            },
                         ])),
                     ));
                 }
             }
             guards.push(expr);
-            let names: Vec<String> =
-                (0..assignment.len()).map(|i| name(i as u32)).collect();
+            let names: Vec<String> = (0..assignment.len()).map(|i| name(i as u32)).collect();
             let full = QueryExpr::Exists(names, Box::new(QueryExpr::And(guards)));
             let q = full.to_dnf(&voc).unwrap();
             let eng = Engine::new(&voc);

@@ -56,9 +56,15 @@ pub struct Thm32Instance {
 
 /// Interns the two binary predicates and `Comp`.
 fn predicates(voc: &mut Vocabulary) -> (PredSym, PredSym, PredSym) {
-    let p = voc.pred("P32", &[Sort::Order, Sort::Object]).expect("signature");
-    let q = voc.pred("Q32", &[Sort::Object, Sort::Object]).expect("signature");
-    let comp = voc.pred("Comp32", &[Sort::Object, Sort::Object]).expect("signature");
+    let p = voc
+        .pred("P32", &[Sort::Order, Sort::Object])
+        .expect("signature");
+    let q = voc
+        .pred("Q32", &[Sort::Object, Sort::Object])
+        .expect("signature");
+    let comp = voc
+        .pred("Comp32", &[Sort::Object, Sort::Object])
+        .expect("signature");
     (p, q, comp)
 }
 
@@ -83,7 +89,10 @@ pub fn fixed_query(voc: &mut Vocabulary) -> DnfQuery {
                     args: vec![QTerm::Var(t2.clone()), QTerm::Var(z.into())],
                 },
                 QueryExpr::lt(&t2, &t3),
-                QueryExpr::Proper { pred: p, args: vec![QTerm::Var(t3), QTerm::Var(z.into())] },
+                QueryExpr::Proper {
+                    pred: p,
+                    args: vec![QTerm::Var(t3), QTerm::Var(z.into())],
+                },
             ])),
         )
     };
@@ -122,10 +131,12 @@ pub fn build(voc: &mut Vocabulary, inst: &Mono3Sat, layout: Layout) -> Thm32Inst
     let mut db = Database::new();
 
     // Complement facts F: Comp(l, l̄) for every letter.
-    let letters: Vec<ObjSym> =
-        (0..inst.n_vars).map(|i| voc.obj(&format!("$lit{i}"))).collect();
-    let neg_letters: Vec<ObjSym> =
-        (0..inst.n_vars).map(|i| voc.obj(&format!("$nlit{i}"))).collect();
+    let letters: Vec<ObjSym> = (0..inst.n_vars)
+        .map(|i| voc.obj(&format!("$lit{i}")))
+        .collect();
+    let neg_letters: Vec<ObjSym> = (0..inst.n_vars)
+        .map(|i| voc.obj(&format!("$nlit{i}")))
+        .collect();
     for i in 0..inst.n_vars {
         db.push_proper(indord_core::atom::ProperAtom {
             pred: comp,
@@ -194,7 +205,10 @@ pub fn build(voc: &mut Vocabulary, inst: &Mono3Sat, layout: Layout) -> Thm32Inst
         db.assert_chain(indord_core::atom::OrderRel::Lt, &t_chain);
     }
 
-    Thm32Instance { db, query: fixed_query(voc) }
+    Thm32Instance {
+        db,
+        query: fixed_query(voc),
+    }
 }
 
 /// The `[<=]`-variant noted after Theorem 3.2: the ternary disjunction is
@@ -206,14 +220,20 @@ pub fn build_le_variant(voc: &mut Vocabulary, inst: &Mono3Sat) -> Thm32Instance 
     let p3 = voc
         .pred("P32le", &[Sort::Order, Sort::Order, Sort::Order])
         .expect("signature");
-    let q = voc.pred("Q32le", &[Sort::Object, Sort::Order]).expect("signature");
-    let comp = voc.pred("Comp32", &[Sort::Object, Sort::Object]).expect("signature");
+    let q = voc
+        .pred("Q32le", &[Sort::Object, Sort::Order])
+        .expect("signature");
+    let comp = voc
+        .pred("Comp32", &[Sort::Object, Sort::Object])
+        .expect("signature");
     let mut db = Database::new();
 
-    let letters: Vec<ObjSym> =
-        (0..inst.n_vars).map(|i| voc.obj(&format!("$lit{i}"))).collect();
-    let neg_letters: Vec<ObjSym> =
-        (0..inst.n_vars).map(|i| voc.obj(&format!("$nlit{i}"))).collect();
+    let letters: Vec<ObjSym> = (0..inst.n_vars)
+        .map(|i| voc.obj(&format!("$lit{i}")))
+        .collect();
+    let neg_letters: Vec<ObjSym> = (0..inst.n_vars)
+        .map(|i| voc.obj(&format!("$nlit{i}")))
+        .collect();
     for i in 0..inst.n_vars {
         db.push_proper(indord_core::atom::ProperAtom {
             pred: comp,
@@ -223,10 +243,10 @@ pub fn build_le_variant(voc: &mut Vocabulary, inst: &Mono3Sat) -> Thm32Instance 
 
     let mut idx = 0;
     let add = |db: &mut Database,
-                   voc: &mut Vocabulary,
-                   idx: usize,
-                   clause: &[u32; 3],
-                   lits: &[ObjSym]| {
+               voc: &mut Vocabulary,
+               idx: usize,
+               clause: &[u32; 3],
+               lits: &[ObjSym]| {
         let u = voc.ord(&format!("$leu{idx}"));
         let v = voc.ord(&format!("$lev{idx}"));
         let w = voc.ord(&format!("$lew{idx}"));
@@ -329,7 +349,11 @@ mod tests {
     #[test]
     fn gadget_d1_d2() {
         let mut voc = Vocabulary::new();
-        let inst = Mono3Sat { n_vars: 3, pos_clauses: vec![[0, 1, 2]], neg_clauses: vec![] };
+        let inst = Mono3Sat {
+            n_vars: 3,
+            pos_clauses: vec![[0, 1, 2]],
+            neg_clauses: vec![],
+        };
         let out = build(&mut voc, &inst, Layout::Independent);
         let phi = |name: &str| {
             format!(
@@ -345,7 +369,10 @@ mod tests {
         for name in ["$a0", "$b0", "$c0"] {
             let (gdb, q) = parse_query_with_db(&mut voc, &out.db, &phi(name)).unwrap();
             let eng = Engine::new(&voc).with_strategy(Strategy::Naive);
-            assert!(!eng.entails(&gdb, &q).unwrap().holds(), "D2 fails for {name}");
+            assert!(
+                !eng.entails(&gdb, &q).unwrap().holds(),
+                "D2 fails for {name}"
+            );
         }
     }
 
@@ -366,18 +393,31 @@ mod tests {
         // Repeated literals give the smallest unsatisfiable monotone
         // instance: (x0) ∧ (¬x0), encoded as the degenerate 3-clauses
         // [0,0,0] positive and negative.
-        let inst =
-            Mono3Sat { n_vars: 1, pos_clauses: vec![[0, 0, 0]], neg_clauses: vec![[0, 0, 0]] };
+        let inst = Mono3Sat {
+            n_vars: 1,
+            pos_clauses: vec![[0, 0, 0]],
+            neg_clauses: vec![[0, 0, 0]],
+        };
         assert!(!inst.satisfiable());
-        assert!(decide(&inst, Layout::WidthTwo), "unsat instance must be entailed");
+        assert!(
+            decide(&inst, Layout::WidthTwo),
+            "unsat instance must be entailed"
+        );
     }
 
     #[test]
     fn independent_layout_agrees_on_small_instance() {
-        let inst =
-            Mono3Sat { n_vars: 1, pos_clauses: vec![[0, 0, 0]], neg_clauses: vec![[0, 0, 0]] };
+        let inst = Mono3Sat {
+            n_vars: 1,
+            pos_clauses: vec![[0, 0, 0]],
+            neg_clauses: vec![[0, 0, 0]],
+        };
         assert!(decide(&inst, Layout::Independent));
-        let sat = Mono3Sat { n_vars: 3, pos_clauses: vec![[0, 1, 2]], neg_clauses: vec![] };
+        let sat = Mono3Sat {
+            n_vars: 3,
+            pos_clauses: vec![[0, 1, 2]],
+            neg_clauses: vec![],
+        };
         assert!(!decide(&sat, Layout::Independent));
     }
 
@@ -400,14 +440,21 @@ mod tests {
     #[test]
     fn le_variant_both_directions() {
         // Satisfiable single clause: not entailed.
-        let sat = Mono3Sat { n_vars: 3, pos_clauses: vec![[0, 1, 2]], neg_clauses: vec![] };
+        let sat = Mono3Sat {
+            n_vars: 3,
+            pos_clauses: vec![[0, 1, 2]],
+            neg_clauses: vec![],
+        };
         let mut voc = Vocabulary::new();
         let out = build_le_variant(&mut voc, &sat);
         let eng = Engine::new(&voc).with_strategy(Strategy::Naive);
         assert!(!eng.entails(&out.db, &out.query).unwrap().holds());
         // Unsatisfiable unit conflict: entailed.
-        let unsat =
-            Mono3Sat { n_vars: 1, pos_clauses: vec![[0, 0, 0]], neg_clauses: vec![[0, 0, 0]] };
+        let unsat = Mono3Sat {
+            n_vars: 1,
+            pos_clauses: vec![[0, 0, 0]],
+            neg_clauses: vec![[0, 0, 0]],
+        };
         let mut voc = Vocabulary::new();
         let out = build_le_variant(&mut voc, &unsat);
         let eng = Engine::new(&voc).with_strategy(Strategy::Naive);
@@ -416,7 +463,11 @@ mod tests {
 
     #[test]
     fn le_variant_uses_only_le() {
-        let inst = Mono3Sat { n_vars: 3, pos_clauses: vec![[0, 1, 2]], neg_clauses: vec![] };
+        let inst = Mono3Sat {
+            n_vars: 3,
+            pos_clauses: vec![[0, 1, 2]],
+            neg_clauses: vec![],
+        };
         let mut voc = Vocabulary::new();
         let out = build_le_variant(&mut voc, &inst);
         assert!(out.db.order_atoms().is_empty(), "gadgets are unconstrained");

@@ -49,12 +49,16 @@ pub fn build(voc: &mut Vocabulary, pi2: &Pi2) -> Thm33Instance {
     let n = pi2.n_universal;
     let preds: Vec<PredSym> = (0..n)
         .map(|i| {
-            voc.pred(&format!("P33_{i}"), &[Sort::Order, Sort::Object]).expect("signature")
+            voc.pred(&format!("P33_{i}"), &[Sort::Order, Sort::Object])
+                .expect("signature")
         })
         .collect();
     for (i, &p) in preds.iter().enumerate() {
         push_gadget(voc, &mut db, syms, i, |pt, obj, db| {
-            db.push_proper(ProperAtom { pred: p, args: vec![Term::Ord(pt), Term::Obj(obj)] });
+            db.push_proper(ProperAtom {
+                pred: p,
+                args: vec![Term::Ord(pt), Term::Obj(obj)],
+            });
         });
     }
     let phi = |i: usize, z: &str| -> QueryExpr {
@@ -86,7 +90,9 @@ pub fn build_fixed_preds(voc: &mut Vocabulary, pi2: &Pi2) -> Thm33Instance {
     let p = voc
         .pred("P33c", &[Sort::Order, Sort::Object, Sort::Object])
         .expect("signature");
-    let r = voc.pred("R33c", &[Sort::Object, Sort::Object]).expect("signature");
+    let r = voc
+        .pred("R33c", &[Sort::Object, Sort::Object])
+        .expect("signature");
     let q = voc.pred("Q33c", &[Sort::Object]).expect("signature");
     let n = pi2.n_universal;
 
@@ -94,8 +100,7 @@ pub fn build_fixed_preds(voc: &mut Vocabulary, pi2: &Pi2) -> Thm33Instance {
         // chain nodes c₀ … cᵢ, one fresh chain per gadget *atom* would be
         // wasteful; one chain per gadget suffices (all its P-facts share
         // the chain head).
-        let chain: Vec<ObjSym> =
-            (0..=i).map(|j| voc.obj(&format!("$c{i}_{j}"))).collect();
+        let chain: Vec<ObjSym> = (0..=i).map(|j| voc.obj(&format!("$c{i}_{j}"))).collect();
         for w in chain.windows(2) {
             db.push_proper(ProperAtom {
                 pred: r,
@@ -122,8 +127,7 @@ pub fn build_fixed_preds(voc: &mut Vocabulary, pi2: &Pi2) -> Thm33Instance {
         let mut vars = vec![s1.clone(), s2.clone()];
         let mut atoms = vec![QueryExpr::lt(&s1, &s2)];
         for (occ, s) in [(0usize, &s1), (1, &s2)] {
-            let cs: Vec<String> =
-                (0..=i).map(|j| format!("$cc{i}_{occ}_{j}")).collect();
+            let cs: Vec<String> = (0..=i).map(|j| format!("$cc{i}_{occ}_{j}")).collect();
             vars.extend(cs.iter().cloned());
             atoms.push(QueryExpr::Proper {
                 pred: p,
@@ -221,14 +225,22 @@ mod tests {
                 Formula::Not(Box::new(Formula::Var(1))),
             ]),
         ]);
-        let pi2 = Pi2 { n_universal: 1, n_existential: 1, matrix: iff };
+        let pi2 = Pi2 {
+            n_universal: 1,
+            n_existential: 1,
+            matrix: iff,
+        };
         assert!(pi2.is_true());
         assert!(decide(&pi2));
     }
 
     #[test]
     fn forall_p_p_is_false() {
-        let pi2 = Pi2 { n_universal: 1, n_existential: 0, matrix: Formula::Var(0) };
+        let pi2 = Pi2 {
+            n_universal: 1,
+            n_existential: 0,
+            matrix: Formula::Var(0),
+        };
         assert!(!pi2.is_true());
         assert!(!decide(&pi2));
     }
@@ -244,7 +256,10 @@ mod tests {
         let unsat = Pi2 {
             n_universal: 0,
             n_existential: 1,
-            matrix: Formula::And(vec![Formula::Var(0), Formula::Not(Box::new(Formula::Var(0)))]),
+            matrix: Formula::And(vec![
+                Formula::Var(0),
+                Formula::Not(Box::new(Formula::Var(0))),
+            ]),
         };
         assert!(!decide(&unsat));
     }
@@ -278,7 +293,11 @@ mod tests {
     #[test]
     fn fixed_preds_use_three_extra_predicates() {
         let mut voc = Vocabulary::new();
-        let pi2 = Pi2 { n_universal: 2, n_existential: 1, matrix: Formula::Var(0) };
+        let pi2 = Pi2 {
+            n_universal: 2,
+            n_existential: 1,
+            matrix: Formula::Var(0),
+        };
         let _ = build_fixed_preds(&mut voc, &pi2);
         assert!(voc.find_pred("P33c").is_some());
         assert!(voc.find_pred("R33c").is_some());

@@ -35,8 +35,8 @@ pub fn satisfiability_query(voc: &mut Vocabulary, formula: &Formula) -> DnfQuery
 mod tests {
     use super::*;
     use indord_entail::Engine;
-    use indord_solvers::dpll;
     use indord_solvers::cnf::Cnf;
+    use indord_solvers::dpll;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -50,7 +50,10 @@ mod tests {
 
     #[test]
     fn contradiction_not_entailed() {
-        let f = Formula::And(vec![Formula::Var(0), Formula::Not(Box::new(Formula::Var(0)))]);
+        let f = Formula::And(vec![
+            Formula::Var(0),
+            Formula::Not(Box::new(Formula::Var(0))),
+        ]);
         assert!(!decide(&f));
     }
 

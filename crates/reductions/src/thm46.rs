@@ -53,7 +53,11 @@ fn keeps(term: &[i32], m: usize) -> Vec<Keep> {
     let mut dead = false;
     for &l in term {
         let v = var_of(l);
-        let want = if l > 0 { Keep::TrueOnly } else { Keep::FalseOnly };
+        let want = if l > 0 {
+            Keep::TrueOnly
+        } else {
+            Keep::FalseOnly
+        };
         ks[v] = match (ks[v], want) {
             (Keep::Both, w) => w,
             (k, w) if k == w => k,
@@ -201,7 +205,10 @@ mod tests {
     #[test]
     fn query_shape_matches_fig7() {
         let mut voc = Vocabulary::new();
-        let dnf = Dnf { n_vars: 3, terms: vec![vec![lit(0)]] };
+        let dnf = Dnf {
+            n_vars: 3,
+            terms: vec![vec![lit(0)]],
+        };
         let out = build(&mut voc, &dnf);
         assert_eq!(out.query.len(), 6);
         assert_eq!(out.query.width(), 2);
@@ -213,7 +220,10 @@ mod tests {
         // The paper's example disjunct over 4 variables: p1 ∧ ¬p3 ∧ p4
         // (1-indexed) keeps T | both | F | T.
         let mut voc = Vocabulary::new();
-        let dnf = Dnf { n_vars: 4, terms: vec![vec![lit(0), neg(2), lit(3)]] };
+        let dnf = Dnf {
+            n_vars: 4,
+            terms: vec![vec![lit(0), neg(2), lit(3)]],
+        };
         let out = build(&mut voc, &dnf);
         assert_eq!(out.db.len(), 1 + 2 + 1 + 1);
         assert_eq!(out.db.path_count(), 2);
@@ -223,12 +233,18 @@ mod tests {
     fn tautology_iff_entailed_handpicked() {
         let mut voc = Vocabulary::new();
         // x ∨ ¬x over one variable: tautology.
-        let taut = Dnf { n_vars: 1, terms: vec![vec![lit(0)], vec![neg(0)]] };
+        let taut = Dnf {
+            n_vars: 1,
+            terms: vec![vec![lit(0)], vec![neg(0)]],
+        };
         let out = build(&mut voc, &taut);
         assert!(paths::entails(&out.db, &out.query));
         assert!(bounded::entails(&out.db, &out.query));
         // x alone: not a tautology.
-        let nt = Dnf { n_vars: 1, terms: vec![vec![lit(0)]] };
+        let nt = Dnf {
+            n_vars: 1,
+            terms: vec![vec![lit(0)]],
+        };
         let out = build(&mut voc, &nt);
         assert!(!paths::entails(&out.db, &out.query));
         assert!(!bounded::entails(&out.db, &out.query));
@@ -260,7 +276,9 @@ mod tests {
             let mut voc = Vocabulary::new();
             let out = build(&mut voc, &dnf);
             let fast = paths::entails(&out.db, &out.query);
-            let slow = naive::monadic_check(&out.db, &[out.query.clone()]).unwrap().holds();
+            let slow = naive::monadic_check(&out.db, std::slice::from_ref(&out.query))
+                .unwrap()
+                .holds();
             assert_eq!(fast, slow, "{dnf:?}");
         }
     }
@@ -268,7 +286,10 @@ mod tests {
     #[test]
     fn contradictory_disjuncts_are_ignored() {
         let mut voc = Vocabulary::new();
-        let dnf = Dnf { n_vars: 2, terms: vec![vec![lit(0), neg(0)], vec![lit(1)], vec![neg(1)]] };
+        let dnf = Dnf {
+            n_vars: 2,
+            terms: vec![vec![lit(0), neg(0)], vec![lit(1)], vec![neg(1)]],
+        };
         let out = build(&mut voc, &dnf);
         // contradictory first term contributes no component
         assert_eq!(out.db.path_count(), 2 + 2);
@@ -284,11 +305,7 @@ mod tests {
             let want = dnf.is_tautology();
             let mut voc = Vocabulary::new();
             let out = build_le_variant(&mut voc, &dnf);
-            assert!(out
-                .db
-                .graph
-                .edges()
-                .all(|(_, _, r)| r == OrderRel::Le));
+            assert!(out.db.graph.edges().all(|(_, _, r)| r == OrderRel::Le));
             let got = bounded::entails(&out.db, &out.query);
             assert_eq!(got, want, "{dnf:?}");
             seen[usize::from(want)] += 1;

@@ -31,8 +31,7 @@ pub fn build_expression(voc: &mut Vocabulary, g: &Graph) -> (Database, DnfQuery)
         });
     }
     let names: Vec<String> = (0..g.n).map(|i| format!("v{i}")).collect();
-    let mut parts: Vec<QueryExpr> =
-        names.iter().map(|nm| QueryExpr::atom1(p, nm)).collect();
+    let mut parts: Vec<QueryExpr> = names.iter().map(|nm| QueryExpr::atom1(p, nm)).collect();
     for &(a, b) in &g.edges {
         parts.push(QueryExpr::ne(&names[a as usize], &names[b as usize]));
     }
@@ -46,8 +45,7 @@ pub fn build_expression(voc: &mut Vocabulary, g: &Graph) -> (Database, DnfQuery)
 pub fn fixed_sequential_query(voc: &mut Vocabulary) -> DnfQuery {
     let p = voc.monadic_pred("P71");
     let names: Vec<String> = (1..=4).map(|i| format!("t{i}")).collect();
-    let mut parts: Vec<QueryExpr> =
-        names.iter().map(|nm| QueryExpr::atom1(p, nm)).collect();
+    let mut parts: Vec<QueryExpr> = names.iter().map(|nm| QueryExpr::atom1(p, nm)).collect();
     for w in names.windows(2) {
         parts.push(QueryExpr::lt(&w[0], &w[1]));
     }

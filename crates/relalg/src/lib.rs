@@ -104,7 +104,11 @@ pub struct RelQuery {
 impl RelQuery {
     /// A boolean query (empty head).
     pub fn boolean(body: ConjunctiveQuery) -> RelQuery {
-        RelQuery { head_obj: Vec::new(), head_ord: Vec::new(), body }
+        RelQuery {
+            head_obj: Vec::new(),
+            head_ord: Vec::new(),
+            body,
+        }
     }
 
     /// Evaluates the answer set `Ans(Q, M)` by backtracking join.
@@ -123,16 +127,17 @@ impl RelQuery {
     }
 
     fn order_ok(&self, ord: &[Option<i64>]) -> bool {
-        self.body.order.iter().all(|&(l, rel, r)| {
-            match (ord[l as usize], ord[r as usize]) {
+        self.body
+            .order
+            .iter()
+            .all(|&(l, rel, r)| match (ord[l as usize], ord[r as usize]) {
                 (Some(a), Some(b)) => match rel {
                     OrderRel::Lt => a < b,
                     OrderRel::Le => a <= b,
                     OrderRel::Ne => a != b,
                 },
                 _ => true,
-            }
-        })
+            })
     }
 
     fn join(
@@ -166,7 +171,9 @@ impl RelQuery {
             return;
         }
         let atom = &self.body.proper[atom_idx];
-        let Some(facts) = by_pred.get(&atom.pred) else { return };
+        let Some(facts) = by_pred.get(&atom.pred) else {
+            return;
+        };
         'facts: for f in facts {
             let mut bound_obj = Vec::new();
             let mut bound_ord = Vec::new();
@@ -245,7 +252,9 @@ pub fn contained_in(
             voc.fresh_obj_for_freeze(i)
         })
         .collect();
-    let ords: Vec<_> = (0..q1.body.n_ord_vars).map(|i| voc.fresh_ord(&format!("frz{i}_"))).collect();
+    let ords: Vec<_> = (0..q1.body.n_ord_vars)
+        .map(|i| voc.fresh_ord(&format!("frz{i}_")))
+        .collect();
     let mut db = Database::new();
     for a in &q1.body.proper {
         let args = a
@@ -284,10 +293,16 @@ pub fn contained_in(
     }
     let mut body2 = q2.body.clone();
     for (&var, &g) in &head_obj_guard {
-        body2.proper.push(indord_core::query::QueryAtom { pred: g, args: vec![QArg::Obj(var)] });
+        body2.proper.push(indord_core::query::QueryAtom {
+            pred: g,
+            args: vec![QArg::Obj(var)],
+        });
     }
     for (&var, &g) in &head_ord_guard {
-        body2.proper.push(indord_core::query::QueryAtom { pred: g, args: vec![QArg::Ord(var)] });
+        body2.proper.push(indord_core::query::QueryAtom {
+            pred: g,
+            args: vec![QArg::Ord(var)],
+        });
     }
     let query = DnfQuery::conjunctive(body2);
     Ok(indord_semantics::entails(voc, &db, &query, order_type)?.holds())
@@ -351,11 +366,7 @@ pub fn entailment_as_containment(
 ///
 /// Order atoms are also pruned when they are implied by the remainder
 /// (the *fullness* closure in reverse).
-pub fn minimize(
-    voc: &mut Vocabulary,
-    q: &RelQuery,
-    order_type: OrderType,
-) -> Result<RelQuery> {
+pub fn minimize(voc: &mut Vocabulary, q: &RelQuery, order_type: OrderType) -> Result<RelQuery> {
     let mut current = q.clone();
     // 1. Drop redundant proper atoms.
     loop {
@@ -454,7 +465,12 @@ impl FreezeExt for Vocabulary {
 
 /// Database extension used by the freezing construction.
 trait OrderPushExt {
-    fn order_push_rel(&mut self, rel: OrderRel, l: indord_core::sym::OrdSym, r: indord_core::sym::OrdSym);
+    fn order_push_rel(
+        &mut self,
+        rel: OrderRel,
+        l: indord_core::sym::OrdSym,
+        r: indord_core::sym::OrdSym,
+    );
 }
 
 impl OrderPushExt for Database {
@@ -495,15 +511,21 @@ mod tests {
         let a = voc.obj("a");
         let b = voc.obj("b");
         let mut inst = RelInstance::default();
-        inst.insert(&voc, r, vec![RelVal::Obj(a), RelVal::Num(1)]).unwrap();
-        inst.insert(&voc, r, vec![RelVal::Obj(b), RelVal::Num(5)]).unwrap();
+        inst.insert(&voc, r, vec![RelVal::Obj(a), RelVal::Num(1)])
+            .unwrap();
+        inst.insert(&voc, r, vec![RelVal::Obj(b), RelVal::Num(5)])
+            .unwrap();
         // boolean: ∃x s t y. R(x,s) & s < t & R(y,t)
         let body = cq(&mut voc, "exists x s t y. R(x, s) & s < t & R(y, t)");
         let q = RelQuery::boolean(body);
         assert_eq!(q.answers(&inst).len(), 1); // the null tuple
-        // with head: [x : ∃s. R(x,s) & exists t y. R(y,t) & s < t]
+                                               // with head: [x : ∃s. R(x,s) & exists t y. R(y,t) & s < t]
         let body = cq(&mut voc, "exists x s t y. R(x, s) & s < t & R(y, t)");
-        let q = RelQuery { head_obj: vec![0], head_ord: vec![], body };
+        let q = RelQuery {
+            head_obj: vec![0],
+            head_ord: vec![],
+            body,
+        };
         let ans = q.answers(&inst);
         assert_eq!(ans, vec![vec![RelVal::Obj(a)]]);
     }
@@ -519,7 +541,10 @@ mod tests {
         ] {
             let b = cq(&mut voc, text);
             let q = RelQuery::boolean(b);
-            assert!(contained_in(&mut voc, &q, &q, OrderType::Fin).unwrap(), "{text}");
+            assert!(
+                contained_in(&mut voc, &q, &q, OrderType::Fin).unwrap(),
+                "{text}"
+            );
         }
     }
 
@@ -535,8 +560,7 @@ mod tests {
     }
 
     #[test]
-    fn containment_disagrees_with_counterexample_search_never(
-    ) {
+    fn containment_disagrees_with_counterexample_search_never() {
         // Soundness: when contained_in says yes, no sampled instance may
         // be a counterexample; when it says no, the frozen database itself
         // is one (checked implicitly by the reduction's correctness).
@@ -550,8 +574,10 @@ mod tests {
         let mut insts = Vec::new();
         for (n1, n2) in [(1i64, 2i64), (2, 1), (1, 1), (0, 5)] {
             let mut inst = RelInstance::default();
-            inst.insert(&voc, r, vec![RelVal::Obj(a), RelVal::Num(n1)]).unwrap();
-            inst.insert(&voc, s, vec![RelVal::Num(n1), RelVal::Num(n2)]).unwrap();
+            inst.insert(&voc, r, vec![RelVal::Obj(a), RelVal::Num(n1)])
+                .unwrap();
+            inst.insert(&voc, s, vec![RelVal::Num(n1), RelVal::Num(n2)])
+                .unwrap();
             insts.push(inst);
         }
         assert!(find_counterexample(&q1, &q2, &insts).is_none());
@@ -567,8 +593,16 @@ mod tests {
         // contained in the former, not conversely.
         let b1 = cq(&mut voc, "exists x s. R(x, s)");
         let b2 = cq(&mut voc, "exists x s t. R(x, s) & s < t & S(s, t)");
-        let q1 = RelQuery { head_obj: vec![0], head_ord: vec![], body: b1 };
-        let q2 = RelQuery { head_obj: vec![0], head_ord: vec![], body: b2 };
+        let q1 = RelQuery {
+            head_obj: vec![0],
+            head_ord: vec![],
+            body: b1,
+        };
+        let q2 = RelQuery {
+            head_obj: vec![0],
+            head_ord: vec![],
+            body: b2,
+        };
         assert!(contained_in(&mut voc, &q2, &q1, OrderType::Fin).unwrap());
         assert!(!contained_in(&mut voc, &q1, &q2, OrderType::Fin).unwrap());
     }
@@ -591,10 +625,7 @@ mod tests {
         // R(x,s) ∧ R(y,t) ∧ s <= t ∧ s <= t … with a genuinely redundant
         // second R-atom: ∃x s y t. R(x,s) ∧ R(y,t) ∧ s <= s — the atom
         // R(y,t) is redundant for the boolean query (map y,t onto x,s).
-        let q = RelQuery::boolean(cq(
-            &mut voc,
-            "exists x s y t. R(x, s) & R(y, t) & s <= s",
-        ));
+        let q = RelQuery::boolean(cq(&mut voc, "exists x s y t. R(x, s) & R(y, t) & s <= s"));
         let m = minimize(&mut voc, &q, OrderType::Fin).unwrap();
         assert_eq!(m.body.proper.len(), 1, "one R-atom suffices: {m:?}");
         // Equivalence is preserved.
@@ -624,7 +655,10 @@ mod tests {
             "exists s w t. S(s, w) & S(w, t) & s < w & w < t & s < t",
         ));
         let m = minimize(&mut voc, &q, OrderType::Fin).unwrap();
-        assert!(m.body.order.len() < 3, "the transitive s < t must be pruned: {m:?}");
+        assert!(
+            m.body.order.len() < 3,
+            "the transitive s < t must be pruned: {m:?}"
+        );
         assert!(contained_in(&mut voc, &m, &q, OrderType::Fin).unwrap());
         assert!(contained_in(&mut voc, &q, &m, OrderType::Fin).unwrap());
     }
@@ -635,7 +669,11 @@ mod tests {
         // [x : R(x,s) ∧ R(y,t)]: the R(y,t) atom is redundant but R(x,s)
         // binds the head and must stay.
         let b = cq(&mut voc, "exists x s y t. R(x, s) & R(y, t)");
-        let q = RelQuery { head_obj: vec![0], head_ord: vec![], body: b };
+        let q = RelQuery {
+            head_obj: vec![0],
+            head_ord: vec![],
+            body: b,
+        };
         let m = minimize(&mut voc, &q, OrderType::Fin).unwrap();
         assert_eq!(m.body.proper.len(), 1);
         assert_eq!(m.head_obj, vec![0]);

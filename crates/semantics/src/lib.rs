@@ -69,11 +69,15 @@ pub fn entails_with(
         OrderType::Fin => Engine::new(voc).with_strategy(strategy).entails(db, query),
         OrderType::Z => {
             let reduced = reduce_z(voc, db, query);
-            Engine::new(voc).with_strategy(strategy).entails(&reduced, query)
+            Engine::new(voc)
+                .with_strategy(strategy)
+                .entails(&reduced, query)
         }
         OrderType::Q => {
             let reduced_q = reduce_q(query);
-            Engine::new(voc).with_strategy(strategy).entails(db, &reduced_q)
+            Engine::new(voc)
+                .with_strategy(strategy)
+                .entails(db, &reduced_q)
         }
     }
 }
@@ -178,8 +182,11 @@ mod tests {
     fn paper_separating_example_z_vs_q() {
         let mut voc = Vocabulary::new();
         let db = parse_database(&mut voc, "P(u); P(v); u < v;").unwrap();
-        let q = parse_query(&mut voc, "exists t1 t2 t3. P(t1) & t1 < t2 & t2 < t3 & P(t3)")
-            .unwrap();
+        let q = parse_query(
+            &mut voc,
+            "exists t1 t2 t3. P(t1) & t1 < t2 & t2 < t3 & P(t3)",
+        )
+        .unwrap();
         assert!(!q.is_tight());
         let (fin, z, qq) = all_semantics(&mut voc, &db, &q).unwrap();
         assert!(!fin);

@@ -64,7 +64,10 @@ impl Cnf {
     /// per connective. The original variables keep their indices, so a
     /// satisfying assignment restricted to `0..n_original` satisfies `f`.
     pub fn tseitin(f: &Formula, n_original: usize) -> Cnf {
-        let mut cnf = Cnf { n_vars: n_original.max(f.num_vars()), clauses: Vec::new() };
+        let mut cnf = Cnf {
+            n_vars: n_original.max(f.num_vars()),
+            clauses: Vec::new(),
+        };
         let root = encode(f, &mut cnf);
         cnf.clauses.push(vec![root]);
         cnf
@@ -154,12 +157,18 @@ mod tests {
     #[test]
     fn eval_and_brute() {
         // (x0 ∨ x1) ∧ (¬x0 ∨ ¬x1): xor-ish, satisfiable.
-        let cnf = Cnf { n_vars: 2, clauses: vec![vec![lit(0), lit(1)], vec![neg(0), neg(1)]] };
+        let cnf = Cnf {
+            n_vars: 2,
+            clauses: vec![vec![lit(0), lit(1)], vec![neg(0), neg(1)]],
+        };
         assert!(cnf.eval(&[true, false]));
         assert!(!cnf.eval(&[true, true]));
         assert!(cnf.satisfiable_brute());
         // x0 ∧ ¬x0
-        let cnf = Cnf { n_vars: 1, clauses: vec![vec![lit(0)], vec![neg(0)]] };
+        let cnf = Cnf {
+            n_vars: 1,
+            clauses: vec![vec![lit(0)], vec![neg(0)]],
+        };
         assert!(!cnf.satisfiable_brute());
     }
 

@@ -72,7 +72,10 @@ impl Graph {
     /// Validates a colouring.
     pub fn is_proper_coloring(&self, colors: &[usize]) -> bool {
         colors.len() == self.n
-            && self.edges.iter().all(|&(a, b)| colors[a as usize] != colors[b as usize])
+            && self
+                .edges
+                .iter()
+                .all(|&(a, b)| colors[a as usize] != colors[b as usize])
     }
 
     /// A random G(n, p) graph.
@@ -102,8 +105,7 @@ impl Graph {
     /// The cycle `C_n` (3-colourable for every `n ≠ 0`, 2-colourable iff
     /// even).
     pub fn cycle(n: usize) -> Graph {
-        let edges: Vec<(u32, u32)> =
-            (0..n).map(|i| (i as u32, ((i + 1) % n) as u32)).collect();
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i as u32, ((i + 1) % n) as u32)).collect();
         Graph::new(n, &edges)
     }
 }

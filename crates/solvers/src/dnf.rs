@@ -39,9 +39,15 @@ impl Dnf {
     /// clause of negated literals. The DNF is a tautology iff the
     /// complement is unsatisfiable.
     pub fn is_tautology(&self) -> bool {
-        let clauses: Vec<Vec<i32>> =
-            self.terms.iter().map(|t| t.iter().map(|&l| -l).collect()).collect();
-        !dpll::satisfiable(&Cnf { n_vars: self.n_vars, clauses })
+        let clauses: Vec<Vec<i32>> = self
+            .terms
+            .iter()
+            .map(|t| t.iter().map(|&l| -l).collect())
+            .collect();
+        !dpll::satisfiable(&Cnf {
+            n_vars: self.n_vars,
+            clauses,
+        })
     }
 
     /// Brute-force tautology check (oracle).
@@ -79,7 +85,11 @@ impl Dnf {
                     vars.push(v);
                 }
             }
-            terms.push(vars.iter().map(|&v| if rng.gen() { lit(v) } else { neg(v) }).collect());
+            terms.push(
+                vars.iter()
+                    .map(|&v| if rng.gen() { lit(v) } else { neg(v) })
+                    .collect(),
+            );
         }
         Dnf { n_vars, terms }
     }
@@ -93,14 +103,20 @@ mod tests {
 
     #[test]
     fn excluded_middle_is_tautology() {
-        let d = Dnf { n_vars: 1, terms: vec![vec![lit(0)], vec![neg(0)]] };
+        let d = Dnf {
+            n_vars: 1,
+            terms: vec![vec![lit(0)], vec![neg(0)]],
+        };
         assert!(d.is_tautology());
         assert!(d.is_tautology_brute());
     }
 
     #[test]
     fn single_term_is_not() {
-        let d = Dnf { n_vars: 2, terms: vec![vec![lit(0), lit(1)]] };
+        let d = Dnf {
+            n_vars: 2,
+            terms: vec![vec![lit(0), lit(1)]],
+        };
         assert!(!d.is_tautology());
         assert!(!d.is_tautology_brute());
     }
@@ -119,7 +135,10 @@ mod tests {
         };
         assert!(d.is_tautology());
         // dropping one pattern breaks it
-        let d2 = Dnf { n_vars: 2, terms: d.terms[..3].to_vec() };
+        let d2 = Dnf {
+            n_vars: 2,
+            terms: d.terms[..3].to_vec(),
+        };
         assert!(!d2.is_tautology());
     }
 
@@ -133,13 +152,22 @@ mod tests {
             assert_eq!(fast, d.is_tautology_brute(), "{d:?}");
             tautologies += usize::from(fast);
         }
-        assert!(tautologies > 10, "generator should produce some tautologies");
-        assert!(tautologies < 290, "generator should produce some non-tautologies");
+        assert!(
+            tautologies > 10,
+            "generator should produce some tautologies"
+        );
+        assert!(
+            tautologies < 290,
+            "generator should produce some non-tautologies"
+        );
     }
 
     #[test]
     fn empty_dnf_is_not_tautology() {
-        let d = Dnf { n_vars: 1, terms: vec![] };
+        let d = Dnf {
+            n_vars: 1,
+            terms: vec![],
+        };
         assert!(!d.is_tautology());
     }
 }

@@ -151,9 +151,19 @@ mod tests {
 
     #[test]
     fn trivial_cases() {
-        assert!(satisfiable(&Cnf { n_vars: 0, clauses: vec![] }));
-        assert!(!satisfiable(&Cnf { n_vars: 1, clauses: vec![vec![lit(0)], vec![neg(0)]] }));
-        let m = solve(&Cnf { n_vars: 1, clauses: vec![vec![lit(0)]] }).unwrap();
+        assert!(satisfiable(&Cnf {
+            n_vars: 0,
+            clauses: vec![]
+        }));
+        assert!(!satisfiable(&Cnf {
+            n_vars: 1,
+            clauses: vec![vec![lit(0)], vec![neg(0)]]
+        }));
+        let m = solve(&Cnf {
+            n_vars: 1,
+            clauses: vec![vec![lit(0)]],
+        })
+        .unwrap();
         assert!(m[0]);
     }
 

@@ -46,9 +46,7 @@ impl Formula {
         match self {
             Formula::Var(_) => 1,
             Formula::Not(f) => 1 + f.size(),
-            Formula::And(fs) | Formula::Or(fs) => {
-                1 + fs.iter().map(Formula::size).sum::<usize>()
-            }
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(Formula::size).sum::<usize>(),
         }
     }
 
@@ -78,11 +76,19 @@ impl Formula {
             0 => Formula::Not(Box::new(Formula::random(rng, n_vars, depth - 1))),
             1 => {
                 let k = rng.gen_range(2..=3);
-                Formula::And((0..k).map(|_| Formula::random(rng, n_vars, depth - 1)).collect())
+                Formula::And(
+                    (0..k)
+                        .map(|_| Formula::random(rng, n_vars, depth - 1))
+                        .collect(),
+                )
             }
             _ => {
                 let k = rng.gen_range(2..=3);
-                Formula::Or((0..k).map(|_| Formula::random(rng, n_vars, depth - 1)).collect())
+                Formula::Or(
+                    (0..k)
+                        .map(|_| Formula::random(rng, n_vars, depth - 1))
+                        .collect(),
+                )
             }
         }
     }
@@ -119,7 +125,10 @@ mod tests {
 
     #[test]
     fn brute_force_satisfiability() {
-        let f = Formula::And(vec![Formula::Var(0), Formula::Not(Box::new(Formula::Var(0)))]);
+        let f = Formula::And(vec![
+            Formula::Var(0),
+            Formula::Not(Box::new(Formula::Var(0))),
+        ]);
         assert!(!f.satisfiable_brute(1));
         let g = xor(Formula::Var(0), Formula::Var(1));
         assert!(g.satisfiable_brute(2));

@@ -30,7 +30,10 @@ impl Mono3Sat {
         for c in &self.neg_clauses {
             clauses.push(c.iter().map(|&v| neg(v as usize)).collect());
         }
-        Cnf { n_vars: self.n_vars, clauses }
+        Cnf {
+            n_vars: self.n_vars,
+            clauses,
+        }
     }
 
     /// Satisfiability via DPLL.
@@ -106,7 +109,11 @@ mod tests {
                 }
             }
         }
-        let inst = Mono3Sat { n_vars: 6, pos_clauses: pos.clone(), neg_clauses: pos };
+        let inst = Mono3Sat {
+            n_vars: 6,
+            pos_clauses: pos.clone(),
+            neg_clauses: pos,
+        };
         assert!(!inst.satisfiable());
     }
 
@@ -115,7 +122,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..200 {
             let inst = Mono3Sat::random(&mut rng, 6, 12, 12);
-            assert_eq!(inst.satisfiable(), inst.to_cnf().satisfiable_brute(), "{inst:?}");
+            assert_eq!(
+                inst.satisfiable(),
+                inst.to_cnf().satisfiable_brute(),
+                "{inst:?}"
+            );
         }
     }
 

@@ -79,9 +79,12 @@ impl Pi2 {
 
     /// A random Π₂ sentence.
     pub fn random<R: Rng>(rng: &mut R, n_universal: usize, n_existential: usize) -> Pi2 {
-        let matrix =
-            Formula::random(rng, (n_universal + n_existential) as u32, 4);
-        Pi2 { n_universal, n_existential, matrix }
+        let matrix = Formula::random(rng, (n_universal + n_existential) as u32, 4);
+        Pi2 {
+            n_universal,
+            n_existential,
+            matrix,
+        }
     }
 }
 
@@ -154,7 +157,11 @@ mod tests {
                 Formula::Not(Box::new(Formula::Var(1))),
             ]),
         ]);
-        let f = Pi2 { n_universal: 1, n_existential: 1, matrix: iff };
+        let f = Pi2 {
+            n_universal: 1,
+            n_existential: 1,
+            matrix: iff,
+        };
         assert!(f.is_true());
         assert!(f.is_true_brute());
     }
@@ -193,7 +200,11 @@ mod tests {
             ]),
         };
         assert!(f.is_true());
-        let g = Pi2 { n_universal: 1, n_existential: 0, matrix: Formula::Var(0) };
+        let g = Pi2 {
+            n_universal: 1,
+            n_existential: 0,
+            matrix: Formula::Var(0),
+        };
         assert!(!g.is_true());
     }
 

@@ -133,7 +133,10 @@ pub struct SearchLimits {
 
 impl Default for SearchLimits {
     fn default() -> Self {
-        SearchLimits { max_chains: 2, max_letters: 4 }
+        SearchLimits {
+            max_chains: 2,
+            max_letters: 4,
+        }
     }
 }
 
@@ -269,7 +272,7 @@ mod tests {
         assert!(!flexi_le(&b, &a));
         assert!(set_le(
             &[a.clone(), word(&[&[2]])],
-            &[b.clone()]
+            std::slice::from_ref(&b)
         ));
     }
 
@@ -297,7 +300,10 @@ mod tests {
             (0..n)
                 .map(|_| {
                     let bits = rng() % 8;
-                    (0..3).filter(|i| bits & (1 << i) != 0).map(PredSym::from_index).collect()
+                    (0..3)
+                        .filter(|i| bits & (1 << i) != 0)
+                        .map(PredSym::from_index)
+                        .collect()
                 })
                 .collect()
         };
@@ -354,7 +360,10 @@ mod tests {
         let disjuncts = vec![q1, q2];
         let compiled = bounded_basis_search(
             &disjuncts,
-            SearchLimits { max_chains: 2, max_letters: 3 },
+            SearchLimits {
+                max_chains: 2,
+                max_letters: 3,
+            },
         )
         .unwrap();
         assert!(!compiled.basis.is_empty());
@@ -386,12 +395,18 @@ mod tests {
         let disjuncts = vec![q1, q2, q3];
         let compiled = bounded_basis_search(
             &disjuncts,
-            SearchLimits { max_chains: 2, max_letters: 2 },
+            SearchLimits {
+                max_chains: 2,
+                max_letters: 2,
+            },
         )
         .unwrap();
         let two_chain = union_of_words(&[vec![ps(&[0])], vec![ps(&[1])]]);
         assert!(
-            compiled.basis.iter().any(|b| db_le(b, &two_chain) && db_le(&two_chain, b)),
+            compiled
+                .basis
+                .iter()
+                .any(|b| db_le(b, &two_chain) && db_le(&two_chain, b)),
             "the two-chain minimal element must be in the basis: {:?}",
             compiled.basis
         );

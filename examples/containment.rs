@@ -12,10 +12,22 @@ use indord::solvers::qbf::Pi2;
 
 fn main() {
     let mut voc = Vocabulary::new();
-    voc.pred("R", &[indord::core::sym::Sort::Object, indord::core::sym::Sort::Order])
-        .expect("signature");
-    voc.pred("S", &[indord::core::sym::Sort::Order, indord::core::sym::Sort::Order])
-        .expect("signature");
+    voc.pred(
+        "R",
+        &[
+            indord::core::sym::Sort::Object,
+            indord::core::sym::Sort::Order,
+        ],
+    )
+    .expect("signature");
+    voc.pred(
+        "S",
+        &[
+            indord::core::sym::Sort::Order,
+            indord::core::sym::Sort::Order,
+        ],
+    )
+    .expect("signature");
 
     let bool_query = |voc: &mut Vocabulary, text: &str| -> RelQuery {
         RelQuery::boolean(parse_query(voc, text).expect("query").disjuncts()[0].clone())
@@ -35,7 +47,11 @@ fn main() {
     //    rationals only (Klug's semantics-sensitivity).
     let pair = bool_query(&mut voc, "exists s t. S(s, t) & s < t");
     let mid = bool_query(&mut voc, "exists s w t. S(s, t) & s < w & w < t");
-    for (ot, name) in [(OrderType::Fin, "Fin"), (OrderType::Z, "Z"), (OrderType::Q, "Q")] {
+    for (ot, name) in [
+        (OrderType::Fin, "Fin"),
+        (OrderType::Z, "Z"),
+        (OrderType::Q, "Q"),
+    ] {
         let held = contained_in(&mut voc, &pair, &mid, ot).expect("decide");
         println!("[s<t] ⊆ [∃w s<w<t] over {name:>3}: {held}");
         assert_eq!(held, matches!(ot, OrderType::Q));
@@ -45,11 +61,7 @@ fn main() {
     //    embassy database entails its query iff the corresponding boolean
     //    queries are contained.
     let mut voc2 = Vocabulary::new();
-    let db = indord::core::parse::parse_database(
-        &mut voc2,
-        "P(u); Q(v); u < v;",
-    )
-    .expect("db");
+    let db = indord::core::parse::parse_database(&mut voc2, "P(u); Q(v); u < v;").expect("db");
     let phi = parse_query(&mut voc2, "exists s t. P(s) & s < t & Q(t)")
         .expect("query")
         .disjuncts()[0]
@@ -73,13 +85,16 @@ fn main() {
             ]),
         ]),
     };
-    let falsity = Pi2 { n_universal: 1, n_existential: 0, matrix: Formula::Var(0) };
+    let falsity = Pi2 {
+        n_universal: 1,
+        n_existential: 0,
+        matrix: Formula::Var(0),
+    };
     for (pi2, name) in [(&tautology, "∀p∃q(p↔q)"), (&falsity, "∀p.p")] {
         let mut voc3 = Vocabulary::new();
         let inst = indord::reductions::thm33::build(&mut voc3, pi2);
-        let (q1, q2) =
-            entailment_as_containment(&mut voc3, &inst.db, &inst.query.disjuncts()[0])
-                .expect("reduce");
+        let (q1, q2) = entailment_as_containment(&mut voc3, &inst.db, &inst.query.disjuncts()[0])
+            .expect("reduce");
         let contained = contained_in(&mut voc3, &q1, &q2, OrderType::Fin).expect("decide");
         println!("Π₂ sentence {name:<12} → containment: {contained}");
         assert_eq!(contained, pi2.is_true());

@@ -8,19 +8,21 @@
 //!
 //! Run with `cargo run --example gene_alignment`.
 
+use indord::core::atom::OrderRel;
 use indord::core::bitset::PredSet;
 use indord::core::flexi::FlexiWord;
 use indord::core::model::MonadicModel;
 use indord::core::monadic::{MonadicDatabase, MonadicQuery};
 use indord::core::ordgraph::OrderGraph;
-use indord::core::atom::OrderRel;
 use indord::entail::disjunctive;
 use indord::prelude::*;
 
 fn main() {
     let mut voc = Vocabulary::new();
-    let bases: Vec<PredSym> =
-        ["C", "G", "A", "T"].iter().map(|b| voc.monadic_pred(b)).collect();
+    let bases: Vec<PredSym> = ["C", "G", "A", "T"]
+        .iter()
+        .map(|b| voc.monadic_pred(b))
+        .collect();
     let base_of = |c: char| -> PredSym {
         match c {
             'C' => bases[0],
@@ -45,8 +47,10 @@ fn main() {
         let g = OrderGraph::from_dag_edges(1, &[]).expect("single vertex");
         MonadicQuery::new(g, vec![[x, y].into_iter().collect()])
     };
-    let violations =
-        vec![forbid(base_of('A'), base_of('G')), forbid(base_of('C'), base_of('T'))];
+    let violations = vec![
+        forbid(base_of('A'), base_of('G')),
+        forbid(base_of('C'), base_of('T')),
+    ];
 
     // An admissible alignment exists iff the violation query is NOT
     // entailed; every countermodel is an admissible alignment.
@@ -85,14 +89,16 @@ fn main() {
     let mixed = forbid(base_of('G'), base_of('A'));
     let db2 = union_of_sequences(&["G", "A"], &base_of);
     let cover = disjunctive::check(&db2, &[g_alone, a_alone, mixed]).expect("engine");
-    assert!(cover.holds(), "every alignment has a G column, an A column, or a mix");
-    println!("\nSanity: every alignment of \"G\" and \"A\" shows G, A, or a mixed column — certain.");
+    assert!(
+        cover.holds(),
+        "every alignment has a G column, an A column, or a mix"
+    );
+    println!(
+        "\nSanity: every alignment of \"G\" and \"A\" shows G, A, or a mixed column — certain."
+    );
 }
 
-fn union_of_sequences(
-    seqs: &[&str],
-    base_of: &dyn Fn(char) -> PredSym,
-) -> MonadicDatabase {
+fn union_of_sequences(seqs: &[&str], base_of: &dyn Fn(char) -> PredSym) -> MonadicDatabase {
     let mut labels: Vec<PredSet> = Vec::new();
     let mut edges: Vec<(usize, usize, OrderRel)> = Vec::new();
     for s in seqs {

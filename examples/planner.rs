@@ -33,10 +33,26 @@ fn main() {
 
     // Certain precedences.
     let cases = [
-        ("Chop before Serve", "exists x y. Chop(x) & x < y & Serve(y)", true),
-        ("Chop before Fry", "exists x y. Chop(x) & x < y & Fry(y)", true),
-        ("Chop before Boil", "exists x y. Chop(x) & x < y & Boil(y)", false),
-        ("Boil before Fry", "exists x y. Boil(x) & x < y & Fry(y)", false),
+        (
+            "Chop before Serve",
+            "exists x y. Chop(x) & x < y & Serve(y)",
+            true,
+        ),
+        (
+            "Chop before Fry",
+            "exists x y. Chop(x) & x < y & Fry(y)",
+            true,
+        ),
+        (
+            "Chop before Boil",
+            "exists x y. Chop(x) & x < y & Boil(y)",
+            false,
+        ),
+        (
+            "Boil before Fry",
+            "exists x y. Boil(x) & x < y & Fry(y)",
+            false,
+        ),
         (
             "Chop and Boil ever simultaneous or ordered either way",
             "(exists x. Chop(x) & Boil(x)) |
@@ -47,10 +63,7 @@ fn main() {
     ];
     for (name, text, expect) in cases {
         let got = certain(&mut voc, text);
-        println!(
-            "{name:<55} {}",
-            if got { "certain" } else { "not certain" }
-        );
+        println!("{name:<55} {}", if got { "certain" } else { "not certain" });
         assert_eq!(got, expect, "{name}");
     }
 
@@ -69,12 +82,13 @@ fn main() {
     let disjuncts: Vec<_> = fry_first
         .disjuncts()
         .iter()
-        .map(|cq| {
-            indord::core::monadic::MonadicQuery::from_conjunctive(&voc, cq).expect("monadic")
-        })
+        .map(|cq| indord::core::monadic::MonadicQuery::from_conjunctive(&voc, cq).expect("monadic"))
         .collect();
     let schedules = disjunctive::countermodels(&mdb, &disjuncts, 10).expect("engine");
-    println!("\nSchedules in which Boil strictly precedes Fry ({}):", schedules.len());
+    println!(
+        "\nSchedules in which Boil strictly precedes Fry ({}):",
+        schedules.len()
+    );
     for m in &schedules {
         println!("  {}", m.display(&voc));
     }

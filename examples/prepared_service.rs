@@ -1,0 +1,95 @@
+//! A monitoring service over an indefinite event stream: the
+//! prepare-once / entail-many pattern.
+//!
+//! A lab instrument reports phases of an experiment (Heat, Hold, Cool)
+//! at times that are only partially ordered — some sensors share clocks,
+//! others don't. A fixed panel of alert queries runs after every batch
+//! of observations. With [`Engine::prepare`] the queries are compiled
+//! once; a [`Session`] keeps the normalized database warm between
+//! batches and updates it in place where the order structure allows.
+//!
+//! Run with `cargo run --example prepared_service`.
+
+use indord::prelude::*;
+
+fn main() {
+    let mut voc = Vocabulary::new();
+
+    // Initial observations: one sensor saw Heat before Hold.
+    let db = parse_database(
+        &mut voc,
+        "pred Heat(ord); pred Hold(ord); pred Cool(ord);
+         Heat(t1); Hold(t2); t1 < t2;",
+    )
+    .expect("well-formed database");
+
+    // The alert panel, parsed and compiled once. (The engine borrows the
+    // vocabulary, so resolve every symbol the stream will need first.)
+    let panel = [
+        (
+            "full-cycle ran",
+            "exists a b c. Heat(a) & a < b & Hold(b) & b < c & Cool(c)",
+        ),
+        (
+            "cooled after heating",
+            "exists a b. Heat(a) & a < b & Cool(b)",
+        ),
+        ("re-heated", "exists a b. Cool(a) & a < b & Heat(b)"),
+    ];
+    let queries: Vec<(&str, DnfQuery)> = panel
+        .iter()
+        .map(|(name, text)| (*name, parse_query(&mut voc, text).expect("well-formed")))
+        .collect();
+    let (t2, t3) = (voc.ord("t2"), voc.ord("t3"));
+    let heat = voc.find_pred("Heat").expect("declared");
+    let cool = voc.find_pred("Cool").expect("declared");
+
+    let engine = Engine::new(&voc);
+    let prepared: Vec<(&str, PreparedQuery)> = queries
+        .iter()
+        .map(|(name, q)| (*name, engine.prepare(q).expect("compiles")))
+        .collect();
+    for (name, pq) in &prepared {
+        println!("compiled {name:<22} -> plan {:?}", pq.plan());
+    }
+
+    let mut session = Session::new(db);
+    report(&engine, &session, &prepared, "initial log");
+
+    // Batch 2: the cool-down phase arrives, after the hold.
+    session.assert_lt(t2, t3);
+    session
+        .insert_fact(&voc, cool, vec![indord::core::atom::Term::Ord(t3)])
+        .expect("well-sorted fact");
+    report(&engine, &session, &prepared, "after cool-down observed");
+
+    // Batch 3: a second Heat reading lands on an already-known time
+    // point — the session patches its cached views in place.
+    assert!(session.is_warm());
+    session
+        .insert_fact(&voc, heat, vec![indord::core::atom::Term::Ord(t3)])
+        .expect("well-sorted fact");
+    assert!(session.is_warm(), "in-place insert kept the cache warm");
+    report(&engine, &session, &prepared, "after second heat reading");
+
+    println!(
+        "\nepoch {} — {} atoms in the session",
+        session.epoch(),
+        session.len()
+    );
+}
+
+fn report(engine: &Engine, session: &Session, prepared: &[(&str, PreparedQuery)], banner: &str) {
+    println!("\n== {banner}");
+    for (name, pq) in prepared {
+        let verdict = engine.entails_prepared(session, pq).expect("engine");
+        println!(
+            "  {name:<22} {}",
+            if verdict.holds() {
+                "CERTAIN"
+            } else {
+                "not certain"
+            }
+        );
+    }
+}

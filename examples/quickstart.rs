@@ -52,29 +52,32 @@ fn main() {
     // (the integrity constraint's interior witness w is a non-tight
     // variable, so the order type matters — §2 of the paper).
     let q_somebody = with_integrity_constraint(&violation, &somebody);
-    let verdict =
-        semantics::entails(&mut voc, &db, &q_somebody, OrderType::Q).expect("engine");
+    let verdict = semantics::entails(&mut voc, &db, &q_somebody, OrderType::Q).expect("engine");
     println!(
         "Did someone enter twice?            {}",
-        if verdict.holds() { "YES — certain" } else { "not certain" }
+        if verdict.holds() {
+            "YES — certain"
+        } else {
+            "not certain"
+        }
     );
     assert!(verdict.holds());
 
     // "Did agent A (respectively B) enter twice?" — Ψ ∨ Φ(A), Ψ ∨ Φ(B):
     // each fails, with a countermodel exonerating that agent.
-    let phi_text = |who: &str| {
-        format!(
-            "exists t1 t2 t3 t4. IC(t1, t2, {who}) & IC(t3, t4, {who}) & t1 < t3"
-        )
-    };
+    let phi_text =
+        |who: &str| format!("exists t1 t2 t3 t4. IC(t1, t2, {who}) & IC(t3, t4, {who}) & t1 < t3");
     for who in ["A", "B"] {
-        let (gdb, phi_who) =
-            parse_query_with_db(&mut voc, &db, &phi_text(who)).expect("query");
+        let (gdb, phi_who) = parse_query_with_db(&mut voc, &db, &phi_text(who)).expect("query");
         let q = with_integrity_constraint(&violation, &phi_who);
         let verdict = semantics::entails(&mut voc, &gdb, &q, OrderType::Q).expect("engine");
         println!(
             "Did agent {who} enter twice?           {}",
-            if verdict.holds() { "YES — certain" } else { "not certain" }
+            if verdict.holds() {
+                "YES — certain"
+            } else {
+                "not certain"
+            }
         );
         assert!(!verdict.holds(), "not enough evidence against {who} alone");
         if let Verdict::NaryCountermodel(m) = verdict {
@@ -90,11 +93,14 @@ fn main() {
     let (gdb1, phi_a) = parse_query_with_db(&mut voc, &db, &phi_text("A")).expect("query");
     let (gdb2, phi_b) = parse_query_with_db(&mut voc, &gdb1, &phi_text("B")).expect("query");
     let q_either = with_integrity_constraint(&violation, &phi_a.or(phi_b));
-    let verdict =
-        semantics::entails(&mut voc, &gdb2, &q_either, OrderType::Q).expect("engine");
+    let verdict = semantics::entails(&mut voc, &gdb2, &q_either, OrderType::Q).expect("engine");
     println!(
         "Did agent A or agent B enter twice? {}",
-        if verdict.holds() { "YES — certain" } else { "not certain" }
+        if verdict.holds() {
+            "YES — certain"
+        } else {
+            "not certain"
+        }
     );
     assert!(verdict.holds());
 
@@ -103,5 +109,8 @@ fn main() {
 }
 
 fn indent(s: &str) -> String {
-    s.lines().map(|l| format!("    {l}")).collect::<Vec<_>>().join("\n")
+    s.lines()
+        .map(|l| format!("    {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }

@@ -34,7 +34,10 @@ fn main() {
     )
     .expect("trenches are consistent");
     let nd = db.normalize().expect("consistent");
-    println!("Trenches recorded; database width = {} (three observers).", nd.width());
+    println!(
+        "Trenches recorded; database width = {} (three observers).",
+        nd.width()
+    );
     assert_eq!(nd.width(), 3);
 
     let mdb = indord::core::monadic::MonadicDatabase::from_normal(&voc, &nd)
@@ -43,8 +46,7 @@ fn main() {
     let check = |voc: &mut Vocabulary, name: &str, text: &str, expect: bool| {
         let q = parse_query(voc, text).expect("query");
         let cq = &q.disjuncts()[0];
-        let mq = indord::core::monadic::MonadicQuery::from_conjunctive(voc, cq)
-            .expect("monadic");
+        let mq = indord::core::monadic::MonadicQuery::from_conjunctive(voc, cq).expect("monadic");
         // Decide with all three conjunctive engines — they must agree.
         let by_paths = paths::entails(&mdb, &mq);
         let by_bounded = bounded::entails(&mdb, &mq);

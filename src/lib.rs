@@ -1,0 +1,5 @@
+//! Umbrella package for the workspace's integration tests (`tests/`) and
+//! examples (`examples/`). The library surface is just a re-export of the
+//! [`indord`] facade; depend on `indord` directly in real applications.
+
+pub use indord::*;

@@ -6,28 +6,33 @@ use indord::core::bitset::PredSet;
 use indord::core::flexi::FlexiWord;
 use indord::core::monadic::{MonadicDatabase, MonadicQuery};
 use indord::core::ordgraph::OrderGraph;
-use indord::core::sym::PredSym;
-use indord::entail::{bounded, disjunctive, modelcheck, naive, paths, seq};
+use indord::core::parse::{parse_database, parse_query};
+use indord::core::session::Session;
+use indord::core::sym::{PredSym, Vocabulary};
+use indord::entail::Strategy as EngineStrategy;
+use indord::entail::{bounded, disjunctive, modelcheck, naive, paths, seq, Engine};
 use indord::wqo;
 use proptest::prelude::*;
 
 const NPREDS: usize = 3;
 
 fn pred_set() -> impl Strategy<Value = PredSet> {
-    proptest::bits::u8::between(0, NPREDS)
-        .prop_map(|bits| {
-            (0..NPREDS)
-                .filter(|i| bits & (1 << i) != 0)
-                .map(PredSym::from_index)
-                .collect()
-        })
+    proptest::bits::u8::between(0, NPREDS).prop_map(|bits| {
+        (0..NPREDS)
+            .filter(|i| bits & (1 << i) != 0)
+            .map(PredSym::from_index)
+            .collect()
+    })
 }
 
 /// A random labelled dag on up to `n` vertices.
 fn labelled_dag(max_n: usize) -> impl Strategy<Value = (OrderGraph, Vec<PredSet>)> {
     (1..=max_n).prop_flat_map(|n| {
         let edges = proptest::collection::vec(
-            (0..n * n, prop_oneof![Just(OrderRel::Lt), Just(OrderRel::Le), Just(OrderRel::Ne)]),
+            (
+                0..n * n,
+                prop_oneof![Just(OrderRel::Lt), Just(OrderRel::Le), Just(OrderRel::Ne)],
+            ),
             0..=n * 2,
         );
         let labels = proptest::collection::vec(pred_set(), n);
@@ -39,7 +44,10 @@ fn labelled_dag(max_n: usize) -> impl Strategy<Value = (OrderGraph, Vec<PredSet>
                     edges.push((i, j, rel));
                 }
             }
-            (OrderGraph::from_dag_edges(n, &edges).expect("forward edges are acyclic"), labels)
+            (
+                OrderGraph::from_dag_edges(n, &edges).expect("forward edges are acyclic"),
+                labels,
+            )
         })
     })
 }
@@ -109,7 +117,7 @@ proptest! {
             }
         }
         let q = MonadicQuery::from_flexiword(&fw);
-        let by_naive = naive::monadic_check(&db, &[q.clone()]).unwrap().holds();
+        let by_naive = naive::monadic_check(&db, std::slice::from_ref(&q)).unwrap().holds();
         match seq::check(&db, &fw) {
             indord::entail::MonadicVerdict::Entailed => prop_assert!(by_naive),
             indord::entail::MonadicVerdict::Countermodel(m) => {
@@ -162,4 +170,156 @@ proptest! {
             q.holds_in_naive(&m)
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// Prepared vs. unprepared agreement: for every strategy and a grid of
+// monadic / object-part / n-ary / `!=` databases, `prepare` +
+// `entails_prepared` on a (cold and warm) `Session` must return exactly
+// the verdict of the one-shot `entails` path; and a mutated session must
+// agree with a fresh evaluation of its database.
+// ---------------------------------------------------------------------
+
+const ALL_STRATEGIES: [EngineStrategy; 6] = [
+    EngineStrategy::Auto,
+    EngineStrategy::Naive,
+    EngineStrategy::Seq,
+    EngineStrategy::Paths,
+    EngineStrategy::BoundedWidth,
+    EngineStrategy::Disjunctive,
+];
+
+/// Both paths under one strategy: identical `Ok` verdicts (including the
+/// countermodels), or both `Err`, or both panicking (the pinned Thm 4.7 /
+/// 5.3 engines assert `[<,<=]` inputs on either path).
+fn assert_prepared_agrees(db_text: &str, q_text: &str) {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let mut voc = Vocabulary::new();
+    let db = parse_database(&mut voc, db_text).expect(db_text);
+    let q = parse_query(&mut voc, q_text).expect(q_text);
+    let mut ok_verdicts: Vec<(EngineStrategy, bool)> = Vec::new();
+    for strategy in ALL_STRATEGIES {
+        let eng = Engine::new(&voc).with_strategy(strategy);
+        let direct = catch_unwind(AssertUnwindSafe(|| eng.entails(&db, &q)));
+        let session = Session::new(db.clone());
+        let via_prepared = catch_unwind(AssertUnwindSafe(|| {
+            eng.prepare(&q).and_then(|pq| {
+                let cold = eng.entails_prepared(&session, &pq)?;
+                let warm = eng.entails_prepared(&session, &pq)?;
+                assert_eq!(cold, warm, "{strategy:?}: warm session drifted on {q_text}");
+                Ok(cold)
+            })
+        }));
+        match (direct, via_prepared) {
+            (Ok(Ok(a)), Ok(Ok(b))) => {
+                assert_eq!(
+                    a, b,
+                    "{strategy:?}: prepared disagrees on {db_text} |= {q_text}"
+                );
+                ok_verdicts.push((strategy, a.holds()));
+            }
+            (Ok(Err(_)), Ok(Err(_))) => {}
+            (Err(_), Err(_)) => {}
+            (a, b) => {
+                panic!("{strategy:?}: paths diverged on {db_text} |= {q_text}: {a:?} vs {b:?}")
+            }
+        }
+    }
+    // Every strategy that decides the instance must reach the same answer
+    // (e.g. Auto's monadic pipeline vs. pinned Naive's n-ary enumeration).
+    assert!(
+        ok_verdicts.windows(2).all(|w| w[0].1 == w[1].1),
+        "strategies disagree on {db_text} |= {q_text}: {ok_verdicts:?}"
+    );
+}
+
+#[test]
+fn prepared_agreement_grid() {
+    const DECLS: &str = "pred P(ord); pred Q(ord); pred R(ord);";
+    let monadic_dbs = [
+        "P(u); Q(v); u < v;",
+        "P(u); Q(v); u <= v;",
+        "P(u1); Q(u2); u1 < u2; P(v1); R(v2); v1 <= v2;",
+        "P(u); P(v); u != v;",
+        "P(u); Q(v); R(w); u <= v; v <= w; u != w;",
+    ]
+    .map(|db| format!("{DECLS} {db}"));
+    let monadic_qs = [
+        "exists s t. P(s) & s < t & Q(t)",
+        "exists s t. Q(s) & s < t & P(t)",
+        "exists s t. P(s) & s <= t & P(t)",
+        "exists a b c. P(a) & a < b & Q(b) & a <= c & R(c)",
+        "(exists s. P(s) & Q(s)) | exists s t. P(s) & s < t & Q(t)",
+        "exists s t. P(s) & P(t) & s != t",
+        "(exists s t. P(s) & s != t & Q(t)) | exists s. R(s)",
+    ];
+    for db in &monadic_dbs {
+        for q in monadic_qs {
+            assert_prepared_agrees(db, q);
+        }
+    }
+
+    // Object parts: disjuncts filtered by definite facts.
+    let obj_db = "pred Emp(obj); pred Boss(obj); pred P(ord); pred Q(ord);
+                  Emp(alice); P(u); Q(v); u < v;";
+    for q in [
+        "exists x t. Boss(x) & P(t)",
+        "exists x t. Emp(x) & P(t)",
+        "(exists x t. Boss(x) & P(t)) | (exists x t. Emp(x) & P(t))",
+        "(exists x. Boss(x)) | (exists x. Emp(x))",
+        "exists x s t. Emp(x) & P(s) & s < t & Q(t)",
+    ] {
+        assert_prepared_agrees(obj_db, q);
+    }
+
+    // n-ary databases route to the naive engine on both paths.
+    let nary_db = "R(u, v); u < v; R(v, w); v <= w;";
+    for q in [
+        "exists s t. R(s, t) & s < t",
+        "exists s t. R(s, t) & t < s",
+        "exists s t x. R(s, t) & R(t, x) & s < x",
+    ] {
+        assert_prepared_agrees(nary_db, q);
+    }
+}
+
+#[test]
+fn prepared_agreement_after_session_mutation() {
+    let mut voc = Vocabulary::new();
+    let db = parse_database(&mut voc, "P(u); Q(v); u <= v;").unwrap();
+    let p = voc.find_pred("P").unwrap();
+    let (u, v, w) = (voc.ord("u"), voc.ord("v"), voc.ord("w"));
+    let queries = [
+        "exists s t. P(s) & s < t & Q(t)",
+        "exists s t. P(s) & s <= t & P(t)",
+        "(exists s. P(s) & Q(s)) | exists s t. Q(s) & s < t & P(t)",
+    ];
+    let parsed: Vec<_> = queries
+        .iter()
+        .map(|t| parse_query(&mut voc, t).expect(t))
+        .collect();
+    let eng = Engine::new(&voc);
+    let prepared: Vec<_> = parsed.iter().map(|q| eng.prepare(q).unwrap()).collect();
+
+    let mut session = Session::new(db);
+    let check = |session: &Session, step: &str| {
+        for (pq, q) in prepared.iter().zip(&parsed) {
+            let via_session = eng.entails_prepared(session, pq).unwrap();
+            let fresh = eng.entails(session.database(), q).unwrap();
+            assert_eq!(via_session, fresh, "{step}: session drifted from database");
+        }
+    };
+    // A sequence of mutations exercising both the in-place and the
+    // invalidating paths; after each, every prepared query must agree
+    // with a fresh one-shot evaluation of the session's database.
+    session.normal().unwrap(); // warm the cache
+    check(&session, "warm");
+    session.assert_lt(u, v);
+    check(&session, "after u < v");
+    session
+        .insert_fact(&voc, p, vec![indord::core::atom::Term::Ord(v)])
+        .unwrap();
+    check(&session, "after P(v) in-place insert");
+    session.assert_le(v, w);
+    check(&session, "after v <= w (fresh constant)");
 }

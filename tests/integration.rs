@@ -28,10 +28,7 @@ fn semantics_containments_randomized() {
                 let mut text = String::from("P(u0); Q(u1); R(u2); u0 <= u1; ");
                 for (a, b, strict) in &db_spec {
                     if a < b {
-                        text.push_str(&format!(
-                            "u{a} {} u{b}; ",
-                            if *strict { "<" } else { "<=" }
-                        ));
+                        text.push_str(&format!("u{a} {} u{b}; ", if *strict { "<" } else { "<=" }));
                     }
                 }
                 let db = parse_database(&mut voc, &text).expect("db");
@@ -90,10 +87,26 @@ fn tight_reductions_agree_with_direct() {
 #[test]
 fn containment_entailment_round_trip() {
     let cases = [
-        ("P(u); Q(v); u < v;", "exists s t. P(s) & s < t & Q(t)", true),
-        ("P(u); Q(v); u < v;", "exists s t. Q(s) & s < t & P(t)", false),
-        ("P(u); Q(v); u <= v;", "exists s t. P(s) & s <= t & Q(t)", true),
-        ("pred P(ord); pred Q(ord); P(u); Q(v);", "exists s t. P(s) & s <= t & Q(t)", false),
+        (
+            "P(u); Q(v); u < v;",
+            "exists s t. P(s) & s < t & Q(t)",
+            true,
+        ),
+        (
+            "P(u); Q(v); u < v;",
+            "exists s t. Q(s) & s < t & P(t)",
+            false,
+        ),
+        (
+            "P(u); Q(v); u <= v;",
+            "exists s t. P(s) & s <= t & Q(t)",
+            true,
+        ),
+        (
+            "pred P(ord); pred Q(ord); P(u); Q(v);",
+            "exists s t. P(s) & s <= t & Q(t)",
+            false,
+        ),
         ("P(u); Q(u);", "exists s. P(s) & Q(s)", true),
     ];
     for (db_text, q_text, expect) in cases {
@@ -102,10 +115,12 @@ fn containment_entailment_round_trip() {
         let q = parse_query(&mut voc, q_text).unwrap();
         let direct = Engine::new(&voc).entails(&db, &q).unwrap().holds();
         assert_eq!(direct, expect, "direct: {db_text} |= {q_text}");
-        let (q1, q2) =
-            entailment_as_containment(&mut voc, &db, &q.disjuncts()[0]).unwrap();
+        let (q1, q2) = entailment_as_containment(&mut voc, &db, &q.disjuncts()[0]).unwrap();
         let via_containment = contained_in(&mut voc, &q1, &q2, OrderType::Fin).unwrap();
-        assert_eq!(via_containment, expect, "containment: {db_text} |= {q_text}");
+        assert_eq!(
+            via_containment, expect,
+            "containment: {db_text} |= {q_text}"
+        );
     }
 }
 
@@ -115,8 +130,14 @@ fn containment_entailment_round_trip() {
 fn containment_never_contradicted_by_samples() {
     use indord::relalg::{find_counterexample, RelInstance, RelVal};
     let mut voc = Vocabulary::new();
-    voc.pred("R", &[indord::core::sym::Sort::Object, indord::core::sym::Sort::Order])
-        .unwrap();
+    voc.pred(
+        "R",
+        &[
+            indord::core::sym::Sort::Object,
+            indord::core::sym::Sort::Order,
+        ],
+    )
+    .unwrap();
     let r = voc.find_pred("R").unwrap();
     let a = voc.obj("a");
     let b = voc.obj("b");
@@ -137,8 +158,10 @@ fn containment_never_contradicted_by_samples() {
     let mut instances = Vec::new();
     for vals in [[1i64, 2], [2, 1], [3, 3], [0, 7]] {
         let mut inst = RelInstance::default();
-        inst.insert(&voc, r, vec![RelVal::Obj(a), RelVal::Num(vals[0])]).unwrap();
-        inst.insert(&voc, r, vec![RelVal::Obj(b), RelVal::Num(vals[1])]).unwrap();
+        inst.insert(&voc, r, vec![RelVal::Obj(a), RelVal::Num(vals[0])])
+            .unwrap();
+        inst.insert(&voc, r, vec![RelVal::Obj(b), RelVal::Num(vals[1])])
+            .unwrap();
         instances.push(inst);
     }
     assert!(find_counterexample(&q1, &q2, &instances).is_none());
@@ -149,11 +172,7 @@ fn containment_never_contradicted_by_samples() {
 #[test]
 fn parser_display_round_trip() {
     let mut voc = Vocabulary::new();
-    let db = parse_database(
-        &mut voc,
-        "IC(z1, z2, A); P(u); z1 < z2; u <= z1; z2 != u;",
-    )
-    .unwrap();
+    let db = parse_database(&mut voc, "IC(z1, z2, A); P(u); z1 < z2; u <= z1; z2 != u;").unwrap();
     let printed = db.display(&voc).to_string();
     let mut voc2 = Vocabulary::new();
     let db2 = parse_database(&mut voc2, &printed).unwrap();

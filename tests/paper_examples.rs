@@ -36,10 +36,14 @@ fn example_1_1_embassy() {
 
     // Ψ ∨ ∃x Φ(x): YES over dense time.
     let q = with_integrity_constraint(&violation, &somebody);
-    assert!(semantics::entails(&mut voc, &db, &q, OrderType::Q).unwrap().holds());
+    assert!(semantics::entails(&mut voc, &db, &q, OrderType::Q)
+        .unwrap()
+        .holds());
     // Over *finite* orders the interior witness w may not exist: the same
     // query is not certain — a genuinely semantic difference (§2).
-    assert!(!semantics::entails(&mut voc, &db, &q, OrderType::Fin).unwrap().holds());
+    assert!(!semantics::entails(&mut voc, &db, &q, OrderType::Fin)
+        .unwrap()
+        .holds());
 
     // Ψ ∨ Φ(A) and Ψ ∨ Φ(B): both fail (models (a) and (b) of Fig. 1).
     for who in ["A", "B"] {
@@ -51,7 +55,10 @@ fn example_1_1_embassy() {
         .unwrap();
         let q = with_integrity_constraint(&violation, &phi);
         let verdict = semantics::entails(&mut voc, &gdb, &q, OrderType::Q).unwrap();
-        assert!(!verdict.holds(), "agent {who} must not be individually convictable");
+        assert!(
+            !verdict.holds(),
+            "agent {who} must not be individually convictable"
+        );
         // The countermodel is a genuine model falsifying the reduced query.
         match verdict {
             Verdict::NaryCountermodel(m) => {
@@ -75,7 +82,9 @@ fn example_1_1_embassy() {
     )
     .unwrap();
     let q = with_integrity_constraint(&violation, &phi_a.or(phi_b));
-    assert!(semantics::entails(&mut voc, &gdb2, &q, OrderType::Q).unwrap().holds());
+    assert!(semantics::entails(&mut voc, &gdb2, &q, OrderType::Q)
+        .unwrap()
+        .holds());
 }
 
 /// Fig. 1's model (d): without the integrity constraint, a model exists in
@@ -121,11 +130,7 @@ fn example_1_2_alignment() {
 #[test]
 fn examples_2_4_and_2_7() {
     let mut voc = Vocabulary::new();
-    let db = parse_database(
-        &mut voc,
-        "u < v; v < w; u <= t; t <= w; B(a, t); B(b, w);",
-    )
-    .unwrap();
+    let db = parse_database(&mut voc, "u < v; v < w; u <= t; t <= w; B(a, t); B(b, w);").unwrap();
     let nd = db.normalize().unwrap();
     let mut found_three_stage = false;
     indord::core::toposort::for_each_minimal_model(&nd, &mut |m| {
@@ -140,20 +145,12 @@ fn examples_2_4_and_2_7() {
     // In that model B(a) holds at the first point; "B(a) strictly before
     // B(b)" is certain (t <= w forced strict? t<=w and v<w with t<=w…
     // t can equal w! Then B(a,x)=B(b,x): not strictly before). Check:
-    let (gdb, q) = parse_query_with_db(
-        &mut voc,
-        &db,
-        "exists s t2. B(a, s) & s < t2 & B(b, t2)",
-    )
-    .unwrap();
+    let (gdb, q) =
+        parse_query_with_db(&mut voc, &db, "exists s t2. B(a, s) & s < t2 & B(b, t2)").unwrap();
     assert!(!Engine::new(&voc).entails(&gdb, &q).unwrap().holds());
     // But "B(a) before-or-at B(b)" is certain.
-    let (gdb, q) = parse_query_with_db(
-        &mut voc,
-        &db,
-        "exists s t2. B(a, s) & s <= t2 & B(b, t2)",
-    )
-    .unwrap();
+    let (gdb, q) =
+        parse_query_with_db(&mut voc, &db, "exists s t2. B(a, s) & s <= t2 & B(b, t2)").unwrap();
     assert!(Engine::new(&voc).entails(&gdb, &q).unwrap().holds());
 }
 
@@ -161,8 +158,11 @@ fn examples_2_4_and_2_7() {
 #[test]
 fn fig_5_query_structure() {
     let mut voc = Vocabulary::new();
-    parse_database(&mut voc, "pred P(ord); pred Q(ord); pred R(ord); pred S(ord);")
-        .unwrap();
+    parse_database(
+        &mut voc,
+        "pred P(ord); pred Q(ord); pred R(ord); pred S(ord);",
+    )
+    .unwrap();
     let q = parse_query(
         &mut voc,
         "exists t1 t2 t3 t4.

@@ -1,0 +1,342 @@
+//! A minimal, dependency-free stand-in for the subset of the `criterion`
+//! API this workspace's benches use. The build environment has no network
+//! access, so the real crate cannot be fetched.
+//!
+//! The measurement model is deliberately simple but honest: each
+//! `Bencher::iter` call runs a warm-up, then collects `sample_size`
+//! samples, each a batch of iterations sized so the batches together fill
+//! the configured measurement time; it reports the median per-iteration
+//! time. That is enough to compare alternatives (prepared vs. unprepared,
+//! engine crossovers, scaling series) on the same machine and run.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep defaults small: these benches run in CI-sized containers.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// No-op compatibility shim for CLI configuration.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let settings = self.settings();
+        run_one(&settings, &self.filter, id, |b| f(b));
+    }
+
+    fn settings(&self) -> Settings {
+        Settings {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the workload size for throughput reporting (stored, printed
+    /// alongside results).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Overrides the warm-up time for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let settings = self.criterion.settings();
+        run_one(&settings, &self.criterion.filter, &full, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let settings = self.criterion.settings();
+        run_one(&settings, &self.criterion.filter, &full, |b| f(b));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    settings: &Settings,
+    filter: &Option<String>,
+    name: &str,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if let Some(pat) = filter {
+        if !name.contains(pat.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        settings: *settings,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some(r) => println!(
+            "{name:<60} time: [{}]  ({} samples, {} iters/sample)",
+            format_ns(r.median_ns),
+            settings.sample_size,
+            r.iters_per_sample,
+        ),
+        None => println!("{name:<60} (no measurement)"),
+    }
+}
+
+struct Measurement {
+    median_ns: f64,
+    iters_per_sample: u64,
+}
+
+/// Per-benchmark measurement driver handed to the closures.
+pub struct Bencher {
+    settings: Settings,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Measures a closure: warm-up, then `sample_size` timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, also used to estimate the per-iteration cost.
+        let warm_until = Instant::now() + self.settings.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_started = Instant::now();
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if Instant::now() >= warm_until {
+                break;
+            }
+        }
+        let per_iter = warm_started.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let samples = self.settings.sample_size.max(2);
+        let budget = self.settings.measurement_time.as_secs_f64() / samples as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            per_iter_ns.push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        self.result = Some(Measurement {
+            median_ns: per_iter_ns[per_iter_ns.len() / 2],
+            iters_per_sample,
+        });
+    }
+
+    /// The median per-iteration time of the last [`Bencher::iter`] run, in
+    /// nanoseconds (extension used by assertions in this workspace).
+    pub fn last_median_ns(&self) -> Option<f64> {
+        self.result.as_ref().map(|r| r.median_ns)
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Identifies a benchmark within a group: `function/parameter`.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/param`.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{param}"),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            text: s.to_string(),
+        }
+    }
+}
+
+/// Workload-size annotation (accepted, reported inline).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("shim");
+        let mut ran = false;
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,320 @@
+//! A minimal, dependency-free stand-in for the subset of the `proptest`
+//! API this workspace's property tests use. The build environment has no
+//! network access, so the real crate cannot be fetched.
+//!
+//! Differences from real proptest: generation is plain seeded random
+//! sampling (deterministic per test name), and failing cases are reported
+//! without shrinking. The `Strategy` combinators (`prop_map`,
+//! `prop_flat_map`), `Just`, tuples, ranges, `collection::vec`,
+//! `bits::u8::between`, `bool::ANY`, simple `[class]{lo,hi}` string
+//! patterns, `prop_oneof!`, `proptest!`, `prop_assert!`/`prop_assert_eq!`,
+//! and `TestRunner::run` are supported with the same surface syntax.
+
+pub mod strategy;
+
+pub mod test_runner;
+
+/// Fixed-size collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Size specification for [`vec`]: a fixed size or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors with sizes drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.rng().gen_range(self.size.lo..=self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Bit-mask strategies.
+pub mod bits {
+    /// Strategies over `u8` masks.
+    pub mod u8 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy for `u8` values whose set bits lie in `[lo, hi)`.
+        pub struct Between {
+            mask: u8,
+        }
+
+        /// Masks with set bits only in positions `lo..hi`.
+        pub fn between(lo: usize, hi: usize) -> Between {
+            let mut mask = 0u8;
+            for b in lo..hi.min(8) {
+                mask |= 1 << b;
+            }
+            Between { mask }
+        }
+
+        impl Strategy for Between {
+            type Value = u8;
+
+            fn generate(&self, rng: &mut TestRng) -> u8 {
+                (rng.next_u64() as u8) & self.mask
+            }
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless the values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l == *r,
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left), stringify!($right), l, r
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l == *r,
+                "{} (left: {:?}, right: {:?})",
+                format!($($fmt)+), l, r
+            ),
+        }
+    };
+}
+
+/// Fails the current property case if the values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => $crate::prop_assert!(
+                *l != *r,
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            ),
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($strategy:expr $(,)?) => { $strategy };
+    ($first:expr, $($rest:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(
+            $first,
+            $crate::__prop_oneof_count!($($rest),+),
+            $crate::prop_oneof!($($rest),+),
+        )
+    };
+}
+
+/// Implementation detail of [`prop_oneof!`]: counts its arguments.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_oneof_count {
+    ($one:expr) => { 1u32 };
+    ($first:expr, $($rest:expr),+) => { 1u32 + $crate::__prop_oneof_count!($($rest),+) };
+}
+
+/// Declares property tests, mirroring proptest's macro surface.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("property `{}` failed at case {}/{}: {}",
+                        stringify!($name), case + 1, config.cases, e);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::{TestRng, TestRunner};
+
+    #[test]
+    fn ranges_tuples_and_maps_generate() {
+        let s = (1usize..=5).prop_flat_map(|n| {
+            crate::collection::vec((0..n * n, crate::bool::ANY), 0..=2 * n)
+                .prop_map(move |pairs| (n, pairs))
+        });
+        let mut rng = TestRng::deterministic("shim");
+        for _ in 0..50 {
+            let (n, pairs) = s.generate(&mut rng);
+            assert!((1..=5).contains(&n));
+            assert!(pairs.len() <= 2 * n);
+            for (code, _) in pairs {
+                assert!(code < n * n);
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_and_just_generate() {
+        let s = prop_oneof![Just(1u8), Just(2), Just(3)];
+        let mut rng = TestRng::deterministic("oneof");
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert_eq!(seen, [1u8, 2, 3].into_iter().collect());
+    }
+
+    #[test]
+    fn string_patterns_generate() {
+        let s = "[ab]{2,4}";
+        let mut rng = TestRng::deterministic("str");
+        for _ in 0..50 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((2..=4).contains(&v.len()));
+            assert!(v.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+
+    #[test]
+    fn runner_runs_and_reports() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(16));
+        runner
+            .run(&(0usize..10, 0usize..10), |(a, b)| {
+                prop_assert!(a < 10 && b < 10);
+                Ok(())
+            })
+            .unwrap();
+        let failed = runner.run(&(0usize..10,), |(a,)| {
+            prop_assert!(a < 5, "a was {}", a);
+            Ok(())
+        });
+        assert!(failed.is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro form compiles and runs.
+        #[test]
+        fn macro_form_works(x in 0usize..10, ys in crate::collection::vec(0usize..3, 1..4)) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(ys.iter().copied().max().is_some(), true);
+        }
+    }
+}

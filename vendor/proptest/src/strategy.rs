@@ -1,0 +1,213 @@
+//! The `Strategy` trait and its combinators.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy it selects.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform binary choice between two strategies of the same value type;
+/// `prop_oneof!` folds its options into a right-nested chain of these,
+/// weighting each node so every leaf is equally likely.
+pub struct OneOf<A, B> {
+    left: A,
+    right: B,
+    right_arms: u32,
+}
+
+impl<A, B> OneOf<A, B> {
+    /// `right_arms` is the number of leaf options inside `right`.
+    pub fn new(left: A, right_arms: u32, right: B) -> Self {
+        OneOf {
+            left,
+            right,
+            right_arms,
+        }
+    }
+}
+
+impl<A: Strategy, B: Strategy<Value = A::Value>> Strategy for OneOf<A, B> {
+    type Value = A::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.rng().gen_range(0..self.right_arms + 1) == 0 {
+            self.left.generate(rng)
+        } else {
+            self.right.generate(rng)
+        }
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// String patterns of the form `[class]{lo,hi}` (the only regex shape the
+/// workspace's tests use). Unsupported patterns are treated as literal
+/// alphabets.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_simple_pattern(self);
+        let n = rng.rng().gen_range(lo..=hi);
+        (0..n)
+            .map(|_| alphabet[rng.rng().gen_range(0..alphabet.len())])
+            .collect()
+    }
+}
+
+fn parse_simple_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let fallback = || (pattern.chars().collect::<Vec<_>>(), 0usize, 16usize);
+    let rest = match pattern.strip_prefix('[') {
+        Some(r) => r,
+        None => return fallback(),
+    };
+    let close = match rest.find(']') {
+        Some(i) => i,
+        None => return fallback(),
+    };
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (a, b) = (class[i], class[i + 2]);
+            for c in a as u32..=b as u32 {
+                if let Some(c) = char::from_u32(c) {
+                    alphabet.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return fallback();
+    }
+    // {lo,hi} suffix
+    let suffix = &rest[close + 1..];
+    let (lo, hi) = suffix
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .and_then(|body| {
+            let (l, h) = body.split_once(',')?;
+            Some((l.trim().parse().ok()?, h.trim().parse().ok()?))
+        })
+        .unwrap_or((0, 16));
+    (alphabet, lo, hi)
+}
