@@ -6,7 +6,7 @@ use indord_bench::workloads;
 use indord_core::monadic::MonadicQuery;
 use indord_core::ordgraph::OrderGraph;
 use indord_core::sym::Vocabulary;
-use indord_entail::{ineq, Engine};
+use indord_entail::{disjunctive, ineq, Engine};
 use indord_reductions::thm71;
 use indord_solvers::coloring::Graph;
 use std::time::Duration;
@@ -36,7 +36,7 @@ fn bench_query_ne_data(c: &mut Criterion) {
         let db = workloads::observers_db_le(&mut r, 2, len, 3, 0.2);
         g.bench_with_input(BenchmarkId::new("fixed-query", db.len()), &db, |b, db| {
             b.iter(|| {
-                ineq::entails_query_ne(db, std::slice::from_ref(&q), 64)
+                ineq::entails_query_ne(db, std::slice::from_ref(&q), 64, disjunctive::STATE_CAP)
                     .unwrap()
                     .holds()
             })

@@ -95,7 +95,7 @@ fn bench_query_mix_batch(c: &mut Criterion) {
 fn report_speedup(_c: &mut Criterion) {
     let (voc, db, queries) = setup(1024);
     let eng = Engine::new(&voc);
-    let iters = 30;
+    let iters = if criterion::is_smoke() { 3 } else { 30 };
     let session = Session::new(db.clone());
     let prepared: Vec<PreparedQuery> = queries.iter().map(|q| eng.prepare(q).unwrap()).collect();
     let _ = eng.entails_batch(&session, &prepared).unwrap(); // warm

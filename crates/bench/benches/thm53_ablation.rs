@@ -4,9 +4,16 @@
 //! paper highlights after the theorem. Props. 5.4/5.5 say the exponential
 //! dependences on width and on the number of disjuncts are unavoidable;
 //! the sweeps exhibit exactly those shapes.
+//!
+//! The `thm53/state-handling` group is the engine ablation: the same
+//! search run with the pre-interning reference states (`Vec`-tuple keys,
+//! SipHash maps, per-state graph traversals), with the interned packed
+//! states built one-shot (scaffold rebuilt per call), and with a
+//! session-style cached scaffold (the serving configuration).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use indord_bench::workloads;
+use indord_core::scaffold::DisjunctiveScaffold;
 use indord_entail::disjunctive;
 use std::time::Duration;
 
@@ -65,6 +72,37 @@ fn bench_disjuncts(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_state_handling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thm53/state-handling");
+    let mut r = workloads::rng(64);
+    let disjuncts = vec![
+        workloads::random_query(&mut r, 3, 3),
+        workloads::random_query(&mut r, 3, 3),
+    ];
+    for len in [32usize, 128, 512] {
+        let db = workloads::observers_db_le(&mut r, 2, len, 3, 0.2);
+        g.bench_with_input(BenchmarkId::new("reference", db.len()), &db, |b, db| {
+            b.iter(|| disjunctive::reference::entails(db, &disjuncts).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("interned", db.len()), &db, |b, db| {
+            b.iter(|| disjunctive::entails(db, &disjuncts).unwrap())
+        });
+        let scaffold = DisjunctiveScaffold::new(&db);
+        g.bench_with_input(
+            BenchmarkId::new("interned-cached", db.len()),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    disjunctive::check_scaffolded(db, &scaffold, &disjuncts, disjunctive::STATE_CAP)
+                        .unwrap()
+                        .holds()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_enumeration_delay(c: &mut Criterion) {
     let mut g = c.benchmark_group("thm53/enumeration");
     let mut r = workloads::rng(63);
@@ -86,6 +124,6 @@ fn bench_enumeration_delay(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_db_size, bench_width, bench_disjuncts, bench_enumeration_delay
+    targets = bench_db_size, bench_width, bench_disjuncts, bench_state_handling, bench_enumeration_delay
 }
 criterion_main!(benches);

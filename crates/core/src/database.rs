@@ -7,9 +7,9 @@
 
 use crate::atom::{OrderAtom, OrderRel, ProperAtom, Term};
 use crate::error::Result;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::ordgraph::OrderGraph;
 use crate::sym::{ObjSym, OrdSym, PredSym, Vocabulary};
-use std::collections::HashMap;
 use std::fmt;
 
 /// A raw indefinite order database: ground proper facts plus order facts.
@@ -92,10 +92,10 @@ impl Database {
     /// All order constants mentioned anywhere (order atoms *or* order
     /// positions of proper atoms), deduplicated, in first-seen order.
     pub fn order_constants(&self) -> Vec<OrdSym> {
-        let mut seen: HashMap<OrdSym, ()> = HashMap::new();
+        let mut seen: FxHashSet<OrdSym> = FxHashSet::default();
         let mut out = Vec::new();
         let mut visit = |u: OrdSym| {
-            if seen.insert(u, ()).is_none() {
+            if seen.insert(u) {
                 out.push(u);
             }
         };
@@ -118,12 +118,12 @@ impl Database {
 
     /// All object constants mentioned in proper atoms.
     pub fn object_constants(&self) -> Vec<ObjSym> {
-        let mut seen: HashMap<ObjSym, ()> = HashMap::new();
+        let mut seen: FxHashSet<ObjSym> = FxHashSet::default();
         let mut out = Vec::new();
         for a in &self.proper {
             for t in &a.args {
                 if let Term::Obj(o) = t {
-                    if seen.insert(*o, ()).is_none() {
+                    if seen.insert(*o) {
                         out.push(*o);
                     }
                 }
@@ -140,7 +140,8 @@ impl Database {
     /// inconsistent only under the `!=` semantics, which the engines check.
     pub fn normalize(&self) -> Result<NormalDatabase> {
         let consts = self.order_constants();
-        let mut index: HashMap<OrdSym, usize> = HashMap::with_capacity(consts.len());
+        let mut index: FxHashMap<OrdSym, usize> =
+            FxHashMap::with_capacity_and_hasher(consts.len(), Default::default());
         for (i, &u) in consts.iter().enumerate() {
             index.insert(u, i);
         }
@@ -154,7 +155,7 @@ impl Database {
             }
         }
         let nz = OrderGraph::normalize(consts.len(), &edges)?;
-        let vertex_of: HashMap<OrdSym, usize> = consts
+        let vertex_of: FxHashMap<OrdSym, usize> = consts
             .iter()
             .enumerate()
             .map(|(i, &u)| (u, nz.class_of[i]))
@@ -210,7 +211,7 @@ pub struct NormalDatabase {
     /// The normalized order dag.
     pub graph: OrderGraph,
     /// Mapping order constant → dag vertex.
-    pub vertex_of: HashMap<OrdSym, usize>,
+    pub vertex_of: FxHashMap<OrdSym, usize>,
     /// The constants merged into each vertex.
     pub members: Vec<Vec<OrdSym>>,
     /// Inequality constraints between vertices (§7); empty for `[<,<=]`

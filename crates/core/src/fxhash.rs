@@ -1,0 +1,133 @@
+//! A fast, non-cryptographic hasher for small integer-shaped keys.
+//!
+//! The entailment engines intern antichains, pointer tuples, and packed
+//! search states, and probe those tables once per explored transition —
+//! millions of times on a large Theorem 5.3 search. `std`'s default
+//! SipHash is DoS-resistant but pays ~1–2 ns per written word plus
+//! finalization; for trusted, in-process keys that cost dominates the
+//! table lookups themselves. This module provides the classic `FxHasher`
+//! (the rustc/Firefox hash): one multiply and one rotate per word, no
+//! finalization rounds.
+//!
+//! Use [`FxHashMap`] / [`FxHashSet`] wherever the keys come from inside
+//! the process (vertex ids, interned symbols, packed states). Keep
+//! SipHash for maps keyed by untrusted external input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the FxHash scheme (a close relative of the golden
+/// ratio in 64 bits, chosen to mix high bits down).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash state: one `u64`, folded with rotate-xor-multiply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s (stateless, zero-sized).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` hashed through [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_ne!(hash_of(&42u64), hash_of(&43u64));
+        assert_ne!(hash_of(&(1u32, 2u32)), hash_of(&(2u32, 1u32)));
+    }
+
+    #[test]
+    fn byte_tails_differ() {
+        // Unequal short slices must not collide via zero-padding alone.
+        assert_ne!(hash_of(&[1u8, 0]), hash_of(&[1u8, 0, 0]));
+        assert_eq!(hash_of(b"abcdefgh!"), hash_of(b"abcdefgh!"));
+    }
+
+    #[test]
+    fn maps_work() {
+        let mut m: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i.wrapping_mul(7)), i as usize);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&(10, 70)], 10);
+        let s: FxHashSet<u64> = (0..100).collect();
+        assert!(s.contains(&99));
+    }
+}

@@ -16,6 +16,7 @@
 //!
 //! * [`sym`] — interned symbols and the two-sorted [`sym::Vocabulary`];
 //! * [`bitset`] — dense bitsets used for label sets and reachability;
+//! * [`fxhash`] — the fast in-process hasher backing the interning tables;
 //! * [`atom`] / [`database`] — ground facts and the [`database::Database`] type;
 //! * [`query`] — positive existential queries, DNF normal form,
 //!   tightness (Prop. 2.2) and fullness (§2) transforms;
@@ -27,6 +28,8 @@
 //! * [`flexi`] — flexi-words `A·({<,<=}·A)*` (§4) and the subword relation;
 //! * [`monadic`] — labelled-dag views of monadic databases and queries and
 //!   the `Paths(·)` decomposition (Lemma 4.1);
+//! * [`scaffold`] — database-dependent, query-independent search tables
+//!   for the Theorem 5.3 disjunctive engine (cached by [`session::Session`]);
 //! * [`parse`] — a small text syntax for databases and queries.
 //!
 //! Entailment engines live in the companion crate `indord-entail`; the
@@ -58,12 +61,14 @@ pub mod bitset;
 pub mod database;
 pub mod error;
 pub mod flexi;
+pub mod fxhash;
 pub mod intervals;
 pub mod model;
 pub mod monadic;
 pub mod ordgraph;
 pub mod parse;
 pub mod query;
+pub mod scaffold;
 pub mod session;
 pub mod sym;
 pub mod toposort;

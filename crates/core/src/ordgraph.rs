@@ -316,9 +316,19 @@ impl OrderGraph {
     /// `<` edge. Equivalently: all live in-edges of `v` are `<=` edges from
     /// minor vertices.
     pub fn minor_within(&self, live: &BitSet) -> BitSet {
+        let topo: Vec<u32> = self.topo_order().iter().map(|&v| v as u32).collect();
+        self.minor_within_order(live, &topo)
+    }
+
+    /// As [`OrderGraph::minor_within`], but reusing a precomputed
+    /// topological order instead of re-running Kahn's algorithm — the form
+    /// the Theorem 5.3 scaffold calls once per `(S, T)` pair.
+    pub fn minor_within_order(&self, live: &BitSet, topo: &[u32]) -> BitSet {
+        debug_assert_eq!(topo.len(), self.n, "topological order covers the graph");
         let mut minor = BitSet::with_capacity(self.n);
         // Process in topological order restricted to live vertices.
-        for v in self.topo_order() {
+        for &v in topo {
+            let v = v as usize;
             if !live.contains(v) {
                 continue;
             }

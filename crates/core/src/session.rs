@@ -13,7 +13,14 @@
 //! * [`Session::monadic`] — the labelled dag, when every stored predicate
 //!   is monadic over the order sort;
 //! * [`Session::object_profiles`] — for each object constant, the set of
-//!   monadic predicates asserted of it (evaluates `ObjectPart`s).
+//!   monadic predicates asserted of it (evaluates `ObjectPart`s);
+//! * [`Session::disjunctive_scaffold`] — the
+//!   [`DisjunctiveScaffold`](crate::scaffold::DisjunctiveScaffold): the
+//!   Theorem 5.3 search tables that depend on the database but not the
+//!   query (reachability closure, topological order, the `min(D)`
+//!   antichain, and the growing interned-antichain / `D(S,T)` pair
+//!   tables). Repeated disjunctive queries against one session reuse the
+//!   pairs explored by earlier queries instead of re-deriving them.
 //!
 //! Mutations go through the session ([`Session::push_proper`],
 //! [`Session::assert_lt`], …) and invalidate exactly what they must:
@@ -34,16 +41,17 @@ use crate::atom::{OrderRel, ProperAtom, Term};
 use crate::bitset::PredSet;
 use crate::database::{Database, NormalDatabase};
 use crate::error::Result;
+use crate::fxhash::FxHashMap;
 use crate::monadic::MonadicDatabase;
+use crate::scaffold::DisjunctiveScaffold;
 use crate::sym::{ObjSym, OrdSym, PredSym, Vocabulary};
-use std::collections::HashMap;
 use std::sync::OnceLock;
 
 /// Per-object predicate profiles, derived from the definite part of the
 /// database (§4: object parts of queries are decided against these).
 #[derive(Debug, Clone, Default)]
 struct ObjectProfiles {
-    index_of: HashMap<ObjSym, usize>,
+    index_of: FxHashMap<ObjSym, usize>,
     sets: Vec<PredSet>,
 }
 
@@ -135,6 +143,7 @@ pub struct Session {
     monadic: OnceLock<Result<MonadicDatabase>>,
     voc_stamp: OnceLock<VocStamp>,
     profiles: OnceLock<ObjectProfiles>,
+    scaffold: OnceLock<DisjunctiveScaffold>,
 }
 
 impl Clone for Session {
@@ -217,6 +226,16 @@ impl Session {
             .map_err(Clone::clone)
     }
 
+    /// The Theorem 5.3 search scaffold of the monadic view, computing and
+    /// caching it on first use: reachability closure, topological order,
+    /// the initial antichain, and the shared interned-antichain `D(S,T)`
+    /// pair tables that successive disjunctive searches grow in place.
+    /// Errors exactly when [`Session::monadic`] does.
+    pub fn disjunctive_scaffold(&self, voc: &Vocabulary) -> Result<&DisjunctiveScaffold> {
+        let mdb = self.monadic(voc)?;
+        Ok(self.scaffold.get_or_init(|| DisjunctiveScaffold::new(mdb)))
+    }
+
     /// Predicate profiles of the object constants in the definite part of
     /// the database, computing and caching them on first use.
     pub fn object_profiles(&self) -> Result<&[PredSet]> {
@@ -272,10 +291,15 @@ impl Session {
                     };
                     mdb.labels[v].insert(atom.pred);
                 }
+                // The scaffold's D(S,T) tables cache label unions, which
+                // this insert changes; its graph tables would survive,
+                // but a stale label is a wrong answer, so drop it whole.
+                self.scaffold.take();
             }
             (Some(Term::Obj(o)), 1) => {
                 // Definite monadic-object fact: the monadic view skips
-                // these (§4 split), only the profiles change.
+                // these (§4 split), only the profiles change — vertex
+                // labels are untouched, so the scaffold stays valid.
                 if let Some(profiles) = self.profiles.get_mut() {
                     profiles.insert(atom.pred, *o);
                 }
@@ -284,6 +308,7 @@ impl Session {
                 // An n-ary fact: the monadic view (if any) no longer
                 // matches the database — it only exists for monadic ones.
                 self.monadic.take();
+                self.scaffold.take();
             }
         }
         if let Some(Ok(nd)) = self.normal.get_mut() {
@@ -326,6 +351,7 @@ impl Session {
     fn invalidate_all(&mut self) {
         self.normal.take();
         self.monadic.take();
+        self.scaffold.take();
         // The vocabulary stamp deliberately survives invalidation:
         // mutations change the stored atoms, never the meaning of the
         // already-interned symbols, and dropping it would silently
@@ -418,6 +444,36 @@ mod tests {
         assert!(profiles[0].contains(boss));
         let fresh = Session::new(s.database().clone());
         assert_eq!(fresh.object_profiles().unwrap(), profiles);
+    }
+
+    #[test]
+    fn scaffold_caches_and_tracks_label_mutation() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "P(u); Q(v); u < v;").unwrap();
+        let mut s = Session::new(db);
+        let sc = s.disjunctive_scaffold(&voc).unwrap();
+        assert_eq!(sc.vertex_count(), 2);
+        let first = sc as *const _;
+        assert!(
+            std::ptr::eq(first, s.disjunctive_scaffold(&voc).unwrap()),
+            "second lookup must hit the cache"
+        );
+        // An in-place label insert changes the D(S,T) label unions: the
+        // scaffold must be rebuilt (the monadic view itself stays warm).
+        let p = voc.find_pred("P").unwrap();
+        let v = voc.ord("v");
+        s.insert_fact(&voc, p, vec![Term::Ord(v)]).unwrap();
+        assert!(s.is_warm());
+        assert!(
+            s.scaffold.get().is_none(),
+            "label insert drops the scaffold"
+        );
+        assert_eq!(s.disjunctive_scaffold(&voc).unwrap().vertex_count(), 2);
+        // An order mutation drops it along with everything else.
+        let (a, b) = (voc.ord("a"), voc.ord("b"));
+        s.assert_lt(a, b);
+        assert!(s.scaffold.get().is_none());
+        assert_eq!(s.disjunctive_scaffold(&voc).unwrap().vertex_count(), 4);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! against the same vocabulary compare symbols by id.
 
 use crate::error::{CoreError, Result};
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 use std::fmt;
 
 /// The sort of a term position: object or order (§2).
@@ -93,7 +93,7 @@ impl Signature {
 #[derive(Debug, Clone, Default)]
 struct Table {
     names: Vec<String>,
-    index: HashMap<String, u32>,
+    index: FxHashMap<String, u32>,
 }
 
 impl Table {

@@ -21,54 +21,85 @@
 //! all-empty tuple is reachable; the committed labels along the way spell a
 //! countermodel.
 //!
+//! ## State encoding
+//!
+//! States are packed [`statespace::StateKey`]s — `(u32, u32, u64, u64)`:
+//! `S` and `T` are antichain ids interned (with their up-sets) in the
+//! database's [`DisjunctiveScaffold`], the pointer tuple is bit-packed
+//! into one `u64` by a [`statespace::PtrCodec`], and the `x`-bits ride in
+//! the last word. Everything a state's transitions need from `(S, T)`
+//! alone — the label `a(S,T)`, whether `D(S,T)` is empty, and the
+//! interned targets of the (a)-moves — is memoized per pair in the
+//! scaffold's [`PairTable`](indord_core::scaffold::PairTable), so on a
+//! session-cached scaffold repeated queries never re-derive it and the
+//! per-state cost collapses to a few subset tests plus hash probes.
+//! Parent links for countermodel reconstruction are compact `u32`
+//! indices into the per-search [`statespace::StateArena`], not cloned
+//! states. The [`reference`] module keeps the pre-interning
+//! implementation for ablation benchmarks and parity tests.
+//!
 //! For width-`k` databases the state space is `O(|D|^{2k}·Π|Φᵢ|)`
 //! (Theorem 5.3); the same search run on unbounded-width input realizes
 //! the co-NP upper bound of Proposition 5.2.
 
+use crate::statespace::{PtrCodec, StateArena, StateKey, NONE};
 use crate::verdict::MonadicVerdict;
 use indord_core::atom::OrderRel;
-use indord_core::bitset::{BitSet, PredSet};
+use indord_core::bitset::PredSet;
 use indord_core::error::{CoreError, Result};
+use indord_core::fxhash::FxHashSet;
 use indord_core::model::MonadicModel;
 use indord_core::monadic::{MonadicDatabase, MonadicQuery};
-use std::collections::HashMap;
+use indord_core::scaffold::{DisjunctiveScaffold, PairsHandle};
 
 /// Maximum number of disjuncts (pointer `x`-bits are packed in a `u64`).
 pub const MAX_DISJUNCTS: usize = 64;
 
-/// Guard on the number of explored states: the search is exponential in
-/// the database width and the number of disjuncts (Theorem 5.3's
-/// `O(|D|^{2k}·Π|Φᵢ|)`), so runaway inputs surface as
-/// [`CoreError::CapExceeded`] instead of exhausting memory.
+/// Default guard on the number of explored states: the search is
+/// exponential in the database width and the number of disjuncts
+/// (Theorem 5.3's `O(|D|^{2k}·Π|Φᵢ|)`), so runaway inputs surface as
+/// [`CoreError::CapExceeded`] instead of exhausting memory. Configurable
+/// per engine through [`crate::engine::EntailOptions`].
 pub const STATE_CAP: usize = 4_000_000;
-
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct State {
-    s: Vec<u32>,
-    t: Vec<u32>,
-    ptr: Vec<u32>,
-    x: u64,
-}
-
-/// How a state was reached — needed to reconstruct countermodels.
-#[derive(Debug, Clone)]
-enum Step {
-    Root,
-    /// Plain edge ((a) or (b)).
-    Plain(State),
-    /// A (c) edge committing the given point label.
-    Commit(State, PredSet),
-}
 
 /// Decides `D |= Φ₁ ∨ … ∨ Φₙ`.
 pub fn entails(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Result<bool> {
     Ok(check(db, disjuncts)?.holds())
 }
 
-/// Decides entailment, producing a countermodel on failure.
+/// Decides entailment, producing a countermodel on failure. Builds a
+/// one-shot [`DisjunctiveScaffold`]; repeated-query callers should go
+/// through a session and [`check_scaffolded`].
 pub fn check(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Result<MonadicVerdict> {
+    check_capped(db, disjuncts, STATE_CAP)
+}
+
+/// [`check`] with a caller-chosen state cap (the `!=` routes thread
+/// [`crate::engine::EntailOptions::state_cap`] through here).
+pub fn check_capped(
+    db: &MonadicDatabase,
+    disjuncts: &[MonadicQuery],
+    state_cap: usize,
+) -> Result<MonadicVerdict> {
+    // Decide the trivial cases before paying for the scaffold (its
+    // reachability closure is O(|D|²) bits).
+    if validate(db, disjuncts)? {
+        return Ok(MonadicVerdict::Entailed);
+    }
+    let scaffold = DisjunctiveScaffold::new(db);
+    check_scaffolded(db, &scaffold, disjuncts, state_cap)
+}
+
+/// [`check`] against a prebuilt (typically session-cached) scaffold, with
+/// a configurable state cap.
+pub fn check_scaffolded(
+    db: &MonadicDatabase,
+    scaffold: &DisjunctiveScaffold,
+    disjuncts: &[MonadicQuery],
+    state_cap: usize,
+) -> Result<MonadicVerdict> {
     let mut found: Option<MonadicModel> = None;
-    run(db, disjuncts, &mut |m| {
+    run(db, scaffold, disjuncts, state_cap, &mut |m| {
         found = Some(m);
         false // stop at the first countermodel
     })?;
@@ -92,40 +123,65 @@ pub fn countermodels(
     disjuncts: &[MonadicQuery],
     cap: usize,
 ) -> Result<Vec<MonadicModel>> {
-    let graph = explore(db, disjuncts)?;
+    if validate(db, disjuncts)? {
+        return Ok(Vec::new()); // trivially entailed (an empty disjunct)
+    }
+    let scaffold = DisjunctiveScaffold::new(db);
+    countermodels_scaffolded(db, &scaffold, disjuncts, cap, STATE_CAP)
+}
+
+/// [`countermodels`] against a prebuilt scaffold with a configurable
+/// state cap.
+pub fn countermodels_scaffolded(
+    db: &MonadicDatabase,
+    scaffold: &DisjunctiveScaffold,
+    disjuncts: &[MonadicQuery],
+    cap: usize,
+    state_cap: usize,
+) -> Result<Vec<MonadicModel>> {
+    let mut pairs = scaffold.pairs();
+    let graph = explore(db, scaffold, &mut pairs, disjuncts, state_cap)?;
     let Some(graph) = graph else {
         return Ok(Vec::new()); // trivially entailed (an empty disjunct)
     };
+    let n_nodes = graph.arena.len();
     // Backward-prune: keep only states from which a final state is
-    // reachable.
-    let mut reverse: HashMap<&State, Vec<&State>> = HashMap::new();
-    for (from, outs) in &graph.edges {
-        for (to, _) in outs {
-            reverse.entry(to).or_default().push(from);
+    // reachable (integer reverse adjacency, no borrowed-state maps).
+    let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n_nodes];
+    for (from, outs) in graph.edges.iter().enumerate() {
+        for &(to, _) in outs {
+            rev[to as usize].push(from as u32);
         }
     }
-    let mut alive: std::collections::HashSet<&State> = std::collections::HashSet::new();
-    let mut work: Vec<&State> = graph.finals.iter().collect();
-    while let Some(st) = work.pop() {
-        if alive.insert(st) {
-            if let Some(preds) = reverse.get(st) {
-                work.extend(preds.iter().copied());
-            }
+    let mut alive = vec![false; n_nodes];
+    let mut work: Vec<u32> = graph.finals.clone();
+    while let Some(v) = work.pop() {
+        if !alive[v as usize] {
+            alive[v as usize] = true;
+            work.extend(rev[v as usize].iter().copied());
         }
     }
-    // Depth-first path enumeration over the pruned dag.
+    let mut is_final = vec![false; n_nodes];
+    for &f in &graph.finals {
+        is_final[f as usize] = true;
+    }
+    // Depth-first path enumeration over the pruned dag. `labels` carries
+    // one committed pair index (or NONE) per path step.
     let mut out: Vec<MonadicModel> = Vec::new();
-    let mut seen: std::collections::HashSet<MonadicModel> = std::collections::HashSet::new();
-    // stack of (state, next edge index); labels committed along the path.
-    for init in &graph.initials {
-        if !alive.contains(init) {
+    let mut seen: FxHashSet<MonadicModel> = FxHashSet::default();
+    for &init in &graph.initials {
+        if !alive[init as usize] {
             continue;
         }
-        let mut stack: Vec<(&State, usize)> = vec![(init, 0)];
-        let mut labels: Vec<Option<PredSet>> = vec![None];
-        while let Some(&mut (st, ref mut idx)) = stack.last_mut() {
-            if graph.finals.contains(st) && *idx == 0 {
-                let model: Vec<PredSet> = labels.iter().filter_map(|l| l.clone()).collect();
+        let mut stack: Vec<(u32, usize)> = vec![(init, 0)];
+        let mut labels: Vec<u32> = vec![NONE];
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            if is_final[node as usize] && *idx == 0 {
+                let model: Vec<PredSet> = labels
+                    .iter()
+                    .filter(|&&l| l != NONE)
+                    .map(|&l| pairs.info(l).label.clone())
+                    .collect();
                 let m = MonadicModel::new(model);
                 if seen.insert(m.clone()) {
                     out.push(m);
@@ -134,22 +190,19 @@ pub fn countermodels(
                     }
                 }
             }
-            let outs = graph.edges.get(st).map(Vec::as_slice).unwrap_or(&[]);
+            let outs = &graph.edges[node as usize];
             let mut advanced = false;
             while *idx < outs.len() {
-                let (ref to, ref lbl) = outs[*idx];
+                let (to, commit) = outs[*idx];
                 *idx += 1;
-                if alive.contains(to) {
-                    labels.push(lbl.clone());
+                if alive[to as usize] {
+                    labels.push(commit);
                     stack.push((to, 0));
                     advanced = true;
                     break;
                 }
             }
-            if !advanced && {
-                let (_, i) = *stack.last().unwrap();
-                i >= outs.len()
-            } {
+            if !advanced {
                 stack.pop();
                 labels.pop();
             }
@@ -158,16 +211,9 @@ pub fn countermodels(
     Ok(out)
 }
 
-/// The fully explored state graph.
-struct StateGraph {
-    edges: HashMap<State, Vec<(State, Option<PredSet>)>>,
-    initials: Vec<State>,
-    finals: std::collections::HashSet<State>,
-}
-
-/// Explores all reachable states, recording edges. Returns `None` when the
-/// query is trivially entailed (some disjunct is empty).
-fn explore(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Result<Option<StateGraph>> {
+/// Validates the inputs shared by [`run`] and [`explore`]. `Ok(true)`
+/// means "trivially entailed, skip the search".
+fn validate(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Result<bool> {
     debug_assert!(db.ne.is_empty(), "Thm 5.3 is for [<,<=] databases");
     if disjuncts.len() > MAX_DISJUNCTS {
         return Err(CoreError::CapExceeded {
@@ -175,56 +221,18 @@ fn explore(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Result<Option<St
             limit: MAX_DISJUNCTS,
         });
     }
-    if disjuncts.iter().any(|q| q.graph.is_empty()) {
-        return Ok(None);
-    }
-    let initials = initial_states(db, disjuncts);
-    let mut edges: HashMap<State, Vec<(State, Option<PredSet>)>> = HashMap::new();
-    let mut finals = std::collections::HashSet::new();
-    let mut stack: Vec<State> = Vec::new();
-    for st in &initials {
-        if !edges.contains_key(st) {
-            edges.insert(st.clone(), Vec::new());
-            stack.push(st.clone());
-        }
-    }
-    while let Some(st) = stack.pop() {
-        if edges.len() > STATE_CAP {
-            return Err(CoreError::CapExceeded {
-                what: "states in Theorem 5.3 exploration".to_string(),
-                limit: STATE_CAP,
-            });
-        }
-        if st.s.is_empty() && st.t.is_empty() {
-            finals.insert(st);
-            continue;
-        }
-        let outs = successors(db, disjuncts, &st);
-        for (to, _) in &outs {
-            if !edges.contains_key(to) {
-                edges.insert(to.clone(), Vec::new());
-                stack.push(to.clone());
-            }
-        }
-        edges.insert(st, outs);
-    }
-    Ok(Some(StateGraph {
-        edges,
-        initials,
-        finals,
-    }))
+    Ok(disjuncts.iter().any(|q| q.graph.is_empty()))
 }
 
-/// All initial states: S = ∅, T = min(D), one pointer combination per
+/// All initial state keys: S = ∅, T = min(D), one pointer combination per
 /// choice of minimal query vertices.
-fn initial_states(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Vec<State> {
+fn initial_keys(
+    disjuncts: &[MonadicQuery],
+    codec: &mut PtrCodec,
+    empty: u32,
+    init_t: u32,
+) -> Vec<StateKey> {
     let n = disjuncts.len();
-    let init_t: Vec<u32> = db
-        .graph
-        .minimal_vertices()
-        .iter()
-        .map(|v| v as u32)
-        .collect();
     let sources: Vec<Vec<u32>> = disjuncts
         .iter()
         .map(|q| {
@@ -236,12 +244,15 @@ fn initial_states(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Vec<State
         .collect();
     let mut out = Vec::new();
     let mut combo = vec![0usize; n];
+    let mut ptrs = vec![0u32; n];
     loop {
-        let ptr: Vec<u32> = (0..n).map(|j| sources[j][combo[j]]).collect();
-        out.push(State {
-            s: Vec::new(),
-            t: init_t.clone(),
-            ptr,
+        for j in 0..n {
+            ptrs[j] = sources[j][combo[j]];
+        }
+        out.push(StateKey {
+            s: empty,
+            t: init_t,
+            ptr: codec.pack(&ptrs),
             x: 0,
         });
         let mut j = 0;
@@ -263,171 +274,603 @@ fn initial_states(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Vec<State
     out
 }
 
-/// The outgoing transitions of a non-final state. The `Option<PredSet>` is
-/// `Some(label)` exactly on (c) edges, carrying the committed point label.
+/// Generates the outgoing transitions of a non-final state into the
+/// reusable `out` buffer as `(key, committed-pair-or-NONE)`, consulting
+/// (and lazily extending) the scaffold's pair table. `ptrs` is the shared
+/// unpack scratch.
+#[allow(clippy::too_many_arguments)]
 fn successors(
     db: &MonadicDatabase,
+    scaffold: &DisjunctiveScaffold,
+    pairs: &mut PairsHandle<'_>,
     disjuncts: &[MonadicQuery],
-    st: &State,
-) -> Vec<(State, Option<PredSet>)> {
+    codec: &mut PtrCodec,
+    key: StateKey,
+    empty: u32,
+    ptrs: &mut Vec<u32>,
+    out: &mut Vec<(StateKey, u32)>,
+) {
+    out.clear();
     let n = disjuncts.len();
-    let mut outs = Vec::new();
-    let s_bits: BitSet = st.s.iter().map(|&v| v as usize).collect();
-    let t_bits: BitSet = st.t.iter().map(|&v| v as usize).collect();
-    let region_s = db.graph.up_set(&s_bits);
-    let region_t = db.graph.up_set(&t_bits);
-    let mut dst = region_s.clone();
-    dst.difference_with(&region_t);
-    let mut a = PredSet::new();
-    for v in dst.iter() {
-        a.union_with(&db.labels[v]);
-    }
+    let pidx = pairs.ensure(scaffold, db, key.s, key.t);
+    codec.unpack_into(key.ptr, ptrs);
+    let info = pairs.info(pidx);
 
     // Edge (b): the least pointer with x=0 that fits must advance first.
-    let fits: Vec<bool> = (0..n)
-        .map(|j| disjuncts[j].labels[st.ptr[j] as usize].is_subset(&a))
-        .collect();
-    if let Some(j) = (0..n).find(|&j| st.x & (1 << j) == 0 && fits[j]) {
-        let u = st.ptr[j] as usize;
+    let mut advanced = false;
+    for j in 0..n {
+        if key.x & (1 << j) != 0 {
+            continue;
+        }
+        if !disjuncts[j].labels[ptrs[j] as usize].is_subset(&info.label) {
+            continue;
+        }
+        let u = ptrs[j] as usize;
         for &(w, rel) in disjuncts[j].graph.successors(u) {
-            let mut ptr = st.ptr.clone();
-            ptr[j] = w;
+            let saved = ptrs[j];
+            ptrs[j] = w;
+            let ptr = codec.pack(ptrs);
+            ptrs[j] = saved;
             let x = match rel {
-                OrderRel::Lt => st.x | (1 << j),
-                OrderRel::Le => st.x & !(1 << j),
+                OrderRel::Lt => key.x | (1 << j),
+                OrderRel::Le => key.x & !(1 << j),
                 OrderRel::Ne => unreachable!(),
             };
-            outs.push((
-                State {
-                    s: st.s.clone(),
-                    t: st.t.clone(),
+            out.push((
+                StateKey {
+                    s: key.s,
+                    t: key.t,
                     ptr,
                     x,
                 },
-                None,
+                NONE,
             ));
         }
-    } else if !dst.is_empty() {
-        // Edge (c): commit the provisional point.
-        outs.push((
-            State {
-                s: Vec::new(),
-                t: st.t.clone(),
-                ptr: st.ptr.clone(),
+        advanced = true;
+        break;
+    }
+    if !advanced && !info.dst_empty {
+        // Edge (c): commit the provisional point D(S,T).
+        out.push((
+            StateKey {
+                s: empty,
+                t: key.t,
+                ptr: key.ptr,
                 x: 0,
             },
-            Some(a.clone()),
+            pidx,
         ));
     }
 
-    // Edge (a): move a minor unsorted vertex from T to the S side.
-    let mut region_union = region_s.clone();
-    region_union.union_with(&region_t);
-    let minors = db.graph.minor_within(&region_union);
-    for &v in &st.t {
-        if !minors.contains(v as usize) {
-            continue;
-        }
-        let mut s_new_bits = s_bits.clone();
-        s_new_bits.insert(v as usize);
-        let s2: Vec<u32> = db
-            .graph
-            .minimal_within(&db.graph.up_set(&s_new_bits))
-            .iter()
-            .map(|w| w as u32)
-            .collect();
-        let mut t_rest = region_t.clone();
-        t_rest.remove(v as usize);
-        let t2: Vec<u32> = db
-            .graph
-            .minimal_within(&t_rest)
-            .iter()
-            .map(|w| w as u32)
-            .collect();
-        outs.push((
-            State {
+    // Edge (a): move a minor unsorted vertex from T to the S side — the
+    // targets are memoized per (S, T) pair.
+    for &(s2, t2) in &info.moves {
+        out.push((
+            StateKey {
                 s: s2,
                 t: t2,
-                ptr: st.ptr.clone(),
-                x: st.x,
+                ptr: key.ptr,
+                x: key.x,
             },
-            None,
+            NONE,
         ));
     }
-    outs
 }
 
 /// Core search for the *first* countermodel. Invokes `on_model` on it;
-/// `on_model` returns `false` to stop (which `check` always does).
+/// `on_model` returns `false` to stop (which [`check_scaffolded`] always
+/// does).
 fn run(
     db: &MonadicDatabase,
+    scaffold: &DisjunctiveScaffold,
     disjuncts: &[MonadicQuery],
+    state_cap: usize,
     on_model: &mut dyn FnMut(MonadicModel) -> bool,
 ) -> Result<()> {
-    debug_assert!(db.ne.is_empty(), "Thm 5.3 is for [<,<=] databases");
-    if disjuncts.len() > MAX_DISJUNCTS {
-        return Err(CoreError::CapExceeded {
-            what: "disjuncts in Theorem 5.3 search".to_string(),
-            limit: MAX_DISJUNCTS,
-        });
-    }
-    if disjuncts.iter().any(|q| q.graph.is_empty()) {
+    if validate(db, disjuncts)? {
         return Ok(());
     }
-    let mut visited: HashMap<State, Step> = HashMap::new();
-    let mut stack: Vec<State> = Vec::new();
-    for st in initial_states(db, disjuncts) {
-        if !visited.contains_key(&st) {
-            visited.insert(st.clone(), Step::Root);
-            stack.push(st);
+    let mut pairs = scaffold.pairs();
+    let empty = pairs.empty_id();
+    let init_t = pairs.initial_id();
+    let mut codec = PtrCodec::new(disjuncts);
+    let mut arena = StateArena::default();
+    let mut stack: Vec<u32> = Vec::new();
+    for key in initial_keys(disjuncts, &mut codec, empty, init_t) {
+        if let Some(i) = arena.intern(key, NONE, NONE) {
+            stack.push(i);
         }
     }
-    while let Some(st) = stack.pop() {
-        if visited.len() > STATE_CAP {
-            return Err(CoreError::CapExceeded {
-                what: "states in Theorem 5.3 search".to_string(),
-                limit: STATE_CAP,
-            });
-        }
-        if st.s.is_empty() && st.t.is_empty() {
-            // Final tuple: reconstruct the committed points.
-            let mut labels: Vec<PredSet> = Vec::new();
-            let mut cur = st.clone();
-            loop {
-                match visited
-                    .get(&cur)
-                    .cloned()
-                    .expect("visited state has a step")
-                {
-                    Step::Root => break,
-                    Step::Plain(p) => cur = p,
-                    Step::Commit(p, label) => {
-                        labels.push(label);
-                        cur = p;
-                    }
-                }
-            }
-            labels.reverse();
-            if !on_model(MonadicModel::new(labels)) {
+    let mut ptrs: Vec<u32> = Vec::new();
+    let mut succ: Vec<(StateKey, u32)> = Vec::new();
+    while let Some(i) = stack.pop() {
+        arena.check_cap(state_cap, "states in Theorem 5.3 search")?;
+        let key = arena.key(i);
+        if key.s == empty && key.t == empty {
+            // Final tuple: walk the compact parent indices, collecting
+            // the committed pair labels.
+            if !on_model(reconstruct(&arena, &pairs, i)) {
                 return Ok(());
             }
             continue;
         }
-        for (to, lbl) in successors(db, disjuncts, &st) {
-            let step = match lbl {
-                Some(label) => Step::Commit(st.clone(), label),
-                None => Step::Plain(st.clone()),
-            };
-            push(&mut visited, &mut stack, to, step);
+        successors(
+            db, scaffold, &mut pairs, disjuncts, &mut codec, key, empty, &mut ptrs, &mut succ,
+        );
+        for &(k, commit) in &succ {
+            if let Some(j) = arena.intern(k, i, commit) {
+                stack.push(j);
+            }
         }
     }
     Ok(())
 }
 
-fn push(visited: &mut HashMap<State, Step>, stack: &mut Vec<State>, to: State, how: Step) {
-    if !visited.contains_key(&to) {
-        visited.insert(to.clone(), how);
-        stack.push(to);
+/// Spells the countermodel of a final state from its parent chain.
+fn reconstruct(arena: &StateArena, pairs: &PairsHandle<'_>, mut i: u32) -> MonadicModel {
+    let mut labels: Vec<PredSet> = Vec::new();
+    loop {
+        let (parent, commit) = arena.step(i);
+        if commit != NONE {
+            labels.push(pairs.info(commit).label.clone());
+        }
+        if parent == NONE {
+            break;
+        }
+        i = parent;
+    }
+    labels.reverse();
+    MonadicModel::new(labels)
+}
+
+/// The fully explored state graph, integer-indexed.
+struct Explored {
+    arena: StateArena,
+    /// `edges[i]` lists `(target node, committed-pair-or-NONE)`.
+    edges: Vec<Vec<(u32, u32)>>,
+    initials: Vec<u32>,
+    finals: Vec<u32>,
+}
+
+/// Explores all reachable states, recording edges. Returns `None` when the
+/// query is trivially entailed (some disjunct is empty).
+fn explore(
+    db: &MonadicDatabase,
+    scaffold: &DisjunctiveScaffold,
+    pairs: &mut PairsHandle<'_>,
+    disjuncts: &[MonadicQuery],
+    state_cap: usize,
+) -> Result<Option<Explored>> {
+    if validate(db, disjuncts)? {
+        return Ok(None);
+    }
+    let empty = pairs.empty_id();
+    let init_t = pairs.initial_id();
+    let mut codec = PtrCodec::new(disjuncts);
+    let mut arena = StateArena::default();
+    let mut edges: Vec<Vec<(u32, u32)>> = Vec::new();
+    let mut finals: Vec<u32> = Vec::new();
+    let mut stack: Vec<u32> = Vec::new();
+    let mut initials: Vec<u32> = Vec::new();
+    for key in initial_keys(disjuncts, &mut codec, empty, init_t) {
+        match arena.intern(key, NONE, NONE) {
+            Some(i) => {
+                stack.push(i);
+                initials.push(i);
+            }
+            None => initials.push(arena.lookup(&key).expect("just interned")),
+        }
+    }
+    let mut ptrs: Vec<u32> = Vec::new();
+    let mut succ: Vec<(StateKey, u32)> = Vec::new();
+    while let Some(i) = stack.pop() {
+        arena.check_cap(state_cap, "states in Theorem 5.3 exploration")?;
+        let key = arena.key(i);
+        edges.resize_with(arena.len(), Vec::new);
+        if key.s == empty && key.t == empty {
+            finals.push(i);
+            continue;
+        }
+        successors(
+            db, scaffold, pairs, disjuncts, &mut codec, key, empty, &mut ptrs, &mut succ,
+        );
+        let mut outs = Vec::with_capacity(succ.len());
+        for &(k, commit) in &succ {
+            let j = match arena.intern(k, i, commit) {
+                Some(j) => {
+                    stack.push(j);
+                    j
+                }
+                None => arena.lookup(&k).expect("interned earlier"),
+            };
+            outs.push((j, commit));
+        }
+        edges.resize_with(arena.len(), Vec::new);
+        edges[i as usize] = outs;
+    }
+    edges.resize_with(arena.len(), Vec::new);
+    Ok(Some(Explored {
+        arena,
+        edges,
+        initials,
+        finals,
+    }))
+}
+
+/// The pre-interning Theorem 5.3 implementation, kept as a semantic
+/// reference: states are plain `(Vec, Vec, Vec, u64)` tuples in SipHash
+/// maps, and every transition re-derives its up-sets and minor vertices
+/// from the dag. The `thm53_ablation` bench compares it against the
+/// interned engine, and the property suites assert verdict and
+/// countermodel-set parity.
+pub mod reference {
+    use super::{MAX_DISJUNCTS, STATE_CAP};
+    use crate::verdict::MonadicVerdict;
+    use indord_core::atom::OrderRel;
+    use indord_core::bitset::{BitSet, PredSet};
+    use indord_core::error::{CoreError, Result};
+    use indord_core::model::MonadicModel;
+    use indord_core::monadic::{MonadicDatabase, MonadicQuery};
+    use std::collections::HashMap;
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    struct State {
+        s: Vec<u32>,
+        t: Vec<u32>,
+        ptr: Vec<u32>,
+        x: u64,
+    }
+
+    /// How a state was reached — needed to reconstruct countermodels.
+    #[derive(Debug, Clone)]
+    enum Step {
+        Root,
+        /// Plain edge ((a) or (b)).
+        Plain(State),
+        /// A (c) edge committing the given point label.
+        Commit(State, PredSet),
+    }
+
+    /// Decides `D |= Φ₁ ∨ … ∨ Φₙ` (reference implementation).
+    pub fn entails(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Result<bool> {
+        Ok(check(db, disjuncts)?.holds())
+    }
+
+    /// Decides entailment, producing a countermodel on failure.
+    pub fn check(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Result<MonadicVerdict> {
+        let mut found: Option<MonadicModel> = None;
+        run(db, disjuncts, &mut |m| {
+            found = Some(m);
+            false
+        })?;
+        Ok(match found {
+            Some(m) => MonadicVerdict::Countermodel(m),
+            None => MonadicVerdict::Entailed,
+        })
+    }
+
+    /// Enumerates countermodels, deduplicated, up to `cap` of them.
+    pub fn countermodels(
+        db: &MonadicDatabase,
+        disjuncts: &[MonadicQuery],
+        cap: usize,
+    ) -> Result<Vec<MonadicModel>> {
+        let graph = explore(db, disjuncts)?;
+        let Some(graph) = graph else {
+            return Ok(Vec::new());
+        };
+        let mut reverse: HashMap<&State, Vec<&State>> = HashMap::new();
+        for (from, outs) in &graph.edges {
+            for (to, _) in outs {
+                reverse.entry(to).or_default().push(from);
+            }
+        }
+        let mut alive: std::collections::HashSet<&State> = std::collections::HashSet::new();
+        let mut work: Vec<&State> = graph.finals.iter().collect();
+        while let Some(st) = work.pop() {
+            if alive.insert(st) {
+                if let Some(preds) = reverse.get(st) {
+                    work.extend(preds.iter().copied());
+                }
+            }
+        }
+        let mut out: Vec<MonadicModel> = Vec::new();
+        let mut seen: std::collections::HashSet<MonadicModel> = std::collections::HashSet::new();
+        for init in &graph.initials {
+            if !alive.contains(init) {
+                continue;
+            }
+            let mut stack: Vec<(&State, usize)> = vec![(init, 0)];
+            let mut labels: Vec<Option<PredSet>> = vec![None];
+            while let Some(&mut (st, ref mut idx)) = stack.last_mut() {
+                if graph.finals.contains(st) && *idx == 0 {
+                    let model: Vec<PredSet> = labels.iter().filter_map(|l| l.clone()).collect();
+                    let m = MonadicModel::new(model);
+                    if seen.insert(m.clone()) {
+                        out.push(m);
+                        if out.len() >= cap {
+                            return Ok(out);
+                        }
+                    }
+                }
+                let outs = graph.edges.get(st).map(Vec::as_slice).unwrap_or(&[]);
+                let mut advanced = false;
+                while *idx < outs.len() {
+                    let (ref to, ref lbl) = outs[*idx];
+                    *idx += 1;
+                    if alive.contains(to) {
+                        labels.push(lbl.clone());
+                        stack.push((to, 0));
+                        advanced = true;
+                        break;
+                    }
+                }
+                if !advanced && {
+                    let (_, i) = *stack.last().unwrap();
+                    i >= outs.len()
+                } {
+                    stack.pop();
+                    labels.pop();
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    struct StateGraph {
+        edges: HashMap<State, Vec<(State, Option<PredSet>)>>,
+        initials: Vec<State>,
+        finals: std::collections::HashSet<State>,
+    }
+
+    fn explore(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Result<Option<StateGraph>> {
+        debug_assert!(db.ne.is_empty(), "Thm 5.3 is for [<,<=] databases");
+        if disjuncts.len() > MAX_DISJUNCTS {
+            return Err(CoreError::CapExceeded {
+                what: "disjuncts in Theorem 5.3 search".to_string(),
+                limit: MAX_DISJUNCTS,
+            });
+        }
+        if disjuncts.iter().any(|q| q.graph.is_empty()) {
+            return Ok(None);
+        }
+        let initials = initial_states(db, disjuncts);
+        let mut edges: HashMap<State, Vec<(State, Option<PredSet>)>> = HashMap::new();
+        let mut finals = std::collections::HashSet::new();
+        let mut stack: Vec<State> = Vec::new();
+        for st in &initials {
+            if !edges.contains_key(st) {
+                edges.insert(st.clone(), Vec::new());
+                stack.push(st.clone());
+            }
+        }
+        while let Some(st) = stack.pop() {
+            if edges.len() > STATE_CAP {
+                return Err(CoreError::CapExceeded {
+                    what: "states in Theorem 5.3 exploration".to_string(),
+                    limit: STATE_CAP,
+                });
+            }
+            if st.s.is_empty() && st.t.is_empty() {
+                finals.insert(st);
+                continue;
+            }
+            let outs = successors(db, disjuncts, &st);
+            for (to, _) in &outs {
+                if !edges.contains_key(to) {
+                    edges.insert(to.clone(), Vec::new());
+                    stack.push(to.clone());
+                }
+            }
+            edges.insert(st, outs);
+        }
+        Ok(Some(StateGraph {
+            edges,
+            initials,
+            finals,
+        }))
+    }
+
+    fn initial_states(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Vec<State> {
+        let n = disjuncts.len();
+        let init_t: Vec<u32> = db
+            .graph
+            .minimal_vertices()
+            .iter()
+            .map(|v| v as u32)
+            .collect();
+        let sources: Vec<Vec<u32>> = disjuncts
+            .iter()
+            .map(|q| {
+                (0..q.graph.len())
+                    .filter(|&v| q.graph.predecessors(v).is_empty())
+                    .map(|v| v as u32)
+                    .collect()
+            })
+            .collect();
+        let mut out = Vec::new();
+        let mut combo = vec![0usize; n];
+        loop {
+            let ptr: Vec<u32> = (0..n).map(|j| sources[j][combo[j]]).collect();
+            out.push(State {
+                s: Vec::new(),
+                t: init_t.clone(),
+                ptr,
+                x: 0,
+            });
+            let mut j = 0;
+            loop {
+                if j == n {
+                    break;
+                }
+                combo[j] += 1;
+                if combo[j] < sources[j].len() {
+                    break;
+                }
+                combo[j] = 0;
+                j += 1;
+            }
+            if j == n {
+                break;
+            }
+        }
+        out
+    }
+
+    fn successors(
+        db: &MonadicDatabase,
+        disjuncts: &[MonadicQuery],
+        st: &State,
+    ) -> Vec<(State, Option<PredSet>)> {
+        let n = disjuncts.len();
+        let mut outs = Vec::new();
+        let s_bits: BitSet = st.s.iter().map(|&v| v as usize).collect();
+        let t_bits: BitSet = st.t.iter().map(|&v| v as usize).collect();
+        let region_s = db.graph.up_set(&s_bits);
+        let region_t = db.graph.up_set(&t_bits);
+        let mut dst = region_s.clone();
+        dst.difference_with(&region_t);
+        let mut a = PredSet::new();
+        for v in dst.iter() {
+            a.union_with(&db.labels[v]);
+        }
+
+        let fits: Vec<bool> = (0..n)
+            .map(|j| disjuncts[j].labels[st.ptr[j] as usize].is_subset(&a))
+            .collect();
+        if let Some(j) = (0..n).find(|&j| st.x & (1 << j) == 0 && fits[j]) {
+            let u = st.ptr[j] as usize;
+            for &(w, rel) in disjuncts[j].graph.successors(u) {
+                let mut ptr = st.ptr.clone();
+                ptr[j] = w;
+                let x = match rel {
+                    OrderRel::Lt => st.x | (1 << j),
+                    OrderRel::Le => st.x & !(1 << j),
+                    OrderRel::Ne => unreachable!(),
+                };
+                outs.push((
+                    State {
+                        s: st.s.clone(),
+                        t: st.t.clone(),
+                        ptr,
+                        x,
+                    },
+                    None,
+                ));
+            }
+        } else if !dst.is_empty() {
+            outs.push((
+                State {
+                    s: Vec::new(),
+                    t: st.t.clone(),
+                    ptr: st.ptr.clone(),
+                    x: 0,
+                },
+                Some(a.clone()),
+            ));
+        }
+
+        let mut region_union = region_s.clone();
+        region_union.union_with(&region_t);
+        let minors = db.graph.minor_within(&region_union);
+        for &v in &st.t {
+            if !minors.contains(v as usize) {
+                continue;
+            }
+            let mut s_new_bits = s_bits.clone();
+            s_new_bits.insert(v as usize);
+            let s2: Vec<u32> = db
+                .graph
+                .minimal_within(&db.graph.up_set(&s_new_bits))
+                .iter()
+                .map(|w| w as u32)
+                .collect();
+            let mut t_rest = region_t.clone();
+            t_rest.remove(v as usize);
+            let t2: Vec<u32> = db
+                .graph
+                .minimal_within(&t_rest)
+                .iter()
+                .map(|w| w as u32)
+                .collect();
+            outs.push((
+                State {
+                    s: s2,
+                    t: t2,
+                    ptr: st.ptr.clone(),
+                    x: st.x,
+                },
+                None,
+            ));
+        }
+        outs
+    }
+
+    fn run(
+        db: &MonadicDatabase,
+        disjuncts: &[MonadicQuery],
+        on_model: &mut dyn FnMut(MonadicModel) -> bool,
+    ) -> Result<()> {
+        debug_assert!(db.ne.is_empty(), "Thm 5.3 is for [<,<=] databases");
+        if disjuncts.len() > MAX_DISJUNCTS {
+            return Err(CoreError::CapExceeded {
+                what: "disjuncts in Theorem 5.3 search".to_string(),
+                limit: MAX_DISJUNCTS,
+            });
+        }
+        if disjuncts.iter().any(|q| q.graph.is_empty()) {
+            return Ok(());
+        }
+        let mut visited: HashMap<State, Step> = HashMap::new();
+        let mut stack: Vec<State> = Vec::new();
+        for st in initial_states(db, disjuncts) {
+            if !visited.contains_key(&st) {
+                visited.insert(st.clone(), Step::Root);
+                stack.push(st);
+            }
+        }
+        while let Some(st) = stack.pop() {
+            if visited.len() > STATE_CAP {
+                return Err(CoreError::CapExceeded {
+                    what: "states in Theorem 5.3 search".to_string(),
+                    limit: STATE_CAP,
+                });
+            }
+            if st.s.is_empty() && st.t.is_empty() {
+                let mut labels: Vec<PredSet> = Vec::new();
+                let mut cur = st.clone();
+                loop {
+                    match visited
+                        .get(&cur)
+                        .cloned()
+                        .expect("visited state has a step")
+                    {
+                        Step::Root => break,
+                        Step::Plain(p) => cur = p,
+                        Step::Commit(p, label) => {
+                            labels.push(label);
+                            cur = p;
+                        }
+                    }
+                }
+                labels.reverse();
+                if !on_model(MonadicModel::new(labels)) {
+                    return Ok(());
+                }
+                continue;
+            }
+            for (to, lbl) in successors(db, disjuncts, &st) {
+                let step = match lbl {
+                    Some(label) => Step::Commit(st.clone(), label),
+                    None => Step::Plain(st.clone()),
+                };
+                if !visited.contains_key(&to) {
+                    visited.insert(to.clone(), step);
+                    stack.push(to);
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -552,6 +995,50 @@ mod tests {
     }
 
     #[test]
+    fn scaffold_reuse_across_queries_agrees() {
+        // One scaffold serving several queries: verdicts must match the
+        // one-shot path, and the pair table must actually be shared.
+        let g = OrderGraph::from_dag_edges(4, &[(0, 1, Le), (2, 3, Lt)]).unwrap();
+        let db = MonadicDatabase::new(g, vec![ps(&[0]), ps(&[1]), ps(&[2]), ps(&[0, 2])]);
+        let scaffold = DisjunctiveScaffold::new(&db);
+        let queries: Vec<Vec<MonadicQuery>> = vec![
+            vec![q1(&[0, 2])],
+            vec![
+                MonadicQuery::from_flexiword(&FlexiWord::word(vec![ps(&[0]), ps(&[1])])),
+                q1(&[1, 2]),
+            ],
+            vec![MonadicQuery::from_flexiword(&FlexiWord::word(vec![
+                ps(&[2]),
+                ps(&[0]),
+            ]))],
+        ];
+        let mut pair_counts = Vec::new();
+        for dis in &queries {
+            let cached = check_scaffolded(&db, &scaffold, dis, STATE_CAP).unwrap();
+            let fresh = check(&db, dis).unwrap();
+            assert_eq!(cached, fresh);
+            pair_counts.push(scaffold.cached_pair_count());
+        }
+        assert!(pair_counts[0] > 0, "first search populates the table");
+        assert!(
+            pair_counts.windows(2).all(|w| w[0] <= w[1]),
+            "the shared pair table only grows: {pair_counts:?}"
+        );
+    }
+
+    #[test]
+    fn state_cap_is_enforced_and_typed() {
+        let g = OrderGraph::from_dag_edges(4, &[]).unwrap();
+        let db = MonadicDatabase::new(g, vec![ps(&[0]); 4]);
+        let scaffold = DisjunctiveScaffold::new(&db);
+        let q = q1(&[1]);
+        let err = check_scaffolded(&db, &scaffold, std::slice::from_ref(&q), 2).unwrap_err();
+        assert!(matches!(err, CoreError::CapExceeded { limit: 2, .. }));
+        // The same search with room succeeds.
+        assert!(check_scaffolded(&db, &scaffold, std::slice::from_ref(&q), STATE_CAP).is_ok());
+    }
+
+    #[test]
     fn all_countermodels_verified_randomized() {
         let mut seed = 0x2545F4914F6CDD1Du64;
         let mut rng = move || {
@@ -616,6 +1103,12 @@ mod tests {
                     "round {round}: countermodel satisfies a disjunct"
                 );
             }
+            // Verdict parity with the pre-interning reference engine.
+            assert_eq!(
+                entails(&db, &disjuncts).unwrap(),
+                reference::entails(&db, &disjuncts).unwrap(),
+                "round {round}: interned vs reference"
+            );
         }
     }
 }

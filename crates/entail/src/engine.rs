@@ -38,9 +38,31 @@ use indord_core::error::{CoreError, Result};
 use indord_core::model::{FiniteModel, MonadicModel};
 use indord_core::monadic::{MonadicDatabase, MonadicQuery};
 use indord_core::query::DnfQuery;
+use indord_core::scaffold::DisjunctiveScaffold;
 use indord_core::session::{object_profiles_of, Session};
 use indord_core::sym::Vocabulary;
 use std::cell::OnceCell;
+
+/// Tunable evaluation limits, fixed at engine construction and threaded
+/// through every route (one-shot, prepared, batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntailOptions {
+    /// Cap on states explored by the Theorem 5.3 disjunctive search;
+    /// exceeding it surfaces as [`CoreError::CapExceeded`]. Defaults to
+    /// [`disjunctive::STATE_CAP`].
+    pub state_cap: usize,
+    /// Cap for `!=` orientation eliminations (§7) and similar expansions.
+    pub expansion_cap: usize,
+}
+
+impl Default for EntailOptions {
+    fn default() -> Self {
+        EntailOptions {
+            state_cap: disjunctive::STATE_CAP,
+            expansion_cap: 4096,
+        }
+    }
+}
 
 /// Which algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -101,17 +123,16 @@ impl From<NaryVerdict> for Verdict {
 pub struct Engine<'a> {
     voc: &'a Vocabulary,
     strategy: Strategy,
-    /// Cap for `!=` eliminations and similar expansions.
-    expansion_cap: usize,
+    options: EntailOptions,
 }
 
 impl<'a> Engine<'a> {
-    /// Creates an engine with the automatic strategy.
+    /// Creates an engine with the automatic strategy and default limits.
     pub fn new(voc: &'a Vocabulary) -> Self {
         Engine {
             voc,
             strategy: Strategy::Auto,
-            expansion_cap: 4096,
+            options: EntailOptions::default(),
         }
     }
 
@@ -121,12 +142,36 @@ impl<'a> Engine<'a> {
         self
     }
 
+    /// Replaces the evaluation limits wholesale.
+    pub fn with_options(mut self, options: EntailOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Overrides the Theorem 5.3 state cap (default
+    /// [`disjunctive::STATE_CAP`]).
+    pub fn with_state_cap(mut self, state_cap: usize) -> Self {
+        self.options.state_cap = state_cap;
+        self
+    }
+
+    /// Overrides the `!=` expansion cap.
+    pub fn with_expansion_cap(mut self, expansion_cap: usize) -> Self {
+        self.options.expansion_cap = expansion_cap;
+        self
+    }
+
+    /// The evaluation limits in force.
+    pub fn options(&self) -> EntailOptions {
+        self.options
+    }
+
     /// Compiles a query for repeated evaluation: every
     /// database-independent artifact (object splits, flexi-words, path
     /// decompositions, `!=` expansions, per-disjunct routing) is computed
     /// here, once.
     pub fn prepare(&self, query: &DnfQuery) -> Result<PreparedQuery> {
-        PreparedQuery::compile(self.voc, query, self.strategy, self.expansion_cap)
+        PreparedQuery::compile(self.voc, query, self.strategy, self.options.expansion_cap)
     }
 
     /// Decides `D |= Φ` for a prepared query against a session, reusing
@@ -166,13 +211,14 @@ impl<'a> Engine<'a> {
             nd: db.normalize()?,
             mdb: OnceCell::new(),
             profiles: OnceCell::new(),
+            scaffold: OnceCell::new(),
         };
         self.execute(&view, &pq)
     }
 
     /// The shared executor behind [`Engine::entails`] and
     /// [`Engine::entails_prepared`].
-    fn execute(&self, view: &dyn DbView, pq: &PreparedQuery) -> Result<Verdict> {
+    fn execute<V: DbView>(&self, view: &V, pq: &PreparedQuery) -> Result<Verdict> {
         let nd = view.normal()?;
         if pq.query.disjuncts.is_empty() {
             // The false query: entailed only by an inconsistent database,
@@ -201,7 +247,15 @@ impl<'a> Engine<'a> {
                         }
                         survivors.push(i);
                     }
-                    return Ok(execute_monadic(pq.strategy, mdb, plan, &survivors)?.into());
+                    return Ok(execute_monadic(
+                        pq.strategy,
+                        mdb,
+                        view,
+                        plan,
+                        &survivors,
+                        self.options,
+                    )?
+                    .into());
                 }
                 // An n-ary database: decide by the naive engine below.
                 Err(CoreError::NotMonadic { .. }) => {}
@@ -230,20 +284,46 @@ impl<'a> Engine<'a> {
         mdb: &MonadicDatabase,
         disjuncts: &[MonadicQuery],
     ) -> Result<MonadicVerdict> {
-        let plan = MonadicPlan::from_orders(disjuncts, self.expansion_cap);
+        let plan = MonadicPlan::from_orders(disjuncts, self.options.expansion_cap);
         let survivors: Vec<usize> = (0..plan.orders.len()).collect();
-        execute_monadic(self.strategy, mdb, &plan, &survivors)
+        let local = LocalScaffold {
+            mdb,
+            cell: OnceCell::new(),
+        };
+        execute_monadic(self.strategy, mdb, &local, &plan, &survivors, self.options)
+    }
+}
+
+/// Lazy access to the Theorem 5.3 scaffold of the database under
+/// evaluation — a session cache, a one-shot cell, or a local build.
+trait ScaffoldSource {
+    fn scaffold(&self) -> Result<&DisjunctiveScaffold>;
+}
+
+/// One-shot scaffold over a caller-held [`MonadicDatabase`].
+struct LocalScaffold<'a> {
+    mdb: &'a MonadicDatabase,
+    cell: OnceCell<DisjunctiveScaffold>,
+}
+
+impl ScaffoldSource for LocalScaffold<'_> {
+    fn scaffold(&self) -> Result<&DisjunctiveScaffold> {
+        Ok(self.cell.get_or_init(|| DisjunctiveScaffold::new(self.mdb)))
     }
 }
 
 /// Runs the monadic pipeline over the disjuncts selected by
 /// `survivors` (indices into `plan.orders`), routing exactly as the
-/// historical `monadic_entails` did but off precompiled artifacts.
+/// historical `monadic_entails` did but off precompiled artifacts. The
+/// disjunctive routes run against `sc`'s scaffold — the session-cached
+/// one on the prepared path, so repeated queries share search state.
 fn execute_monadic(
     strategy: Strategy,
     mdb: &MonadicDatabase,
+    sc: &dyn ScaffoldSource,
     plan: &MonadicPlan,
     survivors: &[usize],
+    options: EntailOptions,
 ) -> Result<MonadicVerdict> {
     if survivors.is_empty() {
         // No disjunct survived object-part filtering: find any model.
@@ -306,14 +386,14 @@ fn execute_monadic(
         }
         Strategy::Disjunctive => {
             refuse_ne("Disjunctive")?;
-            disjunctive::check(mdb, orders)
+            disjunctive::check_scaffolded(mdb, sc.scaffold()?, orders, options.state_cap)
         }
         Strategy::Auto => {
             if !mdb.ne.is_empty() {
                 return ineq::entails_db_ne(mdb, orders);
             }
             if has_ne {
-                return run_query_ne(mdb, plan, survivors, all_survive, orders);
+                return run_query_ne(mdb, plan, survivors, all_survive, orders, options);
             }
             if survivors.len() == 1 {
                 let i = survivors[0];
@@ -326,7 +406,7 @@ fn execute_monadic(
                     (None, _) => bounded::check(mdb, &plan.orders[i]),
                 });
             }
-            disjunctive::check(mdb, orders)
+            disjunctive::check_scaffolded(mdb, sc.scaffold()?, orders, options.state_cap)
         }
     }
 }
@@ -347,26 +427,30 @@ fn run_query_ne(
     survivors: &[usize],
     all_survive: bool,
     orders: &[MonadicQuery],
+    options: EntailOptions,
 ) -> Result<MonadicVerdict> {
     let ne = plan.ne_plan();
     if all_survive {
-        return ineq::entails_expanded(mdb, orders, ne.full.as_deref());
+        return ineq::entails_expanded(mdb, orders, ne.full.as_deref(), options.state_cap);
     }
     let mut expanded = Vec::new();
     for &i in survivors {
         match &ne.per_disjunct[i] {
             NeExpansion::Unneeded => expanded.push(plan.orders[i].clone()),
             NeExpansion::Expanded(e) => expanded.extend(e.iter().cloned()),
-            NeExpansion::Capped => return ineq::entails_expanded(mdb, orders, None),
+            NeExpansion::Capped => {
+                return ineq::entails_expanded(mdb, orders, None, options.state_cap)
+            }
         }
     }
-    ineq::entails_expanded(mdb, orders, Some(&expanded))
+    ineq::entails_expanded(mdb, orders, Some(&expanded), options.state_cap)
 }
 
 /// Database views the executor runs against: a cached [`Session`] or a
 /// freshly-normalized one-shot database. Both are lazy about the monadic
-/// view and object profiles — the n-ary route never computes them.
-trait DbView {
+/// view, object profiles, and disjunctive scaffold — the n-ary route
+/// never computes them.
+trait DbView: ScaffoldSource {
     fn normal(&self) -> Result<&NormalDatabase>;
     fn monadic(&self) -> Result<&MonadicDatabase>;
     fn object_profiles(&self) -> Result<&[PredSet]>;
@@ -391,11 +475,18 @@ impl DbView for SessionView<'_> {
     }
 }
 
+impl ScaffoldSource for SessionView<'_> {
+    fn scaffold(&self) -> Result<&DisjunctiveScaffold> {
+        self.session.disjunctive_scaffold(self.voc)
+    }
+}
+
 struct FreshView<'a> {
     voc: &'a Vocabulary,
     nd: NormalDatabase,
     mdb: OnceCell<Result<MonadicDatabase>>,
     profiles: OnceCell<Vec<PredSet>>,
+    scaffold: OnceCell<DisjunctiveScaffold>,
 }
 
 impl DbView for FreshView<'_> {
@@ -412,6 +503,13 @@ impl DbView for FreshView<'_> {
 
     fn object_profiles(&self) -> Result<&[PredSet]> {
         Ok(self.profiles.get_or_init(|| object_profiles_of(&self.nd)))
+    }
+}
+
+impl ScaffoldSource for FreshView<'_> {
+    fn scaffold(&self) -> Result<&DisjunctiveScaffold> {
+        let mdb = self.monadic()?;
+        Ok(self.scaffold.get_or_init(|| DisjunctiveScaffold::new(mdb)))
     }
 }
 
@@ -594,6 +692,58 @@ mod tests {
             eng2.entails_prepared(&session, &pq2).unwrap_err(),
             CoreError::VocabularyMismatch
         );
+    }
+
+    #[test]
+    fn state_cap_knob_is_honored_on_every_path() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(
+            &mut voc,
+            "pred P(ord); pred Q(ord); pred R(ord); P(u); Q(v); R(w);",
+        )
+        .unwrap();
+        let q = parse_query(&mut voc, "(exists s. P(s) & Q(s)) | exists s. Q(s) & R(s)").unwrap();
+        // Default cap: fine.
+        let eng = Engine::new(&voc);
+        assert_eq!(eng.options(), EntailOptions::default());
+        assert!(eng.entails(&db, &q).is_ok());
+        // A starved cap surfaces the typed error on both one-shot and
+        // prepared paths.
+        let tiny = Engine::new(&voc).with_state_cap(2);
+        assert_eq!(tiny.options().state_cap, 2);
+        assert!(matches!(
+            tiny.entails(&db, &q).unwrap_err(),
+            CoreError::CapExceeded { limit: 2, .. }
+        ));
+        let session = indord_core::session::Session::new(db);
+        let pq = tiny.prepare(&q).unwrap();
+        assert!(matches!(
+            tiny.entails_prepared(&session, &pq).unwrap_err(),
+            CoreError::CapExceeded { limit: 2, .. }
+        ));
+        // The same session recovers under a roomier engine.
+        let roomy = Engine::new(&voc).with_options(EntailOptions {
+            state_cap: 100_000,
+            ..EntailOptions::default()
+        });
+        assert!(roomy.entails_prepared(&session, &pq).is_ok());
+    }
+
+    #[test]
+    fn state_cap_reaches_the_query_ne_route() {
+        // A `!=` query on a [<,<=] database takes the §7 expansion route;
+        // its Theorem 5.3 leg must run under the engine's cap, falling
+        // back to the (here, tiny) naive enumeration when starved rather
+        // than searching millions of states.
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "P(u); P(v); u <= v;").unwrap();
+        let q = parse_query(&mut voc, "exists s t. P(s) & P(t) & s != t").unwrap();
+        let verdict = Engine::new(&voc).entails(&db, &q).unwrap();
+        let starved = Engine::new(&voc)
+            .with_state_cap(1)
+            .entails(&db, &q)
+            .unwrap();
+        assert_eq!(verdict, starved, "naive fallback must agree");
     }
 
     #[test]

@@ -52,11 +52,13 @@ pub fn eliminate_ne(q: &MonadicQuery, cap: usize) -> Result<Vec<MonadicQuery>> {
 
 /// Decides `D |= Φ₁ ∨ … ∨ Φₙ` where disjuncts may contain `!=` atoms but
 /// the database is a `[<,<=]`-database: eliminates `!=` per disjunct and
-/// runs the Theorem 5.3 engine on the expanded disjunction.
+/// runs the Theorem 5.3 engine on the expanded disjunction (bounded by
+/// `state_cap` states).
 pub fn entails_query_ne(
     db: &MonadicDatabase,
     disjuncts: &[MonadicQuery],
     cap: usize,
+    state_cap: usize,
 ) -> Result<MonadicVerdict> {
     if !db.ne.is_empty() {
         return entails_db_ne(db, disjuncts);
@@ -75,17 +77,24 @@ pub fn entails_query_ne(
             Err(e) => return Err(e),
         }
     }
-    entails_expanded(db, disjuncts, (!capped).then_some(expanded.as_slice()))
+    entails_expanded(
+        db,
+        disjuncts,
+        (!capped).then_some(expanded.as_slice()),
+        state_cap,
+    )
 }
 
 /// Decides `D |= Φ₁ ∨ … ∨ Φₙ` given an already-computed `!=` expansion
 /// of the disjuncts (the prepared-query pipeline caches it at prepare
 /// time; pass `None` when the expansion was capped to fall back to naive
-/// enumeration over the original disjuncts).
+/// enumeration over the original disjuncts). The Theorem 5.3 leg honors
+/// the caller's `state_cap`.
 pub fn entails_expanded(
     db: &MonadicDatabase,
     disjuncts: &[MonadicQuery],
     expanded: Option<&[MonadicQuery]>,
+    state_cap: usize,
 ) -> Result<MonadicVerdict> {
     if !db.ne.is_empty() {
         return entails_db_ne(db, disjuncts);
@@ -101,7 +110,7 @@ pub fn entails_expanded(
     if expanded.len() > 12 {
         return naive::monadic_check(db, disjuncts);
     }
-    match disjunctive::check(db, expanded) {
+    match disjunctive::check_capped(db, expanded, state_cap) {
         Ok(v) => Ok(v),
         Err(CoreError::CapExceeded { .. }) => naive::monadic_check(db, disjuncts),
         Err(e) => Err(e),
@@ -151,12 +160,14 @@ mod tests {
         let g = OrderGraph::from_dag_edges(2, &[]).unwrap();
         let mut q = MonadicQuery::new(g, vec![ps(&[0]), ps(&[0])]);
         q.ne.push((0, 1));
-        assert!(entails_query_ne(&db, std::slice::from_ref(&q), 64)
-            .unwrap()
-            .holds());
+        assert!(
+            entails_query_ne(&db, std::slice::from_ref(&q), 64, disjunctive::STATE_CAP)
+                .unwrap()
+                .holds()
+        );
         // D: single {P} point: not entailed.
         let db1 = FlexiWord::word(vec![ps(&[0])]).to_database();
-        let v = entails_query_ne(&db1, &[q], 64).unwrap();
+        let v = entails_query_ne(&db1, &[q], 64, disjunctive::STATE_CAP).unwrap();
         assert!(!v.holds());
         assert_eq!(v.countermodel().unwrap().len(), 1);
     }

@@ -13,6 +13,7 @@
 //! | [`naive`] | minimal-model enumeration (reference oracle) | Cor. 2.9 / §3 | exponential |
 //! | [`ineq`] | `!=` extensions | §7 | see module docs |
 //! | [`prepared`] | compile-once query artifacts | — | — |
+//! | [`statespace`] | interned packed states for the Thm 5.3 search | — | — |
 //! | [`engine`] | strategy-selecting facade, prepare/execute split | — | — |
 //!
 //! Engines that answer "not entailed" return a **countermodel**: a model of
@@ -31,8 +32,9 @@ pub mod naive;
 pub mod paths;
 pub mod prepared;
 pub mod seq;
+pub mod statespace;
 pub mod verdict;
 
-pub use engine::{Engine, Strategy};
+pub use engine::{Engine, EntailOptions, Strategy};
 pub use prepared::{Plan, PreparedQuery};
 pub use verdict::MonadicVerdict;

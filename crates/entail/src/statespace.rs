@@ -1,0 +1,297 @@
+//! Per-search state arena for the Theorem 5.3 disjunctive engine.
+//!
+//! A search state `(S, T, u₁…uₙ, x₁…xₙ)` is represented as a fixed-size
+//! [`StateKey`] — `(u32, u32, u64, u64)`, `Copy`, 24 bytes:
+//!
+//! * `S` and `T` are antichain ids from the session's
+//!   [`indord_core::scaffold::AntichainArena`];
+//! * the pointer tuple `u₁…uₙ` is bit-packed into one `u64` by a
+//!   [`PtrCodec`] when `Σᵢ ⌈log₂|Φᵢ|⌉ ≤ 64` (essentially always), and
+//!   interned into a side table otherwise;
+//! * the `x`-bits were a packed `u64` already.
+//!
+//! Keys are deduplicated through an [`FxHashMap`] (one multiply per word
+//! instead of SipHash rounds), and each state records how it was reached
+//! as a compact parent *index* plus the `(S, T)` pair index whose label
+//! was committed on the incoming edge — countermodel reconstruction walks
+//! `u32`s instead of cloning whole states into a parent map.
+
+use indord_core::error::{CoreError, Result};
+use indord_core::fxhash::FxHashMap;
+use indord_core::monadic::MonadicQuery;
+
+/// Sentinel index: "no parent" / "no committed label on this edge".
+pub const NONE: u32 = u32::MAX;
+
+/// A packed search state. `s`/`t` are interned antichain ids, `ptr` the
+/// packed (or interned) pointer tuple, `x` the per-disjunct `<`-bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StateKey {
+    /// Antichain id of `S`.
+    pub s: u32,
+    /// Antichain id of `T`.
+    pub t: u32,
+    /// Pointer tuple, through the search's [`PtrCodec`].
+    pub ptr: u64,
+    /// `xⱼ = 1` iff pointer `j` was advanced through a `<` edge whose
+    /// source maps to the current point.
+    pub x: u64,
+}
+
+/// Bit-packs a pointer tuple `u₁…uₙ` into one `u64`: `⌈log₂|Φⱼ|⌉` bits
+/// per disjunct. When the widths don't fit in 64 bits (only reachable
+/// with many large disjuncts), falls back to interning tuples in a side
+/// table — the `u64` then carries the tuple's dense id.
+#[derive(Debug)]
+pub enum PtrCodec {
+    /// Direct bit-packing; `bits[j]` is the width of slot `j`.
+    Packed {
+        /// Bit width per disjunct slot.
+        bits: Vec<u8>,
+    },
+    /// Fallback interner for oversized tuples.
+    Interned {
+        /// Tuple → dense id.
+        ids: FxHashMap<Box<[u32]>, u64>,
+        /// Dense id → tuple.
+        tuples: Vec<Box<[u32]>>,
+    },
+}
+
+impl PtrCodec {
+    /// Chooses the packing for the given disjuncts.
+    pub fn new(disjuncts: &[MonadicQuery]) -> Self {
+        let bits: Vec<u8> = disjuncts
+            .iter()
+            .map(|q| {
+                let n = q.graph.len().max(1);
+                (usize::BITS - (n - 1).leading_zeros()) as u8
+            })
+            .collect();
+        let total: u32 = bits.iter().map(|&b| u32::from(b)).sum();
+        if total <= 64 {
+            PtrCodec::Packed { bits }
+        } else {
+            PtrCodec::Interned {
+                ids: FxHashMap::default(),
+                tuples: Vec::new(),
+            }
+        }
+    }
+
+    /// Packs a pointer tuple.
+    pub fn pack(&mut self, ptrs: &[u32]) -> u64 {
+        match self {
+            PtrCodec::Packed { bits } => {
+                debug_assert_eq!(ptrs.len(), bits.len());
+                let mut packed = 0u64;
+                let mut shift = 0u32;
+                for (&p, &b) in ptrs.iter().zip(bits.iter()) {
+                    // Zero-width slots (single-vertex disjuncts) carry no
+                    // bits — and must not shift, since `shift` can sit at
+                    // 64 once the preceding slots fill the word exactly.
+                    if b == 0 {
+                        debug_assert_eq!(p, 0, "single-vertex pointer is 0");
+                        continue;
+                    }
+                    debug_assert!(u64::from(p) < (1u64 << b), "pointer fits its slot");
+                    packed |= u64::from(p) << shift;
+                    shift += u32::from(b);
+                }
+                packed
+            }
+            PtrCodec::Interned { ids, tuples } => {
+                if let Some(&id) = ids.get(ptrs) {
+                    return id;
+                }
+                let id = tuples.len() as u64;
+                let boxed: Box<[u32]> = ptrs.into();
+                ids.insert(boxed.clone(), id);
+                tuples.push(boxed);
+                id
+            }
+        }
+    }
+
+    /// Unpacks a tuple into `out` (cleared first).
+    pub fn unpack_into(&self, packed: u64, out: &mut Vec<u32>) {
+        out.clear();
+        match self {
+            PtrCodec::Packed { bits } => {
+                let mut rest = packed;
+                for &b in bits {
+                    if b == 0 {
+                        out.push(0);
+                    } else {
+                        let mask = if b >= 64 { u64::MAX } else { (1u64 << b) - 1 };
+                        out.push((rest & mask) as u32);
+                        rest = if b >= 64 { 0 } else { rest >> b };
+                    }
+                }
+            }
+            PtrCodec::Interned { tuples, .. } => {
+                out.extend_from_slice(&tuples[packed as usize]);
+            }
+        }
+    }
+}
+
+/// One deduplicated state: its key plus the incoming edge that first
+/// reached it, as compact indices.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: StateKey,
+    /// Index of the parent node, [`NONE`] for initial states.
+    parent: u32,
+    /// Pair index (into the search's pair table) whose label `a(S,T)` was
+    /// committed on the incoming edge, [`NONE`] for plain edges.
+    commit_pair: u32,
+}
+
+/// The deduplicated states of one search run, with parent links.
+#[derive(Debug, Default)]
+pub struct StateArena {
+    index: FxHashMap<StateKey, u32>,
+    nodes: Vec<Node>,
+}
+
+impl StateArena {
+    /// Number of distinct states interned so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no state has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Interns `key` reached from `parent` (with `commit_pair` carrying
+    /// the committed pair index, or [`NONE`]); returns the new node index,
+    /// or `None` if the state was already known (its first-visit parent
+    /// wins, as in the pre-interning engine).
+    pub fn intern(&mut self, key: StateKey, parent: u32, commit_pair: u32) -> Option<u32> {
+        if self.index.contains_key(&key) {
+            return None;
+        }
+        let i = u32::try_from(self.nodes.len()).expect("state arena overflow");
+        self.index.insert(key, i);
+        self.nodes.push(Node {
+            key,
+            parent,
+            commit_pair,
+        });
+        Some(i)
+    }
+
+    /// Index of an already-interned key.
+    pub fn lookup(&self, key: &StateKey) -> Option<u32> {
+        self.index.get(key).copied()
+    }
+
+    /// The key of node `i`.
+    pub fn key(&self, i: u32) -> StateKey {
+        self.nodes[i as usize].key
+    }
+
+    /// The incoming edge of node `i`: `(parent, commit_pair)`.
+    pub fn step(&self, i: u32) -> (u32, u32) {
+        let n = &self.nodes[i as usize];
+        (n.parent, n.commit_pair)
+    }
+
+    /// Errors with the typed cap when more than `cap` states exist.
+    pub fn check_cap(&self, cap: usize, what: &str) -> Result<()> {
+        if self.nodes.len() > cap {
+            return Err(CoreError::CapExceeded {
+                what: what.to_string(),
+                limit: cap,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indord_core::bitset::PredSet;
+    use indord_core::ordgraph::OrderGraph;
+
+    fn query_of_size(n: usize) -> MonadicQuery {
+        let g = OrderGraph::from_dag_edges(n, &[]).unwrap();
+        MonadicQuery::new(g, vec![PredSet::new(); n])
+    }
+
+    #[test]
+    fn packed_roundtrip() {
+        let qs = vec![query_of_size(1), query_of_size(3), query_of_size(8)];
+        let mut codec = PtrCodec::new(&qs);
+        assert!(matches!(codec, PtrCodec::Packed { .. }));
+        let mut out = Vec::new();
+        for tuple in [[0u32, 0, 0], [0, 2, 7], [0, 1, 5]] {
+            let p = codec.pack(&tuple);
+            codec.unpack_into(p, &mut out);
+            assert_eq!(out, tuple);
+        }
+        // Distinct tuples pack distinctly.
+        assert_ne!(codec.pack(&[0, 2, 7]), codec.pack(&[0, 1, 7]));
+    }
+
+    #[test]
+    fn exactly_64_bits_with_trailing_zero_width_slot() {
+        // 16 slots × 4 bits fill the word exactly; a trailing
+        // single-vertex slot (0 bits) must not shift by 64.
+        let mut qs: Vec<MonadicQuery> = (0..16).map(|_| query_of_size(16)).collect();
+        qs.push(query_of_size(1));
+        let mut codec = PtrCodec::new(&qs);
+        assert!(matches!(codec, PtrCodec::Packed { .. }));
+        let tuple: Vec<u32> = (0..16).map(|i| (i * 5) % 16).chain([0]).collect();
+        let packed = codec.pack(&tuple);
+        let mut out = Vec::new();
+        codec.unpack_into(packed, &mut out);
+        assert_eq!(out, tuple);
+    }
+
+    #[test]
+    fn oversized_tuples_fall_back_to_interning() {
+        // 22 disjuncts × 3 bits = 66 bits > 64.
+        let qs: Vec<MonadicQuery> = (0..22).map(|_| query_of_size(5)).collect();
+        let mut codec = PtrCodec::new(&qs);
+        assert!(matches!(codec, PtrCodec::Interned { .. }));
+        let a: Vec<u32> = (0..22).map(|i| i % 5).collect();
+        let b: Vec<u32> = (0..22).map(|i| (i + 1) % 5).collect();
+        let (pa, pb) = (codec.pack(&a), codec.pack(&b));
+        assert_ne!(pa, pb);
+        assert_eq!(codec.pack(&a), pa, "interning is stable");
+        let mut out = Vec::new();
+        codec.unpack_into(pa, &mut out);
+        assert_eq!(out, a);
+        codec.unpack_into(pb, &mut out);
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    fn arena_dedups_and_walks_parents() {
+        let mut arena = StateArena::default();
+        let k0 = StateKey {
+            s: 0,
+            t: 1,
+            ptr: 0,
+            x: 0,
+        };
+        let k1 = StateKey { x: 1, ..k0 };
+        let i0 = arena.intern(k0, NONE, NONE).unwrap();
+        let i1 = arena.intern(k1, i0, 7).unwrap();
+        assert_eq!(arena.intern(k1, i0, NONE), None, "dedup");
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.lookup(&k1), Some(i1));
+        assert_eq!(arena.step(i1), (i0, 7));
+        assert_eq!(arena.step(i0), (NONE, NONE));
+        assert!(arena.check_cap(2, "states").is_ok());
+        assert!(matches!(
+            arena.check_cap(1, "states"),
+            Err(CoreError::CapExceeded { limit: 1, .. })
+        ));
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests pinning the arena-interned Theorem 5.3 search to the
+//! pre-refactor semantics: on randomized monadic databases, the interned
+//! engine and the `disjunctive::reference` implementation must agree on
+//! entailment verdicts, countermodel validity, and the *set* of minimal
+//! falsifiers enumerated by `countermodels()`; and the one-shot,
+//! prepared-session, and scaffold-cached paths must all return the same
+//! answers.
+
+use indord::core::atom::OrderRel;
+use indord::core::bitset::PredSet;
+use indord::core::model::MonadicModel;
+use indord::core::monadic::{MonadicDatabase, MonadicQuery};
+use indord::core::ordgraph::OrderGraph;
+use indord::core::scaffold::DisjunctiveScaffold;
+use indord::core::sym::PredSym;
+use indord::entail::{disjunctive, modelcheck};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const NPREDS: usize = 3;
+
+fn pred_set() -> impl Strategy<Value = PredSet> {
+    proptest::bits::u8::between(0, NPREDS).prop_map(|bits| {
+        (0..NPREDS)
+            .filter(|i| bits & (1 << i) != 0)
+            .map(PredSym::from_index)
+            .collect()
+    })
+}
+
+/// A random `[<,<=]` labelled dag on up to `max_n` vertices.
+fn labelled_dag(max_n: usize) -> impl Strategy<Value = (OrderGraph, Vec<PredSet>)> {
+    (1..=max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (
+                0..n * n,
+                prop_oneof![Just(OrderRel::Lt), Just(OrderRel::Le)],
+            ),
+            0..=n * 2,
+        );
+        let labels = proptest::collection::vec(pred_set(), n);
+        (Just(n), edges, labels).prop_map(|(n, raw_edges, labels)| {
+            let mut edges = Vec::new();
+            for (code, rel) in raw_edges {
+                let (i, j) = (code / n, code % n);
+                if i < j {
+                    edges.push((i, j, rel));
+                }
+            }
+            (
+                OrderGraph::from_dag_edges(n, &edges).expect("forward edges are acyclic"),
+                labels,
+            )
+        })
+    })
+}
+
+fn db_strategy(max_n: usize) -> impl Strategy<Value = MonadicDatabase> {
+    labelled_dag(max_n).prop_map(|(g, l)| MonadicDatabase::new(g, l))
+}
+
+fn query_strategy(max_n: usize) -> impl Strategy<Value = MonadicQuery> {
+    labelled_dag(max_n).prop_map(|(g, l)| MonadicQuery::new(g, l))
+}
+
+fn disjuncts_strategy() -> impl Strategy<Value = Vec<MonadicQuery>> {
+    proptest::collection::vec(query_strategy(3), 1..=2)
+}
+
+fn model_set(models: &[MonadicModel]) -> HashSet<MonadicModel> {
+    models.iter().cloned().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Interned search == pre-refactor reference: verdicts, and genuine
+    /// countermodels on failure.
+    #[test]
+    fn interned_verdict_matches_reference(
+        db in db_strategy(5),
+        disjuncts in disjuncts_strategy(),
+    ) {
+        let new = disjunctive::check(&db, &disjuncts).unwrap();
+        let old = disjunctive::reference::check(&db, &disjuncts).unwrap();
+        prop_assert_eq!(new.holds(), old.holds(), "verdict drifted from reference");
+        if let Some(m) = new.countermodel() {
+            prop_assert!(modelcheck::is_model_of(m, &db), "countermodel supports D");
+            prop_assert!(!modelcheck::satisfies(m, &disjuncts), "countermodel falsifies Φ");
+        }
+    }
+
+    /// `countermodels()` enumerates exactly the reference's minimal
+    /// falsifier set (as a set: path order may differ, members may not).
+    #[test]
+    fn countermodel_set_matches_reference(
+        db in db_strategy(4),
+        disjuncts in disjuncts_strategy(),
+    ) {
+        let new = disjunctive::countermodels(&db, &disjuncts, 256).unwrap();
+        let old = disjunctive::reference::countermodels(&db, &disjuncts, 256).unwrap();
+        prop_assert_eq!(
+            model_set(&new),
+            model_set(&old),
+            "minimal-falsifier sets diverged"
+        );
+        // Within the new engine, deduplication really deduplicates.
+        prop_assert_eq!(new.len(), model_set(&new).len());
+    }
+
+    /// One-shot scaffold == shared scaffold (cold and warm pair tables):
+    /// identical verdicts *including* the countermodel, and identical
+    /// enumerations. Exercises the session-cached configuration where
+    /// later queries reuse pairs interned by earlier ones.
+    #[test]
+    fn scaffold_cached_paths_agree(
+        db in db_strategy(5),
+        disjuncts in disjuncts_strategy(),
+        warmup in disjuncts_strategy(),
+    ) {
+        let one_shot = disjunctive::check(&db, &disjuncts).unwrap();
+        let scaffold = DisjunctiveScaffold::new(&db);
+        // Warm the pair table with an unrelated query first.
+        let _ = disjunctive::check_scaffolded(&db, &scaffold, &warmup, disjunctive::STATE_CAP)
+            .unwrap();
+        let cold = disjunctive::check_scaffolded(&db, &scaffold, &disjuncts, disjunctive::STATE_CAP)
+            .unwrap();
+        let warm = disjunctive::check_scaffolded(&db, &scaffold, &disjuncts, disjunctive::STATE_CAP)
+            .unwrap();
+        prop_assert_eq!(&one_shot, &cold, "one-shot vs shared scaffold");
+        prop_assert_eq!(&cold, &warm, "warm pair table drifted");
+        let enum_one_shot = disjunctive::countermodels(&db, &disjuncts, 128).unwrap();
+        let enum_cached = disjunctive::countermodels_scaffolded(
+            &db, &scaffold, &disjuncts, 128, disjunctive::STATE_CAP,
+        )
+        .unwrap();
+        prop_assert_eq!(enum_one_shot, enum_cached, "enumeration depends on scaffold warmth");
+    }
+
+    /// The naive oracle still agrees with the interned engine (the
+    /// end-to-end guard the repo has always kept).
+    #[test]
+    fn interned_engine_agrees_with_naive_oracle(
+        db in db_strategy(4),
+        disjuncts in disjuncts_strategy(),
+    ) {
+        let by_naive = indord::entail::naive::monadic_check(&db, &disjuncts).unwrap().holds();
+        prop_assert_eq!(disjunctive::entails(&db, &disjuncts).unwrap(), by_naive);
+    }
+}

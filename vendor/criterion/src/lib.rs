@@ -8,11 +8,89 @@
 //! the configured measurement time; it reports the median per-iteration
 //! time. That is enough to compare alternatives (prepared vs. unprepared,
 //! engine crossovers, scaling series) on the same machine and run.
+//!
+//! Two extensions beyond the upstream API surface:
+//!
+//! * **Machine-readable results** — every measurement is recorded, and
+//!   `criterion_main!` ends by writing `BENCH_<binary>.json` (override
+//!   the path with the `BENCH_JSON` environment variable) with one
+//!   `{"id", "ns_per_iter"}` entry per benchmark, so the repository can
+//!   track its bench trajectory across commits.
+//! * **Smoke mode** — passing `--smoke` (e.g. `cargo bench -- --smoke`)
+//!   clamps sample counts and measurement times to CI-sized values and
+//!   suppresses the JSON file; it exists to keep bench code compiling
+//!   *and running* in CI without burning minutes. [`is_smoke`] lets
+//!   benches shorten their own hand-rolled measurement loops too.
 
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Recorded measurements of this bench process: `(id, ns per iteration)`.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// True when the process was started in smoke mode (`--smoke`).
+pub fn is_smoke() -> bool {
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::args().any(|a| a == "--smoke"))
+}
+
+/// Writes the recorded measurements as JSON. Called by `criterion_main!`
+/// after all groups ran; a no-op in smoke mode (throwaway numbers must
+/// not overwrite a recorded baseline). The output path is `$BENCH_JSON`
+/// when set, else `BENCH_<binary>.json` in the working directory (the
+/// bench package root under `cargo bench`).
+pub fn finalize() {
+    if is_smoke() {
+        return;
+    }
+    let results = RESULTS.lock().expect("results mutex");
+    if results.is_empty() {
+        return;
+    }
+    let stem = bench_stem();
+    let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| format!("BENCH_{stem}.json"));
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", escape(&stem)));
+    out.push_str("  \"results\": [\n");
+    for (i, (id, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}}}{comma}\n",
+            escape(id),
+            ns
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("wrote {path} ({} results)", results.len()),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// The bench binary's stem with cargo's trailing `-<hash>` stripped.
+fn bench_stem() -> String {
+    let raw = std::env::args()
+        .next()
+        .and_then(|p| {
+            std::path::Path::new(&p)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+        })
+        .unwrap_or_else(|| "bench".to_string());
+    match raw.rsplit_once('-') {
+        Some((head, tail)) if tail.len() == 16 && tail.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            head.to_string()
+        }
+        _ => raw,
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
 
 /// Top-level benchmark driver, mirroring `criterion::Criterion`.
 pub struct Criterion {
@@ -163,18 +241,33 @@ fn run_one(
             return;
         }
     }
+    let settings = if is_smoke() {
+        Settings {
+            sample_size: settings.sample_size.min(2),
+            measurement_time: settings.measurement_time.min(Duration::from_millis(20)),
+            warm_up_time: settings.warm_up_time.min(Duration::from_millis(5)),
+        }
+    } else {
+        *settings
+    };
     let mut b = Bencher {
-        settings: *settings,
+        settings,
         result: None,
     };
     f(&mut b);
     match b.result {
-        Some(r) => println!(
-            "{name:<60} time: [{}]  ({} samples, {} iters/sample)",
-            format_ns(r.median_ns),
-            settings.sample_size,
-            r.iters_per_sample,
-        ),
+        Some(r) => {
+            println!(
+                "{name:<60} time: [{}]  ({} samples, {} iters/sample)",
+                format_ns(r.median_ns),
+                settings.sample_size,
+                r.iters_per_sample,
+            );
+            RESULTS
+                .lock()
+                .expect("results mutex")
+                .push((name.to_string(), r.median_ns));
+        }
         None => println!("{name:<60} (no measurement)"),
     }
 }
@@ -304,12 +397,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench binary's `main`, mirroring criterion's macro.
+/// Declares the bench binary's `main`, mirroring criterion's macro, and
+/// finishing with [`finalize`] (the machine-readable results dump).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::finalize();
         }
     };
 }
@@ -338,5 +433,41 @@ mod tests {
     fn id_formats() {
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
         assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn measurements_are_recorded_for_the_json_dump() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("record/me", |b| b.iter(|| black_box(1 + 1)));
+        let results = RESULTS.lock().unwrap();
+        let entry = results.iter().find(|(id, _)| id == "record/me");
+        let (_, ns) = entry.expect("measurement recorded");
+        assert!(*ns > 0.0);
+    }
+
+    #[test]
+    fn stem_strips_cargo_hash_suffix() {
+        // bench_stem reads argv0; exercise the suffix rule directly.
+        let strip = |raw: &str| -> String {
+            match raw.rsplit_once('-') {
+                Some((head, tail))
+                    if tail.len() == 16 && tail.bytes().all(|b| b.is_ascii_hexdigit()) =>
+                {
+                    head.to_string()
+                }
+                _ => raw.to_string(),
+            }
+        };
+        assert_eq!(strip("prepared-b1c3a3d41975bc69"), "prepared");
+        assert_eq!(strip("table1_nary"), "table1_nary");
+        assert_eq!(strip("engine-crossover"), "engine-crossover");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
     }
 }
