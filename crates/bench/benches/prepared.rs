@@ -6,8 +6,16 @@
 //! full query compilation on every call; the prepared path pays for both
 //! once (`Engine::prepare` + a warm `Session`) and then only evaluates.
 //!
-//! The final group prints the measured speedup explicitly — the
-//! acceptance target for this workload is ≥ 2×.
+//! The `ne-*` groups are the §7 `!=`-heavy workloads: queries with `!=`
+//! atoms (expanded at prepare time, evaluated on the session scaffold)
+//! and databases with `!=` constraints (evaluated through the
+//! sub-scaffold projection). Their one-shot leg re-expands and rebuilds
+//! a scaffold per call — exactly what the scaffold-routed §7 paths
+//! amortize away.
+//!
+//! The final group prints the measured speedups explicitly — the
+//! acceptance targets are ≥ 2× for the `[<,<=]` serving mix and ≥ 10×
+//! for the `!=`-heavy workloads at |D| ≈ 1k.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use indord_bench::workloads;
@@ -47,6 +55,47 @@ fn setup(len: usize) -> (Vocabulary, Database, Vec<DnfQuery>) {
     (voc, db, queries)
 }
 
+/// The §7 query mix: `!=` atoms in sequential, chained, and disjunctive
+/// positions — each expands into 2–3 `[<,<=]` disjuncts at prepare time.
+fn ne_query_mix(voc: &mut Vocabulary) -> Vec<DnfQuery> {
+    [
+        "exists s t. P0(s) & P1(t) & s != t",
+        "exists s t u. P0(s) & s != t & P1(t) & t <= u & P2(u)",
+        "(exists s t. P0(s) & P2(t) & s != t) | exists s. P0(s) & P1(s) & P2(s)",
+    ]
+    .iter()
+    .map(|t| parse_query(voc, t).expect("well-formed != query"))
+    .collect()
+}
+
+/// A `[<,<=]` database with `!=`-heavy queries (the query-`!=` route).
+fn setup_ne_query(len: usize) -> (Vocabulary, Database, Vec<DnfQuery>) {
+    let mut voc = Vocabulary::new();
+    let mut rng = workloads::rng(0x7EED + len as u64);
+    let db = workloads::observers_database(&mut voc, &mut rng, 2, len / 2, 3, 0.2);
+    let queries = ne_query_mix(&mut voc);
+    (voc, db, queries)
+}
+
+/// A database carrying `!=` constraints (the sub-scaffold route): every
+/// monadic query — with or without its own `!=` atoms — evaluates
+/// through the restricted Theorem 5.3 search.
+fn setup_ne_db(len: usize) -> (Vocabulary, Database, Vec<DnfQuery>) {
+    let mut voc = Vocabulary::new();
+    let mut rng = workloads::rng(0x8EED + len as u64);
+    let mut db = workloads::observers_database(&mut voc, &mut rng, 2, len / 2, 3, 0.2);
+    workloads::add_ne_pairs(&mut voc, &mut db, &mut rng, 2, len / 2, 8);
+    let mut queries = ne_query_mix(&mut voc);
+    queries.push(
+        parse_query(
+            &mut voc,
+            "(exists s. P0(s) & P1(s)) | exists s t. P0(s) & s < t & P2(t)",
+        )
+        .expect("well-formed disjunction"),
+    );
+    (voc, db, queries)
+}
+
 fn bench_repeated_queries(c: &mut Criterion) {
     let mut g = c.benchmark_group("prepared/repeat");
     for len in [64usize, 256, 1024] {
@@ -64,6 +113,43 @@ fn bench_repeated_queries(c: &mut Criterion) {
         });
     }
     g.finish();
+}
+
+/// The §7 `!=`-heavy repeated-query workloads: `ne-query` exercises
+/// query-side `!=` expansion on a `[<,<=]` database, `ne-db` the
+/// sub-scaffold-restricted search on a `!=` database. The unprepared leg
+/// is the one-shot §7 path (re-expansion + fresh scaffold per call).
+fn bench_ne_workloads(c: &mut Criterion) {
+    for (group, setup_fn) in [
+        (
+            "prepared/ne-query",
+            setup_ne_query as fn(usize) -> (Vocabulary, Database, Vec<DnfQuery>),
+        ),
+        ("prepared/ne-db", setup_ne_db),
+    ] {
+        let mut g = c.benchmark_group(group);
+        for len in [256usize, 1024] {
+            let (voc, db, queries) = setup_fn(len);
+            let eng = Engine::new(&voc);
+            let q = &queries[0];
+            g.throughput(Throughput::Elements(db.len() as u64));
+            g.bench_with_input(BenchmarkId::new("one-shot", len), &db, |b, db| {
+                b.iter(|| eng.entails(db, q).unwrap())
+            });
+            let session = Session::new(db.clone());
+            let pq = eng.prepare(q).unwrap();
+            g.bench_with_input(BenchmarkId::new("prepared", len), &session, |b, session| {
+                b.iter(|| eng.entails_prepared(session, &pq).unwrap())
+            });
+            // The whole != mix as a prepared batch on one warm session.
+            let prepared: Vec<PreparedQuery> =
+                queries.iter().map(|q| eng.prepare(q).unwrap()).collect();
+            g.bench_with_input(BenchmarkId::new("batch", len), &session, |b, session| {
+                b.iter(|| eng.entails_batch(session, &prepared).unwrap())
+            });
+        }
+        g.finish();
+    }
 }
 
 fn bench_query_mix_batch(c: &mut Criterion) {
@@ -139,11 +225,58 @@ fn report_speedup(_c: &mut Criterion) {
         best.1,
         if best.0 >= 2.0 { "MET" } else { "NOT MET" }
     );
+
+    // The §7 `!=`-heavy workloads at |D| ≈ 1k: scaffold-routed prepared
+    // evaluation vs the one-shot §7 path (per-call expansion + scaffold
+    // build). Acceptance target: ≥ 10x on the best shape of *each*
+    // group — a regression in either the query-`!=` expansion route or
+    // the db-`!=` sub-scaffold route must show as NOT MET.
+    let mut group_bests: Vec<(&str, f64)> = Vec::new();
+    for (group, setup_fn) in [
+        (
+            "ne-query",
+            setup_ne_query as fn(usize) -> (Vocabulary, Database, Vec<DnfQuery>),
+        ),
+        ("ne-db", setup_ne_db),
+    ] {
+        let (voc, db, queries) = setup_fn(1024);
+        let eng = Engine::new(&voc);
+        let session = Session::new(db.clone());
+        let prepared: Vec<PreparedQuery> =
+            queries.iter().map(|q| eng.prepare(q).unwrap()).collect();
+        let _ = eng.entails_batch(&session, &prepared).unwrap(); // warm
+        let mut group_best = 0.0f64;
+        for (i, (q, pq)) in queries.iter().zip(&prepared).enumerate() {
+            let one_shot = workloads::time_median(iters, || {
+                let _ = eng.entails(&db, q).unwrap();
+            });
+            let prep = workloads::time_median(iters, || {
+                let _ = eng.entails_prepared(&session, pq).unwrap();
+            });
+            let speedup = one_shot.as_secs_f64() / prep.as_secs_f64().max(1e-12);
+            let shape = format!("{group}/q{i}");
+            group_best = group_best.max(speedup);
+            println!(
+                "prepared/speedup/{shape:<12} one-shot:   {one_shot:>12?}  prepared: {prep:>12?}  speedup: {speedup:.1}x"
+            );
+        }
+        group_bests.push((group, group_best));
+    }
+    let all_met = group_bests.iter().all(|&(_, s)| s >= 10.0);
+    let detail: Vec<String> = group_bests
+        .iter()
+        .map(|(g, s)| format!("{g} {s:.1}x"))
+        .collect();
+    println!(
+        "prepared/ne-speedup-summary   best per != group: {} — target >= 10x in every group: {}",
+        detail.join(", "),
+        if all_met { "MET" } else { "NOT MET" }
+    );
 }
 
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_repeated_queries, bench_query_mix_batch, report_speedup
+    targets = bench_repeated_queries, bench_ne_workloads, bench_query_mix_batch, report_speedup
 }
 criterion_main!(benches);

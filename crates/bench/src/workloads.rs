@@ -111,6 +111,32 @@ pub fn observers_database<R: Rng>(
     db
 }
 
+/// Adds `count` §7 `!=` constraints between random positions of
+/// *different* observer chains of an [`observers_database`] built with
+/// the same `k`/`len` (cross-chain constants are never related by order
+/// atoms nor merged by N1, so every constraint genuinely restricts the
+/// model region). Requires `k >= 2`.
+pub fn add_ne_pairs<R: Rng>(
+    voc: &mut Vocabulary,
+    db: &mut Database,
+    rng: &mut R,
+    k: usize,
+    len: usize,
+    count: usize,
+) {
+    assert!(k >= 2, "cross-chain != pairs need at least two chains");
+    for _ in 0..count {
+        let c1 = rng.gen_range(0..k);
+        let mut c2 = rng.gen_range(0..k);
+        while c2 == c1 {
+            c2 = rng.gen_range(0..k);
+        }
+        let u = voc.ord(&format!("t{c1}_{}", rng.gen_range(0..len)));
+        let v = voc.ord(&format!("t{c2}_{}", rng.gen_range(0..len)));
+        db.assert_ne(u, v);
+    }
+}
+
 /// A random flexi-word of the given length (sequential query).
 pub fn random_flexiword<R: Rng>(rng: &mut R, len: usize, n_preds: usize) -> FlexiWord {
     let mut w = FlexiWord::empty();

@@ -291,6 +291,42 @@ impl OrderGraph {
         g
     }
 
+    /// True when `v` is reachable from `u` (inclusive: `u` reaches
+    /// itself), by plain DFS — the point query behind the incremental
+    /// session patches, which cannot afford the full closure.
+    pub fn reaches(&self, u: usize, v: usize) -> bool {
+        if u == v {
+            return true;
+        }
+        let mut seen = BitSet::with_capacity(self.n);
+        seen.insert(u);
+        let mut stack = vec![u];
+        while let Some(w) = stack.pop() {
+            for &(x, _) in &self.succ[w] {
+                let x = x as usize;
+                if x == v {
+                    return true;
+                }
+                if seen.insert(x) {
+                    stack.push(x);
+                }
+            }
+        }
+        false
+    }
+
+    /// Inserts an edge the caller has verified keeps the graph acyclic
+    /// (no path `v → u` exists), deduplicating parallel edges and keeping
+    /// the stronger label — the in-place patch behind
+    /// `Session::assert_lt`/`assert_le` on already-known constants.
+    pub fn insert_dag_edge(&mut self, u: usize, v: usize, rel: EdgeRel) {
+        assert!(u < self.n && v < self.n, "edge endpoint out of range");
+        debug_assert!(u != v, "self edges are N1/N2 business, not a patch");
+        debug_assert!(rel != OrderRel::Ne, "!= is not an order-graph edge");
+        debug_assert!(!self.reaches(v, u), "edge would close a cycle");
+        self.add_edge_dedup(u, v, rel);
+    }
+
     /// Minimal vertices (no incoming edges) among the `live` set, edges
     /// restricted to live endpoints.
     pub fn minimal_within(&self, live: &BitSet) -> BitSet {
@@ -678,6 +714,24 @@ mod tests {
         nz.graph.antichains_up_to(2, |_| count += 1);
         // antichains: {}, {0}, {1}, {2}, {0,2}, {1,2}
         assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn reaches_and_insert_dag_edge() {
+        let nz = norm(4, &[(0, 1, Le), (1, 2, Lt)]);
+        let mut g = nz.graph;
+        assert!(g.reaches(0, 2));
+        assert!(g.reaches(1, 1));
+        assert!(!g.reaches(2, 0));
+        assert!(!g.reaches(0, 3));
+        g.insert_dag_edge(2, 3, Lt);
+        assert!(g.reaches(0, 3));
+        assert_eq!(g.edge_count(), 3);
+        // Parallel insert upgrades <= to < and stays deduplicated.
+        g.insert_dag_edge(0, 1, Lt);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.edges().any(|(u, v, r)| (u, v, r) == (0, 1, Lt)));
+        assert!(g.predecessors(1).iter().any(|&(u, r)| (u, r) == (0, Lt)));
     }
 
     #[test]

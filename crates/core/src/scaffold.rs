@@ -30,6 +30,21 @@
 //! bounded by the number of reachable `(S, T)` pairs — the `|D|^{2k}`
 //! factor of Theorem 5.3 — i.e. by the state count of the largest search
 //! run so far, never more.
+//!
+//! ## Sub-scaffolds (§7 `!=` restrictions)
+//!
+//! A database `!=` constraint (§7) excludes exactly the minimal models
+//! that merge the constrained pair into one point — in search terms, the
+//! (c)-commits whose committed set `D(S,T)` contains both ends of the
+//! pair. A [`SubScaffold`] projects a scaffold onto that restricted
+//! region: same dag, so the parent's reachability closure, topological
+//! order, interned antichain arena, and `(S, T)` move tables are reused
+//! verbatim; the only per-expansion state is one *blocked-commit* bit
+//! per `(S, T)` pair ([`PairInfo::ne_blocked`]), grown lazily alongside
+//! the pair table and invalidated with it. The view itself is two
+//! words, so [`crate::session::Session::sub_scaffold`] re-projects it
+//! per evaluation for free — prepared `!=` queries hit warm
+//! sub-scaffold state without recomputing anything database-sized.
 
 use crate::bitset::BitSet;
 use crate::bitset::PredSet;
@@ -92,6 +107,15 @@ pub struct PairInfo {
     pub label: PredSet,
     /// True when `D(S,T)` is empty (no (c)-commit edge fires).
     pub dst_empty: bool,
+    /// True when `D(S,T)` contains both ends of some `!=` pair of the
+    /// database (§7): committing it would merge a constrained pair into
+    /// one model point, so a [`SubScaffold`] projected onto the
+    /// separating region blocks the (c)-commit here. Always `false` for
+    /// `[<,<=]` databases. A contradictory pair `(v, v)` blocks every
+    /// commit containing `v`, making the final state unreachable — the
+    /// search then correctly reports the unsatisfiable database as
+    /// entailing everything.
+    pub ne_blocked: bool,
     /// The `(S', T')` antichain-id targets of every (a)-move: one per
     /// minor vertex of `T` within `D↾S ∪ D↾T`, in `T`-vertex order.
     pub moves: Vec<(u32, u32)>,
@@ -186,6 +210,11 @@ impl PairTable {
             label.union_with(&db.labels[v]);
         }
         let dst_empty = dst.is_empty();
+        let ne_blocked = !dst_empty
+            && db
+                .ne
+                .iter()
+                .any(|&(a, b)| dst.contains(a) && dst.contains(b));
         // (a)-moves: each minor vertex v of T within D↾S ∪ D↾T crosses to
         // the S side; both sides stay represented by the minimal vertices
         // of their (still up-closed) regions.
@@ -223,8 +252,64 @@ impl PairTable {
         PairInfo {
             label,
             dst_empty,
+            ne_blocked,
             moves,
         }
+    }
+}
+
+/// A scaffold view projecting a parent [`DisjunctiveScaffold`] onto the
+/// expansion-restricted region of the database's `!=` constraints (§7):
+/// the models that separate every constrained pair. The dag is
+/// unchanged, so the parent's reachability closure, topological order,
+/// interned antichain arena, and memoized `(S, T)` move tables serve
+/// unmodified — the restriction reduces to blocking the (c)-commits
+/// whose committed set contains a constrained pair, read off
+/// [`PairInfo::ne_blocked`]. The view itself is two words; all
+/// database-sized state stays in (and is shared through) the parent.
+#[derive(Debug, Clone, Copy)]
+pub struct SubScaffold<'a> {
+    parent: &'a DisjunctiveScaffold,
+    /// True when the database constrains at least one pair; an
+    /// unrestricted view never blocks, even though the pair table
+    /// carries blocked bits for the database's `!=` pairs.
+    enforce: bool,
+}
+
+impl<'a> SubScaffold<'a> {
+    /// Projects `parent` onto the region separating `db`'s `!=` pairs —
+    /// the identity view for `[<,<=]` databases. `parent` must be the
+    /// scaffold of `db` (the blocked bits memoized in its pair table are
+    /// computed from `db.ne`).
+    pub fn project(parent: &'a DisjunctiveScaffold, db: &MonadicDatabase) -> Self {
+        debug_assert_eq!(parent.n, db.graph.len(), "scaffold/database mismatch");
+        SubScaffold {
+            parent,
+            enforce: !db.ne.is_empty(),
+        }
+    }
+
+    /// The parent scaffold (reachability, topo order, arena, pair
+    /// tables).
+    pub fn parent(&self) -> &'a DisjunctiveScaffold {
+        self.parent
+    }
+
+    /// True when no `!=` pair is enforced (the view is the parent).
+    pub fn is_unrestricted(&self) -> bool {
+        !self.enforce
+    }
+
+    /// Takes the parent's shared pair table for one search run (see
+    /// [`DisjunctiveScaffold::pairs`]).
+    pub fn pairs(&self) -> PairsHandle<'a> {
+        self.parent.pairs()
+    }
+
+    /// True when the (c)-commit of this `(S, T)` pair is blocked: its
+    /// committed set would merge a `!=`-constrained pair.
+    pub fn blocks(&self, info: &PairInfo) -> bool {
+        self.enforce && info.ne_blocked
     }
 }
 
@@ -398,6 +483,49 @@ mod tests {
         let b = pairs.ensure(&sc, &db, e, i);
         assert_eq!(a, b);
         assert_eq!(pairs.pair_count(), 1);
+    }
+
+    #[test]
+    fn sub_scaffold_blocks_exactly_ne_merging_commits() {
+        // The diamond with 1 != 2: the pair can only merge when both sit
+        // in one committed D(S,T).
+        let mut db = diamond();
+        db.ne.push((1, 2));
+        let sc = DisjunctiveScaffold::new(&db);
+        let sub = SubScaffold::project(&sc, &db);
+        assert!(!sub.is_unrestricted());
+        let mut pairs = sub.pairs();
+        let (e, i) = (pairs.empty_id(), pairs.initial_id());
+        // Build ({0}, {1,2}) by the single move from (∅, min).
+        let idx = pairs.ensure(&sc, &db, e, i);
+        let (s2, t2) = pairs.info(idx).moves[0];
+        // Commit of D(S,T) = {0}: no constrained pair inside — allowed.
+        let idx2 = pairs.ensure(&sc, &db, s2, t2);
+        assert!(!pairs.info(idx2).ne_blocked);
+        assert!(!sub.blocks(pairs.info(idx2)));
+        // (min, ∅): D(S,T) is the whole dag, containing 1 and 2 — blocked.
+        let idx3 = pairs.ensure(&sc, &db, i, e);
+        assert!(pairs.info(idx3).ne_blocked);
+        assert!(sub.blocks(pairs.info(idx3)));
+        // The unrestricted view of the same scaffold never blocks, even
+        // though the pair table carries the blocked bit.
+        let ne_free = MonadicDatabase::new(db.graph.clone(), db.labels.clone());
+        let free = SubScaffold::project(&sc, &ne_free);
+        assert!(free.is_unrestricted());
+        assert!(!free.blocks(pairs.info(idx3)));
+        assert!(std::ptr::eq(free.parent(), &sc));
+    }
+
+    #[test]
+    fn ne_free_database_has_no_blocked_pairs() {
+        let db = diamond();
+        let sc = DisjunctiveScaffold::new(&db);
+        let sub = SubScaffold::project(&sc, &db);
+        assert!(sub.is_unrestricted());
+        let mut pairs = sub.pairs();
+        let (e, i) = (pairs.empty_id(), pairs.initial_id());
+        let idx = pairs.ensure(&sc, &db, i, e);
+        assert!(!pairs.info(idx).ne_blocked);
     }
 
     #[test]

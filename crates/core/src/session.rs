@@ -25,9 +25,13 @@
 //! Mutations go through the session ([`Session::push_proper`],
 //! [`Session::assert_lt`], …) and invalidate exactly what they must:
 //! inserting a proper fact over already-known order constants updates the
-//! cached views *in place* (the order dag is unchanged), while order
-//! atoms and facts over fresh constants drop the caches for lazy
-//! recomputation. The [`Session::epoch`] counter increments on every
+//! cached views *in place* (the order dag is unchanged); an order-edge
+//! insert whose endpoints are already dag vertices and which closes no
+//! cycle patches the cached graphs in place and drops only the scaffold
+//! layer (whose reachability and `D(S,T)` tables the edge invalidates);
+//! anything else — fresh constants, `!=` atoms, cycle-closing edges that
+//! would trigger N1 merging or an inconsistency — drops the caches for
+//! lazy recomputation. The [`Session::epoch`] counter increments on every
 //! mutation, so external caches keyed on a session can detect staleness.
 //!
 //! Caches live in [`std::sync::OnceLock`]s: a `&Session` can be shared
@@ -43,7 +47,7 @@ use crate::database::{Database, NormalDatabase};
 use crate::error::Result;
 use crate::fxhash::FxHashMap;
 use crate::monadic::MonadicDatabase;
-use crate::scaffold::DisjunctiveScaffold;
+use crate::scaffold::{DisjunctiveScaffold, SubScaffold};
 use crate::sym::{ObjSym, OrdSym, PredSym, Vocabulary};
 use std::sync::OnceLock;
 
@@ -236,6 +240,21 @@ impl Session {
         Ok(self.scaffold.get_or_init(|| DisjunctiveScaffold::new(mdb)))
     }
 
+    /// The §7 sub-scaffold of the session's database: the cached
+    /// disjunctive scaffold projected onto the region of models that
+    /// separate the database's `!=` pairs (the identity view for
+    /// `[<,<=]` databases). The view is cached by construction — it is
+    /// two words, while the database-sized search state (reachability,
+    /// arena, `D(S,T)` and blocked-commit tables) lives in the shared
+    /// parent scaffold — so every expansion of a prepared `!=` query
+    /// evaluated against this session hits it warm. Follows the same
+    /// mutation-invalidation discipline as
+    /// [`Session::disjunctive_scaffold`].
+    pub fn sub_scaffold(&self, voc: &Vocabulary) -> Result<SubScaffold<'_>> {
+        let mdb = self.monadic(voc)?;
+        Ok(SubScaffold::project(self.disjunctive_scaffold(voc)?, mdb))
+    }
+
     /// Predicate profiles of the object constants in the definite part of
     /// the database, computing and caching them on first use.
     pub fn object_profiles(&self) -> Result<&[PredSet]> {
@@ -317,14 +336,66 @@ impl Session {
         self.db.push_proper(atom);
     }
 
-    /// Adds `u < v`, dropping the cached views (the dag changes).
+    /// Adds `u < v`. When both constants are already dag vertices and the
+    /// edge closes no cycle, the cached graph views are patched in place
+    /// and only the scaffold layer is dropped (its reachability and
+    /// `D(S,T)` tables are stale); otherwise every cache is invalidated.
     pub fn assert_lt(&mut self, u: OrdSym, v: OrdSym) {
-        self.mutate_order(|db| db.assert_lt(u, v));
+        self.insert_order_edge(u, v, OrderRel::Lt);
     }
 
-    /// Adds `u <= v`, dropping the cached views.
+    /// Adds `u <= v`, with the same incremental patching as
+    /// [`Session::assert_lt`] (a cycle-closing `<=` triggers an N1 merge,
+    /// which is structural — that case takes the invalidating path).
     pub fn assert_le(&mut self, u: OrdSym, v: OrdSym) {
-        self.mutate_order(|db| db.assert_le(u, v));
+        self.insert_order_edge(u, v, OrderRel::Le);
+    }
+
+    fn insert_order_edge(&mut self, u: OrdSym, v: OrdSym, rel: OrderRel) {
+        self.epoch += 1;
+        if !self.try_patch_order_edge(u, v, rel) {
+            self.invalidate_all();
+        }
+        match rel {
+            OrderRel::Lt => self.db.assert_lt(u, v),
+            OrderRel::Le => self.db.assert_le(u, v),
+            OrderRel::Ne => unreachable!("!= goes through assert_ne"),
+        }
+    }
+
+    /// In-place insertion of an order edge into the warm views: possible
+    /// exactly when the normalized view is cached, both endpoints are
+    /// known vertices, and the edge closes no cycle (a cycle means an N1
+    /// re-merge under `<=` or an inconsistency under `<`, both
+    /// structural). The dag's reachability changes, so the scaffold is
+    /// dropped — but the normalized and monadic views, object profiles,
+    /// `!=` signature, and vocabulary stamp all survive, and the next
+    /// evaluation re-derives only the search tables. Returns `false`
+    /// when the invalidating slow path must run instead.
+    fn try_patch_order_edge(&mut self, u: OrdSym, v: OrdSym, rel: OrderRel) -> bool {
+        let Some(Ok(nd)) = self.normal.get() else {
+            return false;
+        };
+        let (Some(&cu), Some(&cv)) = (nd.vertex_of.get(&u), nd.vertex_of.get(&v)) else {
+            return false;
+        };
+        if cu == cv {
+            // Both constants sit in one N1 class: `u <= v` is discharged
+            // by N2 (nothing changes); `u < v` makes the database
+            // inconsistent — surface that through renormalization.
+            return rel == OrderRel::Le;
+        }
+        if nd.graph.reaches(cv, cu) {
+            return false;
+        }
+        if let Some(Ok(nd)) = self.normal.get_mut() {
+            nd.graph.insert_dag_edge(cu, cv, rel);
+        }
+        if let Some(Ok(mdb)) = self.monadic.get_mut() {
+            mdb.graph.insert_dag_edge(cu, cv, rel);
+        }
+        self.scaffold.take();
+        true
     }
 
     /// Adds `u != v` (§7), dropping the cached views.
@@ -380,15 +451,67 @@ mod tests {
     }
 
     #[test]
-    fn order_mutation_invalidates() {
+    fn acyclic_order_edge_patches_in_place() {
+        // Regression test for over-invalidation: an acyclic order-edge
+        // insert over known vertices must keep the normalized and
+        // monadic views warm (patched in place) and drop only the
+        // scaffold layer.
         let mut voc = Vocabulary::new();
         let db = parse_database(&mut voc, "pred P(ord); pred Q(ord); P(u); Q(v);").unwrap();
         let mut s = Session::new(db);
         assert_eq!(s.normal().unwrap().width(), 2);
+        s.disjunctive_scaffold(&voc).unwrap();
         let (u, v) = (voc.ord("u"), voc.ord("v"));
         s.assert_lt(u, v);
-        assert!(!s.is_warm());
+        assert!(s.is_warm(), "acyclic edge insert must not renormalize");
+        assert!(
+            s.scaffold.get().is_none(),
+            "the scaffold's reachability tables are stale and must drop"
+        );
         assert_eq!(s.normal().unwrap().width(), 1);
+        assert_eq!(s.epoch(), 1);
+        // The patched views match a cold recomputation exactly.
+        let fresh = Session::new(s.database().clone());
+        assert_eq!(fresh.normal().unwrap().graph, s.normal().unwrap().graph);
+        assert_eq!(fresh.monadic(&voc).unwrap(), s.monadic(&voc).unwrap());
+        // A second <= edge (still acyclic) also patches; the derived
+        // strongest-edge dedup matches normalization.
+        s.assert_le(u, v);
+        assert!(s.is_warm());
+        let fresh = Session::new(s.database().clone());
+        assert_eq!(fresh.normal().unwrap().graph, s.normal().unwrap().graph);
+    }
+
+    #[test]
+    fn cycle_closing_order_edge_invalidates() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "pred P(ord); P(u); P(v); u <= v;").unwrap();
+        let mut s = Session::new(db);
+        assert_eq!(s.normal().unwrap().graph.len(), 2);
+        let (u, v) = (voc.ord("u"), voc.ord("v"));
+        // v <= u closes a <=-cycle: N1 merges the pair — structural, so
+        // the whole cache drops and renormalization sees one vertex.
+        s.assert_le(v, u);
+        assert!(!s.is_warm());
+        assert_eq!(s.normal().unwrap().graph.len(), 1);
+        // u < v on the merged class is inconsistent; the session must
+        // surface the error, not patch silently.
+        s.assert_lt(u, v);
+        assert!(s.normal().is_err());
+    }
+
+    #[test]
+    fn le_on_merged_class_is_a_noop_patch() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "pred P(ord); P(u); P(v); u <= v; v <= u;").unwrap();
+        let mut s = Session::new(db);
+        assert_eq!(s.normal().unwrap().graph.len(), 1);
+        let (u, v) = (voc.ord("u"), voc.ord("v"));
+        // u <= v inside one N1 class is discharged by N2: the caches
+        // stay warm and nothing changes.
+        s.assert_le(u, v);
+        assert!(s.is_warm());
+        assert_eq!(s.normal().unwrap().graph.len(), 1);
         assert_eq!(s.epoch(), 1);
     }
 
@@ -474,6 +597,22 @@ mod tests {
         s.assert_lt(a, b);
         assert!(s.scaffold.get().is_none());
         assert_eq!(s.disjunctive_scaffold(&voc).unwrap().vertex_count(), 4);
+    }
+
+    #[test]
+    fn sub_scaffold_tracks_ne_mutations() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "P(u); Q(v);").unwrap();
+        let mut s = Session::new(db);
+        assert!(s.sub_scaffold(&voc).unwrap().is_unrestricted());
+        let (u, v) = (voc.ord("u"), voc.ord("v"));
+        s.assert_ne(u, v);
+        let sub = s.sub_scaffold(&voc).unwrap();
+        assert!(!sub.is_unrestricted());
+        assert!(std::ptr::eq(
+            sub.parent(),
+            s.disjunctive_scaffold(&voc).unwrap()
+        ));
     }
 
     #[test]

@@ -38,6 +38,21 @@
 //! states. The [`reference`] module keeps the pre-interning
 //! implementation for ablation benchmarks and parity tests.
 //!
+//! ## `!=` databases (§7)
+//!
+//! Every entry point runs the search through a
+//! [`SubScaffold`](indord_core::scaffold::SubScaffold) view: for a
+//! `[<,<=]` database the view is the identity, and for a database with
+//! `!=` constraints it projects the search onto the separating region by
+//! blocking the (c)-commits whose committed set `D(S,T)` contains a
+//! constrained pair (merging the pair into one model point). The
+//! surviving full paths spell exactly the `!=`-respecting minimal
+//! models falsifying every disjunct, so verdicts and countermodel
+//! enumeration are `!=`-correct with zero overhead on the `[<,<=]` case
+//! — the blocked bit is memoized in the parent's pair table. Disjuncts
+//! themselves must be `[<,<=]`; query `!=` atoms are expanded first by
+//! the [`crate::ineq`] routes.
+//!
 //! For width-`k` databases the state space is `O(|D|^{2k}·Π|Φᵢ|)`
 //! (Theorem 5.3); the same search run on unbounded-width input realizes
 //! the co-NP upper bound of Proposition 5.2.
@@ -50,7 +65,7 @@ use indord_core::error::{CoreError, Result};
 use indord_core::fxhash::FxHashSet;
 use indord_core::model::MonadicModel;
 use indord_core::monadic::{MonadicDatabase, MonadicQuery};
-use indord_core::scaffold::{DisjunctiveScaffold, PairsHandle};
+use indord_core::scaffold::{DisjunctiveScaffold, PairsHandle, SubScaffold};
 
 /// Maximum number of disjuncts (pointer `x`-bits are packed in a `u64`).
 pub const MAX_DISJUNCTS: usize = 64;
@@ -91,15 +106,32 @@ pub fn check_capped(
 }
 
 /// [`check`] against a prebuilt (typically session-cached) scaffold, with
-/// a configurable state cap.
+/// a configurable state cap. The database's own `!=` constraints are
+/// enforced by projecting the scaffold (see [`check_restricted`]).
 pub fn check_scaffolded(
     db: &MonadicDatabase,
     scaffold: &DisjunctiveScaffold,
     disjuncts: &[MonadicQuery],
     state_cap: usize,
 ) -> Result<MonadicVerdict> {
+    check_restricted(
+        db,
+        &SubScaffold::project(scaffold, db),
+        disjuncts,
+        state_cap,
+    )
+}
+
+/// [`check`] against an explicit [`SubScaffold`] view — the §7 form: the
+/// search explores only the models separating the view's `!=` pairs.
+pub fn check_restricted(
+    db: &MonadicDatabase,
+    sub: &SubScaffold<'_>,
+    disjuncts: &[MonadicQuery],
+    state_cap: usize,
+) -> Result<MonadicVerdict> {
     let mut found: Option<MonadicModel> = None;
-    run(db, scaffold, disjuncts, state_cap, &mut |m| {
+    run(db, sub, disjuncts, state_cap, &mut |m| {
         found = Some(m);
         false // stop at the first countermodel
     })?;
@@ -131,7 +163,8 @@ pub fn countermodels(
 }
 
 /// [`countermodels`] against a prebuilt scaffold with a configurable
-/// state cap.
+/// state cap; the database's `!=` constraints are enforced by
+/// projection, as in [`check_scaffolded`].
 pub fn countermodels_scaffolded(
     db: &MonadicDatabase,
     scaffold: &DisjunctiveScaffold,
@@ -139,8 +172,26 @@ pub fn countermodels_scaffolded(
     cap: usize,
     state_cap: usize,
 ) -> Result<Vec<MonadicModel>> {
-    let mut pairs = scaffold.pairs();
-    let graph = explore(db, scaffold, &mut pairs, disjuncts, state_cap)?;
+    countermodels_restricted(
+        db,
+        &SubScaffold::project(scaffold, db),
+        disjuncts,
+        cap,
+        state_cap,
+    )
+}
+
+/// [`countermodels`] against an explicit [`SubScaffold`] view: only
+/// models separating the view's `!=` pairs are enumerated.
+pub fn countermodels_restricted(
+    db: &MonadicDatabase,
+    sub: &SubScaffold<'_>,
+    disjuncts: &[MonadicQuery],
+    cap: usize,
+    state_cap: usize,
+) -> Result<Vec<MonadicModel>> {
+    let mut pairs = sub.pairs();
+    let graph = explore(db, sub, &mut pairs, disjuncts, state_cap)?;
     let Some(graph) = graph else {
         return Ok(Vec::new()); // trivially entailed (an empty disjunct)
     };
@@ -214,7 +265,11 @@ pub fn countermodels_scaffolded(
 /// Validates the inputs shared by [`run`] and [`explore`]. `Ok(true)`
 /// means "trivially entailed, skip the search".
 fn validate(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Result<bool> {
-    debug_assert!(db.ne.is_empty(), "Thm 5.3 is for [<,<=] databases");
+    let _ = db;
+    debug_assert!(
+        disjuncts.iter().all(|q| q.ne.is_empty()),
+        "Thm 5.3 disjuncts are [<,<=]; expand query != first (ineq::eliminate_ne)"
+    );
     if disjuncts.len() > MAX_DISJUNCTS {
         return Err(CoreError::CapExceeded {
             what: "disjuncts in Theorem 5.3 search".to_string(),
@@ -276,12 +331,13 @@ fn initial_keys(
 
 /// Generates the outgoing transitions of a non-final state into the
 /// reusable `out` buffer as `(key, committed-pair-or-NONE)`, consulting
-/// (and lazily extending) the scaffold's pair table. `ptrs` is the shared
-/// unpack scratch.
+/// (and lazily extending) the scaffold's pair table through the
+/// sub-scaffold view — which suppresses the (c)-commits that would merge
+/// a `!=`-constrained pair (§7). `ptrs` is the shared unpack scratch.
 #[allow(clippy::too_many_arguments)]
 fn successors(
     db: &MonadicDatabase,
-    scaffold: &DisjunctiveScaffold,
+    sub: &SubScaffold<'_>,
     pairs: &mut PairsHandle<'_>,
     disjuncts: &[MonadicQuery],
     codec: &mut PtrCodec,
@@ -292,7 +348,7 @@ fn successors(
 ) {
     out.clear();
     let n = disjuncts.len();
-    let pidx = pairs.ensure(scaffold, db, key.s, key.t);
+    let pidx = pairs.ensure(sub.parent(), db, key.s, key.t);
     codec.unpack_into(key.ptr, ptrs);
     let info = pairs.info(pidx);
 
@@ -329,7 +385,7 @@ fn successors(
         advanced = true;
         break;
     }
-    if !advanced && !info.dst_empty {
+    if !advanced && !info.dst_empty && !sub.blocks(info) {
         // Edge (c): commit the provisional point D(S,T).
         out.push((
             StateKey {
@@ -362,7 +418,7 @@ fn successors(
 /// does).
 fn run(
     db: &MonadicDatabase,
-    scaffold: &DisjunctiveScaffold,
+    sub: &SubScaffold<'_>,
     disjuncts: &[MonadicQuery],
     state_cap: usize,
     on_model: &mut dyn FnMut(MonadicModel) -> bool,
@@ -370,7 +426,7 @@ fn run(
     if validate(db, disjuncts)? {
         return Ok(());
     }
-    let mut pairs = scaffold.pairs();
+    let mut pairs = sub.pairs();
     let empty = pairs.empty_id();
     let init_t = pairs.initial_id();
     let mut codec = PtrCodec::new(disjuncts);
@@ -395,7 +451,7 @@ fn run(
             continue;
         }
         successors(
-            db, scaffold, &mut pairs, disjuncts, &mut codec, key, empty, &mut ptrs, &mut succ,
+            db, sub, &mut pairs, disjuncts, &mut codec, key, empty, &mut ptrs, &mut succ,
         );
         for &(k, commit) in &succ {
             if let Some(j) = arena.intern(k, i, commit) {
@@ -436,7 +492,7 @@ struct Explored {
 /// query is trivially entailed (some disjunct is empty).
 fn explore(
     db: &MonadicDatabase,
-    scaffold: &DisjunctiveScaffold,
+    sub: &SubScaffold<'_>,
     pairs: &mut PairsHandle<'_>,
     disjuncts: &[MonadicQuery],
     state_cap: usize,
@@ -472,7 +528,7 @@ fn explore(
             continue;
         }
         successors(
-            db, scaffold, pairs, disjuncts, &mut codec, key, empty, &mut ptrs, &mut succ,
+            db, sub, pairs, disjuncts, &mut codec, key, empty, &mut ptrs, &mut succ,
         );
         let mut outs = Vec::with_capacity(succ.len());
         for &(k, commit) in &succ {

@@ -38,7 +38,7 @@ use indord_core::error::{CoreError, Result};
 use indord_core::model::{FiniteModel, MonadicModel};
 use indord_core::monadic::{MonadicDatabase, MonadicQuery};
 use indord_core::query::DnfQuery;
-use indord_core::scaffold::DisjunctiveScaffold;
+use indord_core::scaffold::{DisjunctiveScaffold, SubScaffold};
 use indord_core::session::{object_profiles_of, Session};
 use indord_core::sym::Vocabulary;
 use std::cell::OnceCell;
@@ -298,6 +298,10 @@ impl<'a> Engine<'a> {
 /// evaluation — a session cache, a one-shot cell, or a local build.
 trait ScaffoldSource {
     fn scaffold(&self) -> Result<&DisjunctiveScaffold>;
+    /// The §7 view of the scaffold, projected onto the database's
+    /// `!=`-separating region — the session-cached signature on the
+    /// prepared path, a fresh projection on the one-shot paths.
+    fn sub_scaffold(&self) -> Result<SubScaffold<'_>>;
 }
 
 /// One-shot scaffold over a caller-held [`MonadicDatabase`].
@@ -309,6 +313,10 @@ struct LocalScaffold<'a> {
 impl ScaffoldSource for LocalScaffold<'_> {
     fn scaffold(&self) -> Result<&DisjunctiveScaffold> {
         Ok(self.cell.get_or_init(|| DisjunctiveScaffold::new(self.mdb)))
+    }
+
+    fn sub_scaffold(&self) -> Result<SubScaffold<'_>> {
+        Ok(SubScaffold::project(self.scaffold()?, self.mdb))
     }
 }
 
@@ -337,7 +345,8 @@ fn execute_monadic(
         owned = survivors.iter().map(|&i| plan.orders[i].clone()).collect();
         &owned
     };
-    let has_ne = !mdb.ne.is_empty() || orders.iter().any(|q| !q.ne.is_empty());
+    let has_query_ne = orders.iter().any(|q| !q.ne.is_empty());
+    let has_ne = !mdb.ne.is_empty() || has_query_ne;
     let single = |what: &str| -> Result<usize> {
         if survivors.len() != 1 {
             return Err(CoreError::Parse {
@@ -347,16 +356,29 @@ fn execute_monadic(
         }
         Ok(survivors[0])
     };
-    // The pinned special-purpose algorithms (SEQ, Lemma 4.1, Thm 4.7,
-    // Thm 5.3) are defined for `[<,<=]` inputs only; silently ignoring
-    // `!=` constraints would return wrong verdicts, so refuse them
-    // (Auto and Naive handle `!=` via the §7 routes).
+    // The pinned special-purpose algorithms (SEQ, Lemma 4.1, Thm 4.7)
+    // are defined for `[<,<=]` inputs only; silently ignoring `!=`
+    // constraints would return wrong verdicts, so refuse them (Auto and
+    // Naive handle `!=` via the §7 routes). Pinned Disjunctive enforces
+    // *database* `!=` natively through the sub-scaffold projection, but
+    // still refuses query `!=` atoms — those need the §7 expansion.
     let refuse_ne = |what: &str| -> Result<()> {
         if has_ne {
             return Err(CoreError::Parse {
                 offset: 0,
                 message: format!(
                     "{what} strategy requires [<,<=] inputs; use Auto or Naive for !="
+                ),
+            });
+        }
+        Ok(())
+    };
+    let refuse_query_ne = |what: &str| -> Result<()> {
+        if has_query_ne {
+            return Err(CoreError::Parse {
+                offset: 0,
+                message: format!(
+                    "{what} strategy requires [<,<=] queries; use Auto or Naive for query !="
                 ),
             });
         }
@@ -385,15 +407,12 @@ fn execute_monadic(
             Ok(bounded::check(mdb, &plan.orders[i]))
         }
         Strategy::Disjunctive => {
-            refuse_ne("Disjunctive")?;
-            disjunctive::check_scaffolded(mdb, sc.scaffold()?, orders, options.state_cap)
+            refuse_query_ne("Disjunctive")?;
+            disjunctive::check_restricted(mdb, &sc.sub_scaffold()?, orders, options.state_cap)
         }
         Strategy::Auto => {
-            if !mdb.ne.is_empty() {
-                return ineq::entails_db_ne(mdb, orders);
-            }
             if has_ne {
-                return run_query_ne(mdb, plan, survivors, all_survive, orders, options);
+                return run_ne_route(mdb, sc, plan, survivors, all_survive, orders, options);
             }
             if survivors.len() == 1 {
                 let i = survivors[0];
@@ -420,9 +439,17 @@ fn run_paths(mdb: &MonadicDatabase, plan: &MonadicPlan, i: usize) -> MonadicVerd
     }
 }
 
-/// The §7 query-`!=` route off precomputed expansions.
-fn run_query_ne(
+/// The §7 `!=` route off precomputed expansions: query `!=` atoms run
+/// expanded (from the prepared query's cached [`NePlan`] artifacts),
+/// database `!=` constraints run through the sub-scaffold projection of
+/// the session-cached scaffold — so prepared `!=` queries hit warm
+/// search tables on both directions. The scaffold is only materialized
+/// when the Theorem 5.3 leg actually runs; capped expansions go straight
+/// to naive enumeration.
+#[allow(clippy::too_many_arguments)]
+fn run_ne_route(
     mdb: &MonadicDatabase,
+    sc: &dyn ScaffoldSource,
     plan: &MonadicPlan,
     survivors: &[usize],
     all_survive: bool,
@@ -430,20 +457,45 @@ fn run_query_ne(
     options: EntailOptions,
 ) -> Result<MonadicVerdict> {
     let ne = plan.ne_plan();
-    if all_survive {
-        return ineq::entails_expanded(mdb, orders, ne.full.as_deref(), options.state_cap);
-    }
-    let mut expanded = Vec::new();
-    for &i in survivors {
-        match &ne.per_disjunct[i] {
-            NeExpansion::Unneeded => expanded.push(plan.orders[i].clone()),
-            NeExpansion::Expanded(e) => expanded.extend(e.iter().cloned()),
-            NeExpansion::Capped => {
-                return ineq::entails_expanded(mdb, orders, None, options.state_cap)
+    let holder: Option<Vec<MonadicQuery>>;
+    let expanded: Option<&[MonadicQuery]> = if all_survive {
+        ne.full.as_deref()
+    } else {
+        let mut acc = Vec::new();
+        let mut capped = false;
+        for &i in survivors {
+            match &ne.per_disjunct[i] {
+                NeExpansion::Unneeded => acc.push(plan.orders[i].clone()),
+                NeExpansion::Expanded(e) => acc.extend(e.iter().cloned()),
+                NeExpansion::Capped => {
+                    capped = true;
+                    break;
+                }
+            }
+            // Already beyond what the Thm 5.3 leg accepts: naive decides,
+            // so stop cloning cached expansions.
+            if acc.len() > ineq::EXPANDED_DISJUNCT_CAP {
+                capped = true;
+                break;
             }
         }
+        if capped {
+            None
+        } else {
+            holder = Some(acc);
+            holder.as_deref()
+        }
+    };
+    if !ineq::thm53_accepts(expanded) {
+        return naive::monadic_check(mdb, orders);
     }
-    ineq::entails_expanded(mdb, orders, Some(&expanded), options.state_cap)
+    ineq::entails_expanded_restricted(
+        mdb,
+        &sc.sub_scaffold()?,
+        orders,
+        expanded,
+        options.state_cap,
+    )
 }
 
 /// Database views the executor runs against: a cached [`Session`] or a
@@ -479,6 +531,10 @@ impl ScaffoldSource for SessionView<'_> {
     fn scaffold(&self) -> Result<&DisjunctiveScaffold> {
         self.session.disjunctive_scaffold(self.voc)
     }
+
+    fn sub_scaffold(&self) -> Result<SubScaffold<'_>> {
+        self.session.sub_scaffold(self.voc)
+    }
 }
 
 struct FreshView<'a> {
@@ -510,6 +566,10 @@ impl ScaffoldSource for FreshView<'_> {
     fn scaffold(&self) -> Result<&DisjunctiveScaffold> {
         let mdb = self.monadic()?;
         Ok(self.scaffold.get_or_init(|| DisjunctiveScaffold::new(mdb)))
+    }
+
+    fn sub_scaffold(&self) -> Result<SubScaffold<'_>> {
+        Ok(SubScaffold::project(self.scaffold()?, self.monadic()?))
     }
 }
 
@@ -744,6 +804,70 @@ mod tests {
             .entails(&db, &q)
             .unwrap();
         assert_eq!(verdict, starved, "naive fallback must agree");
+    }
+
+    #[test]
+    fn db_ne_route_runs_on_the_session_scaffold() {
+        // A database with != constraints: the Auto route must evaluate
+        // through the session-cached scaffold (observable as memoized
+        // pairs after evaluation), and agree with pinned Naive.
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "P(u); P(v); Q(w); u != v; w <= u;").unwrap();
+        let q = parse_query(&mut voc, "exists s t. P(s) & P(t) & s < t").unwrap();
+        let eng = Engine::new(&voc);
+        let session = indord_core::session::Session::new(db.clone());
+        let pq = eng.prepare(&q).unwrap();
+        let warm = eng.entails_prepared(&session, &pq).unwrap();
+        assert_eq!(warm, eng.entails(&db, &q).unwrap());
+        assert_eq!(
+            warm.holds(),
+            Engine::new(&voc)
+                .with_strategy(Strategy::Naive)
+                .entails(&db, &q)
+                .unwrap()
+                .holds()
+        );
+        let scaffold = session.disjunctive_scaffold(&voc).unwrap();
+        assert!(
+            scaffold.cached_pair_count() > 0,
+            "the §7 route must populate the shared pair table"
+        );
+        // Second evaluation reuses the same scaffold object.
+        let before = scaffold as *const _;
+        assert_eq!(eng.entails_prepared(&session, &pq).unwrap(), warm);
+        assert!(std::ptr::eq(
+            before,
+            session.disjunctive_scaffold(&voc).unwrap()
+        ));
+    }
+
+    #[test]
+    fn pinned_disjunctive_enforces_db_ne() {
+        // Database != is handled natively by the sub-scaffold projection
+        // under the pinned Disjunctive strategy; query != is still
+        // refused (it needs the §7 expansion).
+        let mut voc = Vocabulary::new();
+        let free = parse_database(&mut voc, "pred P(ord); pred Q(ord); P(u); Q(v);").unwrap();
+        let db = parse_database(&mut voc, "P(u); Q(v); u != v;").unwrap();
+        // "P strictly before Q, or Q strictly before P": certain exactly
+        // because u != v excludes the merged one-point model.
+        let q = parse_query(
+            &mut voc,
+            "(exists s t. P(s) & s < t & Q(t)) | (exists s t. Q(s) & s < t & P(t))",
+        )
+        .unwrap();
+        let q_ne = parse_query(&mut voc, "exists s t. P(s) & Q(t) & s != t").unwrap();
+        let eng = Engine::new(&voc).with_strategy(Strategy::Disjunctive);
+        let by_disj = eng.entails(&db, &q).unwrap();
+        let by_auto = Engine::new(&voc).entails(&db, &q).unwrap();
+        assert_eq!(by_disj.holds(), by_auto.holds());
+        assert!(by_disj.holds(), "u != v forces strict separation");
+        assert!(
+            !eng.entails(&free, &q).unwrap().holds(),
+            "without the constraint the merged model is a countermodel"
+        );
+        assert!(eng.entails(&db, &q_ne).is_err(), "query != must be refused");
+        assert!(Engine::new(&voc).entails(&db, &q_ne).is_ok());
     }
 
     #[test]

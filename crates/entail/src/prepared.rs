@@ -13,7 +13,9 @@
 //!
 //! The only decisions left to evaluation time are genuinely
 //! database-dependent: which disjuncts survive their object parts, and
-//! the §7 diversions forced by `!=` constraints *in the database*.
+//! how the §7 routes combine the cached `!=` expansions with the
+//! session's sub-scaffold (database `!=` constraints restrict the
+//! search region; query `!=` atoms run pre-expanded).
 
 use crate::engine::Strategy;
 use crate::ineq;
@@ -59,9 +61,10 @@ pub(crate) enum NeExpansion {
 }
 
 /// The §7 `!=` expansion artifacts of a whole plan, computed lazily on
-/// the first evaluation that actually reaches the query-`!=` route (the
-/// route is database-dependent: a database with its own `!=` constraints
-/// diverts to naive enumeration and never consults this).
+/// the first evaluation that actually reaches a `!=` route — either
+/// query `!=` atoms (expanded here) or database `!=` constraints (the
+/// evaluator then runs these expansions, trivial when no disjunct has
+/// `!=` atoms, on the session's sub-scaffold-restricted search).
 #[derive(Debug, Clone)]
 pub(crate) struct NePlan {
     /// Per-disjunct expansions, parallel to the plan's `orders`.

@@ -323,3 +323,94 @@ fn prepared_agreement_after_session_mutation() {
     session.assert_le(v, w);
     check(&session, "after v <= w (fresh constant)");
 }
+
+#[test]
+fn prepared_ne_queries_track_session_mutations() {
+    // The §7 sub-scaffold caches live inside the session's scaffold
+    // layer; every mutation class (in-place fact insert, in-place order
+    // edge, != constraint, fresh constant) must invalidate them exactly
+    // as needed — asserted by re-checking each prepared `!=` query
+    // against a fresh one-shot evaluation after every step.
+    let mut voc = Vocabulary::new();
+    let db = parse_database(&mut voc, "pred R(ord); P(u); Q(v); u <= v;").unwrap();
+    let p = voc.find_pred("P").unwrap();
+    let (u, v, w) = (voc.ord("u"), voc.ord("v"), voc.ord("w"));
+    let queries = [
+        "exists s t. P(s) & P(t) & s != t",
+        "exists s t. P(s) & Q(t) & s != t",
+        "(exists s t. P(s) & s != t & Q(t)) | exists s. R(s)",
+        "(exists s t. P(s) & s < t & Q(t)) | (exists s t. Q(s) & s < t & P(t))",
+        "exists s t. P(s) & s < t & Q(t)",
+    ];
+    let parsed: Vec<_> = queries
+        .iter()
+        .map(|t| parse_query(&mut voc, t).expect(t))
+        .collect();
+    let eng = Engine::new(&voc);
+    let prepared: Vec<_> = parsed.iter().map(|q| eng.prepare(q).unwrap()).collect();
+
+    let mut session = Session::new(db);
+    let check = |session: &Session, step: &str| {
+        for (pq, q) in prepared.iter().zip(&parsed) {
+            let warm1 = eng.entails_prepared(session, pq).unwrap();
+            let warm2 = eng.entails_prepared(session, pq).unwrap();
+            assert_eq!(warm1, warm2, "{step}: warm re-evaluation drifted");
+            let fresh = eng.entails(session.database(), q).unwrap();
+            assert_eq!(warm1, fresh, "{step}: session drifted from database");
+        }
+    };
+    check(&session, "cold");
+    // != constraint between known constants: drops the scaffold (and its
+    // blocked-bit tables) for rebuild under the new signature.
+    session.assert_ne(u, v);
+    check(&session, "after u != v");
+    // In-place fact insert: label unions change, sub-scaffolds rebuild.
+    session
+        .insert_fact(&voc, p, vec![indord::core::atom::Term::Ord(v)])
+        .unwrap();
+    check(&session, "after P(v) in-place insert");
+    // In-place order edge over known vertices (the patch path).
+    session.assert_lt(u, v);
+    check(&session, "after u < v in-place edge");
+    // Fresh constant: full invalidation.
+    session.assert_ne(v, w);
+    check(&session, "after v != w (fresh constant)");
+    session.assert_lt(w, u);
+    check(&session, "after w < u");
+}
+
+#[test]
+fn acyclic_edge_insert_does_not_over_invalidate() {
+    // Regression test (ROADMAP: incremental order-atom insertion): an
+    // acyclic order-edge insert over known vertices must keep the
+    // normalized/monadic views warm — only the scaffold layer may drop —
+    // while still changing verdicts exactly as a fresh evaluation would.
+    let mut voc = Vocabulary::new();
+    // `u <= u` only forces `u` onto the order sort (N2 discharges it).
+    let db = parse_database(&mut voc, "P(u); Q(v); R(w); w <= v; u <= u;").unwrap();
+    let q = parse_query(&mut voc, "exists s t. P(s) & s < t & Q(t)").unwrap();
+    let q_ne = parse_query(&mut voc, "exists s t. P(s) & P(t) & s != t").unwrap();
+    let (u, v) = (voc.ord("u"), voc.ord("v"));
+    let eng = Engine::new(&voc);
+    let (pq, pq_ne) = (eng.prepare(&q).unwrap(), eng.prepare(&q_ne).unwrap());
+    let mut session = Session::new(db);
+    assert!(!eng.entails_prepared(&session, &pq).unwrap().holds());
+    assert!(session.is_warm());
+    session.assert_lt(u, v);
+    assert!(
+        session.is_warm(),
+        "acyclic edge over known vertices must patch, not renormalize"
+    );
+    assert!(
+        eng.entails_prepared(&session, &pq).unwrap().holds(),
+        "the patched session must see u < v"
+    );
+    assert_eq!(
+        eng.entails_prepared(&session, &pq).unwrap(),
+        eng.entails(session.database(), &q).unwrap()
+    );
+    assert_eq!(
+        eng.entails_prepared(&session, &pq_ne).unwrap(),
+        eng.entails(session.database(), &q_ne).unwrap()
+    );
+}

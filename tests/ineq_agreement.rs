@@ -1,0 +1,291 @@
+//! Differential suite for the §7 `!=` routes.
+//!
+//! The scaffold-routed inequality paths (`ineq::entails_db_ne` /
+//! `entails_expanded` and their `*_scaffolded` forms, which run the
+//! Theorem 5.3 search through a `SubScaffold` projection) must return
+//! exactly the verdict of the naive minimal-model oracle — the
+//! pre-existing §7 decision procedure — and must be independent of
+//! scaffold warmth. Two layers:
+//!
+//! * an exhaustive **grid** over every two-vertex database shape
+//!   (edge × `!=` × label combinations) against a fixed query set;
+//! * **proptest** randomization over larger databases with `!=`
+//!   constraints and queries with `!=` atoms, including the mixed case
+//!   (both sides constrained) and countermodel validation.
+
+use indord::core::atom::OrderRel;
+use indord::core::bitset::PredSet;
+use indord::core::monadic::{MonadicDatabase, MonadicQuery};
+use indord::core::ordgraph::OrderGraph;
+use indord::core::scaffold::{DisjunctiveScaffold, SubScaffold};
+use indord::core::sym::PredSym;
+use indord::entail::{disjunctive, ineq, modelcheck, naive};
+use proptest::prelude::*;
+
+const NPREDS: usize = 3;
+const STATE_CAP: usize = disjunctive::STATE_CAP;
+
+fn ps(ids: &[usize]) -> PredSet {
+    ids.iter().map(|&i| PredSym::from_index(i)).collect()
+}
+
+/// Every route that decides a §7 instance, pinned against the oracle.
+/// `scaffold` is shared across calls so later invocations exercise warm
+/// pair tables and blocked-commit bits.
+fn assert_routes_agree(
+    db: &MonadicDatabase,
+    scaffold: &DisjunctiveScaffold,
+    disjuncts: &[MonadicQuery],
+    context: &str,
+) {
+    let oracle = naive::monadic_check(db, disjuncts)
+        .unwrap_or_else(|e| panic!("{context}: oracle failed: {e:?}"))
+        .holds();
+    let one_shot = ineq::entails_query_ne(db, disjuncts, 64, STATE_CAP).unwrap();
+    assert_eq!(
+        one_shot.holds(),
+        oracle,
+        "{context}: one-shot §7 route vs naive"
+    );
+    let warm = ineq::entails_query_ne_scaffolded(db, scaffold, disjuncts, 64, STATE_CAP).unwrap();
+    assert_eq!(
+        warm.holds(),
+        oracle,
+        "{context}: scaffold-routed §7 vs naive"
+    );
+    let again = ineq::entails_query_ne_scaffolded(db, scaffold, disjuncts, 64, STATE_CAP).unwrap();
+    assert_eq!(again, warm, "{context}: warm scaffold drifted");
+    // The db-!= entry point is the same decision.
+    let db_ne = ineq::entails_db_ne(db, disjuncts).unwrap();
+    assert_eq!(db_ne.holds(), oracle, "{context}: entails_db_ne vs naive");
+    // A precomputed expansion must not change the verdict.
+    let expanded: Option<Vec<MonadicQuery>> = disjuncts
+        .iter()
+        .map(|q| ineq::eliminate_ne(q, 64).ok())
+        .collect::<Option<Vec<_>>>()
+        .map(|vs| vs.into_iter().flatten().collect());
+    let via_expanded =
+        ineq::entails_expanded(db, disjuncts, expanded.as_deref(), STATE_CAP).unwrap();
+    assert_eq!(
+        via_expanded.holds(),
+        oracle,
+        "{context}: entails_expanded vs naive"
+    );
+    let via_expanded_scaffolded =
+        ineq::entails_expanded_scaffolded(db, scaffold, disjuncts, expanded.as_deref(), STATE_CAP)
+            .unwrap();
+    assert_eq!(
+        via_expanded_scaffolded.holds(),
+        oracle,
+        "{context}: entails_expanded_scaffolded vs naive"
+    );
+    // Countermodels are genuine: models of D (respecting !=) falsifying
+    // every disjunct.
+    for v in [&one_shot, &warm, &db_ne, &via_expanded_scaffolded] {
+        if let Some(m) = v.countermodel() {
+            assert!(
+                modelcheck::is_model_of(m, db),
+                "{context}: countermodel violates D (or its != constraints)"
+            );
+            assert!(
+                !modelcheck::satisfies(m, disjuncts),
+                "{context}: countermodel satisfies a disjunct"
+            );
+        }
+    }
+}
+
+/// Exhaustive grid: all two-vertex databases (edge shape × `!=` pair ×
+/// label assignment) against a fixed query set covering sequential,
+/// `!=`-atom, and disjunctive shapes.
+#[test]
+fn two_vertex_grid() {
+    let edge_shapes: [&[(usize, usize, OrderRel)]; 3] =
+        [&[], &[(0, 1, OrderRel::Lt)], &[(0, 1, OrderRel::Le)]];
+    let label_choices = [ps(&[0]), ps(&[1]), ps(&[0, 1])];
+    let queries = grid_queries();
+    for (ei, edges) in edge_shapes.iter().enumerate() {
+        for with_ne in [false, true] {
+            for (li, l0) in label_choices.iter().enumerate() {
+                for (lj, l1) in label_choices.iter().enumerate() {
+                    let g = OrderGraph::from_dag_edges(2, edges).unwrap();
+                    let mut db = MonadicDatabase::new(g, vec![l0.clone(), l1.clone()]);
+                    if with_ne {
+                        db.ne.push((0, 1));
+                    }
+                    let scaffold = DisjunctiveScaffold::new(&db);
+                    for (qi, q) in queries.iter().enumerate() {
+                        let context =
+                            format!("grid edges={ei} ne={with_ne} labels=({li},{lj}) q={qi}");
+                        assert_routes_agree(&db, &scaffold, q, &context);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn grid_queries() -> Vec<Vec<MonadicQuery>> {
+    let single = |labels: &[&[usize]], edges: &[(usize, usize, OrderRel)]| {
+        let g = OrderGraph::from_dag_edges(labels.len(), edges).unwrap();
+        MonadicQuery::new(g, labels.iter().map(|l| ps(l)).collect())
+    };
+    let with_ne = |mut q: MonadicQuery, pairs: &[(usize, usize)]| {
+        q.ne.extend_from_slice(pairs);
+        q
+    };
+    vec![
+        // P somewhere.
+        vec![single(&[&[0]], &[])],
+        // P strictly before Q.
+        vec![single(&[&[0], &[1]], &[(0, 1, OrderRel::Lt)])],
+        // Two P's at distinct points (query !=).
+        vec![with_ne(single(&[&[0], &[0]], &[]), &[(0, 1)])],
+        // P and Q at distinct points (query !=).
+        vec![with_ne(single(&[&[0], &[1]], &[]), &[(0, 1)])],
+        // Two strictly ordered points (label-free).
+        vec![single(&[&[], &[]], &[(0, 1, OrderRel::Lt)])],
+        // Disjunction: P-and-Q together, or P != Q separation.
+        vec![
+            single(&[&[0, 1]], &[]),
+            with_ne(single(&[&[0], &[1]], &[]), &[(0, 1)]),
+        ],
+        // Disjunction of the two strict orders.
+        vec![
+            single(&[&[0], &[1]], &[(0, 1, OrderRel::Lt)]),
+            single(&[&[1], &[0]], &[(0, 1, OrderRel::Lt)]),
+        ],
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Randomized layer.
+// ---------------------------------------------------------------------
+
+fn pred_set() -> impl Strategy<Value = PredSet> {
+    proptest::bits::u8::between(0, NPREDS).prop_map(|bits| {
+        (0..NPREDS)
+            .filter(|i| bits & (1 << i) != 0)
+            .map(PredSym::from_index)
+            .collect()
+    })
+}
+
+/// A random `[<,<=]` labelled dag on up to `max_n` vertices.
+fn labelled_dag(max_n: usize) -> impl Strategy<Value = (OrderGraph, Vec<PredSet>)> {
+    (1..=max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (
+                0..n * n,
+                prop_oneof![Just(OrderRel::Lt), Just(OrderRel::Le)],
+            ),
+            0..=n * 2,
+        );
+        let labels = proptest::collection::vec(pred_set(), n);
+        (Just(n), edges, labels).prop_map(|(n, raw_edges, labels)| {
+            let mut edges = Vec::new();
+            for (code, rel) in raw_edges {
+                let (i, j) = (code / n, code % n);
+                if i < j {
+                    edges.push((i, j, rel));
+                }
+            }
+            (
+                OrderGraph::from_dag_edges(n, &edges).expect("forward edges are acyclic"),
+                labels,
+            )
+        })
+    })
+}
+
+/// A random database with up to two `!=` constraints (possibly over
+/// comparable or even identical vertices — the engines must handle the
+/// contradictory case too).
+fn db_ne_strategy(max_n: usize) -> impl Strategy<Value = MonadicDatabase> {
+    (
+        labelled_dag(max_n),
+        proptest::collection::vec((0..max_n, 0..max_n), 0..=2),
+    )
+        .prop_map(|((g, l), raw_ne)| {
+            let n = g.len();
+            let mut db = MonadicDatabase::new(g, l);
+            for (a, b) in raw_ne {
+                db.ne.push((a % n, b % n));
+            }
+            db
+        })
+}
+
+/// A random query with at most one `!=` atom.
+fn query_ne_strategy(max_n: usize) -> impl Strategy<Value = MonadicQuery> {
+    (labelled_dag(max_n), proptest::bits::u8::between(0, 4)).prop_map(|((g, l), bits)| {
+        let n = g.len();
+        let mut q = MonadicQuery::new(g, l);
+        if n >= 2 && bits & 1 != 0 {
+            let a = (bits >> 1) as usize % n;
+            let b = (a + 1) % n;
+            q.ne.push((a, b));
+        }
+        q
+    })
+}
+
+fn disjuncts_strategy() -> impl Strategy<Value = Vec<MonadicQuery>> {
+    proptest::collection::vec(query_ne_strategy(3), 1..=2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Random §7 instances (database `!=` and/or query `!=`): every
+    /// route agrees with the naive oracle, warm and cold.
+    #[test]
+    fn random_ne_instances_agree(
+        db in db_ne_strategy(4),
+        disjuncts in disjuncts_strategy(),
+        warmup in disjuncts_strategy(),
+    ) {
+        let scaffold = DisjunctiveScaffold::new(&db);
+        // Warm the pair table (and its blocked bits) with an unrelated
+        // query first, as a serving session would.
+        let _ = ineq::entails_query_ne_scaffolded(&db, &scaffold, &warmup, 64, STATE_CAP).unwrap();
+        assert_routes_agree(&db, &scaffold, &disjuncts, "random");
+    }
+
+    /// The restricted countermodel enumeration is sound and complete on
+    /// `!=` databases: nonempty exactly when entailment fails, every
+    /// model separates the constrained pairs, falsifies the query, and
+    /// agrees between projected-warm and fresh sub-scaffolds.
+    #[test]
+    fn restricted_countermodels_are_genuine(
+        db in db_ne_strategy(4),
+        disjuncts in proptest::collection::vec(
+            labelled_dag(3).prop_map(|(g, l)| MonadicQuery::new(g, l)), 1..=2),
+        warmup in proptest::collection::vec(
+            labelled_dag(3).prop_map(|(g, l)| MonadicQuery::new(g, l)), 1..=2),
+    ) {
+        let holds = naive::monadic_check(&db, &disjuncts).unwrap().holds();
+        let fresh_scaffold = DisjunctiveScaffold::new(&db);
+        let fresh = disjunctive::countermodels_restricted(
+            &db,
+            &SubScaffold::project(&fresh_scaffold, &db),
+            &disjuncts,
+            256,
+            STATE_CAP,
+        )
+        .unwrap();
+        prop_assert_eq!(holds, fresh.is_empty(), "enumeration vs verdict");
+        for m in &fresh {
+            prop_assert!(modelcheck::is_model_of(m, &db), "model violates D or !=");
+            prop_assert!(!modelcheck::satisfies(m, &disjuncts));
+        }
+        // Warm projection: same set.
+        let warm_scaffold = DisjunctiveScaffold::new(&db);
+        let _ = disjunctive::check_scaffolded(&db, &warm_scaffold, &warmup, STATE_CAP).unwrap();
+        let warm = disjunctive::countermodels_scaffolded(
+            &db, &warm_scaffold, &disjuncts, 256, STATE_CAP,
+        )
+        .unwrap();
+        prop_assert_eq!(fresh, warm, "countermodels depend on scaffold warmth");
+    }
+}

@@ -2,18 +2,20 @@
 //! pre-refactor semantics: on randomized monadic databases, the interned
 //! engine and the `disjunctive::reference` implementation must agree on
 //! entailment verdicts, countermodel validity, and the *set* of minimal
-//! falsifiers enumerated by `countermodels()`; and the one-shot,
+//! falsifiers enumerated by `countermodels()`; the one-shot,
 //! prepared-session, and scaffold-cached paths must all return the same
-//! answers.
+//! answers; and the §7 sub-scaffold projection must be invisible to
+//! verdicts — independent of scaffold warmth and of whether the view was
+//! projected from a warm parent or built fresh.
 
 use indord::core::atom::OrderRel;
 use indord::core::bitset::PredSet;
 use indord::core::model::MonadicModel;
 use indord::core::monadic::{MonadicDatabase, MonadicQuery};
 use indord::core::ordgraph::OrderGraph;
-use indord::core::scaffold::DisjunctiveScaffold;
+use indord::core::scaffold::{DisjunctiveScaffold, SubScaffold};
 use indord::core::sym::PredSym;
-use indord::entail::{disjunctive, modelcheck};
+use indord::entail::{disjunctive, modelcheck, naive};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -57,6 +59,21 @@ fn labelled_dag(max_n: usize) -> impl Strategy<Value = (OrderGraph, Vec<PredSet>
 
 fn db_strategy(max_n: usize) -> impl Strategy<Value = MonadicDatabase> {
     labelled_dag(max_n).prop_map(|(g, l)| MonadicDatabase::new(g, l))
+}
+
+/// As [`db_strategy`] but carrying up to two §7 `!=` constraints.
+fn db_ne_strategy(max_n: usize) -> impl Strategy<Value = MonadicDatabase> {
+    (
+        db_strategy(max_n),
+        proptest::collection::vec((0..max_n, 0..max_n), 0..=2),
+    )
+        .prop_map(|(mut db, raw_ne)| {
+            let n = db.graph.len();
+            for (a, b) in raw_ne {
+                db.ne.push((a % n, b % n));
+            }
+            db
+        })
 }
 
 fn query_strategy(max_n: usize) -> impl Strategy<Value = MonadicQuery> {
@@ -135,6 +152,79 @@ proptest! {
         )
         .unwrap();
         prop_assert_eq!(enum_one_shot, enum_cached, "enumeration depends on scaffold warmth");
+    }
+
+    /// §7 sub-scaffold properties: verdicts (including the exact
+    /// countermodel) are independent of scaffold warmth and of whether
+    /// the sub-scaffold view was projected off a warm parent or built
+    /// over a fresh one — and they match the naive `!=`-aware oracle.
+    #[test]
+    fn sub_scaffold_projection_is_invisible(
+        db in db_ne_strategy(5),
+        disjuncts in disjuncts_strategy(),
+        warmup in disjuncts_strategy(),
+    ) {
+        let oracle = naive::monadic_check(&db, &disjuncts).unwrap().holds();
+        // Fresh parent, explicit projection.
+        let fresh_parent = DisjunctiveScaffold::new(&db);
+        let fresh = disjunctive::check_restricted(
+            &db, &SubScaffold::project(&fresh_parent, &db), &disjuncts, disjunctive::STATE_CAP,
+        ).unwrap();
+        prop_assert_eq!(fresh.holds(), oracle, "fresh sub-scaffold vs naive");
+        // Warm parent (pair table and blocked bits populated by an
+        // unrelated query), implicit projection through check_scaffolded.
+        let warm_parent = DisjunctiveScaffold::new(&db);
+        let _ = disjunctive::check_scaffolded(&db, &warm_parent, &warmup, disjunctive::STATE_CAP)
+            .unwrap();
+        let cold = disjunctive::check_scaffolded(&db, &warm_parent, &disjuncts, disjunctive::STATE_CAP)
+            .unwrap();
+        let warm = disjunctive::check_scaffolded(&db, &warm_parent, &disjuncts, disjunctive::STATE_CAP)
+            .unwrap();
+        prop_assert_eq!(&fresh, &cold, "projected-warm vs built-fresh");
+        prop_assert_eq!(&cold, &warm, "warm blocked-bit table drifted");
+        // Explicit projection over the warm parent is the same view.
+        let via_project = disjunctive::check_restricted(
+            &db, &SubScaffold::project(&warm_parent, &db), &disjuncts,
+            disjunctive::STATE_CAP,
+        ).unwrap();
+        prop_assert_eq!(&via_project, &fresh, "explicit warm projection vs fresh");
+        if let Some(m) = fresh.countermodel() {
+            prop_assert!(modelcheck::is_model_of(m, &db), "countermodel respects D and !=");
+            prop_assert!(!modelcheck::satisfies(m, &disjuncts));
+        }
+    }
+
+    /// §7 countermodel sets: the restricted enumeration agrees between a
+    /// projected (warm) and a fresh sub-scaffold, enumerates exactly the
+    /// separating falsifiers, and is empty iff entailment holds.
+    #[test]
+    fn sub_scaffold_countermodel_sets_agree(
+        db in db_ne_strategy(4),
+        disjuncts in disjuncts_strategy(),
+        warmup in disjuncts_strategy(),
+    ) {
+        let fresh_parent = DisjunctiveScaffold::new(&db);
+        let fresh = disjunctive::countermodels_restricted(
+            &db, &SubScaffold::project(&fresh_parent, &db), &disjuncts, 256,
+            disjunctive::STATE_CAP,
+        ).unwrap();
+        let warm_parent = DisjunctiveScaffold::new(&db);
+        let _ = disjunctive::check_scaffolded(&db, &warm_parent, &warmup, disjunctive::STATE_CAP)
+            .unwrap();
+        let warm = disjunctive::countermodels_scaffolded(
+            &db, &warm_parent, &disjuncts, 256, disjunctive::STATE_CAP,
+        ).unwrap();
+        prop_assert_eq!(
+            model_set(&fresh),
+            model_set(&warm),
+            "restricted countermodel sets diverged between fresh and warm"
+        );
+        let oracle = naive::monadic_check(&db, &disjuncts).unwrap().holds();
+        prop_assert_eq!(oracle, fresh.is_empty());
+        for m in &fresh {
+            prop_assert!(modelcheck::is_model_of(m, &db), "model must separate != pairs");
+            prop_assert!(!modelcheck::satisfies(m, &disjuncts));
+        }
     }
 
     /// The naive oracle still agrees with the interned engine (the
