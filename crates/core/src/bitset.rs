@@ -114,6 +114,21 @@ impl BitSet {
         }
     }
 
+    /// In-place union, reporting whether any element was actually added —
+    /// the primitive behind the incremental reachability-closure patch,
+    /// which must know which vertices' closures genuinely grew.
+    pub fn union_with_changed(&mut self, other: &BitSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut grew = 0u64;
+        for (i, &w) in other.words.iter().enumerate() {
+            grew |= w & !self.words[i];
+            self.words[i] |= w;
+        }
+        grew != 0
+    }
+
     /// In-place intersection.
     pub fn intersect_with(&mut self, other: &BitSet) {
         for (i, w) in self.words.iter_mut().enumerate() {
@@ -301,6 +316,17 @@ mod tests {
         assert!(!b.is_subset(&a));
         assert!(a.is_subset(&a));
         assert!(BitSet::new().is_subset(&a));
+    }
+
+    #[test]
+    fn union_with_changed_reports_growth() {
+        let mut a: BitSet = [1, 2].into_iter().collect();
+        let b: BitSet = [2, 130].into_iter().collect();
+        assert!(a.union_with_changed(&b), "130 is new");
+        assert!(!a.union_with_changed(&b), "second union adds nothing");
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 130]);
+        let mut empty = BitSet::new();
+        assert!(!empty.union_with_changed(&BitSet::new()));
     }
 
     #[test]

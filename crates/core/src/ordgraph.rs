@@ -41,6 +41,21 @@ pub struct OrderGraph {
     pred: Vec<Vec<(u32, EdgeRel)>>,
 }
 
+/// What an edge insertion actually did to the stored (deduplicated) edge
+/// set — the signal the incremental scaffold patch keys on: an
+/// [`EdgeInsert::Unchanged`] write needs no invalidation at all, an
+/// [`EdgeInsert::Upgraded`] one changes minor-vertex structure but never
+/// reachability, and only [`EdgeInsert::New`] can grow closures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeInsert {
+    /// No edge `u → v` existed before.
+    New,
+    /// A `<=` edge existed and was strengthened to `<`.
+    Upgraded,
+    /// The stored edge already subsumed the inserted one.
+    Unchanged,
+}
+
 /// Result of normalizing a raw edge list: the quotient graph together with
 /// the mapping from raw vertices to quotient vertices.
 #[derive(Debug, Clone)]
@@ -137,7 +152,7 @@ impl OrderGraph {
         })
     }
 
-    fn add_edge_dedup(&mut self, u: usize, v: usize, rel: EdgeRel) {
+    fn add_edge_dedup(&mut self, u: usize, v: usize, rel: EdgeRel) -> EdgeInsert {
         if let Some(slot) = self.succ[u].iter_mut().find(|(w, _)| *w as usize == v) {
             if slot.1 == OrderRel::Le && rel == OrderRel::Lt {
                 slot.1 = OrderRel::Lt;
@@ -146,11 +161,13 @@ impl OrderGraph {
                     .find(|(w, _)| *w as usize == u)
                     .expect("pred mirror");
                 back.1 = OrderRel::Lt;
+                return EdgeInsert::Upgraded;
             }
-            return;
+            return EdgeInsert::Unchanged;
         }
         self.succ[u].push((v as u32, rel));
         self.pred[v].push((u as u32, rel));
+        EdgeInsert::New
     }
 
     /// Number of vertices.
@@ -319,12 +336,108 @@ impl OrderGraph {
     /// (no path `v → u` exists), deduplicating parallel edges and keeping
     /// the stronger label — the in-place patch behind
     /// `Session::assert_lt`/`assert_le` on already-known constants.
-    pub fn insert_dag_edge(&mut self, u: usize, v: usize, rel: EdgeRel) {
+    /// Reports what changed so callers maintaining derived tables can
+    /// scale their invalidation to the actual mutation.
+    pub fn insert_dag_edge(&mut self, u: usize, v: usize, rel: EdgeRel) -> EdgeInsert {
         assert!(u < self.n && v < self.n, "edge endpoint out of range");
         debug_assert!(u != v, "self edges are N1/N2 business, not a patch");
         debug_assert!(rel != OrderRel::Ne, "!= is not an order-graph edge");
         debug_assert!(!self.reaches(v, u), "edge would close a cycle");
-        self.add_edge_dedup(u, v, rel);
+        self.add_edge_dedup(u, v, rel)
+    }
+
+    /// As [`OrderGraph::insert_dag_edge`], but also patching a caller-held
+    /// reachability closure incrementally instead of leaving it stale: for
+    /// a new acyclic edge `u → v`, `reach[x] |= reach[v]` for every `x`
+    /// whose closure contains `u`. Returns the insertion outcome together
+    /// with the set of vertices whose closure actually grew (empty when
+    /// `v` was already reachable from `u`, e.g. on a `<=` → `<` upgrade).
+    /// `reach` must be the closure of the graph *before* the call (as
+    /// produced by [`OrderGraph::reachability`] or earlier patches).
+    pub fn insert_dag_edge_tracked(
+        &mut self,
+        u: usize,
+        v: usize,
+        rel: EdgeRel,
+        reach: &mut [BitSet],
+    ) -> (EdgeInsert, BitSet) {
+        debug_assert_eq!(reach.len(), self.n, "closure covers the graph");
+        let outcome = self.insert_dag_edge(u, v, rel);
+        let mut changed = BitSet::with_capacity(self.n);
+        if outcome != EdgeInsert::New {
+            // The edge (or a stronger one) was already present, so the
+            // closure already contains every path through it.
+            return (outcome, changed);
+        }
+        // `reach[v]` itself cannot change (acyclicity: v never reaches u),
+        // so one snapshot serves every union.
+        let reach_v = reach[v].clone();
+        for (x, r) in reach.iter_mut().enumerate() {
+            if r.contains(u) && r.union_with_changed(&reach_v) {
+                changed.insert(x);
+            }
+        }
+        (outcome, changed)
+    }
+
+    /// Repairs a caller-held topological order after inserting the acyclic
+    /// edge `u → v`, Pearce–Kelly style: only the *affected region* —
+    /// vertices positioned between `pos[v]` and `pos[u]` that reach `u` or
+    /// are reached from `v` — is reordered; everything outside keeps its
+    /// position. A no-op when the order already agrees (`pos[u] < pos[v]`).
+    /// `topo` and `pos` must be mutually inverse (`pos[topo[i]] = i`) and
+    /// valid for the graph minus the new edge.
+    pub fn repair_topo_after_edge(&self, topo: &mut [u32], pos: &mut [u32], u: usize, v: usize) {
+        debug_assert_eq!(topo.len(), self.n);
+        debug_assert_eq!(pos.len(), self.n);
+        let (pu, pv) = (pos[u] as usize, pos[v] as usize);
+        if pu < pv {
+            return;
+        }
+        // Forward frontier: vertices reached from v within the window.
+        let mut delta_f: Vec<u32> = Vec::new();
+        let mut seen_f = BitSet::with_capacity(self.n);
+        seen_f.insert(v);
+        let mut stack = vec![v];
+        while let Some(w) = stack.pop() {
+            delta_f.push(w as u32);
+            for &(x, _) in &self.succ[w] {
+                let x = x as usize;
+                if (pos[x] as usize) <= pu && seen_f.insert(x) {
+                    stack.push(x);
+                }
+            }
+        }
+        // Backward frontier: vertices reaching u within the window.
+        let mut delta_b: Vec<u32> = Vec::new();
+        let mut seen_b = BitSet::with_capacity(self.n);
+        seen_b.insert(u);
+        stack.push(u);
+        while let Some(w) = stack.pop() {
+            debug_assert!(!seen_f.contains(w), "frontiers meet only on a cycle");
+            delta_b.push(w as u32);
+            for &(x, _) in &self.pred[w] {
+                let x = x as usize;
+                if (pos[x] as usize) >= pv && seen_b.insert(x) {
+                    stack.push(x);
+                }
+            }
+        }
+        // Reassign the union's positions: backward frontier first (it must
+        // now precede v's region), each frontier keeping its internal
+        // relative order.
+        delta_f.sort_unstable_by_key(|&w| pos[w as usize]);
+        delta_b.sort_unstable_by_key(|&w| pos[w as usize]);
+        let mut slots: Vec<u32> = delta_b
+            .iter()
+            .chain(delta_f.iter())
+            .map(|&w| pos[w as usize])
+            .collect();
+        slots.sort_unstable();
+        for (&w, &slot) in delta_b.iter().chain(delta_f.iter()).zip(slots.iter()) {
+            topo[slot as usize] = w;
+            pos[w as usize] = slot;
+        }
     }
 
     /// Minimal vertices (no incoming edges) among the `live` set, edges
@@ -732,6 +845,73 @@ mod tests {
         assert_eq!(g.edge_count(), 3);
         assert!(g.edges().any(|(u, v, r)| (u, v, r) == (0, 1, Lt)));
         assert!(g.predecessors(1).iter().any(|&(u, r)| (u, r) == (0, Lt)));
+    }
+
+    #[test]
+    fn tracked_insert_patches_closure_incrementally() {
+        // 0 -> 1, 2 -> 3; adding 1 -> 2 joins the chains.
+        let nz = norm(4, &[(0, 1, Le), (2, 3, Lt)]);
+        let mut g = nz.graph;
+        let mut reach = g.reachability();
+        let (outcome, changed) = g.insert_dag_edge_tracked(1, 2, Lt, &mut reach);
+        assert_eq!(outcome, EdgeInsert::New);
+        // 0 and 1 now reach {2, 3}; 2 and 3 are untouched.
+        assert_eq!(changed.iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(reach, g.reachability(), "patched closure == fresh closure");
+        // Upgrading 0 -> 1 from <= to < changes no reachability.
+        let (outcome, changed) = g.insert_dag_edge_tracked(0, 1, Lt, &mut reach);
+        assert_eq!(outcome, EdgeInsert::Upgraded);
+        assert!(changed.is_empty());
+        // Re-inserting the identical edge is fully unchanged.
+        let (outcome, changed) = g.insert_dag_edge_tracked(0, 1, Lt, &mut reach);
+        assert_eq!(outcome, EdgeInsert::Unchanged);
+        assert!(changed.is_empty());
+        assert_eq!(reach, g.reachability());
+        // A shortcut edge whose target was already reachable: New edge,
+        // but the closure (hence the changed set) is untouched.
+        let (outcome, changed) = g.insert_dag_edge_tracked(0, 3, Le, &mut reach);
+        assert_eq!(outcome, EdgeInsert::New);
+        assert!(changed.is_empty());
+        assert_eq!(reach, g.reachability());
+    }
+
+    #[test]
+    fn pearce_kelly_repair_is_local_and_valid() {
+        // Two chains 0->1->2 and 3->4->5 with an interleaved initial order
+        // that puts the second chain first.
+        let nz = norm(6, &[(0, 1, Lt), (1, 2, Lt), (3, 4, Lt), (4, 5, Le)]);
+        let mut g = nz.graph;
+        let mut topo: Vec<u32> = vec![3, 4, 5, 0, 1, 2];
+        let mut pos: Vec<u32> = vec![3, 4, 5, 0, 1, 2];
+        // 2 -> 3 contradicts the current order (pos[2]=5 > pos[3]=0):
+        // the whole window is affected here, but positions outside stay.
+        g.insert_dag_edge(2, 3, Lt);
+        g.repair_topo_after_edge(&mut topo, &mut pos, 2, 3);
+        for (u, v, _) in g.edges() {
+            assert!(pos[u] < pos[v], "edge {u}->{v} violates repaired order");
+        }
+        for (i, &w) in topo.iter().enumerate() {
+            assert_eq!(pos[w as usize] as usize, i, "pos is the inverse of topo");
+        }
+        // An agreeing edge is a no-op on the order.
+        let before = topo.clone();
+        g.insert_dag_edge(0, 5, Le);
+        g.repair_topo_after_edge(&mut topo, &mut pos, 0, 5);
+        assert_eq!(topo, before);
+        // Unaffected vertices keep their exact positions: add 6th/7th
+        // isolated vertices around a small conflict.
+        let nz = norm(5, &[(0, 1, Lt), (2, 3, Lt)]);
+        let mut g = nz.graph;
+        let mut topo: Vec<u32> = vec![2, 3, 4, 0, 1];
+        let mut pos: Vec<u32> = vec![3, 4, 0, 1, 2];
+        g.insert_dag_edge(1, 2, Lt);
+        g.repair_topo_after_edge(&mut topo, &mut pos, 1, 2);
+        for (u, v, _) in g.edges() {
+            assert!(pos[u] < pos[v]);
+        }
+        // Vertex 4 (isolated, inside the window) is not in either
+        // frontier, so its position survives the repair.
+        assert_eq!(pos[4], 2);
     }
 
     #[test]

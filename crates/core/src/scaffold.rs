@@ -26,10 +26,45 @@
 //! The pair table grows monotonically and is shared across queries
 //! through a mutex: a search takes the lock for its whole run via
 //! [`DisjunctiveScaffold::pairs`], and concurrent searches on one session
-//! fall back to a private table instead of serializing. Its size is
-//! bounded by the number of reachable `(S, T)` pairs — the `|D|^{2k}`
-//! factor of Theorem 5.3 — i.e. by the state count of the largest search
-//! run so far, never more.
+//! fall back to a private table instead of serializing (the
+//! [`DisjunctiveScaffold::contention_fallbacks`] counter reports how
+//! often). Its size is bounded by the number of reachable `(S, T)` pairs
+//! — the `|D|^{2k}` factor of Theorem 5.3 — i.e. by the state count of
+//! the largest search run so far, never more; long-lived sessions can
+//! additionally bound it with [`DisjunctiveScaffold::with_max_pairs`],
+//! which evicts the least-recently-used [`PairInfo`]s between search
+//! runs (evicted pairs recompute transparently through
+//! [`PairTable::ensure`]).
+//!
+//! ## Incremental maintenance (warm sessions surviving writes)
+//!
+//! A scaffold does not have to be rebuilt when its database mutates:
+//!
+//! * an **acyclic order-edge insert** `u → v` patches the reachability
+//!   closure incrementally ([`crate::ordgraph::OrderGraph::insert_dag_edge_tracked`]),
+//!   repairs the topological order locally (Pearce–Kelly,
+//!   [`crate::ordgraph::OrderGraph::repair_topo_after_edge`]), and then
+//!   invalidates *selectively* ([`DisjunctiveScaffold::patch_order_edge`]):
+//!   only antichains whose up-set contains `u` are touched — their
+//!   up-sets are unioned with `reach(v)`, and the ones whose minimal
+//!   vertices change (e.g. an antichain that became a chain under the new
+//!   edge) are tombstoned in the arena — and only the `(S, T)` pairs
+//!   whose up-sets contain `u` are evicted. Every kept pair is provably
+//!   byte-identical to a fresh recomputation: its region excludes `u`,
+//!   so its `D(S,T)`, label union, minors, and (a)-move targets cannot
+//!   have changed;
+//! * a **label-only fact insert** patches the affected `a(S,T)` unions in
+//!   place ([`DisjunctiveScaffold::patch_label_insert`]): the label of a
+//!   pair grows by the inserted predicate exactly when the vertex lies in
+//!   its `D(S,T)`;
+//! * a **`!=` insert** bumps an epoch
+//!   ([`DisjunctiveScaffold::note_ne_mutation`]); stale
+//!   [`PairInfo::ne_blocked`] bits are recomputed lazily on the next
+//!   [`PairTable::ensure`] of the pair.
+//!
+//! [`DisjunctiveScaffold::validate`] cross-checks a patched scaffold
+//! against fresh recomputation (the property suites drive it after every
+//! random mutation).
 //!
 //! ## Sub-scaffolds (§7 `!=` restrictions)
 //!
@@ -50,15 +85,28 @@ use crate::bitset::BitSet;
 use crate::bitset::PredSet;
 use crate::fxhash::FxHashMap;
 use crate::monadic::MonadicDatabase;
+use crate::ordgraph::{EdgeInsert, OrderGraph};
+use crate::sym::PredSym;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 /// Interned antichains of one database dag: each distinct antichain gets a
 /// dense `u32` id, its sorted vertex list, and its cached up-set `D↾S`.
+///
+/// Under incremental order-edge maintenance an entry can be
+/// **tombstoned**: a new edge can turn its vertex list into a chain (or
+/// otherwise stop it being the minimal generator of its up-set), after
+/// which the id must never be handed out again. Tombstoned slots keep
+/// their index (ids held by evicted pairs stay dense) but leave the
+/// intern map, and — because edges are only ever added — a tombstoned
+/// vertex list can never become a minimal generator again, so the slot
+/// is dead forever.
 #[derive(Debug, Default)]
 pub struct AntichainArena {
     ids: FxHashMap<Box<[u32]>, u32>,
     verts: Vec<Box<[u32]>>,
     ups: Vec<BitSet>,
+    dead: Vec<bool>,
 }
 
 impl AntichainArena {
@@ -75,6 +123,7 @@ impl AntichainArena {
         self.ids.insert(key.clone(), id);
         self.verts.push(key);
         self.ups.push(up);
+        self.dead.push(false);
         id
     }
 
@@ -88,7 +137,19 @@ impl AntichainArena {
         &self.ups[id as usize]
     }
 
-    /// Number of interned antichains.
+    /// True when the id has not been tombstoned by an order-edge patch.
+    pub fn is_live(&self, id: u32) -> bool {
+        !self.dead[id as usize]
+    }
+
+    /// Tombstones an entry whose vertex list stopped being the minimal
+    /// generator of its up-set (see the type docs).
+    fn tombstone(&mut self, id: u32) {
+        self.ids.remove(&self.verts[id as usize]);
+        self.dead[id as usize] = true;
+    }
+
+    /// Number of interned antichains (live and tombstoned).
     pub fn len(&self) -> usize {
         self.verts.len()
     }
@@ -114,11 +175,19 @@ pub struct PairInfo {
     /// `[<,<=]` databases. A contradictory pair `(v, v)` blocks every
     /// commit containing `v`, making the final state unreachable — the
     /// search then correctly reports the unsatisfiable database as
-    /// entailing everything.
+    /// entailing everything. Recomputed lazily by [`PairTable::ensure`]
+    /// after a `!=` mutation (`ne_stamp` tracks the epoch it was
+    /// computed at).
     pub ne_blocked: bool,
     /// The `(S', T')` antichain-id targets of every (a)-move: one per
     /// minor vertex of `T` within `D↾S ∪ D↾T`, in `T`-vertex order.
     pub moves: Vec<(u32, u32)>,
+    /// `!=` epoch `ne_blocked` was computed at (see
+    /// [`PairTable::ensure`]).
+    ne_stamp: u64,
+    /// Logical access clock for LRU-ish eviction under
+    /// [`PairTable::enforce_cap`].
+    last_use: u64,
 }
 
 /// Memoized `(S, T)` pair facts over an [`AntichainArena`].
@@ -129,6 +198,12 @@ pub struct PairTable {
     initial_id: u32,
     pair_of: FxHashMap<(u32, u32), u32>,
     infos: Vec<PairInfo>,
+    /// Info slots released by eviction/invalidation, reused by `ensure`.
+    free: Vec<u32>,
+    /// Current `!=` epoch; `PairInfo::ne_stamp` lags it until resync.
+    ne_epoch: u64,
+    /// Monotone access clock feeding `PairInfo::last_use`.
+    use_clock: u64,
 }
 
 impl PairTable {
@@ -144,6 +219,9 @@ impl PairTable {
             initial_id,
             pair_of: FxHashMap::default(),
             infos: Vec::new(),
+            free: Vec::new(),
+            ne_epoch: 0,
+            use_clock: 0,
         }
     }
 
@@ -162,14 +240,16 @@ impl PairTable {
         &self.arena
     }
 
-    /// Number of memoized pairs.
+    /// Number of memoized (live) pairs.
     pub fn pair_count(&self) -> usize {
-        self.infos.len()
+        self.pair_of.len()
     }
 
     /// Index of the pair `(s, t)`, computing and memoizing its
     /// [`PairInfo`] on first use. `scaffold` and `db` must be the ones
-    /// this table was created for.
+    /// this table was created for. On a hit, a stale
+    /// [`PairInfo::ne_blocked`] bit (the `!=` epoch moved under it) is
+    /// recomputed here — the lazy half of `!=` mutation survival.
     pub fn ensure(
         &mut self,
         scaffold: &DisjunctiveScaffold,
@@ -177,12 +257,28 @@ impl PairTable {
         s: u32,
         t: u32,
     ) -> u32 {
+        self.use_clock += 1;
         if let Some(&idx) = self.pair_of.get(&(s, t)) {
+            let info = &mut self.infos[idx as usize];
+            info.last_use = self.use_clock;
+            if info.ne_stamp != self.ne_epoch {
+                info.ne_blocked = !info.dst_empty && Self::ne_blocked_of(&self.arena, db, s, t);
+                info.ne_stamp = self.ne_epoch;
+            }
             return idx;
         }
         let info = self.compute(scaffold, db, s, t);
-        let idx = u32::try_from(self.infos.len()).expect("pair table overflow");
-        self.infos.push(info);
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.infos[idx as usize] = info;
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.infos.len()).expect("pair table overflow");
+                self.infos.push(info);
+                idx
+            }
+        };
         self.pair_of.insert((s, t), idx);
         idx
     }
@@ -190,6 +286,15 @@ impl PairTable {
     /// The memoized facts of pair index `idx` (from [`PairTable::ensure`]).
     pub fn info(&self, idx: u32) -> &PairInfo {
         &self.infos[idx as usize]
+    }
+
+    /// Whether `D(S,T)` merges a database `!=` pair, membership-tested
+    /// straight off the cached up-sets (`x ∈ D(S,T)` iff `x ∈ D↾S` and
+    /// `x ∉ D↾T`) — no materialized difference set needed.
+    fn ne_blocked_of(arena: &AntichainArena, db: &MonadicDatabase, s: u32, t: u32) -> bool {
+        let (up_s, up_t) = (arena.up(s), arena.up(t));
+        let in_dst = |x: usize| up_s.contains(x) && !up_t.contains(x);
+        db.ne.iter().any(|&(a, b)| in_dst(a) && in_dst(b))
     }
 
     fn compute(
@@ -210,11 +315,8 @@ impl PairTable {
             label.union_with(&db.labels[v]);
         }
         let dst_empty = dst.is_empty();
-        let ne_blocked = !dst_empty
-            && db
-                .ne
-                .iter()
-                .any(|&(a, b)| dst.contains(a) && dst.contains(b));
+        let ne_blocked = !dst_empty && Self::ne_blocked_of(&self.arena, db, s, t);
+        let (ne_stamp, last_use) = (self.ne_epoch, self.use_clock);
         // (a)-moves: each minor vertex v of T within D↾S ∪ D↾T crosses to
         // the S side; both sides stay represented by the minimal vertices
         // of their (still up-closed) regions.
@@ -254,6 +356,108 @@ impl PairTable {
             dst_empty,
             ne_blocked,
             moves,
+            ne_stamp,
+            last_use,
+        }
+    }
+
+    /// Bumps the `!=` epoch: every cached `ne_blocked` bit becomes stale
+    /// and is recomputed on its next [`PairTable::ensure`].
+    fn bump_ne_epoch(&mut self) {
+        self.ne_epoch += 1;
+    }
+
+    /// Patches every cached `a(S,T)` union for the label-only fact insert
+    /// `pred(w)`: a pair's label gains `pred` exactly when `w ∈ D(S,T)`.
+    /// Nothing else in a [`PairInfo`] depends on labels, so this is the
+    /// complete invalidation for a label insert.
+    fn patch_label_insert(&mut self, w: usize, pred: PredSym) {
+        let PairTable {
+            arena,
+            pair_of,
+            infos,
+            ..
+        } = self;
+        for (&(s, t), &idx) in pair_of.iter() {
+            if arena.up(s).contains(w) && !arena.up(t).contains(w) {
+                infos[idx as usize].label.insert(pred);
+            }
+        }
+    }
+
+    /// Selective invalidation for an acyclic order-edge insert `u → v`
+    /// (the heavy half of [`DisjunctiveScaffold::patch_order_edge`]):
+    ///
+    /// * every live antichain whose up-set contains `u` is *affected*;
+    ///   when the closure grew (`reach_v` is `Some`), its up-set is
+    ///   unioned with `reach(v)` and its minimal vertices are re-derived
+    ///   — entries whose vertex list stops being minimal (antichains that
+    ///   became chains) are tombstoned;
+    /// * every memoized pair with an affected endpoint is evicted (its
+    ///   `D(S,T)`, label union, minors, or move targets may have
+    ///   changed); all other pairs are untouched — their regions exclude
+    ///   `u`, so nothing they memoize can differ from a fresh
+    ///   recomputation;
+    /// * the initial antichain (up-set = the whole dag, which always
+    ///   contains `u`) is re-interned when `min(D)` changed.
+    fn patch_order_edge(
+        &mut self,
+        graph: &OrderGraph,
+        u: usize,
+        reach_v: Option<&BitSet>,
+        initial_t: &[u32],
+        n: usize,
+    ) {
+        let mut affected = vec![false; self.arena.len()];
+        for id in 0..self.arena.len() as u32 {
+            if !self.arena.is_live(id) || !self.arena.ups[id as usize].contains(u) {
+                continue;
+            }
+            affected[id as usize] = true;
+            if let Some(rv) = reach_v {
+                self.arena.ups[id as usize].union_with(rv);
+                // New comparabilities can demote members even when the
+                // up-set itself did not grow, so always re-derive.
+                let minimal: Vec<u32> = graph
+                    .minimal_within(&self.arena.ups[id as usize])
+                    .iter()
+                    .map(|w| w as u32)
+                    .collect();
+                if minimal.as_slice() != self.arena.verts(id) {
+                    self.arena.tombstone(id);
+                }
+            }
+        }
+        if !self.arena.is_live(self.initial_id) || self.arena.verts(self.initial_id) != initial_t {
+            self.initial_id = self.arena.intern(initial_t.to_vec(), BitSet::full(n));
+        }
+        let PairTable { pair_of, free, .. } = self;
+        pair_of.retain(|&(s, t), &mut idx| {
+            if affected[s as usize] || affected[t as usize] {
+                free.push(idx);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Evicts the least-recently-used pairs down to `cap` entries.
+    /// Called between search runs ([`DisjunctiveScaffold::pairs`]), never
+    /// during one — in-flight pair indices stay valid for a whole search.
+    fn enforce_cap(&mut self, cap: usize) {
+        if self.pair_of.len() <= cap {
+            return;
+        }
+        let mut entries: Vec<((u32, u32), u64)> = self
+            .pair_of
+            .iter()
+            .map(|(&key, &idx)| (key, self.infos[idx as usize].last_use))
+            .collect();
+        entries.sort_unstable_by_key(|&(_, last_use)| std::cmp::Reverse(last_use)); // hottest first
+        for &(key, _) in &entries[cap..] {
+            let idx = self.pair_of.remove(&key).expect("entry listed above");
+            self.free.push(idx);
         }
     }
 }
@@ -345,18 +549,29 @@ impl std::ops::DerefMut for PairsHandle<'_> {
 
 /// Everything the Theorem 5.3 search derives from the database alone,
 /// computed once per [`crate::session::Session`] (or once per one-shot
-/// call) and reused by every disjunctive evaluation. See the module docs.
+/// call) and reused by every disjunctive evaluation — and *kept alive*
+/// across in-place database mutations through the `patch_*` methods. See
+/// the module docs.
 #[derive(Debug)]
 pub struct DisjunctiveScaffold {
     n: usize,
     /// Reachability closure of the dag: `reach[v]` = vertices reachable
     /// from `v`, inclusive.
     reach: Vec<BitSet>,
-    /// One topological order (feeds `minor_within_order`).
+    /// One topological order (feeds `minor_within_order`), repaired
+    /// locally (Pearce–Kelly) on edge inserts.
     topo: Vec<u32>,
+    /// Inverse of `topo`: `pos[topo[i]] = i`.
+    pos: Vec<u32>,
     /// The initial antichain `min(D)`, sorted.
     initial_t: Vec<u32>,
     pairs: Mutex<PairTable>,
+    /// Pair-count bound enforced (LRU-ish) between search runs; `None`
+    /// means unbounded.
+    max_pairs: Option<usize>,
+    /// How often [`DisjunctiveScaffold::pairs`] found the shared table
+    /// contended and handed out a private one instead.
+    contention: AtomicU64,
 }
 
 impl DisjunctiveScaffold {
@@ -365,6 +580,10 @@ impl DisjunctiveScaffold {
         let n = db.graph.len();
         let reach = db.graph.reachability();
         let topo: Vec<u32> = db.graph.topo_order().iter().map(|&v| v as u32).collect();
+        let mut pos = vec![0u32; n];
+        for (i, &v) in topo.iter().enumerate() {
+            pos[v as usize] = i as u32;
+        }
         let initial_t: Vec<u32> = db
             .graph
             .minimal_vertices()
@@ -376,9 +595,21 @@ impl DisjunctiveScaffold {
             n,
             reach,
             topo,
+            pos,
             initial_t,
             pairs,
+            max_pairs: None,
+            contention: AtomicU64::new(0),
         }
+    }
+
+    /// Bounds the shared pair table to `cap` memoized pairs, evicting the
+    /// least-recently-used entries between search runs (`None` =
+    /// unbounded, the default). Evicted pairs recompute transparently on
+    /// next use.
+    pub fn with_max_pairs(mut self, cap: Option<usize>) -> Self {
+        self.max_pairs = cap;
+        self
     }
 
     /// Number of dag vertices the scaffold was built for.
@@ -391,6 +622,14 @@ impl DisjunctiveScaffold {
         &self.reach
     }
 
+    /// Mutable closure access for
+    /// [`crate::ordgraph::OrderGraph::insert_dag_edge_tracked`] — the
+    /// session patches the closure in the same motion as the graph edge,
+    /// then finishes with [`DisjunctiveScaffold::patch_order_edge`].
+    pub fn reach_mut(&mut self) -> &mut [BitSet] {
+        &mut self.reach
+    }
+
     /// The initial antichain `min(D)`.
     pub fn initial_t(&self) -> &[u32] {
         &self.initial_t
@@ -398,15 +637,33 @@ impl DisjunctiveScaffold {
 
     /// Takes the shared pair table for one search run, falling back to a
     /// fresh private table when another search currently holds it (so
-    /// concurrent queries on one session never serialize on the lock).
+    /// concurrent queries on one session never serialize on the lock; the
+    /// fallback count is reported by
+    /// [`DisjunctiveScaffold::contention_fallbacks`]). The
+    /// [`DisjunctiveScaffold::with_max_pairs`] bound is enforced here,
+    /// *before* the run starts — pair indices handed out during a search
+    /// are never evicted under it.
     pub fn pairs(&self) -> PairsHandle<'_> {
         match self.pairs.try_lock() {
-            Ok(guard) => PairsHandle::Shared(guard),
+            Ok(mut guard) => {
+                if let Some(cap) = self.max_pairs {
+                    guard.enforce_cap(cap);
+                }
+                PairsHandle::Shared(guard)
+            }
             Err(std::sync::TryLockError::Poisoned(p)) => PairsHandle::Shared(p.into_inner()),
             Err(std::sync::TryLockError::WouldBlock) => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
                 PairsHandle::Local(PairTable::new(self.n, &self.initial_t))
             }
         }
+    }
+
+    /// How many times a search run found the shared pair table locked by
+    /// a concurrent run and fell back to a private table (the
+    /// multi-threaded serving harness watches this).
+    pub fn contention_fallbacks(&self) -> u64 {
+        self.contention.load(Ordering::Relaxed)
     }
 
     /// Number of `(S, T)` pairs memoized so far (observability hook; 0
@@ -416,6 +673,171 @@ impl DisjunctiveScaffold {
             Ok(g) => g.pair_count(),
             Err(_) => 0,
         }
+    }
+
+    fn pairs_mut(&mut self) -> &mut PairTable {
+        self.pairs.get_mut().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Completes the incremental maintenance of an acyclic order-edge
+    /// insert `u → v` whose closure patch already ran through
+    /// [`crate::ordgraph::OrderGraph::insert_dag_edge_tracked`] against
+    /// [`DisjunctiveScaffold::reach_mut`]: repairs the topological order
+    /// locally, refreshes `min(D)`, and selectively invalidates the pair
+    /// table/arena (see [`PairTable::patch_order_edge`] — only entries
+    /// whose up-sets contain `u` are touched). `db` must already carry
+    /// the new edge; `outcome`/`changed` are `insert_dag_edge_tracked`'s
+    /// results. An [`EdgeInsert::Unchanged`] write is a complete no-op.
+    pub fn patch_order_edge(
+        &mut self,
+        db: &MonadicDatabase,
+        u: usize,
+        v: usize,
+        outcome: EdgeInsert,
+        changed: &BitSet,
+    ) {
+        debug_assert_eq!(db.graph.len(), self.n, "vertex set must be unchanged");
+        if outcome == EdgeInsert::Unchanged {
+            return;
+        }
+        if outcome == EdgeInsert::New {
+            db.graph
+                .repair_topo_after_edge(&mut self.topo, &mut self.pos, u, v);
+            // `min(D)` shrinks exactly when v lost its first in-edge.
+            self.initial_t = db
+                .graph
+                .minimal_vertices()
+                .iter()
+                .map(|w| w as u32)
+                .collect();
+        }
+        let reach_v = if changed.is_empty() {
+            // The edge added no reachability (a `<=` → `<` upgrade or a
+            // shortcut): up-sets and minimal vertices are untouched, but
+            // pairs whose region contains `u` still see different minors.
+            None
+        } else {
+            Some(self.reach[v].clone())
+        };
+        let (graph, initial_t, n) = (&db.graph, std::mem::take(&mut self.initial_t), self.n);
+        self.pairs_mut()
+            .patch_order_edge(graph, u, reach_v.as_ref(), &initial_t, n);
+        self.initial_t = initial_t;
+    }
+
+    /// Incremental maintenance of the label-only fact insert `pred(w)`:
+    /// patches the affected `a(S,T)` unions in place. Everything else in
+    /// the scaffold is label-independent.
+    pub fn patch_label_insert(&mut self, w: usize, pred: PredSym) {
+        debug_assert!(w < self.n, "vertex must be known");
+        self.pairs_mut().patch_label_insert(w, pred);
+    }
+
+    /// Incremental maintenance of a `!=` insert over known vertices: the
+    /// graph tables are untouched; cached [`PairInfo::ne_blocked`] bits
+    /// become stale and are recomputed lazily on next access.
+    pub fn note_ne_mutation(&mut self) {
+        self.pairs_mut().bump_ne_epoch();
+    }
+
+    /// Cross-checks every cached structure against fresh recomputation
+    /// from `db` — the oracle the incremental-vs-fresh property suites
+    /// run after each random mutation. Returns a description of the
+    /// first divergence found. Expensive (rebuilds closures and re-derives
+    /// every memoized pair); diagnostics/tests only.
+    pub fn validate(&self, db: &MonadicDatabase) -> std::result::Result<(), String> {
+        if db.graph.len() != self.n {
+            return Err(format!("vertex count {} != db {}", self.n, db.graph.len()));
+        }
+        if self.reach != db.graph.reachability() {
+            return Err("patched reachability closure != fresh closure".into());
+        }
+        for (i, &w) in self.topo.iter().enumerate() {
+            if self.pos[w as usize] as usize != i {
+                return Err(format!("pos is not the inverse of topo at {i}"));
+            }
+        }
+        for (a, b, _) in db.graph.edges() {
+            if self.pos[a] >= self.pos[b] {
+                return Err(format!("topo order violates edge {a} -> {b}"));
+            }
+        }
+        let fresh_min: Vec<u32> = db
+            .graph
+            .minimal_vertices()
+            .iter()
+            .map(|w| w as u32)
+            .collect();
+        if self.initial_t != fresh_min {
+            return Err(format!(
+                "initial antichain {:?} != fresh min {:?}",
+                self.initial_t, fresh_min
+            ));
+        }
+        let table = match self.pairs.try_lock() {
+            Ok(g) => g,
+            Err(_) => return Err("pair table is locked by a concurrent run".into()),
+        };
+        // Arena invariants: every live entry's up-set and minimality.
+        // (Up-sets are compared semantically — `BitSet`'s derived
+        // equality distinguishes trailing zero words.)
+        let sets_equal = |a: &BitSet, b: &BitSet| a.is_subset(b) && b.is_subset(a);
+        for id in 0..table.arena.len() as u32 {
+            if !table.arena.is_live(id) {
+                continue;
+            }
+            let verts: BitSet = table.arena.verts(id).iter().map(|&w| w as usize).collect();
+            if !sets_equal(table.arena.up(id), &db.graph.up_set(&verts)) {
+                return Err(format!("arena id {id}: stale up-set"));
+            }
+            let minimal: Vec<u32> = db
+                .graph
+                .minimal_within(table.arena.up(id))
+                .iter()
+                .map(|w| w as u32)
+                .collect();
+            if minimal.as_slice() != table.arena.verts(id) {
+                return Err(format!("arena id {id}: verts are not minimal"));
+            }
+        }
+        if !table.arena.is_live(table.initial_id)
+            || table.arena.verts(table.initial_id) != self.initial_t
+        {
+            return Err("initial antichain id is dead or mismatched".into());
+        }
+        // Every memoized pair must equal a fresh recomputation, compared
+        // through a shadow table (ids differ; vertex lists must not).
+        let mut shadow = PairTable::new(self.n, &self.initial_t);
+        for (&(s, t), &idx) in &table.pair_of {
+            if !table.arena.is_live(s) || !table.arena.is_live(t) {
+                return Err(format!("pair ({s},{t}) references a tombstoned antichain"));
+            }
+            let s2 = shadow
+                .arena
+                .intern(table.arena.verts(s).to_vec(), table.arena.up(s).clone());
+            let t2 = shadow
+                .arena
+                .intern(table.arena.verts(t).to_vec(), table.arena.up(t).clone());
+            let sidx = shadow.ensure(self, db, s2, t2);
+            let (got, want) = (table.info(idx), shadow.info(sidx));
+            if got.label != want.label || got.dst_empty != want.dst_empty {
+                return Err(format!("pair ({s},{t}): stale label or D(S,T) emptiness"));
+            }
+            if got.ne_stamp == table.ne_epoch && got.ne_blocked != want.ne_blocked {
+                return Err(format!("pair ({s},{t}): stale synced ne_blocked bit"));
+            }
+            if got.moves.len() != want.moves.len() {
+                return Err(format!("pair ({s},{t}): move count drifted"));
+            }
+            for (&(a, b), &(c, d)) in got.moves.iter().zip(want.moves.iter()) {
+                if table.arena.verts(a) != shadow.arena.verts(c)
+                    || table.arena.verts(b) != shadow.arena.verts(d)
+                {
+                    return Err(format!("pair ({s},{t}): stale move target"));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -532,12 +954,141 @@ mod tests {
     fn contended_lock_falls_back_to_local_table() {
         let db = diamond();
         let sc = DisjunctiveScaffold::new(&db);
+        assert_eq!(sc.contention_fallbacks(), 0);
         let first = sc.pairs();
         let second = sc.pairs();
         assert!(matches!(first, PairsHandle::Shared(_)));
         assert!(matches!(second, PairsHandle::Local(_)));
+        assert_eq!(sc.contention_fallbacks(), 1, "fallback is counted");
         // The local table is self-consistent: same canonical ids.
         assert_eq!(first.empty_id(), second.empty_id());
         assert_eq!(first.initial_id(), second.initial_id());
+    }
+
+    /// Warms every reachable pair of a database so a patch has real state
+    /// to invalidate selectively.
+    fn warm_all_pairs(sc: &DisjunctiveScaffold, db: &MonadicDatabase) {
+        let mut pairs = sc.pairs();
+        let (e, i) = (pairs.empty_id(), pairs.initial_id());
+        let mut stack = vec![(e, i)];
+        let mut seen = std::collections::HashSet::new();
+        while let Some((s, t)) = stack.pop() {
+            if !seen.insert((s, t)) {
+                continue;
+            }
+            let idx = pairs.ensure(sc, db, s, t);
+            let moves = pairs.info(idx).moves.clone();
+            for (s2, t2) in moves {
+                stack.push((s2, t2));
+                stack.push((e, t2)); // post-commit shape
+            }
+        }
+    }
+
+    #[test]
+    fn order_edge_patch_matches_fresh_rebuild() {
+        // Two unordered chains 0<1 and 2<3; warm every pair, then link
+        // the chains with 1 -> 2 and check the patched scaffold against
+        // both the validator and a fresh scaffold's verdict state.
+        let g = OrderGraph::from_dag_edges(4, &[(0, 1, Lt), (2, 3, Lt)]).unwrap();
+        let mut db = MonadicDatabase::new(g, vec![ps(&[0]), ps(&[1]), ps(&[2]), ps(&[0, 2])]);
+        let mut sc = DisjunctiveScaffold::new(&db);
+        warm_all_pairs(&sc, &db);
+        let warm_pairs = sc.cached_pair_count();
+        assert!(warm_pairs > 3, "the workload warmed real state");
+
+        let (outcome, changed) = db.graph.insert_dag_edge_tracked(1, 2, Lt, sc.reach_mut());
+        assert_eq!(outcome, EdgeInsert::New);
+        assert_eq!(changed.iter().collect::<Vec<_>>(), vec![0, 1]);
+        sc.patch_order_edge(&db, 1, 2, outcome, &changed);
+        sc.validate(&db).expect("patched scaffold is consistent");
+        assert_eq!(sc.reach(), db.graph.reachability());
+        // Selectivity: pairs whose regions exclude vertex 1 survived.
+        assert!(
+            sc.cached_pair_count() > 0,
+            "patch must not clear the whole table"
+        );
+        assert!(sc.cached_pair_count() < warm_pairs, "some pairs evicted");
+    }
+
+    #[test]
+    fn antichain_that_becomes_a_chain_is_tombstoned() {
+        // Two incomparable vertices {0, 1}: interned as an antichain.
+        // Adding 0 -> 1 turns it into a chain; the entry must die and
+        // every pair touching it must recompute.
+        let g = OrderGraph::from_dag_edges(2, &[]).unwrap();
+        let mut db = MonadicDatabase::new(g, vec![ps(&[0]), ps(&[1])]);
+        let mut sc = DisjunctiveScaffold::new(&db);
+        warm_all_pairs(&sc, &db);
+        let chain_id = {
+            let pairs = sc.pairs();
+            pairs.initial_id() // min(D) = {0, 1}
+        };
+        let (outcome, changed) = db.graph.insert_dag_edge_tracked(0, 1, Lt, sc.reach_mut());
+        sc.patch_order_edge(&db, 0, 1, outcome, &changed);
+        sc.validate(&db).expect("patched scaffold is consistent");
+        let pairs = sc.pairs();
+        assert!(
+            !pairs.arena().is_live(chain_id),
+            "the merged antichain {{0,1}} must be tombstoned"
+        );
+        assert_eq!(pairs.arena().verts(pairs.initial_id()), &[0]);
+    }
+
+    #[test]
+    fn label_patch_updates_exactly_the_covering_pairs() {
+        let mut db = diamond();
+        let mut sc = DisjunctiveScaffold::new(&db);
+        warm_all_pairs(&sc, &db);
+        // Insert predicate 7 at vertex 2 (one of the middle vertices).
+        db.labels[2].insert(PredSym::from_index(7));
+        sc.patch_label_insert(2, PredSym::from_index(7));
+        sc.validate(&db).expect("patched labels are consistent");
+    }
+
+    #[test]
+    fn ne_bits_resync_lazily_after_epoch_bump() {
+        let mut db = diamond();
+        let mut sc = DisjunctiveScaffold::new(&db);
+        // Warm the (min, ∅) pair: D(S,T) is the whole dag.
+        let idx = {
+            let mut pairs = sc.pairs();
+            let (e, i) = (pairs.empty_id(), pairs.initial_id());
+            let idx = pairs.ensure(&sc, &db, i, e);
+            assert!(!pairs.info(idx).ne_blocked);
+            idx
+        };
+        db.ne.push((1, 2));
+        sc.note_ne_mutation();
+        let mut pairs = sc.pairs();
+        let (e, i) = (pairs.empty_id(), pairs.initial_id());
+        let again = pairs.ensure(&sc, &db, i, e);
+        assert_eq!(again, idx, "same memoized slot");
+        assert!(
+            pairs.info(again).ne_blocked,
+            "stale bit must resync on access"
+        );
+    }
+
+    #[test]
+    fn max_pairs_evicts_lru_between_runs_and_recomputes() {
+        let db = diamond();
+        let sc = DisjunctiveScaffold::new(&db).with_max_pairs(Some(1));
+        // One run warms several pairs (the cap is not enforced mid-run).
+        warm_all_pairs(&sc, &db);
+        let warmed = sc.cached_pair_count();
+        assert!(warmed > 1);
+        // Next acquisition trims to the single hottest pair...
+        let hot = {
+            let mut pairs = sc.pairs();
+            assert_eq!(pairs.pair_count(), 1);
+            let (e, i) = (pairs.empty_id(), pairs.initial_id());
+            // ...and evicted pairs recompute transparently.
+            let idx = pairs.ensure(&sc, &db, e, i);
+            let info = pairs.info(idx);
+            assert_eq!(info.moves.len(), 1);
+            pairs.pair_count()
+        };
+        assert!(hot <= 2);
     }
 }

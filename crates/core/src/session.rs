@@ -22,17 +22,41 @@
 //!   tables). Repeated disjunctive queries against one session reuse the
 //!   pairs explored by earlier queries instead of re-deriving them.
 //!
+//! ## The invalidation contract
+//!
 //! Mutations go through the session ([`Session::push_proper`],
-//! [`Session::assert_lt`], …) and invalidate exactly what they must:
-//! inserting a proper fact over already-known order constants updates the
-//! cached views *in place* (the order dag is unchanged); an order-edge
-//! insert whose endpoints are already dag vertices and which closes no
-//! cycle patches the cached graphs in place and drops only the scaffold
-//! layer (whose reachability and `D(S,T)` tables the edge invalidates);
-//! anything else — fresh constants, `!=` atoms, cycle-closing edges that
-//! would trigger N1 merging or an inconsistency — drops the caches for
-//! lazy recomputation. The [`Session::epoch`] counter increments on every
-//! mutation, so external caches keyed on a session can detect staleness.
+//! [`Session::assert_lt`], …) and invalidate exactly what they must —
+//! including the scaffold layer, which survives every in-place write:
+//!
+//! * **proper fact over known order constants** — the normalized and
+//!   monadic views are patched in place, and the scaffold's cached
+//!   `D(S,T)` label unions are patched too
+//!   ([`DisjunctiveScaffold::patch_label_insert`]): nothing is dropped;
+//! * **acyclic order edge over known, distinct vertices** — the cached
+//!   graphs gain the edge in place, the scaffold's reachability closure
+//!   is updated incrementally, its topological order repaired locally
+//!   (Pearce–Kelly), and only the `(S, T)` pairs whose up-sets contain
+//!   the edge source are evicted
+//!   ([`DisjunctiveScaffold::patch_order_edge`]): the scaffold object
+//!   itself — closure, topo order, antichain arena, and every unaffected
+//!   pair — stays warm;
+//! * **`!=` over known vertices** — the constraint is appended to the
+//!   cached views and the scaffold's memoized blocked-commit bits are
+//!   marked stale for lazy recomputation
+//!   ([`DisjunctiveScaffold::note_ne_mutation`]): nothing is dropped;
+//! * **everything else** — a fresh order constant, an n-ary fact (the
+//!   monadic view no longer applies), a `<=` edge closing a cycle (N1
+//!   merges vertices), a `<` edge closing a cycle (inconsistency), or a
+//!   bulk [`Session::extend`]/[`Session::assert_chain`] — drops the
+//!   affected caches for lazy recomputation. These are the *only* cases
+//!   that still lose the scaffold.
+//!
+//! The [`Session::epoch`] counter increments on every mutation, so
+//! external caches keyed on a session can detect staleness.
+//! [`Session::with_scaffold_rebuild_on_write`] restores the historical
+//! drop-on-write behavior (the benchmark baseline), and
+//! [`Session::with_max_pairs`] bounds the scaffold's pair table for
+//! long-lived sessions.
 //!
 //! Caches live in [`std::sync::OnceLock`]s: a `&Session` can be shared
 //! across threads serving the same (read-only) workload.
@@ -143,6 +167,11 @@ impl VocStamp {
 pub struct Session {
     db: Database,
     epoch: u64,
+    /// Bound on the scaffold's memoized pair table (`None` = unbounded).
+    max_pairs: Option<usize>,
+    /// When set, writes drop the scaffold instead of patching it — the
+    /// pre-incremental behavior, kept as the benchmark baseline.
+    rebuild_scaffold_on_write: bool,
     normal: OnceLock<Result<NormalDatabase>>,
     monadic: OnceLock<Result<MonadicDatabase>>,
     voc_stamp: OnceLock<VocStamp>,
@@ -157,6 +186,8 @@ impl Clone for Session {
         Session {
             db: self.db.clone(),
             epoch: self.epoch,
+            max_pairs: self.max_pairs,
+            rebuild_scaffold_on_write: self.rebuild_scaffold_on_write,
             ..Session::default()
         }
     }
@@ -175,6 +206,29 @@ impl Session {
             db,
             ..Session::default()
         }
+    }
+
+    /// Bounds the scaffold's shared `(S, T)` pair table to `cap` memoized
+    /// entries (builder-style; default unbounded). Cold entries are
+    /// evicted LRU-ish between search runs and recompute transparently on
+    /// next use — the safety knob for long-lived sessions answering many
+    /// *distinct* queries over wide databases.
+    pub fn with_max_pairs(mut self, cap: usize) -> Self {
+        self.max_pairs = Some(cap);
+        // An already-built scaffold was configured unbounded; rebuild it
+        // lazily under the new bound.
+        self.scaffold.take();
+        self
+    }
+
+    /// Restores the pre-incremental invalidation behavior: every write
+    /// that touches order atoms or labels drops the scaffold for a full
+    /// rebuild instead of patching it. Exists so the `read-write` bench
+    /// can measure incremental maintenance against drop-and-rebuild on
+    /// identical workloads; not useful in production.
+    pub fn with_scaffold_rebuild_on_write(mut self, rebuild: bool) -> Self {
+        self.rebuild_scaffold_on_write = rebuild;
+        self
     }
 
     /// The underlying database (read-only; mutate through the session).
@@ -237,7 +291,9 @@ impl Session {
     /// Errors exactly when [`Session::monadic`] does.
     pub fn disjunctive_scaffold(&self, voc: &Vocabulary) -> Result<&DisjunctiveScaffold> {
         let mdb = self.monadic(voc)?;
-        Ok(self.scaffold.get_or_init(|| DisjunctiveScaffold::new(mdb)))
+        Ok(self
+            .scaffold
+            .get_or_init(|| DisjunctiveScaffold::new(mdb).with_max_pairs(self.max_pairs)))
     }
 
     /// The §7 sub-scaffold of the session's database: the cached
@@ -303,17 +359,23 @@ impl Session {
         // its argument (construction validated it against the signature).
         match (atom.args.first(), atom.args.len()) {
             (Some(Term::Ord(u)), 1) => {
+                let mut vertex = None;
                 if let Some(Ok(mdb)) = self.monadic.get_mut() {
                     let v = match self.normal.get() {
                         Some(Ok(nd)) => nd.vertex_of[u],
                         _ => unreachable!("incremental implies a warm normal cache"),
                     };
                     mdb.labels[v].insert(atom.pred);
+                    vertex = Some(v);
                 }
                 // The scaffold's D(S,T) tables cache label unions, which
-                // this insert changes; its graph tables would survive,
-                // but a stale label is a wrong answer, so drop it whole.
-                self.scaffold.take();
+                // this insert changes — patch them in place (a label-only
+                // insert affects nothing else the scaffold memoizes).
+                if self.rebuild_scaffold_on_write {
+                    self.scaffold.take();
+                } else if let (Some(sc), Some(v)) = (self.scaffold.get_mut(), vertex) {
+                    sc.patch_label_insert(v, atom.pred);
+                }
             }
             (Some(Term::Obj(o)), 1) => {
                 // Definite monadic-object fact: the monadic view skips
@@ -337,9 +399,10 @@ impl Session {
     }
 
     /// Adds `u < v`. When both constants are already dag vertices and the
-    /// edge closes no cycle, the cached graph views are patched in place
-    /// and only the scaffold layer is dropped (its reachability and
-    /// `D(S,T)` tables are stale); otherwise every cache is invalidated.
+    /// edge closes no cycle, every cached view *including the scaffold*
+    /// is patched in place (incremental closure update, local topo-order
+    /// repair, selective pair eviction); otherwise every cache is
+    /// invalidated.
     pub fn assert_lt(&mut self, u: OrdSym, v: OrdSym) {
         self.insert_order_edge(u, v, OrderRel::Lt);
     }
@@ -367,11 +430,14 @@ impl Session {
     /// exactly when the normalized view is cached, both endpoints are
     /// known vertices, and the edge closes no cycle (a cycle means an N1
     /// re-merge under `<=` or an inconsistency under `<`, both
-    /// structural). The dag's reachability changes, so the scaffold is
-    /// dropped — but the normalized and monadic views, object profiles,
-    /// `!=` signature, and vocabulary stamp all survive, and the next
-    /// evaluation re-derives only the search tables. Returns `false`
-    /// when the invalidating slow path must run instead.
+    /// structural). The normalized and monadic graphs gain the edge in
+    /// place, and the scaffold — when warm — is patched rather than
+    /// dropped: its reachability closure is updated incrementally in the
+    /// same motion as the monadic graph edge
+    /// ([`crate::ordgraph::OrderGraph::insert_dag_edge_tracked`]), then
+    /// [`DisjunctiveScaffold::patch_order_edge`] repairs the topological
+    /// order locally and evicts only the affected `(S, T)` pairs.
+    /// Returns `false` when the invalidating slow path must run instead.
     fn try_patch_order_edge(&mut self, u: OrdSym, v: OrdSym, rel: OrderRel) -> bool {
         let Some(Ok(nd)) = self.normal.get() else {
             return false;
@@ -391,16 +457,72 @@ impl Session {
         if let Some(Ok(nd)) = self.normal.get_mut() {
             nd.graph.insert_dag_edge(cu, cv, rel);
         }
+        let mut scaffold = self
+            .scaffold
+            .take()
+            .filter(|_| !self.rebuild_scaffold_on_write);
         if let Some(Ok(mdb)) = self.monadic.get_mut() {
-            mdb.graph.insert_dag_edge(cu, cv, rel);
+            match &mut scaffold {
+                Some(sc) => {
+                    // Patch the graph and the scaffold's closure together,
+                    // then finish the scaffold-side maintenance (topo
+                    // repair + selective pair eviction).
+                    let (outcome, changed) =
+                        mdb.graph
+                            .insert_dag_edge_tracked(cu, cv, rel, sc.reach_mut());
+                    sc.patch_order_edge(mdb, cu, cv, outcome, &changed);
+                }
+                None => {
+                    mdb.graph.insert_dag_edge(cu, cv, rel);
+                }
+            }
+        } else {
+            // No monadic view means no scaffold to keep.
+            scaffold = None;
         }
-        self.scaffold.take();
+        if let Some(sc) = scaffold {
+            let _ = self.scaffold.set(sc);
+        }
         true
     }
 
-    /// Adds `u != v` (§7), dropping the cached views.
+    /// Adds `u != v` (§7). When both constants are already known dag
+    /// vertices, the cached views gain the constraint in place and the
+    /// scaffold survives — its memoized blocked-commit bits resync lazily
+    /// ([`DisjunctiveScaffold::note_ne_mutation`]); a `!=` over a fresh
+    /// constant drops the caches.
     pub fn assert_ne(&mut self, u: OrdSym, v: OrdSym) {
-        self.mutate_order(|db| db.assert_ne(u, v));
+        self.epoch += 1;
+        if !self.try_patch_ne(u, v) {
+            self.invalidate_all();
+        }
+        self.db.assert_ne(u, v);
+    }
+
+    /// In-place `!=` insert: possible when the normalized view is warm
+    /// and both constants are known vertices (a contradictory pair
+    /// `u != u` is representable — the engines check for it). Mirrors
+    /// exactly what renormalization would produce: the pair of N1-class
+    /// vertices appended to the `ne` lists.
+    fn try_patch_ne(&mut self, u: OrdSym, v: OrdSym) -> bool {
+        let Some(Ok(nd)) = self.normal.get() else {
+            return false;
+        };
+        let (Some(&cu), Some(&cv)) = (nd.vertex_of.get(&u), nd.vertex_of.get(&v)) else {
+            return false;
+        };
+        if let Some(Ok(nd)) = self.normal.get_mut() {
+            nd.ne.push((cu, cv));
+        }
+        if let Some(Ok(mdb)) = self.monadic.get_mut() {
+            mdb.ne.push((cu, cv));
+        }
+        if self.rebuild_scaffold_on_write {
+            self.scaffold.take();
+        } else if let Some(sc) = self.scaffold.get_mut() {
+            sc.note_ne_mutation();
+        }
+        true
     }
 
     /// Adds a chain of order atoms with one relation, dropping the caches.
@@ -454,8 +576,8 @@ mod tests {
     fn acyclic_order_edge_patches_in_place() {
         // Regression test for over-invalidation: an acyclic order-edge
         // insert over known vertices must keep the normalized and
-        // monadic views warm (patched in place) and drop only the
-        // scaffold layer.
+        // monadic views warm (patched in place) — and, since the
+        // incremental-maintenance work, the scaffold layer too.
         let mut voc = Vocabulary::new();
         let db = parse_database(&mut voc, "pred P(ord); pred Q(ord); P(u); Q(v);").unwrap();
         let mut s = Session::new(db);
@@ -465,9 +587,14 @@ mod tests {
         s.assert_lt(u, v);
         assert!(s.is_warm(), "acyclic edge insert must not renormalize");
         assert!(
-            s.scaffold.get().is_none(),
-            "the scaffold's reachability tables are stale and must drop"
+            s.scaffold.get().is_some(),
+            "the scaffold must be patched in place, not dropped"
         );
+        s.scaffold
+            .get()
+            .unwrap()
+            .validate(s.monadic(&voc).unwrap())
+            .expect("patched scaffold matches fresh recomputation");
         assert_eq!(s.normal().unwrap().width(), 1);
         assert_eq!(s.epoch(), 1);
         // The patched views match a cold recomputation exactly.
@@ -478,8 +605,27 @@ mod tests {
         // strongest-edge dedup matches normalization.
         s.assert_le(u, v);
         assert!(s.is_warm());
+        assert!(s.scaffold.get().is_some());
         let fresh = Session::new(s.database().clone());
         assert_eq!(fresh.normal().unwrap().graph, s.normal().unwrap().graph);
+    }
+
+    #[test]
+    fn scaffold_rebuild_on_write_restores_drop_behavior() {
+        // The benchmark-baseline knob: identical mutations, but the
+        // scaffold drops on every write like before the incremental work.
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "pred P(ord); pred Q(ord); P(u); Q(v);").unwrap();
+        let mut s = Session::new(db).with_scaffold_rebuild_on_write(true);
+        s.disjunctive_scaffold(&voc).unwrap();
+        let (u, v) = (voc.ord("u"), voc.ord("v"));
+        s.assert_lt(u, v);
+        assert!(s.is_warm(), "graph views still patch in place");
+        assert!(s.scaffold.get().is_none(), "baseline drops the scaffold");
+        s.disjunctive_scaffold(&voc).unwrap();
+        let p = voc.find_pred("P").unwrap();
+        s.insert_fact(&voc, p, vec![Term::Ord(v)]).unwrap();
+        assert!(s.scaffold.get().is_none(), "label writes drop it too");
     }
 
     #[test]
@@ -582,21 +728,81 @@ mod tests {
             "second lookup must hit the cache"
         );
         // An in-place label insert changes the D(S,T) label unions: the
-        // scaffold must be rebuilt (the monadic view itself stays warm).
+        // scaffold patches them and survives (regression test for the
+        // pre-incremental drop).
         let p = voc.find_pred("P").unwrap();
         let v = voc.ord("v");
         s.insert_fact(&voc, p, vec![Term::Ord(v)]).unwrap();
         assert!(s.is_warm());
         assert!(
-            s.scaffold.get().is_none(),
-            "label insert drops the scaffold"
+            s.scaffold.get().is_some(),
+            "label insert patches the scaffold in place"
         );
-        assert_eq!(s.disjunctive_scaffold(&voc).unwrap().vertex_count(), 2);
-        // An order mutation drops it along with everything else.
+        assert!(
+            std::ptr::eq(first, s.disjunctive_scaffold(&voc).unwrap()),
+            "same scaffold object survives the write"
+        );
+        s.scaffold
+            .get()
+            .unwrap()
+            .validate(s.monadic(&voc).unwrap())
+            .expect("patched label unions match fresh recomputation");
+        // An order mutation over *fresh* constants changes the vertex set:
+        // that is structural and still drops everything.
         let (a, b) = (voc.ord("a"), voc.ord("b"));
         s.assert_lt(a, b);
         assert!(s.scaffold.get().is_none());
         assert_eq!(s.disjunctive_scaffold(&voc).unwrap().vertex_count(), 4);
+    }
+
+    #[test]
+    fn label_insert_patches_warm_pair_tables() {
+        // Warm the pair table with a real search shape, then insert a
+        // label fact and check the cached a(S,T) unions were updated.
+        let mut voc = Vocabulary::new();
+        let db = parse_database(
+            &mut voc,
+            "pred P(ord); pred Q(ord); pred R(ord); P(u); Q(v); R(w); u < v;",
+        )
+        .unwrap();
+        let mut s = Session::new(db);
+        let sc = s.disjunctive_scaffold(&voc).unwrap();
+        {
+            let mdb = s.monadic(&voc).unwrap();
+            let mut pairs = sc.pairs();
+            let (e, i) = (pairs.empty_id(), pairs.initial_id());
+            pairs.ensure(sc, mdb, i, e); // D(S,T) = whole dag
+        }
+        assert!(sc.cached_pair_count() > 0);
+        let q = voc.find_pred("Q").unwrap();
+        let w = voc.ord("w");
+        s.insert_fact(&voc, q, vec![Term::Ord(w)]).unwrap();
+        let sc = s.scaffold.get().expect("scaffold survives");
+        sc.validate(s.monadic(&voc).unwrap())
+            .expect("patched labels match fresh recomputation");
+    }
+
+    #[test]
+    fn ne_insert_over_known_vertices_keeps_caches_warm() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "pred P(ord); pred Q(ord); P(u); Q(v);").unwrap();
+        let mut s = Session::new(db);
+        s.disjunctive_scaffold(&voc).unwrap();
+        let (u, v) = (voc.ord("u"), voc.ord("v"));
+        s.assert_ne(u, v);
+        assert!(s.is_warm(), "known-vertex != must not renormalize");
+        assert!(s.scaffold.get().is_some(), "scaffold survives !=");
+        assert_eq!(s.normal().unwrap().ne, vec![(0, 1)]);
+        assert_eq!(s.monadic(&voc).unwrap().ne, vec![(0, 1)]);
+        // The patched views match a cold renormalization.
+        let fresh = Session::new(s.database().clone());
+        assert_eq!(fresh.normal().unwrap().ne, s.normal().unwrap().ne);
+        assert_eq!(fresh.monadic(&voc).unwrap(), s.monadic(&voc).unwrap());
+        // A != naming a fresh constant is structural: caches drop.
+        let w = voc.ord("w");
+        s.assert_ne(u, w);
+        assert!(!s.is_warm());
+        assert_eq!(s.normal().unwrap().ne.len(), 2);
     }
 
     #[test]

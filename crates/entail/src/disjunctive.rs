@@ -33,6 +33,14 @@
 //! scaffold's [`PairTable`](indord_core::scaffold::PairTable), so on a
 //! session-cached scaffold repeated queries never re-derive it and the
 //! per-state cost collapses to a few subset tests plus hash probes.
+//! Session-cached scaffolds also *survive writes*: in-place database
+//! mutations patch the closure/topo/pair tables selectively instead of
+//! dropping them (see the `indord_core::scaffold` module docs), so the
+//! warm state this search relies on persists across an interleaved
+//! read/write workload. `PairTable::ensure` transparently recomputes
+//! anything a write evicted or staled (including lazily-resynced `!=`
+//! blocked bits), which is why this module needs no mutation awareness
+//! of its own.
 //! Parent links for countermodel reconstruction are compact `u32`
 //! indices into the per-search [`statespace::StateArena`], not cloned
 //! states. The [`reference`] module keeps the pre-interning

@@ -1,0 +1,156 @@
+//! Multi-threaded serving harness: many threads hammering one `Sync`
+//! [`Session`] with prepared queries, interleaved with single-writer
+//! mutation phases that the incremental scaffold maintenance must
+//! survive.
+//!
+//! Also measures the shared pair table's contention behavior: when two
+//! searches race for the scaffold's pair-table lock, the loser falls
+//! back to a private table instead of serializing
+//! (`DisjunctiveScaffold::contention_fallbacks` counts how often) — the
+//! harness asserts the fallback is invisible to verdicts and reports the
+//! observed rate.
+
+use indord::core::database::Database;
+use indord::core::parse::{parse_database, parse_query};
+use indord::core::query::DnfQuery;
+use indord::core::session::Session;
+use indord::core::sym::Vocabulary;
+use indord::entail::engine::Verdict;
+use indord::entail::{Engine, PreparedQuery};
+use std::thread;
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 40;
+
+/// Two observer chains with mixed `<`/`<=` steps and a `!=` pair — wide
+/// enough that the disjunctive and `!=` routes genuinely search.
+fn serving_database(voc: &mut Vocabulary) -> Database {
+    let mut text = String::from("pred P0(ord); pred P1(ord); pred P2(ord); ");
+    for c in 0..2 {
+        for i in 0..12 {
+            text.push_str(&format!("P{}(t{c}_{i}); ", (c + i) % 3));
+        }
+        for i in 0..11 {
+            let rel = if i % 3 == 0 { "<=" } else { "<" };
+            text.push_str(&format!("t{c}_{i} {rel} t{c}_{};", i + 1));
+        }
+    }
+    text.push_str("t0_2 != t1_5;");
+    parse_database(voc, &text).expect("well-formed database")
+}
+
+fn serving_queries(voc: &mut Vocabulary) -> Vec<DnfQuery> {
+    [
+        "exists a b. P0(a) & a < b & P1(b)",
+        "(exists s. P0(s) & P1(s)) | exists s t. P0(s) & s < t & P2(t)",
+        "exists s t. P0(s) & P2(t) & s != t",
+    ]
+    .iter()
+    .map(|t| parse_query(voc, t).expect("well-formed query"))
+    .collect()
+}
+
+/// Runs every prepared query once per round on `threads` threads,
+/// asserting each verdict matches `expected`.
+fn hammer(
+    eng: &Engine<'_>,
+    session: &Session,
+    prepared: &[PreparedQuery],
+    expected: &[Verdict],
+    threads: usize,
+) {
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                for _ in 0..ROUNDS {
+                    for (pq, want) in prepared.iter().zip(expected) {
+                        let got = eng.entails_prepared(session, pq).expect("evaluation");
+                        assert_eq!(&got, want, "concurrent verdict drifted");
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn parallel_readers_agree_and_contention_is_reported() {
+    let mut voc = Vocabulary::new();
+    let db = serving_database(&mut voc);
+    let queries = serving_queries(&mut voc);
+    let eng = Engine::new(&voc);
+    let session = Session::new(db.clone());
+    let prepared: Vec<PreparedQuery> = queries.iter().map(|q| eng.prepare(q).unwrap()).collect();
+    let expected: Vec<Verdict> = prepared
+        .iter()
+        .map(|pq| eng.entails_prepared(&session, pq).unwrap())
+        .collect();
+    // Every thread must see the single-threaded verdicts.
+    hammer(&eng, &session, &prepared, &expected, THREADS);
+    let scaffold = session.disjunctive_scaffold(&voc).unwrap();
+    let fallbacks = scaffold.contention_fallbacks();
+    let searches = (THREADS * ROUNDS * prepared.len()) as u64;
+    println!(
+        "concurrent_serving: {fallbacks} private-table fallbacks over {searches} \
+         evaluations across {THREADS} threads ({:.1}%)",
+        100.0 * fallbacks as f64 / searches as f64
+    );
+    assert!(fallbacks <= searches, "at most one fallback per evaluation");
+    assert!(
+        scaffold.cached_pair_count() > 0,
+        "the shared table still serves the uncontended path"
+    );
+}
+
+#[test]
+fn single_writer_phases_between_parallel_read_phases() {
+    let mut voc = Vocabulary::new();
+    let db = serving_database(&mut voc);
+    let queries = serving_queries(&mut voc);
+    let eng = Engine::new(&voc);
+    let mut session = Session::new(db);
+    let prepared: Vec<PreparedQuery> = queries.iter().map(|q| eng.prepare(q).unwrap()).collect();
+    let p2 = voc.find_pred("P2").unwrap();
+    // Alternate: one write (label fact / acyclic cross-chain edge / !=),
+    // then a parallel read phase validated against a cold session.
+    type Write = Box<dyn Fn(&mut Session, &Vocabulary)>;
+    let writes: Vec<Write> = vec![
+        Box::new(move |s, voc| {
+            s.insert_fact(
+                voc,
+                p2,
+                vec![indord::core::atom::Term::Ord(voc.find_ord("t0_3").unwrap())],
+            )
+            .unwrap()
+        }),
+        Box::new(|s, voc| {
+            s.assert_lt(voc.find_ord("t0_4").unwrap(), voc.find_ord("t1_7").unwrap())
+        }),
+        Box::new(|s, voc| {
+            s.assert_ne(voc.find_ord("t0_8").unwrap(), voc.find_ord("t1_1").unwrap())
+        }),
+        Box::new(|s, voc| {
+            s.assert_le(
+                voc.find_ord("t0_9").unwrap(),
+                voc.find_ord("t1_10").unwrap(),
+            )
+        }),
+    ];
+    for write in &writes {
+        // Warm the scaffold so the write has something to patch.
+        let _ = eng.entails_prepared(&session, &prepared[1]).unwrap();
+        write(&mut session, &voc);
+        let cold = Session::new(session.database().clone());
+        let expected: Vec<Verdict> = prepared
+            .iter()
+            .map(|pq| eng.entails_prepared(&cold, pq).unwrap())
+            .collect();
+        hammer(&eng, &session, &prepared, &expected, 4);
+        // The patched scaffold keeps matching fresh recomputation.
+        session
+            .disjunctive_scaffold(&voc)
+            .unwrap()
+            .validate(session.monadic(&voc).unwrap())
+            .expect("scaffold consistent after write + parallel reads");
+    }
+}

@@ -8,14 +8,16 @@
 //! verdicts — independent of scaffold warmth and of whether the view was
 //! projected from a warm parent or built fresh.
 
-use indord::core::atom::OrderRel;
+use indord::core::atom::{OrderRel, Term};
 use indord::core::bitset::PredSet;
 use indord::core::model::MonadicModel;
 use indord::core::monadic::{MonadicDatabase, MonadicQuery};
 use indord::core::ordgraph::OrderGraph;
+use indord::core::parse::{parse_database, parse_query};
 use indord::core::scaffold::{DisjunctiveScaffold, SubScaffold};
-use indord::core::sym::PredSym;
-use indord::entail::{disjunctive, modelcheck, naive};
+use indord::core::session::Session;
+use indord::core::sym::{PredSym, Vocabulary};
+use indord::entail::{disjunctive, modelcheck, naive, Engine, PreparedQuery};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -86,6 +88,193 @@ fn disjuncts_strategy() -> impl Strategy<Value = Vec<MonadicQuery>> {
 
 fn model_set(models: &[MonadicModel]) -> HashSet<MonadicModel> {
     models.iter().cloned().collect()
+}
+
+// ---------------------------------------------------------------------
+// Incremental scaffold maintenance: random mutation sequences on a warm
+// session must be indistinguishable from a cold rebuild after every
+// step — verdicts (with countermodels), enumerated countermodel sets,
+// and the scaffold's internal tables (`DisjunctiveScaffold::validate`
+// re-derives every memoized pair from scratch).
+// ---------------------------------------------------------------------
+
+/// One session mutation, indices resolved against a fixed constant pool
+/// `c0..c5` and predicates `P0..P2`. Sequences mix in-place-patchable
+/// writes (facts over known constants, acyclic edges, `!=` pairs) with
+/// structural ones (fresh constants, cycle-closing edges) so both the
+/// patch and the fallback paths run.
+#[derive(Debug, Clone, Copy)]
+enum MutOp {
+    /// `P{p}(c{i})` — label-only fact insert.
+    Fact(usize, usize),
+    /// `c{a} < c{b}` (a == b closes a cycle → invalidating path).
+    Lt(usize, usize),
+    /// `c{a} <= c{b}`.
+    Le(usize, usize),
+    /// `c{a} != c{b}`.
+    Ne(usize, usize),
+    /// `P{p}(f{k})` over a fresh constant — structural invalidation.
+    FreshFact(usize, usize),
+}
+
+const POOL: usize = 6;
+
+fn mut_op() -> impl Strategy<Value = MutOp> {
+    (0usize..5, 0usize..POOL, 0usize..POOL).prop_map(|(kind, a, b)| match kind {
+        0 => MutOp::Fact(a % NPREDS, b),
+        1 => MutOp::Lt(a, b),
+        2 => MutOp::Le(a, b),
+        3 => MutOp::Ne(a, b),
+        _ => MutOp::FreshFact(a % NPREDS, b),
+    })
+}
+
+/// Interns every symbol the op sequences can name, so `apply` works off
+/// a shared `&Vocabulary` (the engine borrows it for the whole run).
+fn intern_mutation_symbols(voc: &mut Vocabulary) {
+    for i in 0..POOL {
+        voc.ord(&format!("c{i}"));
+        voc.ord(&format!("f{i}"));
+    }
+}
+
+fn apply(op: MutOp, session: &mut Session, voc: &Vocabulary) {
+    let c = |i: usize| voc.find_ord(&format!("c{i}")).unwrap();
+    let pred = |p: usize| voc.find_pred(&format!("P{p}")).unwrap();
+    match op {
+        MutOp::Fact(p, i) => {
+            session
+                .insert_fact(voc, pred(p), vec![Term::Ord(c(i))])
+                .unwrap();
+        }
+        MutOp::Lt(a, b) => session.assert_lt(c(a), c(b)),
+        MutOp::Le(a, b) => session.assert_le(c(a), c(b)),
+        MutOp::Ne(a, b) => session.assert_ne(c(a), c(b)),
+        MutOp::FreshFact(p, k) => {
+            let f = voc.find_ord(&format!("f{k}")).unwrap();
+            session
+                .insert_fact(voc, pred(p), vec![Term::Ord(f)])
+                .unwrap();
+        }
+    }
+}
+
+/// The fixed query mix evaluated after every mutation: sequential,
+/// disjunctive (drives the scaffold), and `!=`-carrying shapes.
+fn mutation_suite_queries(voc: &mut Vocabulary) -> Vec<PreparedQuery> {
+    let texts = [
+        "exists a b. P0(a) & a < b & P1(b)",
+        "(exists s. P0(s) & P1(s)) | exists s t. P2(s) & s <= t & P1(t)",
+        "exists s t. P0(s) & P1(t) & s != t",
+    ];
+    let queries: Vec<_> = texts
+        .iter()
+        .map(|t| parse_query(voc, t).expect("well-formed"))
+        .collect();
+    let eng = Engine::new(voc);
+    queries.iter().map(|q| eng.prepare(q).unwrap()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tentpole property: after every step of a random mutation
+    /// sequence, the warm (incrementally patched) session and a cold
+    /// rebuild agree on every verdict and countermodel enumeration, and
+    /// the patched scaffold's reachability/topo/arena/pair tables match
+    /// fresh recomputation exactly.
+    #[test]
+    fn incremental_scaffold_matches_cold_rebuild(
+        ops in proptest::collection::vec(mut_op(), 1..10),
+    ) {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(
+            &mut voc,
+            "pred P0(ord); pred P1(ord); pred P2(ord); \
+             P0(c0); P1(c1); P2(c2); P0(c3); P1(c4); P2(c5); \
+             c0 < c1; c3 <= c4;",
+        )
+        .unwrap();
+        let prepared = mutation_suite_queries(&mut voc);
+        intern_mutation_symbols(&mut voc);
+        let mut session = Session::new(db);
+        let eng = Engine::new(&voc);
+        // Warm everything before the first write.
+        for pq in &prepared {
+            let _ = eng.entails_prepared(&session, pq);
+        }
+        for &op in &ops {
+            apply(op, &mut session, &voc);
+            let cold = Session::new(session.database().clone());
+            for pq in &prepared {
+                let warm = eng.entails_prepared(&session, pq);
+                let fresh = eng.entails_prepared(&cold, pq);
+                prop_assert_eq!(
+                    &warm, &fresh,
+                    "verdict diverged after {:?} (ops {:?})", op, ops
+                );
+            }
+            // When the database is still consistent and monadic, compare
+            // the full countermodel enumeration and audit the scaffold.
+            if let Ok(mdb) = session.monadic(&voc).cloned() {
+                let scaffold = session.disjunctive_scaffold(&voc).unwrap();
+                if let Err(why) = scaffold.validate(&mdb) {
+                    prop_assert!(false, "scaffold drifted after {:?}: {}", op, why);
+                }
+                let disjuncts = vec![
+                    MonadicQuery::new(
+                        OrderGraph::from_dag_edges(2, &[(0, 1, OrderRel::Le)]).unwrap(),
+                        vec![
+                            PredSet::singleton(PredSym::from_index(0)),
+                            PredSet::singleton(PredSym::from_index(1)),
+                        ],
+                    ),
+                ];
+                let warm_models = disjunctive::countermodels_scaffolded(
+                    &mdb, scaffold, &disjuncts, 64, disjunctive::STATE_CAP,
+                ).unwrap();
+                let fresh_scaffold = DisjunctiveScaffold::new(&mdb);
+                let fresh_models = disjunctive::countermodels_scaffolded(
+                    &mdb, &fresh_scaffold, &disjuncts, 64, disjunctive::STATE_CAP,
+                ).unwrap();
+                prop_assert_eq!(
+                    model_set(&warm_models),
+                    model_set(&fresh_models),
+                    "countermodel sets diverged after {:?}", op
+                );
+            }
+        }
+    }
+
+    /// Pair-table cap: a session bounded by `with_max_pairs` answers
+    /// exactly like an unbounded one across the same mutation sequence —
+    /// eviction must be semantically invisible.
+    #[test]
+    fn capped_pair_table_is_semantically_invisible(
+        ops in proptest::collection::vec(mut_op(), 1..8),
+    ) {
+        let mut voc = Vocabulary::new();
+        let text = "pred P0(ord); pred P1(ord); pred P2(ord); \
+                    P0(c0); P1(c1); P2(c2); P0(c3); P1(c4); P2(c5); \
+                    c0 < c1; c3 <= c4;";
+        let db = parse_database(&mut voc, text).unwrap();
+        let prepared = mutation_suite_queries(&mut voc);
+        intern_mutation_symbols(&mut voc);
+        let eng = Engine::new(&voc);
+        let mut capped = Session::new(db.clone()).with_max_pairs(2);
+        let mut unbounded = Session::new(db);
+        for &op in &ops {
+            apply(op, &mut capped, &voc);
+            apply(op, &mut unbounded, &voc);
+            for pq in &prepared {
+                prop_assert_eq!(
+                    &eng.entails_prepared(&capped, pq),
+                    &eng.entails_prepared(&unbounded, pq),
+                    "capped session diverged after {:?}", op
+                );
+            }
+        }
+    }
 }
 
 proptest! {
