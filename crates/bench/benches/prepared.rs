@@ -53,13 +53,18 @@ fn config() -> Criterion {
         .warm_up_time(Duration::from_millis(100))
 }
 
+/// The disjunctive shape of the serving mix — also the workload of the
+/// `prepared/serving` protocol-overhead measurements (index 2 of
+/// [`query_mix`]).
+const DISJUNCTIVE_QUERY: &str = "(exists s. P0(s) & P1(s)) | exists s t. P0(s) & s < t & P2(t)";
+
 /// The query mix of a plausible monitoring service: sequential,
 /// branching, and disjunctive shapes over three monadic predicates.
 fn query_mix(voc: &mut Vocabulary) -> Vec<DnfQuery> {
     [
         "exists a b c. P0(a) & a < b & P1(b) & b <= c & P2(c)",
         "exists a b c. P0(a) & a < b & P1(b) & a < c & P2(c)",
-        "(exists s. P0(s) & P1(s)) | exists s t. P0(s) & s < t & P2(t)",
+        DISJUNCTIVE_QUERY,
     ]
     .iter()
     .map(|t| parse_query(voc, t).expect("well-formed query"))
@@ -254,6 +259,45 @@ fn bench_eviction(c: &mut Criterion) {
     g.finish();
 }
 
+/// A warm in-process protocol connection serving `db` with
+/// [`DISJUNCTIVE_QUERY`] prepared as `disj` — the shared setup of the
+/// `prepared/serving` group and the `serving-summary` report.
+fn serving_conn(voc: &Vocabulary, db: &Database) -> indord_server::runtime::Conn {
+    use indord_server::runtime::{Conn, Registry};
+    use std::sync::Arc;
+    let registry = Arc::new(Registry::new());
+    registry.install("bench", voc.clone(), db.clone());
+    let mut conn = Conn::new(registry);
+    conn.handle_line("USE bench");
+    conn.handle_line(&format!("PREPARE disj: {DISJUNCTIVE_QUERY}"));
+    conn.handle_line("ENTAIL disj"); // warm
+    conn
+}
+
+/// The serving-path overhead: the same prepared disjunctive evaluation
+/// through the in-process wire-protocol dispatcher (`Conn::handle_line`
+/// — request parse, db read lock, stats counters, latency ring) vs a
+/// direct `entails_prepared` call. Target: < 2x.
+fn bench_serving(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prepared/serving");
+    {
+        let len = 1024usize;
+        let (voc, db, queries) = setup(len);
+        let eng = Engine::new(&voc);
+        let session = Session::new(db.clone());
+        let pq = eng.prepare(&queries[2]).unwrap();
+        let _ = eng.entails_prepared(&session, &pq).unwrap(); // warm
+        g.bench_with_input(BenchmarkId::new("direct", len), &(), |b, _| {
+            b.iter(|| eng.entails_prepared(&session, &pq).unwrap())
+        });
+        let mut conn = serving_conn(&voc, &db);
+        g.bench_with_input(BenchmarkId::new("protocol", len), &(), |b, _| {
+            b.iter(|| conn.handle_line("ENTAIL disj"))
+        });
+    }
+    g.finish();
+}
+
 fn bench_query_mix_batch(c: &mut Criterion) {
     let mut g = c.benchmark_group("prepared/batch");
     for len in [256usize, 1024] {
@@ -394,6 +438,31 @@ fn report_speedup(_c: &mut Criterion) {
             let _ = eng.entails_prepared(&session, &pq).unwrap();
         });
         leg_times.push(t);
+        // The session's maintenance counters must tell the story the
+        // legs are named after: the incremental leg absorbs (in-place
+        // patchable) writes without a single scaffold rebuild, the
+        // drop-and-rebuild baseline pays one rebuild per write it
+        // patches nothing for.
+        let stats = session.stats();
+        if rebuild {
+            assert!(
+                stats.scaffold_rebuilds() > 0,
+                "baseline leg must rebuild: {stats:?}"
+            );
+        } else {
+            assert!(
+                stats.in_place_patches > 0,
+                "incremental leg must patch in place: {stats:?}"
+            );
+        }
+        println!(
+            "prepared/rw-maintenance      {} leg: {} in-place patches, {} scaffold rebuilds, {} cache drops, {} pair evictions",
+            if rebuild { "rebuild    " } else { "incremental" },
+            stats.in_place_patches,
+            stats.scaffold_rebuilds(),
+            stats.cache_drops,
+            stats.pair_evictions,
+        );
     }
     let rw_speedup = leg_times[1].as_secs_f64() / leg_times[0].as_secs_f64().max(1e-12);
     println!(
@@ -402,6 +471,29 @@ fn report_speedup(_c: &mut Criterion) {
         leg_times[1],
         if rw_speedup >= 20.0 { "MET" } else { "NOT MET" }
     );
+
+    // Serving-path overhead: the prepared disjunctive evaluation through
+    // the in-process protocol dispatcher vs the direct call. Acceptance
+    // target: < 2x.
+    {
+        let (voc, db, queries) = setup(1024);
+        let eng = Engine::new(&voc);
+        let session = Session::new(db.clone());
+        let pq = eng.prepare(&queries[2]).unwrap();
+        let _ = eng.entails_prepared(&session, &pq).unwrap(); // warm
+        let mut conn = serving_conn(&voc, &db);
+        let direct = workloads::time_median(iters, || {
+            let _ = eng.entails_prepared(&session, &pq).unwrap();
+        });
+        let served = workloads::time_median(iters, || {
+            let _ = conn.handle_line("ENTAIL disj");
+        });
+        let overhead = served.as_secs_f64() / direct.as_secs_f64().max(1e-12);
+        println!(
+            "prepared/serving-summary      direct: {direct:>12?}  protocol: {served:>12?}  overhead: {overhead:.2}x — target < 2x: {}",
+            if overhead < 2.0 { "MET" } else { "NOT MET" }
+        );
+    }
 
     // Shared pair-table contention: hammer one warm session from four
     // threads and report how often a search lost the lock race and fell
@@ -431,6 +523,6 @@ criterion_group! {
     name = benches;
     config = config();
     targets = bench_repeated_queries, bench_ne_workloads, bench_read_write, bench_eviction,
-        bench_query_mix_batch, report_speedup
+        bench_serving, bench_query_mix_batch, report_speedup
 }
 criterion_main!(benches);

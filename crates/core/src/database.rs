@@ -178,7 +178,12 @@ impl Database {
         })
     }
 
-    /// Renders the database using vocabulary names.
+    /// Renders the database using vocabulary names, preceded by `pred`
+    /// declarations for every predicate used — so the output re-parses
+    /// to exactly this database under the same vocabulary
+    /// ([`crate::parse::parse_database`] ∘ `display` == identity; the
+    /// declarations pin signatures that sort inference alone could not
+    /// reconstruct, e.g. `P(u)` with no order atom mentioning `u`).
     pub fn display<'a>(&'a self, voc: &'a Vocabulary) -> impl fmt::Display + 'a {
         DisplayDb { db: self, voc }
     }
@@ -191,6 +196,22 @@ struct DisplayDb<'a> {
 
 impl fmt::Display for DisplayDb<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut declared: FxHashSet<PredSym> = FxHashSet::default();
+        for a in &self.db.proper {
+            if declared.insert(a.pred) {
+                write!(f, "pred {}(", self.voc.pred_name(a.pred))?;
+                for (i, s) in self.voc.signature(a.pred).arg_sorts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    f.write_str(match s {
+                        crate::sym::Sort::Order => "ord",
+                        crate::sym::Sort::Object => "obj",
+                    })?;
+                }
+                writeln!(f, ");")?;
+            }
+        }
         for a in &self.db.proper {
             writeln!(f, "{};", a.display(self.voc))?;
         }

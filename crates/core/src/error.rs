@@ -5,6 +5,56 @@ use std::fmt;
 /// Result alias used throughout `indord-core`.
 pub type Result<T> = std::result::Result<T, CoreError>;
 
+/// A half-open byte range `start..end` into the source text of a parse,
+/// pointing at the offending token. [`Span::NONE`] (`0..0`) marks errors
+/// raised away from any source text (e.g. programmatic query builders).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first offending byte.
+    pub start: usize,
+    /// Byte offset one past the last offending byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// The no-position span used by errors without source text.
+    pub const NONE: Span = Span { start: 0, end: 0 };
+
+    /// A span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// A one-byte span at `at` (a lone offending character).
+    pub fn point(at: usize) -> Span {
+        Span {
+            start: at,
+            end: at + 1,
+        }
+    }
+
+    /// Byte length of the span.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True for zero-length spans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True for [`Span::NONE`] — no position information.
+    pub fn is_none(&self) -> bool {
+        *self == Span::NONE
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
 /// Errors raised while building or transforming databases and queries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CoreError {
@@ -50,8 +100,9 @@ pub enum CoreError {
     NotSequential,
     /// Parse error with position information.
     Parse {
-        /// Byte offset in the input.
-        offset: usize,
+        /// Byte span of the offending token in the input
+        /// ([`Span::NONE`] when the error has no source position).
+        span: Span,
         /// What went wrong.
         message: String,
     },
@@ -65,6 +116,18 @@ pub enum CoreError {
     /// A session's cached views were built against a different vocabulary
     /// than the one now supplied (sessions are single-vocabulary).
     VocabularyMismatch,
+}
+
+impl CoreError {
+    /// The source span of the error, when it carries one (today only
+    /// [`CoreError::Parse`] does — and only when raised from actual
+    /// source text).
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            CoreError::Parse { span, .. } if !span.is_none() => Some(*span),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -104,8 +167,12 @@ impl fmt::Display for CoreError {
             CoreError::NotSequential => {
                 write!(f, "operation requires a sequential (width-one) query")
             }
-            CoreError::Parse { offset, message } => {
-                write!(f, "parse error at byte {offset}: {message}")
+            CoreError::Parse { span, message } => {
+                if span.is_none() {
+                    write!(f, "parse error: {message}")
+                } else {
+                    write!(f, "parse error at bytes {span}: {message}")
+                }
             }
             CoreError::CapExceeded { what, limit } => {
                 write!(f, "enumeration cap exceeded for {what} (limit {limit})")
@@ -135,6 +202,26 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("P") && s.contains('2') && s.contains('3'));
+    }
+
+    #[test]
+    fn spans_render_and_accessor_filters_none() {
+        let spanned = CoreError::Parse {
+            span: Span::new(3, 7),
+            message: "expected `;`".into(),
+        };
+        assert_eq!(spanned.span(), Some(Span::new(3, 7)));
+        assert!(spanned.to_string().contains("3..7"));
+        let unspanned = CoreError::Parse {
+            span: Span::NONE,
+            message: "no source".into(),
+        };
+        assert_eq!(unspanned.span(), None);
+        assert!(!unspanned.to_string().contains("0..0"));
+        assert_eq!(unspanned.span(), None);
+        assert_eq!(Span::point(5), Span::new(5, 6));
+        assert_eq!(Span::new(2, 9).len(), 7);
+        assert_eq!(CoreError::NotSequential.span(), None);
     }
 
     #[test]

@@ -33,9 +33,29 @@
 
 use crate::atom::OrderRel;
 use crate::database::Database;
-use crate::error::{CoreError, Result};
+use crate::error::{CoreError, Result, Span};
 use crate::query::{eliminate_constants, DnfQuery, QTerm, QueryExpr};
 use crate::sym::{Sort, Vocabulary};
+
+/// Renders a caret diagnostic pointing a [`Span`] into `input`: the line
+/// containing the span followed by `^^^` markers under the offending
+/// bytes. Used by interactive surfaces (the REPL, the server's error
+/// replies) to show *where* a parse failed, not just why.
+pub fn caret_snippet(input: &str, span: Span) -> String {
+    let start = span.start.min(input.len());
+    let line_start = input[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let line_end = input[start..]
+        .find('\n')
+        .map(|i| start + i)
+        .unwrap_or(input.len());
+    let line = &input[line_start..line_end];
+    let col = input[line_start..start].chars().count();
+    let width = input[start..span.end.min(line_end).max(start)]
+        .chars()
+        .count()
+        .max(1);
+    format!("{line}\n{}{}", " ".repeat(col), "^".repeat(width))
+}
 
 /// Parses a database in the text syntax, interning symbols as needed.
 pub fn parse_database(voc: &mut Vocabulary, input: &str) -> Result<Database> {
@@ -67,6 +87,14 @@ pub fn parse_query_with_db(
 
 /// Parses a query to its raw [`QueryExpr`] (no constant elimination).
 pub fn parse_query_expr(voc: &mut Vocabulary, input: &str) -> Result<QueryExpr> {
+    parse_query_expr_in(voc, input)
+}
+
+/// [`parse_query_expr`] against a shared vocabulary: query parsing only
+/// *reads* symbols (unknown predicates error; unknown names become
+/// variables), so no `&mut` is needed — the per-request path of a
+/// server can parse without cloning the vocabulary.
+pub fn parse_query_expr_in(voc: &Vocabulary, input: &str) -> Result<QueryExpr> {
     let tokens = lex(input)?;
     let mut p = Parser { tokens, pos: 0 };
     let expr = p.query(voc)?;
@@ -91,12 +119,14 @@ enum Tok {
     Eof,
 }
 
-fn lex(input: &str) -> Result<Vec<(Tok, usize)>> {
+fn lex(input: &str) -> Result<Vec<(Tok, Span)>> {
     let bytes = input.as_bytes();
     let mut out = Vec::new();
     let mut i = 0;
     while i < bytes.len() {
-        let c = bytes[i] as char;
+        // Decode a full char (UTF-8-safe): byte-wise classification
+        // would split multi-byte codepoints and panic on the slice.
+        let c = input[i..].chars().next().expect("i is a char boundary");
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '/' if bytes.get(i + 1) == Some(&b'/') => {
@@ -105,49 +135,49 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>> {
                 }
             }
             '(' => {
-                out.push((Tok::LParen, i));
+                out.push((Tok::LParen, Span::point(i)));
                 i += 1;
             }
             ')' => {
-                out.push((Tok::RParen, i));
+                out.push((Tok::RParen, Span::point(i)));
                 i += 1;
             }
             ',' => {
-                out.push((Tok::Comma, i));
+                out.push((Tok::Comma, Span::point(i)));
                 i += 1;
             }
             ';' => {
-                out.push((Tok::Semi, i));
+                out.push((Tok::Semi, Span::point(i)));
                 i += 1;
             }
             '.' => {
-                out.push((Tok::Dot, i));
+                out.push((Tok::Dot, Span::point(i)));
                 i += 1;
             }
             '&' => {
-                out.push((Tok::Amp, i));
+                out.push((Tok::Amp, Span::point(i)));
                 i += 1;
             }
             '|' => {
-                out.push((Tok::Pipe, i));
+                out.push((Tok::Pipe, Span::point(i)));
                 i += 1;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push((Tok::Le, i));
+                    out.push((Tok::Le, Span::new(i, i + 2)));
                     i += 2;
                 } else {
-                    out.push((Tok::Lt, i));
+                    out.push((Tok::Lt, Span::point(i)));
                     i += 1;
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push((Tok::Ne, i));
+                    out.push((Tok::Ne, Span::new(i, i + 2)));
                     i += 2;
                 } else {
                     return Err(CoreError::Parse {
-                        offset: i,
+                        span: Span::point(i),
                         message: "expected `!=`".to_string(),
                     });
                 }
@@ -155,34 +185,37 @@ fn lex(input: &str) -> Result<Vec<(Tok, usize)>> {
             _ if c.is_alphanumeric() || c == '_' || c == '$' => {
                 let start = i;
                 while i < bytes.len() {
-                    let d = bytes[i] as char;
+                    let d = input[i..].chars().next().expect("i is a char boundary");
                     if d.is_alphanumeric() || d == '_' || d == '$' {
-                        i += 1;
+                        i += d.len_utf8();
                     } else {
                         break;
                     }
                 }
                 let word = &input[start..i];
+                let span = Span::new(start, i);
                 if word == "exists" {
-                    out.push((Tok::Exists, start));
+                    out.push((Tok::Exists, span));
                 } else {
-                    out.push((Tok::Ident(word.to_string()), start));
+                    out.push((Tok::Ident(word.to_string()), span));
                 }
             }
             _ => {
                 return Err(CoreError::Parse {
-                    offset: i,
+                    span: Span::new(i, i + c.len_utf8()),
                     message: format!("unexpected character `{c}`"),
                 })
             }
         }
     }
-    out.push((Tok::Eof, input.len()));
+    // Empty span at the end: callers can slice the source by any span
+    // the parser reports (`&input[span.start..span.end]` never panics).
+    out.push((Tok::Eof, Span::new(input.len(), input.len())));
     Ok(out)
 }
 
 struct Parser {
-    tokens: Vec<(Tok, usize)>,
+    tokens: Vec<(Tok, Span)>,
     pos: usize,
 }
 
@@ -205,7 +238,7 @@ impl Parser {
         &self.tokens[self.pos].0
     }
 
-    fn offset(&self) -> usize {
+    fn span(&self) -> Span {
         self.tokens[self.pos].1
     }
 
@@ -236,16 +269,17 @@ impl Parser {
 
     fn err(&self, msg: &str) -> CoreError {
         CoreError::Parse {
-            offset: self.offset(),
+            span: self.span(),
             message: msg.to_string(),
         }
     }
 
     fn ident(&mut self) -> Result<String> {
+        let span = self.span();
         match self.bump() {
             Tok::Ident(s) => Ok(s),
             _ => Err(CoreError::Parse {
-                offset: self.tokens[self.pos.saturating_sub(1)].1,
+                span,
                 message: "expected identifier".to_string(),
             }),
         }
@@ -460,11 +494,11 @@ impl Parser {
 
     // ---- query ----------------------------------------------------------
 
-    fn query(&mut self, voc: &mut Vocabulary) -> Result<QueryExpr> {
+    fn query(&mut self, voc: &Vocabulary) -> Result<QueryExpr> {
         self.disjunction(voc)
     }
 
-    fn disjunction(&mut self, voc: &mut Vocabulary) -> Result<QueryExpr> {
+    fn disjunction(&mut self, voc: &Vocabulary) -> Result<QueryExpr> {
         let mut parts = vec![self.conjunction(voc)?];
         while *self.peek() == Tok::Pipe {
             self.bump();
@@ -477,7 +511,7 @@ impl Parser {
         })
     }
 
-    fn conjunction(&mut self, voc: &mut Vocabulary) -> Result<QueryExpr> {
+    fn conjunction(&mut self, voc: &Vocabulary) -> Result<QueryExpr> {
         let mut parts = vec![self.primary(voc)?];
         while *self.peek() == Tok::Amp {
             self.bump();
@@ -490,7 +524,7 @@ impl Parser {
         })
     }
 
-    fn primary(&mut self, voc: &mut Vocabulary) -> Result<QueryExpr> {
+    fn primary(&mut self, voc: &Vocabulary) -> Result<QueryExpr> {
         match self.peek().clone() {
             Tok::Exists => {
                 self.bump();
@@ -510,6 +544,7 @@ impl Parser {
                 Ok(e)
             }
             Tok::Ident(_) => {
+                let name_span = self.span();
                 let name = self.ident()?;
                 if *self.peek() == Tok::LParen {
                     self.bump();
@@ -526,7 +561,7 @@ impl Parser {
                     }
                     self.expect(Tok::RParen, "`)`")?;
                     let pred = voc.find_pred(&name).ok_or_else(|| CoreError::Parse {
-                        offset: self.offset(),
+                        span: name_span,
                         message: format!(
                             "unknown predicate `{name}` in query (declare it via a database first)"
                         ),
@@ -695,13 +730,91 @@ mod tests {
     }
 
     #[test]
-    fn lex_errors_have_offsets() {
+    fn lex_errors_have_spans() {
         let mut voc = Vocabulary::new();
         let e = parse_database(&mut voc, "P(u) @").unwrap_err();
         match e {
-            CoreError::Parse { offset, .. } => assert_eq!(offset, 5),
+            CoreError::Parse { span, .. } => assert_eq!(span, Span::point(5)),
             _ => panic!("expected parse error"),
         }
+    }
+
+    #[test]
+    fn malformed_fact_lines_point_at_the_offending_token() {
+        let mut voc = Vocabulary::new();
+        // Missing `;` between facts: the span covers the token that
+        // should have been a separator — the full `Q` identifier.
+        let input = "P(u) Q(v);";
+        let e = parse_database(&mut voc, input).unwrap_err();
+        assert_eq!(e.span(), Some(Span::new(5, 6)));
+        // A dangling order relation points at the end of input (an
+        // empty span — still sliceable: `&input[3..3]` is valid).
+        let input = "u <";
+        let e = parse_database(&mut voc, input).unwrap_err();
+        assert_eq!(e.span(), Some(Span::new(3, 3)));
+        assert_eq!(&input[3..3], "");
+        // An identifier where `(` or a relation must follow spans the
+        // unexpected token, not the statement start.
+        let input = "P(u); lonely;";
+        let e = parse_database(&mut voc, input).unwrap_err();
+        assert_eq!(e.span(), Some(Span::point(12)));
+    }
+
+    #[test]
+    fn malformed_query_lines_point_at_the_offending_token() {
+        let mut voc = Vocabulary::new();
+        parse_database(&mut voc, "pred P(ord);").unwrap();
+        // Unknown predicate: the span covers the predicate name, even
+        // though resolution happens after the argument list is consumed.
+        let input = "exists t. Zap(t)";
+        let e = parse_query(&mut voc, input).unwrap_err();
+        assert_eq!(e.span(), Some(Span::new(10, 13)));
+        assert_eq!(&input[10..13], "Zap");
+        // Missing `.` after the exists binder: `P` is swallowed as a
+        // variable, so the error points at the `(` that follows.
+        let input = "exists t P(t)";
+        let e = parse_query(&mut voc, input).unwrap_err();
+        assert_eq!(e.span(), Some(Span::new(10, 11)));
+        // Trailing garbage after a complete query.
+        let input = "exists t. P(t) P(t)";
+        let e = parse_query(&mut voc, input).unwrap_err();
+        assert_eq!(e.span(), Some(Span::new(15, 16)));
+    }
+
+    #[test]
+    fn non_ascii_input_lexes_without_panicking() {
+        // Regression: the lexer used to classify bytes as chars and
+        // slice mid-codepoint on multi-byte input — a panic reachable
+        // from untrusted wire input. Alphanumeric unicode is a valid
+        // identifier character; anything else errors with a
+        // codepoint-wide span.
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "pred P(ord); P(é);").unwrap();
+        assert_eq!(db.proper_atoms().len(), 1);
+        let e = parse_database(&mut voc, "P(u) €").unwrap_err();
+        assert_eq!(e.span(), Some(Span::new(5, 8)), "euro sign is 3 bytes");
+        // Slicing the input by the reported span is always valid.
+        let input = "P(u) €";
+        assert_eq!(&input[5..8], "€");
+        // And the parser-never-panics property holds for char soup.
+        let _ = parse_database(&mut voc, "héllo wörld ∀x");
+        let _ = parse_query(&mut voc, "exists t. ¬P(t)");
+    }
+
+    #[test]
+    fn caret_snippet_points_at_the_span() {
+        let input = "P(u); lonely;";
+        let mut voc = Vocabulary::new();
+        let e = parse_database(&mut voc, input).unwrap_err();
+        let snippet = caret_snippet(input, e.span().unwrap());
+        assert_eq!(snippet, "P(u); lonely;\n            ^");
+        // Multi-byte-safe: spans past the end clamp instead of panicking.
+        assert!(caret_snippet("ab", Span::new(5, 9)).ends_with('^'));
+        // Multi-line input: only the offending line is shown.
+        let input = "P(u);\nQ(v) @";
+        let e = parse_database(&mut voc, input).unwrap_err();
+        let snippet = caret_snippet(input, e.span().unwrap());
+        assert_eq!(snippet, "Q(v) @\n     ^");
     }
 
     #[test]

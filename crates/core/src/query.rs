@@ -348,7 +348,7 @@ impl ConjunctiveQuery {
             for t in terms {
                 if !matches!(t, FlatTerm::Var(..)) {
                     return Err(CoreError::Parse {
-                        offset: 0,
+                        span: crate::error::Span::NONE,
                         message: "query contains constants; call eliminate_constants first"
                             .to_string(),
                     });
@@ -433,12 +433,106 @@ impl ConjunctiveQuery {
                     .collect(),
             })
             .collect();
-        Some(ConjunctiveQuery {
-            n_obj_vars: self.n_obj_vars,
-            n_ord_vars: nz.graph.len(),
-            proper,
-            order,
-        })
+        Some(
+            ConjunctiveQuery {
+                n_obj_vars: self.n_obj_vars,
+                n_ord_vars: nz.graph.len(),
+                proper,
+                order,
+            }
+            .display_canonical(),
+        )
+    }
+
+    /// Renumbers variables into the *display-canonical* numbering: the
+    /// first-occurrence order of a scan over the proper atoms followed by
+    /// the sorted order atoms — exactly the sequence
+    /// [`ConjunctiveQuery::display`] emits and the parser re-interns. On
+    /// this numbering `parse ∘ display` is the identity (pinned by the
+    /// `parse_props` suite); without it, DNF distribution can leave a
+    /// disjunct numbered by an atom order the display no longer shows.
+    ///
+    /// Renumbering order variables re-sorts the order atoms, which can
+    /// change their occurrence sequence again, so the pass iterates to a
+    /// fixpoint (tiny in practice: one or two rounds).
+    fn display_canonical(mut self) -> ConjunctiveQuery {
+        // Object variables occur only in proper atoms: one pass suffices.
+        let mut obj_map: Vec<Option<u32>> = vec![None; self.n_obj_vars];
+        let mut next_obj = 0u32;
+        for a in &self.proper {
+            for qa in &a.args {
+                if let QArg::Obj(i) = qa {
+                    obj_map[*i as usize].get_or_insert_with(|| {
+                        let n = next_obj;
+                        next_obj += 1;
+                        n
+                    });
+                }
+            }
+        }
+        // Variables never mentioned (possible only in hand-built queries)
+        // keep the remaining numbers in index order.
+        for m in &mut obj_map {
+            m.get_or_insert_with(|| {
+                let n = next_obj;
+                next_obj += 1;
+                n
+            });
+        }
+        for a in &mut self.proper {
+            for qa in &mut a.args {
+                if let QArg::Obj(i) = qa {
+                    *i = obj_map[*i as usize].expect("assigned above");
+                }
+            }
+        }
+        // Order variables: iterate renumber + re-sort to a fixpoint.
+        for _ in 0..=self.n_ord_vars {
+            let mut map: Vec<Option<u32>> = vec![None; self.n_ord_vars];
+            let mut next = 0u32;
+            let mut visit = |i: u32, map: &mut Vec<Option<u32>>| {
+                map[i as usize].get_or_insert_with(|| {
+                    let n = next;
+                    next += 1;
+                    n
+                });
+            };
+            for a in &self.proper {
+                for qa in &a.args {
+                    if let QArg::Ord(i) = qa {
+                        visit(*i, &mut map);
+                    }
+                }
+            }
+            for &(l, _, r) in &self.order {
+                visit(l, &mut map);
+                visit(r, &mut map);
+            }
+            for m in &mut map {
+                m.get_or_insert_with(|| {
+                    let n = next;
+                    next += 1;
+                    n
+                });
+            }
+            if map.iter().enumerate().all(|(i, m)| *m == Some(i as u32)) {
+                break;
+            }
+            let apply = |i: u32, map: &[Option<u32>]| map[i as usize].expect("assigned above");
+            for a in &mut self.proper {
+                for qa in &mut a.args {
+                    if let QArg::Ord(i) = qa {
+                        *i = apply(*i, &map);
+                    }
+                }
+            }
+            for e in &mut self.order {
+                e.0 = apply(e.0, &map);
+                e.2 = apply(e.2, &map);
+            }
+            self.order.sort_unstable();
+        }
+        self
     }
 
     /// The order dag of the disjunct (`!=` atoms excluded).
@@ -654,6 +748,28 @@ impl fmt::Display for DisplayCq<'_> {
         for &(l, rel, r) in &self.cq.order {
             sep(f)?;
             write!(f, "t{l} {rel} t{r}")?;
+        }
+        // Order variables occurring in no atom (e.g. the residue of a
+        // normalized-away `b <= b`) still assert that a point exists:
+        // render them as tautological self-guards so the binder
+        // round-trips through the parser instead of vanishing.
+        let mut seen = vec![false; self.cq.n_ord_vars];
+        for a in &self.cq.proper {
+            for qa in &a.args {
+                if let QArg::Ord(i) = qa {
+                    seen[*i as usize] = true;
+                }
+            }
+        }
+        for &(l, _, r) in &self.cq.order {
+            seen[l as usize] = true;
+            seen[r as usize] = true;
+        }
+        for (i, used) in seen.iter().enumerate() {
+            if !used {
+                sep(f)?;
+                write!(f, "t{i} <= t{i}")?;
+            }
         }
         if first {
             write!(f, "true")?;

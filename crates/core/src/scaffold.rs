@@ -204,6 +204,10 @@ pub struct PairTable {
     ne_epoch: u64,
     /// Monotone access clock feeding `PairInfo::last_use`.
     use_clock: u64,
+    /// Lifetime count of pairs evicted — by the LRU cap
+    /// ([`PairTable::enforce_cap`]) or by selective order-edge
+    /// invalidation ([`PairTable::patch_order_edge`]).
+    evictions: u64,
 }
 
 impl PairTable {
@@ -222,6 +226,7 @@ impl PairTable {
             free: Vec::new(),
             ne_epoch: 0,
             use_clock: 0,
+            evictions: 0,
         }
     }
 
@@ -243,6 +248,23 @@ impl PairTable {
     /// Number of memoized (live) pairs.
     pub fn pair_count(&self) -> usize {
         self.pair_of.len()
+    }
+
+    /// Lifetime count of pairs evicted from this table (LRU cap +
+    /// selective order-edge invalidation).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Releases an evicted info slot: clears the heap-carrying payload
+    /// (label set, move list) so the cap actually bounds resident
+    /// memory, then queues the slot for reuse.
+    fn release_slot(&mut self, idx: u32) {
+        let info = &mut self.infos[idx as usize];
+        info.label = PredSet::new();
+        info.moves = Vec::new();
+        self.free.push(idx);
+        self.evictions += 1;
     }
 
     /// Index of the pair `(s, t)`, computing and memoizing its
@@ -431,15 +453,18 @@ impl PairTable {
         if !self.arena.is_live(self.initial_id) || self.arena.verts(self.initial_id) != initial_t {
             self.initial_id = self.arena.intern(initial_t.to_vec(), BitSet::full(n));
         }
-        let PairTable { pair_of, free, .. } = self;
-        pair_of.retain(|&(s, t), &mut idx| {
+        let mut evicted: Vec<u32> = Vec::new();
+        self.pair_of.retain(|&(s, t), &mut idx| {
             if affected[s as usize] || affected[t as usize] {
-                free.push(idx);
+                evicted.push(idx);
                 false
             } else {
                 true
             }
         });
+        for idx in evicted {
+            self.release_slot(idx);
+        }
     }
 
     /// Evicts the least-recently-used pairs down to `cap` entries.
@@ -457,7 +482,7 @@ impl PairTable {
         entries.sort_unstable_by_key(|&(_, last_use)| std::cmp::Reverse(last_use)); // hottest first
         for &(key, _) in &entries[cap..] {
             let idx = self.pair_of.remove(&key).expect("entry listed above");
-            self.free.push(idx);
+            self.release_slot(idx);
         }
     }
 }
@@ -671,6 +696,17 @@ impl DisjunctiveScaffold {
     pub fn cached_pair_count(&self) -> usize {
         match self.pairs.try_lock() {
             Ok(g) => g.pair_count(),
+            Err(_) => 0,
+        }
+    }
+
+    /// Lifetime count of pairs evicted from the shared table — by the
+    /// [`DisjunctiveScaffold::with_max_pairs`] LRU bound or by selective
+    /// order-edge invalidation (0 while a concurrent search holds the
+    /// table; private fallback tables are not counted).
+    pub fn pair_evictions(&self) -> u64 {
+        match self.pairs.try_lock() {
+            Ok(g) => g.evictions(),
             Err(_) => 0,
         }
     }
@@ -1082,6 +1118,13 @@ mod tests {
         let hot = {
             let mut pairs = sc.pairs();
             assert_eq!(pairs.pair_count(), 1);
+            assert_eq!(pairs.evictions(), (warmed - 1) as u64);
+            // Evicted slots release their heap payload (the cap bounds
+            // resident memory, not just the index).
+            for &idx in &pairs.free {
+                let info = &pairs.infos[idx as usize];
+                assert!(info.moves.is_empty(), "evicted slot keeps its moves");
+            }
             let (e, i) = (pairs.empty_id(), pairs.initial_id());
             // ...and evicted pairs recompute transparently.
             let idx = pairs.ensure(&sc, &db, e, i);

@@ -73,7 +73,48 @@ use crate::fxhash::FxHashMap;
 use crate::monadic::MonadicDatabase;
 use crate::scaffold::{DisjunctiveScaffold, SubScaffold};
 use crate::sym::{ObjSym, OrdSym, PredSym, Vocabulary};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+
+/// A snapshot of a session's maintenance counters — the observability
+/// surface behind the server's `STATS` reply and the read-write bench
+/// assertions. All counters start at zero on a fresh (or cloned)
+/// session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Mutation counter (same value as [`Session::epoch`]).
+    pub epoch: u64,
+    /// How many times the disjunctive scaffold was built from scratch.
+    /// `1` on a warm session; every increment beyond the first means a
+    /// write dropped the scaffold and a later read paid a full rebuild.
+    pub scaffold_builds: u64,
+    /// Writes absorbed by patching the cached views in place (label
+    /// inserts, acyclic order edges, known-vertex `!=`) — the
+    /// incremental-maintenance fast path.
+    pub in_place_patches: u64,
+    /// Writes that dropped a *warm* cache for lazy recomputation (fresh
+    /// constants, n-ary facts, cycle-closing edges, bulk mutations).
+    /// Cold writes — nothing computed yet, so nothing lost — are not
+    /// counted.
+    pub cache_drops: u64,
+    /// Pairs evicted from the scaffold's memo table, by the
+    /// [`Session::with_max_pairs`] LRU bound or by selective order-edge
+    /// invalidation (0 while the scaffold is cold or its table is held
+    /// by a concurrent search).
+    pub pair_evictions: u64,
+    /// Concurrent searches that lost the shared pair-table lock race
+    /// and ran on a private table (see
+    /// [`DisjunctiveScaffold::contention_fallbacks`]).
+    pub contention_fallbacks: u64,
+}
+
+impl SessionStats {
+    /// Scaffold rebuilds beyond the initial build: nonzero exactly when
+    /// some write forced a drop-and-rebuild cycle.
+    pub fn scaffold_rebuilds(&self) -> u64 {
+        self.scaffold_builds.saturating_sub(1)
+    }
+}
 
 /// Per-object predicate profiles, derived from the definite part of the
 /// database (§4: object parts of queries are decided against these).
@@ -177,6 +218,12 @@ pub struct Session {
     voc_stamp: OnceLock<VocStamp>,
     profiles: OnceLock<ObjectProfiles>,
     scaffold: OnceLock<DisjunctiveScaffold>,
+    /// Lifetime count of scaffold builds (see [`SessionStats`]).
+    scaffold_builds: AtomicU64,
+    /// Lifetime count of in-place write patches (see [`SessionStats`]).
+    in_place_patches: AtomicU64,
+    /// Lifetime count of cache-dropping writes (see [`SessionStats`]).
+    cache_drops: AtomicU64,
 }
 
 impl Clone for Session {
@@ -291,9 +338,10 @@ impl Session {
     /// Errors exactly when [`Session::monadic`] does.
     pub fn disjunctive_scaffold(&self, voc: &Vocabulary) -> Result<&DisjunctiveScaffold> {
         let mdb = self.monadic(voc)?;
-        Ok(self
-            .scaffold
-            .get_or_init(|| DisjunctiveScaffold::new(mdb).with_max_pairs(self.max_pairs)))
+        Ok(self.scaffold.get_or_init(|| {
+            self.scaffold_builds.fetch_add(1, Ordering::Relaxed);
+            DisjunctiveScaffold::new(mdb).with_max_pairs(self.max_pairs)
+        }))
     }
 
     /// The §7 sub-scaffold of the session's database: the cached
@@ -325,6 +373,45 @@ impl Session {
     /// hook: a hot session performs no re-normalization).
     pub fn is_warm(&self) -> bool {
         matches!(self.normal.get(), Some(Ok(_)))
+    }
+
+    /// Carries another session's lifetime maintenance counters into
+    /// this one. Used on rollback snapshots (e.g. a serving layer
+    /// rejecting a poisoning write): taken *before* the apply, the
+    /// snapshot preserves the pre-write counter values so a rolled-back
+    /// fragment contributes nothing to the observability surface.
+    /// Scaffold-level counters (pair evictions, contention fallbacks)
+    /// live in the scaffold object itself and restart with it.
+    pub fn adopt_counters(&mut self, other: &Session) {
+        self.scaffold_builds.store(
+            other.scaffold_builds.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        self.in_place_patches.store(
+            other.in_place_patches.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        self.cache_drops
+            .store(other.cache_drops.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Snapshot of the session's maintenance counters: scaffold builds
+    /// vs in-place write patches vs cache drops, plus the warm
+    /// scaffold's pair-eviction and contention-fallback counts. The
+    /// observability surface the serving layer's `STATS` reply reads.
+    pub fn stats(&self) -> SessionStats {
+        let (pair_evictions, contention_fallbacks) = match self.scaffold.get() {
+            Some(sc) => (sc.pair_evictions(), sc.contention_fallbacks()),
+            None => (0, 0),
+        };
+        SessionStats {
+            epoch: self.epoch,
+            scaffold_builds: self.scaffold_builds.load(Ordering::Relaxed),
+            in_place_patches: self.in_place_patches.load(Ordering::Relaxed),
+            cache_drops: self.cache_drops.load(Ordering::Relaxed),
+            pair_evictions,
+            contention_fallbacks,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -359,6 +446,7 @@ impl Session {
         // its argument (construction validated it against the signature).
         match (atom.args.first(), atom.args.len()) {
             (Some(Term::Ord(u)), 1) => {
+                self.in_place_patches.fetch_add(1, Ordering::Relaxed);
                 let mut vertex = None;
                 if let Some(Ok(mdb)) = self.monadic.get_mut() {
                     let v = match self.normal.get() {
@@ -381,6 +469,7 @@ impl Session {
                 // Definite monadic-object fact: the monadic view skips
                 // these (§4 split), only the profiles change — vertex
                 // labels are untouched, so the scaffold stays valid.
+                self.in_place_patches.fetch_add(1, Ordering::Relaxed);
                 if let Some(profiles) = self.profiles.get_mut() {
                     profiles.insert(atom.pred, *o);
                 }
@@ -388,6 +477,14 @@ impl Session {
             _ => {
                 // An n-ary fact: the monadic view (if any) no longer
                 // matches the database — it only exists for monadic ones.
+                // The normal view still patches in place, but dropping a
+                // warm monadic view/scaffold is a cache drop, not an
+                // absorbed write — count it as what it costs.
+                if self.monadic.get().is_some() || self.scaffold.get().is_some() {
+                    self.cache_drops.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.in_place_patches.fetch_add(1, Ordering::Relaxed);
+                }
                 self.monadic.take();
                 self.scaffold.take();
             }
@@ -416,7 +513,9 @@ impl Session {
 
     fn insert_order_edge(&mut self, u: OrdSym, v: OrdSym, rel: OrderRel) {
         self.epoch += 1;
-        if !self.try_patch_order_edge(u, v, rel) {
+        if self.try_patch_order_edge(u, v, rel) {
+            self.in_place_patches.fetch_add(1, Ordering::Relaxed);
+        } else {
             self.invalidate_all();
         }
         match rel {
@@ -493,7 +592,9 @@ impl Session {
     /// constant drops the caches.
     pub fn assert_ne(&mut self, u: OrdSym, v: OrdSym) {
         self.epoch += 1;
-        if !self.try_patch_ne(u, v) {
+        if self.try_patch_ne(u, v) {
+            self.in_place_patches.fetch_add(1, Ordering::Relaxed);
+        } else {
             self.invalidate_all();
         }
         self.db.assert_ne(u, v);
@@ -542,6 +643,14 @@ impl Session {
     }
 
     fn invalidate_all(&mut self) {
+        // Count only drops of a genuinely warm cache: a write-first
+        // workload on a cold session has nothing to lose, and reporting
+        // it as a drop would misread as rebuild churn in `stats()`.
+        // (`normal` is the root view — nothing else can be warm without
+        // it.)
+        if self.normal.get().is_some() {
+            self.cache_drops.fetch_add(1, Ordering::Relaxed);
+        }
         self.normal.take();
         self.monadic.take();
         self.scaffold.take();
@@ -836,6 +945,11 @@ mod tests {
         assert!(s.is_warm(), "normal view updated in place");
         assert!(s.monadic(&voc).is_err(), "monadic view must now reject");
         assert_eq!(s.normal().unwrap().proper.len(), 3);
+        // Dropping the warm monadic view counts as a cache drop in the
+        // stats, not as an absorbed in-place write.
+        let st = s.stats();
+        assert_eq!(st.cache_drops, 1, "{st:?}");
+        assert_eq!(st.in_place_patches, 0, "{st:?}");
     }
 
     #[test]
@@ -883,6 +997,80 @@ mod tests {
             crate::error::CoreError::VocabularyMismatch
         );
         assert!(s.monadic(&voc).is_ok());
+    }
+
+    #[test]
+    fn stats_track_builds_patches_and_drops() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "pred P(ord); pred Q(ord); P(u); Q(v);").unwrap();
+        let mut s = Session::new(db);
+        assert_eq!(s.stats(), SessionStats::default());
+        s.disjunctive_scaffold(&voc).unwrap();
+        assert_eq!(s.stats().scaffold_builds, 1);
+        assert_eq!(s.stats().scaffold_rebuilds(), 0);
+        // Acyclic edge + known-vertex != + label insert: all in-place.
+        let (u, v) = (voc.ord("u"), voc.ord("v"));
+        s.assert_lt(u, v);
+        s.assert_ne(u, v);
+        let p = voc.find_pred("P").unwrap();
+        s.insert_fact(&voc, p, vec![Term::Ord(v)]).unwrap();
+        let st = s.stats();
+        assert_eq!(st.in_place_patches, 3);
+        assert_eq!(st.cache_drops, 0);
+        assert_eq!(st.scaffold_builds, 1, "no write forced a rebuild");
+        assert_eq!(st.epoch, 3);
+        // A fresh constant is structural: the caches drop, and the next
+        // scaffold access counts as a rebuild.
+        let w = voc.ord("w");
+        s.assert_lt(v, w);
+        assert_eq!(s.stats().cache_drops, 1);
+        s.disjunctive_scaffold(&voc).unwrap();
+        assert_eq!(s.stats().scaffold_builds, 2);
+        assert_eq!(s.stats().scaffold_rebuilds(), 1);
+        // Clones keep the epoch but start with zeroed counters.
+        let cloned = s.clone().stats();
+        assert_eq!(cloned.epoch, s.epoch());
+        assert_eq!(SessionStats { epoch: 0, ..cloned }, SessionStats::default());
+    }
+
+    #[test]
+    fn cold_writes_are_not_counted_as_cache_drops() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "pred P(ord); P(u);").unwrap();
+        let mut s = Session::new(db);
+        // Nothing computed yet: writes have no cache to lose.
+        let (v, w) = (voc.ord("v"), voc.ord("w"));
+        s.assert_lt(v, w);
+        let p = voc.find_pred("P").unwrap();
+        s.insert_fact(&voc, p, vec![Term::Ord(w)]).unwrap();
+        assert_eq!(s.stats().cache_drops, 0, "{:?}", s.stats());
+        // Warm it, then a structural write counts.
+        s.normal().unwrap();
+        s.assert_lt(voc.ord("x"), voc.ord("y"));
+        assert_eq!(s.stats().cache_drops, 1);
+    }
+
+    #[test]
+    fn stats_report_pair_evictions_under_max_pairs() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(
+            &mut voc,
+            "pred P(ord); pred Q(ord); pred R(ord); P(u); Q(v); R(w);",
+        )
+        .unwrap();
+        let s = Session::new(db).with_max_pairs(1);
+        let sc = s.disjunctive_scaffold(&voc).unwrap();
+        {
+            let mdb = s.monadic(&voc).unwrap();
+            let mut pairs = sc.pairs();
+            let (e, i) = (pairs.empty_id(), pairs.initial_id());
+            pairs.ensure(sc, mdb, i, e);
+            pairs.ensure(sc, mdb, e, i);
+            pairs.ensure(sc, mdb, e, e);
+        }
+        // The cap is enforced on the next acquisition.
+        let _ = sc.pairs();
+        assert!(s.stats().pair_evictions >= 2, "{:?}", s.stats());
     }
 
     #[test]

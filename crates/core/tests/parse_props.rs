@@ -26,27 +26,81 @@ fn db_text() -> impl Strategy<Value = String> {
     })
 }
 
+/// A random well-formed query text over P/Q/R and E(obj, ord):
+/// existentials, conjunctions, chains, `!=`, and nested disjunctions —
+/// wide enough to hit DNF distribution, variable merging (N1), and
+/// order-only variables.
+fn query_text() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        (0usize..3, 0usize..4).prop_map(|(p, v)| format!("{}(v{v})", ["P", "Q", "R"][p])),
+        (0usize..2, 0usize..4).prop_map(|(x, v)| format!("E(x{x}, v{v})")),
+        (0usize..4, 0usize..3, 0usize..4)
+            .prop_map(|(a, r, b)| format!("v{a} {} v{b}", ["<", "<=", "!="][r])),
+        (0usize..3, 0usize..4, 0usize..3, 0usize..4).prop_map(|(p, v, q, w)| format!(
+            "({}(v{v}) | {}(v{w}))",
+            ["P", "Q", "R"][p],
+            ["P", "Q", "R"][q]
+        )),
+    ];
+    proptest::collection::vec(atom, 1..5)
+        .prop_map(|atoms| format!("exists x0 x1 v0 v1 v2 v3. {}", atoms.join(" & ")))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
-    /// Parsing a printed database reproduces the same atoms (when the
-    /// order atoms are consistent; inconsistent inputs simply fail to
-    /// normalize, which is also checked to be stable).
+    /// `parse ∘ display` is the identity on databases: the printed form
+    /// carries `pred` declarations, so re-parsing under the same
+    /// vocabulary rebuilds the database exactly, and re-parsing under a
+    /// fresh vocabulary reprints identically.
     #[test]
     fn display_parse_round_trip(text in db_text()) {
         let mut voc = Vocabulary::new();
         let db = parse_database(&mut voc, &text).unwrap();
         let printed = db.display(&voc).to_string();
+        // Same vocabulary: exact identity, atom for atom.
+        let db_same = parse_database(&mut voc, &printed).unwrap();
+        prop_assert_eq!(&db, &db_same);
+        // Fresh vocabulary: the printed form is self-contained (the
+        // declarations pin every signature) and display-stable.
         let mut voc2 = Vocabulary::new();
-        // re-parse needs the declarations again (display omits them)
-        let full = format!("pred P(ord); pred Q(ord); pred R(ord);{printed}");
-        let db2 = parse_database(&mut voc2, &full).unwrap();
+        let db2 = parse_database(&mut voc2, &printed).unwrap();
+        prop_assert_eq!(&printed, &db2.display(&voc2).to_string());
         prop_assert_eq!(db.proper_atoms().len(), db2.proper_atoms().len());
         prop_assert_eq!(db.order_atoms().len(), db2.order_atoms().len());
         prop_assert_eq!(
             db.normalize().is_ok(),
             db2.normalize().is_ok()
         );
+    }
+
+    /// `parse ∘ display` is the identity on (normal-form) queries: every
+    /// `DnfQuery` the parser produces reprints to text that parses back
+    /// to an equal value — disjunct for disjunct, atom for atom, with
+    /// the same variable numbering (the display-canonical numbering
+    /// established at normalization).
+    #[test]
+    fn query_display_parse_round_trip(text in query_text()) {
+        let mut voc = Vocabulary::new();
+        parse_database(
+            &mut voc,
+            "pred P(ord); pred Q(ord); pred R(ord); pred E(obj, ord);",
+        )
+        .unwrap();
+        let q = match parse_query(&mut voc, &text) {
+            Ok(q) => q,
+            // Sort conflicts (a name used at both sorts) are fine to skip;
+            // the property is about what the parser *produces*.
+            Err(_) => return Ok(()),
+        };
+        if q.disjuncts().is_empty() {
+            // Every disjunct was unsatisfiable; `false` has no syntax.
+            return Ok(());
+        }
+        let printed = q.display(&voc).to_string();
+        let q2 = parse_query(&mut voc, &printed).unwrap();
+        prop_assert_eq!(&q, &q2, "printed: {}", printed);
+        prop_assert_eq!(printed, q2.display(&voc).to_string());
     }
 
     /// The parser returns errors, never panics, on arbitrary input.

@@ -270,7 +270,7 @@ impl<'a> Engine<'a> {
         match pq.strategy {
             Strategy::Auto | Strategy::Naive => Ok(naive::nary_check(nd, &pq.query)?.into()),
             s => Err(CoreError::Parse {
-                offset: 0,
+                span: indord_core::error::Span::NONE,
                 message: format!("strategy {s:?} requires monadic predicates"),
             }),
         }
@@ -350,7 +350,7 @@ fn execute_monadic(
     let single = |what: &str| -> Result<usize> {
         if survivors.len() != 1 {
             return Err(CoreError::Parse {
-                offset: 0,
+                span: indord_core::error::Span::NONE,
                 message: format!("{what} strategy requires a conjunctive query"),
             });
         }
@@ -365,7 +365,7 @@ fn execute_monadic(
     let refuse_ne = |what: &str| -> Result<()> {
         if has_ne {
             return Err(CoreError::Parse {
-                offset: 0,
+                span: indord_core::error::Span::NONE,
                 message: format!(
                     "{what} strategy requires [<,<=] inputs; use Auto or Naive for !="
                 ),
@@ -376,7 +376,7 @@ fn execute_monadic(
     let refuse_query_ne = |what: &str| -> Result<()> {
         if has_query_ne {
             return Err(CoreError::Parse {
-                offset: 0,
+                span: indord_core::error::Span::NONE,
                 message: format!(
                     "{what} strategy requires [<,<=] queries; use Auto or Naive for query !="
                 ),

@@ -240,7 +240,7 @@ pub fn contained_in(
 ) -> Result<bool> {
     if q1.head_obj.len() != q2.head_obj.len() || q1.head_ord.len() != q2.head_ord.len() {
         return Err(CoreError::Parse {
-            offset: 0,
+            span: indord_core::error::Span::NONE,
             message: "containment requires equal head signatures".to_string(),
         });
     }

@@ -1,0 +1,63 @@
+//! `indord-serve` — serve indefinite-order databases over TCP.
+//!
+//! ```text
+//! indord-serve [--addr 127.0.0.1:7431] [--threads 4] [--open <db>]...
+//! ```
+//!
+//! Clients speak the line protocol of `indord_server::protocol`; try
+//! the `indord` REPL: `indord --connect 127.0.0.1:7431`.
+
+use indord_server::runtime::{serve, Registry};
+use std::sync::Arc;
+
+fn main() {
+    let mut addr = "127.0.0.1:7431".to_string();
+    let mut threads = 4usize;
+    let registry = Arc::new(Registry::new());
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| usage("--addr needs a value")),
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a number"))
+            }
+            "--open" => {
+                let name = args.next().unwrap_or_else(|| usage("--open needs a name"));
+                registry.open(&name);
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    let handle = match serve(Arc::clone(&registry), addr.as_str(), threads) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("indord-serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "indord-serve listening on {} ({threads} worker threads{})",
+        handle.addr(),
+        if registry.names().is_empty() {
+            String::new()
+        } else {
+            format!(", databases: {}", registry.names().join(", "))
+        }
+    );
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("indord-serve: {err}");
+    }
+    eprintln!("usage: indord-serve [--addr HOST:PORT] [--threads N] [--open DB]...");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

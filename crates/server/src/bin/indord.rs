@@ -1,0 +1,60 @@
+//! `indord` — the REPL client of `indord-serve`.
+//!
+//! ```text
+//! indord --connect 127.0.0.1:7431    # speak to a running server
+//! indord --embedded                  # in-process, no server (default)
+//! ```
+//!
+//! Reads protocol lines from stdin (interactively or piped), prints
+//! framed responses, and carets parse errors at the offending token.
+
+use indord_server::repl::{run, Backend};
+use std::io::{self, BufReader, IsTerminal};
+
+fn main() {
+    let mut connect: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => {
+                connect = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--connect needs HOST:PORT")),
+                )
+            }
+            "--embedded" => connect = None,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    let backend = match &connect {
+        Some(addr) => match Backend::connect(addr) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("indord: cannot connect to {addr}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Backend::embedded(),
+    };
+    let stdin = io::stdin();
+    let interactive = stdin.is_terminal();
+    let mut stdout = io::stdout();
+    if let Err(e) = run(
+        backend,
+        BufReader::new(stdin.lock()),
+        &mut stdout,
+        interactive,
+    ) {
+        eprintln!("indord: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("indord: {err}");
+    }
+    eprintln!("usage: indord [--connect HOST:PORT | --embedded]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,38 @@
+//! # indord-server — the serving layer of the indord workspace
+//!
+//! Everything between a socket and the entailment engines:
+//!
+//! * [`protocol`] — the line-oriented wire protocol: typed
+//!   [`Request`](protocol::Request)s and
+//!   [`Response`](protocol::Response)s that render to text and parse
+//!   back to equal values, errors (with byte spans) included;
+//! * [`runtime`] — the [`Registry`](runtime::Registry) of named
+//!   databases (vocabulary + warm
+//!   [`Session`](indord_core::session::Session) + prepared-query
+//!   registry behind a single-writer/shared-reader lock), per-database
+//!   stats with latency rings, and the thread-pooled TCP accept loop
+//!   ([`runtime::serve`]);
+//! * [`repl`] — the `indord` client loop, speaking the protocol over
+//!   TCP or in-process.
+//!
+//! Two binaries ship with the crate: `indord-serve` (the server) and
+//! `indord` (the REPL client, with `--embedded` for serverless use).
+//!
+//! ```
+//! use indord_server::protocol::Response;
+//! use indord_server::runtime::{Conn, Registry};
+//! use std::sync::Arc;
+//!
+//! let mut conn = Conn::new(Arc::new(Registry::new()));
+//! conn.handle_line("OPEN lab");
+//! conn.handle_line("FACT pred Heat(ord); pred Cool(ord); Heat(t1); Cool(t2); t1 < t2;");
+//! conn.handle_line("PREPARE cooled: exists a b. Heat(a) & a < b & Cool(b)");
+//! assert_eq!(conn.handle_line("ENTAIL cooled"), Response::Verdict(true));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod repl;
+pub mod runtime;

@@ -1,0 +1,756 @@
+//! The `indord` wire protocol: line-oriented, typed on both sides, and
+//! round-trippable — every [`Request`] and [`Response`] renders to text
+//! that parses back to an equal value, errors included.
+//!
+//! ## Requests (one line each)
+//!
+//! ```text
+//! OPEN <db>                        create-or-select a named database
+//! USE <db>                         select an existing database
+//! FACT <fragment>                  insert `;`-separated facts (parser syntax)
+//! ASSERT <fragment>                alias of FACT (reads well for order atoms)
+//! PREPARE <name>: <query>          compile into the per-database registry
+//! ENTAIL <name>                    evaluate a prepared query
+//! ENTAIL <query>                   parse-and-evaluate inline
+//! COUNTERMODEL <name-or-query>     like ENTAIL, but return a witness
+//! BATCH <name> <name> ...          evaluate several prepared queries
+//! STATS                            per-database counters and latency
+//! CLOSE                            end the connection
+//! ```
+//!
+//! A bare identifier after `ENTAIL`/`COUNTERMODEL` names a prepared
+//! query; anything else is inline query text (real queries always
+//! contain `.`, `(`, or an order relation, so the forms cannot collide).
+//!
+//! ## Responses
+//!
+//! Single-line: `OK <message>`, `CERTAIN`, `NOT-CERTAIN`,
+//! `VERDICTS <name>=CERTAIN ...`, `STATS <key>=<value> ...`, `BYE`, and
+//! `ERR <kind> <span|-> <message>` — the error form carries the
+//! [`CoreError`] kind and, for parse errors, the byte span of the
+//! offending token *within the request line*, so a client can point at
+//! it ([`indord_core::parse::caret_snippet`]). The only multi-line
+//! response is a countermodel block:
+//!
+//! ```text
+//! COUNTERMODEL
+//! <rendered model>
+//! END
+//! ```
+
+use indord_core::error::{CoreError, Span};
+use std::fmt;
+use std::io::{self, BufRead};
+
+/// True when `s` is a bare identifier (the prepared-query name form).
+pub fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '$')
+}
+
+/// The evaluation target of `ENTAIL`/`COUNTERMODEL`: a prepared-query
+/// name or inline query text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Target {
+    /// A name registered by `PREPARE`.
+    Prepared(String),
+    /// Inline query text, parsed per request.
+    Inline(String),
+}
+
+impl Target {
+    fn parse(rest: &str) -> Target {
+        if is_ident(rest) {
+            Target::Prepared(rest.to_string())
+        } else {
+            Target::Inline(rest.to_string())
+        }
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Prepared(n) => write!(f, "{n}"),
+            Target::Inline(q) => write!(f, "{q}"),
+        }
+    }
+}
+
+/// A parsed client request. See the module docs for the grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `OPEN <db>`: create-or-select a named database.
+    Open(String),
+    /// `USE <db>`: select an existing database.
+    Use(String),
+    /// `FACT <fragment>` / `ASSERT <fragment>`: insert facts.
+    Fact(String),
+    /// `PREPARE <name>: <query>`: compile into the registry.
+    Prepare {
+        /// Registry name.
+        name: String,
+        /// Query text.
+        query: String,
+    },
+    /// `ENTAIL <name-or-query>`.
+    Entail(Target),
+    /// `COUNTERMODEL <name-or-query>`.
+    Countermodel(Target),
+    /// `BATCH <name> ...`.
+    Batch(Vec<String>),
+    /// `STATS`.
+    Stats,
+    /// `CLOSE`.
+    Close,
+}
+
+impl Request {
+    /// Parses a request line. On success also returns the byte offset of
+    /// the payload (fragment / query text) within `line`, so spans in
+    /// downstream parse errors can be shifted into line coordinates.
+    pub fn parse_with_offset(line: &str) -> Result<(Request, usize), WireError> {
+        // Offsets are computed against the original line (spans must
+        // point into what the client sent), so track the leading
+        // whitespace explicitly instead of slicing it away.
+        let full = line.trim_end();
+        let lead = full.len() - full.trim_start().len();
+        let line = &full[lead..];
+        let bad = |m: &str| WireError {
+            kind: ErrorKind::Proto,
+            span: None,
+            message: m.to_string(),
+        };
+        let (word, rest) = match line.find(char::is_whitespace) {
+            Some(i) => (&line[..i], line[i..].trim_start()),
+            None => (line, ""),
+        };
+        let payload = lead + (line.len() - rest.len());
+        let need = |cond: bool, m: &str| if cond { Ok(()) } else { Err(bad(m)) };
+        match word {
+            "OPEN" => {
+                need(is_ident(rest), "OPEN takes one database name")?;
+                Ok((Request::Open(rest.to_string()), payload))
+            }
+            "USE" => {
+                need(is_ident(rest), "USE takes one database name")?;
+                Ok((Request::Use(rest.to_string()), payload))
+            }
+            "FACT" | "ASSERT" => {
+                need(!rest.is_empty(), "FACT takes a `;`-separated fragment")?;
+                Ok((Request::Fact(rest.to_string()), payload))
+            }
+            "PREPARE" => {
+                let colon = rest
+                    .find(':')
+                    .ok_or_else(|| bad("PREPARE syntax: PREPARE <name>: <query>"))?;
+                let name = rest[..colon].trim();
+                let query = rest[colon + 1..].trim_start();
+                need(is_ident(name), "PREPARE needs an identifier name")?;
+                need(!query.is_empty(), "PREPARE needs a query after `:`")?;
+                let qoff = payload + colon + 1 + (rest[colon + 1..].len() - query.len());
+                Ok((
+                    Request::Prepare {
+                        name: name.to_string(),
+                        query: query.to_string(),
+                    },
+                    qoff,
+                ))
+            }
+            "ENTAIL" => {
+                need(!rest.is_empty(), "ENTAIL takes a prepared name or a query")?;
+                Ok((Request::Entail(Target::parse(rest)), payload))
+            }
+            "COUNTERMODEL" => {
+                need(
+                    !rest.is_empty(),
+                    "COUNTERMODEL takes a prepared name or a query",
+                )?;
+                Ok((Request::Countermodel(Target::parse(rest)), payload))
+            }
+            "BATCH" => {
+                let names: Vec<String> = rest.split_whitespace().map(str::to_string).collect();
+                need(
+                    !names.is_empty() && names.iter().all(|n| is_ident(n)),
+                    "BATCH takes one or more prepared names",
+                )?;
+                Ok((Request::Batch(names), payload))
+            }
+            "STATS" => {
+                need(rest.is_empty(), "STATS takes no arguments")?;
+                Ok((Request::Stats, payload))
+            }
+            "CLOSE" => {
+                need(rest.is_empty(), "CLOSE takes no arguments")?;
+                Ok((Request::Close, payload))
+            }
+            _ => Err(bad(&format!(
+                "unknown command `{word}` (try OPEN/USE/FACT/PREPARE/ENTAIL/COUNTERMODEL/BATCH/STATS/CLOSE)"
+            ))),
+        }
+    }
+
+    /// Parses a request line (offset discarded).
+    pub fn parse(line: &str) -> Result<Request, WireError> {
+        Self::parse_with_offset(line).map(|(r, _)| r)
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Request::Open(n) => write!(f, "OPEN {n}"),
+            Request::Use(n) => write!(f, "USE {n}"),
+            Request::Fact(t) => write!(f, "FACT {t}"),
+            Request::Prepare { name, query } => write!(f, "PREPARE {name}: {query}"),
+            Request::Entail(t) => write!(f, "ENTAIL {t}"),
+            Request::Countermodel(t) => write!(f, "COUNTERMODEL {t}"),
+            Request::Batch(names) => write!(f, "BATCH {}", names.join(" ")),
+            Request::Stats => write!(f, "STATS"),
+            Request::Close => write!(f, "CLOSE"),
+        }
+    }
+}
+
+/// The kind tag of a wire error — a flattened [`CoreError`] taxonomy
+/// plus protocol/registry kinds of the serving layer itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Malformed request or query/fragment text.
+    Parse,
+    /// Predicate arity mismatch.
+    Arity,
+    /// Predicate argument sort mismatch.
+    Sort,
+    /// Conflicting predicate declarations.
+    Signature,
+    /// Inconsistent order constraints.
+    Inconsistent,
+    /// Unbound query variable.
+    Unbound,
+    /// Operation requires monadic predicates.
+    Monadic,
+    /// Operation requires a sequential query.
+    Sequential,
+    /// Enumeration cap exceeded.
+    Cap,
+    /// Session/vocabulary mismatch.
+    Vocabulary,
+    /// Protocol misuse (bad command syntax, missing selection).
+    Proto,
+    /// Registry errors (unknown database, unknown prepared name).
+    Registry,
+}
+
+impl ErrorKind {
+    /// The wire token of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Arity => "arity",
+            ErrorKind::Sort => "sort",
+            ErrorKind::Signature => "signature",
+            ErrorKind::Inconsistent => "inconsistent",
+            ErrorKind::Unbound => "unbound",
+            ErrorKind::Monadic => "monadic",
+            ErrorKind::Sequential => "sequential",
+            ErrorKind::Cap => "cap",
+            ErrorKind::Vocabulary => "vocabulary",
+            ErrorKind::Proto => "proto",
+            ErrorKind::Registry => "registry",
+        }
+    }
+
+    /// Inverse of [`ErrorKind::as_str`].
+    pub fn from_token(s: &str) -> Option<ErrorKind> {
+        Some(match s {
+            "parse" => ErrorKind::Parse,
+            "arity" => ErrorKind::Arity,
+            "sort" => ErrorKind::Sort,
+            "signature" => ErrorKind::Signature,
+            "inconsistent" => ErrorKind::Inconsistent,
+            "unbound" => ErrorKind::Unbound,
+            "monadic" => ErrorKind::Monadic,
+            "sequential" => ErrorKind::Sequential,
+            "cap" => ErrorKind::Cap,
+            "vocabulary" => ErrorKind::Vocabulary,
+            "proto" => ErrorKind::Proto,
+            "registry" => ErrorKind::Registry,
+            _ => return None,
+        })
+    }
+}
+
+/// A typed error crossing the wire: kind, optional source span (line
+/// coordinates), and message. Renders as `ERR <kind> <span|-> <message>`
+/// and parses back to an equal value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What class of failure.
+    pub kind: ErrorKind,
+    /// Byte span of the offending token within the request line, when
+    /// the failure was a parse error with position information.
+    pub span: Option<Span>,
+    /// Human-readable description (single line).
+    pub message: String,
+}
+
+impl WireError {
+    /// A protocol-kind error with no span.
+    pub fn proto(message: impl Into<String>) -> WireError {
+        WireError {
+            kind: ErrorKind::Proto,
+            span: None,
+            message: message.into(),
+        }
+    }
+
+    /// A registry-kind error (unknown database / prepared name).
+    pub fn registry(message: impl Into<String>) -> WireError {
+        WireError {
+            kind: ErrorKind::Registry,
+            span: None,
+            message: message.into(),
+        }
+    }
+
+    /// Shifts the span (if any) right by `offset` bytes — from
+    /// payload-relative into request-line coordinates.
+    pub fn shift_span(mut self, offset: usize) -> WireError {
+        if let Some(s) = self.span.as_mut() {
+            s.start += offset;
+            s.end += offset;
+        }
+        self
+    }
+}
+
+impl From<&CoreError> for WireError {
+    fn from(e: &CoreError) -> WireError {
+        let kind = match e {
+            CoreError::Parse { .. } => ErrorKind::Parse,
+            CoreError::ArityMismatch { .. } => ErrorKind::Arity,
+            CoreError::SortMismatch { .. } => ErrorKind::Sort,
+            CoreError::SignatureConflict { .. } => ErrorKind::Signature,
+            CoreError::InconsistentOrder { .. } => ErrorKind::Inconsistent,
+            CoreError::UnboundVariable { .. } => ErrorKind::Unbound,
+            CoreError::NotMonadic { .. } => ErrorKind::Monadic,
+            CoreError::NotSequential => ErrorKind::Sequential,
+            CoreError::CapExceeded { .. } => ErrorKind::Cap,
+            CoreError::VocabularyMismatch => ErrorKind::Vocabulary,
+        };
+        // A spanned parse error's Display embeds its (payload-relative)
+        // byte position; the wire span — shifted into request-line
+        // coordinates — supersedes it, so carry the bare message.
+        let message = match e {
+            CoreError::Parse { message, .. } if e.span().is_some() => message.clone(),
+            _ => e.to_string(),
+        };
+        WireError {
+            kind,
+            span: e.span(),
+            message,
+        }
+    }
+}
+
+impl From<CoreError> for WireError {
+    fn from(e: CoreError) -> WireError {
+        WireError::from(&e)
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ERR {} ", self.kind.as_str())?;
+        match self.span {
+            Some(s) => write!(f, "{s} ")?,
+            None => write!(f, "- ")?,
+        }
+        // The message must stay on one line for the framing to hold.
+        write!(f, "{}", self.message.replace('\n', "; "))
+    }
+}
+
+/// Per-database counters carried by the `STATS` reply. Renders as a
+/// single `key=value` line and parses back field-for-field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsReply {
+    /// Atoms in the database (`|D|`).
+    pub atoms: u64,
+    /// Session mutation epoch.
+    pub epoch: u64,
+    /// Prepared queries registered.
+    pub prepared: u64,
+    /// Entail-class requests served (ENTAIL/COUNTERMODEL/BATCH entries).
+    pub queries: u64,
+    /// Requests answered from the prepared-query registry.
+    pub prepared_hits: u64,
+    /// Write requests applied (FACT/ASSERT atoms).
+    pub writes: u64,
+    /// Scaffold built-from-scratch count (1 = warm, never rebuilt).
+    pub scaffold_builds: u64,
+    /// Scaffold rebuilds beyond the first build (0 = every write was
+    /// absorbed in place).
+    pub scaffold_rebuilds: u64,
+    /// Writes absorbed by in-place cache patching.
+    pub in_place_patches: u64,
+    /// Writes that dropped the session caches.
+    pub cache_drops: u64,
+    /// Pairs evicted from the scaffold memo table.
+    pub pair_evictions: u64,
+    /// Concurrent searches that fell back to a private pair table.
+    pub contention_fallbacks: u64,
+    /// Median request latency, nanoseconds (entail-class requests).
+    pub p50_ns: u64,
+    /// 99th-percentile request latency, nanoseconds.
+    pub p99_ns: u64,
+}
+
+impl StatsReply {
+    const FIELDS: [&'static str; 14] = [
+        "atoms",
+        "epoch",
+        "prepared",
+        "queries",
+        "prepared_hits",
+        "writes",
+        "scaffold_builds",
+        "scaffold_rebuilds",
+        "in_place_patches",
+        "cache_drops",
+        "pair_evictions",
+        "contention_fallbacks",
+        "p50_ns",
+        "p99_ns",
+    ];
+
+    fn get(&self, field: &str) -> u64 {
+        match field {
+            "atoms" => self.atoms,
+            "epoch" => self.epoch,
+            "prepared" => self.prepared,
+            "queries" => self.queries,
+            "prepared_hits" => self.prepared_hits,
+            "writes" => self.writes,
+            "scaffold_builds" => self.scaffold_builds,
+            "scaffold_rebuilds" => self.scaffold_rebuilds,
+            "in_place_patches" => self.in_place_patches,
+            "cache_drops" => self.cache_drops,
+            "pair_evictions" => self.pair_evictions,
+            "contention_fallbacks" => self.contention_fallbacks,
+            "p50_ns" => self.p50_ns,
+            "p99_ns" => self.p99_ns,
+            _ => unreachable!("unknown stats field"),
+        }
+    }
+
+    fn set(&mut self, field: &str, v: u64) -> bool {
+        match field {
+            "atoms" => self.atoms = v,
+            "epoch" => self.epoch = v,
+            "prepared" => self.prepared = v,
+            "queries" => self.queries = v,
+            "prepared_hits" => self.prepared_hits = v,
+            "writes" => self.writes = v,
+            "scaffold_builds" => self.scaffold_builds = v,
+            "scaffold_rebuilds" => self.scaffold_rebuilds = v,
+            "in_place_patches" => self.in_place_patches = v,
+            "cache_drops" => self.cache_drops = v,
+            "pair_evictions" => self.pair_evictions = v,
+            "contention_fallbacks" => self.contention_fallbacks = v,
+            "p50_ns" => self.p50_ns = v,
+            "p99_ns" => self.p99_ns = v,
+            _ => return false,
+        }
+        true
+    }
+}
+
+/// A server response. See the module docs for the framing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `OK <message>`: a successful non-query request.
+    Ok(String),
+    /// `CERTAIN` / `NOT-CERTAIN`.
+    Verdict(bool),
+    /// `VERDICTS <name>=CERTAIN ...`: one entry per BATCH element.
+    Verdicts(Vec<(String, bool)>),
+    /// `COUNTERMODEL ... END`: the rendered witness (an entailed
+    /// COUNTERMODEL request answers `CERTAIN` instead).
+    Countermodel(String),
+    /// `STATS key=value ...`.
+    Stats(StatsReply),
+    /// `BYE`: connection closing.
+    Bye,
+    /// `ERR <kind> <span|-> <message>`.
+    Error(WireError),
+}
+
+impl Response {
+    /// Renders the response, newline-terminated, ready for the wire.
+    pub fn render(&self) -> String {
+        match self {
+            Response::Ok(m) => format!("OK {}\n", m.replace('\n', "; ")),
+            Response::Verdict(true) => "CERTAIN\n".to_string(),
+            Response::Verdict(false) => "NOT-CERTAIN\n".to_string(),
+            Response::Verdicts(vs) => {
+                let mut out = String::from("VERDICTS");
+                for (name, holds) in vs {
+                    out.push(' ');
+                    out.push_str(name);
+                    out.push('=');
+                    out.push_str(if *holds { "CERTAIN" } else { "NOT-CERTAIN" });
+                }
+                out.push('\n');
+                out
+            }
+            Response::Countermodel(body) => {
+                let body = body.trim_end_matches('\n');
+                format!("COUNTERMODEL\n{body}\nEND\n")
+            }
+            Response::Stats(s) => {
+                let mut out = String::from("STATS");
+                for f in StatsReply::FIELDS {
+                    out.push(' ');
+                    out.push_str(f);
+                    out.push('=');
+                    out.push_str(&s.get(f).to_string());
+                }
+                out.push('\n');
+                out
+            }
+            Response::Bye => "BYE\n".to_string(),
+            Response::Error(e) => format!("{e}\n"),
+        }
+    }
+
+    /// Reads one framed response off `r` (one line, or a
+    /// `COUNTERMODEL`…`END` block). `Ok(None)` on clean EOF.
+    pub fn read_from<R: BufRead>(r: &mut R) -> io::Result<Option<Response>> {
+        let mut line = String::new();
+        if r.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        let first = line.trim_end_matches(['\n', '\r']).to_string();
+        if first == "COUNTERMODEL" {
+            let mut body = String::new();
+            loop {
+                let mut next = String::new();
+                if r.read_line(&mut next)? == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "unterminated COUNTERMODEL block",
+                    ));
+                }
+                let trimmed = next.trim_end_matches(['\n', '\r']);
+                if trimmed == "END" {
+                    break;
+                }
+                body.push_str(trimmed);
+                body.push('\n');
+            }
+            return Ok(Some(Response::Countermodel(body)));
+        }
+        Self::parse_line(&first).map(Some).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad reply: {first}"))
+        })
+    }
+
+    /// Parses a single-line response (everything but countermodels).
+    pub fn parse_line(line: &str) -> Option<Response> {
+        let line = line.trim_end();
+        if line == "CERTAIN" {
+            return Some(Response::Verdict(true));
+        }
+        if line == "NOT-CERTAIN" {
+            return Some(Response::Verdict(false));
+        }
+        if line == "BYE" {
+            return Some(Response::Bye);
+        }
+        if let Some(m) = line.strip_prefix("OK") {
+            return Some(Response::Ok(m.strip_prefix(' ').unwrap_or(m).to_string()));
+        }
+        if let Some(rest) = line.strip_prefix("VERDICTS") {
+            let mut vs = Vec::new();
+            for part in rest.split_whitespace() {
+                let (name, v) = part.split_once('=')?;
+                let holds = match v {
+                    "CERTAIN" => true,
+                    "NOT-CERTAIN" => false,
+                    _ => return None,
+                };
+                vs.push((name.to_string(), holds));
+            }
+            return Some(Response::Verdicts(vs));
+        }
+        if let Some(rest) = line.strip_prefix("STATS") {
+            let mut s = StatsReply::default();
+            for part in rest.split_whitespace() {
+                let (k, v) = part.split_once('=')?;
+                if !s.set(k, v.parse().ok()?) {
+                    return None;
+                }
+            }
+            return Some(Response::Stats(s));
+        }
+        if let Some(rest) = line.strip_prefix("ERR ") {
+            let (kind_tok, rest) = rest.split_once(' ')?;
+            let kind = ErrorKind::from_token(kind_tok)?;
+            let (span_tok, message) = match rest.split_once(' ') {
+                Some((s, m)) => (s, m.to_string()),
+                None => (rest, String::new()),
+            };
+            let span = if span_tok == "-" {
+                None
+            } else {
+                let (a, b) = span_tok.split_once("..")?;
+                Some(Span::new(a.parse().ok()?, b.parse().ok()?))
+            };
+            return Some(Response::Error(WireError {
+                kind,
+                span,
+                message,
+            }));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = [
+            Request::Open("lab".into()),
+            Request::Use("lab".into()),
+            Request::Fact("P(u); u < v;".into()),
+            Request::Prepare {
+                name: "cooled".into(),
+                query: "exists a b. Heat(a) & a < b & Cool(b)".into(),
+            },
+            Request::Entail(Target::Prepared("cooled".into())),
+            Request::Entail(Target::Inline("exists t. P(t)".into())),
+            Request::Countermodel(Target::Prepared("cooled".into())),
+            Request::Batch(vec!["a".into(), "b".into()]),
+            Request::Stats,
+            Request::Close,
+        ];
+        for r in cases {
+            let line = r.to_string();
+            assert_eq!(Request::parse(&line).unwrap(), r, "{line}");
+        }
+        // ASSERT is an alias of FACT.
+        assert_eq!(
+            Request::parse("ASSERT u < v;").unwrap(),
+            Request::Fact("u < v;".into())
+        );
+    }
+
+    #[test]
+    fn request_payload_offsets_index_into_the_line() {
+        let line = "FACT P(u); u < v;";
+        let (req, off) = Request::parse_with_offset(line).unwrap();
+        assert_eq!(req, Request::Fact("P(u); u < v;".into()));
+        assert_eq!(&line[off..], "P(u); u < v;");
+        let line = "PREPARE cooled:  exists t. P(t)";
+        let (_, off) = Request::parse_with_offset(line).unwrap();
+        assert_eq!(&line[off..], "exists t. P(t)");
+    }
+
+    #[test]
+    fn leading_whitespace_is_tolerated_and_offsets_stay_line_relative() {
+        assert_eq!(Request::parse("  STATS").unwrap(), Request::Stats);
+        let line = "   FACT P(u);";
+        let (req, off) = Request::parse_with_offset(line).unwrap();
+        assert_eq!(req, Request::Fact("P(u);".into()));
+        assert_eq!(&line[off..], "P(u);");
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        for line in [
+            "",
+            "NOPE",
+            "OPEN two words",
+            "USE",
+            "PREPARE missing colon",
+            "PREPARE : q",
+            "BATCH",
+            "STATS now",
+            "FACT",
+        ] {
+            let e = Request::parse(line).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::Proto, "{line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = [
+            Response::Ok("opened lab (12 atoms)".into()),
+            Response::Verdict(true),
+            Response::Verdict(false),
+            Response::Verdicts(vec![("a".into(), true), ("b".into(), false)]),
+            Response::Countermodel("points 0..2\n  u \u{21a6} 0\n  P(pt0)\n".into()),
+            Response::Stats(StatsReply {
+                atoms: 42,
+                epoch: 7,
+                prepared: 3,
+                queries: 100,
+                prepared_hits: 90,
+                writes: 5,
+                scaffold_builds: 1,
+                scaffold_rebuilds: 0,
+                in_place_patches: 5,
+                cache_drops: 0,
+                pair_evictions: 2,
+                contention_fallbacks: 1,
+                p50_ns: 8_000,
+                p99_ns: 44_000,
+            }),
+            Response::Bye,
+            Response::Error(WireError {
+                kind: ErrorKind::Parse,
+                span: Some(Span::new(8, 11)),
+                message: "unknown predicate `Zap`".into(),
+            }),
+            Response::Error(WireError::registry("no database selected")),
+        ];
+        for resp in cases {
+            let rendered = resp.render();
+            let mut r = io::BufReader::new(rendered.as_bytes());
+            let back = Response::read_from(&mut r).unwrap().unwrap();
+            assert_eq!(back, resp, "{rendered}");
+        }
+    }
+
+    #[test]
+    fn core_errors_map_to_kinds_with_spans() {
+        let mut voc = indord_core::sym::Vocabulary::new();
+        let e = indord_core::parse::parse_database(&mut voc, "P(u) @").unwrap_err();
+        let w = WireError::from(&e);
+        assert_eq!(w.kind, ErrorKind::Parse);
+        assert_eq!(w.span, Some(Span::point(5)));
+        // Shifting moves into line coordinates: "FACT P(u) @".
+        let shifted = w.shift_span(5);
+        assert_eq!(shifted.span, Some(Span::point(10)));
+        let w: WireError = CoreError::NotSequential.into();
+        assert_eq!(w.kind, ErrorKind::Sequential);
+        assert_eq!(w.span, None);
+    }
+
+    #[test]
+    fn multiline_messages_are_flattened() {
+        let e = Response::Error(WireError::proto("a\nb"));
+        let rendered = e.render();
+        assert_eq!(rendered.lines().count(), 1);
+        let mut r = io::BufReader::new(rendered.as_bytes());
+        let back = Response::read_from(&mut r).unwrap().unwrap();
+        assert_eq!(back, Response::Error(WireError::proto("a; b")));
+    }
+}

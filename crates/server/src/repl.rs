@@ -1,0 +1,176 @@
+//! The `indord` client: a line-oriented REPL speaking the wire protocol
+//! over TCP or directly in-process (`--embedded`).
+//!
+//! Both transports share one loop: read a line, send it, print the
+//! framed response. Parse errors come back with byte spans in request
+//! line coordinates, which the REPL turns into caret diagnostics via
+//! [`indord_core::parse::caret_snippet`].
+
+use crate::protocol::Response;
+use crate::runtime::{Conn, Registry};
+use indord_core::parse::caret_snippet;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// Where a REPL sends its requests.
+pub enum Backend {
+    /// A TCP connection to an `indord-serve` instance: the write half
+    /// plus one persistent buffered reader (a per-request reader would
+    /// discard any bytes it read ahead when dropped).
+    Tcp {
+        /// The write half.
+        stream: Box<TcpStream>,
+        /// The read half, buffered for line framing.
+        reader: Box<BufReader<TcpStream>>,
+    },
+    /// An in-process registry (no server needed).
+    Embedded(Box<Conn>),
+}
+
+impl Backend {
+    /// Connects to a running server.
+    pub fn connect(addr: &str) -> io::Result<Backend> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Backend::Tcp {
+            stream: Box::new(stream),
+            reader: Box::new(reader),
+        })
+    }
+
+    /// An embedded backend over a fresh registry.
+    pub fn embedded() -> Backend {
+        Backend::Embedded(Box::new(Conn::new(Arc::new(Registry::new()))))
+    }
+
+    /// An embedded backend over an existing registry.
+    pub fn embedded_in(registry: Arc<Registry>) -> Backend {
+        Backend::Embedded(Box::new(Conn::new(registry)))
+    }
+
+    /// Sends one request line, returning the typed response (`None` on
+    /// transport EOF).
+    pub fn send(&mut self, line: &str) -> io::Result<Option<Response>> {
+        match self {
+            Backend::Embedded(conn) => Ok(Some(conn.handle_line(line))),
+            Backend::Tcp { stream, reader } => {
+                stream.write_all(line.as_bytes())?;
+                stream.write_all(b"\n")?;
+                stream.flush()?;
+                Response::read_from(reader.as_mut())
+            }
+        }
+    }
+}
+
+const HELP: &str = "commands:
+  OPEN <db>                     create-or-select a database
+  USE <db>                      select an existing database
+  FACT <fragment>               insert facts, e.g. FACT P(u); u < v;
+  ASSERT <fragment>             alias of FACT
+  PREPARE <name>: <query>       compile a query for reuse
+  ENTAIL <name-or-query>        certain-answer check
+  COUNTERMODEL <name-or-query>  like ENTAIL, with a witness on failure
+  BATCH <name> <name> ...       evaluate prepared queries together
+  STATS                         serving counters for the selected db
+  CLOSE                         quit";
+
+/// Runs the REPL loop: lines from `input` to the backend, responses to
+/// `out`. `prompt` enables the interactive `indord>` prompt. Returns on
+/// `CLOSE`, transport EOF, or input EOF.
+pub fn run<R: BufRead, W: Write>(
+    mut backend: Backend,
+    input: R,
+    out: &mut W,
+    prompt: bool,
+) -> io::Result<()> {
+    if prompt {
+        writeln!(out, "indord REPL — `help` for commands, CLOSE to quit")?;
+        write!(out, "indord> ")?;
+        out.flush()?;
+    }
+    for line in input.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if !trimmed.is_empty() && !trimmed.starts_with('#') {
+            if trimmed == "help" || trimmed == "?" {
+                writeln!(out, "{HELP}")?;
+            } else {
+                let Some(resp) = backend.send(trimmed)? else {
+                    writeln!(out, "connection closed by server")?;
+                    return Ok(());
+                };
+                out.write_all(resp.render().as_bytes())?;
+                if let Response::Error(e) = &resp {
+                    // Point at the offending token of the sent line.
+                    if let Some(span) = e.span {
+                        writeln!(out, "{}", caret_snippet(trimmed, span))?;
+                    }
+                }
+                if matches!(resp, Response::Bye) {
+                    return Ok(());
+                }
+            }
+        }
+        if prompt {
+            write!(out, "indord> ")?;
+            out.flush()?;
+        }
+    }
+    // Input exhausted: say goodbye to a TCP server so it releases the
+    // worker promptly.
+    let _ = backend.send("CLOSE");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedded_repl_transcript() {
+        let script = "\
+OPEN lab
+FACT pred Heat(ord); pred Cool(ord); Heat(t1); Cool(t2); t1 < t2;
+PREPARE cooled: exists a b. Heat(a) & a < b & Cool(b)
+ENTAIL cooled
+ENTAIL exists a b. Cool(a) & a < b & Heat(b)
+STATS
+CLOSE
+";
+        let mut out = Vec::new();
+        run(
+            Backend::embedded(),
+            BufReader::new(script.as_bytes()),
+            &mut out,
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("OK using lab"), "{text}");
+        assert!(lines[1].starts_with("OK inserted 3 atoms"), "{text}");
+        assert!(lines[2].starts_with("OK prepared cooled"), "{text}");
+        assert_eq!(lines[3], "CERTAIN");
+        assert_eq!(lines[4], "NOT-CERTAIN");
+        assert!(lines[5].starts_with("STATS "), "{text}");
+        assert_eq!(lines[6], "BYE");
+    }
+
+    #[test]
+    fn parse_errors_come_with_carets() {
+        let script = "OPEN lab\nFACT P(u) @\nCLOSE\n";
+        let mut out = Vec::new();
+        run(
+            Backend::embedded(),
+            BufReader::new(script.as_bytes()),
+            &mut out,
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("ERR parse 10..11"), "{text}");
+        assert!(text.contains("FACT P(u) @\n          ^"), "{text}");
+    }
+}

@@ -1,0 +1,934 @@
+//! The serving runtime: a registry of named databases, per-connection
+//! request dispatch, and a thread-pooled TCP accept loop.
+//!
+//! ## Consistency contract
+//!
+//! Each named database is a [`Vocabulary`] + warm [`Session`] + prepared
+//! query registry behind one `RwLock` — **single writer, shared
+//! readers**. Writes (`FACT`/`ASSERT`, `PREPARE`) take the database's
+//! write lock and route through [`Session`]'s in-place patching, so the
+//! Theorem 5.3 scaffold survives label inserts, acyclic order edges, and
+//! known-vertex `!=` writes. Reads (`ENTAIL`/`COUNTERMODEL`/`BATCH`)
+//! share the read lock and the warm scaffold; concurrent reads on one
+//! database never serialize on the search state — a contended pair
+//! table falls back to a private one
+//! ([`indord_core::scaffold::DisjunctiveScaffold::pairs`], the ~1%
+//! fallback measured in `tests/concurrent_serving.rs`). A client
+//! therefore observes: its own writes immediately, other clients' writes
+//! atomically (a read sees a prefix of the global write order, never a
+//! torn fragment). Fragments are all-or-nothing: the apply runs against
+//! a snapshot-backed session, and a fragment that fails to parse,
+//! panics mid-apply, or would leave the database without models (a
+//! `<`-cycle, or a `!=` over N1-merged constants — there is no DELETE
+//! to recover with) is rolled back and reported as a typed error.
+//!
+//! ## Stats
+//!
+//! Every database keeps request counters and a latency ring
+//! ([`DbStats`]); `STATS` merges them with the session's maintenance
+//! counters ([`indord_core::session::SessionStats`]) into a
+//! [`StatsReply`].
+
+use crate::protocol::{Request, Response, StatsReply, Target, WireError};
+use indord_core::atom::OrderRel;
+use indord_core::database::Database;
+use indord_core::parse::{parse_database, parse_query_expr_in};
+use indord_core::query::{eliminate_constants, DnfQuery, QTerm, QueryExpr};
+use indord_core::session::Session;
+use indord_core::sym::Vocabulary;
+use indord_entail::engine::Verdict;
+use indord_entail::{Engine, PreparedQuery};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// Capacity of the per-database latency ring (most recent samples win).
+const LATENCY_RING: usize = 1024;
+
+/// A fixed-size ring of recent request latencies (nanoseconds).
+#[derive(Debug)]
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+    filled: usize,
+}
+
+impl LatencyRing {
+    fn new() -> Self {
+        LatencyRing {
+            samples: vec![0; LATENCY_RING],
+            next: 0,
+            filled: 0,
+        }
+    }
+
+    fn push(&mut self, ns: u64) {
+        self.samples[self.next] = ns;
+        self.next = (self.next + 1) % self.samples.len();
+        self.filled = (self.filled + 1).min(self.samples.len());
+    }
+
+    /// The (p50, p99) quantiles of the recorded samples — one sort for
+    /// both. (0, 0) when empty.
+    fn p50_p99(&self) -> (u64, u64) {
+        if self.filled == 0 {
+            return (0, 0);
+        }
+        let mut v: Vec<u64> = self.samples[..self.filled].to_vec();
+        v.sort_unstable();
+        let at = |p: f64| v[((v.len() - 1) as f64 * p).round() as usize];
+        (at(0.50), at(0.99))
+    }
+}
+
+/// Per-database request counters (lock-free) plus the latency ring.
+#[derive(Debug)]
+pub struct DbStats {
+    queries: AtomicU64,
+    prepared_hits: AtomicU64,
+    writes: AtomicU64,
+    latency: Mutex<LatencyRing>,
+}
+
+impl DbStats {
+    fn new() -> Self {
+        DbStats {
+            queries: AtomicU64::new(0),
+            prepared_hits: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            latency: Mutex::new(LatencyRing::new()),
+        }
+    }
+
+    /// Entail-class requests served.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered from the prepared registry.
+    pub fn prepared_hits(&self) -> u64 {
+        self.prepared_hits.load(Ordering::Relaxed)
+    }
+
+    /// Records a latency sample. `try_lock`: under reader contention
+    /// the sample is dropped rather than serializing the evaluation
+    /// paths on this mutex — the ring is a sample, not a ledger.
+    fn record_latency(&self, ns: u64) {
+        if let Ok(mut ring) = self.latency.try_lock() {
+            ring.push(ns);
+        }
+    }
+}
+
+/// The mutable state of one named database, guarded by the db's
+/// `RwLock`.
+#[derive(Debug)]
+struct DbState {
+    voc: Vocabulary,
+    session: Session,
+    prepared: HashMap<String, PreparedQuery>,
+}
+
+/// One named database: state behind the single-writer lock, counters
+/// outside it.
+#[derive(Debug)]
+pub struct Db {
+    state: RwLock<DbState>,
+    stats: DbStats,
+}
+
+impl Db {
+    fn new(voc: Vocabulary, db: Database) -> Self {
+        Db {
+            state: RwLock::new(DbState {
+                voc,
+                session: Session::new(db),
+                prepared: HashMap::new(),
+            }),
+            stats: DbStats::new(),
+        }
+    }
+
+    /// The request counters.
+    pub fn stats(&self) -> &DbStats {
+        &self.stats
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, DbState> {
+        self.state.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, DbState> {
+        self.state.write().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// The registry of named databases a server (or embedded REPL) serves.
+#[derive(Debug, Default)]
+pub struct Registry {
+    dbs: RwLock<HashMap<String, Arc<Db>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Create-or-get the named database (the `OPEN` semantics).
+    pub fn open(&self, name: &str) -> Arc<Db> {
+        let mut dbs = self.dbs.write().unwrap_or_else(|p| p.into_inner());
+        dbs.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Db::new(Vocabulary::new(), Database::new())))
+            .clone()
+    }
+
+    /// Looks up an existing database (the `USE` semantics).
+    pub fn get(&self, name: &str) -> Option<Arc<Db>> {
+        self.dbs
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(name)
+            .cloned()
+    }
+
+    /// Installs a database built programmatically (benches, tests,
+    /// embedded seeding) under `name`, replacing any previous holder.
+    pub fn install(&self, name: &str, voc: Vocabulary, db: Database) -> Arc<Db> {
+        let holder = Arc::new(Db::new(voc, db));
+        self.dbs
+            .write()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(name.to_string(), holder.clone());
+        holder
+    }
+
+    /// Names of the registered databases, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .dbs
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .keys()
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+/// Per-connection dispatch state: the selected database. One `Conn` per
+/// client socket (or per embedded REPL).
+pub struct Conn {
+    registry: Arc<Registry>,
+    current: Option<Arc<Db>>,
+}
+
+impl Conn {
+    /// A connection with no database selected.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        Conn {
+            registry,
+            current: None,
+        }
+    }
+
+    /// Parses and dispatches one request line; parse-error spans are
+    /// shifted into line coordinates so clients can caret the line they
+    /// sent.
+    pub fn handle_line(&mut self, line: &str) -> Response {
+        match Request::parse_with_offset(line) {
+            Ok((req, payload)) => match self.handle(req) {
+                Response::Error(e) => Response::Error(e.shift_span(payload)),
+                resp => resp,
+            },
+            Err(e) => Response::Error(e),
+        }
+    }
+
+    /// Dispatches one typed request. Parse-error spans in the reply are
+    /// relative to the request's payload text (see
+    /// [`Conn::handle_line`] for line coordinates).
+    pub fn handle(&mut self, req: Request) -> Response {
+        match self.dispatch(req) {
+            Ok(resp) => resp,
+            Err(e) => Response::Error(e),
+        }
+    }
+
+    fn current(&self) -> Result<&Arc<Db>, WireError> {
+        self.current
+            .as_ref()
+            .ok_or_else(|| WireError::registry("no database selected (OPEN <name> first)"))
+    }
+
+    fn dispatch(&mut self, req: Request) -> Result<Response, WireError> {
+        match req {
+            Request::Open(name) => {
+                let db = self.registry.open(&name);
+                let atoms = db.read().session.len();
+                self.current = Some(db);
+                Ok(Response::Ok(format!("using {name} ({atoms} atoms)")))
+            }
+            Request::Use(name) => {
+                let db = self
+                    .registry
+                    .get(&name)
+                    .ok_or_else(|| WireError::registry(format!("unknown database `{name}`")))?;
+                let atoms = db.read().session.len();
+                self.current = Some(db);
+                Ok(Response::Ok(format!("using {name} ({atoms} atoms)")))
+            }
+            Request::Fact(fragment) => {
+                let db = self.current()?.clone();
+                let mut st = db.write();
+                // Parse the whole fragment into a *cloned* vocabulary
+                // first, committing it only on success — a failed
+                // fragment must leave neither facts nor interned
+                // declarations behind (a typo after a bad `pred` line
+                // would otherwise pin a wrong signature forever).
+                let mut voc2 = st.voc.clone();
+                let fragment_db =
+                    parse_database(&mut voc2, &fragment).map_err(|e| WireError::from(&e))?;
+                // Only order atoms can make the database unsatisfiable
+                // (a `<`/`<=` edge closing a `<`-cycle, or a `!=` pair
+                // whose endpoints N1-merged — then no model exists and
+                // every query is vacuously certain), so only fragments
+                // carrying them pay the rollback snapshot — the hot
+                // label-fact write path applies directly at
+                // in-place-patch cost. The snapshot adopts the current
+                // counters *before* the apply: a rolled-back fragment
+                // must contribute nothing to the lifetime stats.
+                let can_fail = !fragment_db.order_atoms().is_empty();
+                let mut saved = can_fail.then(|| {
+                    let mut s = st.session.clone();
+                    s.adopt_counters(&st.session);
+                    s
+                });
+                let n = if saved.is_some() {
+                    // Atomic apply: a panic mid-fragment or a resulting
+                    // inconsistency restores the snapshot — the shared
+                    // database is never poisoned or half-written (there
+                    // is no DELETE to recover with).
+                    let state = &mut *st;
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        apply_fragment(&mut state.session, &fragment_db)
+                    })) {
+                        Ok(n) => n,
+                        Err(_) => {
+                            st.session = saved.take().expect("snapshotted");
+                            return Err(WireError::proto(
+                                "internal error while applying the fragment; rolled back",
+                            ));
+                        }
+                    }
+                } else {
+                    apply_fragment(&mut st.session, &fragment_db)
+                };
+                if saved.is_some() {
+                    let failure = match st.session.normal() {
+                        Err(e) => Some(WireError::from(&e)),
+                        Ok(nd) if nd.has_contradictory_ne() => Some(WireError {
+                            kind: crate::protocol::ErrorKind::Inconsistent,
+                            span: None,
+                            message: "a != constraint contradicts merged constants; \
+                                      the database would have no models"
+                                .to_string(),
+                        }),
+                        Ok(_) => None,
+                    };
+                    if let Some(e) = failure {
+                        st.session = saved.take().expect("snapshotted");
+                        return Err(e);
+                    }
+                }
+                st.voc = voc2;
+                db.stats.writes.fetch_add(n, Ordering::Relaxed);
+                Ok(Response::Ok(format!(
+                    "inserted {n} atoms (epoch {})",
+                    st.session.epoch()
+                )))
+            }
+            Request::Prepare { name, query } => {
+                let db = self.current()?.clone();
+                let mut st = db.write();
+                let q = parse_constant_free(&st.voc, &query)?;
+                let pq = Engine::new(&st.voc)
+                    .prepare(&q)
+                    .map_err(|e| WireError::from(&e))?;
+                let plan = format!("{:?}", pq.plan());
+                st.prepared.insert(name.clone(), pq);
+                Ok(Response::Ok(format!("prepared {name} (plan {plan})")))
+            }
+            Request::Entail(target) => {
+                let db = self.current()?.clone();
+                self.evaluate(&db, &target, false)
+            }
+            Request::Countermodel(target) => {
+                let db = self.current()?.clone();
+                self.evaluate(&db, &target, true)
+            }
+            Request::Batch(names) => {
+                let db = self.current()?.clone();
+                let start = Instant::now();
+                let st = db.read();
+                let mut pqs = Vec::with_capacity(names.len());
+                for name in &names {
+                    pqs.push(st.prepared.get(name).ok_or_else(|| {
+                        WireError::registry(format!("unknown prepared query `{name}`"))
+                    })?);
+                }
+                let eng = Engine::new(&st.voc);
+                let mut verdicts = Vec::with_capacity(names.len());
+                for (name, pq) in names.iter().zip(&pqs) {
+                    let v = eng
+                        .entails_prepared(&st.session, pq)
+                        .map_err(|e| WireError::from(&e))?;
+                    verdicts.push((name.clone(), v.holds()));
+                }
+                let n = names.len() as u64;
+                db.stats.queries.fetch_add(n, Ordering::Relaxed);
+                db.stats.prepared_hits.fetch_add(n, Ordering::Relaxed);
+                db.stats.record_latency(start.elapsed().as_nanos() as u64);
+                Ok(Response::Verdicts(verdicts))
+            }
+            Request::Stats => {
+                let db = self.current()?.clone();
+                let st = db.read();
+                let session_stats = st.session.stats();
+                let (p50_ns, p99_ns) = db
+                    .stats
+                    .latency
+                    .lock()
+                    .map(|r| r.p50_p99())
+                    .unwrap_or((0, 0));
+                Ok(Response::Stats(StatsReply {
+                    atoms: st.session.len() as u64,
+                    epoch: session_stats.epoch,
+                    prepared: st.prepared.len() as u64,
+                    queries: db.stats.queries.load(Ordering::Relaxed),
+                    prepared_hits: db.stats.prepared_hits.load(Ordering::Relaxed),
+                    writes: db.stats.writes.load(Ordering::Relaxed),
+                    scaffold_builds: session_stats.scaffold_builds,
+                    scaffold_rebuilds: session_stats.scaffold_rebuilds(),
+                    in_place_patches: session_stats.in_place_patches,
+                    cache_drops: session_stats.cache_drops,
+                    pair_evictions: session_stats.pair_evictions,
+                    contention_fallbacks: session_stats.contention_fallbacks,
+                    p50_ns,
+                    p99_ns,
+                }))
+            }
+            Request::Close => Ok(Response::Bye),
+        }
+    }
+
+    /// Evaluates an `ENTAIL`/`COUNTERMODEL` target under the database's
+    /// read lock and renders the reply — verdict only, or with the
+    /// countermodel witness when `witness` is set. Prepared names hit
+    /// the registry and the warm session; inline text is parsed per
+    /// request (constants supported — the guard facts of §2 constant
+    /// elimination evaluate against an augmented one-shot view, leaving
+    /// the shared session untouched). Rendering happens here, under the
+    /// vocabulary the verdict was produced with: a constant-carrying
+    /// query's countermodel mentions guard predicates that exist only
+    /// in the request-local vocabulary.
+    fn evaluate(
+        &self,
+        db: &Arc<Db>,
+        target: &Target,
+        witness: bool,
+    ) -> Result<Response, WireError> {
+        let start = Instant::now();
+        let st = db.read();
+        let resp = match target {
+            Target::Prepared(name) => {
+                let pq = st.prepared.get(name).ok_or_else(|| {
+                    WireError::registry(format!("unknown prepared query `{name}`"))
+                })?;
+                db.stats.prepared_hits.fetch_add(1, Ordering::Relaxed);
+                let v = Engine::new(&st.voc)
+                    .entails_prepared(&st.session, pq)
+                    .map_err(|e| WireError::from(&e))?;
+                render_verdict(v, &st.voc, witness)
+            }
+            Target::Inline(text) => {
+                let expr = parse_query_expr_in(&st.voc, text).map_err(|e| WireError::from(&e))?;
+                if !mentions_constants(&expr) {
+                    // Constant-free (the common fast path): straight to
+                    // DNF — no database or vocabulary clone — and
+                    // evaluate against the shared warm session.
+                    let q = expr.to_dnf(&st.voc).map_err(|e| WireError::from(&e))?;
+                    let eng = Engine::new(&st.voc);
+                    let pq = eng.prepare(&q).map_err(|e| WireError::from(&e))?;
+                    let v = eng
+                        .entails_prepared(&st.session, &pq)
+                        .map_err(|e| WireError::from(&e))?;
+                    render_verdict(v, &st.voc, witness)
+                } else {
+                    // Constants in the query: clone-and-augment the
+                    // vocabulary and database with their guard facts
+                    // (§2) — one-shot evaluation under the
+                    // request-local vocabulary.
+                    let mut voc2 = st.voc.clone();
+                    let (aug_db, q) = eliminate_constants(&mut voc2, st.session.database(), &expr)
+                        .map_err(|e| WireError::from(&e))?;
+                    let v = Engine::new(&voc2)
+                        .entails(&aug_db, &q)
+                        .map_err(|e| WireError::from(&e))?;
+                    render_verdict(v, &voc2, witness)
+                }
+            }
+        };
+        db.stats.queries.fetch_add(1, Ordering::Relaxed);
+        db.stats.record_latency(start.elapsed().as_nanos() as u64);
+        Ok(resp)
+    }
+}
+
+/// Applies a parsed fragment to the session atom-by-atom (proper facts
+/// then order atoms), returning the atom count. Every write routes
+/// through the session's in-place patching.
+fn apply_fragment(session: &mut Session, fragment_db: &Database) -> u64 {
+    let mut n = 0u64;
+    for atom in fragment_db.proper_atoms() {
+        session.push_proper(atom.clone());
+        n += 1;
+    }
+    for oa in fragment_db.order_atoms() {
+        match oa.rel {
+            OrderRel::Lt => session.assert_lt(oa.lhs, oa.rhs),
+            OrderRel::Le => session.assert_le(oa.lhs, oa.rhs),
+            OrderRel::Ne => session.assert_ne(oa.lhs, oa.rhs),
+        }
+        n += 1;
+    }
+    n
+}
+
+/// Renders a verdict reply: `CERTAIN`/`NOT-CERTAIN`, or — for
+/// `COUNTERMODEL` requests — the witness block. `voc` must be the
+/// vocabulary the verdict was produced under.
+fn render_verdict(v: Verdict, voc: &Vocabulary, witness: bool) -> Response {
+    if !witness {
+        return Response::Verdict(v.holds());
+    }
+    match v {
+        Verdict::Entailed => Response::Verdict(true),
+        Verdict::MonadicCountermodel(m) => {
+            Response::Countermodel(format!("word: {}\n", m.display(voc)))
+        }
+        Verdict::NaryCountermodel(m) => Response::Countermodel(m.display(voc).to_string()),
+    }
+}
+
+/// True when the expression mentions any (object or order) constant.
+fn mentions_constants(e: &QueryExpr) -> bool {
+    let is_const = |t: &QTerm| !matches!(t, QTerm::Var(_));
+    match e {
+        QueryExpr::And(ps) | QueryExpr::Or(ps) => ps.iter().any(mentions_constants),
+        QueryExpr::Exists(_, body) => mentions_constants(body),
+        QueryExpr::Proper { args, .. } => args.iter().any(is_const),
+        QueryExpr::Order { lhs, rhs, .. } => is_const(lhs) || is_const(rhs),
+    }
+}
+
+/// Parses a query that must not mention constants (the `PREPARE` rule:
+/// a registered query evaluates against an evolving database, so
+/// constant guard facts cannot be pinned at compile time).
+fn parse_constant_free(voc: &Vocabulary, text: &str) -> Result<DnfQuery, WireError> {
+    let expr = parse_query_expr_in(voc, text).map_err(|e| WireError::from(&e))?;
+    if mentions_constants(&expr) {
+        return Err(WireError::proto(
+            "PREPARE requires a constant-free query; constants are supported on inline ENTAIL",
+        ));
+    }
+    expr.to_dnf(voc).map_err(|e| WireError::from(&e))
+}
+
+/// A running server: bound address plus shutdown plumbing. Dropping the
+/// handle shuts the accept loop down (worker threads serving still-open
+/// connections finish with their clients).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` and serves the registry's databases on a fixed pool of
+/// `threads` worker threads (each worker owns one client connection at
+/// a time; excess connections queue).
+pub fn serve<A: ToSocketAddrs>(
+    registry: Arc<Registry>,
+    addr: A,
+    threads: usize,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    for _ in 0..threads.max(1) {
+        let rx = Arc::clone(&rx);
+        let registry = Arc::clone(&registry);
+        thread::spawn(move || loop {
+            let stream = {
+                let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+                guard.recv()
+            };
+            match stream {
+                // A panic while serving one client (an engine bug, a
+                // poisoned lock) must not shrink the fixed pool: catch
+                // it, drop the connection, keep the worker.
+                Ok(s) => {
+                    let registry = &registry;
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                        serve_client(s, registry)
+                    }));
+                }
+                Err(_) => break, // accept loop gone
+            }
+        });
+    }
+    let flag = Arc::clone(&shutdown);
+    let accept = thread::spawn(move || {
+        for stream in listener.incoming() {
+            if flag.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(s) => {
+                    if tx.send(s).is_err() {
+                        break;
+                    }
+                }
+                // Transient accept failures (ECONNABORTED from a client
+                // resetting while queued, EMFILE during a burst) must
+                // not kill the listener — skip and keep accepting.
+                Err(_) => continue,
+            }
+        }
+    });
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept: Some(accept),
+    })
+}
+
+/// Serves one client: a request line in, a framed response out, until
+/// `CLOSE` or EOF.
+fn serve_client(stream: TcpStream, registry: &Arc<Registry>) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    let mut conn = Conn::new(Arc::clone(registry));
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() || line.trim_start().starts_with('#') {
+            continue;
+        }
+        let resp = conn.handle_line(&line);
+        let done = matches!(resp, Response::Bye);
+        if writer.write_all(resp.render().as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if done {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ErrorKind;
+
+    fn conn() -> Conn {
+        Conn::new(Arc::new(Registry::new()))
+    }
+
+    #[test]
+    fn open_write_prepare_entail_round() {
+        let mut c = conn();
+        assert!(matches!(
+            c.handle_line("ENTAIL exists t. P(t)"),
+            Response::Error(WireError {
+                kind: ErrorKind::Registry,
+                ..
+            })
+        ));
+        assert!(matches!(c.handle_line("OPEN lab"), Response::Ok(_)));
+        assert!(matches!(
+            c.handle_line("FACT pred Heat(ord); pred Cool(ord); Heat(t1); Cool(t2); t1 < t2;"),
+            Response::Ok(_)
+        ));
+        assert!(matches!(
+            c.handle_line("PREPARE cooled: exists a b. Heat(a) & a < b & Cool(b)"),
+            Response::Ok(_)
+        ));
+        assert_eq!(c.handle_line("ENTAIL cooled"), Response::Verdict(true));
+        assert_eq!(
+            c.handle_line("ENTAIL exists a b. Cool(a) & a < b & Heat(b)"),
+            Response::Verdict(false)
+        );
+        // The same db is visible from a second connection via USE.
+        let mut c2 = Conn::new(Arc::clone(&c.registry));
+        assert!(matches!(c2.handle_line("USE lab"), Response::Ok(_)));
+        assert_eq!(c2.handle_line("ENTAIL cooled"), Response::Verdict(true));
+        assert!(matches!(
+            c2.handle_line("USE nope"),
+            Response::Error(WireError {
+                kind: ErrorKind::Registry,
+                ..
+            })
+        ));
+        assert_eq!(c.handle_line("CLOSE"), Response::Bye);
+    }
+
+    #[test]
+    fn inconsistent_fragment_is_rejected_and_rolled_back() {
+        // A write that would close a `<`-cycle must not poison the
+        // shared database (there is no DELETE): the fragment is
+        // rejected with the typed inconsistency error and the previous
+        // state keeps serving.
+        let mut c = conn();
+        c.handle_line("OPEN lab");
+        assert!(matches!(
+            c.handle_line("FACT pred P(ord); P(u); P(v); u < v;"),
+            Response::Ok(_)
+        ));
+        // An in-place write before the poisoning attempt, so the test
+        // can check the rollback preserves the lifetime counters.
+        assert!(matches!(c.handle_line("ASSERT u <= v;"), Response::Ok(_)));
+        let (patches_before, drops_before) = match c.handle_line("STATS") {
+            Response::Stats(s) => (s.in_place_patches, s.cache_drops),
+            other => panic!("expected stats, got {other:?}"),
+        };
+        assert!(patches_before >= 1);
+        let resp = c.handle_line("FACT v < u;");
+        assert!(
+            matches!(
+                &resp,
+                Response::Error(WireError {
+                    kind: ErrorKind::Inconsistent,
+                    ..
+                })
+            ),
+            "{resp:?}"
+        );
+        // The database still answers, with the poisoning edge absent.
+        assert_eq!(
+            c.handle_line("ENTAIL exists s t. P(s) & s < t & P(t)"),
+            Response::Verdict(true)
+        );
+        let Response::Stats(s) = c.handle_line("STATS") else {
+            panic!("expected stats");
+        };
+        assert_eq!(s.atoms, 4, "rolled-back edge must not be stored");
+        assert_eq!(
+            s.in_place_patches, patches_before,
+            "rollback must not reset lifetime counters: {s:?}"
+        );
+        assert_eq!(
+            s.cache_drops, drops_before,
+            "a rolled-back fragment contributes no counter churn: {s:?}"
+        );
+        // A multi-atom fragment that ends inconsistent rolls back whole.
+        let resp = c.handle_line("FACT P(w); v < w; w < u;");
+        assert!(matches!(resp, Response::Error(_)), "{resp:?}");
+        let Response::Stats(s) = c.handle_line("STATS") else {
+            panic!("expected stats");
+        };
+        assert_eq!(s.atoms, 4, "no partial fragment may survive");
+        assert_eq!(
+            c.handle_line("ENTAIL exists t. P(t)"),
+            Response::Verdict(true)
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_ne_fragment_is_rejected_and_rolled_back() {
+        // A `!=` over an N1-merged pair (or `u != u` outright) leaves
+        // the database with zero models — every query would be
+        // vacuously CERTAIN forever. The write must be rejected like a
+        // `<`-cycle, not acknowledged.
+        let mut c = conn();
+        c.handle_line("OPEN lab");
+        assert!(matches!(
+            c.handle_line("FACT pred P(ord); pred Q(ord); P(u); Q(v); u <= v; v <= u;"),
+            Response::Ok(_)
+        ));
+        let resp = c.handle_line("ASSERT u != v;");
+        assert!(
+            matches!(
+                &resp,
+                Response::Error(WireError {
+                    kind: ErrorKind::Inconsistent,
+                    ..
+                })
+            ),
+            "{resp:?}"
+        );
+        let resp = c.handle_line("ASSERT u != u;");
+        assert!(matches!(resp, Response::Error(_)), "{resp:?}");
+        // The database still has models: an unsupported query must stay
+        // NOT-CERTAIN, not turn vacuously certain.
+        assert_eq!(
+            c.handle_line("ENTAIL exists s t. P(s) & s < t & Q(t)"),
+            Response::Verdict(false)
+        );
+        let Response::Stats(s) = c.handle_line("STATS") else {
+            panic!("expected stats");
+        };
+        assert_eq!(s.atoms, 4, "rejected != atoms must not be stored");
+        // A satisfiable != over distinct vertices still lands.
+        assert!(matches!(
+            c.handle_line("FACT P(w); w < u;"),
+            Response::Ok(_)
+        ));
+        assert!(matches!(c.handle_line("ASSERT w != v;"), Response::Ok(_)));
+    }
+
+    #[test]
+    fn failed_fact_leaves_no_vocabulary_residue() {
+        // A fragment that declares a (wrong) signature and then fails to
+        // parse must not pin that signature: the corrected retry has to
+        // succeed (regression test for write-path vocabulary pollution).
+        let mut c = conn();
+        c.handle_line("OPEN lab");
+        let resp = c.handle_line("FACT pred P(ord, ord); P(u) Q(v);");
+        assert!(matches!(resp, Response::Error(_)), "{resp:?}");
+        assert!(
+            matches!(c.handle_line("FACT pred P(ord); P(u);"), Response::Ok(_)),
+            "retry with the corrected declaration must not conflict"
+        );
+        assert_eq!(
+            c.handle_line("ENTAIL exists t. P(t)"),
+            Response::Verdict(true)
+        );
+    }
+
+    #[test]
+    fn parse_error_spans_are_line_relative() {
+        let mut c = conn();
+        c.handle_line("OPEN lab");
+        let resp = c.handle_line("FACT P(u) @");
+        let Response::Error(e) = resp else {
+            panic!("expected error, got {resp:?}");
+        };
+        assert_eq!(e.kind, ErrorKind::Parse);
+        // `@` sits at byte 10 of the request line.
+        assert_eq!(e.span, Some(indord_core::error::Span::point(10)));
+    }
+
+    #[test]
+    fn countermodel_and_batch_and_stats() {
+        let mut c = conn();
+        c.handle_line("OPEN lab");
+        c.handle_line("FACT pred P(ord); pred Q(ord); P(u); Q(v);");
+        c.handle_line("PREPARE pq: exists s t. P(s) & s < t & Q(t)");
+        c.handle_line("PREPARE any: exists s. P(s)");
+        // Not entailed (unordered db): a countermodel word comes back.
+        let resp = c.handle_line("COUNTERMODEL pq");
+        assert!(matches!(resp, Response::Countermodel(_)), "{resp:?}");
+        // Entailed target answers CERTAIN.
+        assert_eq!(c.handle_line("COUNTERMODEL any"), Response::Verdict(true));
+        let resp = c.handle_line("BATCH pq any");
+        assert_eq!(
+            resp,
+            Response::Verdicts(vec![("pq".into(), false), ("any".into(), true)])
+        );
+        let Response::Stats(s) = c.handle_line("STATS") else {
+            panic!("expected stats");
+        };
+        assert_eq!(s.queries, 4);
+        assert_eq!(s.prepared_hits, 4);
+        assert_eq!(s.prepared, 2);
+        assert!(s.writes >= 2);
+        // An acyclic edge over known constants patches in place.
+        c.handle_line("ASSERT u < v;");
+        let Response::Stats(s) = c.handle_line("STATS") else {
+            panic!("expected stats");
+        };
+        assert!(s.in_place_patches >= 1, "{s:?}");
+        assert_eq!(s.scaffold_rebuilds, 0, "{s:?}");
+        assert_eq!(c.handle_line("ENTAIL pq"), Response::Verdict(true));
+    }
+
+    #[test]
+    fn inline_entail_supports_constants_prepare_rejects_them() {
+        let mut c = conn();
+        c.handle_line("OPEN lab");
+        c.handle_line("FACT pred P(ord); P(u); P(v); u < v;");
+        // `u` is a database constant: inline works, PREPARE refuses.
+        assert_eq!(
+            c.handle_line("ENTAIL exists t. P(t) & u < t"),
+            Response::Verdict(true)
+        );
+        assert_eq!(
+            c.handle_line("ENTAIL exists t. P(t) & t < u"),
+            Response::Verdict(false)
+        );
+        // COUNTERMODEL on a constant-carrying inline query renders the
+        // witness under the request-local vocabulary (the guard
+        // predicates of constant elimination do not exist in the shared
+        // one — regression test for an out-of-bounds panic that killed
+        // the serving worker).
+        match c.handle_line("COUNTERMODEL exists t. P(t) & t < u") {
+            Response::Countermodel(body) => assert!(!body.trim().is_empty()),
+            other => panic!("expected a countermodel, got {other:?}"),
+        }
+        assert_eq!(
+            c.handle_line("COUNTERMODEL exists t. P(t) & u < t"),
+            Response::Verdict(true)
+        );
+        let resp = c.handle_line("PREPARE bad: exists t. P(t) & u < t");
+        assert!(
+            matches!(
+                &resp,
+                Response::Error(WireError {
+                    kind: ErrorKind::Proto,
+                    ..
+                })
+            ),
+            "{resp:?}"
+        );
+        // The inline constant path must not have mutated the shared db.
+        let Response::Stats(s) = c.handle_line("STATS") else {
+            panic!("expected stats");
+        };
+        assert_eq!(s.atoms, 3);
+    }
+}

@@ -1,0 +1,22 @@
+//! Helpers shared by the cross-crate integration suites.
+
+/// The two-observer serving database, in parser syntax: `chains` chains
+/// of `len` points each with mixed `<`/`<=` steps, monadic labels
+/// `P0`/`P1`/`P2` round-robined along them, and one cross-chain `!=`
+/// pair — wide enough that the disjunctive and `!=` routes genuinely
+/// search. Used (parsed) by the concurrency harness and (as a `FACT`
+/// fragment) by the server e2e, so the two suites exercise one shape.
+pub fn serving_db_text(chains: usize, len: usize) -> String {
+    let mut text = String::from("pred P0(ord); pred P1(ord); pred P2(ord); ");
+    for c in 0..chains {
+        for i in 0..len {
+            text.push_str(&format!("P{}(t{c}_{i}); ", (c + i) % 3));
+        }
+        for i in 0..len - 1 {
+            let rel = if i % 3 == 0 { "<=" } else { "<" };
+            text.push_str(&format!("t{c}_{i} {rel} t{c}_{};", i + 1));
+        }
+    }
+    text.push_str("t0_2 != t1_5;");
+    text
+}

@@ -19,24 +19,16 @@ use indord::entail::engine::Verdict;
 use indord::entail::{Engine, PreparedQuery};
 use std::thread;
 
+mod common;
+
 const THREADS: usize = 8;
 const ROUNDS: usize = 40;
 
 /// Two observer chains with mixed `<`/`<=` steps and a `!=` pair — wide
-/// enough that the disjunctive and `!=` routes genuinely search.
+/// enough that the disjunctive and `!=` routes genuinely search (the
+/// same shape the server e2e seeds over the wire).
 fn serving_database(voc: &mut Vocabulary) -> Database {
-    let mut text = String::from("pred P0(ord); pred P1(ord); pred P2(ord); ");
-    for c in 0..2 {
-        for i in 0..12 {
-            text.push_str(&format!("P{}(t{c}_{i}); ", (c + i) % 3));
-        }
-        for i in 0..11 {
-            let rel = if i % 3 == 0 { "<=" } else { "<" };
-            text.push_str(&format!("t{c}_{i} {rel} t{c}_{};", i + 1));
-        }
-    }
-    text.push_str("t0_2 != t1_5;");
-    parse_database(voc, &text).expect("well-formed database")
+    parse_database(voc, &common::serving_db_text(2, 12)).expect("well-formed database")
 }
 
 fn serving_queries(voc: &mut Vocabulary) -> Vec<DnfQuery> {

@@ -1,0 +1,284 @@
+//! End-to-end serving harness: boot `indord-serve`'s runtime on an
+//! ephemeral port and drive the full wire protocol — open → write →
+//! prepare → entail → countermodel → batch → stats — from many
+//! concurrent TCP clients, asserting every verdict against a direct
+//! in-process [`Engine`] oracle.
+//!
+//! The workload is the promoted `prepared_service` monitoring story on
+//! the `concurrent_serving` database shape: two observer chains with
+//! mixed `<`/`<=` steps and a `!=` pair, a fixed query panel compiled
+//! once via `PREPARE`, and single-writer mutation phases (label fact /
+//! acyclic cross-chain edge / known-vertex `!=`) between parallel read
+//! phases. Every write lands on known constants, so the server-side
+//! session must absorb all of them in place: the final `STATS` reply is
+//! asserted to show nonzero prepared-cache hits and in-place patches
+//! and **zero** scaffold rebuilds.
+
+use indord::core::parse::{parse_database, parse_query};
+use indord::core::sym::Vocabulary;
+use indord::entail::Engine;
+use indord_server::protocol::Response;
+use indord_server::runtime::{serve, Registry};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+mod common;
+
+const CLIENTS: usize = 6;
+const ROUNDS: usize = 8;
+
+/// A test client: one TCP connection speaking the line protocol.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to test server");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) -> Response {
+        self.stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send request");
+        Response::read_from(&mut self.reader)
+            .expect("read response")
+            .expect("server replied")
+    }
+
+    fn ok(&mut self, line: &str) {
+        match self.send(line) {
+            Response::Ok(_) => {}
+            other => panic!("`{line}` failed: {other:?}"),
+        }
+    }
+
+    fn close(mut self) {
+        assert_eq!(self.send("CLOSE"), Response::Bye);
+    }
+}
+
+/// The seed fragment: the `concurrent_serving` two-observer shape, sent
+/// through `FACT` exactly as a client would.
+fn seed_fragment() -> String {
+    common::serving_db_text(2, 12)
+}
+
+/// The alert panel: sequential, disjunctive (drives the Thm 5.3
+/// scaffold), and `!=` shapes.
+const PANEL: [(&str, &str); 3] = [
+    ("seq", "exists a b. P0(a) & a < b & P1(b)"),
+    (
+        "disj",
+        "(exists s. P0(s) & P1(s)) | exists s t. P0(s) & s < t & P2(t)",
+    ),
+    ("ne", "exists s t. P0(s) & P2(t) & s != t"),
+];
+
+/// Single-writer mutation phases, all over constants the seed already
+/// interned — the server session must patch every one in place.
+const WRITES: [&str; 4] = [
+    "FACT P2(t0_3);",
+    "ASSERT t0_4 < t1_7;",
+    "ASSERT t0_8 != t1_1;",
+    "ASSERT t0_9 <= t1_10;",
+];
+
+/// The in-process oracle: rebuild the database from the accumulated
+/// fragments and decide the panel with a direct [`Engine`].
+fn oracle_verdicts(fragments: &[&str]) -> Vec<bool> {
+    let mut voc = Vocabulary::new();
+    let text: String = fragments
+        .iter()
+        .map(|f| {
+            f.trim_start_matches("FACT ")
+                .trim_start_matches("ASSERT ")
+                .to_string()
+        })
+        .collect::<Vec<_>>()
+        .join(" ");
+    let db = parse_database(&mut voc, &text).expect("oracle database parses");
+    let queries: Vec<_> = PANEL
+        .iter()
+        .map(|(_, q)| parse_query(&mut voc, q).expect("oracle query parses"))
+        .collect();
+    let eng = Engine::new(&voc);
+    queries
+        .iter()
+        .map(|q| eng.entails(&db, q).expect("oracle evaluates").holds())
+        .collect()
+}
+
+/// One parallel read phase: `CLIENTS` fresh TCP clients hammer the
+/// prepared panel (entail + countermodel + batch), asserting agreement
+/// with the oracle on every reply.
+fn parallel_read_phase(addr: SocketAddr, expected: &[bool]) {
+    thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            scope.spawn(move || {
+                let mut c = Client::connect(addr);
+                c.ok("USE lab");
+                let batch_expected = Response::Verdicts(
+                    PANEL
+                        .iter()
+                        .zip(expected)
+                        .map(|((name, _), &holds)| (name.to_string(), holds))
+                        .collect(),
+                );
+                for _ in 0..ROUNDS {
+                    for ((name, text), &want) in PANEL.iter().zip(expected) {
+                        // Prepared-name route.
+                        assert_eq!(
+                            c.send(&format!("ENTAIL {name}")),
+                            Response::Verdict(want),
+                            "prepared {name} drifted from the oracle"
+                        );
+                        // Inline route (parse per request, same session).
+                        assert_eq!(
+                            c.send(&format!("ENTAIL {text}")),
+                            Response::Verdict(want),
+                            "inline {name} drifted from the oracle"
+                        );
+                        // Witness route: CERTAIN exactly when entailed,
+                        // a countermodel word otherwise.
+                        match c.send(&format!("COUNTERMODEL {name}")) {
+                            Response::Verdict(true) => assert!(want, "{name}: spurious CERTAIN"),
+                            Response::Countermodel(body) => {
+                                assert!(!want, "{name}: spurious countermodel");
+                                assert!(!body.trim().is_empty());
+                            }
+                            other => panic!("COUNTERMODEL {name}: unexpected {other:?}"),
+                        }
+                    }
+                    assert_eq!(
+                        c.send(&format!(
+                            "BATCH {}",
+                            PANEL.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
+                        )),
+                        batch_expected,
+                        "batch verdicts drifted from the oracle"
+                    );
+                }
+                c.close();
+            });
+        }
+    });
+}
+
+#[test]
+fn tcp_served_session_agrees_with_engine_oracle_across_writes() {
+    let registry = Arc::new(Registry::new());
+    let mut handle = serve(registry, "127.0.0.1:0", CLIENTS + 2).expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    // Seed + prepare through the wire, like any client would.
+    let seed = seed_fragment();
+    let mut writer = Client::connect(addr);
+    writer.ok("OPEN lab");
+    writer.ok(&format!("FACT {seed}"));
+    for (name, text) in PANEL {
+        writer.ok(&format!("PREPARE {name}: {text}"));
+    }
+
+    // Phase 0: parallel reads on the seed database (this also warms the
+    // scaffold before the first write, pinning the no-rebuild claim).
+    let mut fragments: Vec<&str> = vec![&seed];
+    parallel_read_phase(addr, &oracle_verdicts(&fragments));
+
+    // Write phases: one mutation each, then parallel reads validated
+    // against a freshly-built oracle.
+    for write in WRITES {
+        writer.ok(write);
+        fragments.push(write);
+        parallel_read_phase(addr, &oracle_verdicts(&fragments));
+    }
+
+    // Concurrent PREPAREs: each client registers its own query and
+    // immediately serves from it (registry writes are serialized by the
+    // db write lock).
+    thread::scope(|scope| {
+        for i in 0..CLIENTS {
+            scope.spawn(move || {
+                let mut c = Client::connect(addr);
+                c.ok("USE lab");
+                c.ok(&format!("PREPARE own{i}: exists s. P{}(s)", i % 3));
+                assert_eq!(c.send(&format!("ENTAIL own{i}")), Response::Verdict(true));
+                c.close();
+            });
+        }
+    });
+
+    // The acceptance gate: nonzero prepared-cache hits and in-place
+    // patches, and the acyclic-edge workload forced no scaffold
+    // rebuild.
+    let stats = match writer.send("STATS") {
+        Response::Stats(s) => s,
+        other => panic!("STATS: unexpected {other:?}"),
+    };
+    let reads_per_phase = (CLIENTS * ROUNDS * (3 * PANEL.len() + PANEL.len())) as u64;
+    assert!(
+        stats.prepared_hits > 0,
+        "prepared cache must serve hits: {stats:?}"
+    );
+    assert!(
+        stats.queries >= reads_per_phase,
+        "query counter undercounts: {stats:?}"
+    );
+    assert_eq!(
+        stats.in_place_patches,
+        WRITES.len() as u64,
+        "every write phase must patch in place: {stats:?}"
+    );
+    assert_eq!(
+        stats.scaffold_rebuilds, 0,
+        "acyclic-edge workload must not rebuild the scaffold: {stats:?}"
+    );
+    assert_eq!(stats.scaffold_builds, 1, "one warm scaffold: {stats:?}");
+    assert_eq!(stats.prepared, (PANEL.len() + CLIENTS) as u64);
+    assert!(
+        stats.p50_ns > 0 && stats.p99_ns >= stats.p50_ns,
+        "{stats:?}"
+    );
+
+    // STATS round-trips the wire representation (protocol sanity at the
+    // integration level).
+    let rendered = Response::Stats(stats).render();
+    let mut r = BufReader::new(rendered.as_bytes());
+    assert_eq!(
+        Response::read_from(&mut r).unwrap().unwrap(),
+        Response::Stats(stats)
+    );
+
+    writer.close();
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_lines_get_spanned_errors_over_the_wire() {
+    let registry = Arc::new(Registry::new());
+    let mut handle = serve(registry, "127.0.0.1:0", 2).expect("bind ephemeral port");
+    let mut c = Client::connect(handle.addr());
+    c.ok("OPEN scratch");
+    let resp = c.send("FACT P(u) @");
+    match resp {
+        Response::Error(e) => {
+            assert_eq!(e.kind, indord_server::protocol::ErrorKind::Parse);
+            // Span in request-line coordinates: the `@` at byte 10.
+            assert_eq!(e.span, Some(indord::core::error::Span::point(10)));
+        }
+        other => panic!("expected spanned parse error, got {other:?}"),
+    }
+    // An unknown prepared name is a registry error, and the connection
+    // keeps serving afterwards.
+    let resp = c.send("ENTAIL nope");
+    assert!(matches!(resp, Response::Error(_)), "{resp:?}");
+    c.ok("FACT pred P(ord); P(u);");
+    assert_eq!(c.send("ENTAIL exists t. P(t)"), Response::Verdict(true));
+    c.close();
+    handle.shutdown();
+}
