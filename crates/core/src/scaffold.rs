@@ -66,6 +66,23 @@
 //! against fresh recomputation (the property suites drive it after every
 //! random mutation).
 //!
+//! ## Sharing across snapshots (MVCC serving)
+//!
+//! A warm scaffold can be **shared read-only** across session snapshots:
+//! [`crate::session::Session`] caches it behind an `Arc`, so freezing a
+//! snapshot ([`crate::session::Session::freeze`]) costs one reference
+//! count, not a rebuild. Concurrent searches on the shared value already
+//! coordinate through the pair-table mutex (with the private-table
+//! contention fallback), so nothing else changes for readers. The write
+//! side must never patch a scaffold that a snapshot can still see:
+//! before mutating, the owning session splits off a private copy via
+//! [`DisjunctiveScaffold::cow_clone`] whenever the `Arc` is shared.
+//! `cow_clone` deliberately uses `try_lock` on the pair table — if a
+//! reader's search run holds it, the writer takes a fresh (empty) pair
+//! table rather than blocking behind the search; the memoized pairs
+//! recompute lazily, the graph-shaped tables (reachability closure,
+//! topological order, `min(D)`) copy either way.
+//!
 //! ## Sub-scaffolds (§7 `!=` restrictions)
 //!
 //! A database `!=` constraint (§7) excludes exactly the minimal models
@@ -101,7 +118,7 @@ use std::sync::{Mutex, MutexGuard};
 /// intern map, and — because edges are only ever added — a tombstoned
 /// vertex list can never become a minimal generator again, so the slot
 /// is dead forever.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct AntichainArena {
     ids: FxHashMap<Box<[u32]>, u32>,
     verts: Vec<Box<[u32]>>,
@@ -161,7 +178,7 @@ impl AntichainArena {
 }
 
 /// The query-independent facts about one `(S, T)` pair of antichains.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PairInfo {
     /// `a(S,T)`: the union of labels over `D(S,T) = (D↾S)\(D↾T)` — the
     /// provisional label of the next model point.
@@ -191,7 +208,7 @@ pub struct PairInfo {
 }
 
 /// Memoized `(S, T)` pair facts over an [`AntichainArena`].
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct PairTable {
     arena: AntichainArena,
     empty_id: u32,
@@ -625,6 +642,33 @@ impl DisjunctiveScaffold {
             pairs,
             max_pairs: None,
             contention: AtomicU64::new(0),
+        }
+    }
+
+    /// A copy-on-write clone for snapshot publication: the graph-shaped
+    /// tables (closure, topo order, initial antichain) are plain deep
+    /// copies, and the shared pair table is cloned through `try_lock` —
+    /// when a concurrent search currently holds it, the clone starts
+    /// from a **fresh** pair table instead of waiting, so a long
+    /// countermodel run on a published snapshot can never block the
+    /// writer that is splitting off its own patchable copy. Evicted this
+    /// way, the memoized pairs recompute transparently on next use; the
+    /// contention-fallback count carries over either way.
+    pub fn cow_clone(&self) -> DisjunctiveScaffold {
+        let pairs = match self.pairs.try_lock() {
+            Ok(g) => g.clone(),
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner().clone(),
+            Err(std::sync::TryLockError::WouldBlock) => PairTable::new(self.n, &self.initial_t),
+        };
+        DisjunctiveScaffold {
+            n: self.n,
+            reach: self.reach.clone(),
+            topo: self.topo.clone(),
+            pos: self.pos.clone(),
+            initial_t: self.initial_t.clone(),
+            pairs: Mutex::new(pairs),
+            max_pairs: self.max_pairs,
+            contention: AtomicU64::new(self.contention.load(Ordering::Relaxed)),
         }
     }
 

@@ -61,6 +61,28 @@
 //! Caches live in [`std::sync::OnceLock`]s: a `&Session` can be shared
 //! across threads serving the same (read-only) workload.
 //!
+//! ## Sharing rules (MVCC snapshots)
+//!
+//! Two clone operations with opposite contracts:
+//!
+//! * [`Clone`] starts **cold** — it exists for rollback snapshots and
+//!   other clones that may be mutated independently, so the two sessions
+//!   must not share cache state;
+//! * [`Session::freeze`] is **warm** — it exists for immutable read
+//!   snapshots (the server's MVCC publication path): cached views are
+//!   carried over and the scaffold is *shared* through an `Arc` rather
+//!   than deep-copied or rebuilt.
+//!
+//! The scaffold is the one cached view that later queries mutate (its
+//! pair table grows under its own mutex — fine to share) **and** that
+//! writes patch in place (not fine to share). The write paths therefore
+//! go through a copy-on-write gate: if the cached `Arc` is shared with
+//! frozen snapshots, the session first splits off a private copy
+//! ([`DisjunctiveScaffold::cow_clone`] — `try_lock` on the pair table,
+//! so a reader's in-flight search can never block the writer) and
+//! patches that. Snapshots keep the exact tables they were published
+//! with, forever.
+//!
 //! A session must be used with a single [`Vocabulary`]: the first call to
 //! [`Session::monadic`] fixes the vocabulary whose signatures the cached
 //! view was built against.
@@ -74,7 +96,7 @@ use crate::monadic::MonadicDatabase;
 use crate::scaffold::{DisjunctiveScaffold, SubScaffold};
 use crate::sym::{ObjSym, OrdSym, PredSym, Vocabulary};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// A snapshot of a session's maintenance counters — the observability
 /// surface behind the server's `STATS` reply and the read-write bench
@@ -217,7 +239,11 @@ pub struct Session {
     monadic: OnceLock<Result<MonadicDatabase>>,
     voc_stamp: OnceLock<VocStamp>,
     profiles: OnceLock<ObjectProfiles>,
-    scaffold: OnceLock<DisjunctiveScaffold>,
+    /// The scaffold is held through an `Arc` so a frozen snapshot
+    /// ([`Session::freeze`]) shares it instead of rebuilding; mutation
+    /// paths split off a private copy first when it is shared (see
+    /// [`Session::scaffold_mut`]).
+    scaffold: OnceLock<Arc<DisjunctiveScaffold>>,
     /// Lifetime count of scaffold builds (see [`SessionStats`]).
     scaffold_builds: AtomicU64,
     /// Lifetime count of in-place write patches (see [`SessionStats`]).
@@ -340,8 +366,22 @@ impl Session {
         let mdb = self.monadic(voc)?;
         Ok(self.scaffold.get_or_init(|| {
             self.scaffold_builds.fetch_add(1, Ordering::Relaxed);
-            DisjunctiveScaffold::new(mdb).with_max_pairs(self.max_pairs)
+            Arc::new(DisjunctiveScaffold::new(mdb).with_max_pairs(self.max_pairs))
         }))
+    }
+
+    /// Unique (mutable) access to the warm scaffold, if any — the
+    /// copy-on-write gate of the snapshot-sharing story. When the cached
+    /// `Arc` is also held by frozen snapshots, the scaffold is cloned
+    /// ([`DisjunctiveScaffold::cow_clone`]) so the snapshots keep their
+    /// immutable view while this session patches its own copy; when the
+    /// session is the sole owner, this is plain in-place access.
+    fn scaffold_mut(&mut self) -> Option<&mut DisjunctiveScaffold> {
+        let arc = self.scaffold.get_mut()?;
+        if Arc::get_mut(arc).is_none() {
+            *arc = Arc::new(arc.cow_clone());
+        }
+        Some(Arc::get_mut(arc).expect("freshly cloned Arc is unique"))
     }
 
     /// The §7 sub-scaffold of the session's database: the cached
@@ -373,6 +413,51 @@ impl Session {
     /// hook: a hot session performs no re-normalization).
     pub fn is_warm(&self) -> bool {
         matches!(self.normal.get(), Some(Ok(_)))
+    }
+
+    /// A **warm** clone for snapshot publication: where [`Clone`]
+    /// deliberately starts cold (two live sessions must never share
+    /// cache state they both mutate), `freeze` is for clones that will
+    /// never be mutated again — MVCC read snapshots. Every computed view
+    /// carries over: the normalized and monadic databases are cloned
+    /// (plain data), the scaffold is **shared** through its `Arc` (one
+    /// reference count instead of re-deriving reachability/topo/pair
+    /// tables), and the maintenance counters copy their current values
+    /// so `STATS` served off a snapshot reports the writer's history.
+    /// The owning session's next mutation sees the shared `Arc` and
+    /// splits off its own scaffold copy (copy-on-write), so the frozen
+    /// view is immutable by construction.
+    pub fn freeze(&self) -> Session {
+        fn copied<T: Clone>(src: &OnceLock<T>) -> OnceLock<T> {
+            let dst = OnceLock::new();
+            if let Some(v) = src.get() {
+                let _ = dst.set(v.clone());
+            }
+            dst
+        }
+        Session {
+            db: self.db.clone(),
+            epoch: self.epoch,
+            max_pairs: self.max_pairs,
+            rebuild_scaffold_on_write: self.rebuild_scaffold_on_write,
+            normal: copied(&self.normal),
+            monadic: copied(&self.monadic),
+            voc_stamp: copied(&self.voc_stamp),
+            profiles: copied(&self.profiles),
+            scaffold: copied(&self.scaffold),
+            scaffold_builds: AtomicU64::new(self.scaffold_builds.load(Ordering::Relaxed)),
+            in_place_patches: AtomicU64::new(self.in_place_patches.load(Ordering::Relaxed)),
+            cache_drops: AtomicU64::new(self.cache_drops.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// True when this session's warm scaffold is the same shared object
+    /// as `other`'s (observability hook for the snapshot-sharing tests).
+    pub fn shares_scaffold_with(&self, other: &Session) -> bool {
+        match (self.scaffold.get(), other.scaffold.get()) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 
     /// Carries another session's lifetime maintenance counters into
@@ -461,8 +546,10 @@ impl Session {
                 // insert affects nothing else the scaffold memoizes).
                 if self.rebuild_scaffold_on_write {
                     self.scaffold.take();
-                } else if let (Some(sc), Some(v)) = (self.scaffold.get_mut(), vertex) {
-                    sc.patch_label_insert(v, atom.pred);
+                } else if let Some(v) = vertex {
+                    if let Some(sc) = self.scaffold_mut() {
+                        sc.patch_label_insert(v, atom.pred);
+                    }
                 }
             }
             (Some(Term::Obj(o)), 1) => {
@@ -556,10 +643,14 @@ impl Session {
         if let Some(Ok(nd)) = self.normal.get_mut() {
             nd.graph.insert_dag_edge(cu, cv, rel);
         }
+        // Take the scaffold out for the patch pass, unsharing it first:
+        // frozen snapshots holding the same `Arc` must keep seeing the
+        // pre-write tables.
         let mut scaffold = self
             .scaffold
             .take()
-            .filter(|_| !self.rebuild_scaffold_on_write);
+            .filter(|_| !self.rebuild_scaffold_on_write)
+            .map(|arc| Arc::try_unwrap(arc).unwrap_or_else(|shared| shared.cow_clone()));
         if let Some(Ok(mdb)) = self.monadic.get_mut() {
             match &mut scaffold {
                 Some(sc) => {
@@ -580,7 +671,7 @@ impl Session {
             scaffold = None;
         }
         if let Some(sc) = scaffold {
-            let _ = self.scaffold.set(sc);
+            let _ = self.scaffold.set(Arc::new(sc));
         }
         true
     }
@@ -620,7 +711,7 @@ impl Session {
         }
         if self.rebuild_scaffold_on_write {
             self.scaffold.take();
-        } else if let Some(sc) = self.scaffold.get_mut() {
+        } else if let Some(sc) = self.scaffold_mut() {
             sc.note_ne_mutation();
         }
         true
@@ -1071,6 +1162,49 @@ mod tests {
         // The cap is enforced on the next acquisition.
         let _ = sc.pairs();
         assert!(s.stats().pair_evictions >= 2, "{:?}", s.stats());
+    }
+
+    #[test]
+    fn freeze_is_warm_and_shares_the_scaffold() {
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "pred P(ord); pred Q(ord); P(u); Q(v);").unwrap();
+        let mut s = Session::new(db);
+        s.disjunctive_scaffold(&voc).unwrap();
+        let snap = s.freeze();
+        assert!(snap.is_warm(), "freeze carries the computed views");
+        assert!(s.shares_scaffold_with(&snap), "one scaffold, two owners");
+        assert_eq!(snap.stats().scaffold_builds, 1, "counters carry over");
+        // A snapshot read must not count as a fresh build.
+        snap.disjunctive_scaffold(&voc).unwrap();
+        assert_eq!(snap.stats().scaffold_builds, 1);
+        // The writer's next patchable write splits off a private copy:
+        // the snapshot keeps its frozen tables, both stay consistent.
+        let (u, v) = (voc.ord("u"), voc.ord("v"));
+        s.assert_lt(u, v);
+        assert!(
+            !s.shares_scaffold_with(&snap),
+            "write must unshare the scaffold"
+        );
+        assert!(snap.scaffold.get().is_some(), "snapshot keeps its view");
+        snap.scaffold
+            .get()
+            .unwrap()
+            .validate(snap.monadic(&voc).unwrap())
+            .expect("frozen scaffold still matches the frozen database");
+        s.scaffold
+            .get()
+            .unwrap()
+            .validate(s.monadic(&voc).unwrap())
+            .expect("writer's split-off scaffold matches the new database");
+        assert_eq!(s.stats().scaffold_builds, 1, "a CoW split is not a rebuild");
+        assert_eq!(s.stats().in_place_patches, 1);
+        // Same for the != path (epoch-bump maintenance under CoW).
+        let snap2 = s.freeze();
+        assert!(s.shares_scaffold_with(&snap2));
+        s.assert_ne(u, v);
+        assert!(!s.shares_scaffold_with(&snap2));
+        assert_eq!(snap2.monadic(&voc).unwrap().ne, vec![]);
+        assert_eq!(s.monadic(&voc).unwrap().ne, vec![(0, 1)]);
     }
 
     #[test]

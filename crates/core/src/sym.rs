@@ -110,6 +110,13 @@ impl Table {
     fn lookup(&self, name: &str) -> Option<u32> {
         self.index.get(name).copied()
     }
+
+    fn truncate(&mut self, len: usize) {
+        debug_assert!(len <= self.names.len(), "truncate cannot grow a table");
+        for name in self.names.drain(len..) {
+            self.index.remove(&name);
+        }
+    }
 }
 
 /// The shared symbol table for a family of databases, queries, and models.
@@ -248,6 +255,48 @@ impl Vocabulary {
     pub fn all_monadic_order(&self) -> bool {
         self.sigs.iter().all(Signature::is_monadic_order)
     }
+
+    /// A rollback point for [`Vocabulary::truncate`]. Interning is
+    /// append-only (ids are dense per kind, never reused while live),
+    /// so the symbol counts at mark time identify exactly the symbols
+    /// added since — the cheap alternative to cloning the whole
+    /// vocabulary around a speculative parse.
+    pub fn mark(&self) -> VocMark {
+        VocMark {
+            preds: self.preds.names.len(),
+            objs: self.objs.names.len(),
+            ords: self.ords.names.len(),
+            fresh: self.fresh_counter,
+        }
+    }
+
+    /// Removes every symbol interned since `mark` was taken, restoring
+    /// the vocabulary to its marked state. Ids handed out since the
+    /// mark become dangling — the caller must also discard whatever was
+    /// built from them (a failed parse's fragment, a rejected write).
+    pub fn truncate(&mut self, mark: VocMark) {
+        self.preds.truncate(mark.preds);
+        self.sigs.truncate(mark.preds);
+        self.objs.truncate(mark.objs);
+        self.ords.truncate(mark.ords);
+        self.fresh_counter = mark.fresh;
+    }
+
+    /// True when any symbol was interned since `mark` was taken.
+    pub fn changed_since(&self, mark: VocMark) -> bool {
+        self.preds.names.len() != mark.preds
+            || self.objs.names.len() != mark.objs
+            || self.ords.names.len() != mark.ords
+    }
+}
+
+/// A [`Vocabulary`] rollback point — see [`Vocabulary::mark`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VocMark {
+    preds: usize,
+    objs: usize,
+    ords: usize,
+    fresh: u64,
 }
 
 #[cfg(test)]
@@ -310,5 +359,42 @@ mod tests {
         assert!(v.find_pred("nope").is_none());
         assert!(v.find_obj("nope").is_none());
         assert!(v.find_ord("nope").is_none());
+    }
+
+    #[test]
+    fn mark_truncate_rolls_back_speculative_interning() {
+        let mut v = Vocabulary::new();
+        let p = v.monadic_pred("P");
+        let u = v.ord("u");
+        let mark = v.mark();
+        assert!(!v.changed_since(mark));
+
+        // Speculative parse: new pred, ord, obj, and a fresh name.
+        v.monadic_pred("Q");
+        v.ord("w");
+        v.obj("o");
+        let f = v.fresh_ord("tmp");
+        assert!(v.changed_since(mark));
+        let fresh_name = v.ord_name(f).to_string();
+
+        v.truncate(mark);
+        assert!(!v.changed_since(mark));
+        assert!(v.find_pred("Q").is_none());
+        assert!(v.find_ord("w").is_none());
+        assert!(v.find_obj("o").is_none());
+        assert!(v.find_ord(&fresh_name).is_none());
+        // Pre-mark symbols keep their ids and names.
+        assert_eq!(v.find_pred("P"), Some(p));
+        assert_eq!(v.find_ord("u"), Some(u));
+        assert_eq!(v.pred_count(), 1);
+        assert_eq!(v.ord_count(), 1);
+        assert_eq!(v.obj_count(), 0);
+
+        // Re-interning after a rollback reuses the freed dense ids, and
+        // the fresh counter restarts from the marked value.
+        let q = v.monadic_pred("Q");
+        assert_eq!(q.index(), 1);
+        let f2 = v.fresh_ord("tmp");
+        assert_eq!(v.ord_name(f2), fresh_name);
     }
 }

@@ -1,19 +1,24 @@
 //! `indord-serve` — serve indefinite-order databases over TCP.
 //!
 //! ```text
-//! indord-serve [--addr 127.0.0.1:7431] [--threads 4] [--open <db>]...
+//! indord-serve [--addr 127.0.0.1:7431] [--threads 4] [--open <db>]... [--rwlock]
 //! ```
 //!
 //! Clients speak the line protocol of `indord_server::protocol`; try
 //! the `indord` REPL: `indord --connect 127.0.0.1:7431`.
+//!
+//! `--rwlock` serves with the PR 5 single-writer/shared-reader lock
+//! instead of the default snapshot-isolated MVCC core — the ablation
+//! baseline the benches compare against.
 
-use indord_server::runtime::{serve, Registry};
+use indord_server::runtime::{serve, ConcurrencyMode, Registry};
 use std::sync::Arc;
 
 fn main() {
     let mut addr = "127.0.0.1:7431".to_string();
     let mut threads = 4usize;
-    let registry = Arc::new(Registry::new());
+    let mut mode = ConcurrencyMode::Mvcc;
+    let mut opens: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -25,12 +30,16 @@ fn main() {
                     .unwrap_or_else(|| usage("--threads needs a number"))
             }
             "--open" => {
-                let name = args.next().unwrap_or_else(|| usage("--open needs a name"));
-                registry.open(&name);
+                opens.push(args.next().unwrap_or_else(|| usage("--open needs a name")));
             }
+            "--rwlock" => mode = ConcurrencyMode::RwLock,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag `{other}`")),
         }
+    }
+    let registry = Arc::new(Registry::with_mode(mode));
+    for name in &opens {
+        registry.open(name);
     }
     let handle = match serve(Arc::clone(&registry), addr.as_str(), threads) {
         Ok(h) => h,
@@ -40,8 +49,13 @@ fn main() {
         }
     };
     println!(
-        "indord-serve listening on {} ({threads} worker threads{})",
+        "indord-serve listening on {} ({threads} worker threads{}{})",
         handle.addr(),
+        if mode == ConcurrencyMode::RwLock {
+            ", rwlock mode"
+        } else {
+            ""
+        },
         if registry.names().is_empty() {
             String::new()
         } else {
@@ -58,6 +72,6 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("indord-serve: {err}");
     }
-    eprintln!("usage: indord-serve [--addr HOST:PORT] [--threads N] [--open DB]...");
+    eprintln!("usage: indord-serve [--addr HOST:PORT] [--threads N] [--open DB]... [--rwlock]");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

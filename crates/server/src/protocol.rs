@@ -37,6 +37,29 @@
 //! <rendered model>
 //! END
 //! ```
+//!
+//! ## Consistency contract (snapshot isolation)
+//!
+//! Reads (`ENTAIL`, `COUNTERMODEL`, `BATCH`, `STATS`) evaluate against
+//! an immutable snapshot of the selected database, pinned once at the
+//! start of the request; writes (`FACT`/`ASSERT`, `PREPARE`) are
+//! group-committed by a per-database mutator thread and become visible
+//! by an atomic snapshot swap. Consequences a client can rely on:
+//!
+//! - **Read-your-own-writes.** A write's `OK` reply is sent only after
+//!   the snapshot containing it has been published, so any *later*
+//!   request on any connection observes it.
+//! - **`BATCH` is atomic-read.** All names in one `BATCH` are evaluated
+//!   against the *same* snapshot, taken once when the request is
+//!   served. A write racing with the batch — even one acknowledged
+//!   between two of its entries from another connection — is either
+//!   visible to every verdict in the reply or to none; there are no
+//!   torn multi-query reads. The flip side: a batch never sees writes
+//!   committed after its snapshot was pinned, however long the batch
+//!   runs.
+//! - **Writers never wait for readers.** A slow `COUNTERMODEL`
+//!   enumeration holds only its own snapshot, not a lock; concurrent
+//!   `FACT`s commit and acknowledge while it runs.
 
 use indord_core::error::{CoreError, Span};
 use std::fmt;
@@ -406,10 +429,33 @@ pub struct StatsReply {
     pub p50_ns: u64,
     /// 99th-percentile request latency, nanoseconds.
     pub p99_ns: u64,
+    /// Write jobs currently queued for the database's mutator thread
+    /// (always 0 under the RwLock ablation mode, and usually 0 at rest).
+    pub commit_queue_depth: u64,
+    /// 99th-percentile commit-queue depth observed at enqueue time.
+    pub queue_depth_p99: u64,
+    /// Group commits executed (mutator drain cycles).
+    pub group_commits: u64,
+    /// Write jobs processed across all group commits; divided by
+    /// `group_commits` this is the mean coalescing factor.
+    pub group_fragments: u64,
+    /// Largest single group commit.
+    pub max_group: u64,
+    /// Snapshots published (one per group commit that changed state).
+    pub snapshots_published: u64,
+    /// Applied write fragments classified patchable (label / acyclic
+    /// edge / known-vertex `!=`) and sorted ahead in their group.
+    pub patchable_writes: u64,
+    /// Applied write fragments classified structural (fresh constants,
+    /// n-ary facts) and sorted behind the patchable ones.
+    pub structural_writes: u64,
+    /// Age of the snapshot that answered this `STATS`, nanoseconds
+    /// since it was published (0 under the RwLock mode).
+    pub snapshot_age_ns: u64,
 }
 
 impl StatsReply {
-    const FIELDS: [&'static str; 14] = [
+    const FIELDS: [&'static str; 23] = [
         "atoms",
         "epoch",
         "prepared",
@@ -424,6 +470,15 @@ impl StatsReply {
         "contention_fallbacks",
         "p50_ns",
         "p99_ns",
+        "commit_queue_depth",
+        "queue_depth_p99",
+        "group_commits",
+        "group_fragments",
+        "max_group",
+        "snapshots_published",
+        "patchable_writes",
+        "structural_writes",
+        "snapshot_age_ns",
     ];
 
     fn get(&self, field: &str) -> u64 {
@@ -442,6 +497,15 @@ impl StatsReply {
             "contention_fallbacks" => self.contention_fallbacks,
             "p50_ns" => self.p50_ns,
             "p99_ns" => self.p99_ns,
+            "commit_queue_depth" => self.commit_queue_depth,
+            "queue_depth_p99" => self.queue_depth_p99,
+            "group_commits" => self.group_commits,
+            "group_fragments" => self.group_fragments,
+            "max_group" => self.max_group,
+            "snapshots_published" => self.snapshots_published,
+            "patchable_writes" => self.patchable_writes,
+            "structural_writes" => self.structural_writes,
+            "snapshot_age_ns" => self.snapshot_age_ns,
             _ => unreachable!("unknown stats field"),
         }
     }
@@ -462,6 +526,15 @@ impl StatsReply {
             "contention_fallbacks" => self.contention_fallbacks = v,
             "p50_ns" => self.p50_ns = v,
             "p99_ns" => self.p99_ns = v,
+            "commit_queue_depth" => self.commit_queue_depth = v,
+            "queue_depth_p99" => self.queue_depth_p99 = v,
+            "group_commits" => self.group_commits = v,
+            "group_fragments" => self.group_fragments = v,
+            "max_group" => self.max_group = v,
+            "snapshots_published" => self.snapshots_published = v,
+            "patchable_writes" => self.patchable_writes = v,
+            "structural_writes" => self.structural_writes = v,
+            "snapshot_age_ns" => self.snapshot_age_ns = v,
             _ => return false,
         }
         true
@@ -712,6 +785,15 @@ mod tests {
                 contention_fallbacks: 1,
                 p50_ns: 8_000,
                 p99_ns: 44_000,
+                commit_queue_depth: 0,
+                queue_depth_p99: 3,
+                group_commits: 4,
+                group_fragments: 9,
+                max_group: 4,
+                snapshots_published: 4,
+                patchable_writes: 7,
+                structural_writes: 2,
+                snapshot_age_ns: 1_234,
             }),
             Response::Bye,
             Response::Error(WireError {

@@ -3,31 +3,42 @@
 //!
 //! ## Consistency contract
 //!
-//! Each named database is a [`Vocabulary`] + warm [`Session`] + prepared
-//! query registry behind one `RwLock` — **single writer, shared
-//! readers**. Writes (`FACT`/`ASSERT`, `PREPARE`) take the database's
-//! write lock and route through [`Session`]'s in-place patching, so the
-//! Theorem 5.3 scaffold survives label inserts, acyclic order edges, and
-//! known-vertex `!=` writes. Reads (`ENTAIL`/`COUNTERMODEL`/`BATCH`)
-//! share the read lock and the warm scaffold; concurrent reads on one
-//! database never serialize on the search state — a contended pair
-//! table falls back to a private one
-//! ([`indord_core::scaffold::DisjunctiveScaffold::pairs`], the ~1%
-//! fallback measured in `tests/concurrent_serving.rs`). A client
-//! therefore observes: its own writes immediately, other clients' writes
-//! atomically (a read sees a prefix of the global write order, never a
-//! torn fragment). Fragments are all-or-nothing: the apply runs against
-//! a snapshot-backed session, and a fragment that fails to parse,
-//! panics mid-apply, or would leave the database without models (a
-//! `<`-cycle, or a `!=` over N1-merged constants — there is no DELETE
-//! to recover with) is rolled back and reported as a typed error.
+//! Each named database serves reads from an immutable, atomically
+//! swapped snapshot and funnels writes through a single mutator thread
+//! — **snapshot isolation + group commit** (epoch-style MVCC), not a
+//! reader/writer lock. A read (`ENTAIL`/`COUNTERMODEL`/`BATCH`/`STATS`)
+//! pins the current [`DbSnapshot`] — a frozen [`Session`] sharing the
+//! warm Theorem 5.3 scaffold by `Arc`, the vocabulary, and the
+//! prepared-query map — and evaluates without blocking or being
+//! blocked: a coNP-hard countermodel enumeration holds only its own
+//! snapshot while writers keep committing. Writes (`FACT`/`ASSERT`,
+//! `PREPARE`) enqueue on the database's commit queue; the mutator
+//! drains the queue into a **group commit**: patchable writes (label
+//! facts, acyclic order edges, known-vertex `!=`) are stably sorted
+//! ahead of structural ones so one scaffold-dropping write doesn't
+//! invalidate the patch pass for its groupmates, each fragment is
+//! applied all-or-nothing with its own typed per-client result, and one
+//! new snapshot is published by a pointer swap *before* the `OK`
+//! replies are sent — so a client observes its own writes on every
+//! later request, and other clients' writes atomically (a snapshot is
+//! always a prefix of the committed write order, never a torn
+//! fragment). Fragment atomicity is unchanged from the lock era: a
+//! fragment that fails to parse, panics mid-apply, or would leave the
+//! database without models (a `<`-cycle, or a `!=` over N1-merged
+//! constants — there is no DELETE to recover with) is rolled back and
+//! reported as a typed error, contributing nothing to the published
+//! state or counters.
+//!
+//! The previous single-writer/shared-reader `RwLock` runtime is kept
+//! behind [`ConcurrencyMode::RwLock`] (see [`Registry::with_mode`]) as
+//! the ablation baseline for the `serving-mvcc` bench group.
 //!
 //! ## Stats
 //!
-//! Every database keeps request counters and a latency ring
-//! ([`DbStats`]); `STATS` merges them with the session's maintenance
-//! counters ([`indord_core::session::SessionStats`]) into a
-//! [`StatsReply`].
+//! Every database keeps request counters, a latency ring, and the
+//! group-commit counters ([`DbStats`]); `STATS` merges them with the
+//! snapshot session's maintenance counters
+//! ([`indord_core::session::SessionStats`]) into a [`StatsReply`].
 
 use crate::protocol::{Request, Response, StatsReply, Target, WireError};
 use indord_core::atom::OrderRel;
@@ -86,13 +97,25 @@ impl LatencyRing {
     }
 }
 
-/// Per-database request counters (lock-free) plus the latency ring.
+/// Per-database request counters (lock-free), the latency ring, and the
+/// MVCC group-commit counters (all zero under the RwLock ablation).
 #[derive(Debug)]
 pub struct DbStats {
     queries: AtomicU64,
     prepared_hits: AtomicU64,
     writes: AtomicU64,
     latency: Mutex<LatencyRing>,
+    /// Write jobs currently enqueued (incremented at submit, decremented
+    /// when the mutator drains them into a group).
+    pending: AtomicU64,
+    /// Queue depths observed at enqueue time, for the depth p99.
+    queue_depths: Mutex<LatencyRing>,
+    group_commits: AtomicU64,
+    group_fragments: AtomicU64,
+    max_group: AtomicU64,
+    snapshots_published: AtomicU64,
+    patchable_writes: AtomicU64,
+    structural_writes: AtomicU64,
 }
 
 impl DbStats {
@@ -102,6 +125,14 @@ impl DbStats {
             prepared_hits: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             latency: Mutex::new(LatencyRing::new()),
+            pending: AtomicU64::new(0),
+            queue_depths: Mutex::new(LatencyRing::new()),
+            group_commits: AtomicU64::new(0),
+            group_fragments: AtomicU64::new(0),
+            max_group: AtomicU64::new(0),
+            snapshots_published: AtomicU64::new(0),
+            patchable_writes: AtomicU64::new(0),
+            structural_writes: AtomicU64::new(0),
         }
     }
 
@@ -115,6 +146,16 @@ impl DbStats {
         self.prepared_hits.load(Ordering::Relaxed)
     }
 
+    /// Group commits executed by the mutator thread.
+    pub fn group_commits(&self) -> u64 {
+        self.group_commits.load(Ordering::Relaxed)
+    }
+
+    /// Write jobs processed across all group commits.
+    pub fn group_fragments(&self) -> u64 {
+        self.group_fragments.load(Ordering::Relaxed)
+    }
+
     /// Records a latency sample. `try_lock`: under reader contention
     /// the sample is dropped rather than serializing the evaluation
     /// paths on this mutex — the ring is a sample, not a ledger.
@@ -123,10 +164,18 @@ impl DbStats {
             ring.push(ns);
         }
     }
+
+    /// Records the queue depth seen by one enqueue (same sampling
+    /// policy as the latency ring).
+    fn record_queue_depth(&self, depth: u64) {
+        if let Ok(mut ring) = self.queue_depths.try_lock() {
+            ring.push(depth);
+        }
+    }
 }
 
-/// The mutable state of one named database, guarded by the db's
-/// `RwLock`.
+/// The mutable state of one named database under the RwLock ablation
+/// mode, guarded by the db's lock.
 #[derive(Debug)]
 struct DbState {
     voc: Vocabulary,
@@ -134,24 +183,201 @@ struct DbState {
     prepared: HashMap<String, PreparedQuery>,
 }
 
-/// One named database: state behind the single-writer lock, counters
-/// outside it.
+/// One published, immutable version of a database: a frozen warm
+/// [`Session`] (scaffold shared by `Arc` — see the session module docs
+/// on sharing rules), the vocabulary it was built under, and the
+/// prepared-query map. Readers pin a snapshot with one `Arc` clone and
+/// keep it for as long as they like; the mutator never touches a
+/// published snapshot.
+#[derive(Debug)]
+pub struct DbSnapshot {
+    /// Shared with the mutator until a write interns new symbols —
+    /// label/edge writes on known constants publish without cloning
+    /// the symbol tables.
+    voc: Arc<Vocabulary>,
+    session: Session,
+    prepared: Arc<HashMap<String, PreparedQuery>>,
+    seq: u64,
+    published_at: Instant,
+}
+
+impl DbSnapshot {
+    /// The vocabulary this snapshot's session and prepared queries were
+    /// compiled under.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.voc
+    }
+
+    /// The frozen session (warm caches, immutable).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Looks up a prepared query.
+    pub fn prepared(&self, name: &str) -> Option<&PreparedQuery> {
+        self.prepared.get(name)
+    }
+
+    /// Number of prepared queries registered in this snapshot.
+    pub fn prepared_len(&self) -> usize {
+        self.prepared.len()
+    }
+
+    /// The commit sequence number (0 = the boot snapshot; +1 per group
+    /// commit that changed state).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Nanoseconds since this snapshot was published.
+    pub fn age_ns(&self) -> u64 {
+        self.published_at.elapsed().as_nanos() as u64
+    }
+}
+
+/// A write operation routed through the commit path.
+#[derive(Debug)]
+enum WriteOp {
+    /// A `FACT`/`ASSERT` fragment (payload text, parser syntax).
+    Fragment(String),
+    /// A `PREPARE` compilation.
+    Prepare { name: String, query: String },
+    /// Test-only: occupy the mutator for `d` so the next jobs queue up
+    /// behind it and drain as one deterministic group.
+    #[cfg(test)]
+    Stall(std::time::Duration),
+}
+
+/// One queued write: the operation plus the channel its typed result is
+/// delivered on (after the snapshot containing it is published).
+#[derive(Debug)]
+struct WriteJob {
+    op: WriteOp,
+    reply: mpsc::Sender<Result<Response, WireError>>,
+}
+
+/// How a [`Registry`] guards its databases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConcurrencyMode {
+    /// Snapshot-isolated reads + group-commit mutator thread (default).
+    #[default]
+    Mvcc,
+    /// The PR 5 single-writer/shared-reader lock, kept as the ablation
+    /// baseline for benches.
+    RwLock,
+}
+
+/// The concurrency core of one database: either the MVCC snapshot slot
+/// plus commit queue, or the legacy lock.
+#[derive(Debug)]
+enum DbCore {
+    Mvcc {
+        current: Arc<RwLock<Arc<DbSnapshot>>>,
+        sender: Mutex<mpsc::Sender<WriteJob>>,
+    },
+    // Boxed: `DbState` is large next to the two-pointer Mvcc arm.
+    Locked(Box<RwLock<DbState>>),
+}
+
+/// One named database: the concurrency core plus counters shared with
+/// the mutator thread.
 #[derive(Debug)]
 pub struct Db {
-    state: RwLock<DbState>,
-    stats: DbStats,
+    core: DbCore,
+    stats: Arc<DbStats>,
+}
+
+/// A pinned read view of a database: an `Arc` snapshot under MVCC, a
+/// read guard under the RwLock ablation. Everything a read needs —
+/// vocabulary, warm session, prepared queries — hangs off it.
+pub struct ReadView<'a>(ViewInner<'a>);
+
+enum ViewInner<'a> {
+    Snapshot(Arc<DbSnapshot>),
+    Guard(std::sync::RwLockReadGuard<'a, DbState>),
+}
+
+impl ReadView<'_> {
+    /// The vocabulary of the pinned state.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        match &self.0 {
+            ViewInner::Snapshot(s) => &s.voc,
+            ViewInner::Guard(g) => &g.voc,
+        }
+    }
+
+    /// The session of the pinned state.
+    pub fn session(&self) -> &Session {
+        match &self.0 {
+            ViewInner::Snapshot(s) => &s.session,
+            ViewInner::Guard(g) => &g.session,
+        }
+    }
+
+    /// Looks up a prepared query in the pinned state.
+    pub fn prepared(&self, name: &str) -> Option<&PreparedQuery> {
+        match &self.0 {
+            ViewInner::Snapshot(s) => s.prepared.get(name),
+            ViewInner::Guard(g) => g.prepared.get(name),
+        }
+    }
+
+    /// Number of prepared queries in the pinned state.
+    pub fn prepared_len(&self) -> usize {
+        match &self.0 {
+            ViewInner::Snapshot(s) => s.prepared.len(),
+            ViewInner::Guard(g) => g.prepared.len(),
+        }
+    }
+
+    /// Age of the pinned snapshot in nanoseconds (0 under the lock: a
+    /// guard is always the live state).
+    fn snapshot_age_ns(&self) -> u64 {
+        match &self.0 {
+            ViewInner::Snapshot(s) => s.age_ns(),
+            ViewInner::Guard(_) => 0,
+        }
+    }
 }
 
 impl Db {
-    fn new(voc: Vocabulary, db: Database) -> Self {
-        Db {
-            state: RwLock::new(DbState {
+    fn new(voc: Vocabulary, db: Database, mode: ConcurrencyMode) -> Self {
+        let stats = Arc::new(DbStats::new());
+        let core = match mode {
+            ConcurrencyMode::RwLock => DbCore::Locked(Box::new(RwLock::new(DbState {
                 voc,
                 session: Session::new(db),
                 prepared: HashMap::new(),
-            }),
-            stats: DbStats::new(),
-        }
+            }))),
+            ConcurrencyMode::Mvcc => {
+                let session = Session::new(db);
+                let voc_arc = Arc::new(voc.clone());
+                let boot = Arc::new(DbSnapshot {
+                    voc: Arc::clone(&voc_arc),
+                    session: session.freeze(),
+                    prepared: Arc::new(HashMap::new()),
+                    seq: 0,
+                    published_at: Instant::now(),
+                });
+                let current = Arc::new(RwLock::new(boot));
+                let (tx, rx) = mpsc::channel::<WriteJob>();
+                {
+                    let current = Arc::clone(&current);
+                    let stats = Arc::clone(&stats);
+                    // Detached: the loop exits when every Sender is
+                    // gone, i.e. when this Db is dropped.
+                    thread::Builder::new()
+                        .name("indord-mutator".into())
+                        .spawn(move || mutator_loop(rx, current, stats, voc, session, voc_arc))
+                        .expect("spawn mutator thread");
+                }
+                DbCore::Mvcc {
+                    current,
+                    sender: Mutex::new(tx),
+                }
+            }
+        };
+        Db { core, stats }
     }
 
     /// The request counters.
@@ -159,32 +385,389 @@ impl Db {
         &self.stats
     }
 
-    fn read(&self) -> std::sync::RwLockReadGuard<'_, DbState> {
-        self.state.read().unwrap_or_else(|p| p.into_inner())
+    /// Pins a read view: one `Arc` clone under a briefly-held lock on
+    /// the snapshot slot (MVCC), or the read guard (ablation).
+    pub fn view(&self) -> ReadView<'_> {
+        match &self.core {
+            DbCore::Mvcc { current, .. } => ReadView(ViewInner::Snapshot(
+                current.read().unwrap_or_else(|p| p.into_inner()).clone(),
+            )),
+            DbCore::Locked(state) => ReadView(ViewInner::Guard(
+                state.read().unwrap_or_else(|p| p.into_inner()),
+            )),
+        }
     }
 
-    fn write(&self) -> std::sync::RwLockWriteGuard<'_, DbState> {
-        self.state.write().unwrap_or_else(|p| p.into_inner())
+    /// Pins the current snapshot as an owned `Arc` — a reader can hold
+    /// it across arbitrary work without blocking anything. `None` under
+    /// the RwLock ablation (there are no snapshots to pin).
+    pub fn read_snapshot(&self) -> Option<Arc<DbSnapshot>> {
+        match &self.core {
+            DbCore::Mvcc { current, .. } => {
+                Some(current.read().unwrap_or_else(|p| p.into_inner()).clone())
+            }
+            DbCore::Locked(_) => None,
+        }
     }
+
+    /// Routes one write through the commit path and blocks for its
+    /// typed per-client result. Under MVCC the reply arrives only after
+    /// the snapshot containing the write was published
+    /// (read-your-own-writes on every later request).
+    fn submit(&self, op: WriteOp) -> Result<Response, WireError> {
+        match &self.core {
+            DbCore::Mvcc { sender, .. } => {
+                let (tx, rx) = mpsc::channel();
+                let depth = self.stats.pending.fetch_add(1, Ordering::Relaxed) + 1;
+                self.stats.record_queue_depth(depth);
+                sender
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .send(WriteJob { op, reply: tx })
+                    .map_err(|_| WireError::proto("database mutator thread is gone"))?;
+                rx.recv()
+                    .unwrap_or_else(|_| Err(WireError::proto("database mutator dropped the write")))
+            }
+            DbCore::Locked(state) => {
+                let mut st = state.write().unwrap_or_else(|p| p.into_inner());
+                let st = &mut *st;
+                match op {
+                    WriteOp::Fragment(fragment) => {
+                        let n = apply_fragment_atomic(&mut st.voc, &mut st.session, &fragment)?;
+                        self.stats.writes.fetch_add(n, Ordering::Relaxed);
+                        Ok(Response::Ok(format!(
+                            "inserted {n} atoms (epoch {})",
+                            st.session.epoch()
+                        )))
+                    }
+                    WriteOp::Prepare { name, query } => {
+                        let pq = compile_prepared(&st.voc, &query)?;
+                        let plan = format!("{:?}", pq.plan());
+                        st.prepared.insert(name.clone(), pq);
+                        Ok(Response::Ok(format!("prepared {name} (plan {plan})")))
+                    }
+                    #[cfg(test)]
+                    WriteOp::Stall(d) => {
+                        thread::sleep(d);
+                        Ok(Response::Ok("stalled".to_string()))
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The mutator thread of one MVCC database: drains the commit queue
+/// into group commits against the private master state, publishes one
+/// snapshot per state-changing group, then releases the writers.
+fn mutator_loop(
+    rx: mpsc::Receiver<WriteJob>,
+    current: Arc<RwLock<Arc<DbSnapshot>>>,
+    stats: Arc<DbStats>,
+    mut voc: Vocabulary,
+    mut session: Session,
+    mut voc_arc: Arc<Vocabulary>,
+) {
+    let mut prepared: Arc<HashMap<String, PreparedQuery>> = Arc::new(HashMap::new());
+    let mut seq = 0u64;
+    while let Ok(first) = rx.recv() {
+        // Group commit: everything already queued rides along.
+        let mut jobs = vec![first];
+        while let Ok(j) = rx.try_recv() {
+            jobs.push(j);
+        }
+        stats
+            .pending
+            .fetch_sub(jobs.len() as u64, Ordering::Relaxed);
+        let group = jobs.len() as u64;
+        // Classify against the pre-group state and stably sort patchable
+        // writes first, so a scaffold-dropping structural write doesn't
+        // force its groupmates off the patch path. The sort only
+        // reorders across concurrent clients (each client blocks per
+        // write, so its own order is preserved); a fragment depending on
+        // a groupmate's fresh constants is conservatively classified
+        // structural, which only affects the ordering, not the result.
+        let mut keyed: Vec<(bool, WriteJob)> = jobs
+            .into_iter()
+            .map(|j| (is_structural(&j.op, &mut voc, &session), j))
+            .collect();
+        keyed.sort_by_key(|(structural, _)| *structural);
+        let group_mark = voc.mark();
+        let mut replies = Vec::with_capacity(keyed.len());
+        let mut mutated = false;
+        for (structural, job) in keyed {
+            // A panic must not take the mutator (and with it every
+            // future write) down: report it as the typed internal error
+            // the lock-era per-client catch_unwind produced.
+            let (result, changed) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                apply_write(&mut voc, &mut session, &mut prepared, &stats, &job.op)
+            }))
+            .unwrap_or_else(|_| {
+                (
+                    Err(WireError::proto(
+                        "internal error while applying the write; rolled back",
+                    )),
+                    false,
+                )
+            });
+            if changed {
+                mutated = true;
+                if matches!(job.op, WriteOp::Fragment(_)) {
+                    if structural {
+                        stats.structural_writes.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        stats.patchable_writes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            replies.push((job.reply, result));
+        }
+        if mutated {
+            // Warm the master before freezing: the master session never
+            // answers queries itself, so without this every published
+            // snapshot would be cold and each reader would rebuild the
+            // scaffold from scratch.
+            let _ = session.normal();
+            let _ = session.disjunctive_scaffold(&voc);
+            seq += 1;
+            // Republish the symbol tables only when this group actually
+            // interned something: label/edge writes on known constants —
+            // the hot path — share the previous `Arc<Vocabulary>` and
+            // skip its clone entirely.
+            if voc.changed_since(group_mark) {
+                voc_arc = Arc::new(voc.clone());
+            }
+            let frozen = session.freeze();
+            // Publish warm all the way down: pre-run the prepared
+            // registry against the frozen session so the first reader
+            // on the new snapshot doesn't pay the cold pair-cache
+            // evaluation (reader-side caches can never flow back into
+            // the master, so without this every commit would cost the
+            // read tail one cold evaluation per prepared query).
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let eng = Engine::new(&voc);
+                for pq in prepared.values() {
+                    let _ = eng.entails_prepared(&frozen, pq);
+                }
+            }));
+            let snap = Arc::new(DbSnapshot {
+                voc: Arc::clone(&voc_arc),
+                session: frozen,
+                prepared: Arc::clone(&prepared),
+                seq,
+                published_at: Instant::now(),
+            });
+            *current.write().unwrap_or_else(|p| p.into_inner()) = snap;
+            stats.snapshots_published.fetch_add(1, Ordering::Relaxed);
+        }
+        stats.group_commits.fetch_add(1, Ordering::Relaxed);
+        stats.group_fragments.fetch_add(group, Ordering::Relaxed);
+        stats.max_group.fetch_max(group, Ordering::Relaxed);
+        // Replies go out only after the publish: the next request from
+        // any released writer sees its own write.
+        for (tx, result) in replies {
+            let _ = tx.send(result);
+        }
+    }
+}
+
+/// Applies one write to the master state. Returns the per-client result
+/// and whether the state changed (a failed fragment is rolled back and
+/// changes nothing).
+fn apply_write(
+    voc: &mut Vocabulary,
+    session: &mut Session,
+    prepared: &mut Arc<HashMap<String, PreparedQuery>>,
+    stats: &DbStats,
+    op: &WriteOp,
+) -> (Result<Response, WireError>, bool) {
+    match op {
+        WriteOp::Fragment(fragment) => match apply_fragment_atomic(voc, session, fragment) {
+            Ok(n) => {
+                stats.writes.fetch_add(n, Ordering::Relaxed);
+                (
+                    Ok(Response::Ok(format!(
+                        "inserted {n} atoms (epoch {})",
+                        session.epoch()
+                    ))),
+                    true,
+                )
+            }
+            Err(e) => (Err(e), false),
+        },
+        WriteOp::Prepare { name, query } => match compile_prepared(voc, query) {
+            Ok(pq) => {
+                let plan = format!("{:?}", pq.plan());
+                Arc::make_mut(prepared).insert(name.clone(), pq);
+                (
+                    Ok(Response::Ok(format!("prepared {name} (plan {plan})"))),
+                    true,
+                )
+            }
+            Err(e) => (Err(e), false),
+        },
+        #[cfg(test)]
+        WriteOp::Stall(d) => {
+            thread::sleep(*d);
+            (Ok(Response::Ok("stalled".to_string())), false)
+        }
+    }
+}
+
+/// True when the fragment is expected to drop session caches rather
+/// than patch in place: it mentions an order constant the current
+/// normalization doesn't know (fresh vertices force a rebuild). A
+/// fragment that fails to parse classifies as patchable — it fails
+/// cheaply wherever it sorts. The classification only orders a group;
+/// it never changes what a write does.
+fn is_structural(op: &WriteOp, voc: &mut Vocabulary, session: &Session) -> bool {
+    let WriteOp::Fragment(text) = op else {
+        return false;
+    };
+    // Speculative parse straight into the master vocabulary, rolled
+    // back via mark/truncate — interning is append-only, so truncating
+    // removes exactly what this parse added. Far cheaper than cloning
+    // the symbol tables per queued job.
+    let mark = voc.mark();
+    let parsed = parse_database(voc, text);
+    let result = match &parsed {
+        Err(_) => false,
+        Ok(fragment_db) => match session.normal() {
+            Err(_) => true,
+            Ok(nd) => {
+                let known = |u| nd.vertex_of.contains_key(&u);
+                fragment_db
+                    .proper_atoms()
+                    .iter()
+                    .any(|a| !a.order_args().all(known))
+                    || fragment_db
+                        .order_atoms()
+                        .iter()
+                        .any(|oa| !known(oa.lhs) || !known(oa.rhs))
+            }
+        },
+    };
+    voc.truncate(mark);
+    result
+}
+
+/// Compiles a `PREPARE` query against the vocabulary (constant-free
+/// rule enforced).
+fn compile_prepared(voc: &Vocabulary, query: &str) -> Result<PreparedQuery, WireError> {
+    let q = parse_constant_free(voc, query)?;
+    Engine::new(voc)
+        .prepare(&q)
+        .map_err(|e| WireError::from(&e))
+}
+
+/// Applies one fragment all-or-nothing: parse straight into the master
+/// vocabulary with a mark/truncate rollback (a failed fragment must
+/// leave neither facts nor interned declarations behind — interning is
+/// append-only, so truncating to the mark removes exactly this parse's
+/// symbols), snapshot-rollback around the can-fail order-atom path, and
+/// reject fragments that leave the database without models. Shared by
+/// the MVCC mutator and the RwLock ablation so both modes keep the
+/// exact PR 5 atomicity contract.
+fn apply_fragment_atomic(
+    voc: &mut Vocabulary,
+    session: &mut Session,
+    fragment: &str,
+) -> Result<u64, WireError> {
+    let vmark = voc.mark();
+    let fragment_db = match parse_database(voc, fragment) {
+        Ok(db) => db,
+        Err(e) => {
+            voc.truncate(vmark);
+            return Err(WireError::from(&e));
+        }
+    };
+    // Only order atoms can make the database unsatisfiable (a `<`/`<=`
+    // edge closing a `<`-cycle, or a `!=` pair whose endpoints
+    // N1-merged — then no model exists and every query is vacuously
+    // certain), so only fragments carrying them pay the rollback
+    // snapshot — the hot label-fact write path applies directly at
+    // in-place-patch cost. The snapshot adopts the current counters
+    // *before* the apply: a rolled-back fragment must contribute
+    // nothing to the lifetime stats.
+    let can_fail = !fragment_db.order_atoms().is_empty();
+    let mut saved = can_fail.then(|| {
+        let mut s = session.clone();
+        s.adopt_counters(session);
+        s
+    });
+    let n = if saved.is_some() {
+        // Atomic apply: a panic mid-fragment or a resulting
+        // inconsistency restores the snapshot — the shared database is
+        // never poisoned or half-written (there is no DELETE to recover
+        // with).
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            apply_fragment(session, &fragment_db)
+        })) {
+            Ok(n) => n,
+            Err(_) => {
+                *session = saved.take().expect("snapshotted");
+                voc.truncate(vmark);
+                return Err(WireError::proto(
+                    "internal error while applying the fragment; rolled back",
+                ));
+            }
+        }
+    } else {
+        apply_fragment(session, &fragment_db)
+    };
+    if saved.is_some() {
+        let failure = match session.normal() {
+            Err(e) => Some(WireError::from(&e)),
+            Ok(nd) if nd.has_contradictory_ne() => Some(WireError {
+                kind: crate::protocol::ErrorKind::Inconsistent,
+                span: None,
+                message: "a != constraint contradicts merged constants; \
+                          the database would have no models"
+                    .to_string(),
+            }),
+            Ok(_) => None,
+        };
+        if let Some(e) = failure {
+            *session = saved.take().expect("snapshotted");
+            voc.truncate(vmark);
+            return Err(e);
+        }
+    }
+    Ok(n)
 }
 
 /// The registry of named databases a server (or embedded REPL) serves.
 #[derive(Debug, Default)]
 pub struct Registry {
     dbs: RwLock<HashMap<String, Arc<Db>>>,
+    mode: ConcurrencyMode,
 }
 
 impl Registry {
-    /// An empty registry.
+    /// An empty registry in the default (MVCC) mode.
     pub fn new() -> Self {
         Registry::default()
+    }
+
+    /// An empty registry in an explicit concurrency mode (the RwLock
+    /// ablation exists for benches and differential tests).
+    pub fn with_mode(mode: ConcurrencyMode) -> Self {
+        Registry {
+            dbs: RwLock::new(HashMap::new()),
+            mode,
+        }
+    }
+
+    /// The concurrency mode databases are created with.
+    pub fn mode(&self) -> ConcurrencyMode {
+        self.mode
     }
 
     /// Create-or-get the named database (the `OPEN` semantics).
     pub fn open(&self, name: &str) -> Arc<Db> {
         let mut dbs = self.dbs.write().unwrap_or_else(|p| p.into_inner());
         dbs.entry(name.to_string())
-            .or_insert_with(|| Arc::new(Db::new(Vocabulary::new(), Database::new())))
+            .or_insert_with(|| Arc::new(Db::new(Vocabulary::new(), Database::new(), self.mode)))
             .clone()
     }
 
@@ -200,7 +783,7 @@ impl Registry {
     /// Installs a database built programmatically (benches, tests,
     /// embedded seeding) under `name`, replacing any previous holder.
     pub fn install(&self, name: &str, voc: Vocabulary, db: Database) -> Arc<Db> {
-        let holder = Arc::new(Db::new(voc, db));
+        let holder = Arc::new(Db::new(voc, db, self.mode));
         self.dbs
             .write()
             .unwrap_or_else(|p| p.into_inner())
@@ -271,7 +854,7 @@ impl Conn {
         match req {
             Request::Open(name) => {
                 let db = self.registry.open(&name);
-                let atoms = db.read().session.len();
+                let atoms = db.view().session().len();
                 self.current = Some(db);
                 Ok(Response::Ok(format!("using {name} ({atoms} atoms)")))
             }
@@ -280,90 +863,17 @@ impl Conn {
                     .registry
                     .get(&name)
                     .ok_or_else(|| WireError::registry(format!("unknown database `{name}`")))?;
-                let atoms = db.read().session.len();
+                let atoms = db.view().session().len();
                 self.current = Some(db);
                 Ok(Response::Ok(format!("using {name} ({atoms} atoms)")))
             }
             Request::Fact(fragment) => {
                 let db = self.current()?.clone();
-                let mut st = db.write();
-                // Parse the whole fragment into a *cloned* vocabulary
-                // first, committing it only on success — a failed
-                // fragment must leave neither facts nor interned
-                // declarations behind (a typo after a bad `pred` line
-                // would otherwise pin a wrong signature forever).
-                let mut voc2 = st.voc.clone();
-                let fragment_db =
-                    parse_database(&mut voc2, &fragment).map_err(|e| WireError::from(&e))?;
-                // Only order atoms can make the database unsatisfiable
-                // (a `<`/`<=` edge closing a `<`-cycle, or a `!=` pair
-                // whose endpoints N1-merged — then no model exists and
-                // every query is vacuously certain), so only fragments
-                // carrying them pay the rollback snapshot — the hot
-                // label-fact write path applies directly at
-                // in-place-patch cost. The snapshot adopts the current
-                // counters *before* the apply: a rolled-back fragment
-                // must contribute nothing to the lifetime stats.
-                let can_fail = !fragment_db.order_atoms().is_empty();
-                let mut saved = can_fail.then(|| {
-                    let mut s = st.session.clone();
-                    s.adopt_counters(&st.session);
-                    s
-                });
-                let n = if saved.is_some() {
-                    // Atomic apply: a panic mid-fragment or a resulting
-                    // inconsistency restores the snapshot — the shared
-                    // database is never poisoned or half-written (there
-                    // is no DELETE to recover with).
-                    let state = &mut *st;
-                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        apply_fragment(&mut state.session, &fragment_db)
-                    })) {
-                        Ok(n) => n,
-                        Err(_) => {
-                            st.session = saved.take().expect("snapshotted");
-                            return Err(WireError::proto(
-                                "internal error while applying the fragment; rolled back",
-                            ));
-                        }
-                    }
-                } else {
-                    apply_fragment(&mut st.session, &fragment_db)
-                };
-                if saved.is_some() {
-                    let failure = match st.session.normal() {
-                        Err(e) => Some(WireError::from(&e)),
-                        Ok(nd) if nd.has_contradictory_ne() => Some(WireError {
-                            kind: crate::protocol::ErrorKind::Inconsistent,
-                            span: None,
-                            message: "a != constraint contradicts merged constants; \
-                                      the database would have no models"
-                                .to_string(),
-                        }),
-                        Ok(_) => None,
-                    };
-                    if let Some(e) = failure {
-                        st.session = saved.take().expect("snapshotted");
-                        return Err(e);
-                    }
-                }
-                st.voc = voc2;
-                db.stats.writes.fetch_add(n, Ordering::Relaxed);
-                Ok(Response::Ok(format!(
-                    "inserted {n} atoms (epoch {})",
-                    st.session.epoch()
-                )))
+                db.submit(WriteOp::Fragment(fragment))
             }
             Request::Prepare { name, query } => {
                 let db = self.current()?.clone();
-                let mut st = db.write();
-                let q = parse_constant_free(&st.voc, &query)?;
-                let pq = Engine::new(&st.voc)
-                    .prepare(&q)
-                    .map_err(|e| WireError::from(&e))?;
-                let plan = format!("{:?}", pq.plan());
-                st.prepared.insert(name.clone(), pq);
-                Ok(Response::Ok(format!("prepared {name} (plan {plan})")))
+                db.submit(WriteOp::Prepare { name, query })
             }
             Request::Entail(target) => {
                 let db = self.current()?.clone();
@@ -374,20 +884,23 @@ impl Conn {
                 self.evaluate(&db, &target, true)
             }
             Request::Batch(names) => {
+                // One view for the whole batch: every verdict in the
+                // reply is computed against the same snapshot (see the
+                // protocol docs' consistency contract).
                 let db = self.current()?.clone();
                 let start = Instant::now();
-                let st = db.read();
+                let view = db.view();
                 let mut pqs = Vec::with_capacity(names.len());
                 for name in &names {
-                    pqs.push(st.prepared.get(name).ok_or_else(|| {
+                    pqs.push(view.prepared(name).ok_or_else(|| {
                         WireError::registry(format!("unknown prepared query `{name}`"))
                     })?);
                 }
-                let eng = Engine::new(&st.voc);
+                let eng = Engine::new(view.vocabulary());
                 let mut verdicts = Vec::with_capacity(names.len());
                 for (name, pq) in names.iter().zip(&pqs) {
                     let v = eng
-                        .entails_prepared(&st.session, pq)
+                        .entails_prepared(view.session(), pq)
                         .map_err(|e| WireError::from(&e))?;
                     verdicts.push((name.clone(), v.holds()));
                 }
@@ -399,18 +912,24 @@ impl Conn {
             }
             Request::Stats => {
                 let db = self.current()?.clone();
-                let st = db.read();
-                let session_stats = st.session.stats();
+                let view = db.view();
+                let session_stats = view.session().stats();
                 let (p50_ns, p99_ns) = db
                     .stats
                     .latency
                     .lock()
                     .map(|r| r.p50_p99())
                     .unwrap_or((0, 0));
+                let (_, queue_depth_p99) = db
+                    .stats
+                    .queue_depths
+                    .lock()
+                    .map(|r| r.p50_p99())
+                    .unwrap_or((0, 0));
                 Ok(Response::Stats(StatsReply {
-                    atoms: st.session.len() as u64,
+                    atoms: view.session().len() as u64,
                     epoch: session_stats.epoch,
-                    prepared: st.prepared.len() as u64,
+                    prepared: view.prepared_len() as u64,
                     queries: db.stats.queries.load(Ordering::Relaxed),
                     prepared_hits: db.stats.prepared_hits.load(Ordering::Relaxed),
                     writes: db.stats.writes.load(Ordering::Relaxed),
@@ -422,19 +941,28 @@ impl Conn {
                     contention_fallbacks: session_stats.contention_fallbacks,
                     p50_ns,
                     p99_ns,
+                    commit_queue_depth: db.stats.pending.load(Ordering::Relaxed),
+                    queue_depth_p99,
+                    group_commits: db.stats.group_commits.load(Ordering::Relaxed),
+                    group_fragments: db.stats.group_fragments.load(Ordering::Relaxed),
+                    max_group: db.stats.max_group.load(Ordering::Relaxed),
+                    snapshots_published: db.stats.snapshots_published.load(Ordering::Relaxed),
+                    patchable_writes: db.stats.patchable_writes.load(Ordering::Relaxed),
+                    structural_writes: db.stats.structural_writes.load(Ordering::Relaxed),
+                    snapshot_age_ns: view.snapshot_age_ns(),
                 }))
             }
             Request::Close => Ok(Response::Bye),
         }
     }
 
-    /// Evaluates an `ENTAIL`/`COUNTERMODEL` target under the database's
-    /// read lock and renders the reply — verdict only, or with the
+    /// Evaluates an `ENTAIL`/`COUNTERMODEL` target against a pinned
+    /// read view and renders the reply — verdict only, or with the
     /// countermodel witness when `witness` is set. Prepared names hit
     /// the registry and the warm session; inline text is parsed per
     /// request (constants supported — the guard facts of §2 constant
     /// elimination evaluate against an augmented one-shot view, leaving
-    /// the shared session untouched). Rendering happens here, under the
+    /// the shared state untouched). Rendering happens here, under the
     /// vocabulary the verdict was produced with: a constant-carrying
     /// query's countermodel mentions guard predicates that exist only
     /// in the request-local vocabulary.
@@ -445,39 +973,43 @@ impl Conn {
         witness: bool,
     ) -> Result<Response, WireError> {
         let start = Instant::now();
-        let st = db.read();
+        let view = db.view();
         let resp = match target {
             Target::Prepared(name) => {
-                let pq = st.prepared.get(name).ok_or_else(|| {
+                let pq = view.prepared(name).ok_or_else(|| {
                     WireError::registry(format!("unknown prepared query `{name}`"))
                 })?;
                 db.stats.prepared_hits.fetch_add(1, Ordering::Relaxed);
-                let v = Engine::new(&st.voc)
-                    .entails_prepared(&st.session, pq)
+                let v = Engine::new(view.vocabulary())
+                    .entails_prepared(view.session(), pq)
                     .map_err(|e| WireError::from(&e))?;
-                render_verdict(v, &st.voc, witness)
+                render_verdict(v, view.vocabulary(), witness)
             }
             Target::Inline(text) => {
-                let expr = parse_query_expr_in(&st.voc, text).map_err(|e| WireError::from(&e))?;
+                let expr = parse_query_expr_in(view.vocabulary(), text)
+                    .map_err(|e| WireError::from(&e))?;
                 if !mentions_constants(&expr) {
                     // Constant-free (the common fast path): straight to
                     // DNF — no database or vocabulary clone — and
-                    // evaluate against the shared warm session.
-                    let q = expr.to_dnf(&st.voc).map_err(|e| WireError::from(&e))?;
-                    let eng = Engine::new(&st.voc);
+                    // evaluate against the pinned warm session.
+                    let q = expr
+                        .to_dnf(view.vocabulary())
+                        .map_err(|e| WireError::from(&e))?;
+                    let eng = Engine::new(view.vocabulary());
                     let pq = eng.prepare(&q).map_err(|e| WireError::from(&e))?;
                     let v = eng
-                        .entails_prepared(&st.session, &pq)
+                        .entails_prepared(view.session(), &pq)
                         .map_err(|e| WireError::from(&e))?;
-                    render_verdict(v, &st.voc, witness)
+                    render_verdict(v, view.vocabulary(), witness)
                 } else {
                     // Constants in the query: clone-and-augment the
                     // vocabulary and database with their guard facts
                     // (§2) — one-shot evaluation under the
                     // request-local vocabulary.
-                    let mut voc2 = st.voc.clone();
-                    let (aug_db, q) = eliminate_constants(&mut voc2, st.session.database(), &expr)
-                        .map_err(|e| WireError::from(&e))?;
+                    let mut voc2 = view.vocabulary().clone();
+                    let (aug_db, q) =
+                        eliminate_constants(&mut voc2, view.session().database(), &expr)
+                            .map_err(|e| WireError::from(&e))?;
                     let v = Engine::new(&voc2)
                         .entails(&aug_db, &q)
                         .map_err(|e| WireError::from(&e))?;
@@ -674,9 +1206,14 @@ fn serve_client(stream: TcpStream, registry: &Arc<Registry>) {
 mod tests {
     use super::*;
     use crate::protocol::ErrorKind;
+    use std::time::Duration;
 
     fn conn() -> Conn {
         Conn::new(Arc::new(Registry::new()))
+    }
+
+    fn conn_with(mode: ConcurrencyMode) -> Conn {
+        Conn::new(Arc::new(Registry::with_mode(mode)))
     }
 
     #[test]
@@ -930,5 +1467,133 @@ mod tests {
             panic!("expected stats");
         };
         assert_eq!(s.atoms, 3);
+    }
+
+    #[test]
+    fn rwlock_ablation_mode_serves_the_same_protocol() {
+        let mut c = conn_with(ConcurrencyMode::RwLock);
+        c.handle_line("OPEN lab");
+        assert!(matches!(
+            c.handle_line("FACT pred P(ord); P(u); P(v); u < v;"),
+            Response::Ok(_)
+        ));
+        assert!(matches!(
+            c.handle_line("PREPARE any: exists s. P(s)"),
+            Response::Ok(_)
+        ));
+        assert_eq!(c.handle_line("ENTAIL any"), Response::Verdict(true));
+        assert_eq!(
+            c.handle_line("BATCH any"),
+            Response::Verdicts(vec![("any".into(), true)])
+        );
+        let Response::Stats(s) = c.handle_line("STATS") else {
+            panic!("expected stats");
+        };
+        assert_eq!(s.atoms, 3);
+        // The MVCC counters are all idle under the lock.
+        assert_eq!(s.group_commits, 0, "{s:?}");
+        assert_eq!(s.snapshots_published, 0, "{s:?}");
+        assert_eq!(s.commit_queue_depth, 0, "{s:?}");
+        assert_eq!(s.snapshot_age_ns, 0, "{s:?}");
+        let db = c.registry.get("lab").unwrap();
+        assert!(db.read_snapshot().is_none(), "no snapshots under the lock");
+    }
+
+    #[test]
+    fn held_snapshot_never_blocks_writers_and_stays_immutable() {
+        let mut c = conn();
+        c.handle_line("OPEN lab");
+        c.handle_line("FACT pred P(ord); P(u); P(v); u < v;");
+        let db = c.registry.get("lab").unwrap();
+        // Pin the current snapshot — the deterministic stand-in for a
+        // long COUNTERMODEL enumeration holding its read state.
+        let pinned = db.read_snapshot().expect("mvcc mode");
+        let atoms_before = pinned.session().len();
+        let seq_before = pinned.seq();
+        // Writes land while the snapshot is held: there is no reader
+        // lock for them to wait on.
+        assert!(matches!(c.handle_line("ASSERT u <= v;"), Response::Ok(_)));
+        assert!(matches!(
+            c.handle_line("FACT P(w); w < u;"),
+            Response::Ok(_)
+        ));
+        let fresh = db.read_snapshot().unwrap();
+        assert!(fresh.seq() > seq_before, "commits advanced the sequence");
+        assert_eq!(
+            pinned.session().len(),
+            atoms_before,
+            "a pinned snapshot is immutable"
+        );
+        assert!(fresh.session().len() > atoms_before);
+        // The pinned snapshot still evaluates, against its own world.
+        let expr = parse_query_expr_in(pinned.vocabulary(), "exists t. P(t)").unwrap();
+        let q = expr.to_dnf(pinned.vocabulary()).unwrap();
+        let eng = Engine::new(pinned.vocabulary());
+        let pq = eng.prepare(&q).unwrap();
+        assert!(eng.entails_prepared(pinned.session(), &pq).unwrap().holds());
+    }
+
+    #[test]
+    fn queued_writes_coalesce_into_one_group_commit() {
+        let mut c = conn();
+        c.handle_line("OPEN lab");
+        c.handle_line("FACT pred P(ord); P(u); P(v); u < v;");
+        let db = c.registry.get("lab").unwrap();
+        // Occupy the mutator with a stall; writes submitted meanwhile
+        // queue up behind it and must drain as one group.
+        let stall = {
+            let db = Arc::clone(&db);
+            thread::spawn(move || db.submit(WriteOp::Stall(Duration::from_millis(150))))
+        };
+        thread::sleep(Duration::from_millis(30)); // let the stall dequeue
+        let writers: Vec<_> = ["u <= v;", "u != v;", "P(w); w < u;"]
+            .into_iter()
+            .map(|f| {
+                let db = Arc::clone(&db);
+                thread::spawn(move || db.submit(WriteOp::Fragment(f.to_string())))
+            })
+            .collect();
+        for w in writers {
+            let resp = w.join().unwrap();
+            assert!(matches!(resp, Ok(Response::Ok(_))), "{resp:?}");
+        }
+        assert!(matches!(stall.join().unwrap(), Ok(Response::Ok(_))));
+        let Response::Stats(s) = c.handle_line("STATS") else {
+            panic!("expected stats");
+        };
+        // Seed FACT + stall + the coalesced burst.
+        assert!(s.max_group >= 2, "burst must coalesce: {s:?}");
+        assert!(s.group_commits >= 2, "{s:?}");
+        assert!(s.group_fragments >= 5, "{s:?}");
+        // Classification: the two known-vertex order writes are
+        // patchable, the seed FACT and the fresh-constant fragment are
+        // structural.
+        assert_eq!(s.patchable_writes, 2, "{s:?}");
+        assert_eq!(s.structural_writes, 2, "{s:?}");
+        assert_eq!(s.commit_queue_depth, 0, "queue drains to empty: {s:?}");
+        assert!(s.queue_depth_p99 >= 1, "{s:?}");
+        assert!(s.snapshots_published >= 2, "{s:?}");
+    }
+
+    #[test]
+    fn writes_are_visible_to_later_requests_on_any_connection() {
+        // Read-your-own-writes: the OK reply is sent only after the
+        // publish, so a later request — here from a *different*
+        // connection — always sees the write.
+        let mut c = conn();
+        c.handle_line("OPEN lab");
+        c.handle_line("FACT pred P(ord); P(u);");
+        let mut c2 = Conn::new(Arc::clone(&c.registry));
+        c2.handle_line("USE lab");
+        for i in 0..20 {
+            assert!(matches!(
+                c.handle_line(&format!("FACT P(x{i});")),
+                Response::Ok(_)
+            ));
+            let Response::Stats(s) = c2.handle_line("STATS") else {
+                panic!("expected stats");
+            };
+            assert_eq!(s.atoms, 2 + i, "write {i} must be visible after its OK");
+        }
     }
 }

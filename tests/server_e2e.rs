@@ -21,6 +21,7 @@ use indord_server::protocol::Response;
 use indord_server::runtime::{serve, Registry};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 
@@ -245,6 +246,26 @@ fn tcp_served_session_agrees_with_engine_oracle_across_writes() {
         "{stats:?}"
     );
 
+    // MVCC group-commit accounting: every write landed through the
+    // mutator, each mutation published a snapshot, the queue drained,
+    // and the current snapshot has measurable age. The seed fragment
+    // (fresh constants) is the one structural write; the four mutation
+    // phases all patch known vertices.
+    assert!(stats.group_commits > 0, "{stats:?}");
+    assert!(stats.snapshots_published > 0, "{stats:?}");
+    assert_eq!(
+        stats.patchable_writes,
+        WRITES.len() as u64,
+        "every mutation phase is patchable: {stats:?}"
+    );
+    assert_eq!(
+        stats.structural_writes, 1,
+        "only the seed fragment is structural: {stats:?}"
+    );
+    assert!(stats.queue_depth_p99 >= 1, "{stats:?}");
+    assert_eq!(stats.commit_queue_depth, 0, "queue must drain: {stats:?}");
+    assert!(stats.snapshot_age_ns > 0, "{stats:?}");
+
     // STATS round-trips the wire representation (protocol sanity at the
     // integration level).
     let rendered = Response::Stats(stats).render();
@@ -255,6 +276,117 @@ fn tcp_served_session_agrees_with_engine_oracle_across_writes() {
     );
 
     writer.close();
+    handle.shutdown();
+}
+
+/// A write burst completes while a long read holds its snapshot: the
+/// MVCC non-blocking contract, end to end.
+///
+/// The "deliberately slow COUNTERMODEL" is modelled two ways at once:
+/// wire clients churn `COUNTERMODEL ne` for the whole burst, and — as a
+/// deterministic stand-in for an enumeration of *arbitrary* duration —
+/// an in-process handle pins a `DbSnapshot` for the entire burst (a
+/// pinned snapshot is exactly what a countermodel enumeration holds
+/// while it walks the state graph). Under the old per-db `RwLock` the
+/// equivalent long read would hold the read guard and every write
+/// would queue behind it; under MVCC the burst lands, publishes fresh
+/// snapshots, and the pinned one stays immutable. The burst completing
+/// *inside* the scope, while `pinned` is still alive, is the claim.
+#[test]
+fn slow_countermodel_reader_never_blocks_the_write_burst() {
+    const BURST: usize = 40;
+    let registry = Arc::new(Registry::new());
+    let mut handle =
+        serve(Arc::clone(&registry), "127.0.0.1:0", CLIENTS + 4).expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    let seed = seed_fragment();
+    let mut admin = Client::connect(addr);
+    admin.ok("OPEN lab");
+    admin.ok(&format!("FACT {seed}"));
+    for (name, text) in PANEL {
+        admin.ok(&format!("PREPARE {name}: {text}"));
+    }
+    let before = match admin.send("STATS") {
+        Response::Stats(s) => s,
+        other => panic!("STATS: unexpected {other:?}"),
+    };
+
+    let db = registry.get("lab").expect("lab registered");
+    // Pin the read view for the whole burst. Under the RwLock ablation
+    // there is no snapshot to pin (`read_snapshot` is `None`) — this
+    // line is what makes the test MVCC-specific.
+    let pinned = db.read_snapshot().expect("MVCC mode serves snapshots");
+    let pinned_seq = pinned.seq();
+    let pinned_atoms = pinned.session().len();
+
+    let stop = AtomicBool::new(false);
+    thread::scope(|scope| {
+        // Wire countermodel readers churn against whatever snapshot is
+        // current, concurrently with the writers.
+        for _ in 0..2 {
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut c = Client::connect(addr);
+                c.ok("USE lab");
+                while !stop.load(Ordering::Relaxed) {
+                    match c.send("COUNTERMODEL ne") {
+                        Response::Verdict(true) | Response::Countermodel(_) => {}
+                        other => panic!("COUNTERMODEL ne: unexpected {other:?}"),
+                    }
+                }
+                c.close();
+            });
+        }
+        // The burst: concurrent writers, label facts on known constants.
+        let writers: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr);
+                    c.ok("USE lab");
+                    for k in 0..BURST {
+                        c.ok(&format!("FACT P{}(t0_{});", (i + k) % 3, k % 12));
+                    }
+                    c.close();
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join()
+                .expect("writer finishes while the reader holds its snapshot");
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // The pinned snapshot never moved while the burst landed past it.
+    assert_eq!(pinned.seq(), pinned_seq);
+    assert_eq!(pinned.session().len(), pinned_atoms);
+    let fresh = db.read_snapshot().expect("snapshot after burst");
+    assert!(
+        fresh.seq() > pinned_seq,
+        "the burst must publish new snapshots behind the pinned one"
+    );
+    drop(pinned);
+
+    let after = match admin.send("STATS") {
+        Response::Stats(s) => s,
+        other => panic!("STATS: unexpected {other:?}"),
+    };
+    assert_eq!(
+        after.writes - before.writes,
+        (CLIENTS * BURST) as u64,
+        "every burst atom must land: {after:?}"
+    );
+    assert!(
+        after.snapshots_published > before.snapshots_published,
+        "{after:?}"
+    );
+    assert!(
+        after.max_group >= 2,
+        "concurrent burst must coalesce into group commits: {after:?}"
+    );
+    assert_eq!(after.commit_queue_depth, 0, "queue must drain: {after:?}");
+    admin.close();
     handle.shutdown();
 }
 

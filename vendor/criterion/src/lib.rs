@@ -31,6 +31,18 @@ pub use std::hint::black_box;
 /// Recorded measurements of this bench process: `(id, ns per iteration)`.
 static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
+/// Records an externally-measured scalar under `id` so hand-rolled
+/// harness numbers (a client-side p99, a writes/sec figure, a
+/// stats-derived ratio) land in the same JSON baseline as [`Bencher`]
+/// medians. Extension beyond the upstream API, used by report-style
+/// bench targets that measure outside `Bencher::iter`.
+pub fn record(id: &str, value: f64) {
+    RESULTS
+        .lock()
+        .expect("results mutex")
+        .push((id.to_string(), value));
+}
+
 /// True when the process was started in smoke mode (`--smoke`).
 pub fn is_smoke() -> bool {
     static SMOKE: OnceLock<bool> = OnceLock::new();
