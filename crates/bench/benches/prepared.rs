@@ -745,10 +745,108 @@ fn report_mvcc(_c: &mut Criterion) {
     }
 }
 
+/// The durability overhead (ISSUE 7 acceptance): write mean through the
+/// wire `Conn` on the in-memory MVCC registry vs a durable registry
+/// under each fsync policy, same workload, same database. One
+/// sequential writer — on the single-core bench box concurrent writers
+/// would measure the scheduler, not the WAL — and every write is its
+/// own group commit, so the `group` leg pays the worst-case one fsync
+/// per write. Target: `fsync=group` write mean ≤ 2x in-memory.
+fn report_durable(_c: &mut Criterion) {
+    use indord_server::durable::StorageConfig;
+    use indord_server::protocol::Response;
+    use indord_server::runtime::{Conn, Registry};
+    use indord_storage::FsyncPolicy;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let (voc, db, _queries) = setup(1024);
+    let writes = if criterion::is_smoke() { 8 } else { 200 };
+    let legs: [(&str, Option<FsyncPolicy>); 4] = [
+        ("in-memory", None),
+        ("group", Some(FsyncPolicy::Group)),
+        ("always", Some(FsyncPolicy::Always)),
+        ("os", Some(FsyncPolicy::Os)),
+    ];
+    let mut means = Vec::new();
+    for (leg, fsync) in legs {
+        let root = fsync.map(|policy| {
+            let root = std::env::temp_dir()
+                .join(format!("indord-bench-durable-{}-{leg}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&root);
+            std::fs::create_dir_all(&root).expect("bench data dir");
+            (root, policy)
+        });
+        let registry = match &root {
+            None => Arc::new(Registry::new()),
+            Some((root, policy)) => {
+                let cfg = StorageConfig {
+                    root: root.clone(),
+                    fsync: *policy,
+                    snapshot_every: 1_000_000, // never: measure the log, not snapshots
+                };
+                Arc::new(Registry::with_storage(cfg).expect("durable registry"))
+            }
+        };
+        registry.install("bench", voc.clone(), db.clone());
+        let mut conn = Conn::new(Arc::clone(&registry));
+        conn.handle_line("USE bench");
+        conn.handle_line("FACT P0(t0_0);"); // warm the write path
+        let mut total = Duration::ZERO;
+        for step in 0..writes {
+            let line = format!("FACT P{}(t0_{});", step % 3, (step * 7) % 512);
+            let t0 = Instant::now();
+            let r = conn.handle_line(&line);
+            total += t0.elapsed();
+            assert!(matches!(r, Response::Ok(_)), "bench write failed: {r:?}");
+        }
+        let mean = total / writes as u32;
+        criterion::record(
+            &format!("prepared/serving-durable/write-mean/{leg}"),
+            mean.as_nanos() as f64,
+        );
+        if matches!(fsync, Some(FsyncPolicy::Group)) {
+            let stats = match conn.handle_line("STATS") {
+                Response::Stats(s) => s,
+                other => panic!("STATS: unexpected {other:?}"),
+            };
+            println!(
+                "prepared/durable-group        {} wal appends, {} bytes, {} fsyncs over {} acked writes",
+                stats.wal_appends,
+                stats.wal_bytes,
+                stats.fsyncs,
+                writes + 1
+            );
+        }
+        registry.shutdown_dbs();
+        drop(conn);
+        drop(registry);
+        if let Some((root, _)) = root {
+            let _ = std::fs::remove_dir_all(&root);
+        }
+        means.push((leg, mean));
+    }
+    let base = means[0].1.as_secs_f64().max(1e-12);
+    for &(leg, mean) in &means[1..] {
+        println!(
+            "prepared/durable-overhead     fsync={leg:<6} write mean: {mean:>10?} vs in-memory {:>10?} = {:.2}x",
+            means[0].1,
+            mean.as_secs_f64() / base
+        );
+    }
+    let group_ratio = means[1].1.as_secs_f64() / base;
+    println!(
+        "prepared/durable-summary      group-fsync write mean {:?} vs in-memory {:?}: {group_ratio:.2}x — target <= 2x: {}",
+        means[1].1,
+        means[0].1,
+        if group_ratio <= 2.0 { "MET" } else { "NOT MET" }
+    );
+}
+
 criterion_group! {
     name = benches;
     config = config();
     targets = bench_repeated_queries, bench_ne_workloads, bench_read_write, bench_eviction,
-        bench_serving, bench_query_mix_batch, report_speedup, report_mvcc
+        bench_serving, bench_query_mix_batch, report_speedup, report_mvcc, report_durable
 }
 criterion_main!(benches);

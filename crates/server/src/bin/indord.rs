@@ -3,16 +3,26 @@
 //! ```text
 //! indord --connect 127.0.0.1:7431    # speak to a running server
 //! indord --embedded                  # in-process, no server (default)
+//! indord --data-dir ./data           # in-process AND durable
 //! ```
 //!
 //! Reads protocol lines from stdin (interactively or piped), prints
 //! framed responses, and carets parse errors at the offending token.
+//! With `--data-dir` the embedded registry is durable: databases are
+//! recovered from the directory at start and every acknowledged write
+//! is WAL-logged, exactly as under `indord-serve --data-dir`.
 
+use indord_server::durable::StorageConfig;
 use indord_server::repl::{run, Backend};
+use indord_server::runtime::Registry;
+use indord_storage::FsyncPolicy;
 use std::io::{self, BufReader, IsTerminal};
+use std::sync::Arc;
 
 fn main() {
     let mut connect: Option<String> = None;
+    let mut data_dir: Option<String> = None;
+    let mut fsync = FsyncPolicy::Group;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -23,9 +33,25 @@ fn main() {
                 )
             }
             "--embedded" => connect = None,
+            "--data-dir" => {
+                data_dir = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--data-dir needs a path")),
+                )
+            }
+            "--fsync" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--fsync needs a value"));
+                fsync = FsyncPolicy::parse(&v)
+                    .unwrap_or_else(|| usage("--fsync takes always, group, or os"));
+            }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag `{other}`")),
         }
+    }
+    if connect.is_some() && data_dir.is_some() {
+        usage("--data-dir is for embedded mode; the server owns durability under --connect");
     }
     let backend = match &connect {
         Some(addr) => match Backend::connect(addr) {
@@ -35,7 +61,23 @@ fn main() {
                 std::process::exit(1);
             }
         },
-        None => Backend::embedded(),
+        None => match &data_dir {
+            None => Backend::embedded(),
+            Some(root) => {
+                let cfg = StorageConfig {
+                    root: root.into(),
+                    fsync,
+                    ..StorageConfig::new(root)
+                };
+                match Registry::with_storage(cfg) {
+                    Ok(r) => Backend::embedded_in(Arc::new(r)),
+                    Err(e) => {
+                        eprintln!("indord: cannot recover data dir {root}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        },
     };
     let stdin = io::stdin();
     let interactive = stdin.is_terminal();
@@ -55,6 +97,8 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("indord: {err}");
     }
-    eprintln!("usage: indord [--connect HOST:PORT | --embedded]");
+    eprintln!(
+        "usage: indord [--connect HOST:PORT | --embedded [--data-dir PATH] [--fsync always|group|os]]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

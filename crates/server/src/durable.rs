@@ -1,0 +1,362 @@
+//! The semantic half of durability: how serving-layer state becomes
+//! bytes and comes back.
+//!
+//! `indord-storage` knows framing, checksums, fsync, and fault
+//! injection over *opaque* payloads; this module decides what the
+//! payloads say. Both formats reuse text round-trips that are already
+//! proptest-pinned elsewhere in the workspace:
+//!
+//! - **WAL payloads** are protocol request lines, verbatim: the text of
+//!   the `FACT`/`ASSERT` fragment or `PREPARE` compilation exactly as
+//!   the mutator received it (`FACT P(u); u < v;`). Replay is
+//!   [`Request::parse`] plus the same apply path the live mutator uses
+//!   — a record that failed to apply before the crash deterministically
+//!   re-fails during replay, so logging *before* applying is safe.
+//! - **Snapshot payloads** are a small text header — the full
+//!   vocabulary in interning order (`PRED`/`ORD`/`OBJ` lines, so symbol
+//!   indices and declaration-only predicates survive) and the prepared
+//!   registry's source text — followed by `Database::display`, whose
+//!   parse∘display identity the core crate pins by property test.
+//!
+//! [`recover_state`] composes the two: load the newest valid snapshot,
+//! replay the WAL records past it (truncating a torn tail with a typed
+//! warning), and hand back a *warm* session — scaffold built, prepared
+//! queries compiled and pre-run — so a restarted server answers its
+//! first query exactly like one that never went down.
+
+use crate::protocol::Request;
+use crate::runtime::{apply_fragment_atomic, compile_prepared};
+use indord_core::database::Database;
+use indord_core::parse::parse_database;
+use indord_core::session::Session;
+use indord_core::sym::{ObjSym, OrdSym, PredSym, Sort, Vocabulary};
+use indord_entail::{Engine, PreparedQuery};
+use indord_storage::{DbDir, FsyncPolicy};
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+
+/// Snapshot payload header (version-stamped).
+const SNAPSHOT_HEADER: &str = "INDORD-SNAPSHOT v1";
+
+/// Registry-level durability settings: where databases live on disk and
+/// how eagerly their WAL is synced.
+#[derive(Debug, Clone)]
+pub struct StorageConfig {
+    /// Data directory; each database gets a subdirectory of its name.
+    pub root: PathBuf,
+    /// When acknowledged writes reach stable storage (see
+    /// [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+    /// Take a snapshot (and compact the WAL) every this many appended
+    /// records.
+    pub snapshot_every: u64,
+}
+
+impl StorageConfig {
+    /// A config with the default policy (`group`) and snapshot cadence.
+    pub fn new(root: impl Into<PathBuf>) -> StorageConfig {
+        StorageConfig {
+            root: root.into(),
+            fsync: FsyncPolicy::Group,
+            snapshot_every: 256,
+        }
+    }
+}
+
+/// Serializes the master state into a snapshot payload.
+///
+/// The vocabulary is emitted exhaustively in interning order — not just
+/// the symbols `Database::display` mentions — so that (a) declaration-
+/// only predicates survive and (b) re-interning on load reproduces the
+/// exact symbol indices the prepared queries and WAL tail were built
+/// against.
+pub(crate) fn encode_snapshot(
+    voc: &Vocabulary,
+    db: &Database,
+    prepared_src: &HashMap<String, String>,
+) -> String {
+    let mut out = String::from(SNAPSHOT_HEADER);
+    out.push('\n');
+    for i in 0..voc.pred_count() {
+        let p = PredSym::from_index(i);
+        out.push_str("PRED ");
+        out.push_str(voc.pred_name(p));
+        for s in &voc.signature(p).arg_sorts {
+            out.push(' ');
+            out.push_str(match s {
+                Sort::Order => "ord",
+                Sort::Object => "obj",
+            });
+        }
+        out.push('\n');
+    }
+    for i in 0..voc.ord_count() {
+        out.push_str("ORD ");
+        out.push_str(voc.ord_name(OrdSym::from_index(i)));
+        out.push('\n');
+    }
+    for i in 0..voc.obj_count() {
+        out.push_str("OBJ ");
+        out.push_str(voc.obj_name(ObjSym::from_index(i)));
+        out.push('\n');
+    }
+    let mut names: Vec<&String> = prepared_src.keys().collect();
+    names.sort();
+    for name in names {
+        out.push_str("PREPARE ");
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(&prepared_src[name]);
+        out.push('\n');
+    }
+    out.push_str("DB\n");
+    out.push_str(&db.display(voc).to_string());
+    out
+}
+
+/// A decoded snapshot: vocabulary, database, and the prepared queries'
+/// `(name, source)` pairs.
+pub(crate) type DecodedSnapshot = (Vocabulary, Database, Vec<(String, String)>);
+
+/// Inverse of [`encode_snapshot`]: vocabulary, database, and the
+/// prepared queries' source text. Errors are strings — a snapshot that
+/// passed its checksum but fails here is a bug or version skew, not
+/// routine corruption.
+pub(crate) fn decode_snapshot(payload: &[u8]) -> Result<DecodedSnapshot, String> {
+    let text = std::str::from_utf8(payload).map_err(|e| format!("snapshot is not UTF-8: {e}"))?;
+    let mut voc = Vocabulary::new();
+    let mut prepared = Vec::new();
+    let mut lines = text.lines();
+    if lines.next() != Some(SNAPSHOT_HEADER) {
+        return Err("snapshot header mismatch".to_string());
+    }
+    let mut consumed = SNAPSHOT_HEADER.len() + 1;
+    for line in lines {
+        consumed += line.len() + 1;
+        if line == "DB" {
+            let body = text.get(consumed..).unwrap_or("");
+            let db = parse_database(&mut voc, body)
+                .map_err(|e| format!("snapshot database text: {e}"))?;
+            return Ok((voc, db, prepared));
+        }
+        if let Some(rest) = line.strip_prefix("PRED ") {
+            let mut toks = rest.split_whitespace();
+            let name = toks.next().ok_or("PRED line without a name")?;
+            let sorts: Vec<Sort> = toks
+                .map(|t| match t {
+                    "ord" => Ok(Sort::Order),
+                    "obj" => Ok(Sort::Object),
+                    other => Err(format!("unknown sort token `{other}`")),
+                })
+                .collect::<Result<_, _>>()?;
+            voc.pred(name, &sorts)
+                .map_err(|e| format!("snapshot PRED {name}: {e}"))?;
+        } else if let Some(name) = line.strip_prefix("ORD ") {
+            voc.ord(name.trim());
+        } else if let Some(name) = line.strip_prefix("OBJ ") {
+            voc.obj(name.trim());
+        } else if line.starts_with("PREPARE ") {
+            match Request::parse(line) {
+                Ok(Request::Prepare { name, query }) => prepared.push((name, query)),
+                _ => return Err(format!("bad snapshot PREPARE line: {line}")),
+            }
+        } else {
+            return Err(format!("unknown snapshot line: {line}"));
+        }
+    }
+    Err("snapshot has no DB section".to_string())
+}
+
+/// Everything a durable database needs to resume serving: rebuilt warm
+/// state plus the bookkeeping to keep appending where the log left off.
+pub(crate) struct RecoveredState {
+    pub voc: Vocabulary,
+    pub session: Session,
+    pub prepared: HashMap<String, PreparedQuery>,
+    pub prepared_src: HashMap<String, String>,
+    /// Id the reopened WAL continues from.
+    pub next_id: u64,
+    /// Records replayed past the snapshot (the starting point of the
+    /// snapshot cadence counter).
+    pub since_snapshot: u64,
+    /// WAL records whose replay re-applied state (`FACT` fragments and
+    /// `PREPARE` compilations that succeeded — failed records re-fail
+    /// deterministically and count as skipped).
+    pub replayed_fragments: u64,
+    /// Bytes truncated off a torn WAL tail.
+    pub truncated_bytes: u64,
+}
+
+/// Rebuilds one database from its directory: newest valid snapshot,
+/// WAL replay, torn-tail truncation, then scaffold + prepared warmup.
+pub(crate) fn recover_state(dir: &DbDir) -> io::Result<RecoveredState> {
+    let rec = dir.recover()?;
+    if let Some(torn) = rec.torn {
+        eprintln!(
+            "indord-storage: {}: torn wal tail at byte {} ({}); truncated {} bytes",
+            dir.path().display(),
+            torn.offset,
+            torn.reason,
+            rec.truncated_bytes
+        );
+    }
+    let mut prepared: HashMap<String, PreparedQuery> = HashMap::new();
+    let mut prepared_src: HashMap<String, String> = HashMap::new();
+    let (mut voc, db) = match &rec.snapshot {
+        None => (Vocabulary::new(), Database::new()),
+        Some(snap) => {
+            if snap.skipped_corrupt > 0 {
+                eprintln!(
+                    "indord-storage: {}: skipped {} corrupt snapshot file(s); \
+                     recovering from snapshot {} plus the wal",
+                    dir.path().display(),
+                    snap.skipped_corrupt,
+                    snap.id
+                );
+            }
+            let (voc, db, prepared_list) = decode_snapshot(&snap.payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            for (name, query) in prepared_list {
+                let pq = compile_prepared(&voc, &query).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("snapshot prepared `{name}`: {}", e.message),
+                    )
+                })?;
+                prepared.insert(name.clone(), pq);
+                prepared_src.insert(name, query);
+            }
+            (voc, db)
+        }
+    };
+    let mut session = Session::new(db);
+    let mut replayed = 0u64;
+    for (id, payload) in &rec.records {
+        let line = String::from_utf8_lossy(payload);
+        match Request::parse(&line) {
+            Ok(Request::Fact(fragment)) => {
+                if apply_fragment_atomic(&mut voc, &mut session, &fragment).is_ok() {
+                    replayed += 1;
+                }
+            }
+            Ok(Request::Prepare { name, query }) => {
+                if let Ok(pq) = compile_prepared(&voc, &query) {
+                    prepared.insert(name.clone(), pq);
+                    prepared_src.insert(name, query.to_string());
+                    replayed += 1;
+                }
+            }
+            _ => {
+                // Version skew or foreign bytes that happened to
+                // checksum: skip, loudly — never guess at semantics.
+                eprintln!(
+                    "indord-storage: {}: skipping unintelligible wal record {id}",
+                    dir.path().display()
+                );
+            }
+        }
+    }
+    // Come back *warm*: build the scaffold and pre-run the prepared
+    // registry now, at boot, so the first post-restart query patches
+    // and hits instead of rebuilding (the restart-warmth e2e leg pins
+    // this: zero scaffold rebuilds on the first ENTAIL).
+    let _ = session.normal();
+    let _ = session.disjunctive_scaffold(&voc);
+    let frozen = session.freeze();
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let eng = Engine::new(&voc);
+        for pq in prepared.values() {
+            let _ = eng.entails_prepared(&frozen, pq);
+        }
+    }));
+    Ok(RecoveredState {
+        voc,
+        session,
+        prepared,
+        prepared_src,
+        next_id: rec.next_id,
+        since_snapshot: rec.records.len() as u64,
+        replayed_fragments: replayed,
+        truncated_bytes: rec.truncated_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a small state through the live apply path and round-trips
+    /// it through the snapshot text format.
+    #[test]
+    fn snapshot_round_trip_preserves_vocabulary_and_state() {
+        let mut voc = Vocabulary::new();
+        let mut session = Session::new(Database::new());
+        apply_fragment_atomic(
+            &mut voc,
+            &mut session,
+            "pred Heat(ord); pred Cool(ord); Heat(t1); Cool(t2); t1 < t2;",
+        )
+        .unwrap();
+        // A declaration-only predicate and a declaration-only constant:
+        // both must survive the round trip even though no atom uses
+        // them.
+        apply_fragment_atomic(&mut voc, &mut session, "pred Spare(ord, obj);").unwrap();
+        let mut prepared_src = HashMap::new();
+        prepared_src.insert(
+            "cooled".to_string(),
+            "exists a b. Heat(a) & a < b & Cool(b)".to_string(),
+        );
+
+        let payload = encode_snapshot(&voc, session.database(), &prepared_src);
+        let (voc2, db2, prepared2) = decode_snapshot(payload.as_bytes()).unwrap();
+
+        assert_eq!(voc2.pred_count(), voc.pred_count());
+        assert_eq!(voc2.ord_count(), voc.ord_count());
+        assert_eq!(voc2.obj_count(), voc.obj_count());
+        // Same interning order: every name maps to the same index.
+        for i in 0..voc.pred_count() {
+            let p = PredSym::from_index(i);
+            assert_eq!(voc2.pred_name(p), voc.pred_name(p));
+            assert_eq!(voc2.signature(p).arg_sorts, voc.signature(p).arg_sorts);
+        }
+        for i in 0..voc.ord_count() {
+            let u = OrdSym::from_index(i);
+            assert_eq!(voc2.ord_name(u), voc.ord_name(u));
+        }
+        assert_eq!(
+            db2.proper_atoms().len(),
+            session.database().proper_atoms().len()
+        );
+        assert_eq!(
+            db2.order_atoms().len(),
+            session.database().order_atoms().len()
+        );
+        assert_eq!(
+            prepared2,
+            vec![(
+                "cooled".to_string(),
+                "exists a b. Heat(a) & a < b & Cool(b)".to_string()
+            )]
+        );
+        // And the re-encoded snapshot is byte-identical (a fixpoint).
+        assert_eq!(
+            encode_snapshot(&voc2, &db2, &prepared_src),
+            payload,
+            "snapshot encoding must be a fixpoint under decode∘encode"
+        );
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_snapshot(b"not a snapshot").is_err());
+        assert!(decode_snapshot("INDORD-SNAPSHOT v1\nWHAT x\nDB\n".as_bytes()).is_err());
+        assert!(decode_snapshot("INDORD-SNAPSHOT v1\nPRED P zap\nDB\n".as_bytes()).is_err());
+        assert!(decode_snapshot("INDORD-SNAPSHOT v1\nORD u\n".as_bytes()).is_err());
+        // Valid empty state.
+        let (voc, db, prepared) = decode_snapshot("INDORD-SNAPSHOT v1\nDB\n".as_bytes()).unwrap();
+        assert_eq!(voc.pred_count(), 0);
+        assert!(db.proper_atoms().is_empty());
+        assert!(prepared.is_empty());
+    }
+}

@@ -9,14 +9,22 @@
 //! * [`runtime`] — the [`Registry`](runtime::Registry) of named
 //!   databases (vocabulary + warm
 //!   [`Session`](indord_core::session::Session) + prepared-query
-//!   registry behind a single-writer/shared-reader lock), per-database
-//!   stats with latency rings, and the thread-pooled TCP accept loop
+//!   registry, served MVCC-style from immutable snapshots with a
+//!   group-commit mutator per database), per-database stats with
+//!   latency rings, and the thread-pooled TCP accept loop
 //!   ([`runtime::serve`]);
+//! * [`durable`] — the semantic half of durability: snapshot payload
+//!   encoding and crash recovery (snapshot load + WAL replay + warmup)
+//!   on top of the `indord-storage` crate's checksummed log;
 //! * [`repl`] — the `indord` client loop, speaking the protocol over
 //!   TCP or in-process.
 //!
 //! Two binaries ship with the crate: `indord-serve` (the server) and
 //! `indord` (the REPL client, with `--embedded` for serverless use).
+//! Both take `--data-dir <path>` to serve durably: acknowledged writes
+//! are WAL-logged (fsync policy `always`/`group`/`os`), snapshots are
+//! taken on a cadence, and a restart replays the log and comes back
+//! *warm* — scaffold built, prepared queries compiled and pre-run.
 //!
 //! ```
 //! use indord_server::protocol::Response;
@@ -33,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod protocol;
 pub mod repl;
 pub mod runtime;

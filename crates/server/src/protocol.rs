@@ -15,6 +15,7 @@
 //! COUNTERMODEL <name-or-query>     like ENTAIL, but return a witness
 //! BATCH <name> <name> ...          evaluate several prepared queries
 //! STATS                            per-database counters and latency
+//! FLUSH                            force a snapshot + WAL compaction (durable dbs)
 //! CLOSE                            end the connection
 //! ```
 //!
@@ -125,6 +126,9 @@ pub enum Request {
     Batch(Vec<String>),
     /// `STATS`.
     Stats,
+    /// `FLUSH`: force a snapshot and WAL compaction now (errors on a
+    /// database without durable storage).
+    Flush,
     /// `CLOSE`.
     Close,
 }
@@ -204,12 +208,16 @@ impl Request {
                 need(rest.is_empty(), "STATS takes no arguments")?;
                 Ok((Request::Stats, payload))
             }
+            "FLUSH" => {
+                need(rest.is_empty(), "FLUSH takes no arguments")?;
+                Ok((Request::Flush, payload))
+            }
             "CLOSE" => {
                 need(rest.is_empty(), "CLOSE takes no arguments")?;
                 Ok((Request::Close, payload))
             }
             _ => Err(bad(&format!(
-                "unknown command `{word}` (try OPEN/USE/FACT/PREPARE/ENTAIL/COUNTERMODEL/BATCH/STATS/CLOSE)"
+                "unknown command `{word}` (try OPEN/USE/FACT/PREPARE/ENTAIL/COUNTERMODEL/BATCH/STATS/FLUSH/CLOSE)"
             ))),
         }
     }
@@ -231,6 +239,7 @@ impl fmt::Display for Request {
             Request::Countermodel(t) => write!(f, "COUNTERMODEL {t}"),
             Request::Batch(names) => write!(f, "BATCH {}", names.join(" ")),
             Request::Stats => write!(f, "STATS"),
+            Request::Flush => write!(f, "FLUSH"),
             Request::Close => write!(f, "CLOSE"),
         }
     }
@@ -452,10 +461,26 @@ pub struct StatsReply {
     /// Age of the snapshot that answered this `STATS`, nanoseconds
     /// since it was published (0 under the RwLock mode).
     pub snapshot_age_ns: u64,
+    /// WAL records appended (0 for an in-memory database; all wal_*,
+    /// fsync, snapshot-file, and recovery counters below likewise).
+    pub wal_appends: u64,
+    /// WAL bytes appended (headers + payloads).
+    pub wal_bytes: u64,
+    /// fsyncs issued by the WAL (policy-dependent: ~1 per record under
+    /// `always`, ~1 per group commit under `group`, 0 under `os`).
+    pub fsyncs: u64,
+    /// Snapshot files written (cadence + FLUSH).
+    pub snapshots_written: u64,
+    /// WAL compactions completed after a snapshot.
+    pub compactions: u64,
+    /// WAL records replayed during boot recovery.
+    pub recovery_replayed_fragments: u64,
+    /// Torn-tail bytes truncated during boot recovery.
+    pub recovery_truncated_bytes: u64,
 }
 
 impl StatsReply {
-    const FIELDS: [&'static str; 23] = [
+    const FIELDS: [&'static str; 30] = [
         "atoms",
         "epoch",
         "prepared",
@@ -479,6 +504,13 @@ impl StatsReply {
         "patchable_writes",
         "structural_writes",
         "snapshot_age_ns",
+        "wal_appends",
+        "wal_bytes",
+        "fsyncs",
+        "snapshots_written",
+        "compactions",
+        "recovery_replayed_fragments",
+        "recovery_truncated_bytes",
     ];
 
     fn get(&self, field: &str) -> u64 {
@@ -506,6 +538,13 @@ impl StatsReply {
             "patchable_writes" => self.patchable_writes,
             "structural_writes" => self.structural_writes,
             "snapshot_age_ns" => self.snapshot_age_ns,
+            "wal_appends" => self.wal_appends,
+            "wal_bytes" => self.wal_bytes,
+            "fsyncs" => self.fsyncs,
+            "snapshots_written" => self.snapshots_written,
+            "compactions" => self.compactions,
+            "recovery_replayed_fragments" => self.recovery_replayed_fragments,
+            "recovery_truncated_bytes" => self.recovery_truncated_bytes,
             _ => unreachable!("unknown stats field"),
         }
     }
@@ -535,6 +574,13 @@ impl StatsReply {
             "patchable_writes" => self.patchable_writes = v,
             "structural_writes" => self.structural_writes = v,
             "snapshot_age_ns" => self.snapshot_age_ns = v,
+            "wal_appends" => self.wal_appends = v,
+            "wal_bytes" => self.wal_bytes = v,
+            "fsyncs" => self.fsyncs = v,
+            "snapshots_written" => self.snapshots_written = v,
+            "compactions" => self.compactions = v,
+            "recovery_replayed_fragments" => self.recovery_replayed_fragments = v,
+            "recovery_truncated_bytes" => self.recovery_truncated_bytes = v,
             _ => return false,
         }
         true
@@ -711,6 +757,7 @@ mod tests {
             Request::Countermodel(Target::Prepared("cooled".into())),
             Request::Batch(vec!["a".into(), "b".into()]),
             Request::Stats,
+            Request::Flush,
             Request::Close,
         ];
         for r in cases {
@@ -794,6 +841,13 @@ mod tests {
                 patchable_writes: 7,
                 structural_writes: 2,
                 snapshot_age_ns: 1_234,
+                wal_appends: 9,
+                wal_bytes: 412,
+                fsyncs: 4,
+                snapshots_written: 1,
+                compactions: 1,
+                recovery_replayed_fragments: 6,
+                recovery_truncated_bytes: 17,
             }),
             Response::Bye,
             Response::Error(WireError {

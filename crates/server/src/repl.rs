@@ -74,6 +74,7 @@ const HELP: &str = "commands:
   COUNTERMODEL <name-or-query>  like ENTAIL, with a witness on failure
   BATCH <name> <name> ...       evaluate prepared queries together
   STATS                         serving counters for the selected db
+  FLUSH                         force a snapshot + log compaction (durable dbs)
   CLOSE                         quit";
 
 /// Runs the REPL loop: lines from `input` to the backend, responses to

@@ -40,6 +40,7 @@
 //! snapshot session's maintenance counters
 //! ([`indord_core::session::SessionStats`]) into a [`StatsReply`].
 
+use crate::durable::{self, RecoveredState, StorageConfig};
 use crate::protocol::{Request, Response, StatsReply, Target, WireError};
 use indord_core::atom::OrderRel;
 use indord_core::database::Database;
@@ -49,6 +50,7 @@ use indord_core::session::Session;
 use indord_core::sym::Vocabulary;
 use indord_entail::engine::Verdict;
 use indord_entail::{Engine, PreparedQuery};
+use indord_storage::{DbDir, Wal};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -116,6 +118,17 @@ pub struct DbStats {
     snapshots_published: AtomicU64,
     patchable_writes: AtomicU64,
     structural_writes: AtomicU64,
+    /// Durability counters — all zero for an in-memory (no `--data-dir`)
+    /// database. The wal_* and fsync counters mirror the mutator's
+    /// [`indord_storage::WalCounters`] after each group; the recovery_*
+    /// pair is written once at boot.
+    wal_appends: AtomicU64,
+    wal_bytes: AtomicU64,
+    fsyncs: AtomicU64,
+    snapshots_written: AtomicU64,
+    compactions: AtomicU64,
+    recovery_replayed_fragments: AtomicU64,
+    recovery_truncated_bytes: AtomicU64,
 }
 
 impl DbStats {
@@ -133,6 +146,13 @@ impl DbStats {
             snapshots_published: AtomicU64::new(0),
             patchable_writes: AtomicU64::new(0),
             structural_writes: AtomicU64::new(0),
+            wal_appends: AtomicU64::new(0),
+            wal_bytes: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            snapshots_written: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            recovery_replayed_fragments: AtomicU64::new(0),
+            recovery_truncated_bytes: AtomicU64::new(0),
         }
     }
 
@@ -154,6 +174,26 @@ impl DbStats {
     /// Write jobs processed across all group commits.
     pub fn group_fragments(&self) -> u64 {
         self.group_fragments.load(Ordering::Relaxed)
+    }
+
+    /// WAL records appended (0 for an in-memory database).
+    pub fn wal_appends(&self) -> u64 {
+        self.wal_appends.load(Ordering::Relaxed)
+    }
+
+    /// fsyncs issued by the WAL (0 for an in-memory database).
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot files written (0 for an in-memory database).
+    pub fn snapshots_written(&self) -> u64 {
+        self.snapshots_written.load(Ordering::Relaxed)
+    }
+
+    /// WAL records replayed at boot (0 for a fresh or in-memory db).
+    pub fn recovery_replayed_fragments(&self) -> u64 {
+        self.recovery_replayed_fragments.load(Ordering::Relaxed)
     }
 
     /// Records a latency sample. `try_lock`: under reader contention
@@ -242,6 +282,13 @@ enum WriteOp {
     Fragment(String),
     /// A `PREPARE` compilation.
     Prepare { name: String, query: String },
+    /// A `FLUSH`: force a snapshot + WAL compaction now. Errors on an
+    /// in-memory database.
+    Flush,
+    /// Drain the queue, fsync the WAL tail, and stop the mutator. The
+    /// reply is sent only after the tail is durable, so a joined
+    /// shutdown never loses an acked write.
+    Shutdown,
     /// Test-only: occupy the mutator for `d` so the next jobs queue up
     /// behind it and drain as one deterministic group.
     #[cfg(test)]
@@ -279,12 +326,27 @@ enum DbCore {
     Locked(Box<RwLock<DbState>>),
 }
 
+/// The mutator-owned durability state of one database: its directory,
+/// the open WAL, the snapshot cadence, and the prepared queries' source
+/// text (needed to encode snapshots — compiled plans don't serialize).
+#[derive(Debug)]
+struct DurableState {
+    dir: DbDir,
+    wal: Wal,
+    snapshot_every: u64,
+    /// Records appended since the last snapshot/compaction.
+    since_snapshot: u64,
+    prepared_src: HashMap<String, String>,
+}
+
 /// One named database: the concurrency core plus counters shared with
-/// the mutator thread.
+/// the mutator thread, and — under MVCC — the mutator's join handle so
+/// shutdown can drain and join it.
 #[derive(Debug)]
 pub struct Db {
     core: DbCore,
     stats: Arc<DbStats>,
+    mutator: Mutex<Option<JoinHandle<()>>>,
 }
 
 /// A pinned read view of a database: an `Arc` snapshot under MVCC, a
@@ -342,34 +404,90 @@ impl ReadView<'_> {
 
 impl Db {
     fn new(voc: Vocabulary, db: Database, mode: ConcurrencyMode) -> Self {
+        Db::build(voc, Session::new(db), HashMap::new(), mode, None)
+    }
+
+    /// A durable database resuming from recovered on-disk state.
+    fn recovered(state: RecoveredState, dir: DbDir, cfg: &StorageConfig) -> std::io::Result<Self> {
+        let RecoveredState {
+            voc,
+            session,
+            prepared,
+            prepared_src,
+            next_id,
+            since_snapshot,
+            replayed_fragments,
+            truncated_bytes,
+        } = state;
+        let wal = dir.open_wal(cfg.fsync, next_id)?;
+        let durable = DurableState {
+            dir,
+            wal,
+            snapshot_every: cfg.snapshot_every.max(1),
+            since_snapshot,
+            prepared_src,
+        };
+        let db = Db::build(voc, session, prepared, ConcurrencyMode::Mvcc, Some(durable));
+        db.stats
+            .recovery_replayed_fragments
+            .store(replayed_fragments, Ordering::Relaxed);
+        db.stats
+            .recovery_truncated_bytes
+            .store(truncated_bytes, Ordering::Relaxed);
+        Ok(db)
+    }
+
+    fn build(
+        voc: Vocabulary,
+        session: Session,
+        prepared: HashMap<String, PreparedQuery>,
+        mode: ConcurrencyMode,
+        durable: Option<DurableState>,
+    ) -> Self {
+        debug_assert!(
+            durable.is_none() || mode == ConcurrencyMode::Mvcc,
+            "durability requires the mutator thread"
+        );
         let stats = Arc::new(DbStats::new());
+        let mut mutator = None;
         let core = match mode {
             ConcurrencyMode::RwLock => DbCore::Locked(Box::new(RwLock::new(DbState {
                 voc,
-                session: Session::new(db),
-                prepared: HashMap::new(),
+                session,
+                prepared,
             }))),
             ConcurrencyMode::Mvcc => {
-                let session = Session::new(db);
                 let voc_arc = Arc::new(voc.clone());
+                let prepared = Arc::new(prepared);
                 let boot = Arc::new(DbSnapshot {
                     voc: Arc::clone(&voc_arc),
                     session: session.freeze(),
-                    prepared: Arc::new(HashMap::new()),
+                    prepared: Arc::clone(&prepared),
                     seq: 0,
                     published_at: Instant::now(),
                 });
                 let current = Arc::new(RwLock::new(boot));
                 let (tx, rx) = mpsc::channel::<WriteJob>();
                 {
-                    let current = Arc::clone(&current);
-                    let stats = Arc::clone(&stats);
-                    // Detached: the loop exits when every Sender is
-                    // gone, i.e. when this Db is dropped.
-                    thread::Builder::new()
-                        .name("indord-mutator".into())
-                        .spawn(move || mutator_loop(rx, current, stats, voc, session, voc_arc))
-                        .expect("spawn mutator thread");
+                    let m = Mutator {
+                        current: Arc::clone(&current),
+                        stats: Arc::clone(&stats),
+                        voc,
+                        session,
+                        voc_arc,
+                        prepared,
+                        seq: 0,
+                        durable,
+                    };
+                    // The loop also exits when every Sender is gone,
+                    // i.e. when this Db is dropped without an explicit
+                    // shutdown.
+                    mutator = Some(
+                        thread::Builder::new()
+                            .name("indord-mutator".into())
+                            .spawn(move || m.run(rx))
+                            .expect("spawn mutator thread"),
+                    );
                 }
                 DbCore::Mvcc {
                     current,
@@ -377,12 +495,46 @@ impl Db {
                 }
             }
         };
-        Db { core, stats }
+        Db {
+            core,
+            stats,
+            mutator: Mutex::new(mutator),
+        }
     }
 
     /// The request counters.
     pub fn stats(&self) -> &DbStats {
         &self.stats
+    }
+
+    /// Drains the commit queue, fsyncs the WAL tail, and joins the
+    /// mutator thread. Idempotent; a no-op under the RwLock ablation.
+    /// After this, writes fail with a typed error; reads keep serving
+    /// the last published snapshot.
+    pub fn shutdown_mutator(&self) {
+        let handle = self
+            .mutator
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take();
+        let Some(handle) = handle else { return };
+        if let DbCore::Mvcc { sender, .. } = &self.core {
+            let (tx, rx) = mpsc::channel();
+            self.stats.pending.fetch_add(1, Ordering::Relaxed);
+            let sent = sender
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .send(WriteJob {
+                    op: WriteOp::Shutdown,
+                    reply: tx,
+                })
+                .is_ok();
+            if sent {
+                // The ack arrives only after the WAL tail is synced.
+                let _ = rx.recv();
+            }
+        }
+        let _ = handle.join();
     }
 
     /// Pins a read view: one `Arc` clone under a briefly-held lock on
@@ -446,6 +598,11 @@ impl Db {
                         st.prepared.insert(name.clone(), pq);
                         Ok(Response::Ok(format!("prepared {name} (plan {plan})")))
                     }
+                    WriteOp::Flush => Err(WireError::proto(
+                        "FLUSH requires a durable database (start the server with --data-dir)",
+                    )),
+                    // There is no mutator thread to join under the lock.
+                    WriteOp::Shutdown => Ok(Response::Ok("shutdown complete".to_string())),
                     #[cfg(test)]
                     WriteOp::Stall(d) => {
                         thread::sleep(d);
@@ -457,29 +614,119 @@ impl Db {
     }
 }
 
+impl Drop for Db {
+    fn drop(&mut self) {
+        // A clean join even without an explicit Registry shutdown:
+        // dropping the last handle to a durable database must fsync its
+        // WAL tail before the process moves on.
+        self.shutdown_mutator();
+    }
+}
+
 /// The mutator thread of one MVCC database: drains the commit queue
-/// into group commits against the private master state, publishes one
-/// snapshot per state-changing group, then releases the writers.
-fn mutator_loop(
-    rx: mpsc::Receiver<WriteJob>,
+/// into group commits against the private master state, appends every
+/// write to the WAL *before* applying it, fsyncs per policy *before*
+/// publishing, publishes one snapshot per state-changing group, then
+/// releases the writers — so an acknowledged write is durable (under
+/// `always`/`group`) and visible, in that order.
+struct Mutator {
     current: Arc<RwLock<Arc<DbSnapshot>>>,
     stats: Arc<DbStats>,
-    mut voc: Vocabulary,
-    mut session: Session,
-    mut voc_arc: Arc<Vocabulary>,
-) {
-    let mut prepared: Arc<HashMap<String, PreparedQuery>> = Arc::new(HashMap::new());
-    let mut seq = 0u64;
-    while let Ok(first) = rx.recv() {
-        // Group commit: everything already queued rides along.
-        let mut jobs = vec![first];
-        while let Ok(j) = rx.try_recv() {
-            jobs.push(j);
+    voc: Vocabulary,
+    session: Session,
+    voc_arc: Arc<Vocabulary>,
+    prepared: Arc<HashMap<String, PreparedQuery>>,
+    seq: u64,
+    durable: Option<DurableState>,
+}
+
+impl Mutator {
+    fn run(mut self, rx: mpsc::Receiver<WriteJob>) {
+        loop {
+            let Ok(first) = rx.recv() else {
+                // Every sender is gone (the Db was leaked rather than
+                // dropped): still leave a durable tail behind.
+                self.sync_tail();
+                return;
+            };
+            // Group commit: everything already queued rides along.
+            let mut jobs = vec![first];
+            while let Ok(j) = rx.try_recv() {
+                jobs.push(j);
+            }
+            let mut shutdown_acks = self.process_group(jobs);
+            if !shutdown_acks.is_empty() {
+                // Shutdown: drain whatever slipped in while this group
+                // ran, then make the tail durable and ack — the
+                // shutdown reply is the durability barrier.
+                loop {
+                    let mut rest = Vec::new();
+                    while let Ok(j) = rx.try_recv() {
+                        rest.push(j);
+                    }
+                    if rest.is_empty() {
+                        break;
+                    }
+                    shutdown_acks.extend(self.process_group(rest));
+                }
+                self.sync_tail();
+                for tx in shutdown_acks {
+                    let _ = tx.send(Ok(Response::Ok("shutdown complete".to_string())));
+                }
+                return;
+            }
         }
-        stats
+    }
+
+    /// Unconditionally fsyncs appended WAL bytes (shutdown path).
+    fn sync_tail(&mut self) {
+        if let Some(d) = self.durable.as_mut() {
+            if let Err(e) = d.wal.sync() {
+                eprintln!("indord-storage: wal sync at shutdown failed: {e}");
+            }
+            self.mirror_wal_counters();
+        }
+    }
+
+    /// Copies the WAL's lifetime counters into the shared stats.
+    fn mirror_wal_counters(&self) {
+        if let Some(d) = self.durable.as_ref() {
+            let c = d.wal.counters();
+            self.stats.wal_appends.store(c.appends, Ordering::Relaxed);
+            self.stats.wal_bytes.store(c.bytes, Ordering::Relaxed);
+            self.stats.fsyncs.store(c.fsyncs, Ordering::Relaxed);
+        }
+    }
+
+    /// Runs one group commit. Returns the reply channels of any
+    /// `Shutdown` jobs in the group — non-empty means stop after this
+    /// group (the caller syncs the tail and acks them).
+    fn process_group(
+        &mut self,
+        jobs: Vec<WriteJob>,
+    ) -> Vec<mpsc::Sender<Result<Response, WireError>>> {
+        self.stats
             .pending
             .fetch_sub(jobs.len() as u64, Ordering::Relaxed);
         let group = jobs.len() as u64;
+        let mut shutdown_acks = Vec::new();
+        let mut flush_acks = Vec::new();
+        let mut work = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            match job.op {
+                WriteOp::Shutdown => shutdown_acks.push(job.reply),
+                WriteOp::Flush => {
+                    if self.durable.is_some() {
+                        flush_acks.push(job.reply);
+                    } else {
+                        let _ = job.reply.send(Err(WireError::proto(
+                            "FLUSH requires a durable database (start the server with --data-dir)",
+                        )));
+                    }
+                }
+                _ => work.push(job),
+            }
+        }
         // Classify against the pre-group state and stably sort patchable
         // writes first, so a scaffold-dropping structural write doesn't
         // force its groupmates off the patch path. The sort only
@@ -487,20 +734,56 @@ fn mutator_loop(
         // write, so its own order is preserved); a fragment depending on
         // a groupmate's fresh constants is conservatively classified
         // structural, which only affects the ordering, not the result.
-        let mut keyed: Vec<(bool, WriteJob)> = jobs
+        // The WAL records what the sort decided: appends happen in
+        // apply order, so replay IS the committed order.
+        let mut keyed: Vec<(bool, WriteJob)> = work
             .into_iter()
-            .map(|j| (is_structural(&j.op, &mut voc, &session), j))
+            .map(|j| (is_structural(&j.op, &mut self.voc, &self.session), j))
             .collect();
         keyed.sort_by_key(|(structural, _)| *structural);
-        let group_mark = voc.mark();
+        let group_mark = self.voc.mark();
         let mut replies = Vec::with_capacity(keyed.len());
         let mut mutated = false;
         for (structural, job) in keyed {
+            // Log before apply: the record hits the WAL buffer first, so
+            // an acked write can never exist only in memory. A record
+            // whose apply then fails is harmless in the log — replay
+            // re-fails it deterministically. A record the WAL *rejects*
+            // (I/O error; under `always`, a failed per-record sync) is
+            // the one case a write is refused for durability reasons:
+            // it is not applied, keeping acked ⇒ durable exact.
+            if let Some(d) = self.durable.as_mut() {
+                let payload = match &job.op {
+                    WriteOp::Fragment(fragment) => Some(format!("FACT {fragment}")),
+                    WriteOp::Prepare { name, query } => Some(format!("PREPARE {name}: {query}")),
+                    _ => None,
+                };
+                if let Some(payload) = payload {
+                    match d.wal.append(payload.as_bytes()) {
+                        Ok(_) => d.since_snapshot += 1,
+                        Err(e) => {
+                            replies.push((
+                                job.reply,
+                                Err(WireError::proto(format!(
+                                    "write-ahead log append failed ({e}); write rejected"
+                                ))),
+                            ));
+                            continue;
+                        }
+                    }
+                }
+            }
             // A panic must not take the mutator (and with it every
             // future write) down: report it as the typed internal error
             // the lock-era per-client catch_unwind produced.
             let (result, changed) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                apply_write(&mut voc, &mut session, &mut prepared, &stats, &job.op)
+                apply_write(
+                    &mut self.voc,
+                    &mut self.session,
+                    &mut self.prepared,
+                    &self.stats,
+                    &job.op,
+                )
             }))
             .unwrap_or_else(|_| {
                 (
@@ -512,32 +795,57 @@ fn mutator_loop(
             });
             if changed {
                 mutated = true;
-                if matches!(job.op, WriteOp::Fragment(_)) {
-                    if structural {
-                        stats.structural_writes.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        stats.patchable_writes.fetch_add(1, Ordering::Relaxed);
+                match &job.op {
+                    WriteOp::Fragment(_) => {
+                        if structural {
+                            self.stats.structural_writes.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            self.stats.patchable_writes.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
+                    WriteOp::Prepare { name, query } if result.is_ok() => {
+                        if let Some(d) = self.durable.as_mut() {
+                            d.prepared_src.insert(name.clone(), query.clone());
+                        }
+                    }
+                    _ => {}
                 }
             }
             replies.push((job.reply, result));
         }
+        // The group-commit durability barrier: sync the appended records
+        // *before* the snapshot publish and the replies. A failed sync
+        // must not ack writes as durable that aren't — but the state is
+        // already applied and cannot be unapplied, so degrade loudly to
+        // in-memory serving rather than lie or crash.
+        if let Some(d) = self.durable.as_mut() {
+            if let Err(e) = d.wal.commit() {
+                eprintln!(
+                    "indord-storage: {}: wal fsync failed ({e}); \
+                     DEGRADING TO IN-MEMORY — writes from here on are not durable",
+                    d.dir.path().display()
+                );
+                self.mirror_wal_counters();
+                self.durable = None;
+            }
+        }
+        self.mirror_wal_counters();
         if mutated {
             // Warm the master before freezing: the master session never
             // answers queries itself, so without this every published
             // snapshot would be cold and each reader would rebuild the
             // scaffold from scratch.
-            let _ = session.normal();
-            let _ = session.disjunctive_scaffold(&voc);
-            seq += 1;
+            let _ = self.session.normal();
+            let _ = self.session.disjunctive_scaffold(&self.voc);
+            self.seq += 1;
             // Republish the symbol tables only when this group actually
             // interned something: label/edge writes on known constants —
             // the hot path — share the previous `Arc<Vocabulary>` and
             // skip its clone entirely.
-            if voc.changed_since(group_mark) {
-                voc_arc = Arc::new(voc.clone());
+            if self.voc.changed_since(group_mark) {
+                self.voc_arc = Arc::new(self.voc.clone());
             }
-            let frozen = session.freeze();
+            let frozen = self.session.freeze();
             // Publish warm all the way down: pre-run the prepared
             // registry against the frozen session so the first reader
             // on the new snapshot doesn't pay the cold pair-cache
@@ -545,28 +853,87 @@ fn mutator_loop(
             // the master, so without this every commit would cost the
             // read tail one cold evaluation per prepared query).
             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let eng = Engine::new(&voc);
-                for pq in prepared.values() {
+                let eng = Engine::new(&self.voc);
+                for pq in self.prepared.values() {
                     let _ = eng.entails_prepared(&frozen, pq);
                 }
             }));
             let snap = Arc::new(DbSnapshot {
-                voc: Arc::clone(&voc_arc),
+                voc: Arc::clone(&self.voc_arc),
                 session: frozen,
-                prepared: Arc::clone(&prepared),
-                seq,
+                prepared: Arc::clone(&self.prepared),
+                seq: self.seq,
                 published_at: Instant::now(),
             });
-            *current.write().unwrap_or_else(|p| p.into_inner()) = snap;
-            stats.snapshots_published.fetch_add(1, Ordering::Relaxed);
+            *self.current.write().unwrap_or_else(|p| p.into_inner()) = snap;
+            self.stats
+                .snapshots_published
+                .fetch_add(1, Ordering::Relaxed);
         }
-        stats.group_commits.fetch_add(1, Ordering::Relaxed);
-        stats.group_fragments.fetch_add(group, Ordering::Relaxed);
-        stats.max_group.fetch_max(group, Ordering::Relaxed);
+        // Snapshot + compaction: on cadence, or forced by FLUSH. Runs
+        // after the publish (the snapshot equals the state readers now
+        // see) and before the flush acks.
+        let flush_result = self.maybe_snapshot(!flush_acks.is_empty());
+        self.stats.group_commits.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .group_fragments
+            .fetch_add(group, Ordering::Relaxed);
+        self.stats.max_group.fetch_max(group, Ordering::Relaxed);
         // Replies go out only after the publish: the next request from
         // any released writer sees its own write.
         for (tx, result) in replies {
             let _ = tx.send(result);
+        }
+        for tx in flush_acks {
+            let _ = tx.send(flush_result.clone());
+        }
+        shutdown_acks
+    }
+
+    /// Writes a snapshot of the master state and compacts the WAL, when
+    /// the cadence says so or a FLUSH forces it. The snapshot is taken
+    /// from the mutator's own thread — readers keep serving the
+    /// published `Arc<DbSnapshot>` untouched throughout.
+    fn maybe_snapshot(&mut self, force: bool) -> Result<Response, WireError> {
+        let Some(d) = self.durable.as_mut() else {
+            return Err(WireError::proto("no durable storage configured"));
+        };
+        if !force && d.since_snapshot < d.snapshot_every {
+            return Ok(Response::Ok("snapshot not due".to_string()));
+        }
+        // The id of the last appended record: everything at or below it
+        // is folded into this snapshot; replay skips those ids even if
+        // the crash lands between the snapshot write and the compaction.
+        let snap_id = d.wal.next_id() - 1;
+        let payload = durable::encode_snapshot(&self.voc, self.session.database(), &d.prepared_src);
+        if let Err(e) = d.dir.write_snapshot(snap_id, payload.as_bytes()) {
+            eprintln!(
+                "indord-storage: {}: snapshot write failed ({e}); keeping the wal",
+                d.dir.path().display()
+            );
+            return Err(WireError::proto(format!("snapshot write failed: {e}")));
+        }
+        self.stats.snapshots_written.fetch_add(1, Ordering::Relaxed);
+        match d.dir.compact(snap_id) {
+            Ok(()) => {
+                d.wal.note_compacted();
+                d.since_snapshot = 0;
+                self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+                Ok(Response::Ok(format!(
+                    "flushed (snapshot {snap_id}, wal compacted)"
+                )))
+            }
+            Err(e) => {
+                // The snapshot is durable; a failed compaction only
+                // costs replay time (ids ≤ snap_id are skipped).
+                eprintln!(
+                    "indord-storage: {}: wal compaction failed ({e})",
+                    d.dir.path().display()
+                );
+                Ok(Response::Ok(format!(
+                    "flushed (snapshot {snap_id}, compaction failed: {e})"
+                )))
+            }
         }
     }
 }
@@ -606,6 +973,11 @@ fn apply_write(
             }
             Err(e) => (Err(e), false),
         },
+        // Filtered out of the group before the apply loop.
+        WriteOp::Flush | WriteOp::Shutdown => (
+            Err(WireError::proto("control op reached the apply path")),
+            false,
+        ),
         #[cfg(test)]
         WriteOp::Stall(d) => {
             thread::sleep(*d);
@@ -652,8 +1024,8 @@ fn is_structural(op: &WriteOp, voc: &mut Vocabulary, session: &Session) -> bool 
 }
 
 /// Compiles a `PREPARE` query against the vocabulary (constant-free
-/// rule enforced).
-fn compile_prepared(voc: &Vocabulary, query: &str) -> Result<PreparedQuery, WireError> {
+/// rule enforced). `pub(crate)`: boot recovery compiles the same way.
+pub(crate) fn compile_prepared(voc: &Vocabulary, query: &str) -> Result<PreparedQuery, WireError> {
     let q = parse_constant_free(voc, query)?;
     Engine::new(voc)
         .prepare(&q)
@@ -667,8 +1039,9 @@ fn compile_prepared(voc: &Vocabulary, query: &str) -> Result<PreparedQuery, Wire
 /// symbols), snapshot-rollback around the can-fail order-atom path, and
 /// reject fragments that leave the database without models. Shared by
 /// the MVCC mutator and the RwLock ablation so both modes keep the
-/// exact PR 5 atomicity contract.
-fn apply_fragment_atomic(
+/// exact PR 5 atomicity contract — and `pub(crate)` because WAL replay
+/// routes through it too (recovery is the live path, re-run).
+pub(crate) fn apply_fragment_atomic(
     voc: &mut Vocabulary,
     session: &mut Session,
     fragment: &str,
@@ -741,6 +1114,7 @@ fn apply_fragment_atomic(
 pub struct Registry {
     dbs: RwLock<HashMap<String, Arc<Db>>>,
     mode: ConcurrencyMode,
+    storage: Option<StorageConfig>,
 }
 
 impl Registry {
@@ -755,7 +1129,42 @@ impl Registry {
         Registry {
             dbs: RwLock::new(HashMap::new()),
             mode,
+            storage: None,
         }
+    }
+
+    /// A durable registry rooted at `cfg.root`: every database directory
+    /// already present is recovered *now* — snapshot load, WAL replay,
+    /// torn-tail truncation, scaffold + prepared warmup — so the first
+    /// request after this returns serves warm. Databases opened later
+    /// get their own directory under the root. Durability implies the
+    /// MVCC mode (the WAL is owned by the mutator thread).
+    pub fn with_storage(cfg: StorageConfig) -> std::io::Result<Self> {
+        std::fs::create_dir_all(&cfg.root)?;
+        let mut dbs = HashMap::new();
+        let mut names: Vec<(String, std::path::PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(&cfg.root)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let Ok(name) = entry.file_name().into_string() else {
+                continue;
+            };
+            names.push((name, entry.path()));
+        }
+        // Deterministic recovery order (read_dir order is arbitrary).
+        names.sort();
+        for (name, path) in names {
+            let dir = DbDir::open(path)?;
+            let state = durable::recover_state(&dir)?;
+            dbs.insert(name, Arc::new(Db::recovered(state, dir, &cfg)?));
+        }
+        Ok(Registry {
+            dbs: RwLock::new(dbs),
+            mode: ConcurrencyMode::Mvcc,
+            storage: Some(cfg),
+        })
     }
 
     /// The concurrency mode databases are created with.
@@ -763,11 +1172,38 @@ impl Registry {
         self.mode
     }
 
-    /// Create-or-get the named database (the `OPEN` semantics).
+    /// The storage configuration, when this registry is durable.
+    pub fn storage(&self) -> Option<&StorageConfig> {
+        self.storage.as_ref()
+    }
+
+    /// A fresh durable database in its own (new or empty) directory.
+    fn create_durable(&self, cfg: &StorageConfig, name: &str) -> std::io::Result<Db> {
+        let dir = DbDir::open(cfg.root.join(name))?;
+        let state = durable::recover_state(&dir)?;
+        Db::recovered(state, dir, cfg)
+    }
+
+    /// Create-or-get the named database (the `OPEN` semantics). Under a
+    /// durable registry the database gets its own directory; if that
+    /// fails (disk full, permissions) the database still opens, loudly,
+    /// as in-memory — serving beats refusing, and the warning tells the
+    /// operator which databases are not covered by the data dir.
     pub fn open(&self, name: &str) -> Arc<Db> {
         let mut dbs = self.dbs.write().unwrap_or_else(|p| p.into_inner());
         dbs.entry(name.to_string())
-            .or_insert_with(|| Arc::new(Db::new(Vocabulary::new(), Database::new(), self.mode)))
+            .or_insert_with(|| {
+                if let Some(cfg) = &self.storage {
+                    match self.create_durable(cfg, name) {
+                        Ok(db) => return Arc::new(db),
+                        Err(e) => eprintln!(
+                            "indord-storage: cannot open a data directory for `{name}` ({e}); \
+                             this database is IN-MEMORY ONLY"
+                        ),
+                    }
+                }
+                Arc::new(Db::new(Vocabulary::new(), Database::new(), self.mode))
+            })
             .clone()
     }
 
@@ -782,13 +1218,47 @@ impl Registry {
 
     /// Installs a database built programmatically (benches, tests,
     /// embedded seeding) under `name`, replacing any previous holder.
+    /// Under a durable registry the installed state is written as the
+    /// database's initial snapshot (replacing whatever its directory
+    /// held), so it survives restarts like any other state.
     pub fn install(&self, name: &str, voc: Vocabulary, db: Database) -> Arc<Db> {
-        let holder = Arc::new(Db::new(voc, db, self.mode));
+        let holder = if let Some(cfg) = &self.storage {
+            match self.install_durable(cfg, name, &voc, &db) {
+                Ok(d) => Arc::new(d),
+                Err(e) => {
+                    eprintln!(
+                        "indord-storage: cannot persist installed database `{name}` ({e}); \
+                         this database is IN-MEMORY ONLY"
+                    );
+                    Arc::new(Db::new(voc, db, ConcurrencyMode::Mvcc))
+                }
+            }
+        } else {
+            Arc::new(Db::new(voc, db, self.mode))
+        };
         self.dbs
             .write()
             .unwrap_or_else(|p| p.into_inner())
             .insert(name.to_string(), holder.clone());
         holder
+    }
+
+    /// Resets the database's directory and seeds it with an initial
+    /// snapshot of the installed state (id 0: every WAL record — they
+    /// start at 1 — replays on top of it).
+    fn install_durable(
+        &self,
+        cfg: &StorageConfig,
+        name: &str,
+        voc: &Vocabulary,
+        db: &Database,
+    ) -> std::io::Result<Db> {
+        let dir = DbDir::open(cfg.root.join(name))?;
+        dir.reset()?;
+        let payload = durable::encode_snapshot(voc, db, &HashMap::new());
+        dir.write_snapshot(0, payload.as_bytes())?;
+        let state = durable::recover_state(&dir)?;
+        Db::recovered(state, dir, cfg)
     }
 
     /// Names of the registered databases, sorted.
@@ -802,6 +1272,31 @@ impl Registry {
             .collect();
         v.sort();
         v
+    }
+
+    /// Graceful shutdown of every database: drain each commit queue,
+    /// fsync each WAL tail, and join each mutator thread. Idempotent;
+    /// also runs on drop. After this, reads keep serving the last
+    /// published snapshots and writes fail with a typed error.
+    pub fn shutdown_dbs(&self) {
+        let dbs: Vec<Arc<Db>> = self
+            .dbs
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .values()
+            .cloned()
+            .collect();
+        for db in dbs {
+            db.shutdown_mutator();
+        }
+    }
+}
+
+impl Drop for Registry {
+    fn drop(&mut self) {
+        // `Db::drop` joins too, but only when the *last* Arc goes; a
+        // leaked clone must not leave an unsynced WAL tail behind.
+        self.shutdown_dbs();
     }
 }
 
@@ -950,7 +1445,24 @@ impl Conn {
                     patchable_writes: db.stats.patchable_writes.load(Ordering::Relaxed),
                     structural_writes: db.stats.structural_writes.load(Ordering::Relaxed),
                     snapshot_age_ns: view.snapshot_age_ns(),
+                    wal_appends: db.stats.wal_appends.load(Ordering::Relaxed),
+                    wal_bytes: db.stats.wal_bytes.load(Ordering::Relaxed),
+                    fsyncs: db.stats.fsyncs.load(Ordering::Relaxed),
+                    snapshots_written: db.stats.snapshots_written.load(Ordering::Relaxed),
+                    compactions: db.stats.compactions.load(Ordering::Relaxed),
+                    recovery_replayed_fragments: db
+                        .stats
+                        .recovery_replayed_fragments
+                        .load(Ordering::Relaxed),
+                    recovery_truncated_bytes: db
+                        .stats
+                        .recovery_truncated_bytes
+                        .load(Ordering::Relaxed),
                 }))
+            }
+            Request::Flush => {
+                let db = self.current()?.clone();
+                db.submit(WriteOp::Flush)
             }
             Request::Close => Ok(Response::Bye),
         }
@@ -1085,12 +1597,15 @@ fn parse_constant_free(voc: &Vocabulary, text: &str) -> Result<DnfQuery, WireErr
 
 /// A running server: bound address plus shutdown plumbing. Dropping the
 /// handle shuts the accept loop down (worker threads serving still-open
-/// connections finish with their clients).
+/// connections finish with their clients) and then gracefully drains
+/// every database — commit queues emptied, WAL tails fsynced, mutator
+/// threads joined — so a `shutdown()`/drop is a durability barrier.
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
+    registry: Arc<Registry>,
 }
 
 impl ServerHandle {
@@ -1099,7 +1614,9 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops accepting connections and joins the accept thread.
+    /// Stops accepting connections, joins the accept thread, then
+    /// drains and joins every database's mutator (acked writes are on
+    /// disk when this returns). Idempotent.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Wake the blocking accept with a throwaway connection.
@@ -1107,6 +1624,10 @@ impl ServerHandle {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        // New connections are refused; drain the databases. In-flight
+        // client writes enqueued before this point are processed by the
+        // drain loop ahead of the shutdown ack, so they are not lost.
+        self.registry.shutdown_dbs();
     }
 }
 
@@ -1152,6 +1673,7 @@ pub fn serve<A: ToSocketAddrs>(
         });
     }
     let flag = Arc::clone(&shutdown);
+    let registry_handle = Arc::clone(&registry);
     let accept = thread::spawn(move || {
         for stream in listener.incoming() {
             if flag.load(Ordering::SeqCst) {
@@ -1174,6 +1696,7 @@ pub fn serve<A: ToSocketAddrs>(
         addr,
         shutdown,
         accept: Some(accept),
+        registry: registry_handle,
     })
 }
 

@@ -1,0 +1,310 @@
+//! # indord-storage
+//!
+//! Durable storage for the indord serving layer: a per-database
+//! append-only [write-ahead log](wal) of opaque payloads plus an
+//! [atomic snapshot store](snapshot), tied together by [`DbDir`] — the
+//! on-disk layout of one database.
+//!
+//! The crate is deliberately content-agnostic. Payloads are byte
+//! strings; the serving layer decides that WAL payloads are protocol
+//! request lines and snapshot payloads are a vocabulary + database
+//! text image. What lives here is everything that has to be *right*
+//! about durability mechanics:
+//!
+//! - record framing with lengths and CRC-32 checksums ([`wal`]),
+//! - torn-tail scanning that recovers the longest durable prefix
+//!   ([`wal::scan`]),
+//! - fsync policy and group-commit sync boundaries ([`wal::Wal`]),
+//! - injectable I/O with byte-addressed faults ([`wal::FaultIo`]),
+//! - atomic snapshot write / newest-valid load / pruning
+//!   ([`snapshot`]),
+//! - the directory layout and compaction protocol ([`DbDir`]).
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <data-dir>/<db-name>/
+//!   wal.log                      append-only record frames
+//!   snap-<id>.snap               snapshot folding WAL ids <= id
+//! ```
+//!
+//! ## Compaction protocol
+//!
+//! Record ids increase monotonically and *never reset*. A snapshot is
+//! stamped with the last id it folds in; compaction then truncates
+//! `wal.log` to empty and prunes older snapshots. Recovery loads the
+//! newest valid snapshot and replays only WAL records with ids greater
+//! than the snapshot's — so a crash at any point between "snapshot
+//! durable" and "WAL truncated" is safe: leftover records are skipped
+//! by id, never applied twice.
+
+pub mod snapshot;
+pub mod wal;
+
+pub use wal::{Fault, FaultIo, FaultKind, FileIo, FsyncPolicy, Wal, WalCounters, WalIo};
+
+use std::fs;
+use std::io::{self, Read};
+use std::path::{Path, PathBuf};
+
+/// Name of the WAL file inside a [`DbDir`].
+pub const WAL_FILE: &str = "wal.log";
+
+/// The on-disk home of one database: its WAL file and snapshot set.
+#[derive(Debug, Clone)]
+pub struct DbDir {
+    path: PathBuf,
+}
+
+/// Everything [`DbDir::recover`] found on disk: the newest valid
+/// snapshot (if any), the WAL records to replay after it, and what had
+/// to be discarded to get there.
+#[derive(Debug)]
+pub struct Recovery {
+    /// Newest valid snapshot payload, if one exists.
+    pub snapshot: Option<snapshot::Loaded>,
+    /// Durable WAL records with ids greater than the snapshot's, in
+    /// log order.
+    pub records: Vec<(u64, Vec<u8>)>,
+    /// One past the highest durable id seen (snapshot or WAL): the id
+    /// the reopened [`Wal`] must continue from.
+    pub next_id: u64,
+    /// Torn tail found (and truncated) at the end of the WAL, if any.
+    pub torn: Option<wal::TornTail>,
+    /// Bytes truncated off the WAL tail.
+    pub truncated_bytes: u64,
+    /// WAL records skipped because a snapshot already folds them in.
+    pub skipped_by_snapshot: u64,
+}
+
+impl DbDir {
+    /// Opens (creating if needed) the directory for one database.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<DbDir> {
+        let path = path.into();
+        fs::create_dir_all(&path)?;
+        Ok(DbDir { path })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The WAL file path.
+    pub fn wal_path(&self) -> PathBuf {
+        self.path.join(WAL_FILE)
+    }
+
+    /// Reads the raw WAL image (empty if the file does not exist).
+    pub fn read_wal(&self) -> io::Result<Vec<u8>> {
+        let mut bytes = Vec::new();
+        match fs::File::open(self.wal_path()) {
+            Ok(mut f) => {
+                f.read_to_end(&mut bytes)?;
+                Ok(bytes)
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(bytes),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Scans snapshot + WAL into a [`Recovery`], truncating any torn
+    /// WAL tail so appends can resume at a clean frame boundary.
+    pub fn recover(&self) -> io::Result<Recovery> {
+        let snapshot = snapshot::load_latest(&self.path)?;
+        let snap_id = snapshot.as_ref().map_or(0, |s| s.id);
+        let image = self.read_wal()?;
+        let scan = wal::scan(&image);
+        let truncated_bytes = image.len() as u64 - scan.valid_len;
+        if truncated_bytes > 0 {
+            let f = fs::OpenOptions::new().write(true).open(self.wal_path())?;
+            f.set_len(scan.valid_len)?;
+            f.sync_all()?;
+        }
+        let mut last_id = snap_id;
+        let mut skipped_by_snapshot = 0u64;
+        let mut records = Vec::with_capacity(scan.records.len());
+        for (id, payload) in scan.records {
+            if id <= snap_id {
+                skipped_by_snapshot += 1;
+            } else {
+                records.push((id, payload));
+            }
+            last_id = last_id.max(id);
+        }
+        Ok(Recovery {
+            snapshot,
+            records,
+            next_id: last_id + 1,
+            torn: scan.torn,
+            truncated_bytes,
+            skipped_by_snapshot,
+        })
+    }
+
+    /// Opens the WAL for appending under `policy`, continuing ids from
+    /// `next_id` (take it from [`Recovery::next_id`]).
+    pub fn open_wal(&self, policy: FsyncPolicy, next_id: u64) -> io::Result<Wal> {
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.wal_path())?;
+        Ok(Wal::new(Box::new(FileIo(file)), policy, next_id))
+    }
+
+    /// Atomically writes the snapshot folding WAL ids `<= id`.
+    pub fn write_snapshot(&self, id: u64, payload: &[u8]) -> io::Result<()> {
+        snapshot::write(&self.path, id, payload)?;
+        Ok(())
+    }
+
+    /// Compacts after a durable snapshot at `keep_id`: truncates the
+    /// WAL to empty and prunes all other snapshot files. The open
+    /// [`Wal`] handle (if any) must be told via [`Wal::note_compacted`].
+    pub fn compact(&self, keep_id: u64) -> io::Result<()> {
+        match fs::OpenOptions::new().write(true).open(self.wal_path()) {
+            Ok(f) => {
+                f.set_len(0)?;
+                f.sync_all()?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        snapshot::prune(&self.path, keep_id)?;
+        Ok(())
+    }
+
+    /// Wipes the directory back to empty (a fresh `INSTALL` over an
+    /// existing on-disk db discards its history).
+    pub fn reset(&self) -> io::Result<()> {
+        for entry in fs::read_dir(&self.path)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "indord-dbdir-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        dir
+    }
+
+    #[test]
+    fn fresh_dir_recovers_empty() {
+        let dir = DbDir::open(tempdir("fresh")).unwrap();
+        let rec = dir.recover().unwrap();
+        assert!(rec.snapshot.is_none());
+        assert!(rec.records.is_empty());
+        assert_eq!(rec.next_id, 1);
+        assert!(rec.torn.is_none());
+        fs::remove_dir_all(dir.path()).unwrap();
+    }
+
+    #[test]
+    fn append_close_recover_round_trip() {
+        let dir = DbDir::open(tempdir("rt")).unwrap();
+        {
+            let mut wal = dir.open_wal(FsyncPolicy::Group, 1).unwrap();
+            wal.append(b"one").unwrap();
+            wal.append(b"two").unwrap();
+            wal.commit().unwrap();
+        }
+        let rec = dir.recover().unwrap();
+        assert_eq!(
+            rec.records,
+            vec![(1, b"one".to_vec()), (2, b"two".to_vec())]
+        );
+        assert_eq!(rec.next_id, 3);
+        // Reopen and continue the id sequence.
+        {
+            let mut wal = dir.open_wal(FsyncPolicy::Always, rec.next_id).unwrap();
+            assert_eq!(wal.append(b"three").unwrap(), 3);
+        }
+        let rec = dir.recover().unwrap();
+        assert_eq!(rec.records.len(), 3);
+        fs::remove_dir_all(dir.path()).unwrap();
+    }
+
+    #[test]
+    fn snapshot_skips_folded_records_and_compaction_prunes() {
+        let dir = DbDir::open(tempdir("snap")).unwrap();
+        {
+            let mut wal = dir.open_wal(FsyncPolicy::Group, 1).unwrap();
+            for payload in [b"a" as &[u8], b"b", b"c"] {
+                wal.append(payload).unwrap();
+            }
+            wal.commit().unwrap();
+        }
+        dir.write_snapshot(2, b"state after b").unwrap();
+        // Crash window: snapshot durable, WAL not yet truncated.
+        let rec = dir.recover().unwrap();
+        assert_eq!(rec.snapshot.as_ref().unwrap().id, 2);
+        assert_eq!(rec.records, vec![(3, b"c".to_vec())]);
+        assert_eq!(rec.skipped_by_snapshot, 2);
+        assert_eq!(rec.next_id, 4);
+        // Compaction empties the WAL; the snapshot carries the state.
+        dir.compact(2).unwrap();
+        let rec = dir.recover().unwrap();
+        assert_eq!(rec.snapshot.as_ref().unwrap().id, 2);
+        assert!(rec.records.is_empty());
+        assert_eq!(rec.next_id, 3);
+        fs::remove_dir_all(dir.path()).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_once() {
+        let dir = DbDir::open(tempdir("torn")).unwrap();
+        {
+            let mut wal = dir.open_wal(FsyncPolicy::Group, 1).unwrap();
+            wal.append(b"keep me").unwrap();
+            wal.commit().unwrap();
+        }
+        // Simulate a crash mid-append: raw garbage after the record.
+        {
+            use std::io::Write;
+            let mut f = fs::OpenOptions::new()
+                .append(true)
+                .open(dir.wal_path())
+                .unwrap();
+            f.write_all(&[0xDE, 0xAD, 0xBE]).unwrap();
+        }
+        let rec = dir.recover().unwrap();
+        assert_eq!(rec.records, vec![(1, b"keep me".to_vec())]);
+        assert_eq!(rec.truncated_bytes, 3);
+        assert!(rec.torn.is_some());
+        // Second recovery is clean — the tail is gone from disk.
+        let rec = dir.recover().unwrap();
+        assert_eq!(rec.truncated_bytes, 0);
+        assert!(rec.torn.is_none());
+        fs::remove_dir_all(dir.path()).unwrap();
+    }
+
+    #[test]
+    fn reset_wipes_history() {
+        let dir = DbDir::open(tempdir("reset")).unwrap();
+        {
+            let mut wal = dir.open_wal(FsyncPolicy::Group, 1).unwrap();
+            wal.append(b"old world").unwrap();
+            wal.commit().unwrap();
+        }
+        dir.write_snapshot(1, b"old snapshot").unwrap();
+        dir.reset().unwrap();
+        let rec = dir.recover().unwrap();
+        assert!(rec.snapshot.is_none());
+        assert!(rec.records.is_empty());
+        fs::remove_dir_all(dir.path()).unwrap();
+    }
+}

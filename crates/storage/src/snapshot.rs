@@ -1,0 +1,232 @@
+//! Atomic snapshot files.
+//!
+//! A snapshot is one opaque payload (the serving layer serializes a
+//! published `DbSnapshot` into it) stamped with the id of the last WAL
+//! record it folds in:
+//!
+//! ```text
+//! [magic: b"INDSNAP1"] [id: u64 LE] [len: u32 LE] [crc: u32 LE] [payload]
+//! ```
+//!
+//! Writes are atomic — tmp file, fsync, rename, directory fsync — so a
+//! crash mid-snapshot leaves either the previous snapshot set intact or
+//! a garbage tmp/partial file that [`load_latest`] skips by checksum.
+//! Snapshot files are named `snap-<id, zero padded>.snap`; the loader
+//! picks the *newest valid* one, which is exactly the kill-mid-snapshot
+//! fallback: a torn `snap-9` loses its checksum and the loader falls
+//! back to `snap-7` plus the (not yet compacted) WAL tail.
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::wal::crc32;
+
+/// Snapshot file magic.
+pub const MAGIC: &[u8; 8] = b"INDSNAP1";
+
+/// Header size: magic (8) + id (8) + len (4) + crc (4).
+pub const HEADER_LEN: usize = 24;
+
+/// Upper bound on a snapshot payload (corruption guard, as for WAL
+/// records).
+pub const MAX_PAYLOAD: usize = 1 << 30;
+
+/// The snapshot filename for WAL id `id`.
+pub fn file_name(id: u64) -> String {
+    format!("snap-{id:020}.snap")
+}
+
+/// Parses `snap-<id>.snap` back to its id.
+pub fn parse_file_name(name: &str) -> Option<u64> {
+    let id = name.strip_prefix("snap-")?.strip_suffix(".snap")?;
+    if id.len() != 20 || !id.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    id.parse().ok()
+}
+
+/// Encodes a snapshot image.
+pub fn encode(id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut image = Vec::with_capacity(HEADER_LEN + payload.len());
+    image.extend_from_slice(MAGIC);
+    let id_bytes = id.to_le_bytes();
+    image.extend_from_slice(&id_bytes);
+    image.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    image.extend_from_slice(&crc32(&[&id_bytes, payload]).to_le_bytes());
+    image.extend_from_slice(payload);
+    image
+}
+
+/// Decodes a snapshot image, verifying magic, length, and checksum.
+pub fn decode(bytes: &[u8]) -> Option<(u64, &[u8])> {
+    if bytes.len() < HEADER_LEN || &bytes[..8] != MAGIC {
+        return None;
+    }
+    let id_bytes: [u8; 8] = bytes[8..16].try_into().ok()?;
+    let id = u64::from_le_bytes(id_bytes);
+    let len = u32::from_le_bytes(bytes[16..20].try_into().ok()?) as usize;
+    let crc = u32::from_le_bytes(bytes[20..24].try_into().ok()?);
+    if len > MAX_PAYLOAD || bytes.len() - HEADER_LEN != len {
+        return None;
+    }
+    let payload = &bytes[HEADER_LEN..];
+    if crc32(&[&id_bytes, payload]) != crc {
+        return None;
+    }
+    Some((id, payload))
+}
+
+/// Atomically writes the snapshot for WAL id `id` into `dir`.
+pub fn write(dir: &Path, id: u64, payload: &[u8]) -> io::Result<PathBuf> {
+    let image = encode(id, payload);
+    let tmp = dir.join(format!("snap-{id:020}.tmp"));
+    let dst = dir.join(file_name(id));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&image)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, &dst)?;
+    // Persist the rename itself.
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(dst)
+}
+
+/// A snapshot successfully loaded from disk.
+#[derive(Debug)]
+pub struct Loaded {
+    /// Id of the last WAL record the payload folds in.
+    pub id: u64,
+    /// The opaque snapshot payload.
+    pub payload: Vec<u8>,
+    /// Snapshot files that failed magic/checksum and were skipped
+    /// (e.g. a kill mid-snapshot-write).
+    pub skipped_corrupt: u64,
+}
+
+/// Loads the newest valid snapshot in `dir`, skipping corrupt ones.
+/// `Ok(None)` when the directory holds no valid snapshot.
+pub fn load_latest(dir: &Path) -> io::Result<Option<Loaded>> {
+    let mut ids: Vec<u64> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(id) = entry.file_name().to_str().and_then(parse_file_name) {
+            ids.push(id);
+        }
+    }
+    ids.sort_unstable();
+    let mut skipped_corrupt = 0u64;
+    for id in ids.into_iter().rev() {
+        let path = dir.join(file_name(id));
+        let mut bytes = Vec::new();
+        match fs::File::open(&path).and_then(|mut f| f.read_to_end(&mut bytes)) {
+            Ok(_) => {}
+            Err(_) => {
+                skipped_corrupt += 1;
+                continue;
+            }
+        }
+        match decode(&bytes) {
+            Some((decoded_id, payload)) if decoded_id == id => {
+                return Ok(Some(Loaded {
+                    id,
+                    payload: payload.to_vec(),
+                    skipped_corrupt,
+                }));
+            }
+            _ => skipped_corrupt += 1,
+        }
+    }
+    Ok(None)
+}
+
+/// Removes every snapshot file in `dir` except the one for `keep_id`,
+/// plus any leftover tmp files. Returns how many files were removed.
+pub fn prune(dir: &Path, keep_id: u64) -> io::Result<u64> {
+    let mut removed = 0u64;
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale_snap = parse_file_name(name).is_some_and(|id| id != keep_id);
+        let stale_tmp = name.starts_with("snap-") && name.ends_with(".tmp");
+        if (stale_snap || stale_tmp) && fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "indord-snap-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn file_names_round_trip() {
+        assert_eq!(parse_file_name(&file_name(0)), Some(0));
+        assert_eq!(parse_file_name(&file_name(u64::MAX)), Some(u64::MAX));
+        assert_eq!(parse_file_name("snap-12.snap"), None); // not padded
+        assert_eq!(parse_file_name("snap-00000000000000000012.tmp"), None);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let image = encode(42, b"payload bytes");
+        assert_eq!(decode(&image), Some((42, &b"payload bytes"[..])));
+        // A flipped byte anywhere kills it.
+        for i in 0..image.len() {
+            let mut bad = image.clone();
+            bad[i] ^= 0x01;
+            assert_eq!(decode(&bad), None, "flip at {i}");
+        }
+        assert_eq!(decode(&image[..image.len() - 1]), None);
+    }
+
+    #[test]
+    fn load_latest_skips_corrupt_newest() {
+        let dir = tempdir("skip");
+        write(&dir, 3, b"three").unwrap();
+        write(&dir, 9, b"nine").unwrap();
+        // Corrupt the newest in place (as a kill mid-write would).
+        let nine = dir.join(file_name(9));
+        let mut bytes = fs::read(&nine).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        fs::write(&nine, &bytes).unwrap();
+
+        let loaded = load_latest(&dir).unwrap().expect("snap-3 is valid");
+        assert_eq!(loaded.id, 3);
+        assert_eq!(loaded.payload, b"three");
+        assert_eq!(loaded.skipped_corrupt, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_keeps_only_the_survivor() {
+        let dir = tempdir("prune");
+        write(&dir, 1, b"one").unwrap();
+        write(&dir, 2, b"two").unwrap();
+        write(&dir, 5, b"five").unwrap();
+        fs::write(dir.join("snap-00000000000000000009.tmp"), b"junk").unwrap();
+        let removed = prune(&dir, 5).unwrap();
+        assert_eq!(removed, 3);
+        let loaded = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(loaded.id, 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

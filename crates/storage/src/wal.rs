@@ -1,0 +1,572 @@
+//! The append-only write-ahead log: length-prefixed, checksummed
+//! records over an injectable I/O layer.
+//!
+//! ## Record framing
+//!
+//! ```text
+//! [len: u32 LE] [id: u64 LE] [crc: u32 LE] [payload: len bytes]
+//! ```
+//!
+//! `len` is the payload length, `id` a strictly increasing record id
+//! (never reset, even across compactions — replay uses it to skip
+//! records already folded into a snapshot), and `crc` a CRC-32 (IEEE)
+//! over the id bytes followed by the payload. A record is *durable*
+//! exactly when its full frame is on stable storage and its checksum
+//! verifies; [`scan`] recovers the longest durable prefix of a log and
+//! reports where (and why) the tail stops being one.
+//!
+//! ## Fsync policy
+//!
+//! [`FsyncPolicy`] decides when [`Wal`] pushes appended frames to
+//! stable storage: `Always` syncs after every record, `Group` once per
+//! [`Wal::commit`] (the group-commit boundary), `Os` never — the OS
+//! flushes on its own schedule and the acked⇒durable contract weakens
+//! to acked⇒written.
+//!
+//! ## Fault injection
+//!
+//! All file traffic goes through the [`WalIo`] trait. Production uses
+//! [`FileIo`]; the recovery test suites use [`FaultIo`], which persists
+//! bytes into a shared in-memory buffer and dies — clean error, short
+//! write, or panic — at a configured byte offset, so a crash can be
+//! placed at *any* byte of the log and recovery checked against the
+//! bytes that actually made it down.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Frame header size: `len (4) + id (8) + crc (4)`.
+pub const HEADER_LEN: usize = 16;
+
+/// Upper bound on a record payload (a defense against interpreting a
+/// corrupt length field as a multi-gigabyte allocation during scan).
+pub const MAX_PAYLOAD: usize = 1 << 28;
+
+/// CRC-32 (IEEE 802.3) over `bytes`.
+pub fn crc32(chunks: &[&[u8]]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    });
+    let mut c = 0xFFFF_FFFFu32;
+    for chunk in chunks {
+        for &b in *chunk {
+            c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    !c
+}
+
+/// When appended WAL bytes are pushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// fsync after every appended record: an `OK` reply implies the
+    /// record is durable, at one sync per write.
+    Always,
+    /// fsync once per group commit, before the group's replies are
+    /// released: acked⇒durable at one sync per *group* (the default).
+    #[default]
+    Group,
+    /// Never fsync; the OS flushes on its own schedule. Fastest, and
+    /// the contract weakens to acked⇒written-to-OS (a power loss can
+    /// drop acked tail writes; an orderly process crash cannot).
+    Os,
+}
+
+impl FsyncPolicy {
+    /// The canonical token (`always` / `group` / `os`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Group => "group",
+            FsyncPolicy::Os => "os",
+        }
+    }
+
+    /// Parses the canonical token.
+    pub fn parse(s: &str) -> Option<FsyncPolicy> {
+        Some(match s {
+            "always" => FsyncPolicy::Always,
+            "group" => FsyncPolicy::Group,
+            "os" => FsyncPolicy::Os,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The byte sink a [`Wal`] appends to. Production is a real file
+/// ([`FileIo`]); tests inject faults ([`FaultIo`]).
+pub trait WalIo: Send {
+    /// Appends `buf` whole, or fails. A failure may leave a *prefix*
+    /// of `buf` persisted (a short write) — scan-time checksums are
+    /// what make that safe.
+    fn append(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Pushes everything appended so far to stable storage.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// The production [`WalIo`]: an append-mode file handle.
+#[derive(Debug)]
+pub struct FileIo(pub File);
+
+impl WalIo for FileIo {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+}
+
+/// How an injected fault manifests at its byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The append fails cleanly: nothing of the faulting call persists.
+    Error,
+    /// A short write: the prefix of the faulting call up to the fault
+    /// offset persists, then the call fails — a torn record.
+    ShortWrite,
+    /// A short write followed by a panic — the mid-group process-kill
+    /// stand-in (the panic unwinds through the appending thread).
+    Panic,
+}
+
+/// A byte-addressed fault plan for [`FaultIo`].
+#[derive(Debug, Clone, Copy)]
+pub struct Fault {
+    /// The log grows normally until it would cross this offset.
+    pub at_byte: u64,
+    /// What happens at the crossing.
+    pub kind: FaultKind,
+}
+
+/// A fault-injected [`WalIo`]: persists into a shared in-memory buffer
+/// and dies at the configured byte. After the fault every later call
+/// fails — the process is "dead"; the buffer holds exactly the bytes
+/// that reached "disk".
+#[derive(Debug)]
+pub struct FaultIo {
+    persisted: Arc<Mutex<Vec<u8>>>,
+    fault: Fault,
+    dead: bool,
+}
+
+impl FaultIo {
+    /// A fault-injected sink; read the persisted bytes back through the
+    /// returned handle after the "crash".
+    pub fn new(fault: Fault) -> (FaultIo, Arc<Mutex<Vec<u8>>>) {
+        let persisted = Arc::new(Mutex::new(Vec::new()));
+        (
+            FaultIo {
+                persisted: Arc::clone(&persisted),
+                fault,
+                dead: false,
+            },
+            persisted,
+        )
+    }
+
+    fn die(&mut self) -> io::Error {
+        self.dead = true;
+        io::Error::other(format!(
+            "injected {:?} fault at byte {}",
+            self.fault.kind, self.fault.at_byte
+        ))
+    }
+}
+
+impl WalIo for FaultIo {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        if self.dead {
+            return Err(io::Error::other("wal io is dead after injected fault"));
+        }
+        let persisted = Arc::clone(&self.persisted);
+        let mut persisted = persisted.lock().unwrap_or_else(|p| p.into_inner());
+        let len = persisted.len() as u64;
+        if len + buf.len() as u64 <= self.fault.at_byte {
+            persisted.extend_from_slice(buf);
+            return Ok(());
+        }
+        // The call crosses the fault offset.
+        match self.fault.kind {
+            FaultKind::Error => Err(self.die()),
+            FaultKind::ShortWrite => {
+                let keep = (self.fault.at_byte - len) as usize;
+                persisted.extend_from_slice(&buf[..keep]);
+                Err(self.die())
+            }
+            FaultKind::Panic => {
+                let keep = (self.fault.at_byte - len) as usize;
+                persisted.extend_from_slice(&buf[..keep]);
+                self.dead = true;
+                drop(persisted);
+                panic!(
+                    "injected panic fault at byte {} of the wal",
+                    self.fault.at_byte
+                );
+            }
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(io::Error::other("wal io is dead after injected fault"));
+        }
+        Ok(())
+    }
+}
+
+/// Encodes one record frame.
+pub fn encode_record(id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let id_bytes = id.to_le_bytes();
+    frame.extend_from_slice(&id_bytes);
+    frame.extend_from_slice(&crc32(&[&id_bytes, payload]).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Why a scan stopped treating the log tail as durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TornReason {
+    /// Fewer than [`HEADER_LEN`] bytes remain: a header was cut mid-write.
+    TruncatedHeader,
+    /// The header's length field runs past the end of the log (or past
+    /// [`MAX_PAYLOAD`]): a payload was cut mid-write or the length is
+    /// garbage.
+    TruncatedPayload,
+    /// The frame is complete but its checksum does not verify.
+    BadChecksum,
+    /// The record id does not increase over its predecessor — frames
+    /// from different log generations interleaved (should be impossible
+    /// with compaction-by-truncate; treated as corruption).
+    NonMonotonicId,
+}
+
+impl fmt::Display for TornReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TornReason::TruncatedHeader => "record header cut short",
+            TornReason::TruncatedPayload => "record payload cut short",
+            TornReason::BadChecksum => "record checksum mismatch",
+            TornReason::NonMonotonicId => "record id not increasing",
+        })
+    }
+}
+
+/// A torn tail found by [`scan`]: everything before `offset` is the
+/// durable prefix; the bytes at `offset` and after are not a valid
+/// record and should be truncated away before appending resumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset where the durable prefix ends.
+    pub offset: u64,
+    /// Why the next frame is invalid.
+    pub reason: TornReason,
+}
+
+/// The result of scanning a log image: the decoded durable prefix plus
+/// the torn tail, if any.
+#[derive(Debug)]
+pub struct Scan {
+    /// The records of the longest durable prefix, in log order.
+    pub records: Vec<(u64, Vec<u8>)>,
+    /// Byte length of that prefix (a valid truncation point).
+    pub valid_len: u64,
+    /// `Some` when trailing bytes had to be discarded.
+    pub torn: Option<TornTail>,
+}
+
+/// Scans a log image for its longest durable prefix: whole,
+/// checksum-valid, id-monotone records from the start. Never fails —
+/// corruption shortens the prefix instead.
+pub fn scan(bytes: &[u8]) -> Scan {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    let mut last_id = 0u64;
+    let torn = loop {
+        let rest = bytes.len() - at;
+        if rest == 0 {
+            break None;
+        }
+        if rest < HEADER_LEN {
+            break Some(TornReason::TruncatedHeader);
+        }
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_PAYLOAD || rest - HEADER_LEN < len {
+            break Some(TornReason::TruncatedPayload);
+        }
+        let id_bytes: [u8; 8] = bytes[at + 4..at + 12].try_into().expect("8 bytes");
+        let id = u64::from_le_bytes(id_bytes);
+        let crc = u32::from_le_bytes(bytes[at + 12..at + 16].try_into().expect("4 bytes"));
+        let payload = &bytes[at + HEADER_LEN..at + HEADER_LEN + len];
+        if crc32(&[&id_bytes, payload]) != crc {
+            break Some(TornReason::BadChecksum);
+        }
+        if id <= last_id {
+            break Some(TornReason::NonMonotonicId);
+        }
+        last_id = id;
+        records.push((id, payload.to_vec()));
+        at += HEADER_LEN + len;
+    };
+    Scan {
+        records,
+        valid_len: at as u64,
+        torn: torn.map(|reason| TornTail {
+            offset: at as u64,
+            reason,
+        }),
+    }
+}
+
+/// Lifetime I/O counters of one [`Wal`] (mirrored into the serving
+/// layer's `STATS`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalCounters {
+    /// Records appended.
+    pub appends: u64,
+    /// Frame bytes appended (headers included).
+    pub bytes: u64,
+    /// fsyncs issued.
+    pub fsyncs: u64,
+}
+
+/// The append side of a write-ahead log: frames payloads, assigns ids,
+/// and syncs per [`FsyncPolicy`].
+pub struct Wal {
+    io: Box<dyn WalIo>,
+    policy: FsyncPolicy,
+    next_id: u64,
+    /// Bytes appended since the last sync (sync elision when clean).
+    dirty: bool,
+    counters: WalCounters,
+}
+
+impl fmt::Debug for Wal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Wal")
+            .field("policy", &self.policy)
+            .field("next_id", &self.next_id)
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Wal {
+    /// A log appending through `io`. `next_id` is one past the highest
+    /// id already durable (1 for a fresh log).
+    pub fn new(io: Box<dyn WalIo>, policy: FsyncPolicy, next_id: u64) -> Wal {
+        Wal {
+            io,
+            policy,
+            next_id: next_id.max(1),
+            dirty: false,
+            counters: WalCounters::default(),
+        }
+    }
+
+    /// The fsync policy appends run under.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// The id the next appended record will get.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Lifetime append/sync counters.
+    pub fn counters(&self) -> WalCounters {
+        self.counters
+    }
+
+    /// Appends one record, returning its id. Under `Always` the record
+    /// is durable when this returns; under `Group`/`Os` durability
+    /// waits for [`Wal::commit`] / the OS.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        let id = self.next_id;
+        let frame = encode_record(id, payload);
+        self.io.append(&frame)?;
+        self.next_id += 1;
+        self.dirty = true;
+        self.counters.appends += 1;
+        self.counters.bytes += frame.len() as u64;
+        if self.policy == FsyncPolicy::Always {
+            self.sync()?;
+        }
+        Ok(id)
+    }
+
+    /// The group-commit boundary: under `Group`, syncs everything
+    /// appended since the last sync. No-op under `Always` (already
+    /// synced) and `Os` (never syncs).
+    pub fn commit(&mut self) -> io::Result<()> {
+        if self.policy == FsyncPolicy::Group && self.dirty {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Unconditionally syncs appended bytes (shutdown, explicit FLUSH)
+    /// regardless of policy.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.dirty {
+            self.io.sync()?;
+            self.dirty = false;
+            self.counters.fsyncs += 1;
+        }
+        Ok(())
+    }
+
+    /// Notes that the underlying file was truncated to empty by a
+    /// compaction: ids keep increasing, only the byte stream restarts.
+    pub fn note_compacted(&mut self) {
+        self.dirty = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[b"1234", b"56789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[b""]), 0);
+    }
+
+    #[test]
+    fn encode_scan_round_trip() {
+        let mut log = Vec::new();
+        for (id, payload) in [(1u64, &b"FACT P(u);"[..]), (2, b""), (7, b"PREPARE q: x")] {
+            log.extend_from_slice(&encode_record(id, payload));
+        }
+        let scan = scan(&log);
+        assert!(scan.torn.is_none());
+        assert_eq!(scan.valid_len, log.len() as u64);
+        assert_eq!(
+            scan.records,
+            vec![
+                (1, b"FACT P(u);".to_vec()),
+                (2, Vec::new()),
+                (7, b"PREPARE q: x".to_vec())
+            ]
+        );
+    }
+
+    #[test]
+    fn truncated_tail_recovers_prefix() {
+        let r1 = encode_record(1, b"first record");
+        let r2 = encode_record(2, b"second record");
+        let mut log = r1.clone();
+        log.extend_from_slice(&r2);
+        // A clean cut at the frame boundary is not torn at all.
+        let s = scan(&log[..r1.len()]);
+        assert_eq!(s.records.len(), 1);
+        assert!(s.torn.is_none());
+        // Every strict prefix of the second frame recovers exactly the
+        // first record and points at the cut.
+        for cut in 1..r2.len() {
+            let s = scan(&log[..r1.len() + cut]);
+            assert_eq!(s.records.len(), 1, "cut at {cut}");
+            assert_eq!(s.valid_len, r1.len() as u64);
+            let torn = s.torn.expect("partial frame is torn");
+            assert_eq!(torn.offset, r1.len() as u64);
+            assert_eq!(
+                torn.reason,
+                if cut < HEADER_LEN {
+                    TornReason::TruncatedHeader
+                } else {
+                    TornReason::TruncatedPayload
+                },
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_stops_the_prefix() {
+        let mut log = encode_record(1, b"aaaa");
+        log.extend_from_slice(&encode_record(2, b"bbbb"));
+        let clean_first = encode_record(1, b"aaaa").len();
+        // Flip one payload byte of the second record.
+        let mut bad = log.clone();
+        let n = bad.len();
+        bad[n - 1] ^= 0x40;
+        let s = scan(&bad);
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(s.valid_len, clean_first as u64);
+        assert_eq!(s.torn.unwrap().reason, TornReason::BadChecksum);
+    }
+
+    #[test]
+    fn non_monotonic_ids_are_rejected() {
+        let mut log = encode_record(5, b"x");
+        log.extend_from_slice(&encode_record(5, b"y"));
+        let s = scan(&log);
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(s.torn.unwrap().reason, TornReason::NonMonotonicId);
+    }
+
+    #[test]
+    fn fault_io_persists_exactly_up_to_the_fault() {
+        let (mut io, persisted) = FaultIo::new(Fault {
+            at_byte: 10,
+            kind: FaultKind::ShortWrite,
+        });
+        io.append(b"01234567").unwrap();
+        let err = io.append(b"89abcdef").unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        assert_eq!(&*persisted.lock().unwrap(), b"0123456789");
+        // Dead after the fault.
+        assert!(io.append(b"zz").is_err());
+        assert!(io.sync().is_err());
+    }
+
+    #[test]
+    fn wal_append_assigns_increasing_ids_and_counts() {
+        let (io, persisted) = FaultIo::new(Fault {
+            at_byte: u64::MAX,
+            kind: FaultKind::Error,
+        });
+        let mut wal = Wal::new(Box::new(io), FsyncPolicy::Group, 1);
+        assert_eq!(wal.append(b"a").unwrap(), 1);
+        assert_eq!(wal.append(b"bb").unwrap(), 2);
+        wal.commit().unwrap();
+        let c = wal.counters();
+        assert_eq!(c.appends, 2);
+        assert_eq!(c.bytes, (2 * HEADER_LEN + 3) as u64);
+        assert_eq!(c.fsyncs, 1);
+        let s = scan(&persisted.lock().unwrap());
+        assert!(s.torn.is_none());
+        assert_eq!(s.records.len(), 2);
+    }
+}

@@ -390,6 +390,137 @@ fn slow_countermodel_reader_never_blocks_the_write_burst() {
     handle.shutdown();
 }
 
+/// The durability leg: stop → restart → query. A durable server is
+/// seeded and prepared over the wire, gracefully shut down, and booted
+/// again on the same data dir. The restarted server must answer the
+/// panel correctly on its *first* requests — with the prepared registry
+/// already compiled, zero scaffold rebuilds (warm restart), and the
+/// recovery counters visible in `STATS`.
+#[test]
+fn durable_server_restarts_warm_and_serves_the_prepared_panel() {
+    use std::sync::atomic::AtomicU64;
+    static N: AtomicU64 = AtomicU64::new(0);
+    let root = std::env::temp_dir().join(format!(
+        "indord-e2e-durable-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&root).unwrap();
+    let storage = || indord_server::durable::StorageConfig::new(&root);
+
+    let seed = seed_fragment();
+    let mut fragments: Vec<&str> = vec![&seed];
+    fragments.extend(WRITES);
+    let expected = oracle_verdicts(&fragments);
+    let batch_expected = Response::Verdicts(
+        PANEL
+            .iter()
+            .zip(&expected)
+            .map(|((name, _), &holds)| (name.to_string(), holds))
+            .collect(),
+    );
+
+    // First life: seed, prepare the panel, commit the write phases, and
+    // shut down gracefully (the handle drains and fsyncs the WAL tail).
+    {
+        let registry = Arc::new(Registry::with_storage(storage()).expect("durable registry"));
+        let mut handle = serve(registry, "127.0.0.1:0", 2).expect("bind ephemeral port");
+        let mut c = Client::connect(handle.addr());
+        c.ok("OPEN lab");
+        c.ok(&format!("FACT {seed}"));
+        for (name, text) in PANEL {
+            c.ok(&format!("PREPARE {name}: {text}"));
+        }
+        for write in WRITES {
+            c.ok(write);
+        }
+        let stats = match c.send("STATS") {
+            Response::Stats(s) => s,
+            other => panic!("STATS: unexpected {other:?}"),
+        };
+        assert_eq!(
+            stats.wal_appends,
+            (1 + PANEL.len() + WRITES.len()) as u64,
+            "every acked write is logged: {stats:?}"
+        );
+        assert!(stats.wal_bytes > 0, "{stats:?}");
+        assert!(stats.fsyncs > 0, "group fsync per commit: {stats:?}");
+        c.close();
+        handle.shutdown();
+    }
+
+    // Second life: recovery happens at registry boot, before the port
+    // opens; the very first requests must already be warm and correct.
+    let registry = Arc::new(Registry::with_storage(storage()).expect("recovery succeeds"));
+    let mut handle = serve(registry, "127.0.0.1:0", 2).expect("bind ephemeral port");
+    let mut c = Client::connect(handle.addr());
+    c.ok("USE lab");
+    for ((name, _), &want) in PANEL.iter().zip(&expected) {
+        assert_eq!(
+            c.send(&format!("ENTAIL {name}")),
+            Response::Verdict(want),
+            "prepared `{name}` must survive the restart with the right verdict"
+        );
+    }
+    assert_eq!(
+        c.send(&format!(
+            "BATCH {}",
+            PANEL.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
+        )),
+        batch_expected,
+        "first post-restart BATCH diverges"
+    );
+    let stats = match c.send("STATS") {
+        Response::Stats(s) => s,
+        other => panic!("STATS: unexpected {other:?}"),
+    };
+    assert_eq!(
+        stats.recovery_replayed_fragments,
+        (1 + PANEL.len() + WRITES.len()) as u64,
+        "replay covers the whole committed sequence: {stats:?}"
+    );
+    assert_eq!(
+        stats.recovery_truncated_bytes, 0,
+        "clean shutdown: {stats:?}"
+    );
+    assert_eq!(stats.prepared, PANEL.len() as u64, "{stats:?}");
+    assert!(
+        stats.prepared_hits >= PANEL.len() as u64 * 2,
+        "panel served from the recovered prepared cache: {stats:?}"
+    );
+    assert_eq!(
+        stats.scaffold_builds, 1,
+        "boot warmup builds the scaffold once: {stats:?}"
+    );
+    assert_eq!(
+        stats.scaffold_rebuilds, 0,
+        "first post-restart queries must not rebuild: {stats:?}"
+    );
+
+    // FLUSH over the wire: snapshot + compaction land in the counters,
+    // and a third life recovers from the snapshot with nothing to
+    // replay.
+    c.ok("FLUSH");
+    let stats = match c.send("STATS") {
+        Response::Stats(s) => s,
+        other => panic!("STATS: unexpected {other:?}"),
+    };
+    assert_eq!(stats.snapshots_written, 1, "{stats:?}");
+    assert_eq!(stats.compactions, 1, "{stats:?}");
+    c.close();
+    handle.shutdown();
+
+    let registry = Arc::new(Registry::with_storage(storage()).expect("recovery succeeds"));
+    let db = registry.get("lab").expect("lab recovered");
+    assert_eq!(
+        db.stats().recovery_replayed_fragments(),
+        0,
+        "post-FLUSH boot loads the snapshot and replays nothing"
+    );
+    drop(registry);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
 #[test]
 fn malformed_lines_get_spanned_errors_over_the_wire() {
     let registry = Arc::new(Registry::new());
