@@ -8,10 +8,11 @@
 //!   in monadic databases/queries and of a point in a model (the alphabet
 //!   `A = P(Pred)` of §4 of the paper).
 //!
-//! `PredSet` is a thin newtype over `BitSet` so the two cannot be confused,
-//! but shares the representation. Subset tests (`⊆`) dominate the hot paths
-//! of the entailment engines (they implement the `a ⊆ D[u]` tests of the
-//! `SEQ` algorithm), so they are word-parallel.
+//! `PredSet` is a separate type so the two cannot be confused, and stores
+//! its first 64 bits inline (no heap) — see its type docs. Subset tests
+//! (`⊆`) dominate the hot paths of the entailment engines (they implement
+//! the `a ⊆ D[u]` tests of the `SEQ` algorithm), so they are
+//! word-parallel.
 
 use crate::sym::PredSym;
 use std::fmt;
@@ -207,13 +208,28 @@ impl Iterator for BitSetIter<'_> {
 
 /// A set of predicate symbols — one letter of the alphabet `A = P(Pred)`
 /// over which flexi-words are formed (§4 of the paper).
+///
+/// Unlike [`BitSet`], the first 64 predicate ids live in an inline word
+/// with a heap spill only for ids ≥ 64 — a realistic vocabulary never
+/// spills, so a `Vec<PredSet>` (vertex labels, object profiles) clones
+/// as one flat `memcpy` instead of one allocation per element. That
+/// keeps the copy-on-write unshare of the monadic view O(|V|) cheap on
+/// the serving commit path. The spill is kept free of trailing zero
+/// words, so the derived `Eq`/`Hash`/`Ord` are canonical (two
+/// representations of the same set cannot diverge).
 #[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
-pub struct PredSet(BitSet);
+pub struct PredSet {
+    head: u64,
+    rest: Vec<u64>,
+}
 
 impl PredSet {
     /// The empty label.
     pub fn new() -> Self {
-        PredSet(BitSet::new())
+        PredSet {
+            head: 0,
+            rest: Vec::new(),
+        }
     }
 
     /// Singleton label `{p}`.
@@ -225,39 +241,88 @@ impl PredSet {
 
     /// Inserts a predicate; returns `true` if newly added.
     pub fn insert(&mut self, p: PredSym) -> bool {
-        self.0.insert(p.index())
+        let i = p.index();
+        if i < 64 {
+            let had = self.head & (1 << i) != 0;
+            self.head |= 1 << i;
+            return !had;
+        }
+        let (w, b) = ((i - 64) / 64, (i - 64) % 64);
+        if w >= self.rest.len() {
+            self.rest.resize(w + 1, 0);
+        }
+        let had = self.rest[w] & (1 << b) != 0;
+        self.rest[w] |= 1 << b;
+        !had
     }
 
     /// Removes a predicate; returns `true` if it was present.
     pub fn remove(&mut self, p: PredSym) -> bool {
-        self.0.remove(p.index())
+        let i = p.index();
+        if i < 64 {
+            let had = self.head & (1 << i) != 0;
+            self.head &= !(1 << i);
+            return had;
+        }
+        let (w, b) = ((i - 64) / 64, (i - 64) % 64);
+        if w >= self.rest.len() {
+            return false;
+        }
+        let had = self.rest[w] & (1 << b) != 0;
+        self.rest[w] &= !(1 << b);
+        while self.rest.last() == Some(&0) {
+            self.rest.pop();
+        }
+        had
     }
 
     /// Membership test.
     #[inline]
     pub fn contains(&self, p: PredSym) -> bool {
-        self.0.contains(p.index())
+        let i = p.index();
+        if i < 64 {
+            return self.head & (1 << i) != 0;
+        }
+        let (w, b) = ((i - 64) / 64, (i - 64) % 64);
+        self.rest.get(w).is_some_and(|x| x & (1 << b) != 0)
     }
 
     /// `self ⊆ other` — the workhorse of the `SEQ` algorithm.
     #[inline]
     pub fn is_subset(&self, other: &PredSet) -> bool {
-        self.0.is_subset(&other.0)
+        if self.head & !other.head != 0 {
+            return false;
+        }
+        self.rest
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !other.rest.get(i).copied().unwrap_or(0) == 0)
     }
 
     /// True iff no predicates.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.head == 0 && self.rest.iter().all(|&w| w == 0)
     }
 
     /// Number of predicates in the label.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.head.count_ones() as usize
+            + self
+                .rest
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>()
     }
 
     /// In-place union (labels of order constants merged to one point).
     pub fn union_with(&mut self, other: &PredSet) {
-        self.0.union_with(&other.0)
+        self.head |= other.head;
+        if other.rest.len() > self.rest.len() {
+            self.rest.resize(other.rest.len(), 0);
+        }
+        for (i, &w) in other.rest.iter().enumerate() {
+            self.rest[i] |= w;
+        }
     }
 
     /// Union returning a new set.
@@ -269,7 +334,30 @@ impl PredSet {
 
     /// Iterates the predicate symbols in increasing id order.
     pub fn iter(&self) -> impl Iterator<Item = PredSym> + '_ {
-        self.0.iter().map(PredSym::from_index)
+        let head = self.head;
+        let head_iter = std::iter::from_fn({
+            let mut bits = head;
+            move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(b)
+            }
+        });
+        let rest_iter = self.rest.iter().enumerate().flat_map(|(w, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(64 + w * 64 + b)
+            })
+        });
+        head_iter.chain(rest_iter).map(PredSym::from_index)
     }
 }
 
@@ -285,7 +373,9 @@ impl FromIterator<PredSym> for PredSet {
 
 impl fmt::Debug for PredSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_set().entries(self.0.iter()).finish()
+        f.debug_set()
+            .entries(self.iter().map(|p| p.index()))
+            .finish()
     }
 }
 

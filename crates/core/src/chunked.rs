@@ -1,0 +1,268 @@
+//! Structurally-shared append-only logs.
+//!
+//! [`ChunkedLog`] is the fact-store container behind the copy-on-write
+//! snapshot story: an append-only sequence stored as a list of *sealed*,
+//! immutable, `Arc`-shared chunks plus one mutable tail. Cloning a log
+//! bumps one reference count per sealed chunk and copies only the tail
+//! (at most [`CHUNK`]` - 1` elements), so a session snapshot
+//! ([`crate::session::Session::freeze`]) shares the overwhelming bulk of
+//! the fact store with the writer instead of deep-copying it — and the
+//! writer's next append never disturbs a chunk a snapshot can see,
+//! because sealed chunks are never mutated.
+//!
+//! Chunk boundaries are a deterministic function of the length (a chunk
+//! seals exactly when it reaches [`CHUNK`] elements), so two logs with
+//! equal content have equal structure and maximal sharing opportunity.
+
+use std::fmt;
+use std::ops::Index;
+use std::sync::Arc;
+
+/// Elements per sealed chunk. Snapshot clones copy at most `CHUNK - 1`
+/// tail elements; bigger chunks mean fewer `Arc`s per clone but a larger
+/// worst-case tail copy.
+pub const CHUNK: usize = 64;
+
+/// An append-only log of `T` with O(sealed-chunks) structural-sharing
+/// clones. See the module docs.
+pub struct ChunkedLog<T> {
+    /// Full, immutable chunks of exactly [`CHUNK`] elements each.
+    sealed: Vec<Arc<Vec<T>>>,
+    /// The mutable tail, always shorter than [`CHUNK`].
+    tail: Vec<T>,
+}
+
+impl<T> ChunkedLog<T> {
+    /// An empty log.
+    pub fn new() -> Self {
+        ChunkedLog {
+            sealed: Vec::new(),
+            tail: Vec::new(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.sealed.len() * CHUNK + self.tail.len()
+    }
+
+    /// True when the log holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.sealed.is_empty() && self.tail.is_empty()
+    }
+
+    /// Appends an element (amortized O(1); seals the tail into an
+    /// immutable shared chunk when it fills).
+    pub fn push(&mut self, value: T) {
+        self.tail.push(value);
+        if self.tail.len() == CHUNK {
+            let full = std::mem::take(&mut self.tail);
+            self.sealed.push(Arc::new(full));
+        }
+    }
+
+    /// The element at `index`, if in bounds.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        let (c, i) = (index / CHUNK, index % CHUNK);
+        if c < self.sealed.len() {
+            self.sealed[c].get(i)
+        } else if c == self.sealed.len() {
+            self.tail.get(i)
+        } else {
+            None
+        }
+    }
+
+    /// Iterates the elements in insertion order.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            log: self,
+            front: 0,
+            back: self.len(),
+        }
+    }
+
+    /// Number of sealed chunks shared (pointer-equal) with `other` —
+    /// the structural-sharing observability hook behind the snapshot
+    /// proptests: after a freeze, writer and snapshot share every sealed
+    /// chunk, and appends on either side never unshare old ones.
+    pub fn shared_chunks_with(&self, other: &ChunkedLog<T>) -> usize {
+        self.sealed
+            .iter()
+            .zip(other.sealed.iter())
+            .take_while(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// Number of sealed chunks (each holding exactly [`CHUNK`] elements).
+    pub fn sealed_chunks(&self) -> usize {
+        self.sealed.len()
+    }
+}
+
+impl<T> Default for ChunkedLog<T> {
+    fn default() -> Self {
+        ChunkedLog::new()
+    }
+}
+
+impl<T: Clone> Clone for ChunkedLog<T> {
+    fn clone(&self) -> Self {
+        ChunkedLog {
+            sealed: self.sealed.clone(),
+            tail: self.tail.clone(),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for ChunkedLog<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T: PartialEq> PartialEq for ChunkedLog<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && self
+                .sealed
+                .iter()
+                .zip(other.sealed.iter())
+                .all(|(a, b)| Arc::ptr_eq(a, b) || a == b)
+            && self.tail == other.tail
+    }
+}
+
+impl<T: Eq> Eq for ChunkedLog<T> {}
+
+impl<T> Index<usize> for ChunkedLog<T> {
+    type Output = T;
+
+    fn index(&self, index: usize) -> &T {
+        self.get(index).expect("ChunkedLog index out of bounds")
+    }
+}
+
+impl<T> Extend<T> for ChunkedLog<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<T> FromIterator<T> for ChunkedLog<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut log = ChunkedLog::new();
+        log.extend(iter);
+        log
+    }
+}
+
+/// Borrowing iterator over a [`ChunkedLog`], in insertion order.
+pub struct Iter<'a, T> {
+    log: &'a ChunkedLog<T>,
+    front: usize,
+    back: usize,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        if self.front >= self.back {
+            return None;
+        }
+        let v = &self.log[self.front];
+        self.front += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.back - self.front;
+        (n, Some(n))
+    }
+}
+
+impl<T> ExactSizeIterator for Iter<'_, T> {}
+
+impl<'a, T> DoubleEndedIterator for Iter<'a, T> {
+    fn next_back(&mut self) -> Option<&'a T> {
+        if self.front >= self.back {
+            return None;
+        }
+        self.back -= 1;
+        Some(&self.log[self.back])
+    }
+}
+
+impl<'a, T> IntoIterator for &'a ChunkedLog<T> {
+    type Item = &'a T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_index_iterate_across_chunk_boundaries() {
+        let mut log = ChunkedLog::new();
+        let n = 3 * CHUNK + 7;
+        for i in 0..n {
+            log.push(i);
+        }
+        assert_eq!(log.len(), n);
+        assert_eq!(log.sealed_chunks(), 3);
+        assert!(!log.is_empty());
+        for i in 0..n {
+            assert_eq!(log[i], i);
+        }
+        assert_eq!(log.get(n), None);
+        let collected: Vec<usize> = log.iter().copied().collect();
+        assert_eq!(collected, (0..n).collect::<Vec<_>>());
+        let backwards: Vec<usize> = log.iter().rev().copied().collect();
+        assert_eq!(backwards, (0..n).rev().collect::<Vec<_>>());
+        assert_eq!(log.iter().len(), n);
+    }
+
+    #[test]
+    fn clone_shares_sealed_chunks_and_appends_never_unshare() {
+        let mut log: ChunkedLog<usize> = (0..2 * CHUNK + 3).collect();
+        let snap = log.clone();
+        assert_eq!(log.shared_chunks_with(&snap), 2);
+        assert_eq!(log, snap);
+        // Appends on the writer (even sealing a new chunk) leave the
+        // snapshot's view of the old chunks intact and shared.
+        for i in 0..2 * CHUNK {
+            log.push(i);
+        }
+        assert_eq!(log.shared_chunks_with(&snap), 2);
+        assert_eq!(snap.len(), 2 * CHUNK + 3);
+        assert_ne!(log, snap);
+    }
+
+    #[test]
+    fn equality_is_content_based() {
+        let a: ChunkedLog<u32> = (0..100).collect();
+        let b: ChunkedLog<u32> = (0..100).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.shared_chunks_with(&b), 0, "equal but unshared");
+        let c: ChunkedLog<u32> = (0..101).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn extend_and_from_iterator() {
+        let mut a = ChunkedLog::new();
+        a.extend(0..10u32);
+        assert_eq!(a.len(), 10);
+        let b: ChunkedLog<u32> = (0..10).collect();
+        assert_eq!(a, b);
+        assert_eq!(format!("{:?}", ChunkedLog::<u32>::default()), "[]");
+    }
+}

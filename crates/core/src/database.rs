@@ -6,17 +6,23 @@
 //! the vertices of an [`OrderGraph`] — the form every engine consumes.
 
 use crate::atom::{OrderAtom, OrderRel, ProperAtom, Term};
+use crate::chunked::ChunkedLog;
 use crate::error::Result;
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::ordgraph::OrderGraph;
 use crate::sym::{ObjSym, OrdSym, PredSym, Vocabulary};
 use std::fmt;
+use std::sync::Arc;
 
 /// A raw indefinite order database: ground proper facts plus order facts.
+///
+/// Both fact logs are [`ChunkedLog`]s: cloning a database (session
+/// snapshots, rollback copies) shares every sealed chunk with the
+/// original and copies only the unsealed tails — O(changed), not O(|D|).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Database {
-    proper: Vec<ProperAtom>,
-    order: Vec<OrderAtom>,
+    proper: ChunkedLog<ProperAtom>,
+    order: ChunkedLog<OrderAtom>,
 }
 
 impl Database {
@@ -63,12 +69,12 @@ impl Database {
     }
 
     /// The proper atoms.
-    pub fn proper_atoms(&self) -> &[ProperAtom] {
+    pub fn proper_atoms(&self) -> &ChunkedLog<ProperAtom> {
         &self.proper
     }
 
     /// The order atoms.
-    pub fn order_atoms(&self) -> &[OrderAtom] {
+    pub fn order_atoms(&self) -> &ChunkedLog<OrderAtom> {
         &self.order
     }
 
@@ -171,9 +177,9 @@ impl Database {
             .collect();
         Ok(NormalDatabase {
             proper: self.proper.clone(),
-            graph: nz.graph,
-            vertex_of,
-            members,
+            graph: Arc::new(nz.graph),
+            vertex_of: Arc::new(vertex_of),
+            members: Arc::new(members),
             ne,
         })
     }
@@ -224,17 +230,30 @@ impl fmt::Display for DisplayDb<'_> {
 
 /// A normalized database: proper atoms plus a consistent order dag, with
 /// order constants mapped to dag vertices (possibly many-to-one after N1).
+///
+/// The big components are structurally shared: the proper-atom log shares
+/// its sealed chunks with the [`Database`] it was normalized from, the
+/// order dag sits behind an `Arc` that the monadic view
+/// ([`crate::monadic::MonadicDatabase::from_normal`]) aliases instead of
+/// cloning, and the constant→vertex tables are `Arc`-shared too (they
+/// only change on structural renormalization). Cloning a
+/// `NormalDatabase` — as [`crate::session::Session::freeze`] effectively
+/// does through its view `Arc`s — is therefore O(changed).
 #[derive(Debug, Clone)]
 pub struct NormalDatabase {
     /// The proper atoms (unchanged; interpret their order arguments through
     /// [`NormalDatabase::vertex_of`]).
-    pub proper: Vec<ProperAtom>,
-    /// The normalized order dag.
-    pub graph: OrderGraph,
-    /// Mapping order constant → dag vertex.
-    pub vertex_of: FxHashMap<OrdSym, usize>,
-    /// The constants merged into each vertex.
-    pub members: Vec<Vec<OrdSym>>,
+    pub proper: ChunkedLog<ProperAtom>,
+    /// The normalized order dag, shared with the monadic view (in-place
+    /// order-edge patches go through `Arc::make_mut` on *both* views in
+    /// one motion — see `Session::try_patch_order_edge`).
+    pub graph: Arc<OrderGraph>,
+    /// Mapping order constant → dag vertex. Immutable between structural
+    /// rebuilds, hence shared.
+    pub vertex_of: Arc<FxHashMap<OrdSym, usize>>,
+    /// The constants merged into each vertex. Immutable between
+    /// structural rebuilds, hence shared.
+    pub members: Arc<Vec<Vec<OrdSym>>>,
     /// Inequality constraints between vertices (§7); empty for `[<,<=]`
     /// databases. A pair `(v, v)` is possible (after merging) and makes the
     /// database unsatisfiable under `!=` semantics.

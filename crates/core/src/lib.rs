@@ -16,6 +16,8 @@
 //!
 //! * [`sym`] — interned symbols and the two-sorted [`sym::Vocabulary`];
 //! * [`bitset`] — dense bitsets used for label sets and reachability;
+//! * [`chunked`] — structurally-shared append-only logs (the fact-store
+//!   container behind O(changed) session snapshots);
 //! * [`fxhash`] — the fast in-process hasher backing the interning tables;
 //! * [`atom`] / [`database`] — ground facts and the [`database::Database`] type;
 //! * [`query`] — positive existential queries, DNF normal form,
@@ -58,6 +60,7 @@
 
 pub mod atom;
 pub mod bitset;
+pub mod chunked;
 pub mod database;
 pub mod error;
 pub mod flexi;

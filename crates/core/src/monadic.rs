@@ -16,13 +16,19 @@ use crate::model::MonadicModel;
 use crate::ordgraph::OrderGraph;
 use crate::query::{ConjunctiveQuery, QArg};
 use crate::sym::Vocabulary;
+use std::sync::Arc;
 
 /// A monadic database: an order dag with a predicate-set label per vertex,
 /// plus optional `!=` constraints between vertices (§7).
+///
+/// The dag is `Arc`-shared with the [`NormalDatabase`] the view was built
+/// from ([`MonadicDatabase::from_normal`] aliases, it does not clone), so
+/// session snapshots and copy-on-write unsharing pay for the graph at
+/// most once per *structural* change, never per publish.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MonadicDatabase {
-    /// The order dag.
-    pub graph: OrderGraph,
+    /// The order dag (shared with the normalized view; see the type docs).
+    pub graph: Arc<OrderGraph>,
     /// `labels[v] = D[v]`, the predicates asserted of vertex `v`.
     pub labels: Vec<PredSet>,
     /// Inequality constraints (vertex pairs); empty in the `[<,<=]` case.
@@ -54,7 +60,9 @@ impl MonadicDatabase {
             };
         }
         Ok(MonadicDatabase {
-            graph: db.graph.clone(),
+            // An `Arc` alias, not a graph clone: the normal and monadic
+            // views of one session share one dag by construction.
+            graph: Arc::clone(&db.graph),
             labels,
             ne: db.ne.clone(),
         })
@@ -64,7 +72,7 @@ impl MonadicDatabase {
     pub fn new(graph: OrderGraph, labels: Vec<PredSet>) -> Self {
         assert_eq!(graph.len(), labels.len());
         MonadicDatabase {
-            graph,
+            graph: Arc::new(graph),
             labels,
             ne: Vec::new(),
         }
@@ -78,7 +86,7 @@ impl MonadicDatabase {
             .collect();
         let graph = OrderGraph::from_dag_edges(n, &edges).expect("chain is acyclic");
         MonadicDatabase {
-            graph,
+            graph: Arc::new(graph),
             labels: w.labels().to_vec(),
             ne: Vec::new(),
         }
@@ -202,7 +210,7 @@ impl MonadicQuery {
     pub fn from_flexiword(w: &FlexiWord) -> Self {
         let db = MonadicDatabase::from_flexiword(w);
         MonadicQuery {
-            graph: db.graph,
+            graph: Arc::try_unwrap(db.graph).expect("freshly built dag is unshared"),
             labels: db.labels,
             ne: Vec::new(),
         }
@@ -239,7 +247,7 @@ impl MonadicQuery {
             return Err(CoreError::NotSequential);
         }
         MonadicDatabase {
-            graph: self.graph.clone(),
+            graph: Arc::new(self.graph.clone()),
             labels: self.labels.clone(),
             ne: Vec::new(),
         }

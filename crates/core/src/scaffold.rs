@@ -105,7 +105,7 @@ use crate::monadic::MonadicDatabase;
 use crate::ordgraph::{EdgeInsert, OrderGraph};
 use crate::sym::PredSym;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Interned antichains of one database dag: each distinct antichain gets a
 /// dense `u32` id, its sorted vertex list, and its cached up-set `D↾S`.
@@ -598,8 +598,12 @@ impl std::ops::DerefMut for PairsHandle<'_> {
 pub struct DisjunctiveScaffold {
     n: usize,
     /// Reachability closure of the dag: `reach[v]` = vertices reachable
-    /// from `v`, inclusive.
-    reach: Vec<BitSet>,
+    /// from `v`, inclusive. `Arc`-shared across copy-on-write clones —
+    /// at n vertices it is n heap bitsets, by far the heaviest
+    /// graph-shaped table — and unshared (`Arc::make_mut`) only by the
+    /// first order-edge patch after a publish; label and `!=` patches
+    /// never touch it.
+    reach: Arc<Vec<BitSet>>,
     /// One topological order (feeds `minor_within_order`), repaired
     /// locally (Pearce–Kelly) on edge inserts.
     topo: Vec<u32>,
@@ -614,13 +618,21 @@ pub struct DisjunctiveScaffold {
     /// How often [`DisjunctiveScaffold::pairs`] found the shared table
     /// contended and handed out a private one instead.
     contention: AtomicU64,
+    /// Epoch tag of the pair-table *lineage*: 0 on a fresh build, stable
+    /// across [`DisjunctiveScaffold::cow_clone`]s that carried the warm
+    /// table over, bumped when contention forced the clone to restart
+    /// from an empty table. A published snapshot whose writer-side
+    /// successor reports the same generation provably inherited the
+    /// reader-warmed `D(S,T)` memo — the observability hook behind
+    /// skipping the per-publish prepared-registry pre-run.
+    pair_generation: u64,
 }
 
 impl DisjunctiveScaffold {
     /// Builds the scaffold of a monadic database.
     pub fn new(db: &MonadicDatabase) -> Self {
         let n = db.graph.len();
-        let reach = db.graph.reachability();
+        let reach = Arc::new(db.graph.reachability());
         let topo: Vec<u32> = db.graph.topo_order().iter().map(|&v| v as u32).collect();
         let mut pos = vec![0u32; n];
         for (i, &v) in topo.iter().enumerate() {
@@ -642,12 +654,15 @@ impl DisjunctiveScaffold {
             pairs,
             max_pairs: None,
             contention: AtomicU64::new(0),
+            pair_generation: 0,
         }
     }
 
-    /// A copy-on-write clone for snapshot publication: the graph-shaped
-    /// tables (closure, topo order, initial antichain) are plain deep
-    /// copies, and the shared pair table is cloned through `try_lock` —
+    /// A copy-on-write clone for snapshot publication: the reachability
+    /// closure is an `Arc` bump (unshared only by a later edge patch),
+    /// the small flat tables (topo order, its inverse, initial
+    /// antichain) are single-`memcpy` copies, and the shared pair table
+    /// is cloned through `try_lock` —
     /// when a concurrent search currently holds it, the clone starts
     /// from a **fresh** pair table instead of waiting, so a long
     /// countermodel run on a published snapshot can never block the
@@ -655,20 +670,27 @@ impl DisjunctiveScaffold {
     /// way, the memoized pairs recompute transparently on next use; the
     /// contention-fallback count carries over either way.
     pub fn cow_clone(&self) -> DisjunctiveScaffold {
-        let pairs = match self.pairs.try_lock() {
-            Ok(g) => g.clone(),
-            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner().clone(),
-            Err(std::sync::TryLockError::WouldBlock) => PairTable::new(self.n, &self.initial_t),
+        let (pairs, pair_generation) = match self.pairs.try_lock() {
+            Ok(g) => (g.clone(), self.pair_generation),
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                (p.into_inner().clone(), self.pair_generation)
+            }
+            Err(std::sync::TryLockError::WouldBlock) => (
+                PairTable::new(self.n, &self.initial_t),
+                // The warm memo was lost to contention: new lineage.
+                self.pair_generation + 1,
+            ),
         };
         DisjunctiveScaffold {
             n: self.n,
-            reach: self.reach.clone(),
+            reach: Arc::clone(&self.reach),
             topo: self.topo.clone(),
             pos: self.pos.clone(),
             initial_t: self.initial_t.clone(),
             pairs: Mutex::new(pairs),
             max_pairs: self.max_pairs,
             contention: AtomicU64::new(self.contention.load(Ordering::Relaxed)),
+            pair_generation,
         }
     }
 
@@ -696,7 +718,7 @@ impl DisjunctiveScaffold {
     /// session patches the closure in the same motion as the graph edge,
     /// then finishes with [`DisjunctiveScaffold::patch_order_edge`].
     pub fn reach_mut(&mut self) -> &mut [BitSet] {
-        &mut self.reach
+        Arc::make_mut(&mut self.reach).as_mut_slice()
     }
 
     /// The initial antichain `min(D)`.
@@ -726,6 +748,15 @@ impl DisjunctiveScaffold {
                 PairsHandle::Local(PairTable::new(self.n, &self.initial_t))
             }
         }
+    }
+
+    /// The pair-table lineage epoch: stable across copy-on-write clones
+    /// that carried the warm `D(S,T)` memo over, bumped when a clone had
+    /// to restart from an empty table because a concurrent search held
+    /// the shared one. Equal generations across a publish ⇒ the new
+    /// snapshot inherited every reader-warmed pair.
+    pub fn pair_generation(&self) -> u64 {
+        self.pair_generation
     }
 
     /// How many times a search run found the shared pair table locked by
@@ -829,7 +860,7 @@ impl DisjunctiveScaffold {
         if db.graph.len() != self.n {
             return Err(format!("vertex count {} != db {}", self.n, db.graph.len()));
         }
-        if self.reach != db.graph.reachability() {
+        if *self.reach != db.graph.reachability() {
             return Err("patched reachability closure != fresh closure".into());
         }
         for (i, &w) in self.topo.iter().enumerate() {
@@ -927,6 +958,7 @@ mod tests {
     use crate::atom::OrderRel::{Le, Lt};
     use crate::ordgraph::OrderGraph;
     use crate::sym::PredSym;
+    use std::sync::Arc;
 
     fn ps(ids: &[usize]) -> PredSet {
         ids.iter().map(|&i| PredSym::from_index(i)).collect()
@@ -1011,7 +1043,7 @@ mod tests {
         assert!(sub.blocks(pairs.info(idx3)));
         // The unrestricted view of the same scaffold never blocks, even
         // though the pair table carries the blocked bit.
-        let ne_free = MonadicDatabase::new(db.graph.clone(), db.labels.clone());
+        let ne_free = MonadicDatabase::new(db.graph.as_ref().clone(), db.labels.clone());
         let free = SubScaffold::project(&sc, &ne_free);
         assert!(free.is_unrestricted());
         assert!(!free.blocks(pairs.info(idx3)));
@@ -1077,7 +1109,8 @@ mod tests {
         let warm_pairs = sc.cached_pair_count();
         assert!(warm_pairs > 3, "the workload warmed real state");
 
-        let (outcome, changed) = db.graph.insert_dag_edge_tracked(1, 2, Lt, sc.reach_mut());
+        let (outcome, changed) =
+            Arc::make_mut(&mut db.graph).insert_dag_edge_tracked(1, 2, Lt, sc.reach_mut());
         assert_eq!(outcome, EdgeInsert::New);
         assert_eq!(changed.iter().collect::<Vec<_>>(), vec![0, 1]);
         sc.patch_order_edge(&db, 1, 2, outcome, &changed);
@@ -1104,7 +1137,8 @@ mod tests {
             let pairs = sc.pairs();
             pairs.initial_id() // min(D) = {0, 1}
         };
-        let (outcome, changed) = db.graph.insert_dag_edge_tracked(0, 1, Lt, sc.reach_mut());
+        let (outcome, changed) =
+            Arc::make_mut(&mut db.graph).insert_dag_edge_tracked(0, 1, Lt, sc.reach_mut());
         sc.patch_order_edge(&db, 0, 1, outcome, &changed);
         sc.validate(&db).expect("patched scaffold is consistent");
         let pairs = sc.pairs();

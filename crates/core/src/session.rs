@@ -93,6 +93,7 @@ use crate::database::{Database, NormalDatabase};
 use crate::error::Result;
 use crate::fxhash::FxHashMap;
 use crate::monadic::MonadicDatabase;
+use crate::ordgraph::OrderGraph;
 use crate::scaffold::{DisjunctiveScaffold, SubScaffold};
 use crate::sym::{ObjSym, OrdSym, PredSym, Vocabulary};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -136,6 +137,64 @@ impl SessionStats {
     pub fn scaffold_rebuilds(&self) -> u64 {
         self.scaffold_builds.saturating_sub(1)
     }
+}
+
+/// Three-way answer to "do these two sessions share this view?" —
+/// returned by [`Session::shares_scaffold_with`] and
+/// [`Session::sharing_with`]. A plain `bool` cannot distinguish "warm
+/// but distinct" from "nothing computed", which made sharing assertions
+/// pass vacuously when warmup silently failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sharing {
+    /// Both sides are warm and hold the same object (`Arc::ptr_eq`).
+    Shared,
+    /// Both sides are warm but hold distinct objects (a write unshared).
+    Unshared,
+    /// At least one side never computed the view — the comparison is
+    /// vacuous, and assertions built on it prove nothing.
+    Cold,
+}
+
+impl Sharing {
+    fn of<T>(a: Option<&Arc<T>>, b: Option<&Arc<T>>) -> Sharing {
+        match (a, b) {
+            (Some(a), Some(b)) if Arc::ptr_eq(a, b) => Sharing::Shared,
+            (Some(_), Some(_)) => Sharing::Unshared,
+            _ => Sharing::Cold,
+        }
+    }
+
+    /// True exactly for [`Sharing::Shared`].
+    pub fn is_shared(self) -> bool {
+        self == Sharing::Shared
+    }
+}
+
+/// Per-view sharing answers between a session and (typically) one of its
+/// frozen snapshots — see [`Session::sharing_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharingReport {
+    /// The normalized view ([`Session::normal`]).
+    pub normal: Sharing,
+    /// The monadic labelled-dag view ([`Session::monadic`]).
+    pub monadic: Sharing,
+    /// The object-profile table ([`Session::object_profiles`]).
+    pub profiles: Sharing,
+    /// The disjunctive scaffold ([`Session::disjunctive_scaffold`]).
+    pub scaffold: Sharing,
+    /// The order dag *inside* the normalized view: stays shared across
+    /// label/`!=`/fact writes even when the views themselves unshare.
+    pub order_graph: Sharing,
+    /// The constant→vertex table inside the normalized view: stays
+    /// shared across every non-structural write.
+    pub vertex_map: Sharing,
+}
+
+/// An empty dag, used to momentarily retire the monadic view's dag alias
+/// while the order-edge patch runs `Arc::make_mut` on the normal side
+/// (see `Session::try_patch_order_edge`).
+fn placeholder_graph() -> OrderGraph {
+    OrderGraph::from_dag_edges(0, &[]).expect("the empty dag is consistent")
 }
 
 /// Per-object predicate profiles, derived from the definite part of the
@@ -235,10 +294,17 @@ pub struct Session {
     /// When set, writes drop the scaffold instead of patching it — the
     /// pre-incremental behavior, kept as the benchmark baseline.
     rebuild_scaffold_on_write: bool,
-    normal: OnceLock<Result<NormalDatabase>>,
-    monadic: OnceLock<Result<MonadicDatabase>>,
+    /// Every cached view sits behind an `Arc`: [`Session::freeze`] clones
+    /// the `OnceLock`s, which is one reference-count bump per warm view,
+    /// and the write paths unshare only the view they touch
+    /// (`Arc::make_mut`) — the inner components (the
+    /// [`crate::chunked::ChunkedLog`] fact store, the shared order dag,
+    /// the vertex tables) are themselves
+    /// structurally shared, so even that unsharing is O(changed).
+    normal: OnceLock<Result<Arc<NormalDatabase>>>,
+    monadic: OnceLock<Result<Arc<MonadicDatabase>>>,
     voc_stamp: OnceLock<VocStamp>,
-    profiles: OnceLock<ObjectProfiles>,
+    profiles: OnceLock<Arc<ObjectProfiles>>,
     /// The scaffold is held through an `Arc` so a frozen snapshot
     /// ([`Session::freeze`]) shares it instead of rebuilding; mutation
     /// paths split off a private copy first when it is shared (see
@@ -335,10 +401,13 @@ impl Session {
 
     /// The normalized database, computing and caching it on first use.
     pub fn normal(&self) -> Result<&NormalDatabase> {
-        self.normal
-            .get_or_init(|| self.db.normalize())
-            .as_ref()
-            .map_err(Clone::clone)
+        match self
+            .normal
+            .get_or_init(|| self.db.normalize().map(Arc::new))
+        {
+            Ok(nd) => Ok(&**nd),
+            Err(e) => Err(e.clone()),
+        }
     }
 
     /// The labelled-dag monadic view, computing and caching it on first
@@ -351,10 +420,13 @@ impl Session {
         if !stamp.accepts(voc) {
             return Err(crate::error::CoreError::VocabularyMismatch);
         }
-        self.monadic
-            .get_or_init(|| MonadicDatabase::from_normal(voc, nd))
-            .as_ref()
-            .map_err(Clone::clone)
+        match self
+            .monadic
+            .get_or_init(|| MonadicDatabase::from_normal(voc, nd).map(Arc::new))
+        {
+            Ok(mdb) => Ok(&**mdb),
+            Err(e) => Err(e.clone()),
+        }
     }
 
     /// The Theorem 5.3 search scaffold of the monadic view, computing and
@@ -405,7 +477,7 @@ impl Session {
         let nd = self.normal()?;
         Ok(&self
             .profiles
-            .get_or_init(|| ObjectProfiles::from_normal(nd))
+            .get_or_init(|| Arc::new(ObjectProfiles::from_normal(nd)))
             .sets)
     }
 
@@ -419,14 +491,19 @@ impl Session {
     /// deliberately starts cold (two live sessions must never share
     /// cache state they both mutate), `freeze` is for clones that will
     /// never be mutated again — MVCC read snapshots. Every computed view
-    /// carries over: the normalized and monadic databases are cloned
-    /// (plain data), the scaffold is **shared** through its `Arc` (one
-    /// reference count instead of re-deriving reachability/topo/pair
-    /// tables), and the maintenance counters copy their current values
-    /// so `STATS` served off a snapshot reports the writer's history.
-    /// The owning session's next mutation sees the shared `Arc` and
-    /// splits off its own scaffold copy (copy-on-write), so the frozen
-    /// view is immutable by construction.
+    /// carries over **by reference**: the normalized and monadic views,
+    /// the object profiles, and the scaffold are all shared through
+    /// their `Arc`s (one reference-count bump each), and the database's
+    /// fact logs share every sealed chunk
+    /// ([`crate::chunked::ChunkedLog`]) — a freeze copies only the
+    /// unsealed log tails and the counters, O(changed) regardless of
+    /// `|D|`. The maintenance counters copy their current values so
+    /// `STATS` served off a snapshot reports the writer's history.
+    /// The owning session's next mutation sees the shared `Arc`s and
+    /// splits off a private copy of exactly the views it touches
+    /// (`Arc::make_mut` copy-on-write), so the frozen snapshot is
+    /// immutable by construction and untouched views stay shared
+    /// forever (asserted structurally by [`Session::sharing_with`]).
     pub fn freeze(&self) -> Session {
         fn copied<T: Clone>(src: &OnceLock<T>) -> OnceLock<T> {
             let dst = OnceLock::new();
@@ -451,12 +528,42 @@ impl Session {
         }
     }
 
-    /// True when this session's warm scaffold is the same shared object
-    /// as `other`'s (observability hook for the snapshot-sharing tests).
-    pub fn shares_scaffold_with(&self, other: &Session) -> bool {
-        match (self.scaffold.get(), other.scaffold.get()) {
-            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
-            _ => false,
+    /// Whether this session's warm scaffold is the same shared object as
+    /// `other`'s (observability hook for the snapshot-sharing tests).
+    ///
+    /// The answer is three-way on purpose: a `bool` would conflate
+    /// "both warm but distinct" with "never computed", letting sharing
+    /// *and* unsharing assertions pass vacuously when warmup silently
+    /// failed. Callers asserting sharing state must demand
+    /// [`Sharing::Shared`] / [`Sharing::Unshared`] explicitly;
+    /// [`Sharing::Cold`] always means the assertion proved nothing.
+    pub fn shares_scaffold_with(&self, other: &Session) -> Sharing {
+        Sharing::of(self.scaffold.get(), other.scaffold.get())
+    }
+
+    /// Per-view structural-sharing report against `other` (typically a
+    /// frozen snapshot of this session): which `Arc`-held views — and
+    /// which *inner* components, the order dag and the constant→vertex
+    /// table — are still the same shared objects. This is how the
+    /// sharing proptests pin O(changed) behavior structurally: after a
+    /// write, exactly the touched views may be [`Sharing::Unshared`];
+    /// everything else must still be [`Sharing::Shared`].
+    pub fn sharing_with(&self, other: &Session) -> SharingReport {
+        fn warm<T>(r: Option<&Result<Arc<T>>>) -> Option<&Arc<T>> {
+            match r {
+                Some(Ok(a)) => Some(a),
+                _ => None,
+            }
+        }
+        let (nd_a, nd_b) = (warm(self.normal.get()), warm(other.normal.get()));
+        let (md_a, md_b) = (warm(self.monadic.get()), warm(other.monadic.get()));
+        SharingReport {
+            normal: Sharing::of(nd_a, nd_b),
+            monadic: Sharing::of(md_a, md_b),
+            profiles: Sharing::of(self.profiles.get(), other.profiles.get()),
+            scaffold: self.shares_scaffold_with(other),
+            order_graph: Sharing::of(nd_a.map(|n| &n.graph), nd_b.map(|n| &n.graph)),
+            vertex_map: Sharing::of(nd_a.map(|n| &n.vertex_of), nd_b.map(|n| &n.vertex_of)),
         }
     }
 
@@ -538,7 +645,10 @@ impl Session {
                         Some(Ok(nd)) => nd.vertex_of[u],
                         _ => unreachable!("incremental implies a warm normal cache"),
                     };
-                    mdb.labels[v].insert(atom.pred);
+                    // Unshare only the monadic view (snapshots keep the
+                    // frozen labels); the dag `Arc` inside it stays
+                    // shared — a label insert never touches the graph.
+                    Arc::make_mut(mdb).labels[v].insert(atom.pred);
                     vertex = Some(v);
                 }
                 // The scaffold's D(S,T) tables cache label unions, which
@@ -558,7 +668,7 @@ impl Session {
                 // labels are untouched, so the scaffold stays valid.
                 self.in_place_patches.fetch_add(1, Ordering::Relaxed);
                 if let Some(profiles) = self.profiles.get_mut() {
-                    profiles.insert(atom.pred, *o);
+                    Arc::make_mut(profiles).insert(atom.pred, *o);
                 }
             }
             _ => {
@@ -577,7 +687,10 @@ impl Session {
             }
         }
         if let Some(Ok(nd)) = self.normal.get_mut() {
-            nd.proper.push(atom.clone());
+            // Unshares the normalized *view* struct only: the proper log
+            // shares its sealed chunks, and the dag/vertex tables are
+            // `Arc` bumps — O(changed) even right after a freeze.
+            Arc::make_mut(nd).proper.push(atom.clone());
         }
         self.db.push_proper(atom);
     }
@@ -640,9 +753,6 @@ impl Session {
         if nd.graph.reaches(cv, cu) {
             return false;
         }
-        if let Some(Ok(nd)) = self.normal.get_mut() {
-            nd.graph.insert_dag_edge(cu, cv, rel);
-        }
         // Take the scaffold out for the patch pass, unsharing it first:
         // frozen snapshots holding the same `Arc` must keep seeing the
         // pre-write tables.
@@ -651,24 +761,57 @@ impl Session {
             .take()
             .filter(|_| !self.rebuild_scaffold_on_write)
             .map(|arc| Arc::try_unwrap(arc).unwrap_or_else(|shared| shared.cow_clone()));
-        if let Some(Ok(mdb)) = self.monadic.get_mut() {
-            match &mut scaffold {
-                Some(sc) => {
-                    // Patch the graph and the scaffold's closure together,
-                    // then finish the scaffold-side maintenance (topo
-                    // repair + selective pair eviction).
-                    let (outcome, changed) =
-                        mdb.graph
-                            .insert_dag_edge_tracked(cu, cv, rel, sc.reach_mut());
+        // Split borrows: the two view `OnceLock`s are distinct fields.
+        let Session {
+            normal, monadic, ..
+        } = self;
+        let Some(Ok(nd)) = normal.get_mut() else {
+            unreachable!("warmth checked above");
+        };
+        let nd = Arc::make_mut(nd);
+        match monadic.get_mut() {
+            Some(Ok(mdb)) => {
+                let mdb = Arc::make_mut(mdb);
+                // Both views alias one dag `Arc` by construction. Retire
+                // the monadic alias first, so `make_mut` on the normal
+                // side clones the graph only when frozen snapshots
+                // actually hold it — then patch the single graph once
+                // and re-alias. (The `ptr_eq` check is defensive; the
+                // alias invariant holds on every session-built view.)
+                let aliased = Arc::ptr_eq(&nd.graph, &mdb.graph);
+                if aliased {
+                    mdb.graph = Arc::new(placeholder_graph());
+                }
+                let tracked = {
+                    let g = Arc::make_mut(&mut nd.graph);
+                    match &mut scaffold {
+                        Some(sc) => {
+                            // Patch the graph and the scaffold's closure
+                            // together, then finish the scaffold-side
+                            // maintenance (topo repair + selective pair
+                            // eviction) once the alias is restored.
+                            Some(g.insert_dag_edge_tracked(cu, cv, rel, sc.reach_mut()))
+                        }
+                        None => {
+                            g.insert_dag_edge(cu, cv, rel);
+                            None
+                        }
+                    }
+                };
+                if aliased {
+                    mdb.graph = Arc::clone(&nd.graph);
+                } else {
+                    Arc::make_mut(&mut mdb.graph).insert_dag_edge(cu, cv, rel);
+                }
+                if let (Some(sc), Some((outcome, changed))) = (&mut scaffold, tracked) {
                     sc.patch_order_edge(mdb, cu, cv, outcome, &changed);
                 }
-                None => {
-                    mdb.graph.insert_dag_edge(cu, cv, rel);
-                }
             }
-        } else {
-            // No monadic view means no scaffold to keep.
-            scaffold = None;
+            _ => {
+                Arc::make_mut(&mut nd.graph).insert_dag_edge(cu, cv, rel);
+                // No monadic view means no scaffold to keep.
+                scaffold = None;
+            }
         }
         if let Some(sc) = scaffold {
             let _ = self.scaffold.set(Arc::new(sc));
@@ -704,10 +847,12 @@ impl Session {
             return false;
         };
         if let Some(Ok(nd)) = self.normal.get_mut() {
-            nd.ne.push((cu, cv));
+            // CoW-unshare just the view structs; the dag and vertex
+            // tables inside stay shared with any frozen snapshots.
+            Arc::make_mut(nd).ne.push((cu, cv));
         }
         if let Some(Ok(mdb)) = self.monadic.get_mut() {
-            mdb.ne.push((cu, cv));
+            Arc::make_mut(mdb).ne.push((cu, cv));
         }
         if self.rebuild_scaffold_on_write {
             self.scaffold.take();
@@ -1172,7 +1317,17 @@ mod tests {
         s.disjunctive_scaffold(&voc).unwrap();
         let snap = s.freeze();
         assert!(snap.is_warm(), "freeze carries the computed views");
-        assert!(s.shares_scaffold_with(&snap), "one scaffold, two owners");
+        assert_eq!(
+            s.shares_scaffold_with(&snap),
+            Sharing::Shared,
+            "one scaffold, two owners"
+        );
+        // Every view is carried by reference, inner tables included.
+        let report = s.sharing_with(&snap);
+        assert_eq!(report.normal, Sharing::Shared);
+        assert_eq!(report.monadic, Sharing::Shared);
+        assert_eq!(report.order_graph, Sharing::Shared);
+        assert_eq!(report.vertex_map, Sharing::Shared);
         assert_eq!(snap.stats().scaffold_builds, 1, "counters carry over");
         // A snapshot read must not count as a fresh build.
         snap.disjunctive_scaffold(&voc).unwrap();
@@ -1181,10 +1336,15 @@ mod tests {
         // the snapshot keeps its frozen tables, both stay consistent.
         let (u, v) = (voc.ord("u"), voc.ord("v"));
         s.assert_lt(u, v);
-        assert!(
-            !s.shares_scaffold_with(&snap),
-            "write must unshare the scaffold"
+        assert_eq!(
+            s.shares_scaffold_with(&snap),
+            Sharing::Unshared,
+            "write must unshare the scaffold, not drop it"
         );
+        // The order edge unshared the graph but not the vertex table.
+        let report = s.sharing_with(&snap);
+        assert_eq!(report.order_graph, Sharing::Unshared);
+        assert_eq!(report.vertex_map, Sharing::Shared);
         assert!(snap.scaffold.get().is_some(), "snapshot keeps its view");
         snap.scaffold
             .get()
@@ -1200,11 +1360,77 @@ mod tests {
         assert_eq!(s.stats().in_place_patches, 1);
         // Same for the != path (epoch-bump maintenance under CoW).
         let snap2 = s.freeze();
-        assert!(s.shares_scaffold_with(&snap2));
+        assert_eq!(s.shares_scaffold_with(&snap2), Sharing::Shared);
         s.assert_ne(u, v);
-        assert!(!s.shares_scaffold_with(&snap2));
+        assert_eq!(s.shares_scaffold_with(&snap2), Sharing::Unshared);
         assert_eq!(snap2.monadic(&voc).unwrap().ne, vec![]);
         assert_eq!(s.monadic(&voc).unwrap().ne, vec![(0, 1)]);
+        // A != write touches the ne lists only: the dag stays shared.
+        let report = s.sharing_with(&snap2);
+        assert_eq!(report.order_graph, Sharing::Shared);
+        assert_eq!(report.vertex_map, Sharing::Shared);
+    }
+
+    #[test]
+    fn shares_scaffold_with_is_cold_not_false_on_unwarmed_sessions() {
+        // Regression: the old boolean API returned `false` for cold
+        // sessions, so "must not share" assertions passed vacuously when
+        // warmup silently failed. Cold must be its own answer.
+        let mut voc = Vocabulary::new();
+        let db = parse_database(&mut voc, "pred P(ord); P(u);").unwrap();
+        let s = Session::new(db);
+        let other = s.clone();
+        assert_eq!(s.shares_scaffold_with(&other), Sharing::Cold);
+        s.disjunctive_scaffold(&voc).unwrap();
+        assert_eq!(
+            s.shares_scaffold_with(&other),
+            Sharing::Cold,
+            "one warm side is still not a comparison"
+        );
+        other.disjunctive_scaffold(&voc).unwrap();
+        assert_eq!(
+            s.shares_scaffold_with(&other),
+            Sharing::Unshared,
+            "independently built scaffolds are distinct objects"
+        );
+        let report = s.sharing_with(&other);
+        assert_eq!(report.scaffold, Sharing::Unshared);
+        assert_eq!(report.profiles, Sharing::Cold);
+    }
+
+    #[test]
+    fn freeze_shares_the_fact_log_chunks() {
+        // The database's sealed chunks are shared between writer and
+        // snapshot, and later appends never unshare them.
+        let mut voc = Vocabulary::new();
+        let p = voc.pred("P", &[crate::sym::Sort::Order]).unwrap();
+        let mut db = Database::new();
+        for i in 0..200 {
+            let u = voc.ord(&format!("u{i}"));
+            db.assert_fact(&voc, p, vec![Term::Ord(u)]).unwrap();
+        }
+        let mut s = Session::new(db);
+        s.normal().unwrap();
+        let snap = s.freeze();
+        let sealed = s.database().proper_atoms().sealed_chunks();
+        assert!(sealed >= 3);
+        assert_eq!(
+            s.database()
+                .proper_atoms()
+                .shared_chunks_with(snap.database().proper_atoms()),
+            sealed
+        );
+        // Writer keeps appending: the snapshot's chunks stay shared.
+        let u0 = voc.ord("u0");
+        for _ in 0..100 {
+            s.insert_fact(&voc, p, vec![Term::Ord(u0)]).unwrap();
+        }
+        assert_eq!(
+            s.database()
+                .proper_atoms()
+                .shared_chunks_with(snap.database().proper_atoms()),
+            sealed
+        );
     }
 
     #[test]

@@ -280,7 +280,7 @@ mod tests {
             .unwrap()
             .holds());
         // Without the constraint it fails (u = v model).
-        let db2 = MonadicDatabase::new(db.graph.clone(), db.labels.clone());
+        let db2 = MonadicDatabase::new(db.graph.as_ref().clone(), db.labels.clone());
         assert!(!entails_db_ne(&db2, &[q]).unwrap().holds());
     }
 
@@ -298,7 +298,7 @@ mod tests {
             .unwrap()
             .holds());
         // The same query without the constraint fails (u = v model).
-        let db2 = MonadicDatabase::new(db.graph.clone(), db.labels.clone());
+        let db2 = MonadicDatabase::new(db.graph.as_ref().clone(), db.labels.clone());
         let v2 = entails_db_ne(&db2, &[q]).unwrap();
         assert!(!v2.holds());
         assert_eq!(v2.countermodel().unwrap().len(), 1);

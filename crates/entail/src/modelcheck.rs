@@ -35,7 +35,7 @@ pub fn satisfies(m: &MonadicModel, disjuncts: &[MonadicQuery]) -> bool {
 /// query (every database vertex embeds order-preservingly with its label).
 /// Used to validate countermodels.
 pub fn is_model_of(m: &MonadicModel, db: &indord_core::monadic::MonadicDatabase) -> bool {
-    let q = MonadicQuery::new(db.graph.clone(), db.labels.clone());
+    let q = MonadicQuery::new(db.graph.as_ref().clone(), db.labels.clone());
     if earliest_placement(m, &q).is_none() {
         return false;
     }

@@ -330,7 +330,7 @@ mod tests {
                     );
                     // the database, read as a query, must hold in m
                     let dbq = indord_core::monadic::MonadicQuery::new(
-                        db.graph.clone(),
+                        db.graph.as_ref().clone(),
                         db.labels.clone(),
                     );
                     assert!(

@@ -477,10 +477,14 @@ pub struct StatsReply {
     pub recovery_replayed_fragments: u64,
     /// Torn-tail bytes truncated during boot recovery.
     pub recovery_truncated_bytes: u64,
+    /// Latency/queue-depth samples the stats rings shed under
+    /// contention (`try_lock` misses). Nonzero means `p50_ns`/`p99_ns`
+    /// and `queue_depth_p99` are computed from a biased subsample.
+    pub stats_samples_dropped: u64,
 }
 
 impl StatsReply {
-    const FIELDS: [&'static str; 30] = [
+    const FIELDS: [&'static str; 31] = [
         "atoms",
         "epoch",
         "prepared",
@@ -511,6 +515,7 @@ impl StatsReply {
         "compactions",
         "recovery_replayed_fragments",
         "recovery_truncated_bytes",
+        "stats_samples_dropped",
     ];
 
     fn get(&self, field: &str) -> u64 {
@@ -545,6 +550,7 @@ impl StatsReply {
             "compactions" => self.compactions,
             "recovery_replayed_fragments" => self.recovery_replayed_fragments,
             "recovery_truncated_bytes" => self.recovery_truncated_bytes,
+            "stats_samples_dropped" => self.stats_samples_dropped,
             _ => unreachable!("unknown stats field"),
         }
     }
@@ -581,6 +587,7 @@ impl StatsReply {
             "compactions" => self.compactions = v,
             "recovery_replayed_fragments" => self.recovery_replayed_fragments = v,
             "recovery_truncated_bytes" => self.recovery_truncated_bytes = v,
+            "stats_samples_dropped" => self.stats_samples_dropped = v,
             _ => return false,
         }
         true
@@ -848,6 +855,7 @@ mod tests {
                 compactions: 1,
                 recovery_replayed_fragments: 6,
                 recovery_truncated_bytes: 17,
+                stats_samples_dropped: 8,
             }),
             Response::Bye,
             Response::Error(WireError {

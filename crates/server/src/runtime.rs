@@ -129,6 +129,11 @@ pub struct DbStats {
     compactions: AtomicU64,
     recovery_replayed_fragments: AtomicU64,
     recovery_truncated_bytes: AtomicU64,
+    /// Latency/queue-depth samples dropped because the ring's `try_lock`
+    /// lost a race. The rings deliberately shed load under contention;
+    /// this counter makes the shedding visible instead of silent, so a
+    /// suspiciously quiet p99 can be cross-checked against drop volume.
+    samples_dropped: AtomicU64,
 }
 
 impl DbStats {
@@ -153,6 +158,7 @@ impl DbStats {
             compactions: AtomicU64::new(0),
             recovery_replayed_fragments: AtomicU64::new(0),
             recovery_truncated_bytes: AtomicU64::new(0),
+            samples_dropped: AtomicU64::new(0),
         }
     }
 
@@ -198,19 +204,35 @@ impl DbStats {
 
     /// Records a latency sample. `try_lock`: under reader contention
     /// the sample is dropped rather than serializing the evaluation
-    /// paths on this mutex — the ring is a sample, not a ledger.
+    /// paths on this mutex — the ring is a sample, not a ledger. Every
+    /// drop is counted so the shedding is observable on the wire.
     fn record_latency(&self, ns: u64) {
         if let Ok(mut ring) = self.latency.try_lock() {
             ring.push(ns);
+        } else {
+            self.samples_dropped.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Records the queue depth seen by one enqueue (same sampling
-    /// policy as the latency ring).
+    /// policy — and same drop accounting — as the latency ring).
     fn record_queue_depth(&self, depth: u64) {
         if let Ok(mut ring) = self.queue_depths.try_lock() {
             ring.push(depth);
+        } else {
+            self.samples_dropped.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Latency/queue-depth samples shed by the rings' `try_lock`.
+    pub fn samples_dropped(&self) -> u64 {
+        self.samples_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Write jobs currently enqueued for the mutator thread (0 once the
+    /// mutator has drained them into a group, even while it still runs).
+    pub fn commit_queue_depth(&self) -> u64 {
+        self.pending.load(Ordering::Relaxed)
     }
 }
 
@@ -289,9 +311,9 @@ enum WriteOp {
     /// reply is sent only after the tail is durable, so a joined
     /// shutdown never loses an acked write.
     Shutdown,
-    /// Test-only: occupy the mutator for `d` so the next jobs queue up
-    /// behind it and drain as one deterministic group.
-    #[cfg(test)]
+    /// Test-support (reachable only through the `#[doc(hidden)]`
+    /// [`Db::stall_mutator`]): occupy the mutator for `d` so the next
+    /// jobs queue up behind it and drain as one deterministic group.
     Stall(std::time::Duration),
 }
 
@@ -566,17 +588,58 @@ impl Db {
     /// typed per-client result. Under MVCC the reply arrives only after
     /// the snapshot containing the write was published
     /// (read-your-own-writes on every later request).
+    /// Enqueues `op` on the commit queue without waiting for the reply;
+    /// the caller keeps the receiver. MVCC only — the RwLock ablation
+    /// has no queue to enqueue on.
+    fn submit_nonblocking(
+        &self,
+        op: WriteOp,
+    ) -> Result<mpsc::Receiver<Result<Response, WireError>>, WireError> {
+        let DbCore::Mvcc { sender, .. } = &self.core else {
+            return Err(WireError::proto(
+                "non-blocking submit requires the MVCC core",
+            ));
+        };
+        let (tx, rx) = mpsc::channel();
+        let depth = self.stats.pending.fetch_add(1, Ordering::Relaxed) + 1;
+        self.stats.record_queue_depth(depth);
+        sender
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .send(WriteJob { op, reply: tx })
+            .map_err(|_| WireError::proto("database mutator thread is gone"))?;
+        Ok(rx)
+    }
+
+    /// Test-support: occupies the mutator for `d` without blocking the
+    /// caller, so writes enqueued behind the stall drain as one
+    /// deterministic group commit. Group-commit and fault-injection
+    /// tests only; not part of the public API.
+    #[doc(hidden)]
+    pub fn stall_mutator(
+        &self,
+        d: std::time::Duration,
+    ) -> Result<mpsc::Receiver<Result<Response, WireError>>, WireError> {
+        self.submit_nonblocking(WriteOp::Stall(d))
+    }
+
+    /// Test-support: enqueues a `FACT` fragment without waiting for its
+    /// ack; the receiver yields the typed result once the group holding
+    /// the write commits. Enqueue order from a single caller thread is
+    /// the mutator's drain order, which makes multi-fragment groups
+    /// deterministic. Not part of the public API.
+    #[doc(hidden)]
+    pub fn enqueue_fragment(
+        &self,
+        fragment: &str,
+    ) -> Result<mpsc::Receiver<Result<Response, WireError>>, WireError> {
+        self.submit_nonblocking(WriteOp::Fragment(fragment.to_string()))
+    }
+
     fn submit(&self, op: WriteOp) -> Result<Response, WireError> {
         match &self.core {
-            DbCore::Mvcc { sender, .. } => {
-                let (tx, rx) = mpsc::channel();
-                let depth = self.stats.pending.fetch_add(1, Ordering::Relaxed) + 1;
-                self.stats.record_queue_depth(depth);
-                sender
-                    .lock()
-                    .unwrap_or_else(|p| p.into_inner())
-                    .send(WriteJob { op, reply: tx })
-                    .map_err(|_| WireError::proto("database mutator thread is gone"))?;
+            DbCore::Mvcc { .. } => {
+                let rx = self.submit_nonblocking(op)?;
                 rx.recv()
                     .unwrap_or_else(|_| Err(WireError::proto("database mutator dropped the write")))
             }
@@ -603,7 +666,6 @@ impl Db {
                     )),
                     // There is no mutator thread to join under the lock.
                     WriteOp::Shutdown => Ok(Response::Ok("shutdown complete".to_string())),
-                    #[cfg(test)]
                     WriteOp::Stall(d) => {
                         thread::sleep(d);
                         Ok(Response::Ok("stalled".to_string()))
@@ -742,8 +804,10 @@ impl Mutator {
             .collect();
         keyed.sort_by_key(|(structural, _)| *structural);
         let group_mark = self.voc.mark();
+        let drops_mark = self.session.stats().cache_drops;
         let mut replies = Vec::with_capacity(keyed.len());
         let mut mutated = false;
+        let mut prepared_changed = false;
         for (structural, job) in keyed {
             // Log before apply: the record hits the WAL buffer first, so
             // an acked write can never exist only in memory. A record
@@ -804,6 +868,7 @@ impl Mutator {
                         }
                     }
                     WriteOp::Prepare { name, query } if result.is_ok() => {
+                        prepared_changed = true;
                         if let Some(d) = self.durable.as_mut() {
                             d.prepared_src.insert(name.clone(), query.clone());
                         }
@@ -846,18 +911,24 @@ impl Mutator {
                 self.voc_arc = Arc::new(self.voc.clone());
             }
             let frozen = self.session.freeze();
-            // Publish warm all the way down: pre-run the prepared
-            // registry against the frozen session so the first reader
-            // on the new snapshot doesn't pay the cold pair-cache
-            // evaluation (reader-side caches can never flow back into
-            // the master, so without this every commit would cost the
-            // read tail one cold evaluation per prepared query).
-            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let eng = Engine::new(&self.voc);
-                for pq in self.prepared.values() {
-                    let _ = eng.entails_prepared(&frozen, pq);
-                }
-            }));
+            // Pre-run the prepared registry against the frozen session
+            // only when this group dropped the session caches (a
+            // structural write rebuilt the scaffold cold) or installed a
+            // never-evaluated query. A purely patchable group keeps the
+            // scaffold — and with it the shared `D(S,T)` pair table that
+            // readers have been warming — so the published snapshot
+            // inherits those pairs for free and the O(|prepared|·eval)
+            // pre-run would be pure commit latency. After a cache drop
+            // the pre-run is what it always was: the price of never
+            // publishing a cold snapshot to the read tail.
+            if prepared_changed || self.session.stats().cache_drops != drops_mark {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let eng = Engine::new(&self.voc);
+                    for pq in self.prepared.values() {
+                        let _ = eng.entails_prepared(&frozen, pq);
+                    }
+                }));
+            }
             let snap = Arc::new(DbSnapshot {
                 voc: Arc::clone(&self.voc_arc),
                 session: frozen,
@@ -978,7 +1049,6 @@ fn apply_write(
             Err(WireError::proto("control op reached the apply path")),
             false,
         ),
-        #[cfg(test)]
         WriteOp::Stall(d) => {
             thread::sleep(*d);
             (Ok(Response::Ok("stalled".to_string())), false)
@@ -1261,6 +1331,49 @@ impl Registry {
         Db::recovered(state, dir, cfg)
     }
 
+    /// Test-support: like [`Registry::install`] on a durable registry,
+    /// but the database's WAL is the caller's — typically one built on
+    /// a fault-injecting [`indord_storage::FaultIo`] — instead of the
+    /// directory's file WAL. The installed state is still written as the
+    /// directory's initial snapshot, so crash-recovery tests can restart
+    /// from the directory afterwards. Not part of the public API.
+    #[doc(hidden)]
+    pub fn install_durable_with_wal(
+        &self,
+        name: &str,
+        voc: Vocabulary,
+        db: Database,
+        wal: Wal,
+    ) -> std::io::Result<Arc<Db>> {
+        let cfg = self
+            .storage
+            .as_ref()
+            .expect("install_durable_with_wal requires a durable registry");
+        let dir = DbDir::open(cfg.root.join(name))?;
+        dir.reset()?;
+        let payload = durable::encode_snapshot(&voc, &db, &HashMap::new());
+        dir.write_snapshot(0, payload.as_bytes())?;
+        let durable = DurableState {
+            dir,
+            wal,
+            snapshot_every: cfg.snapshot_every.max(1),
+            since_snapshot: 0,
+            prepared_src: HashMap::new(),
+        };
+        let holder = Arc::new(Db::build(
+            voc,
+            Session::new(db),
+            HashMap::new(),
+            ConcurrencyMode::Mvcc,
+            Some(durable),
+        ));
+        self.dbs
+            .write()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(name.to_string(), holder.clone());
+        Ok(holder)
+    }
+
     /// Names of the registered databases, sorted.
     pub fn names(&self) -> Vec<String> {
         let mut v: Vec<String> = self
@@ -1458,6 +1571,7 @@ impl Conn {
                         .stats
                         .recovery_truncated_bytes
                         .load(Ordering::Relaxed),
+                    stats_samples_dropped: db.stats.samples_dropped(),
                 }))
             }
             Request::Flush => {

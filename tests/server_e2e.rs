@@ -366,6 +366,27 @@ fn slow_countermodel_reader_never_blocks_the_write_burst() {
         fresh.seq() > pinned_seq,
         "the burst must publish new snapshots behind the pinned one"
     );
+    // Structural claim, tightened by the three-way `Sharing` answer:
+    // label-fact patches copy-on-write the scaffold away from pinned
+    // snapshots, so across the burst the two warm scaffolds must be
+    // *distinct* objects — `Unshared`, not `Shared` (the pinned view
+    // stayed immutable) and crucially not `Cold` (the old boolean
+    // answer let an unwarmed publish pass this check vacuously).
+    use indord::core::session::Sharing;
+    assert_eq!(
+        pinned.session().shares_scaffold_with(fresh.session()),
+        Sharing::Unshared,
+        "both snapshots must publish warm, CoW-split scaffolds"
+    );
+    // The fact store is structurally shared too: every chunk the pinned
+    // snapshot sealed is pointer-identical in the fresh one.
+    let pinned_log = pinned.session().database().proper_atoms();
+    let fresh_log = fresh.session().database().proper_atoms();
+    assert_eq!(
+        pinned_log.shared_chunks_with(fresh_log),
+        pinned_log.sealed_chunks(),
+        "burst appends must extend the pinned log, not recopy it"
+    );
     drop(pinned);
 
     let after = match admin.send("STATS") {

@@ -347,6 +347,167 @@ fn graceful_shutdown_makes_the_tail_durable_under_fsync_os() {
     std::fs::remove_dir_all(&root).unwrap();
 }
 
+/// A WAL `append` error in the *middle* of a multi-fragment group
+/// commit: the fragment whose append failed — and every groupmate
+/// behind it, the io being dead after the fault — must be neither
+/// applied nor acked, while the groupmates whose appends succeeded
+/// commit normally. Log-before-apply is per fragment, not per group, so
+/// a group is allowed to split at the fault: the durable prefix of the
+/// group survives, the rest is rejected with a typed error, and replay
+/// of the surviving WAL reproduces exactly the acked prefix.
+#[test]
+fn wal_append_fault_mid_group_rejects_the_tail_of_the_group() {
+    use indord::core::parse::parse_database;
+    use indord::core::sym::Vocabulary;
+    use indord_storage::wal::{Fault, FaultIo, FaultKind, HEADER_LEN};
+    use indord_storage::Wal;
+    use std::time::Duration;
+
+    const SEED: &str = "pred P0(ord); pred P1(ord); pred P2(ord); P0(c0); P1(c1); c0 < c1;";
+    // All three are patchable label facts on seed constants, so the
+    // group's stable sort preserves enqueue order and the fault lands
+    // on a known fragment.
+    const W1: &str = "P2(c0);";
+    const W2: &str = "P0(c1);";
+    const W3: &str = "P1(c0);";
+
+    let root = tempdir("midgroup-fault");
+    let cfg = StorageConfig {
+        root: root.clone(),
+        fsync: FsyncPolicy::Group,
+        snapshot_every: 10_000,
+    };
+    let registry = Arc::new(Registry::with_storage(cfg).unwrap());
+    let mut voc = Vocabulary::new();
+    let seed_db = parse_database(&mut voc, SEED).unwrap();
+
+    // The WAL dies exactly at the end of W1's frame: W1's append
+    // succeeds, W2's append crosses the fault (nothing persists), and
+    // W3 hits the dead io.
+    let at_byte = (HEADER_LEN + format!("FACT {W1}").len()) as u64;
+    let (io, persisted) = FaultIo::new(Fault {
+        at_byte,
+        kind: FaultKind::Error,
+    });
+    let wal = Wal::new(Box::new(io), FsyncPolicy::Group, 1);
+    let db = registry
+        .install_durable_with_wal("lab", voc, seed_db, wal)
+        .unwrap();
+
+    // Occupy the mutator, wait until it has taken the stall job off the
+    // queue, then enqueue the three writes from this one thread —
+    // channel FIFO makes them one deterministic group in W1..W3 order.
+    let stall_rx = db.stall_mutator(Duration::from_millis(200)).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while db.stats().commit_queue_depth() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "mutator never took the stall"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let rx1 = db.enqueue_fragment(W1).unwrap();
+    let rx2 = db.enqueue_fragment(W2).unwrap();
+    let rx3 = db.enqueue_fragment(W3).unwrap();
+    stall_rx.recv().unwrap().unwrap();
+
+    // W1: appended, applied, acked.
+    match rx1.recv().unwrap() {
+        Ok(Response::Ok(msg)) => assert!(msg.contains("inserted 1 atoms"), "{msg}"),
+        other => panic!("W1: unexpected {other:?}"),
+    }
+    // W2 (the faulting append) and W3 (dead io): rejected, not applied.
+    for (tag, rx) in [("W2", rx2), ("W3", rx3)] {
+        match rx.recv().unwrap() {
+            Err(e) => assert!(
+                e.message.contains("write-ahead log append failed"),
+                "{tag}: {e:?}"
+            ),
+            other => panic!("{tag}: unexpected {other:?}"),
+        }
+    }
+    // One stall group + one three-write group, not three singletons.
+    assert_eq!(db.stats().group_commits(), 2);
+    assert_eq!(db.stats().group_fragments(), 4);
+
+    // The published state is the oracle at seed + W1 — byte-identical
+    // text, so W2/W3 contributed nothing.
+    let (oreg, mut oc) = {
+        let oreg = Arc::new(Registry::new());
+        let mut voc = Vocabulary::new();
+        let odb = parse_database(&mut voc, SEED).unwrap();
+        oreg.install("lab", voc, odb);
+        let mut oc = Conn::new(Arc::clone(&oreg));
+        assert!(matches!(oc.handle_line("USE lab"), Response::Ok(_)));
+        match oc.handle_line(&format!("FACT {W1}")) {
+            Response::Ok(_) => {}
+            other => panic!("oracle W1: unexpected {other:?}"),
+        }
+        (oreg, oc)
+    };
+    let osnap = oreg.get("lab").unwrap().read_snapshot().unwrap();
+    let rsnap = db.read_snapshot().unwrap();
+    assert_eq!(
+        rsnap
+            .session()
+            .database()
+            .display(rsnap.vocabulary())
+            .to_string(),
+        osnap
+            .session()
+            .database()
+            .display(osnap.vocabulary())
+            .to_string(),
+        "rejected groupmates leaked into the published state"
+    );
+    let mut rc = Conn::new(Arc::clone(&registry));
+    assert!(matches!(rc.handle_line("USE lab"), Response::Ok(_)));
+    for q in [
+        "exists a. P2(a) & P0(a)",
+        "exists a b. P0(a) & a < b & P0(b)",
+    ] {
+        assert_eq!(
+            rc.handle_line(&format!("ENTAIL {q}")),
+            oc.handle_line(&format!("ENTAIL {q}")),
+            "panel `{q}` diverges from the seed+W1 oracle"
+        );
+    }
+
+    // Replay of the surviving WAL bytes reproduces exactly the acked
+    // prefix: the snapshot (id 0) plus W1's frame, nothing of W2/W3.
+    drop(rc);
+    registry.shutdown_dbs();
+    drop(db);
+    drop(registry);
+    let bytes = persisted.lock().unwrap().clone();
+    assert_eq!(scan(&bytes).records.len(), 1, "only W1's frame persisted");
+    std::fs::write(root.join("lab").join("wal.log"), &bytes).unwrap();
+    let cfg = StorageConfig {
+        root: root.clone(),
+        fsync: FsyncPolicy::Group,
+        snapshot_every: 10_000,
+    };
+    let reg2 = Arc::new(Registry::with_storage(cfg).unwrap());
+    let db2 = reg2.get("lab").unwrap();
+    assert_eq!(db2.stats().recovery_replayed_fragments(), 1);
+    let snap2 = db2.read_snapshot().unwrap();
+    assert_eq!(
+        snap2
+            .session()
+            .database()
+            .display(snap2.vocabulary())
+            .to_string(),
+        osnap
+            .session()
+            .database()
+            .display(osnap.vocabulary())
+            .to_string(),
+        "recovery from the faulted WAL diverges from the acked prefix"
+    );
+    drop(reg2);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
