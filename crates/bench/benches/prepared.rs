@@ -566,7 +566,7 @@ fn report_mvcc(_c: &mut Criterion) {
         ("rwlock", ConcurrencyMode::RwLock),
     ];
     let stats_of = |conn: &mut Conn| match conn.handle_line("STATS") {
-        Response::Stats(s) => s,
+        Response::Stats(s) => *s,
         other => panic!("STATS: unexpected {other:?}"),
     };
     let (voc, db, _queries) = setup(1024);
@@ -809,7 +809,7 @@ fn report_durable(_c: &mut Criterion) {
         );
         if matches!(fsync, Some(FsyncPolicy::Group)) {
             let stats = match conn.handle_line("STATS") {
-                Response::Stats(s) => s,
+                Response::Stats(s) => *s,
                 other => panic!("STATS: unexpected {other:?}"),
             };
             println!(
@@ -853,10 +853,87 @@ fn report_durable(_c: &mut Criterion) {
     );
 }
 
+/// The overload-protection leg: sequential write mean under each
+/// commit-queue cap (the admission check must stay out of the
+/// uncontended path's way) and the shed rate of a saturating burst
+/// enqueued against a stalled mutator (everything past the cap must be
+/// rejected with the typed retryable error, not queued without bound).
+/// Sequential on purpose: the CI container is single-core, so a
+/// threaded storm would measure the scheduler, not admission.
+fn report_overload(_c: &mut Criterion) {
+    use indord_server::protocol::{ErrorKind, Response};
+    use indord_server::runtime::{Conn, Registry};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let (voc, db, _queries) = setup(1024);
+    let writes = if criterion::is_smoke() { 8 } else { 200 };
+    let burst = if criterion::is_smoke() { 64 } else { 512 };
+    for cap in [8usize, 64, 256] {
+        let registry = Arc::new(Registry::new().with_max_queue(cap));
+        registry.install("bench", voc.clone(), db.clone());
+        let mut conn = Conn::new(Arc::clone(&registry));
+        conn.handle_line("USE bench");
+        conn.handle_line("FACT P0(t0_0);"); // warm the write path
+        let mut total = Duration::ZERO;
+        for step in 0..writes {
+            let line = format!("FACT P{}(t0_{});", step % 3, (step * 7) % 512);
+            let t0 = Instant::now();
+            let r = conn.handle_line(&line);
+            total += t0.elapsed();
+            assert!(matches!(r, Response::Ok(_)), "bench write failed: {r:?}");
+        }
+        let mean = total / writes as u32;
+        criterion::record(
+            &format!("prepared/serving-overload/write-mean/cap{cap}"),
+            mean.as_nanos() as f64,
+        );
+
+        // The saturating burst: stall the mutator, enqueue without
+        // waiting, count the typed rejections. With the mutator parked
+        // the admitted count is exactly the cap, so the recorded rate
+        // tracks the admission contract, not scheduler noise.
+        let db_handle = registry.get("bench").unwrap();
+        let stall = db_handle.stall_mutator(Duration::from_millis(100)).unwrap();
+        while db_handle.stats().commit_queue_depth() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut receivers = Vec::new();
+        let mut shed = 0u64;
+        for i in 0..burst {
+            let frag = format!("P{}(t0_{});", i % 3, (i * 11) % 512);
+            match db_handle.enqueue_fragment(&frag) {
+                Ok(rx) => receivers.push(rx),
+                Err(e) => {
+                    assert_eq!(e.kind, ErrorKind::Overloaded, "burst rejection: {e:?}");
+                    shed += 1;
+                }
+            }
+        }
+        let _ = stall.recv();
+        for rx in receivers {
+            let _ = rx.recv();
+        }
+        let rate = shed as f64 / burst as f64;
+        criterion::record(
+            &format!("prepared/serving-overload/shed-rate/cap{cap}"),
+            rate,
+        );
+        println!(
+            "prepared/serving-overload     cap={cap:<4} write mean {mean:>10?}  burst {burst}: shed {shed} ({:.0}%)",
+            rate * 100.0
+        );
+        registry.shutdown_dbs();
+        drop(conn);
+        drop(registry);
+    }
+}
+
 criterion_group! {
     name = benches;
     config = config();
     targets = bench_repeated_queries, bench_ne_workloads, bench_read_write, bench_eviction,
-        bench_serving, bench_query_mix_batch, report_speedup, report_mvcc, report_durable
+        bench_serving, bench_query_mix_batch, report_speedup, report_mvcc, report_durable,
+        report_overload
 }
 criterion_main!(benches);

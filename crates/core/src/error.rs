@@ -116,6 +116,9 @@ pub enum CoreError {
     /// A session's cached views were built against a different vocabulary
     /// than the one now supplied (sessions are single-vocabulary).
     VocabularyMismatch,
+    /// A cooperative deadline expired mid-search (the Theorem 5.3 loop
+    /// polls it); the partial search is abandoned, no verdict exists.
+    DeadlineExceeded,
 }
 
 impl CoreError {
@@ -182,6 +185,9 @@ impl fmt::Display for CoreError {
                     f,
                     "session views were cached against a different vocabulary"
                 )
+            }
+            CoreError::DeadlineExceeded => {
+                write!(f, "request deadline exceeded before the search finished")
             }
         }
     }

@@ -85,6 +85,69 @@ pub const MAX_DISJUNCTS: usize = 64;
 /// per engine through [`crate::engine::EntailOptions`].
 pub const STATE_CAP: usize = 4_000_000;
 
+/// Resource limits for the Theorem 5.3 search: the state-count cap plus
+/// an optional wall-clock deadline, polled cooperatively inside the
+/// search loops so a served request can be cancelled instead of
+/// occupying a worker until the state cap trips. A bare `usize`
+/// converts to cap-only limits, so existing `state_cap` callers work
+/// unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchLimits {
+    /// Guard on explored states (see [`STATE_CAP`]).
+    pub state_cap: usize,
+    /// Abandon the search with [`CoreError::DeadlineExceeded`] once
+    /// this instant passes.
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl SearchLimits {
+    /// Cap-only limits (no deadline).
+    pub fn new(state_cap: usize) -> Self {
+        SearchLimits {
+            state_cap,
+            deadline: None,
+        }
+    }
+
+    /// Adds a wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Polled every [`DEADLINE_POLL_MASK`]+1 popped states: one
+    /// `Instant::now()` per window keeps the overhead invisible while
+    /// bounding deadline overshoot to a handful of successor
+    /// expansions.
+    #[inline]
+    fn check_deadline(&self, ticks: u64) -> Result<()> {
+        if ticks & DEADLINE_POLL_MASK == 0 {
+            if let Some(d) = self.deadline {
+                if std::time::Instant::now() >= d {
+                    return Err(CoreError::DeadlineExceeded);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for SearchLimits {
+    fn default() -> Self {
+        SearchLimits::new(STATE_CAP)
+    }
+}
+
+impl From<usize> for SearchLimits {
+    fn from(state_cap: usize) -> Self {
+        SearchLimits::new(state_cap)
+    }
+}
+
+/// The deadline is polled every 64 popped states (mask `0x3F`).
+const DEADLINE_POLL_MASK: u64 = 0x3F;
+
 /// Decides `D |= Φ₁ ∨ … ∨ Φₙ`.
 pub fn entails(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Result<bool> {
     Ok(check(db, disjuncts)?.holds())
@@ -97,36 +160,38 @@ pub fn check(db: &MonadicDatabase, disjuncts: &[MonadicQuery]) -> Result<Monadic
     check_capped(db, disjuncts, STATE_CAP)
 }
 
-/// [`check`] with a caller-chosen state cap (the `!=` routes thread
-/// [`crate::engine::EntailOptions::state_cap`] through here).
+/// [`check`] with caller-chosen limits (the `!=` routes thread
+/// [`crate::engine::EntailOptions`] through here; a bare `usize` state
+/// cap still works via `From`).
 pub fn check_capped(
     db: &MonadicDatabase,
     disjuncts: &[MonadicQuery],
-    state_cap: usize,
+    limits: impl Into<SearchLimits>,
 ) -> Result<MonadicVerdict> {
+    let limits = limits.into();
     // Decide the trivial cases before paying for the scaffold (its
     // reachability closure is O(|D|²) bits).
     if validate(db, disjuncts)? {
         return Ok(MonadicVerdict::Entailed);
     }
     let scaffold = DisjunctiveScaffold::new(db);
-    check_scaffolded(db, &scaffold, disjuncts, state_cap)
+    check_scaffolded(db, &scaffold, disjuncts, limits)
 }
 
 /// [`check`] against a prebuilt (typically session-cached) scaffold, with
-/// a configurable state cap. The database's own `!=` constraints are
+/// configurable limits. The database's own `!=` constraints are
 /// enforced by projecting the scaffold (see [`check_restricted`]).
 pub fn check_scaffolded(
     db: &MonadicDatabase,
     scaffold: &DisjunctiveScaffold,
     disjuncts: &[MonadicQuery],
-    state_cap: usize,
+    limits: impl Into<SearchLimits>,
 ) -> Result<MonadicVerdict> {
     check_restricted(
         db,
         &SubScaffold::project(scaffold, db),
         disjuncts,
-        state_cap,
+        limits.into(),
     )
 }
 
@@ -136,10 +201,10 @@ pub fn check_restricted(
     db: &MonadicDatabase,
     sub: &SubScaffold<'_>,
     disjuncts: &[MonadicQuery],
-    state_cap: usize,
+    limits: impl Into<SearchLimits>,
 ) -> Result<MonadicVerdict> {
     let mut found: Option<MonadicModel> = None;
-    run(db, sub, disjuncts, state_cap, &mut |m| {
+    run(db, sub, disjuncts, limits.into(), &mut |m| {
         found = Some(m);
         false // stop at the first countermodel
     })?;
@@ -170,22 +235,22 @@ pub fn countermodels(
     countermodels_scaffolded(db, &scaffold, disjuncts, cap, STATE_CAP)
 }
 
-/// [`countermodels`] against a prebuilt scaffold with a configurable
-/// state cap; the database's `!=` constraints are enforced by
+/// [`countermodels`] against a prebuilt scaffold with configurable
+/// limits; the database's `!=` constraints are enforced by
 /// projection, as in [`check_scaffolded`].
 pub fn countermodels_scaffolded(
     db: &MonadicDatabase,
     scaffold: &DisjunctiveScaffold,
     disjuncts: &[MonadicQuery],
     cap: usize,
-    state_cap: usize,
+    limits: impl Into<SearchLimits>,
 ) -> Result<Vec<MonadicModel>> {
     countermodels_restricted(
         db,
         &SubScaffold::project(scaffold, db),
         disjuncts,
         cap,
-        state_cap,
+        limits.into(),
     )
 }
 
@@ -196,10 +261,10 @@ pub fn countermodels_restricted(
     sub: &SubScaffold<'_>,
     disjuncts: &[MonadicQuery],
     cap: usize,
-    state_cap: usize,
+    limits: impl Into<SearchLimits>,
 ) -> Result<Vec<MonadicModel>> {
     let mut pairs = sub.pairs();
-    let graph = explore(db, sub, &mut pairs, disjuncts, state_cap)?;
+    let graph = explore(db, sub, &mut pairs, disjuncts, limits.into())?;
     let Some(graph) = graph else {
         return Ok(Vec::new()); // trivially entailed (an empty disjunct)
     };
@@ -428,7 +493,7 @@ fn run(
     db: &MonadicDatabase,
     sub: &SubScaffold<'_>,
     disjuncts: &[MonadicQuery],
-    state_cap: usize,
+    limits: SearchLimits,
     on_model: &mut dyn FnMut(MonadicModel) -> bool,
 ) -> Result<()> {
     if validate(db, disjuncts)? {
@@ -447,8 +512,11 @@ fn run(
     }
     let mut ptrs: Vec<u32> = Vec::new();
     let mut succ: Vec<(StateKey, u32)> = Vec::new();
+    let mut ticks: u64 = 0;
     while let Some(i) = stack.pop() {
-        arena.check_cap(state_cap, "states in Theorem 5.3 search")?;
+        arena.check_cap(limits.state_cap, "states in Theorem 5.3 search")?;
+        limits.check_deadline(ticks)?;
+        ticks += 1;
         let key = arena.key(i);
         if key.s == empty && key.t == empty {
             // Final tuple: walk the compact parent indices, collecting
@@ -503,7 +571,7 @@ fn explore(
     sub: &SubScaffold<'_>,
     pairs: &mut PairsHandle<'_>,
     disjuncts: &[MonadicQuery],
-    state_cap: usize,
+    limits: SearchLimits,
 ) -> Result<Option<Explored>> {
     if validate(db, disjuncts)? {
         return Ok(None);
@@ -527,8 +595,11 @@ fn explore(
     }
     let mut ptrs: Vec<u32> = Vec::new();
     let mut succ: Vec<(StateKey, u32)> = Vec::new();
+    let mut ticks: u64 = 0;
     while let Some(i) = stack.pop() {
-        arena.check_cap(state_cap, "states in Theorem 5.3 exploration")?;
+        arena.check_cap(limits.state_cap, "states in Theorem 5.3 exploration")?;
+        limits.check_deadline(ticks)?;
+        ticks += 1;
         let key = arena.key(i);
         edges.resize_with(arena.len(), Vec::new);
         if key.s == empty && key.t == empty {

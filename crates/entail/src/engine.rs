@@ -53,6 +53,12 @@ pub struct EntailOptions {
     pub state_cap: usize,
     /// Cap for `!=` orientation eliminations (§7) and similar expansions.
     pub expansion_cap: usize,
+    /// Optional wall-clock deadline: the Theorem 5.3 search loops poll
+    /// it cooperatively and abandon the search with
+    /// [`CoreError::DeadlineExceeded`] once it passes, so a served
+    /// request can be cancelled instead of occupying a worker until the
+    /// state cap trips.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for EntailOptions {
@@ -60,6 +66,24 @@ impl Default for EntailOptions {
         EntailOptions {
             state_cap: disjunctive::STATE_CAP,
             expansion_cap: 4096,
+            deadline: None,
+        }
+    }
+}
+
+impl EntailOptions {
+    /// Sets the wall-clock deadline for cooperative cancellation.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The [`disjunctive::SearchLimits`] these options induce.
+    pub fn search_limits(&self) -> disjunctive::SearchLimits {
+        disjunctive::SearchLimits {
+            state_cap: self.state_cap,
+            deadline: self.deadline,
         }
     }
 }
@@ -158,6 +182,13 @@ impl<'a> Engine<'a> {
     /// Overrides the `!=` expansion cap.
     pub fn with_expansion_cap(mut self, expansion_cap: usize) -> Self {
         self.options.expansion_cap = expansion_cap;
+        self
+    }
+
+    /// Sets a wall-clock deadline for cooperative cancellation of the
+    /// Theorem 5.3 search (see [`EntailOptions::with_deadline`]).
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.options.deadline = Some(deadline);
         self
     }
 
@@ -408,7 +439,7 @@ fn execute_monadic(
         }
         Strategy::Disjunctive => {
             refuse_query_ne("Disjunctive")?;
-            disjunctive::check_restricted(mdb, &sc.sub_scaffold()?, orders, options.state_cap)
+            disjunctive::check_restricted(mdb, &sc.sub_scaffold()?, orders, options.search_limits())
         }
         Strategy::Auto => {
             if has_ne {
@@ -425,7 +456,7 @@ fn execute_monadic(
                     (None, _) => bounded::check(mdb, &plan.orders[i]),
                 });
             }
-            disjunctive::check_scaffolded(mdb, sc.scaffold()?, orders, options.state_cap)
+            disjunctive::check_scaffolded(mdb, sc.scaffold()?, orders, options.search_limits())
         }
     }
 }
@@ -494,7 +525,7 @@ fn run_ne_route(
         &sc.sub_scaffold()?,
         orders,
         expanded,
-        options.state_cap,
+        options.search_limits(),
     )
 }
 

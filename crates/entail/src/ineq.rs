@@ -165,14 +165,14 @@ pub fn entails_expanded_scaffolded(
     scaffold: &DisjunctiveScaffold,
     disjuncts: &[MonadicQuery],
     expanded: Option<&[MonadicQuery]>,
-    state_cap: usize,
+    limits: impl Into<disjunctive::SearchLimits>,
 ) -> Result<MonadicVerdict> {
     entails_expanded_restricted(
         db,
         &SubScaffold::project(scaffold, db),
         disjuncts,
         expanded,
-        state_cap,
+        limits.into(),
     )
 }
 
@@ -183,7 +183,7 @@ pub fn entails_expanded_restricted(
     sub: &SubScaffold<'_>,
     disjuncts: &[MonadicQuery],
     expanded: Option<&[MonadicQuery]>,
-    state_cap: usize,
+    limits: impl Into<disjunctive::SearchLimits>,
 ) -> Result<MonadicVerdict> {
     let Some(expanded) = expanded else {
         return naive::monadic_check(db, disjuncts);
@@ -191,7 +191,7 @@ pub fn entails_expanded_restricted(
     if expanded.len() > EXPANDED_DISJUNCT_CAP {
         return naive::monadic_check(db, disjuncts);
     }
-    match disjunctive::check_restricted(db, sub, expanded, state_cap) {
+    match disjunctive::check_restricted(db, sub, expanded, limits.into()) {
         Ok(v) => Ok(v),
         Err(CoreError::CapExceeded { .. }) => naive::monadic_check(db, disjuncts),
         Err(e) => Err(e),

@@ -3,8 +3,16 @@
 //! ```text
 //! indord-serve [--addr 127.0.0.1:7431] [--threads 4] [--open <db>]...
 //!              [--data-dir <path>] [--fsync always|group|os] [--snapshot-every N]
-//!              [--rwlock]
+//!              [--max-queue N] [--max-conns N] [--max-line BYTES]
+//!              [--request-timeout MS] [--rwlock]
 //! ```
+//!
+//! Overload protection: `--max-queue` bounds each database's commit
+//! queue (excess writes get a retryable `ERR overloaded`),
+//! `--max-conns` caps concurrent connections (`ERR busy` beyond it),
+//! `--max-line` caps the request line (`ERR toolarge`), and
+//! `--request-timeout` applies a default deadline to every request
+//! (`ERR deadline`; a request's own `DEADLINE <ms>` prefix overrides).
 //!
 //! Clients speak the line protocol of `indord_server::protocol`; try
 //! the `indord` REPL: `indord --connect 127.0.0.1:7431`.
@@ -22,9 +30,12 @@
 //! cannot be combined with `--data-dir`.
 
 use indord_server::durable::StorageConfig;
-use indord_server::runtime::{serve, ConcurrencyMode, Registry};
+use indord_server::runtime::{
+    serve_with, ConcurrencyMode, Registry, ServeOptions, DEFAULT_MAX_QUEUE,
+};
 use indord_storage::FsyncPolicy;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let mut addr = "127.0.0.1:7431".to_string();
@@ -35,6 +46,10 @@ fn main() {
     let mut data_dir: Option<String> = None;
     let mut fsync = FsyncPolicy::Group;
     let mut snapshot_every = 256u64;
+    let mut max_queue = DEFAULT_MAX_QUEUE;
+    let mut max_conns: Option<usize> = None;
+    let mut max_line: Option<usize> = None;
+    let mut request_timeout: Option<Duration> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -68,6 +83,36 @@ fn main() {
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| usage("--snapshot-every needs a positive number"))
             }
+            "--max-queue" => {
+                max_queue = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--max-queue needs a number"))
+            }
+            "--max-conns" => {
+                max_conns = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .unwrap_or_else(|| usage("--max-conns needs a positive number")),
+                )
+            }
+            "--max-line" => {
+                max_line = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .unwrap_or_else(|| usage("--max-line needs a positive byte count")),
+                )
+            }
+            "--request-timeout" => {
+                request_timeout = Some(Duration::from_millis(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .unwrap_or_else(|| usage("--request-timeout needs positive milliseconds")),
+                ))
+            }
             "--rwlock" => {
                 mode = ConcurrencyMode::RwLock;
                 rwlock = true;
@@ -80,14 +125,14 @@ fn main() {
         usage("--rwlock has no durability path; it cannot be combined with --data-dir");
     }
     let registry = match &data_dir {
-        None => Arc::new(Registry::with_mode(mode)),
+        None => Arc::new(Registry::with_mode(mode).with_max_queue(max_queue)),
         Some(root) => {
             let cfg = StorageConfig {
                 root: root.into(),
                 fsync,
                 snapshot_every,
             };
-            match Registry::with_storage(cfg) {
+            match Registry::with_storage_and_queue(cfg, max_queue) {
                 Ok(r) => Arc::new(r),
                 Err(e) => {
                     eprintln!("indord-serve: cannot recover data dir {root}: {e}");
@@ -110,7 +155,15 @@ fn main() {
     for name in &opens {
         registry.open(name);
     }
-    let handle = match serve(Arc::clone(&registry), addr.as_str(), threads) {
+    let mut opts = ServeOptions::new(threads);
+    if let Some(n) = max_conns {
+        opts.max_conns = n;
+    }
+    if let Some(n) = max_line {
+        opts.max_line = n;
+    }
+    opts.request_timeout = request_timeout;
+    let handle = match serve_with(Arc::clone(&registry), addr.as_str(), opts) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("indord-serve: cannot bind {addr}: {e}");
@@ -147,7 +200,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: indord-serve [--addr HOST:PORT] [--threads N] [--open DB]... \
-         [--data-dir PATH] [--fsync always|group|os] [--snapshot-every N] [--rwlock]"
+         [--data-dir PATH] [--fsync always|group|os] [--snapshot-every N] \
+         [--max-queue N] [--max-conns N] [--max-line BYTES] [--request-timeout MS] [--rwlock]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -15,6 +15,7 @@
 //! COUNTERMODEL <name-or-query>     like ENTAIL, but return a witness
 //! BATCH <name> <name> ...          evaluate several prepared queries
 //! STATS                            per-database counters and latency
+//! HEALTH                           per-database health: ok|degraded|recovering
 //! FLUSH                            force a snapshot + WAL compaction (durable dbs)
 //! CLOSE                            end the connection
 //! ```
@@ -22,6 +23,26 @@
 //! A bare identifier after `ENTAIL`/`COUNTERMODEL` names a prepared
 //! query; anything else is inline query text (real queries always
 //! contain `.`, `(`, or an order relation, so the forms cannot collide).
+//!
+//! Any request may carry a `DEADLINE <ms>` prefix (for example
+//! `DEADLINE 10 COUNTERMODEL q0`): the server abandons the request with
+//! `ERR deadline` once the budget expires instead of occupying a worker.
+//! The prefix is framing, not part of the [`Request`] value — servers
+//! parse it off with [`Request::parse_with_deadline`].
+//!
+//! ## Overload & degraded-mode errors
+//!
+//! The serving layer sheds load with typed, machine-readable errors
+//! (see [`ErrorKind`]): `overloaded` (bounded commit queue full —
+//! retryable with backoff), `busy` (connection cap reached — retry
+//! against another replica or later), `deadline` (request budget
+//! expired — the verdict is unknown; for writes the fragment may still
+//! commit), `toolarge` (request line over the server's cap — the
+//! connection closes), `readonly` (the database degraded to read-only
+//! serving after a storage fault — writes will fail until an operator
+//! restarts it), and `shutdown` (the write was queued but the server
+//! stopped before logging it — it did NOT commit). Only `overloaded`
+//! is unconditionally safe to retry verbatim.
 //!
 //! ## Responses
 //!
@@ -126,6 +147,8 @@ pub enum Request {
     Batch(Vec<String>),
     /// `STATS`.
     Stats,
+    /// `HEALTH`: the selected database's serving state.
+    Health,
     /// `FLUSH`: force a snapshot and WAL compaction now (errors on a
     /// database without durable storage).
     Flush,
@@ -208,6 +231,10 @@ impl Request {
                 need(rest.is_empty(), "STATS takes no arguments")?;
                 Ok((Request::Stats, payload))
             }
+            "HEALTH" => {
+                need(rest.is_empty(), "HEALTH takes no arguments")?;
+                Ok((Request::Health, payload))
+            }
             "FLUSH" => {
                 need(rest.is_empty(), "FLUSH takes no arguments")?;
                 Ok((Request::Flush, payload))
@@ -217,7 +244,7 @@ impl Request {
                 Ok((Request::Close, payload))
             }
             _ => Err(bad(&format!(
-                "unknown command `{word}` (try OPEN/USE/FACT/PREPARE/ENTAIL/COUNTERMODEL/BATCH/STATS/FLUSH/CLOSE)"
+                "unknown command `{word}` (try OPEN/USE/FACT/PREPARE/ENTAIL/COUNTERMODEL/BATCH/STATS/HEALTH/FLUSH/CLOSE)"
             ))),
         }
     }
@@ -225,6 +252,48 @@ impl Request {
     /// Parses a request line (offset discarded).
     pub fn parse(line: &str) -> Result<Request, WireError> {
         Self::parse_with_offset(line).map(|(r, _)| r)
+    }
+
+    /// [`Request::parse_with_offset`] plus the optional `DEADLINE <ms>`
+    /// framing prefix. The returned payload offset stays in coordinates
+    /// of the *original* line (prefix included), so downstream parse
+    /// errors still point at what the client sent.
+    pub fn parse_with_deadline(
+        line: &str,
+    ) -> Result<(Request, usize, Option<std::time::Duration>), WireError> {
+        let trimmed = line.trim_start();
+        let lead = line.len() - trimmed.len();
+        if let Some(rest) = trimmed.strip_prefix("DEADLINE") {
+            // Require whitespace after the keyword so e.g. a future
+            // `DEADLINES` verb would not be swallowed here.
+            if rest.starts_with(char::is_whitespace) {
+                let rest = rest.trim_start();
+                let (ms_tok, cmd) = match rest.find(char::is_whitespace) {
+                    Some(i) => (&rest[..i], rest[i..].trim_start()),
+                    None => (rest, ""),
+                };
+                let ms: u64 = ms_tok.parse().map_err(|_| WireError {
+                    kind: ErrorKind::Proto,
+                    span: None,
+                    message: "DEADLINE takes a millisecond budget: DEADLINE <ms> <request>"
+                        .to_string(),
+                })?;
+                if cmd.is_empty() {
+                    return Err(WireError::proto(
+                        "DEADLINE needs a request after the budget: DEADLINE <ms> <request>",
+                    ));
+                }
+                let cmd_off = lead + (trimmed.len() - cmd.len());
+                let (req, off) = Request::parse_with_offset(cmd)?;
+                return Ok((
+                    req,
+                    cmd_off + off,
+                    Some(std::time::Duration::from_millis(ms)),
+                ));
+            }
+        }
+        let (req, off) = Request::parse_with_offset(line)?;
+        Ok((req, off, None))
     }
 }
 
@@ -239,6 +308,7 @@ impl fmt::Display for Request {
             Request::Countermodel(t) => write!(f, "COUNTERMODEL {t}"),
             Request::Batch(names) => write!(f, "BATCH {}", names.join(" ")),
             Request::Stats => write!(f, "STATS"),
+            Request::Health => write!(f, "HEALTH"),
             Request::Flush => write!(f, "FLUSH"),
             Request::Close => write!(f, "CLOSE"),
         }
@@ -273,6 +343,18 @@ pub enum ErrorKind {
     Proto,
     /// Registry errors (unknown database, unknown prepared name).
     Registry,
+    /// Bounded commit queue full — retryable with backoff.
+    Overloaded,
+    /// Request deadline expired before the answer was found.
+    Deadline,
+    /// Connection cap reached; the server refused the connection.
+    Busy,
+    /// Request line exceeded the server's length cap.
+    TooLarge,
+    /// Database is serving read-only after a storage fault.
+    ReadOnly,
+    /// Server shutting down; the write was rejected before logging.
+    Shutdown,
 }
 
 impl ErrorKind {
@@ -291,6 +373,12 @@ impl ErrorKind {
             ErrorKind::Vocabulary => "vocabulary",
             ErrorKind::Proto => "proto",
             ErrorKind::Registry => "registry",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Deadline => "deadline",
+            ErrorKind::Busy => "busy",
+            ErrorKind::TooLarge => "toolarge",
+            ErrorKind::ReadOnly => "readonly",
+            ErrorKind::Shutdown => "shutdown",
         }
     }
 
@@ -309,8 +397,22 @@ impl ErrorKind {
             "vocabulary" => ErrorKind::Vocabulary,
             "proto" => ErrorKind::Proto,
             "registry" => ErrorKind::Registry,
+            "overloaded" => ErrorKind::Overloaded,
+            "deadline" => ErrorKind::Deadline,
+            "busy" => ErrorKind::Busy,
+            "toolarge" => ErrorKind::TooLarge,
+            "readonly" => ErrorKind::ReadOnly,
+            "shutdown" => ErrorKind::Shutdown,
             _ => return None,
         })
+    }
+
+    /// True when a client may retry the *same* request verbatim and
+    /// expect it to eventually succeed (the REPL's backoff loop keys
+    /// off this). `busy` is deliberately excluded: it is raised before
+    /// a connection exists, so the retry belongs at the connect layer.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorKind::Overloaded)
     }
 }
 
@@ -347,6 +449,17 @@ impl WireError {
         }
     }
 
+    /// An arbitrary-kind error with no span (the overload/supervision
+    /// paths raise `overloaded`/`deadline`/`readonly`/`shutdown`/…
+    /// without a source position).
+    pub fn kinded(kind: ErrorKind, message: impl Into<String>) -> WireError {
+        WireError {
+            kind,
+            span: None,
+            message: message.into(),
+        }
+    }
+
     /// Shifts the span (if any) right by `offset` bytes — from
     /// payload-relative into request-line coordinates.
     pub fn shift_span(mut self, offset: usize) -> WireError {
@@ -371,6 +484,7 @@ impl From<&CoreError> for WireError {
             CoreError::NotSequential => ErrorKind::Sequential,
             CoreError::CapExceeded { .. } => ErrorKind::Cap,
             CoreError::VocabularyMismatch => ErrorKind::Vocabulary,
+            CoreError::DeadlineExceeded => ErrorKind::Deadline,
         };
         // A spanned parse error's Display embeds its (payload-relative)
         // byte position; the wire span — shifted into request-line
@@ -402,6 +516,40 @@ impl fmt::Display for WireError {
         }
         // The message must stay on one line for the framing to hold.
         write!(f, "{}", self.message.replace('\n', "; "))
+    }
+}
+
+/// A database's serving state, carried by the `HEALTH` reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HealthState {
+    /// Serving reads and writes normally.
+    #[default]
+    Ok,
+    /// Read-only: a storage fault (or exhausted restart budget) stopped
+    /// the write path; reads serve the last published snapshot.
+    Degraded,
+    /// The supervisor is restarting the mutator; writes briefly fail.
+    Recovering,
+}
+
+impl HealthState {
+    /// The wire token of the state.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Ok => "ok",
+            HealthState::Degraded => "degraded",
+            HealthState::Recovering => "recovering",
+        }
+    }
+
+    /// Inverse of [`HealthState::as_str`].
+    pub fn from_token(s: &str) -> Option<HealthState> {
+        Some(match s {
+            "ok" => HealthState::Ok,
+            "degraded" => HealthState::Degraded,
+            "recovering" => HealthState::Recovering,
+            _ => return None,
+        })
     }
 }
 
@@ -481,10 +629,21 @@ pub struct StatsReply {
     /// contention (`try_lock` misses). Nonzero means `p50_ns`/`p99_ns`
     /// and `queue_depth_p99` are computed from a biased subsample.
     pub stats_samples_dropped: u64,
+    /// Writes rejected with `ERR overloaded` (bounded queue full).
+    pub writes_shed: u64,
+    /// Requests abandoned with `ERR deadline`.
+    pub deadline_aborts: u64,
+    /// Connections refused with `ERR busy` at the accept loop
+    /// (server-wide: every database reports the same number).
+    pub conns_rejected: u64,
+    /// Mutator restarts the supervisor performed after panic escapes.
+    pub mutator_restarts: u64,
+    /// Transitions into read-only degraded mode.
+    pub degraded_entries: u64,
 }
 
 impl StatsReply {
-    const FIELDS: [&'static str; 31] = [
+    const FIELDS: [&'static str; 36] = [
         "atoms",
         "epoch",
         "prepared",
@@ -516,6 +675,11 @@ impl StatsReply {
         "recovery_replayed_fragments",
         "recovery_truncated_bytes",
         "stats_samples_dropped",
+        "writes_shed",
+        "deadline_aborts",
+        "conns_rejected",
+        "mutator_restarts",
+        "degraded_entries",
     ];
 
     fn get(&self, field: &str) -> u64 {
@@ -551,6 +715,11 @@ impl StatsReply {
             "recovery_replayed_fragments" => self.recovery_replayed_fragments,
             "recovery_truncated_bytes" => self.recovery_truncated_bytes,
             "stats_samples_dropped" => self.stats_samples_dropped,
+            "writes_shed" => self.writes_shed,
+            "deadline_aborts" => self.deadline_aborts,
+            "conns_rejected" => self.conns_rejected,
+            "mutator_restarts" => self.mutator_restarts,
+            "degraded_entries" => self.degraded_entries,
             _ => unreachable!("unknown stats field"),
         }
     }
@@ -588,6 +757,11 @@ impl StatsReply {
             "recovery_replayed_fragments" => self.recovery_replayed_fragments = v,
             "recovery_truncated_bytes" => self.recovery_truncated_bytes = v,
             "stats_samples_dropped" => self.stats_samples_dropped = v,
+            "writes_shed" => self.writes_shed = v,
+            "deadline_aborts" => self.deadline_aborts = v,
+            "conns_rejected" => self.conns_rejected = v,
+            "mutator_restarts" => self.mutator_restarts = v,
+            "degraded_entries" => self.degraded_entries = v,
             _ => return false,
         }
         true
@@ -606,8 +780,18 @@ pub enum Response {
     /// `COUNTERMODEL ... END`: the rendered witness (an entailed
     /// COUNTERMODEL request answers `CERTAIN` instead).
     Countermodel(String),
-    /// `STATS key=value ...`.
-    Stats(StatsReply),
+    /// `STATS key=value ...`. Boxed: the counter block dwarfs every
+    /// other variant, and responses move through reply channels by
+    /// value.
+    Stats(Box<StatsReply>),
+    /// `HEALTH <state> <detail|->`: the selected database's serving
+    /// state, with a one-line reason when not `ok`.
+    Health {
+        /// Serving state.
+        state: HealthState,
+        /// Why (empty when `ok`).
+        detail: String,
+    },
     /// `BYE`: connection closing.
     Bye,
     /// `ERR <kind> <span|-> <message>`.
@@ -646,6 +830,13 @@ impl Response {
                 }
                 out.push('\n');
                 out
+            }
+            Response::Health { state, detail } => {
+                if detail.is_empty() {
+                    format!("HEALTH {} -\n", state.as_str())
+                } else {
+                    format!("HEALTH {} {}\n", state.as_str(), detail.replace('\n', "; "))
+                }
             }
             Response::Bye => "BYE\n".to_string(),
             Response::Error(e) => format!("{e}\n"),
@@ -720,7 +911,20 @@ impl Response {
                     return None;
                 }
             }
-            return Some(Response::Stats(s));
+            return Some(Response::Stats(Box::new(s)));
+        }
+        if let Some(rest) = line.strip_prefix("HEALTH ") {
+            let (state_tok, detail) = match rest.split_once(' ') {
+                Some((s, d)) => (s, d),
+                None => (rest, "-"),
+            };
+            let state = HealthState::from_token(state_tok)?;
+            let detail = if detail == "-" {
+                String::new()
+            } else {
+                detail.to_string()
+            };
+            return Some(Response::Health { state, detail });
         }
         if let Some(rest) = line.strip_prefix("ERR ") {
             let (kind_tok, rest) = rest.split_once(' ')?;
@@ -764,6 +968,7 @@ mod tests {
             Request::Countermodel(Target::Prepared("cooled".into())),
             Request::Batch(vec!["a".into(), "b".into()]),
             Request::Stats,
+            Request::Health,
             Request::Flush,
             Request::Close,
         ];
@@ -824,7 +1029,7 @@ mod tests {
             Response::Verdict(false),
             Response::Verdicts(vec![("a".into(), true), ("b".into(), false)]),
             Response::Countermodel("points 0..2\n  u \u{21a6} 0\n  P(pt0)\n".into()),
-            Response::Stats(StatsReply {
+            Response::Stats(Box::new(StatsReply {
                 atoms: 42,
                 epoch: 7,
                 prepared: 3,
@@ -856,8 +1061,26 @@ mod tests {
                 recovery_replayed_fragments: 6,
                 recovery_truncated_bytes: 17,
                 stats_samples_dropped: 8,
-            }),
+                writes_shed: 11,
+                deadline_aborts: 2,
+                conns_rejected: 3,
+                mutator_restarts: 1,
+                degraded_entries: 1,
+            })),
+            Response::Health {
+                state: HealthState::Ok,
+                detail: String::new(),
+            },
+            Response::Health {
+                state: HealthState::Degraded,
+                detail: "wal io is dead after injected fault".into(),
+            },
             Response::Bye,
+            Response::Error(WireError {
+                kind: ErrorKind::Overloaded,
+                span: None,
+                message: "commit queue full (depth 8/8); retry with backoff".into(),
+            }),
             Response::Error(WireError {
                 kind: ErrorKind::Parse,
                 span: Some(Span::new(8, 11)),
@@ -870,6 +1093,27 @@ mod tests {
             let mut r = io::BufReader::new(rendered.as_bytes());
             let back = Response::read_from(&mut r).unwrap().unwrap();
             assert_eq!(back, resp, "{rendered}");
+        }
+    }
+
+    #[test]
+    fn deadline_prefix_parses_and_offsets_stay_line_relative() {
+        let line = "DEADLINE 10 COUNTERMODEL exists t. P(t)";
+        let (req, off, d) = Request::parse_with_deadline(line).unwrap();
+        assert_eq!(
+            req,
+            Request::Countermodel(Target::Inline("exists t. P(t)".into()))
+        );
+        assert_eq!(&line[off..], "exists t. P(t)");
+        assert_eq!(d, Some(std::time::Duration::from_millis(10)));
+        // No prefix: plain parse, no deadline.
+        let (req, _, d) = Request::parse_with_deadline("STATS").unwrap();
+        assert_eq!(req, Request::Stats);
+        assert_eq!(d, None);
+        // Malformed budgets are typed proto errors.
+        for line in ["DEADLINE", "DEADLINE x STATS", "DEADLINE 10"] {
+            let e = Request::parse_with_deadline(line).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::Proto, "{line}");
         }
     }
 

@@ -12,6 +12,27 @@ use indord_core::parse::caret_snippet;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Retry attempts for retryable rejections (`ERR overloaded`) before
+/// the error is surfaced to the user.
+const RETRY_ATTEMPTS: u32 = 6;
+
+/// Base delay of the exponential backoff between retries.
+const RETRY_BASE: Duration = Duration::from_millis(2);
+
+/// A cheap jitter in `0..=ms` without a PRNG dependency: hash a
+/// process-random `RandomState` over the attempt counter.
+fn jitter_ms(attempt: u32, ms: u64) -> u64 {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    if ms == 0 {
+        return 0;
+    }
+    let mut h = RandomState::new().build_hasher();
+    h.write_u32(attempt);
+    h.finish() % (ms + 1)
+}
 
 /// Where a REPL sends its requests.
 pub enum Backend {
@@ -62,6 +83,28 @@ impl Backend {
             }
         }
     }
+
+    /// [`Backend::send`] with client-side backpressure handling: a
+    /// retryable rejection (`ERR overloaded` from the bounded commit
+    /// queue) is retried with jittered exponential backoff before the
+    /// error is surfaced. Non-retryable responses return immediately —
+    /// in particular `ERR deadline` on a write is NOT retried blindly,
+    /// since the write may still commit.
+    pub fn send_retrying(&mut self, line: &str) -> io::Result<Option<Response>> {
+        let mut attempt = 0u32;
+        loop {
+            let resp = self.send(line)?;
+            match &resp {
+                Some(Response::Error(e)) if e.kind.is_retryable() && attempt < RETRY_ATTEMPTS => {
+                    let backoff = RETRY_BASE.as_millis() as u64 * (1u64 << attempt);
+                    let wait = backoff + jitter_ms(attempt, backoff / 2);
+                    std::thread::sleep(Duration::from_millis(wait));
+                    attempt += 1;
+                }
+                _ => return Ok(resp),
+            }
+        }
+    }
 }
 
 const HELP: &str = "commands:
@@ -74,8 +117,12 @@ const HELP: &str = "commands:
   COUNTERMODEL <name-or-query>  like ENTAIL, with a witness on failure
   BATCH <name> <name> ...       evaluate prepared queries together
   STATS                         serving counters for the selected db
+  HEALTH                        ok | degraded | recovering for the selected db
   FLUSH                         force a snapshot + log compaction (durable dbs)
-  CLOSE                         quit";
+  DEADLINE <ms> <request>       bound one request, e.g. DEADLINE 50 ENTAIL q
+  CLOSE                         quit
+overload answers: ERR overloaded is retried here with backoff; ERR busy,
+ERR readonly, ERR deadline, ERR shutdown are surfaced as-is";
 
 /// Runs the REPL loop: lines from `input` to the backend, responses to
 /// `out`. `prompt` enables the interactive `indord>` prompt. Returns on
@@ -98,7 +145,7 @@ pub fn run<R: BufRead, W: Write>(
             if trimmed == "help" || trimmed == "?" {
                 writeln!(out, "{HELP}")?;
             } else {
-                let Some(resp) = backend.send(trimmed)? else {
+                let Some(resp) = backend.send_retrying(trimmed)? else {
                     writeln!(out, "connection closed by server")?;
                     return Ok(());
                 };
@@ -157,6 +204,41 @@ CLOSE
         assert_eq!(lines[4], "NOT-CERTAIN");
         assert!(lines[5].starts_with("STATS "), "{text}");
         assert_eq!(lines[6], "BYE");
+    }
+
+    #[test]
+    fn retry_exhaustion_surfaces_the_overload_error() {
+        // max_queue = 0 sheds every client write at admission, so the
+        // REPL's backoff loop deterministically exhausts its attempts
+        // and the typed overload error reaches the transcript.
+        let registry = Arc::new(Registry::new().with_max_queue(0));
+        let script = "OPEN lab\nFACT pred P(ord); P(u);\nCLOSE\n";
+        let mut out = Vec::new();
+        run(
+            Backend::embedded_in(registry),
+            BufReader::new(script.as_bytes()),
+            &mut out,
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("ERR overloaded"), "{text}");
+        assert!(text.contains("retry with backoff"), "{text}");
+    }
+
+    #[test]
+    fn health_is_part_of_the_repl_surface() {
+        let script = "OPEN lab\nHEALTH\nCLOSE\n";
+        let mut out = Vec::new();
+        run(
+            Backend::embedded(),
+            BufReader::new(script.as_bytes()),
+            &mut out,
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("HEALTH ok -"), "{text}");
     }
 
     #[test]

@@ -41,7 +41,7 @@
 //! ([`indord_core::session::SessionStats`]) into a [`StatsReply`].
 
 use crate::durable::{self, RecoveredState, StorageConfig};
-use crate::protocol::{Request, Response, StatsReply, Target, WireError};
+use crate::protocol::{ErrorKind, HealthState, Request, Response, StatsReply, Target, WireError};
 use indord_core::atom::OrderRel;
 use indord_core::database::Database;
 use indord_core::parse::{parse_database, parse_query_expr_in};
@@ -58,7 +58,17 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Default bound on the per-database commit queue: writes beyond this
+/// depth are shed with a retryable `ERR overloaded` instead of queueing
+/// without limit (see [`Registry::with_max_queue`]).
+pub const DEFAULT_MAX_QUEUE: usize = 256;
+
+/// How many times the supervisor restarts a panicked mutator from the
+/// last published snapshot before giving up and degrading the database
+/// to read-only serving.
+const RESTART_BUDGET: u64 = 3;
 
 /// Capacity of the per-database latency ring (most recent samples win).
 const LATENCY_RING: usize = 1024;
@@ -134,6 +144,19 @@ pub struct DbStats {
     /// this counter makes the shedding visible instead of silent, so a
     /// suspiciously quiet p99 can be cross-checked against drop volume.
     samples_dropped: AtomicU64,
+    /// Writes refused at admission because the commit queue was at its
+    /// bound (each one was answered with a retryable `ERR overloaded`).
+    writes_shed: AtomicU64,
+    /// Requests abandoned because their deadline expired — reads whose
+    /// search loop noticed the deadline, and writes whose submitter
+    /// stopped waiting (the write itself may still commit).
+    deadline_aborts: AtomicU64,
+    /// Supervisor restarts of the mutator thread after an escaped panic
+    /// (state restored from the last published snapshot).
+    mutator_restarts: AtomicU64,
+    /// Transitions into read-only degraded mode (dead WAL I/O, or the
+    /// mutator restart budget exhausted).
+    degraded_entries: AtomicU64,
 }
 
 impl DbStats {
@@ -159,7 +182,31 @@ impl DbStats {
             recovery_replayed_fragments: AtomicU64::new(0),
             recovery_truncated_bytes: AtomicU64::new(0),
             samples_dropped: AtomicU64::new(0),
+            writes_shed: AtomicU64::new(0),
+            deadline_aborts: AtomicU64::new(0),
+            mutator_restarts: AtomicU64::new(0),
+            degraded_entries: AtomicU64::new(0),
         }
+    }
+
+    /// Writes shed at admission by the bounded commit queue.
+    pub fn writes_shed(&self) -> u64 {
+        self.writes_shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests abandoned because their deadline expired.
+    pub fn deadline_aborts(&self) -> u64 {
+        self.deadline_aborts.load(Ordering::Relaxed)
+    }
+
+    /// Supervisor restarts of the mutator thread.
+    pub fn mutator_restarts(&self) -> u64 {
+        self.mutator_restarts.load(Ordering::Relaxed)
+    }
+
+    /// Transitions into read-only degraded mode.
+    pub fn degraded_entries(&self) -> u64 {
+        self.degraded_entries.load(Ordering::Relaxed)
     }
 
     /// Entail-class requests served.
@@ -315,7 +362,19 @@ enum WriteOp {
     /// [`Db::stall_mutator`]): occupy the mutator for `d` so the next
     /// jobs queue up behind it and drain as one deterministic group.
     Stall(std::time::Duration),
+    /// Test-support (reachable only through the `#[doc(hidden)]`
+    /// [`Db::inject_mutator_panic`]): panic inside the mutator.
+    /// `escape: false` panics inside the per-job apply (the per-job
+    /// `catch_unwind` must contain it — groupmates are unaffected);
+    /// `escape: true` panics outside it, exercising the supervisor's
+    /// restart-from-snapshot path.
+    Boom { escape: bool },
 }
+
+/// The shared health slot of one database: the state served by the
+/// `HEALTH` verb and consulted at write admission, plus the reason the
+/// database left `ok` (empty while healthy).
+type HealthSlot = Arc<Mutex<(HealthState, String)>>;
 
 /// One queued write: the operation plus the channel its typed result is
 /// delivered on (after the snapshot containing it is published).
@@ -369,6 +428,15 @@ pub struct Db {
     core: DbCore,
     stats: Arc<DbStats>,
     mutator: Mutex<Option<JoinHandle<()>>>,
+    /// Shared with the mutator/supervisor; `ok` forever under the
+    /// RwLock ablation (no WAL, no mutator to supervise).
+    health: HealthSlot,
+    /// Set before the shutdown job is enqueued: admission refuses new
+    /// writes with `ERR shutdown`, and the mutator rejects
+    /// queued-but-unlogged jobs instead of draining a full queue.
+    closing: Arc<AtomicBool>,
+    /// Bound on the commit queue depth enforced at admission.
+    max_queue: usize,
 }
 
 /// A pinned read view of a database: an `Arc` snapshot under MVCC, a
@@ -425,12 +493,17 @@ impl ReadView<'_> {
 }
 
 impl Db {
-    fn new(voc: Vocabulary, db: Database, mode: ConcurrencyMode) -> Self {
-        Db::build(voc, Session::new(db), HashMap::new(), mode, None)
+    fn new(voc: Vocabulary, db: Database, mode: ConcurrencyMode, max_queue: usize) -> Self {
+        Db::build(voc, Session::new(db), HashMap::new(), mode, None, max_queue)
     }
 
     /// A durable database resuming from recovered on-disk state.
-    fn recovered(state: RecoveredState, dir: DbDir, cfg: &StorageConfig) -> std::io::Result<Self> {
+    fn recovered(
+        state: RecoveredState,
+        dir: DbDir,
+        cfg: &StorageConfig,
+        max_queue: usize,
+    ) -> std::io::Result<Self> {
         let RecoveredState {
             voc,
             session,
@@ -449,7 +522,14 @@ impl Db {
             since_snapshot,
             prepared_src,
         };
-        let db = Db::build(voc, session, prepared, ConcurrencyMode::Mvcc, Some(durable));
+        let db = Db::build(
+            voc,
+            session,
+            prepared,
+            ConcurrencyMode::Mvcc,
+            Some(durable),
+            max_queue,
+        );
         db.stats
             .recovery_replayed_fragments
             .store(replayed_fragments, Ordering::Relaxed);
@@ -465,12 +545,15 @@ impl Db {
         prepared: HashMap<String, PreparedQuery>,
         mode: ConcurrencyMode,
         durable: Option<DurableState>,
+        max_queue: usize,
     ) -> Self {
         debug_assert!(
             durable.is_none() || mode == ConcurrencyMode::Mvcc,
             "durability requires the mutator thread"
         );
         let stats = Arc::new(DbStats::new());
+        let health: HealthSlot = Arc::new(Mutex::new((HealthState::Ok, String::new())));
+        let closing = Arc::new(AtomicBool::new(false));
         let mut mutator = None;
         let core = match mode {
             ConcurrencyMode::RwLock => DbCore::Locked(Box::new(RwLock::new(DbState {
@@ -500,6 +583,9 @@ impl Db {
                         prepared,
                         seq: 0,
                         durable,
+                        health: Arc::clone(&health),
+                        closing: Arc::clone(&closing),
+                        restarts: 0,
                     };
                     // The loop also exits when every Sender is gone,
                     // i.e. when this Db is dropped without an explicit
@@ -521,12 +607,25 @@ impl Db {
             core,
             stats,
             mutator: Mutex::new(mutator),
+            health,
+            closing,
+            max_queue,
         }
     }
 
     /// The request counters.
     pub fn stats(&self) -> &DbStats {
         &self.stats
+    }
+
+    /// The database's health state and the reason it left `ok` (empty
+    /// while healthy). Served by the `HEALTH` verb and consulted at
+    /// write admission.
+    pub fn health(&self) -> (HealthState, String) {
+        self.health
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
     }
 
     /// Drains the commit queue, fsyncs the WAL tail, and joins the
@@ -541,6 +640,12 @@ impl Db {
             .take();
         let Some(handle) = handle else { return };
         if let DbCore::Mvcc { sender, .. } = &self.core {
+            // From here on, admission refuses new writes with
+            // `ERR shutdown`, and the drain loop rejects
+            // queued-but-unlogged jobs with the same error instead of
+            // applying them — a full bounded queue cannot stall the
+            // shutdown, and nothing unlogged is silently committed.
+            self.closing.store(true, Ordering::SeqCst);
             let (tx, rx) = mpsc::channel();
             self.stats.pending.fetch_add(1, Ordering::Relaxed);
             let sent = sender
@@ -600,8 +705,45 @@ impl Db {
                 "non-blocking submit requires the MVCC core",
             ));
         };
+        // Admission control applies to client writes; the control/test
+        // ops (`Shutdown`, `Stall`, `Boom`) bypass it — shutdown must
+        // always reach the mutator, and the test hooks need to work
+        // against deliberately tiny queues.
+        let client_write = matches!(
+            op,
+            WriteOp::Fragment(_) | WriteOp::Prepare { .. } | WriteOp::Flush
+        );
+        if client_write {
+            if self.closing.load(Ordering::SeqCst) {
+                return Err(WireError::kinded(
+                    ErrorKind::Shutdown,
+                    "server is shutting down; the write was not logged",
+                ));
+            }
+            let (state, reason) = self.health();
+            if state == HealthState::Degraded {
+                return Err(WireError::kinded(
+                    ErrorKind::ReadOnly,
+                    format!("database is read-only (degraded: {reason})"),
+                ));
+            }
+        }
         let (tx, rx) = mpsc::channel();
         let depth = self.stats.pending.fetch_add(1, Ordering::Relaxed) + 1;
+        if client_write && depth > self.max_queue as u64 {
+            // Shed instead of queueing without bound: the caller gets a
+            // retryable `ERR overloaded` carrying the observed depth.
+            self.stats.pending.fetch_sub(1, Ordering::Relaxed);
+            self.stats.writes_shed.fetch_add(1, Ordering::Relaxed);
+            return Err(WireError::kinded(
+                ErrorKind::Overloaded,
+                format!(
+                    "commit queue is full ({} queued, cap {}); retry with backoff",
+                    depth - 1,
+                    self.max_queue
+                ),
+            ));
+        }
         self.stats.record_queue_depth(depth);
         sender
             .lock()
@@ -636,12 +778,58 @@ impl Db {
         self.submit_nonblocking(WriteOp::Fragment(fragment.to_string()))
     }
 
+    /// Test-support: panics the mutator thread — inside the per-job
+    /// apply (`escape: false`, the per-job `catch_unwind` contains it)
+    /// or outside it (`escape: true`, exercising the supervisor's
+    /// restart path). Not part of the public API.
+    #[doc(hidden)]
+    pub fn inject_mutator_panic(
+        &self,
+        escape: bool,
+    ) -> Result<mpsc::Receiver<Result<Response, WireError>>, WireError> {
+        self.submit_nonblocking(WriteOp::Boom { escape })
+    }
+
+    #[cfg(test)]
     fn submit(&self, op: WriteOp) -> Result<Response, WireError> {
+        self.submit_deadline(op, None)
+    }
+
+    /// Like [`Db::submit`], but the caller stops waiting at `deadline`:
+    /// the write stays queued (it may still commit — the reply channel
+    /// is simply dropped), and the caller gets a typed `ERR deadline`
+    /// telling it so.
+    fn submit_deadline(
+        &self,
+        op: WriteOp,
+        deadline: Option<Instant>,
+    ) -> Result<Response, WireError> {
         match &self.core {
             DbCore::Mvcc { .. } => {
                 let rx = self.submit_nonblocking(op)?;
-                rx.recv()
-                    .unwrap_or_else(|_| Err(WireError::proto("database mutator dropped the write")))
+                match deadline {
+                    None => rx.recv().unwrap_or_else(|_| {
+                        Err(WireError::proto("database mutator dropped the write"))
+                    }),
+                    Some(d) => {
+                        let wait = d.saturating_duration_since(Instant::now());
+                        match rx.recv_timeout(wait) {
+                            Ok(result) => result,
+                            Err(mpsc::RecvTimeoutError::Timeout) => {
+                                // Counted by the dispatching Conn, like
+                                // read-side expiries.
+                                Err(WireError::kinded(
+                                    ErrorKind::Deadline,
+                                    "deadline expired while the write was queued; \
+                                     it was not acked but may still commit",
+                                ))
+                            }
+                            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                                Err(WireError::proto("database mutator dropped the write"))
+                            }
+                        }
+                    }
+                }
             }
             DbCore::Locked(state) => {
                 let mut st = state.write().unwrap_or_else(|p| p.into_inner());
@@ -670,6 +858,10 @@ impl Db {
                         thread::sleep(d);
                         Ok(Response::Ok("stalled".to_string()))
                     }
+                    // There is no mutator thread to panic under the lock.
+                    WriteOp::Boom { .. } => Err(WireError::proto(
+                        "panic injection requires the MVCC mutator thread",
+                    )),
                 }
             }
         }
@@ -700,6 +892,10 @@ struct Mutator {
     prepared: Arc<HashMap<String, PreparedQuery>>,
     seq: u64,
     durable: Option<DurableState>,
+    health: HealthSlot,
+    closing: Arc<AtomicBool>,
+    /// Supervisor restarts consumed so far (see [`RESTART_BUDGET`]).
+    restarts: u64,
 }
 
 impl Mutator {
@@ -716,7 +912,51 @@ impl Mutator {
             while let Ok(j) = rx.try_recv() {
                 jobs.push(j);
             }
-            let mut shutdown_acks = self.process_group(jobs);
+            if self.closing.load(Ordering::SeqCst) {
+                // Graceful shutdown: whatever is still queued was never
+                // logged — reject it with `ERR shutdown` rather than
+                // spending unbounded time draining a full queue, then
+                // fsync everything that *was* logged and ack.
+                let mut shutdown_acks = self.reject_for_shutdown(jobs);
+                loop {
+                    let mut rest = Vec::new();
+                    while let Ok(j) = rx.try_recv() {
+                        rest.push(j);
+                    }
+                    if rest.is_empty() {
+                        break;
+                    }
+                    shutdown_acks.extend(self.reject_for_shutdown(rest));
+                }
+                self.sync_tail();
+                for tx in shutdown_acks {
+                    let _ = tx.send(Ok(Response::Ok("shutdown complete".to_string())));
+                }
+                return;
+            }
+            // Supervision: a panic that escapes the per-job guards must
+            // not silently kill every future write. The failed group's
+            // submitters see their reply channels drop (the existing
+            // "mutator dropped the write" mapping); the supervisor
+            // restores the master from the last published snapshot and
+            // keeps serving — or degrades to read-only once the restart
+            // budget is spent.
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.process_group(jobs)));
+            let mut shutdown_acks = match outcome {
+                Ok(acks) => acks,
+                Err(_) => {
+                    self.recover_master();
+                    if self.closing.load(Ordering::SeqCst) {
+                        // A Shutdown job may have died with the group
+                        // (its ack channel dropped with it): still leave
+                        // a durable tail and let the join succeed.
+                        self.sync_tail();
+                        return;
+                    }
+                    continue;
+                }
+            };
             if !shutdown_acks.is_empty() {
                 // Shutdown: drain whatever slipped in while this group
                 // ran, then make the tail durable and ack — the
@@ -729,7 +969,7 @@ impl Mutator {
                     if rest.is_empty() {
                         break;
                     }
-                    shutdown_acks.extend(self.process_group(rest));
+                    shutdown_acks.extend(self.reject_for_shutdown(rest));
                 }
                 self.sync_tail();
                 for tx in shutdown_acks {
@@ -738,6 +978,91 @@ impl Mutator {
                 return;
             }
         }
+    }
+
+    /// Rejects a drained group during shutdown: client writes get a
+    /// typed `ERR shutdown` (they were never logged — they did NOT
+    /// commit), `Shutdown` jobs contribute their ack channels.
+    fn reject_for_shutdown(
+        &mut self,
+        jobs: Vec<WriteJob>,
+    ) -> Vec<mpsc::Sender<Result<Response, WireError>>> {
+        self.stats
+            .pending
+            .fetch_sub(jobs.len() as u64, Ordering::Relaxed);
+        let mut shutdown_acks = Vec::new();
+        for job in jobs {
+            match job.op {
+                WriteOp::Shutdown => shutdown_acks.push(job.reply),
+                _ => {
+                    let _ = job.reply.send(Err(WireError::kinded(
+                        ErrorKind::Shutdown,
+                        "server shut down before the write was logged; it did not commit",
+                    )));
+                }
+            }
+        }
+        shutdown_acks
+    }
+
+    /// The supervisor's restart path: a panic escaped the per-job
+    /// guards, so the private master state is suspect. Rebuild it from
+    /// the last published snapshot — the newest state any reader can
+    /// see, and a prefix of the WAL — and keep serving. The WAL stays
+    /// open (ids continuous); records logged by the failed group but
+    /// never acked may replay on restart, which the durability contract
+    /// allows (acked ⇒ durable, not the converse). Once the budget is
+    /// spent the database degrades to read-only instead.
+    fn recover_master(&mut self) {
+        self.restarts += 1;
+        self.stats.mutator_restarts.fetch_add(1, Ordering::Relaxed);
+        if self.restarts > RESTART_BUDGET {
+            self.enter_degraded(format!(
+                "mutator restart budget exhausted ({RESTART_BUDGET} restarts)"
+            ));
+            return;
+        }
+        self.set_health(HealthState::Recovering, "restoring from published snapshot");
+        self.restore_from_published();
+        self.set_health(HealthState::Ok, "");
+    }
+
+    /// Rebuilds the private master state from the last published
+    /// snapshot — the newest state any reader can observe, and a prefix
+    /// of the synced WAL.
+    fn restore_from_published(&mut self) {
+        let snap = self
+            .current
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        self.voc = (*snap.voc).clone();
+        self.voc_arc = Arc::clone(&snap.voc);
+        self.session = snap.session.clone();
+        self.prepared = Arc::clone(&snap.prepared);
+        self.seq = snap.seq;
+    }
+
+    fn set_health(&self, state: HealthState, reason: &str) {
+        let mut h = self.health.lock().unwrap_or_else(|p| p.into_inner());
+        *h = (state, reason.to_string());
+    }
+
+    /// Transitions to read-only degraded mode (idempotent): reads keep
+    /// serving the last published snapshot, writes are rejected with
+    /// `ERR readonly` carrying `reason`.
+    fn enter_degraded(&self, reason: String) {
+        let mut h = self.health.lock().unwrap_or_else(|p| p.into_inner());
+        if h.0 != HealthState::Degraded {
+            self.stats.degraded_entries.fetch_add(1, Ordering::Relaxed);
+            eprintln!("indord-server: database degraded to read-only: {reason}");
+            *h = (HealthState::Degraded, reason);
+        }
+    }
+
+    fn degraded_reason(&self) -> Option<String> {
+        let h = self.health.lock().unwrap_or_else(|p| p.into_inner());
+        (h.0 == HealthState::Degraded).then(|| h.1.clone())
     }
 
     /// Unconditionally fsyncs appended WAL bytes (shutdown path).
@@ -778,7 +1103,12 @@ impl Mutator {
             match job.op {
                 WriteOp::Shutdown => shutdown_acks.push(job.reply),
                 WriteOp::Flush => {
-                    if self.durable.is_some() {
+                    if let Some(reason) = self.degraded_reason() {
+                        let _ = job.reply.send(Err(WireError::kinded(
+                            ErrorKind::ReadOnly,
+                            format!("database is read-only (degraded: {reason})"),
+                        )));
+                    } else if self.durable.is_some() {
                         flush_acks.push(job.reply);
                     } else {
                         let _ = job.reply.send(Err(WireError::proto(
@@ -809,13 +1139,33 @@ impl Mutator {
         let mut mutated = false;
         let mut prepared_changed = false;
         for (structural, job) in keyed {
+            // Already degraded (a WAL death earlier in this very group,
+            // or a previous one): every remaining write is refused with
+            // the typed read-only error — nothing is logged or applied.
+            if let Some(reason) = self.degraded_reason() {
+                replies.push((
+                    job.reply,
+                    Err(WireError::kinded(
+                        ErrorKind::ReadOnly,
+                        format!("database is read-only (degraded: {reason})"),
+                    )),
+                ));
+                continue;
+            }
+            // Escaped-panic injection (test-support): blows up outside
+            // the per-job guard so the supervisor path is exercised.
+            if matches!(job.op, WriteOp::Boom { escape: true }) {
+                panic!("injected mutator panic (escape)");
+            }
             // Log before apply: the record hits the WAL buffer first, so
             // an acked write can never exist only in memory. A record
             // whose apply then fails is harmless in the log — replay
             // re-fails it deterministically. A record the WAL *rejects*
-            // (I/O error; under `always`, a failed per-record sync) is
-            // the one case a write is refused for durability reasons:
-            // it is not applied, keeping acked ⇒ durable exact.
+            // (I/O error; under `always`, a failed per-record sync)
+            // means the WAL I/O is dead: this write is refused, and the
+            // database transitions to read-only degraded mode rather
+            // than silently dropping durability.
+            let mut wal_death: Option<String> = None;
             if let Some(d) = self.durable.as_mut() {
                 let payload = match &job.op {
                     WriteOp::Fragment(fragment) => Some(format!("FACT {fragment}")),
@@ -825,17 +1175,20 @@ impl Mutator {
                 if let Some(payload) = payload {
                     match d.wal.append(payload.as_bytes()) {
                         Ok(_) => d.since_snapshot += 1,
-                        Err(e) => {
-                            replies.push((
-                                job.reply,
-                                Err(WireError::proto(format!(
-                                    "write-ahead log append failed ({e}); write rejected"
-                                ))),
-                            ));
-                            continue;
-                        }
+                        Err(e) => wal_death = Some(e.to_string()),
                     }
                 }
+            }
+            if let Some(e) = wal_death {
+                self.enter_degraded(format!("write-ahead log append failed: {e}"));
+                replies.push((
+                    job.reply,
+                    Err(WireError::kinded(
+                        ErrorKind::ReadOnly,
+                        format!("write-ahead log append failed ({e}); database is now read-only"),
+                    )),
+                ));
+                continue;
             }
             // A panic must not take the mutator (and with it every
             // future write) down: report it as the typed internal error
@@ -879,20 +1232,22 @@ impl Mutator {
             replies.push((job.reply, result));
         }
         // The group-commit durability barrier: sync the appended records
-        // *before* the snapshot publish and the replies. A failed sync
-        // must not ack writes as durable that aren't — but the state is
-        // already applied and cannot be unapplied, so degrade loudly to
-        // in-memory serving rather than lie or crash.
+        // *before* the snapshot publish and the replies. On a failed
+        // sync the group's records were still handed to the WAL (the
+        // per-record appends succeeded — a failing append rejects its
+        // write above), so the applied prefix stays acked exactly as it
+        // always has; what changes is the future: the database
+        // transitions to typed read-only degraded mode instead of
+        // silently dropping durability, so nothing after this group
+        // pretends to be durable.
+        let mut sync_failed: Option<String> = None;
         if let Some(d) = self.durable.as_mut() {
             if let Err(e) = d.wal.commit() {
-                eprintln!(
-                    "indord-storage: {}: wal fsync failed ({e}); \
-                     DEGRADING TO IN-MEMORY — writes from here on are not durable",
-                    d.dir.path().display()
-                );
-                self.mirror_wal_counters();
-                self.durable = None;
+                sync_failed = Some(e.to_string());
             }
+        }
+        if let Some(e) = sync_failed {
+            self.enter_degraded(format!("wal fsync failed: {e}"));
         }
         self.mirror_wal_counters();
         if mutated {
@@ -966,6 +1321,14 @@ impl Mutator {
     /// from the mutator's own thread — readers keep serving the
     /// published `Arc<DbSnapshot>` untouched throughout.
     fn maybe_snapshot(&mut self, force: bool) -> Result<Response, WireError> {
+        if let Some(reason) = self.degraded_reason() {
+            // A degraded database never touches its directory again —
+            // the master may be rolled back, and the WAL I/O is suspect.
+            return Err(WireError::kinded(
+                ErrorKind::ReadOnly,
+                format!("database is read-only (degraded: {reason})"),
+            ));
+        }
         let Some(d) = self.durable.as_mut() else {
             return Err(WireError::proto("no durable storage configured"));
         };
@@ -1053,6 +1416,10 @@ fn apply_write(
             thread::sleep(*d);
             (Ok(Response::Ok("stalled".to_string())), false)
         }
+        // `escape: true` is intercepted before the per-job guard; this
+        // arm is the contained flavor — the per-job `catch_unwind` turns
+        // it into the typed internal error, groupmates unaffected.
+        WriteOp::Boom { .. } => panic!("injected apply panic"),
     }
 }
 
@@ -1180,11 +1547,29 @@ pub(crate) fn apply_fragment_atomic(
 }
 
 /// The registry of named databases a server (or embedded REPL) serves.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Registry {
     dbs: RwLock<HashMap<String, Arc<Db>>>,
     mode: ConcurrencyMode,
     storage: Option<StorageConfig>,
+    /// Commit-queue bound handed to every database this registry
+    /// creates (see [`Registry::with_max_queue`]).
+    max_queue: usize,
+    /// Connections refused by the accept loop's cap — server-wide, so
+    /// every database's `STATS` reports the same number.
+    conns_rejected: AtomicU64,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            dbs: RwLock::new(HashMap::new()),
+            mode: ConcurrencyMode::default(),
+            storage: None,
+            max_queue: DEFAULT_MAX_QUEUE,
+            conns_rejected: AtomicU64::new(0),
+        }
+    }
 }
 
 impl Registry {
@@ -1196,11 +1581,35 @@ impl Registry {
     /// An empty registry in an explicit concurrency mode (the RwLock
     /// ablation exists for benches and differential tests).
     pub fn with_mode(mode: ConcurrencyMode) -> Self {
-        Registry {
-            dbs: RwLock::new(HashMap::new()),
-            mode,
-            storage: None,
-        }
+        let mut r = Registry::default();
+        r.mode = mode;
+        r
+    }
+
+    /// Sets the commit-queue bound for every database created after
+    /// this call (writes beyond the bound are shed with a retryable
+    /// `ERR overloaded`). `0` is honored literally — every write beyond
+    /// the one the mutator currently holds is shed — which the REPL
+    /// retry tests use for deterministic exhaustion.
+    #[must_use]
+    pub fn with_max_queue(mut self, max_queue: usize) -> Self {
+        self.max_queue = max_queue;
+        self
+    }
+
+    /// The commit-queue bound databases are created with.
+    pub fn max_queue(&self) -> usize {
+        self.max_queue
+    }
+
+    /// Connections refused by the accept loop's connection cap.
+    pub fn conns_rejected(&self) -> u64 {
+        self.conns_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Counts one connection refused at the accept loop.
+    pub(crate) fn note_conn_rejected(&self) {
+        self.conns_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A durable registry rooted at `cfg.root`: every database directory
@@ -1210,6 +1619,13 @@ impl Registry {
     /// get their own directory under the root. Durability implies the
     /// MVCC mode (the WAL is owned by the mutator thread).
     pub fn with_storage(cfg: StorageConfig) -> std::io::Result<Self> {
+        Registry::with_storage_and_queue(cfg, DEFAULT_MAX_QUEUE)
+    }
+
+    /// [`Registry::with_storage`] with an explicit commit-queue bound —
+    /// recovery happens after the bound is known, so databases already
+    /// on disk get the same bound as ones opened later.
+    pub fn with_storage_and_queue(cfg: StorageConfig, max_queue: usize) -> std::io::Result<Self> {
         std::fs::create_dir_all(&cfg.root)?;
         let mut dbs = HashMap::new();
         let mut names: Vec<(String, std::path::PathBuf)> = Vec::new();
@@ -1228,12 +1644,14 @@ impl Registry {
         for (name, path) in names {
             let dir = DbDir::open(path)?;
             let state = durable::recover_state(&dir)?;
-            dbs.insert(name, Arc::new(Db::recovered(state, dir, &cfg)?));
+            dbs.insert(name, Arc::new(Db::recovered(state, dir, &cfg, max_queue)?));
         }
         Ok(Registry {
             dbs: RwLock::new(dbs),
             mode: ConcurrencyMode::Mvcc,
             storage: Some(cfg),
+            max_queue,
+            conns_rejected: AtomicU64::new(0),
         })
     }
 
@@ -1251,7 +1669,7 @@ impl Registry {
     fn create_durable(&self, cfg: &StorageConfig, name: &str) -> std::io::Result<Db> {
         let dir = DbDir::open(cfg.root.join(name))?;
         let state = durable::recover_state(&dir)?;
-        Db::recovered(state, dir, cfg)
+        Db::recovered(state, dir, cfg, self.max_queue)
     }
 
     /// Create-or-get the named database (the `OPEN` semantics). Under a
@@ -1272,7 +1690,12 @@ impl Registry {
                         ),
                     }
                 }
-                Arc::new(Db::new(Vocabulary::new(), Database::new(), self.mode))
+                Arc::new(Db::new(
+                    Vocabulary::new(),
+                    Database::new(),
+                    self.mode,
+                    self.max_queue,
+                ))
             })
             .clone()
     }
@@ -1300,11 +1723,11 @@ impl Registry {
                         "indord-storage: cannot persist installed database `{name}` ({e}); \
                          this database is IN-MEMORY ONLY"
                     );
-                    Arc::new(Db::new(voc, db, ConcurrencyMode::Mvcc))
+                    Arc::new(Db::new(voc, db, ConcurrencyMode::Mvcc, self.max_queue))
                 }
             }
         } else {
-            Arc::new(Db::new(voc, db, self.mode))
+            Arc::new(Db::new(voc, db, self.mode, self.max_queue))
         };
         self.dbs
             .write()
@@ -1328,7 +1751,7 @@ impl Registry {
         let payload = durable::encode_snapshot(voc, db, &HashMap::new());
         dir.write_snapshot(0, payload.as_bytes())?;
         let state = durable::recover_state(&dir)?;
-        Db::recovered(state, dir, cfg)
+        Db::recovered(state, dir, cfg, self.max_queue)
     }
 
     /// Test-support: like [`Registry::install`] on a durable registry,
@@ -1366,6 +1789,7 @@ impl Registry {
             HashMap::new(),
             ConcurrencyMode::Mvcc,
             Some(durable),
+            self.max_queue,
         ));
         self.dbs
             .write()
@@ -1418,6 +1842,9 @@ impl Drop for Registry {
 pub struct Conn {
     registry: Arc<Registry>,
     current: Option<Arc<Db>>,
+    /// Deadline applied to every request that doesn't carry its own
+    /// `DEADLINE <ms>` prefix (`--request-timeout`). `None` = no limit.
+    default_deadline: Option<Duration>,
 }
 
 impl Conn {
@@ -1426,18 +1853,34 @@ impl Conn {
         Conn {
             registry,
             current: None,
+            default_deadline: None,
         }
+    }
+
+    /// Sets the default per-request deadline (`--request-timeout`); a
+    /// request's own `DEADLINE <ms>` prefix overrides it.
+    #[must_use]
+    pub fn with_request_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.default_deadline = timeout;
+        self
     }
 
     /// Parses and dispatches one request line; parse-error spans are
     /// shifted into line coordinates so clients can caret the line they
-    /// sent.
+    /// sent. An optional `DEADLINE <ms>` prefix bounds this request:
+    /// reads poll it cooperatively inside the search loop, writes stop
+    /// waiting for their ack when it expires.
     pub fn handle_line(&mut self, line: &str) -> Response {
-        match Request::parse_with_offset(line) {
-            Ok((req, payload)) => match self.handle(req) {
-                Response::Error(e) => Response::Error(e.shift_span(payload)),
-                resp => resp,
-            },
+        match Request::parse_with_deadline(line) {
+            Ok((req, payload, deadline)) => {
+                let deadline = deadline
+                    .or(self.default_deadline)
+                    .map(|d| Instant::now() + d);
+                match self.handle_with_deadline(req, deadline) {
+                    Response::Error(e) => Response::Error(e.shift_span(payload)),
+                    resp => resp,
+                }
+            }
             Err(e) => Response::Error(e),
         }
     }
@@ -1446,9 +1889,23 @@ impl Conn {
     /// relative to the request's payload text (see
     /// [`Conn::handle_line`] for line coordinates).
     pub fn handle(&mut self, req: Request) -> Response {
-        match self.dispatch(req) {
+        let deadline = self.default_deadline.map(|d| Instant::now() + d);
+        self.handle_with_deadline(req, deadline)
+    }
+
+    fn handle_with_deadline(&mut self, req: Request, deadline: Option<Instant>) -> Response {
+        match self.dispatch(req, deadline) {
             Ok(resp) => resp,
-            Err(e) => Response::Error(e),
+            Err(e) => {
+                if e.kind == ErrorKind::Deadline {
+                    // Write-side expiries count themselves (the Db owns
+                    // that path); this covers the read-side search loop.
+                    if let Some(db) = &self.current {
+                        db.stats.deadline_aborts.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Response::Error(e)
+            }
         }
     }
 
@@ -1458,7 +1915,7 @@ impl Conn {
             .ok_or_else(|| WireError::registry("no database selected (OPEN <name> first)"))
     }
 
-    fn dispatch(&mut self, req: Request) -> Result<Response, WireError> {
+    fn dispatch(&mut self, req: Request, deadline: Option<Instant>) -> Result<Response, WireError> {
         match req {
             Request::Open(name) => {
                 let db = self.registry.open(&name);
@@ -1477,19 +1934,19 @@ impl Conn {
             }
             Request::Fact(fragment) => {
                 let db = self.current()?.clone();
-                db.submit(WriteOp::Fragment(fragment))
+                db.submit_deadline(WriteOp::Fragment(fragment), deadline)
             }
             Request::Prepare { name, query } => {
                 let db = self.current()?.clone();
-                db.submit(WriteOp::Prepare { name, query })
+                db.submit_deadline(WriteOp::Prepare { name, query }, deadline)
             }
             Request::Entail(target) => {
                 let db = self.current()?.clone();
-                self.evaluate(&db, &target, false)
+                self.evaluate(&db, &target, false, deadline)
             }
             Request::Countermodel(target) => {
                 let db = self.current()?.clone();
-                self.evaluate(&db, &target, true)
+                self.evaluate(&db, &target, true, deadline)
             }
             Request::Batch(names) => {
                 // One view for the whole batch: every verdict in the
@@ -1504,7 +1961,10 @@ impl Conn {
                         WireError::registry(format!("unknown prepared query `{name}`"))
                     })?);
                 }
-                let eng = Engine::new(view.vocabulary());
+                let mut eng = Engine::new(view.vocabulary());
+                if let Some(d) = deadline {
+                    eng = eng.with_deadline(d);
+                }
                 let mut verdicts = Vec::with_capacity(names.len());
                 for (name, pq) in names.iter().zip(&pqs) {
                     let v = eng
@@ -1534,7 +1994,7 @@ impl Conn {
                     .lock()
                     .map(|r| r.p50_p99())
                     .unwrap_or((0, 0));
-                Ok(Response::Stats(StatsReply {
+                Ok(Response::Stats(Box::new(StatsReply {
                     atoms: view.session().len() as u64,
                     epoch: session_stats.epoch,
                     prepared: view.prepared_len() as u64,
@@ -1572,11 +2032,21 @@ impl Conn {
                         .recovery_truncated_bytes
                         .load(Ordering::Relaxed),
                     stats_samples_dropped: db.stats.samples_dropped(),
-                }))
+                    writes_shed: db.stats.writes_shed.load(Ordering::Relaxed),
+                    deadline_aborts: db.stats.deadline_aborts.load(Ordering::Relaxed),
+                    conns_rejected: self.registry.conns_rejected(),
+                    mutator_restarts: db.stats.mutator_restarts.load(Ordering::Relaxed),
+                    degraded_entries: db.stats.degraded_entries.load(Ordering::Relaxed),
+                })))
+            }
+            Request::Health => {
+                let db = self.current()?.clone();
+                let (state, detail) = db.health();
+                Ok(Response::Health { state, detail })
             }
             Request::Flush => {
                 let db = self.current()?.clone();
-                db.submit(WriteOp::Flush)
+                db.submit_deadline(WriteOp::Flush, deadline)
             }
             Request::Close => Ok(Response::Bye),
         }
@@ -1597,16 +2067,27 @@ impl Conn {
         db: &Arc<Db>,
         target: &Target,
         witness: bool,
+        deadline: Option<Instant>,
     ) -> Result<Response, WireError> {
         let start = Instant::now();
         let view = db.view();
+        // The deadline rides into the Theorem 5.3 search loop, which
+        // polls it cooperatively and abandons the search with a typed
+        // `ERR deadline` — the worker returns to the pool immediately.
+        fn engine_for(voc: &Vocabulary, deadline: Option<Instant>) -> Engine<'_> {
+            let mut eng = Engine::new(voc);
+            if let Some(d) = deadline {
+                eng = eng.with_deadline(d);
+            }
+            eng
+        }
         let resp = match target {
             Target::Prepared(name) => {
                 let pq = view.prepared(name).ok_or_else(|| {
                     WireError::registry(format!("unknown prepared query `{name}`"))
                 })?;
                 db.stats.prepared_hits.fetch_add(1, Ordering::Relaxed);
-                let v = Engine::new(view.vocabulary())
+                let v = engine_for(view.vocabulary(), deadline)
                     .entails_prepared(view.session(), pq)
                     .map_err(|e| WireError::from(&e))?;
                 render_verdict(v, view.vocabulary(), witness)
@@ -1621,7 +2102,7 @@ impl Conn {
                     let q = expr
                         .to_dnf(view.vocabulary())
                         .map_err(|e| WireError::from(&e))?;
-                    let eng = Engine::new(view.vocabulary());
+                    let eng = engine_for(view.vocabulary(), deadline);
                     let pq = eng.prepare(&q).map_err(|e| WireError::from(&e))?;
                     let v = eng
                         .entails_prepared(view.session(), &pq)
@@ -1636,7 +2117,7 @@ impl Conn {
                     let (aug_db, q) =
                         eliminate_constants(&mut voc2, view.session().database(), &expr)
                             .map_err(|e| WireError::from(&e))?;
-                    let v = Engine::new(&voc2)
+                    let v = engine_for(&voc2, deadline)
                         .entails(&aug_db, &q)
                         .map_err(|e| WireError::from(&e))?;
                     render_verdict(v, &voc2, witness)
@@ -1751,22 +2232,82 @@ impl Drop for ServerHandle {
     }
 }
 
+/// Tunables of the serving loop — thread count, connection cap, line
+/// cap, socket timeouts, and the default per-request deadline.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Fixed worker pool size (each worker owns one connection at a
+    /// time).
+    pub threads: usize,
+    /// Hard cap on accepted-and-not-yet-finished connections; beyond it
+    /// the accept loop answers `ERR busy` directly on the socket and
+    /// closes, instead of queueing without bound.
+    pub max_conns: usize,
+    /// Maximum request-line length in bytes; longer lines are answered
+    /// with `ERR toolarge` and the connection is closed.
+    pub max_line: usize,
+    /// Socket read timeout — bounds how long a worker waits for the
+    /// next request byte (a slow-loris client is disconnected, not
+    /// parked on a pool slot forever). `None` = wait indefinitely.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout — bounds how long a worker blocks on a
+    /// client that stopped reading its replies.
+    pub write_timeout: Option<Duration>,
+    /// Default per-request deadline (`--request-timeout`); a request's
+    /// own `DEADLINE <ms>` prefix overrides it.
+    pub request_timeout: Option<Duration>,
+}
+
+impl ServeOptions {
+    /// Defaults for a pool of `threads` workers: connection cap at
+    /// `4 × threads`, 1 MiB line cap, a 30 s write timeout, no read
+    /// timeout (idle interactive clients are legitimate), no default
+    /// request deadline.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        ServeOptions {
+            threads,
+            max_conns: threads * 4,
+            max_line: 1 << 20,
+            read_timeout: None,
+            write_timeout: Some(Duration::from_secs(30)),
+            request_timeout: None,
+        }
+    }
+}
+
 /// Binds `addr` and serves the registry's databases on a fixed pool of
-/// `threads` worker threads (each worker owns one client connection at
-/// a time; excess connections queue).
+/// `threads` worker threads with default [`ServeOptions`].
 pub fn serve<A: ToSocketAddrs>(
     registry: Arc<Registry>,
     addr: A,
     threads: usize,
+) -> std::io::Result<ServerHandle> {
+    serve_with(registry, addr, ServeOptions::new(threads))
+}
+
+/// Binds `addr` and serves the registry's databases under explicit
+/// [`ServeOptions`] (connection cap, line cap, timeouts, default
+/// request deadline).
+pub fn serve_with<A: ToSocketAddrs>(
+    registry: Arc<Registry>,
+    addr: A,
+    opts: ServeOptions,
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
-    for _ in 0..threads.max(1) {
+    // Accepted-and-unfinished connections (queued + being served):
+    // incremented by the accept loop before handoff, decremented by the
+    // worker when the client is done.
+    let active = Arc::new(AtomicU64::new(0));
+    for _ in 0..opts.threads.max(1) {
         let rx = Arc::clone(&rx);
         let registry = Arc::clone(&registry);
+        let active = Arc::clone(&active);
+        let opts = opts.clone();
         thread::spawn(move || loop {
             let stream = {
                 let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
@@ -1778,9 +2319,11 @@ pub fn serve<A: ToSocketAddrs>(
                 // it, drop the connection, keep the worker.
                 Ok(s) => {
                     let registry = &registry;
+                    let opts = &opts;
                     let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-                        serve_client(s, registry)
+                        serve_client(s, registry, opts)
                     }));
+                    active.fetch_sub(1, Ordering::SeqCst);
                 }
                 Err(_) => break, // accept loop gone
             }
@@ -1788,24 +2331,44 @@ pub fn serve<A: ToSocketAddrs>(
     }
     let flag = Arc::clone(&shutdown);
     let registry_handle = Arc::clone(&registry);
-    let accept = thread::spawn(move || {
-        for stream in listener.incoming() {
-            if flag.load(Ordering::SeqCst) {
-                break;
-            }
-            match stream {
-                Ok(s) => {
-                    if tx.send(s).is_err() {
-                        break;
-                    }
+    let accept = {
+        let registry = Arc::clone(&registry);
+        let active = Arc::clone(&active);
+        let max_conns = opts.max_conns.max(1);
+        thread::spawn(move || {
+            for stream in listener.incoming() {
+                if flag.load(Ordering::SeqCst) {
+                    break;
                 }
-                // Transient accept failures (ECONNABORTED from a client
-                // resetting while queued, EMFILE during a burst) must
-                // not kill the listener — skip and keep accepting.
-                Err(_) => continue,
+                match stream {
+                    Ok(mut s) => {
+                        if active.load(Ordering::SeqCst) >= max_conns as u64 {
+                            // At the cap: answer `ERR busy` on the spot
+                            // and close — an immediate typed rejection
+                            // beats an unbounded silent queue.
+                            registry.note_conn_rejected();
+                            let err = Response::Error(WireError::kinded(
+                                ErrorKind::Busy,
+                                format!("connection limit reached ({max_conns}); retry later"),
+                            ));
+                            let _ = s.set_write_timeout(Some(Duration::from_millis(250)));
+                            let _ = s.write_all(err.render().as_bytes());
+                            continue; // drop = close
+                        }
+                        active.fetch_add(1, Ordering::SeqCst);
+                        if tx.send(s).is_err() {
+                            break;
+                        }
+                    }
+                    // Transient accept failures (ECONNABORTED from a
+                    // client resetting while queued, EMFILE during a
+                    // burst) must not kill the listener — skip and keep
+                    // accepting.
+                    Err(_) => continue,
+                }
             }
-        }
-    });
+        })
+    };
     Ok(ServerHandle {
         addr,
         shutdown,
@@ -1814,17 +2377,97 @@ pub fn serve<A: ToSocketAddrs>(
     })
 }
 
+/// Outcome of one capped line read.
+enum LineRead {
+    /// A complete line (without the terminator) is in the buffer.
+    Line,
+    /// Clean EOF before any byte of a new line.
+    Eof,
+    /// The line exceeded the cap; the connection should be told and
+    /// closed (the rest of the oversized line is never read).
+    TooLarge,
+}
+
+/// Reads one `\n`-terminated line into `buf`, refusing to buffer more
+/// than `cap` bytes — the bounded replacement for `BufRead::lines()`,
+/// which would happily grow a line as large as a client cares to send.
+fn read_line_capped(
+    reader: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+    cap: usize,
+) -> std::io::Result<LineRead> {
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line // unterminated final line
+            });
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                buf.extend_from_slice(&available[..pos]);
+                reader.consume(pos + 1);
+                if buf.len() > cap {
+                    return Ok(LineRead::TooLarge);
+                }
+                if buf.last() == Some(&b'\r') {
+                    buf.pop();
+                }
+                return Ok(LineRead::Line);
+            }
+            None => {
+                let n = available.len();
+                buf.extend_from_slice(available);
+                reader.consume(n);
+                if buf.len() > cap {
+                    return Ok(LineRead::TooLarge);
+                }
+            }
+        }
+    }
+}
+
 /// Serves one client: a request line in, a framed response out, until
-/// `CLOSE` or EOF.
-fn serve_client(stream: TcpStream, registry: &Arc<Registry>) {
+/// `CLOSE`, EOF, an oversized line, or a socket timeout.
+fn serve_client(stream: TcpStream, registry: &Arc<Registry>, opts: &ServeOptions) {
+    let _ = stream.set_read_timeout(opts.read_timeout);
+    let _ = stream.set_write_timeout(opts.write_timeout);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let reader = BufReader::new(stream);
-    let mut conn = Conn::new(Arc::clone(registry));
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(stream);
+    let mut conn = Conn::new(Arc::clone(registry)).with_request_timeout(opts.request_timeout);
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        match read_line_capped(&mut reader, &mut buf, opts.max_line) {
+            Ok(LineRead::Eof) => break,
+            Ok(LineRead::Line) => {}
+            Ok(LineRead::TooLarge) => {
+                let err = Response::Error(WireError::kinded(
+                    ErrorKind::TooLarge,
+                    format!(
+                        "request line exceeds the {}-byte limit; closing",
+                        opts.max_line
+                    ),
+                ));
+                let _ = writer.write_all(err.render().as_bytes());
+                let _ = writer.flush();
+                break;
+            }
+            // Socket errors, including read timeouts (WouldBlock /
+            // TimedOut from a slow-loris client): close — a parked
+            // worker is a parked pool slot.
+            Err(_) => break,
+        }
+        let line = String::from_utf8_lossy(&buf);
         if line.trim().is_empty() || line.trim_start().starts_with('#') {
             continue;
         }

@@ -1,0 +1,961 @@
+//! Chaos harness for the overload-protection and supervision layer
+//! (ISSUE 9): drive the real TCP serving stack through write storms,
+//! slow-loris clients, oversized lines, mid-request disconnects,
+//! injected WAL deaths, mutator panics, and mid-storm shutdowns — and
+//! assert the contracts hold:
+//!
+//! - every write gets a *typed* answer (`OK`, `ERR overloaded`,
+//!   `ERR readonly`, `ERR shutdown`) within a bounded time; the worker
+//!   pool never wedges;
+//! - acked writes survive restart (acked ⇒ durable), and recovery is
+//!   differentially equal to a sequential oracle that applied exactly
+//!   the acked writes;
+//! - a dead WAL degrades the database to read-only — reads keep
+//!   serving the last published snapshot and `HEALTH` says `degraded`;
+//! - an escaped mutator panic is supervised: restart from the
+//!   published snapshot within a bounded budget, then degrade;
+//! - a deadline-bounded expensive request aborts with `ERR deadline`
+//!   and the worker returns to the pool.
+//!
+//! Paced for the single-core CI container: storms are small, stalls
+//! and timeouts generous.
+
+use indord::core::parse::parse_database;
+use indord::core::sym::Vocabulary;
+use indord_server::durable::StorageConfig;
+use indord_server::protocol::{ErrorKind, HealthState, Response};
+use indord_server::runtime::{serve_with, Conn, Registry, ServeOptions};
+use indord_storage::wal::{scan, Fault, FaultIo, FaultKind, HEADER_LEN};
+use indord_storage::{FsyncPolicy, Wal};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn tempdir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let p = std::env::temp_dir().join(format!(
+        "indord-chaos-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+/// A test client: one TCP connection speaking the line protocol, with
+/// a read timeout so a wedged server fails the test instead of hanging
+/// it.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to test server");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { stream, reader }
+    }
+
+    /// Sends one line; `Ok(None)` on transport EOF (server closed us).
+    fn try_send(&mut self, line: &str) -> std::io::Result<Option<Response>> {
+        self.stream.write_all(format!("{line}\n").as_bytes())?;
+        Response::read_from(&mut self.reader)
+    }
+
+    fn send(&mut self, line: &str) -> Response {
+        self.try_send(line)
+            .expect("transport alive")
+            .expect("server replied")
+    }
+
+    fn ok(&mut self, line: &str) {
+        match self.send(line) {
+            Response::Ok(_) => {}
+            other => panic!("`{line}` failed: {other:?}"),
+        }
+    }
+
+    fn stats(&mut self) -> indord_server::protocol::StatsReply {
+        match self.send("STATS") {
+            Response::Stats(s) => *s,
+            other => panic!("STATS failed: {other:?}"),
+        }
+    }
+}
+
+/// Waits (bounded) until the mutator has taken the queued stall job,
+/// so writes enqueued afterwards pile up behind it.
+fn await_stall_taken(db: &indord_server::runtime::Db) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while db.stats().commit_queue_depth() > 0 {
+        assert!(Instant::now() < deadline, "mutator never took the stall");
+        thread::sleep(Duration::from_millis(1));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Storm + slow-loris: the pool never wedges, every write is answered,
+// and the end state differentially equals a sequential oracle.
+// ---------------------------------------------------------------------
+
+const STORM_CLIENTS: usize = 6;
+const STORM_WRITES: usize = 20;
+
+#[test]
+fn write_storm_with_slow_loris_never_wedges_the_pool() {
+    let registry = Arc::new(Registry::new().with_max_queue(8));
+    // Seed: two labelled observer chains plus one ordered chain of
+    // fresh constants per storm client. Every storm write is then a
+    // label fact on a *known* constant — the in-place-patch hot path —
+    // so the storm measures admission and group commit, not scaffold
+    // rebuilds. Deliberately no `!=` atom: a single `!=` routes every
+    // query through the §7 extension, which is combinatorial over six
+    // parallel chains — this test storms the serving layer, it does
+    // not probe worst-case query complexity.
+    let mut seed = String::from("pred P0(ord); pred P1(ord); pred P2(ord); ");
+    for c in 0..2 {
+        for i in 0..8 {
+            seed.push_str(&format!("P{}(t{c}_{i}); ", (c + i) % 3));
+        }
+        for i in 0..7 {
+            let rel = if i % 3 == 0 { "<=" } else { "<" };
+            seed.push_str(&format!("t{c}_{i} {rel} t{c}_{};", i + 1));
+        }
+    }
+    for c in 0..STORM_CLIENTS {
+        for i in 0..STORM_WRITES - 1 {
+            seed.push_str(&format!("w{c}_{i} < w{c}_{};", i + 1));
+        }
+    }
+    {
+        let mut c = Conn::new(Arc::clone(&registry));
+        assert!(matches!(c.handle_line("OPEN lab"), Response::Ok(_)));
+        assert!(matches!(
+            c.handle_line(&format!("FACT {seed}")),
+            Response::Ok(_)
+        ));
+    }
+    // Workers are connection-granular: enough of them that the six
+    // storm clients, the loris, and the mid-storm reader all hold a
+    // slot at once.
+    let mut opts = ServeOptions::new(STORM_CLIENTS + 2);
+    opts.read_timeout = Some(Duration::from_millis(400));
+    let handle = serve_with(Arc::clone(&registry), "127.0.0.1:0", opts).unwrap();
+    let addr = handle.addr();
+
+    // The slow loris: half a request line, then silence. The read
+    // timeout must disconnect it instead of parking a worker forever.
+    let loris = TcpStream::connect(addr).unwrap();
+    (&loris).write_all(b"FACT P0(").unwrap();
+
+    // The storm: every client writes fresh ground facts, retrying
+    // typed overload rejections with backoff; anything else is a
+    // harness failure.
+    let workers: Vec<_> = (0..STORM_CLIENTS)
+        .map(|c| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                client.ok("USE lab");
+                let mut acked = Vec::new();
+                for i in 0..STORM_WRITES {
+                    let atom = format!("P{}(w{c}_{i})", c % 3);
+                    let mut attempts = 0;
+                    loop {
+                        match client.send(&format!("FACT {atom};")) {
+                            Response::Ok(_) => {
+                                acked.push(atom);
+                                break;
+                            }
+                            Response::Error(e) if e.kind == ErrorKind::Overloaded => {
+                                attempts += 1;
+                                assert!(attempts < 50, "overload never cleared: {e:?}");
+                                thread::sleep(Duration::from_millis(2 << attempts.min(4)));
+                            }
+                            other => panic!("storm write `{atom}`: unexpected {other:?}"),
+                        }
+                    }
+                }
+                acked
+            })
+        })
+        .collect();
+
+    // Meanwhile the mutator is repeatedly stalled so the commit queue
+    // genuinely fills, and a reader keeps getting answers throughout.
+    let db = registry.get("lab").unwrap();
+    let mut reader = Client::connect(addr);
+    reader.ok("USE lab");
+    for _ in 0..4 {
+        let rx = db.stall_mutator(Duration::from_millis(30)).unwrap();
+        assert!(matches!(
+            reader.send("ENTAIL exists a b. P0(a) & a < b & P1(b)"),
+            Response::Verdict(_)
+        ));
+        rx.recv().unwrap().unwrap();
+    }
+
+    let acked: Vec<String> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("storm client panicked"))
+        .collect();
+    assert_eq!(acked.len(), STORM_CLIENTS * STORM_WRITES);
+
+    // The loris was cut loose, not served: its next read is EOF.
+    loris
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut buf = [0u8; 64];
+    assert_eq!(
+        std::io::Read::read(&mut (&loris), &mut buf).unwrap_or(0),
+        0,
+        "slow loris was answered instead of disconnected"
+    );
+
+    // Differential oracle: a fresh in-memory registry that applied the
+    // seed plus exactly the acked writes.
+    let oreg = Arc::new(Registry::new());
+    let mut oc = Conn::new(Arc::clone(&oreg));
+    assert!(matches!(oc.handle_line("OPEN lab"), Response::Ok(_)));
+    assert!(matches!(
+        oc.handle_line(&format!("FACT {seed}")),
+        Response::Ok(_)
+    ));
+    for atom in &acked {
+        assert!(matches!(
+            oc.handle_line(&format!("FACT {atom};")),
+            Response::Ok(_)
+        ));
+    }
+    let mut post = Client::connect(addr);
+    post.ok("USE lab");
+    let server_stats = post.stats();
+    let oracle_stats = match oc.handle_line("STATS") {
+        Response::Stats(s) => *s,
+        other => panic!("oracle STATS: {other:?}"),
+    };
+    assert_eq!(
+        server_stats.atoms, oracle_stats.atoms,
+        "stormed state diverges from the acked-writes oracle"
+    );
+    // Sequential single-disjunct queries only: the storm added dozens
+    // of unordered labelled points, which makes a disjunctive search
+    // combinatorial (the deadline test exploits exactly that) — the
+    // differential panel must stay on the polynomial route.
+    for q in [
+        "exists a b. P0(a) & a < b & P1(b)",
+        "exists a b. P2(a) & a <= b & P0(b)",
+        "exists a b c. P0(a) & a < b & P1(b) & b < c & P2(c)",
+    ] {
+        assert_eq!(
+            post.send(&format!("ENTAIL {q}")),
+            oc.handle_line(&format!("ENTAIL {q}")),
+            "panel `{q}` diverges from the acked-writes oracle"
+        );
+    }
+    // Sampled ground-atom audit: acked facts are visible.
+    for atom in acked.iter().step_by(7) {
+        assert!(
+            matches!(
+                post.send(&format!("ENTAIL {atom}")),
+                Response::Verdict(true)
+            ),
+            "acked write `{atom}` is not entailed post-storm"
+        );
+    }
+    assert!(
+        matches!(
+            post.send("HEALTH"),
+            Response::Health {
+                state: HealthState::Ok,
+                ..
+            }
+        ),
+        "healthy storm left the database unhealthy"
+    );
+    drop(handle);
+}
+
+// ---------------------------------------------------------------------
+// Typed shedding: a tiny queue under a stalled mutator answers
+// `ERR overloaded` immediately, and the rejected write succeeds on
+// retry once the queue drains.
+// ---------------------------------------------------------------------
+
+#[test]
+fn tiny_queue_sheds_with_typed_overload_and_retry_succeeds() {
+    let registry = Arc::new(Registry::new().with_max_queue(2));
+    {
+        let mut c = Conn::new(Arc::clone(&registry));
+        assert!(matches!(c.handle_line("OPEN lab"), Response::Ok(_)));
+        assert!(matches!(
+            c.handle_line("FACT pred P0(ord); P0(c0);"),
+            Response::Ok(_)
+        ));
+    }
+    let handle = serve_with(Arc::clone(&registry), "127.0.0.1:0", ServeOptions::new(8)).unwrap();
+    let addr = handle.addr();
+
+    let db = registry.get("lab").unwrap();
+    let stall = db.stall_mutator(Duration::from_millis(500)).unwrap();
+    await_stall_taken(&db);
+
+    let barrier = Arc::new(std::sync::Barrier::new(STORM_CLIENTS));
+    let workers: Vec<_> = (0..STORM_CLIENTS)
+        .map(|i| {
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                client.ok("USE lab");
+                barrier.wait();
+                let started = Instant::now();
+                let first = client.send(&format!("FACT P0(z{i});"));
+                match &first {
+                    Response::Ok(_) => (false, started.elapsed()),
+                    Response::Error(e) if e.kind == ErrorKind::Overloaded => {
+                        // A typed rejection is immediate — it must not
+                        // wait out the stall.
+                        let elapsed = started.elapsed();
+                        assert!(
+                            e.message.contains("retry with backoff"),
+                            "overload error lost its retry hint: {e:?}"
+                        );
+                        // Retry until the queue drains: the write must
+                        // eventually land.
+                        let deadline = Instant::now() + Duration::from_secs(30);
+                        loop {
+                            match client.send(&format!("FACT P0(z{i});")) {
+                                Response::Ok(_) => break,
+                                Response::Error(e2) if e2.kind == ErrorKind::Overloaded => {
+                                    assert!(Instant::now() < deadline, "retry never landed");
+                                    thread::sleep(Duration::from_millis(50));
+                                }
+                                other => panic!("retry: unexpected {other:?}"),
+                            }
+                        }
+                        (true, elapsed)
+                    }
+                    other => panic!("storm write: unexpected {other:?}"),
+                }
+            })
+        })
+        .collect();
+    let outcomes: Vec<(bool, Duration)> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client panicked"))
+        .collect();
+    stall.recv().unwrap().unwrap();
+
+    let shed = outcomes.iter().filter(|(shed, _)| *shed).count();
+    assert!(
+        shed >= 1,
+        "six writers against a stalled two-slot queue shed nothing"
+    );
+    assert!(
+        outcomes.len() - shed >= 1,
+        "every writer was shed; the queue admitted nothing"
+    );
+    for (shed, elapsed) in &outcomes {
+        if *shed {
+            assert!(
+                *elapsed < Duration::from_millis(400),
+                "typed rejection took {elapsed:?}; it waited out the stall"
+            );
+        }
+    }
+    let mut post = Client::connect(addr);
+    post.ok("USE lab");
+    let stats = post.stats();
+    assert!(stats.writes_shed >= shed as u64, "writes_shed under-counts");
+    // Every write eventually landed: all six ground atoms visible.
+    for i in 0..STORM_CLIENTS {
+        assert!(
+            matches!(
+                post.send(&format!("ENTAIL P0(z{i})")),
+                Response::Verdict(true)
+            ),
+            "retried write z{i} never landed"
+        );
+    }
+    drop(handle);
+}
+
+// ---------------------------------------------------------------------
+// Deadlines: an expensive COUNTERMODEL under `DEADLINE 10` aborts with
+// the typed error, promptly, and the worker goes back to serving.
+// ---------------------------------------------------------------------
+
+/// The deadline workload: unordered labelled points (no order facts at
+/// all), so the Thm 5.3 countermodel search faces a genuinely wide
+/// frontier of linearizations.
+fn unordered_seed(preds: usize, points: usize) -> String {
+    let mut s = String::new();
+    for p in 0..preds {
+        s.push_str(&format!("pred Q{p}(ord); "));
+    }
+    for i in 0..points {
+        s.push_str(&format!("Q{}(u{i}); ", i % preds));
+    }
+    s
+}
+
+/// A disjunction whose two-sided head (`Q0 <= Q1` or `Q1 < Q0`) is
+/// *entailed* whenever both predicates are inhabited, so a
+/// countermodel search must exhaust the whole minimal-model frontier
+/// before answering `CERTAIN`; the extra chains widen that frontier.
+/// Unbounded, this takes ~14 s on the CI container (see the ignored
+/// probe below) — five orders of magnitude past a 10 ms deadline.
+fn hard_query(preds: usize) -> String {
+    let mut parts = vec![
+        "(exists a b. Q0(a) & a <= b & Q1(b))".to_string(),
+        "(exists a b. Q1(a) & a < b & Q0(b))".to_string(),
+    ];
+    for p in 2..preds.saturating_sub(2) {
+        parts.push(format!(
+            "(exists a b c. Q{p}(a) & a < b & Q{}(b) & b < c & Q{}(c))",
+            p + 1,
+            p + 2
+        ));
+    }
+    parts.join(" | ")
+}
+
+#[test]
+fn deadline_aborts_expensive_countermodel_and_frees_the_worker() {
+    let registry = Arc::new(Registry::new());
+    let handle = serve_with(Arc::clone(&registry), "127.0.0.1:0", ServeOptions::new(2)).unwrap();
+    let addr = handle.addr();
+
+    let mut c = Client::connect(addr);
+    c.ok("OPEN lab");
+    c.ok(&format!("FACT {}", unordered_seed(6, 12)));
+    let started = Instant::now();
+    match c.send(&format!("DEADLINE 10 COUNTERMODEL {}", hard_query(6))) {
+        Response::Error(e) => {
+            assert_eq!(e.kind, ErrorKind::Deadline, "{e:?}");
+            assert!(
+                e.message.contains("deadline"),
+                "deadline error lost its message: {e:?}"
+            );
+        }
+        other => panic!("expected ERR deadline, got {other:?}"),
+    }
+    // Polled every 64 popped states, the overshoot is a handful of
+    // successor expansions — far under a second even on one core.
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "deadline abort took {:?}",
+        started.elapsed()
+    );
+    // The worker is back in the pool: a fresh connection is served
+    // promptly, and the abort was counted.
+    let t = Instant::now();
+    let mut fresh = Client::connect(addr);
+    fresh.ok("USE lab");
+    let stats = fresh.stats();
+    assert!(
+        t.elapsed() < Duration::from_secs(5),
+        "follow-up request took {:?}; the pool is wedged",
+        t.elapsed()
+    );
+    assert!(stats.deadline_aborts >= 1, "deadline abort not counted");
+    // The aborted connection itself also keeps working.
+    assert!(matches!(c.send("ENTAIL Q0(u0)"), Response::Verdict(true)));
+    drop(handle);
+}
+
+/// Development probe for the deadline workload's unbounded cost. Run
+/// with `--ignored --nocapture` when retuning.
+#[test]
+#[ignore]
+fn probe_hard_query_cost() {
+    for (preds, points) in [(6, 12), (9, 15)] {
+        let registry = Arc::new(Registry::new());
+        let mut c = Conn::new(Arc::clone(&registry));
+        c.handle_line("OPEN lab");
+        assert!(matches!(
+            c.handle_line(&format!("FACT {}", unordered_seed(preds, points))),
+            Response::Ok(_)
+        ));
+        let q = hard_query(preds);
+        let t = Instant::now();
+        let r = c.handle_line(&format!("COUNTERMODEL {q}"));
+        eprintln!(
+            "preds={preds} points={points}: {:?} -> {:?}",
+            t.elapsed(),
+            match r {
+                Response::Verdict(v) => format!("verdict {v}"),
+                Response::Countermodel(_) => "countermodel".to_string(),
+                other => format!("{other:?}"),
+            }
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Malformed clients: oversized lines and mid-request disconnects.
+// ---------------------------------------------------------------------
+
+#[test]
+fn oversized_line_answers_toolarge_and_closes() {
+    let registry = Arc::new(Registry::new());
+    let mut opts = ServeOptions::new(2);
+    opts.max_line = 128;
+    let handle = serve_with(Arc::clone(&registry), "127.0.0.1:0", opts).unwrap();
+    let addr = handle.addr();
+
+    let mut c = Client::connect(addr);
+    c.ok("OPEN lab");
+    let huge = format!("FACT {};", "x".repeat(4096));
+    match c.try_send(&huge).expect("transport alive") {
+        Some(Response::Error(e)) => {
+            assert_eq!(e.kind, ErrorKind::TooLarge, "{e:?}");
+            assert!(e.message.contains("128"), "cap missing from error: {e:?}");
+        }
+        other => panic!("expected ERR toolarge, got {other:?}"),
+    }
+    // The connection is closed after the rejection…
+    assert!(
+        matches!(c.try_send("STATS"), Ok(None) | Err(_)),
+        "server kept serving an oversized-line client"
+    );
+    // …and the pool still serves everyone else.
+    let mut fresh = Client::connect(addr);
+    fresh.ok("USE lab");
+    drop(handle);
+}
+
+#[test]
+fn mid_request_disconnects_do_not_wedge_the_pool() {
+    let registry = Arc::new(Registry::new());
+    let mut opts = ServeOptions::new(2);
+    opts.read_timeout = Some(Duration::from_millis(400));
+    // The wave below outpaces the workers' slot release; this test is
+    // about wedging, not the admission cap, so keep the cap out of the
+    // way (the cap has its own test).
+    opts.max_conns = 64;
+    let handle = serve_with(Arc::clone(&registry), "127.0.0.1:0", opts).unwrap();
+    let addr = handle.addr();
+
+    // A wave of clients that vanish mid-request: partial line, full
+    // line with the reply never read, or nothing at all.
+    for i in 0..9 {
+        let s = TcpStream::connect(addr).unwrap();
+        match i % 3 {
+            0 => (&s).write_all(b"FACT pred P9(or").unwrap(),
+            1 => (&s).write_all(b"OPEN scratch\n").unwrap(),
+            _ => {}
+        }
+        drop(s); // mid-request disconnect
+    }
+    // Both workers survive the wave and serve a real client promptly.
+    let t = Instant::now();
+    let mut c = Client::connect(addr);
+    c.ok("OPEN lab");
+    c.ok("FACT pred P0(ord); P0(c0);");
+    assert!(matches!(c.send("ENTAIL P0(c0)"), Response::Verdict(true)));
+    assert!(
+        t.elapsed() < Duration::from_secs(10),
+        "pool took {:?} to recover from disconnect wave",
+        t.elapsed()
+    );
+    drop(handle);
+}
+
+// ---------------------------------------------------------------------
+// Connection cap: beyond it, an immediate typed `ERR busy` — no
+// silent queueing — and the slot frees once a client leaves.
+// ---------------------------------------------------------------------
+
+#[test]
+fn connection_cap_answers_busy_and_recovers() {
+    let registry = Arc::new(Registry::new());
+    let mut opts = ServeOptions::new(1);
+    opts.max_conns = 1;
+    let handle = serve_with(Arc::clone(&registry), "127.0.0.1:0", opts).unwrap();
+    let addr = handle.addr();
+
+    let mut first = Client::connect(addr);
+    first.ok("OPEN lab");
+
+    // Over the cap: the accept loop answers ERR busy and closes.
+    let mut busy = Client::connect(addr);
+    match Response::read_from(&mut busy.reader).expect("read busy reply") {
+        Some(Response::Error(e)) => {
+            assert_eq!(e.kind, ErrorKind::Busy, "{e:?}");
+            assert!(e.message.contains("connection limit"), "{e:?}");
+        }
+        other => panic!("expected ERR busy, got {other:?}"),
+    }
+    assert_eq!(registry.conns_rejected(), 1);
+
+    // Release the slot; the next client is admitted and sees the
+    // rejection in STATS.
+    assert!(matches!(first.send("CLOSE"), Response::Bye));
+    drop(first);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let stats = loop {
+        let mut c = Client::connect(addr);
+        match c.try_send("USE lab").expect("transport alive") {
+            Some(Response::Ok(_)) => break c.stats(),
+            // Still over the cap (the worker hasn't released the old
+            // slot yet) — the reply is ERR busy, then EOF.
+            Some(Response::Error(e)) if e.kind == ErrorKind::Busy => {
+                assert!(Instant::now() < deadline, "slot never freed");
+                thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    };
+    assert!(stats.conns_rejected >= 1, "rejection missing from STATS");
+    drop(handle);
+}
+
+// ---------------------------------------------------------------------
+// WAL death mid-storm: typed read-only degradation, reads keep
+// serving, and a restart from the surviving bytes recovers every
+// acked write.
+// ---------------------------------------------------------------------
+
+#[test]
+fn wal_death_mid_storm_degrades_to_read_only_and_restart_recovers_acked() {
+    const SEED: &str = "pred P0(ord); pred P1(ord); pred P2(ord); P0(c0); P1(c1); c0 < c1;";
+    const CLIENTS: usize = 4;
+    const WRITES: usize = 8;
+
+    let root = tempdir("wal-death");
+    let cfg = StorageConfig {
+        root: root.clone(),
+        fsync: FsyncPolicy::Group,
+        snapshot_every: 10_000,
+    };
+    let registry = Arc::new(Registry::with_storage(cfg).unwrap());
+    let mut voc = Vocabulary::new();
+    let seed_db = parse_database(&mut voc, SEED).unwrap();
+    // Every storm write is `FACT P0(sC_I);` with single-digit C and I:
+    // a fixed 14-byte payload, so the fault lands exactly on a frame
+    // boundary — 4 whole frames persist, the 5th append dies.
+    let frame = (HEADER_LEN + "FACT P0(s0_0);".len()) as u64;
+    let (io, persisted) = FaultIo::new(Fault {
+        at_byte: 4 * frame,
+        kind: FaultKind::Error,
+    });
+    let wal = Wal::new(Box::new(io), FsyncPolicy::Group, 1);
+    let db = registry
+        .install_durable_with_wal("lab", voc, seed_db, wal)
+        .unwrap();
+
+    let handle = serve_with(Arc::clone(&registry), "127.0.0.1:0", ServeOptions::new(4)).unwrap();
+    let addr = handle.addr();
+
+    // The storm: every write is answered OK (acked ⇒ its frame
+    // persisted before the fault) or typed read-only.
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                client.ok("USE lab");
+                let mut acked = Vec::new();
+                let mut rejected = Vec::new();
+                for i in 0..WRITES {
+                    let atom = format!("P0(s{c}_{i})");
+                    match client.send(&format!("FACT {atom};")) {
+                        Response::Ok(_) => acked.push(atom),
+                        Response::Error(e) => {
+                            assert_eq!(e.kind, ErrorKind::ReadOnly, "`{atom}`: {e:?}");
+                            rejected.push(atom);
+                        }
+                        other => panic!("`{atom}`: unexpected {other:?}"),
+                    }
+                }
+                (acked, rejected)
+            })
+        })
+        .collect();
+    let mut acked = Vec::new();
+    let mut rejected = Vec::new();
+    for w in workers {
+        let (a, r) = w.join().expect("storm client panicked");
+        acked.extend(a);
+        rejected.extend(r);
+    }
+    assert_eq!(acked.len() + rejected.len(), CLIENTS * WRITES);
+    assert_eq!(acked.len(), 4, "exactly the four persisted frames ack");
+
+    // Degraded, not down: HEALTH says so, reads keep serving the last
+    // published snapshot, writes and FLUSH get the typed rejection.
+    let mut post = Client::connect(addr);
+    post.ok("USE lab");
+    match post.send("HEALTH") {
+        Response::Health { state, detail } => {
+            assert_eq!(state, HealthState::Degraded);
+            assert!(
+                detail.contains("write-ahead log append failed"),
+                "degraded detail lost its cause: {detail}"
+            );
+        }
+        other => panic!("HEALTH: unexpected {other:?}"),
+    }
+    assert!(matches!(
+        post.send("ENTAIL P0(c0)"),
+        Response::Verdict(true)
+    ));
+    for atom in &acked {
+        assert!(
+            matches!(
+                post.send(&format!("ENTAIL {atom}")),
+                Response::Verdict(true)
+            ),
+            "acked `{atom}` invisible while degraded"
+        );
+    }
+    for line in ["FACT P0(c9);", "FLUSH"] {
+        match post.send(line) {
+            Response::Error(e) => assert_eq!(e.kind, ErrorKind::ReadOnly, "`{line}`: {e:?}"),
+            other => panic!("`{line}`: unexpected {other:?}"),
+        }
+    }
+    let stats = post.stats();
+    assert!(stats.degraded_entries >= 1, "degraded entry not counted");
+
+    // Restart from the surviving bytes: the directory still has the
+    // seed snapshot; swap in what the dead WAL actually persisted.
+    drop(handle);
+    registry.shutdown_dbs();
+    drop(db);
+    drop(registry);
+    let bytes = persisted.lock().unwrap().clone();
+    let s = scan(&bytes);
+    assert!(s.torn.is_none(), "whole frames only below the fault");
+    assert_eq!(s.records.len(), acked.len());
+    std::fs::write(root.join("lab").join("wal.log"), &bytes).unwrap();
+    let cfg = StorageConfig {
+        root: root.clone(),
+        fsync: FsyncPolicy::Group,
+        snapshot_every: 10_000,
+    };
+    let recovered = Arc::new(Registry::with_storage(cfg).unwrap());
+    let mut rc = Conn::new(Arc::clone(&recovered));
+    assert!(matches!(rc.handle_line("USE lab"), Response::Ok(_)));
+
+    // Differential oracle: seed plus exactly the acked writes.
+    let oreg = Arc::new(Registry::new());
+    let mut oc = Conn::new(Arc::clone(&oreg));
+    assert!(matches!(oc.handle_line("OPEN lab"), Response::Ok(_)));
+    assert!(matches!(
+        oc.handle_line(&format!("FACT {SEED}")),
+        Response::Ok(_)
+    ));
+    for atom in &acked {
+        assert!(matches!(
+            oc.handle_line(&format!("FACT {atom};")),
+            Response::Ok(_)
+        ));
+    }
+    let rsnap = recovered.get("lab").unwrap().read_snapshot().unwrap();
+    let osnap = oreg.get("lab").unwrap().read_snapshot().unwrap();
+    assert_eq!(
+        rsnap.session().len(),
+        osnap.session().len(),
+        "recovered atom count diverges from the acked oracle"
+    );
+    for atom in acked.iter().chain(rejected.iter()) {
+        assert_eq!(
+            rc.handle_line(&format!("ENTAIL {atom}")),
+            oc.handle_line(&format!("ENTAIL {atom}")),
+            "recovered `{atom}` diverges from the acked oracle"
+        );
+    }
+    drop(recovered);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Supervision: an escaped mutator panic restarts from the published
+// snapshot (ids continuous, acked state intact) until the budget is
+// spent, then the database degrades instead of flapping.
+// ---------------------------------------------------------------------
+
+#[test]
+fn escaped_mutator_panic_restarts_within_budget_then_degrades() {
+    let registry = Arc::new(Registry::new());
+    let mut c = Conn::new(Arc::clone(&registry));
+    assert!(matches!(c.handle_line("OPEN lab"), Response::Ok(_)));
+    assert!(matches!(
+        c.handle_line("FACT pred P0(ord); P0(a0);"),
+        Response::Ok(_)
+    ));
+    let db = registry.get("lab").unwrap();
+
+    // Three panics: each one is supervised — the write path comes back
+    // and acked state survives.
+    for round in 0..3u64 {
+        let rx = db.inject_mutator_panic(true).unwrap();
+        assert!(
+            rx.recv().is_err(),
+            "the panicked group must drop its reply channels"
+        );
+        match c.handle_line(&format!("FACT P0(b{round});")) {
+            Response::Ok(_) => {}
+            other => panic!("post-restart write {round}: unexpected {other:?}"),
+        }
+        assert_eq!(db.stats().mutator_restarts(), round + 1);
+        let (state, _) = db.health();
+        assert_eq!(state, HealthState::Ok, "round {round}");
+    }
+    // Everything acked across the restarts is still visible.
+    for atom in ["P0(a0)", "P0(b0)", "P0(b1)", "P0(b2)"] {
+        assert!(
+            matches!(
+                c.handle_line(&format!("ENTAIL {atom}")),
+                Response::Verdict(true)
+            ),
+            "`{atom}` lost across supervised restarts"
+        );
+    }
+
+    // The fourth panic exhausts the budget: degraded, read-only, and
+    // stable — no more restarts, no more panics.
+    let rx = db.inject_mutator_panic(true).unwrap();
+    assert!(rx.recv().is_err());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (state, detail) = db.health();
+        if state == HealthState::Degraded {
+            assert!(
+                detail.contains("restart budget exhausted"),
+                "degraded detail lost its cause: {detail}"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "budget exhaustion never degraded"
+        );
+        thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(db.stats().mutator_restarts(), 4);
+    assert_eq!(db.stats().degraded_entries(), 1);
+    match c.handle_line("FACT P0(b9);") {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::ReadOnly, "{e:?}"),
+        other => panic!("degraded write: unexpected {other:?}"),
+    }
+    // Reads still serve, and a second injection is refused (the
+    // degraded loop rejects it before it can fire), so the database
+    // cannot be re-panicked.
+    assert!(matches!(
+        c.handle_line("ENTAIL P0(b2)"),
+        Response::Verdict(true)
+    ));
+    let rx = db.inject_mutator_panic(true).unwrap();
+    match rx.recv().unwrap() {
+        Err(e) => assert_eq!(e.kind, ErrorKind::ReadOnly, "{e:?}"),
+        other => panic!("degraded injection: unexpected {other:?}"),
+    }
+    assert_eq!(db.stats().mutator_restarts(), 4, "degraded db flapped");
+}
+
+// ---------------------------------------------------------------------
+// Shutdown during a storm: queued-but-unlogged writes get a typed
+// `ERR shutdown` (no hang, no silent commit); everything acked before
+// the shutdown is on disk after restart.
+// ---------------------------------------------------------------------
+
+#[test]
+fn shutdown_mid_storm_rejects_unlogged_writes_and_preserves_acked() {
+    const CLIENTS: usize = 6;
+
+    let root = tempdir("shutdown-storm");
+    let cfg = StorageConfig {
+        root: root.clone(),
+        fsync: FsyncPolicy::Group,
+        snapshot_every: 10_000,
+    };
+    let registry = Arc::new(Registry::with_storage(cfg).unwrap());
+    let mut handle = serve_with(
+        Arc::clone(&registry),
+        "127.0.0.1:0",
+        ServeOptions::new(CLIENTS),
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // An acked write before the storm: it must survive the shutdown.
+    let mut admin = Client::connect(addr);
+    admin.ok("OPEN lab");
+    admin.ok("FACT pred P0(ord); P0(base);");
+
+    // Stall the mutator so the storm's writes are still queued —
+    // unlogged — when the shutdown lands.
+    let db = registry.get("lab").unwrap();
+    let stall = db.stall_mutator(Duration::from_millis(600)).unwrap();
+    await_stall_taken(&db);
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                client.ok("USE lab");
+                client.send(&format!("FACT P0(g{i});"))
+            })
+        })
+        .collect();
+    // Let the writes reach the queue, then shut down mid-stall. The
+    // shutdown must not hang behind the queued writes, and each of
+    // them must be answered with the typed rejection.
+    thread::sleep(Duration::from_millis(150));
+    let t = Instant::now();
+    handle.shutdown();
+    assert!(
+        t.elapsed() < Duration::from_secs(30),
+        "shutdown hung behind queued writes: {:?}",
+        t.elapsed()
+    );
+    let _ = stall.recv();
+    for w in workers {
+        match w.join().expect("storm client panicked") {
+            Response::Error(e) => {
+                assert_eq!(e.kind, ErrorKind::Shutdown, "{e:?}");
+                assert!(
+                    e.message.contains("logged"),
+                    "shutdown rejection lost its contract: {e:?}"
+                );
+            }
+            other => panic!("mid-shutdown write: unexpected {other:?}"),
+        }
+    }
+    drop(admin);
+    drop(db);
+    drop(handle);
+    drop(registry);
+
+    // Restart: the pre-storm ack is there, none of the rejected writes
+    // leaked in.
+    let cfg = StorageConfig {
+        root: root.clone(),
+        fsync: FsyncPolicy::Group,
+        snapshot_every: 10_000,
+    };
+    let recovered = Arc::new(Registry::with_storage(cfg).unwrap());
+    let mut rc = Conn::new(Arc::clone(&recovered));
+    assert!(matches!(rc.handle_line("USE lab"), Response::Ok(_)));
+    assert!(matches!(
+        rc.handle_line("ENTAIL P0(base)"),
+        Response::Verdict(true)
+    ));
+    let snap = recovered.get("lab").unwrap().read_snapshot().unwrap();
+    assert_eq!(
+        snap.session().len(),
+        1,
+        "a rejected write leaked into the recovered state"
+    );
+    drop(recovered);
+    std::fs::remove_dir_all(&root).unwrap();
+}

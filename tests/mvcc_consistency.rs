@@ -376,11 +376,11 @@ proptest! {
         // Stats audit on the grouped registry: exact fragment and atom
         // accounting under whatever grouping happened.
         let sb = match cb.handle_line("STATS") {
-            Response::Stats(s) => s,
+            Response::Stats(s) => *s,
             other => panic!("STATS: unexpected {other:?}"),
         };
         let sa = match ca.handle_line("STATS") {
-            Response::Stats(s) => s,
+            Response::Stats(s) => *s,
             other => panic!("STATS: unexpected {other:?}"),
         };
         prop_assert_eq!(sa.atoms, sb.atoms, "final atom counts differ");
@@ -399,4 +399,92 @@ proptest! {
         prop_assert!(sb.snapshots_published >= 1);
         prop_assert_eq!(sb.commit_queue_depth, 0, "queue must drain");
     }
+}
+
+/// A panic inside ONE fragment's apply must not poison its groupmates:
+/// the faulty job gets the typed internal error, the writes queued
+/// around it in the *same* group commit ack normally, and the
+/// published snapshot contains exactly the groupmates — unpoisoned,
+/// readable, and consistent with the sequential oracle. (The escaped
+/// variant — a panic outside the per-job guard — is the supervisor's
+/// business and lives in the chaos suite.)
+#[test]
+fn contained_apply_panic_spares_groupmates() {
+    let registry = Arc::new(Registry::new());
+    let mut c = seeded_conn(&registry);
+    let db = registry.get("lab").unwrap();
+
+    // Stall the mutator, then enqueue W1 / boom / W2 from this one
+    // thread so they drain as a single deterministic group.
+    let stall = db.stall_mutator(Duration::from_millis(200)).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while db.stats().commit_queue_depth() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "mutator never took the stall"
+        );
+        thread::sleep(Duration::from_millis(1));
+    }
+    let rx1 = db.enqueue_fragment("P2(c0);").unwrap();
+    let boom = db.inject_mutator_panic(false).unwrap();
+    let rx2 = db.enqueue_fragment("P0(c5);").unwrap();
+    stall.recv().unwrap().unwrap();
+
+    // Groupmates ack; the faulty job reports the typed internal error.
+    match rx1.recv().unwrap() {
+        Ok(Response::Ok(msg)) => assert!(msg.contains("inserted 1 atoms"), "{msg}"),
+        other => panic!("W1: unexpected {other:?}"),
+    }
+    match boom.recv().unwrap() {
+        Err(e) => assert!(
+            e.message
+                .contains("internal error while applying the write"),
+            "boom: {e:?}"
+        ),
+        other => panic!("boom: unexpected {other:?}"),
+    }
+    match rx2.recv().unwrap() {
+        Ok(Response::Ok(msg)) => assert!(msg.contains("inserted 1 atoms"), "{msg}"),
+        other => panic!("W2: unexpected {other:?}"),
+    }
+
+    // No restart, no health change: the per-job guard contained it.
+    assert_eq!(db.stats().mutator_restarts(), 0);
+    let (state, _) = db.health();
+    assert_eq!(state, indord_server::protocol::HealthState::Ok);
+
+    // The published snapshot is the seed plus exactly the groupmates —
+    // same text, same panel — per the sequential oracle.
+    let oreg = Arc::new(Registry::new());
+    let mut oc = seeded_conn(&oreg);
+    for f in ["P2(c0);", "P0(c5);"] {
+        assert!(matches!(
+            oc.handle_line(&format!("FACT {f}")),
+            Response::Ok(_)
+        ));
+    }
+    let snap = db.read_snapshot().unwrap();
+    let osnap = oreg.get("lab").unwrap().read_snapshot().unwrap();
+    assert_eq!(snap.session().len(), osnap.session().len());
+    assert_eq!(
+        snap.session()
+            .database()
+            .display(snap.vocabulary())
+            .to_string(),
+        osnap
+            .session()
+            .database()
+            .display(osnap.vocabulary())
+            .to_string(),
+        "groupmates' snapshot diverges from the oracle"
+    );
+    for q in PANEL {
+        assert_eq!(
+            c.handle_line(&format!("ENTAIL {q}")),
+            oc.handle_line(&format!("ENTAIL {q}")),
+            "panel `{q}` diverges after a contained panic"
+        );
+    }
+    // And the write path is still alive.
+    assert!(matches!(c.handle_line("FACT P1(c3);"), Response::Ok(_)));
 }

@@ -268,7 +268,7 @@ fn tcp_served_session_agrees_with_engine_oracle_across_writes() {
 
     // STATS round-trips the wire representation (protocol sanity at the
     // integration level).
-    let rendered = Response::Stats(stats).render();
+    let rendered = Response::Stats(stats.clone()).render();
     let mut r = BufReader::new(rendered.as_bytes());
     assert_eq!(
         Response::read_from(&mut r).unwrap().unwrap(),
