@@ -929,11 +929,90 @@ fn report_overload(_c: &mut Criterion) {
     }
 }
 
+/// The tracing-overhead leg: the same prepared serving workload through
+/// the wire `Conn` with the recorder disabled (the default) vs enabled
+/// on every request (`--slow-ms` with an unreachable threshold, so the
+/// slow log never fires and the delta is the recorder itself — clock
+/// reads per phase on reads, plus the phase-slot round trip through the
+/// mutator on writes). Sequential legs on purpose: the CI box is
+/// single-core, so concurrency here would measure the scheduler.
+/// Target: ≤ 5% read-path overhead.
+fn report_trace_overhead(_c: &mut Criterion) {
+    use indord_server::protocol::Response;
+    use std::time::Duration;
+    let (voc, db, _queries) = setup(1024);
+    // No smoke-mode shrink here, on purpose: the whole group costs
+    // tens of milliseconds, and CI's bench gate compares the smoke
+    // run's recorded values against the committed full-run baseline —
+    // they must be measured identically or the gate compares noise.
+    let iters = 60;
+    let rounds = 12;
+    const LEGS: [(&str, Option<u64>); 2] = [("disabled", None), ("enabled", Some(u64::MAX))];
+    let mut conns: Vec<_> = LEGS
+        .iter()
+        .map(|&(_, slow)| serving_conn(&voc, &db).with_slow_ms(slow))
+        .collect();
+    // The overhead under measure is ~100–200ns on a ~5µs request, well
+    // inside this box's frequency drift over a single leg's runtime —
+    // so the legs interleave across rounds and each keeps its best
+    // median: drift hits both legs instead of whichever ran last.
+    let mut read_means = [Duration::MAX; 2];
+    let mut write_means = [Duration::MAX; 2];
+    // Both legs must write the *identical* fact stream: the inserted
+    // predicates/objects shape the scaffold and search space, and a
+    // divergent pair of databases measures workload drift, not tracing.
+    let mut steps = [0usize; 2];
+    for _ in 0..rounds {
+        for (i, conn) in conns.iter_mut().enumerate() {
+            let read = workloads::time_median(iters, || {
+                let r = criterion::black_box(conn.handle_line("ENTAIL disj"));
+                assert!(matches!(r, Response::Verdict(_)), "read failed: {r:?}");
+            });
+            read_means[i] = read_means[i].min(read);
+            let step = &mut steps[i];
+            let write = workloads::time_median(iters, || {
+                *step += 1;
+                let r =
+                    conn.handle_line(&format!("FACT P{}(t0_{});", *step % 3, (*step * 7) % 512));
+                assert!(matches!(r, Response::Ok(_)), "write failed: {r:?}");
+            });
+            write_means[i] = write_means[i].min(write);
+        }
+    }
+    for (i, (leg, _)) in LEGS.iter().enumerate() {
+        criterion::record(
+            &format!("prepared/serving-trace/read-mean/{leg}"),
+            read_means[i].as_nanos() as f64,
+        );
+        criterion::record(
+            &format!("prepared/serving-trace/write-mean/{leg}"),
+            write_means[i].as_nanos() as f64,
+        );
+    }
+    let read_ratio = read_means[1].as_secs_f64() / read_means[0].as_secs_f64().max(1e-12);
+    let write_ratio = write_means[1].as_secs_f64() / write_means[0].as_secs_f64().max(1e-12);
+    // Recorded as percent, not a ratio: the JSON dump keeps one
+    // decimal, which would flatten 1.044x to 1.0.
+    criterion::record(
+        "prepared/serving-trace/read-overhead-pct",
+        (read_ratio - 1.0) * 100.0,
+    );
+    println!(
+        "prepared/trace-overhead       read mean: untraced {:>10?}  traced {:>10?} = {read_ratio:.3}x; write mean: untraced {:>10?}  traced {:>10?} = {write_ratio:.3}x",
+        read_means[0], read_means[1], write_means[0], write_means[1]
+    );
+    println!(
+        "prepared/trace-summary        tracing overhead on the read path: {:.1}% — target <= 5%: {}",
+        (read_ratio - 1.0) * 100.0,
+        if read_ratio <= 1.05 { "MET" } else { "NOT MET" }
+    );
+}
+
 criterion_group! {
     name = benches;
     config = config();
     targets = bench_repeated_queries, bench_ne_workloads, bench_read_write, bench_eviction,
         bench_serving, bench_query_mix_batch, report_speedup, report_mvcc, report_durable,
-        report_overload
+        report_overload, report_trace_overhead
 }
 criterion_main!(benches);

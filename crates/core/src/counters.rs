@@ -1,0 +1,122 @@
+//! Thread-local engine counters for per-request observability.
+//!
+//! The serving layer wants to answer "what did *this* request cost?" —
+//! states expanded in the Theorem 5.3 search, pair-table hits and
+//! misses, scaffold work — without threading a context object through
+//! every engine signature or paying for synchronization on the hot
+//! path. Each request is served start-to-finish on one worker thread,
+//! so plain thread-local [`Cell`]s give exact per-request deltas: the
+//! dispatcher snapshots the counters before evaluation and subtracts
+//! after.
+//!
+//! The increments sit inside the state-interning and pair-acquisition
+//! loops, the innermost hot paths of the disjunctive engine. A
+//! thread-local `Cell::set(get + 1)` is a couple of instructions with
+//! no atomics and no branches on shared state, which is what keeps the
+//! serving-path tracing overhead within its ≤5% budget (measured by
+//! the `prepared/serving-trace` bench leg).
+//!
+//! The counters are monotone within a thread; only deltas between two
+//! [`snapshot`] calls are meaningful.
+
+use std::cell::Cell;
+
+thread_local! {
+    static STATES_EXPANDED: Cell<u64> = const { Cell::new(0) };
+    static PAIR_HITS: Cell<u64> = const { Cell::new(0) };
+    static PAIR_MISSES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A point-in-time reading of this thread's engine counters.
+///
+/// Subtract two snapshots (via [`EngineCounters::delta_since`]) to get
+/// the work attributable to the code that ran between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineCounters {
+    /// States interned by the Theorem 5.3 search (fresh states only;
+    /// deduplicated revisits don't count).
+    pub states_expanded: u64,
+    /// Pair-table acquisitions answered from the memo table.
+    pub pair_hits: u64,
+    /// Pair-table acquisitions that had to run the sub-scaffold
+    /// fixpoint computation (including recomputes after eviction).
+    pub pair_misses: u64,
+}
+
+impl EngineCounters {
+    /// The counter movement since `earlier` (saturating, so a snapshot
+    /// pair taken out of order reads zero rather than wrapping).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &EngineCounters) -> EngineCounters {
+        EngineCounters {
+            states_expanded: self.states_expanded.saturating_sub(earlier.states_expanded),
+            pair_hits: self.pair_hits.saturating_sub(earlier.pair_hits),
+            pair_misses: self.pair_misses.saturating_sub(earlier.pair_misses),
+        }
+    }
+}
+
+/// Reads this thread's counters.
+#[must_use]
+pub fn snapshot() -> EngineCounters {
+    EngineCounters {
+        states_expanded: STATES_EXPANDED.with(Cell::get),
+        pair_hits: PAIR_HITS.with(Cell::get),
+        pair_misses: PAIR_MISSES.with(Cell::get),
+    }
+}
+
+/// Records one state interned by the disjunctive search.
+#[inline]
+pub fn count_state_expanded() {
+    STATES_EXPANDED.with(|c| c.set(c.get() + 1));
+}
+
+/// Records a pair-table acquisition served from the memo table.
+#[inline]
+pub fn count_pair_hit() {
+    PAIR_HITS.with(|c| c.set(c.get() + 1));
+}
+
+/// Records a pair-table acquisition that ran the fixpoint computation.
+#[inline]
+pub fn count_pair_miss() {
+    PAIR_MISSES.with(|c| c.set(c.get() + 1));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_are_per_thread_and_monotone() {
+        let before = snapshot();
+        count_state_expanded();
+        count_pair_hit();
+        count_pair_hit();
+        count_pair_miss();
+        let delta = snapshot().delta_since(&before);
+        assert_eq!(delta.states_expanded, 1);
+        assert_eq!(delta.pair_hits, 2);
+        assert_eq!(delta.pair_misses, 1);
+
+        // A fresh thread starts from its own zero.
+        let other = std::thread::spawn(|| {
+            let before = snapshot();
+            count_pair_miss();
+            snapshot().delta_since(&before)
+        })
+        .join()
+        .unwrap();
+        assert_eq!(other.pair_misses, 1);
+        assert_eq!(other.states_expanded, 0);
+    }
+
+    #[test]
+    fn out_of_order_snapshots_saturate_to_zero() {
+        let before = snapshot();
+        count_state_expanded();
+        let after = snapshot();
+        assert_eq!(before.delta_since(&after), EngineCounters::default());
+    }
+}

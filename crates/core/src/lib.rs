@@ -32,6 +32,8 @@
 //!   the `Paths(·)` decomposition (Lemma 4.1);
 //! * [`scaffold`] — database-dependent, query-independent search tables
 //!   for the Theorem 5.3 disjunctive engine (cached by [`session::Session`]);
+//! * [`counters`] — thread-local engine counters (states expanded,
+//!   pair-table hits/misses) read per-request by the serving layer;
 //! * [`parse`] — a small text syntax for databases and queries.
 //!
 //! Entailment engines live in the companion crate `indord-entail`; the
@@ -61,6 +63,7 @@
 pub mod atom;
 pub mod bitset;
 pub mod chunked;
+pub mod counters;
 pub mod database;
 pub mod error;
 pub mod flexi;

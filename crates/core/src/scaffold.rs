@@ -298,6 +298,7 @@ impl PairTable {
     ) -> u32 {
         self.use_clock += 1;
         if let Some(&idx) = self.pair_of.get(&(s, t)) {
+            crate::counters::count_pair_hit();
             let info = &mut self.infos[idx as usize];
             info.last_use = self.use_clock;
             if info.ne_stamp != self.ne_epoch {
@@ -306,6 +307,7 @@ impl PairTable {
             }
             return idx;
         }
+        crate::counters::count_pair_miss();
         let info = self.compute(scaffold, db, s, t);
         let idx = match self.free.pop() {
             Some(idx) => {

@@ -30,6 +30,7 @@
 //! and the cross-validation tests use.
 
 use crate::prepared::{MonadicPlan, NeExpansion, Plan, PreparedQuery};
+use crate::route::{self, FiredRoute};
 use crate::verdict::{MonadicVerdict, NaryVerdict};
 use crate::{bounded, disjunctive, ineq, naive, paths, seq};
 use indord_core::bitset::PredSet;
@@ -104,6 +105,20 @@ pub enum Strategy {
     BoundedWidth,
     /// Theorem 5.3 product search — disjunctive monadic.
     Disjunctive,
+}
+
+impl Strategy {
+    /// Stable lowercase label (used by `EXPLAIN` output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Strategy::Auto => "auto",
+            Strategy::Naive => "naive",
+            Strategy::Seq => "seq",
+            Strategy::Paths => "paths",
+            Strategy::BoundedWidth => "bounded-width",
+            Strategy::Disjunctive => "disjunctive",
+        }
+    }
 }
 
 /// The unified verdict of the engine.
@@ -255,6 +270,7 @@ impl<'a> Engine<'a> {
             // The false query: entailed only by an inconsistent database,
             // and normalization already rejected those — except when a
             // merged `!=` pair leaves no models at all.
+            route::record(FiredRoute::Empty);
             return Ok(if nd.has_contradictory_ne() {
                 Verdict::Entailed
             } else {
@@ -274,6 +290,7 @@ impl<'a> Engine<'a> {
                             continue; // this disjunct can never fire
                         }
                         if plan.orders[i].is_empty() {
+                            route::record(FiredRoute::Object);
                             return Ok(Verdict::Entailed); // object part suffices
                         }
                         survivors.push(i);
@@ -299,7 +316,10 @@ impl<'a> Engine<'a> {
 
         // n-ary route.
         match pq.strategy {
-            Strategy::Auto | Strategy::Naive => Ok(naive::nary_check(nd, &pq.query)?.into()),
+            Strategy::Auto | Strategy::Naive => {
+                route::record(FiredRoute::Naive);
+                Ok(naive::nary_check(nd, &pq.query)?.into())
+            }
             s => Err(CoreError::Parse {
                 span: indord_core::error::Span::NONE,
                 message: format!("strategy {s:?} requires monadic predicates"),
@@ -366,6 +386,7 @@ fn execute_monadic(
 ) -> Result<MonadicVerdict> {
     if survivors.is_empty() {
         // No disjunct survived object-part filtering: find any model.
+        route::record(FiredRoute::Naive);
         return naive_first_model(mdb);
     }
     let all_survive = survivors.len() == plan.orders.len();
@@ -416,29 +437,38 @@ fn execute_monadic(
         Ok(())
     };
     match strategy {
-        Strategy::Naive => naive::monadic_check(mdb, orders),
+        Strategy::Naive => {
+            route::record(FiredRoute::Naive);
+            naive::monadic_check(mdb, orders)
+        }
         Strategy::Seq => {
             refuse_ne("Seq")?;
             if survivors.len() != 1 {
                 return Err(CoreError::NotSequential);
             }
             match &plan.compiled()[survivors[0]].flexi {
-                Some(w) => Ok(seq::check(mdb, w)),
+                Some(w) => {
+                    route::record(FiredRoute::Seq);
+                    Ok(seq::check(mdb, w))
+                }
                 None => Err(CoreError::NotSequential),
             }
         }
         Strategy::Paths => {
             refuse_ne("Paths")?;
             let i = single("Paths")?;
+            route::record(FiredRoute::Paths);
             Ok(run_paths(mdb, plan, i))
         }
         Strategy::BoundedWidth => {
             refuse_ne("BoundedWidth")?;
             let i = single("BoundedWidth")?;
+            route::record(FiredRoute::BoundedWidth);
             Ok(bounded::check(mdb, &plan.orders[i]))
         }
         Strategy::Disjunctive => {
             refuse_query_ne("Disjunctive")?;
+            route::record(FiredRoute::Disjunctive);
             disjunctive::check_restricted(mdb, &sc.sub_scaffold()?, orders, options.search_limits())
         }
         Strategy::Auto => {
@@ -449,13 +479,23 @@ fn execute_monadic(
                 let i = survivors[0];
                 let d = &plan.compiled()[i];
                 return Ok(match (&d.flexi, d.plan) {
-                    (Some(w), _) => seq::check(mdb, w),
+                    (Some(w), _) => {
+                        route::record(FiredRoute::Seq);
+                        seq::check(mdb, w)
+                    }
                     // Few paths: Lemma 4.1 with SEQ per path (linear in
                     // |D|); otherwise the Theorem 4.7 product search.
-                    (None, Plan::Paths) => run_paths(mdb, plan, i),
-                    (None, _) => bounded::check(mdb, &plan.orders[i]),
+                    (None, Plan::Paths) => {
+                        route::record(FiredRoute::Paths);
+                        run_paths(mdb, plan, i)
+                    }
+                    (None, _) => {
+                        route::record(FiredRoute::BoundedWidth);
+                        bounded::check(mdb, &plan.orders[i])
+                    }
                 });
             }
+            route::record(FiredRoute::Disjunctive);
             disjunctive::check_scaffolded(mdb, sc.scaffold()?, orders, options.search_limits())
         }
     }
@@ -518,8 +558,10 @@ fn run_ne_route(
         }
     };
     if !ineq::thm53_accepts(expanded) {
+        route::record(FiredRoute::Naive);
         return naive::monadic_check(mdb, orders);
     }
+    route::record(FiredRoute::Ne);
     ineq::entails_expanded_restricted(
         mdb,
         &sc.sub_scaffold()?,

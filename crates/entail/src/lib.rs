@@ -31,10 +31,12 @@ pub mod modelcheck;
 pub mod naive;
 pub mod paths;
 pub mod prepared;
+pub mod route;
 pub mod seq;
 pub mod statespace;
 pub mod verdict;
 
 pub use engine::{Engine, EntailOptions, Strategy};
-pub use prepared::{Plan, PreparedQuery};
+pub use prepared::{DisjunctExplain, NeExplain, Plan, PreparedQuery};
+pub use route::FiredRoute;
 pub use verdict::MonadicVerdict;

@@ -47,6 +47,20 @@ pub enum Plan {
     Naive,
 }
 
+impl Plan {
+    /// Stable lowercase label, matching the fired-route labels of
+    /// [`crate::route::FiredRoute`] (used by `EXPLAIN` output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Plan::Seq => "seq",
+            Plan::Paths => "paths",
+            Plan::BoundedWidth => "bounded-width",
+            Plan::Disjunctive => "disjunctive",
+            Plan::Naive => "naive",
+        }
+    }
+}
+
 /// The §7 `!=`-orientation expansion state of one disjunct.
 #[derive(Debug, Clone)]
 pub(crate) enum NeExpansion {
@@ -285,6 +299,84 @@ impl PreparedQuery {
     /// queries); forces the lazy per-disjunct compilation.
     pub fn disjuncts(&self) -> &[PreparedDisjunct] {
         self.monadic.as_ref().map(|p| p.compiled()).unwrap_or(&[])
+    }
+
+    /// The §7 `!=` expansion cap this query was prepared under (`None`
+    /// for n-ary queries — the naive route has no expansions to cap).
+    pub fn expansion_cap(&self) -> Option<usize> {
+        self.monadic.as_ref().map(|p| p.cap)
+    }
+
+    /// Static per-disjunct introspection for `EXPLAIN`: forces the lazy
+    /// per-disjunct and `!=` compilation, exactly as the first
+    /// evaluation would, but runs nothing against a database.
+    pub fn explain_disjuncts(&self) -> Vec<DisjunctExplain> {
+        let Some(plan) = &self.monadic else {
+            return Vec::new();
+        };
+        let ne = plan.ne_plan();
+        plan.compiled()
+            .iter()
+            .zip(&plan.orders)
+            .zip(&plan.objects)
+            .zip(&ne.per_disjunct)
+            .map(|(((d, order), object), exp)| DisjunctExplain {
+                route: d.plan,
+                path_count: d.path_count,
+                order_vars: order.labels.len(),
+                ne_atoms: order.ne.len(),
+                object_vars: object.requirements.len(),
+                ne_expansion: match exp {
+                    NeExpansion::Unneeded => NeExplain::Unneeded,
+                    NeExpansion::Expanded(qs) => NeExplain::Expanded(qs.len()),
+                    NeExpansion::Capped => NeExplain::Capped,
+                },
+            })
+            .collect()
+    }
+}
+
+/// Wire-friendly summary of one compiled disjunct (see
+/// [`PreparedQuery::explain_disjuncts`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisjunctExplain {
+    /// The algorithm this disjunct routes to under the automatic
+    /// strategy.
+    pub route: Plan,
+    /// Lemma 4.1 decomposition paths (computed by DP, never enumerated).
+    pub path_count: u128,
+    /// Order variables of the disjunct's order part.
+    pub order_vars: usize,
+    /// `!=` atoms in the order part.
+    pub ne_atoms: usize,
+    /// Object variables split off by §4.
+    pub object_vars: usize,
+    /// The §7 `!=` orientation-expansion outcome.
+    pub ne_expansion: NeExplain,
+}
+
+/// The `!=` expansion outcome of one disjunct, introspectable for
+/// `EXPLAIN` (the internal [`NeExpansion`] carries the expansions
+/// themselves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NeExplain {
+    /// No `!=` atoms: the disjunct is its own expansion.
+    Unneeded,
+    /// Expanded into this many `[<,<=]` orientations.
+    Expanded(usize),
+    /// The expansion exceeded the cap; evaluation falls back to naive
+    /// enumeration.
+    Capped,
+}
+
+impl NeExplain {
+    /// Stable label for `EXPLAIN` output.
+    pub fn describe(self) -> String {
+        match self {
+            NeExplain::Unneeded => "unneeded".to_string(),
+            NeExplain::Expanded(n) => format!("expanded({n})"),
+            NeExplain::Capped => "capped".to_string(),
+        }
     }
 }
 

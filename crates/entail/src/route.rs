@@ -1,0 +1,108 @@
+//! Route reporting: which decision procedure actually fired.
+//!
+//! A prepared query's [`Plan`](crate::prepared::Plan) says which route
+//! the compiler *chose*; this module records which route an evaluation
+//! *took* — the two can differ (object-part filtering prunes disjuncts,
+//! `!=` expansions fall back to naive past the Thm 5.3 caps, an n-ary
+//! database bypasses the monadic pipeline entirely). The serving layer
+//! reads the fired route after each evaluation to label its per-route
+//! latency histograms and `TRACE` output.
+//!
+//! Like [`indord_core::counters`], the mechanism is a thread-local
+//! cell: an evaluation runs start-to-finish on one thread, so the
+//! executor stores the route as it dispatches and the caller collects
+//! it with [`take`] immediately after.
+
+use std::cell::Cell;
+
+/// The decision procedure an evaluation dispatched to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FiredRoute {
+    /// The empty (false) query — decided by consistency alone.
+    Empty,
+    /// An object-part-only disjunct held; no order reasoning ran.
+    Object,
+    /// `SEQ` on a sequential flexi-word (Lemma 4.2).
+    Seq,
+    /// The `Paths(Φ)` decomposition (Lemma 4.1).
+    Paths,
+    /// The width-bounded product search (Thm 4.7).
+    BoundedWidth,
+    /// The Thm 5.3 disjunctive scaffold search.
+    Disjunctive,
+    /// The §7 `!=` route (expansion + restricted Thm 5.3 search).
+    Ne,
+    /// Minimal-model enumeration — pinned, `!=` past the expansion
+    /// caps, or an n-ary database.
+    Naive,
+}
+
+impl FiredRoute {
+    /// Stable lowercase label, used as the `route` dimension of the
+    /// serving metrics and in `TRACE`/`EXPLAIN` output.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FiredRoute::Empty => "empty",
+            FiredRoute::Object => "object",
+            FiredRoute::Seq => "seq",
+            FiredRoute::Paths => "paths",
+            FiredRoute::BoundedWidth => "bounded-width",
+            FiredRoute::Disjunctive => "disjunctive",
+            FiredRoute::Ne => "ne",
+            FiredRoute::Naive => "naive",
+        }
+    }
+
+    /// Every route label, in rendering order (the metrics registry
+    /// pre-creates one histogram per label so scrapes see stable rows).
+    pub const ALL: [FiredRoute; 8] = [
+        FiredRoute::Empty,
+        FiredRoute::Object,
+        FiredRoute::Seq,
+        FiredRoute::Paths,
+        FiredRoute::BoundedWidth,
+        FiredRoute::Disjunctive,
+        FiredRoute::Ne,
+        FiredRoute::Naive,
+    ];
+}
+
+thread_local! {
+    static LAST_ROUTE: Cell<Option<FiredRoute>> = const { Cell::new(None) };
+}
+
+/// Records the route the current evaluation dispatched to. Later
+/// records win: a fallback (e.g. `!=` expansion overflowing to naive)
+/// overwrites the route that delegated to it.
+#[inline]
+pub(crate) fn record(route: FiredRoute) {
+    LAST_ROUTE.with(|c| c.set(Some(route)));
+}
+
+/// Takes the route recorded by the most recent evaluation on this
+/// thread, clearing it. `None` when nothing ran since the last take.
+#[must_use]
+pub fn take() -> Option<FiredRoute> {
+    LAST_ROUTE.with(Cell::take)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn later_records_win_and_take_clears() {
+        record(FiredRoute::Disjunctive);
+        record(FiredRoute::Naive);
+        assert_eq!(take(), Some(FiredRoute::Naive));
+        assert_eq!(take(), None);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            FiredRoute::ALL.iter().map(|r| r.as_str()).collect();
+        assert_eq!(labels.len(), FiredRoute::ALL.len());
+    }
+}

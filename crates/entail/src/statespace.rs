@@ -175,6 +175,7 @@ impl StateArena {
             return None;
         }
         let i = u32::try_from(self.nodes.len()).expect("state arena overflow");
+        indord_core::counters::count_state_expanded();
         self.index.insert(key, i);
         self.nodes.push(Node {
             key,

@@ -4,7 +4,7 @@
 //! indord-serve [--addr 127.0.0.1:7431] [--threads 4] [--open <db>]...
 //!              [--data-dir <path>] [--fsync always|group|os] [--snapshot-every N]
 //!              [--max-queue N] [--max-conns N] [--max-line BYTES]
-//!              [--request-timeout MS] [--rwlock]
+//!              [--request-timeout MS] [--slow-ms MS] [--rwlock]
 //! ```
 //!
 //! Overload protection: `--max-queue` bounds each database's commit
@@ -13,6 +13,11 @@
 //! `--max-line` caps the request line (`ERR toolarge`), and
 //! `--request-timeout` applies a default deadline to every request
 //! (`ERR deadline`; a request's own `DEADLINE <ms>` prefix overrides).
+//!
+//! Observability: `--slow-ms` traces every request and logs the full
+//! phase breakdown of ones over the threshold to stderr; clients can
+//! introspect plans with `EXPLAIN`, individual requests with `TRACE`,
+//! and scrape latency histograms with `METRICS` (Prometheus text).
 //!
 //! Clients speak the line protocol of `indord_server::protocol`; try
 //! the `indord` REPL: `indord --connect 127.0.0.1:7431`.
@@ -50,6 +55,7 @@ fn main() {
     let mut max_conns: Option<usize> = None;
     let mut max_line: Option<usize> = None;
     let mut request_timeout: Option<Duration> = None;
+    let mut slow_ms: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -113,6 +119,13 @@ fn main() {
                         .unwrap_or_else(|| usage("--request-timeout needs positive milliseconds")),
                 ))
             }
+            "--slow-ms" => {
+                slow_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--slow-ms needs milliseconds")),
+                )
+            }
             "--rwlock" => {
                 mode = ConcurrencyMode::RwLock;
                 rwlock = true;
@@ -163,6 +176,7 @@ fn main() {
         opts.max_line = n;
     }
     opts.request_timeout = request_timeout;
+    opts.slow_ms = slow_ms;
     let handle = match serve_with(Arc::clone(&registry), addr.as_str(), opts) {
         Ok(h) => h,
         Err(e) => {
@@ -201,7 +215,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: indord-serve [--addr HOST:PORT] [--threads N] [--open DB]... \
          [--data-dir PATH] [--fsync always|group|os] [--snapshot-every N] \
-         [--max-queue N] [--max-conns N] [--max-line BYTES] [--request-timeout MS] [--rwlock]"
+         [--max-queue N] [--max-conns N] [--max-line BYTES] [--request-timeout MS] \
+         [--slow-ms MS] [--rwlock]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -16,6 +16,10 @@
 //! * [`durable`] — the semantic half of durability: snapshot payload
 //!   encoding and crash recovery (snapshot load + WAL replay + warmup)
 //!   on top of the `indord-storage` crate's checksummed log;
+//! * [`metrics`] — lock-free log2 latency histograms per verb and per
+//!   engine route, rendered in Prometheus text format by `METRICS`;
+//! * [`trace`] — per-request phase timers behind `TRACE` and the
+//!   `--slow-ms` slow-query log;
 //! * [`repl`] — the `indord` client loop, speaking the protocol over
 //!   TCP or in-process.
 //!
@@ -38,10 +42,16 @@
 //! assert_eq!(conn.handle_line("ENTAIL cooled"), Response::Verdict(true));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the phase-timing clock in `trace::clock` reads
+// the x86-64 timestamp counter through the `_rdtsc` intrinsic, the one
+// `unsafe` block in the crate (narrowly `allow`ed there; the intrinsic
+// touches no memory). Everything else stays denied.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod durable;
+pub mod metrics;
 pub mod protocol;
 pub mod repl;
 pub mod runtime;
+pub mod trace;

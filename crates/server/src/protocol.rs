@@ -14,7 +14,10 @@
 //! ENTAIL <query>                   parse-and-evaluate inline
 //! COUNTERMODEL <name-or-query>     like ENTAIL, but return a witness
 //! BATCH <name> <name> ...          evaluate several prepared queries
+//! EXPLAIN <name-or-query>          render the compiled plan without executing
+//! TRACE <request>                  execute with a per-phase breakdown
 //! STATS                            per-database counters and latency
+//! METRICS                          Prometheus text exposition of the histograms
 //! HEALTH                           per-database health: ok|degraded|recovering
 //! FLUSH                            force a snapshot + WAL compaction (durable dbs)
 //! CLOSE                            end the connection
@@ -51,13 +54,13 @@
 //! `ERR <kind> <span|-> <message>` — the error form carries the
 //! [`CoreError`] kind and, for parse errors, the byte span of the
 //! offending token *within the request line*, so a client can point at
-//! it ([`indord_core::parse::caret_snippet`]). The only multi-line
-//! response is a countermodel block:
+//! it ([`indord_core::parse::caret_snippet`]). Multi-line responses are
+//! framed as `<HEADER>` … `END` blocks, all with the same shape:
 //!
 //! ```text
-//! COUNTERMODEL
-//! <rendered model>
-//! END
+//! COUNTERMODEL          EXPLAIN            TRACE              METRICS
+//! <rendered model>      <plan lines>       <phase lines>      <exposition lines>
+//! END                   END                END                END
 //! ```
 //!
 //! ## Consistency contract (snapshot isolation)
@@ -145,8 +148,18 @@ pub enum Request {
     Countermodel(Target),
     /// `BATCH <name> ...`.
     Batch(Vec<String>),
+    /// `EXPLAIN <name-or-query>`: render the compiled plan — object
+    /// splits, per-disjunct route, `!=` expansion, caps — without
+    /// executing anything.
+    Explain(Target),
+    /// `TRACE <request>`: execute the inner request and return the
+    /// per-phase timing breakdown plus engine counters. Not nestable.
+    Trace(Box<Request>),
     /// `STATS`.
     Stats,
+    /// `METRICS`: the latency/route histograms in Prometheus text
+    /// exposition format.
+    Metrics,
     /// `HEALTH`: the selected database's serving state.
     Health,
     /// `FLUSH`: force a snapshot and WAL compaction now (errors on a
@@ -227,9 +240,25 @@ impl Request {
                 )?;
                 Ok((Request::Batch(names), payload))
             }
+            "EXPLAIN" => {
+                need(!rest.is_empty(), "EXPLAIN takes a prepared name or a query")?;
+                Ok((Request::Explain(Target::parse(rest)), payload))
+            }
+            "TRACE" => {
+                need(!rest.is_empty(), "TRACE takes a request to execute")?;
+                let (inner, off) = Request::parse_with_offset(rest)?;
+                if matches!(inner, Request::Trace(_)) {
+                    return Err(bad("TRACE does not nest"));
+                }
+                Ok((Request::Trace(Box::new(inner)), payload + off))
+            }
             "STATS" => {
                 need(rest.is_empty(), "STATS takes no arguments")?;
                 Ok((Request::Stats, payload))
+            }
+            "METRICS" => {
+                need(rest.is_empty(), "METRICS takes no arguments")?;
+                Ok((Request::Metrics, payload))
             }
             "HEALTH" => {
                 need(rest.is_empty(), "HEALTH takes no arguments")?;
@@ -244,7 +273,7 @@ impl Request {
                 Ok((Request::Close, payload))
             }
             _ => Err(bad(&format!(
-                "unknown command `{word}` (try OPEN/USE/FACT/PREPARE/ENTAIL/COUNTERMODEL/BATCH/STATS/HEALTH/FLUSH/CLOSE)"
+                "unknown command `{word}` (try OPEN/USE/FACT/PREPARE/ENTAIL/COUNTERMODEL/BATCH/EXPLAIN/TRACE/STATS/METRICS/HEALTH/FLUSH/CLOSE)"
             ))),
         }
     }
@@ -307,7 +336,10 @@ impl fmt::Display for Request {
             Request::Entail(t) => write!(f, "ENTAIL {t}"),
             Request::Countermodel(t) => write!(f, "COUNTERMODEL {t}"),
             Request::Batch(names) => write!(f, "BATCH {}", names.join(" ")),
+            Request::Explain(t) => write!(f, "EXPLAIN {t}"),
+            Request::Trace(inner) => write!(f, "TRACE {inner}"),
             Request::Stats => write!(f, "STATS"),
+            Request::Metrics => write!(f, "METRICS"),
             Request::Health => write!(f, "HEALTH"),
             Request::Flush => write!(f, "FLUSH"),
             Request::Close => write!(f, "CLOSE"),
@@ -780,6 +812,13 @@ pub enum Response {
     /// `COUNTERMODEL ... END`: the rendered witness (an entailed
     /// COUNTERMODEL request answers `CERTAIN` instead).
     Countermodel(String),
+    /// `EXPLAIN ... END`: the rendered plan of an `EXPLAIN` request.
+    Explain(String),
+    /// `TRACE ... END`: the phase/counter breakdown of a `TRACE`d
+    /// request.
+    Trace(String),
+    /// `METRICS ... END`: Prometheus text exposition.
+    Metrics(String),
     /// `STATS key=value ...`. Boxed: the counter block dwarfs every
     /// other variant, and responses move through reply channels by
     /// value.
@@ -820,6 +859,18 @@ impl Response {
                 let body = body.trim_end_matches('\n');
                 format!("COUNTERMODEL\n{body}\nEND\n")
             }
+            Response::Explain(body) => {
+                let body = body.trim_end_matches('\n');
+                format!("EXPLAIN\n{body}\nEND\n")
+            }
+            Response::Trace(body) => {
+                let body = body.trim_end_matches('\n');
+                format!("TRACE\n{body}\nEND\n")
+            }
+            Response::Metrics(body) => {
+                let body = body.trim_end_matches('\n');
+                format!("METRICS\n{body}\nEND\n")
+            }
             Response::Stats(s) => {
                 let mut out = String::from("STATS");
                 for f in StatsReply::FIELDS {
@@ -851,14 +902,23 @@ impl Response {
             return Ok(None);
         }
         let first = line.trim_end_matches(['\n', '\r']).to_string();
-        if first == "COUNTERMODEL" {
+        let block = |header: &str| -> Option<fn(String) -> Response> {
+            match header {
+                "COUNTERMODEL" => Some(Response::Countermodel),
+                "EXPLAIN" => Some(Response::Explain),
+                "TRACE" => Some(Response::Trace),
+                "METRICS" => Some(Response::Metrics),
+                _ => None,
+            }
+        };
+        if let Some(wrap) = block(&first) {
             let mut body = String::new();
             loop {
                 let mut next = String::new();
                 if r.read_line(&mut next)? == 0 {
                     return Err(io::Error::new(
                         io::ErrorKind::UnexpectedEof,
-                        "unterminated COUNTERMODEL block",
+                        format!("unterminated {first} block"),
                     ));
                 }
                 let trimmed = next.trim_end_matches(['\n', '\r']);
@@ -868,7 +928,7 @@ impl Response {
                 body.push_str(trimmed);
                 body.push('\n');
             }
-            return Ok(Some(Response::Countermodel(body)));
+            return Ok(Some(wrap(body)));
         }
         Self::parse_line(&first).map(Some).ok_or_else(|| {
             io::Error::new(io::ErrorKind::InvalidData, format!("bad reply: {first}"))
@@ -967,6 +1027,11 @@ mod tests {
             Request::Entail(Target::Inline("exists t. P(t)".into())),
             Request::Countermodel(Target::Prepared("cooled".into())),
             Request::Batch(vec!["a".into(), "b".into()]),
+            Request::Explain(Target::Prepared("cooled".into())),
+            Request::Explain(Target::Inline("exists t. P(t)".into())),
+            Request::Trace(Box::new(Request::Entail(Target::Prepared("cooled".into())))),
+            Request::Trace(Box::new(Request::Fact("P(u);".into()))),
+            Request::Metrics,
             Request::Stats,
             Request::Health,
             Request::Flush,
@@ -1015,6 +1080,10 @@ mod tests {
             "BATCH",
             "STATS now",
             "FACT",
+            "EXPLAIN",
+            "TRACE",
+            "TRACE TRACE STATS",
+            "METRICS now",
         ] {
             let e = Request::parse(line).unwrap_err();
             assert_eq!(e.kind, ErrorKind::Proto, "{line}");
@@ -1029,6 +1098,15 @@ mod tests {
             Response::Verdict(false),
             Response::Verdicts(vec![("a".into(), true), ("b".into(), false)]),
             Response::Countermodel("points 0..2\n  u \u{21a6} 0\n  P(pt0)\n".into()),
+            Response::Explain(
+                "query cooled\nroute seq\ndisjuncts 1\nstate_cap 4096\n".into(),
+            ),
+            Response::Trace(
+                "request ENTAIL cooled\nroute seq\noutcome CERTAIN\ntotal_ns 1234\nphase parse 10\nphase search 900\n".into(),
+            ),
+            Response::Metrics(
+                "# TYPE indord_request_duration_ns histogram\nindord_request_duration_ns_count{db=\"lab\",verb=\"entail\",status=\"ok\"} 3\n".into(),
+            ),
             Response::Stats(Box::new(StatsReply {
                 atoms: 42,
                 epoch: 7,

@@ -116,6 +116,9 @@ const HELP: &str = "commands:
   ENTAIL <name-or-query>        certain-answer check
   COUNTERMODEL <name-or-query>  like ENTAIL, with a witness on failure
   BATCH <name> <name> ...       evaluate prepared queries together
+  EXPLAIN <name-or-query>       show the compiled plan without executing
+  TRACE <request>               execute and report the phase/counter breakdown
+  METRICS                       latency histograms in Prometheus text format
   STATS                         serving counters for the selected db
   HEALTH                        ok | degraded | recovering for the selected db
   FLUSH                         force a snapshot + log compaction (durable dbs)
@@ -238,7 +241,8 @@ CLOSE
         )
         .unwrap();
         let text = String::from_utf8(out).unwrap();
-        assert!(text.contains("HEALTH ok -"), "{text}");
+        assert!(text.contains("HEALTH ok snapshot_age_ms="), "{text}");
+        assert!(text.contains("commit_queue_depth=0"), "{text}");
     }
 
     #[test]

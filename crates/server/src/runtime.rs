@@ -33,23 +33,31 @@
 //! behind [`ConcurrencyMode::RwLock`] (see [`Registry::with_mode`]) as
 //! the ablation baseline for the `serving-mvcc` bench group.
 //!
-//! ## Stats
+//! ## Stats and observability
 //!
-//! Every database keeps request counters, a latency ring, and the
+//! Every database keeps request counters, lock-free latency histograms
+//! per verb and per fired engine route ([`crate::metrics`]), and the
 //! group-commit counters ([`DbStats`]); `STATS` merges them with the
 //! snapshot session's maintenance counters
-//! ([`indord_core::session::SessionStats`]) into a [`StatsReply`].
+//! ([`indord_core::session::SessionStats`]) into a [`StatsReply`],
+//! `METRICS` renders the full histograms in Prometheus text format, and
+//! `EXPLAIN`/`TRACE` introspect one query's plan or one request's phase
+//! breakdown ([`crate::trace`]). A `--slow-ms` threshold logs full
+//! traces of over-threshold requests to stderr.
 
 use crate::durable::{self, RecoveredState, StorageConfig};
+use crate::metrics::{MetricsRegistry, Status, Verb};
 use crate::protocol::{ErrorKind, HealthState, Request, Response, StatsReply, Target, WireError};
+use crate::trace::{clock, Phase, PhaseTimes, TraceRecorder, TraceReport};
 use indord_core::atom::OrderRel;
+use indord_core::counters;
 use indord_core::database::Database;
 use indord_core::parse::{parse_database, parse_query_expr_in};
 use indord_core::query::{eliminate_constants, DnfQuery, QTerm, QueryExpr};
 use indord_core::session::Session;
 use indord_core::sym::Vocabulary;
 use indord_entail::engine::Verdict;
-use indord_entail::{Engine, PreparedQuery};
+use indord_entail::{route, Engine, PreparedQuery};
 use indord_storage::{DbDir, Wal};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -70,58 +78,22 @@ pub const DEFAULT_MAX_QUEUE: usize = 256;
 /// to read-only serving.
 const RESTART_BUDGET: u64 = 3;
 
-/// Capacity of the per-database latency ring (most recent samples win).
-const LATENCY_RING: usize = 1024;
-
-/// A fixed-size ring of recent request latencies (nanoseconds).
-#[derive(Debug)]
-struct LatencyRing {
-    samples: Vec<u64>,
-    next: usize,
-    filled: usize,
-}
-
-impl LatencyRing {
-    fn new() -> Self {
-        LatencyRing {
-            samples: vec![0; LATENCY_RING],
-            next: 0,
-            filled: 0,
-        }
-    }
-
-    fn push(&mut self, ns: u64) {
-        self.samples[self.next] = ns;
-        self.next = (self.next + 1) % self.samples.len();
-        self.filled = (self.filled + 1).min(self.samples.len());
-    }
-
-    /// The (p50, p99) quantiles of the recorded samples — one sort for
-    /// both. (0, 0) when empty.
-    fn p50_p99(&self) -> (u64, u64) {
-        if self.filled == 0 {
-            return (0, 0);
-        }
-        let mut v: Vec<u64> = self.samples[..self.filled].to_vec();
-        v.sort_unstable();
-        let at = |p: f64| v[((v.len() - 1) as f64 * p).round() as usize];
-        (at(0.50), at(0.99))
-    }
-}
-
-/// Per-database request counters (lock-free), the latency ring, and the
-/// MVCC group-commit counters (all zero under the RwLock ablation).
+/// Per-database request counters (lock-free), the metrics registry
+/// (latency histograms per verb and fired route), and the MVCC
+/// group-commit counters (all zero under the RwLock ablation).
 #[derive(Debug)]
 pub struct DbStats {
     queries: AtomicU64,
     prepared_hits: AtomicU64,
     writes: AtomicU64,
-    latency: Mutex<LatencyRing>,
+    /// Lock-free histograms: request latency per verb/status, evaluation
+    /// latency per fired route, commit-queue depth, engine-work totals.
+    /// Replaces the old 1024-slot `try_lock` latency ring — recording is
+    /// wait-free and nothing is ever shed.
+    metrics: MetricsRegistry,
     /// Write jobs currently enqueued (incremented at submit, decremented
     /// when the mutator drains them into a group).
     pending: AtomicU64,
-    /// Queue depths observed at enqueue time, for the depth p99.
-    queue_depths: Mutex<LatencyRing>,
     group_commits: AtomicU64,
     group_fragments: AtomicU64,
     max_group: AtomicU64,
@@ -139,11 +111,6 @@ pub struct DbStats {
     compactions: AtomicU64,
     recovery_replayed_fragments: AtomicU64,
     recovery_truncated_bytes: AtomicU64,
-    /// Latency/queue-depth samples dropped because the ring's `try_lock`
-    /// lost a race. The rings deliberately shed load under contention;
-    /// this counter makes the shedding visible instead of silent, so a
-    /// suspiciously quiet p99 can be cross-checked against drop volume.
-    samples_dropped: AtomicU64,
     /// Writes refused at admission because the commit queue was at its
     /// bound (each one was answered with a retryable `ERR overloaded`).
     writes_shed: AtomicU64,
@@ -165,9 +132,8 @@ impl DbStats {
             queries: AtomicU64::new(0),
             prepared_hits: AtomicU64::new(0),
             writes: AtomicU64::new(0),
-            latency: Mutex::new(LatencyRing::new()),
+            metrics: MetricsRegistry::new(),
             pending: AtomicU64::new(0),
-            queue_depths: Mutex::new(LatencyRing::new()),
             group_commits: AtomicU64::new(0),
             group_fragments: AtomicU64::new(0),
             max_group: AtomicU64::new(0),
@@ -181,7 +147,6 @@ impl DbStats {
             compactions: AtomicU64::new(0),
             recovery_replayed_fragments: AtomicU64::new(0),
             recovery_truncated_bytes: AtomicU64::new(0),
-            samples_dropped: AtomicU64::new(0),
             writes_shed: AtomicU64::new(0),
             deadline_aborts: AtomicU64::new(0),
             mutator_restarts: AtomicU64::new(0),
@@ -249,31 +214,19 @@ impl DbStats {
         self.recovery_replayed_fragments.load(Ordering::Relaxed)
     }
 
-    /// Records a latency sample. `try_lock`: under reader contention
-    /// the sample is dropped rather than serializing the evaluation
-    /// paths on this mutex — the ring is a sample, not a ledger. Every
-    /// drop is counted so the shedding is observable on the wire.
-    fn record_latency(&self, ns: u64) {
-        if let Ok(mut ring) = self.latency.try_lock() {
-            ring.push(ns);
-        } else {
-            self.samples_dropped.fetch_add(1, Ordering::Relaxed);
-        }
+    /// The lock-free metrics registry (latency histograms per verb and
+    /// fired route, queue-depth histogram, engine-work totals) — the
+    /// data behind the `METRICS` verb.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
-    /// Records the queue depth seen by one enqueue (same sampling
-    /// policy — and same drop accounting — as the latency ring).
-    fn record_queue_depth(&self, depth: u64) {
-        if let Ok(mut ring) = self.queue_depths.try_lock() {
-            ring.push(depth);
-        } else {
-            self.samples_dropped.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    /// Latency/queue-depth samples shed by the rings' `try_lock`.
+    /// Latency/queue-depth samples shed under contention. Structurally
+    /// zero since the `try_lock` rings were replaced by wait-free
+    /// histograms; kept (and asserted zero in tests) for `STATS` wire
+    /// compatibility.
     pub fn samples_dropped(&self) -> u64 {
-        self.samples_dropped.load(Ordering::Relaxed)
+        0
     }
 
     /// Write jobs currently enqueued for the mutator thread (0 once the
@@ -382,6 +335,14 @@ type HealthSlot = Arc<Mutex<(HealthState, String)>>;
 struct WriteJob {
     op: WriteOp,
     reply: mpsc::Sender<Result<Response, WireError>>,
+    /// When the job entered the commit queue (queue-wait attribution),
+    /// in raw `trace::clock` ticks — the unit every phase measurement
+    /// shares, converted to ns only when a report is rendered.
+    enqueued_raw: u64,
+    /// Filled by the mutator — before the reply is sent — with the
+    /// write's phase breakdown, for `TRACE`d and slow-logged writes.
+    /// `None` for untraced writes (the common case pays nothing here).
+    phases: Option<Arc<Mutex<PhaseTimes>>>,
 }
 
 /// How a [`Registry`] guards its databases.
@@ -654,6 +615,8 @@ impl Db {
                 .send(WriteJob {
                     op: WriteOp::Shutdown,
                     reply: tx,
+                    enqueued_raw: clock::raw_now(),
+                    phases: None,
                 })
                 .is_ok();
             if sent {
@@ -700,6 +663,17 @@ impl Db {
         &self,
         op: WriteOp,
     ) -> Result<mpsc::Receiver<Result<Response, WireError>>, WireError> {
+        self.submit_nonblocking_traced(op, None)
+    }
+
+    /// [`Db::submit_nonblocking`] with an optional phase-times slot the
+    /// mutator fills (before replying) with the write's queue-wait /
+    /// classify / apply / WAL / fsync / publish breakdown.
+    fn submit_nonblocking_traced(
+        &self,
+        op: WriteOp,
+        phases: Option<Arc<Mutex<PhaseTimes>>>,
+    ) -> Result<mpsc::Receiver<Result<Response, WireError>>, WireError> {
         let DbCore::Mvcc { sender, .. } = &self.core else {
             return Err(WireError::proto(
                 "non-blocking submit requires the MVCC core",
@@ -744,11 +718,16 @@ impl Db {
                 ),
             ));
         }
-        self.stats.record_queue_depth(depth);
+        self.stats.metrics.record_queue_depth(depth);
         sender
             .lock()
             .unwrap_or_else(|p| p.into_inner())
-            .send(WriteJob { op, reply: tx })
+            .send(WriteJob {
+                op,
+                reply: tx,
+                enqueued_raw: clock::raw_now(),
+                phases,
+            })
             .map_err(|_| WireError::proto("database mutator thread is gone"))?;
         Ok(rx)
     }
@@ -804,9 +783,21 @@ impl Db {
         op: WriteOp,
         deadline: Option<Instant>,
     ) -> Result<Response, WireError> {
+        self.submit_deadline_traced(op, deadline, None)
+    }
+
+    /// [`Db::submit_deadline`] with an optional phase-times slot (see
+    /// [`Db::submit_nonblocking_traced`]); the slot is filled by the
+    /// time the reply arrives. Ignored under the RwLock ablation.
+    fn submit_deadline_traced(
+        &self,
+        op: WriteOp,
+        deadline: Option<Instant>,
+        phases: Option<Arc<Mutex<PhaseTimes>>>,
+    ) -> Result<Response, WireError> {
         match &self.core {
             DbCore::Mvcc { .. } => {
-                let rx = self.submit_nonblocking(op)?;
+                let rx = self.submit_nonblocking_traced(op, phases)?;
                 match deadline {
                     None => rx.recv().unwrap_or_else(|_| {
                         Err(WireError::proto("database mutator dropped the write"))
@@ -1128,17 +1119,31 @@ impl Mutator {
         // structural, which only affects the ordering, not the result.
         // The WAL records what the sort decided: appends happen in
         // apply order, so replay IS the committed order.
-        let mut keyed: Vec<(bool, WriteJob)> = work
+        //
+        // Phase timing is always-on here: a write already pays for
+        // allocation, WAL I/O, and a snapshot publish, so the handful of
+        // `Instant` reads per job vanish into it — and `TRACE`d writes
+        // plus the slow-query log get real queue-wait/fsync numbers
+        // without a warm-up request.
+        let drained_raw = clock::raw_now();
+        let mut keyed: Vec<(bool, WriteJob, PhaseTimes)> = work
             .into_iter()
-            .map(|j| (is_structural(&j.op, &mut self.voc, &self.session), j))
+            .map(|j| {
+                let mut pt = PhaseTimes::new();
+                pt.add(Phase::QueueWait, drained_raw.saturating_sub(j.enqueued_raw));
+                let t0 = clock::raw_now();
+                let structural = is_structural(&j.op, &mut self.voc, &self.session);
+                pt.add(Phase::Classify, clock::raw_now().saturating_sub(t0));
+                (structural, j, pt)
+            })
             .collect();
-        keyed.sort_by_key(|(structural, _)| *structural);
+        keyed.sort_by_key(|(structural, _, _)| *structural);
         let group_mark = self.voc.mark();
         let drops_mark = self.session.stats().cache_drops;
         let mut replies = Vec::with_capacity(keyed.len());
         let mut mutated = false;
         let mut prepared_changed = false;
-        for (structural, job) in keyed {
+        for (structural, job, mut pt) in keyed {
             // Already degraded (a WAL death earlier in this very group,
             // or a previous one): every remaining write is refused with
             // the typed read-only error — nothing is logged or applied.
@@ -1149,6 +1154,8 @@ impl Mutator {
                         ErrorKind::ReadOnly,
                         format!("database is read-only (degraded: {reason})"),
                     )),
+                    job.phases,
+                    pt,
                 ));
                 continue;
             }
@@ -1173,10 +1180,12 @@ impl Mutator {
                     _ => None,
                 };
                 if let Some(payload) = payload {
+                    let t0 = clock::raw_now();
                     match d.wal.append(payload.as_bytes()) {
                         Ok(_) => d.since_snapshot += 1,
                         Err(e) => wal_death = Some(e.to_string()),
                     }
+                    pt.add(Phase::WalAppend, clock::raw_now().saturating_sub(t0));
                 }
             }
             if let Some(e) = wal_death {
@@ -1187,12 +1196,15 @@ impl Mutator {
                         ErrorKind::ReadOnly,
                         format!("write-ahead log append failed ({e}); database is now read-only"),
                     )),
+                    job.phases,
+                    pt,
                 ));
                 continue;
             }
             // A panic must not take the mutator (and with it every
             // future write) down: report it as the typed internal error
             // the lock-era per-client catch_unwind produced.
+            let apply_t0 = clock::raw_now();
             let (result, changed) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 apply_write(
                     &mut self.voc,
@@ -1210,6 +1222,7 @@ impl Mutator {
                     false,
                 )
             });
+            pt.add(Phase::Apply, clock::raw_now().saturating_sub(apply_t0));
             if changed {
                 mutated = true;
                 match &job.op {
@@ -1229,7 +1242,7 @@ impl Mutator {
                     _ => {}
                 }
             }
-            replies.push((job.reply, result));
+            replies.push((job.reply, result, job.phases, pt));
         }
         // The group-commit durability barrier: sync the appended records
         // *before* the snapshot publish and the replies. On a failed
@@ -1241,15 +1254,19 @@ impl Mutator {
         // silently dropping durability, so nothing after this group
         // pretends to be durable.
         let mut sync_failed: Option<String> = None;
+        let mut fsync_raw = 0u64;
         if let Some(d) = self.durable.as_mut() {
+            let t0 = clock::raw_now();
             if let Err(e) = d.wal.commit() {
                 sync_failed = Some(e.to_string());
             }
+            fsync_raw = clock::raw_now().saturating_sub(t0);
         }
         if let Some(e) = sync_failed {
             self.enter_degraded(format!("wal fsync failed: {e}"));
         }
         self.mirror_wal_counters();
+        let publish_t0 = clock::raw_now();
         if mutated {
             // Warm the master before freezing: the master session never
             // answers queries itself, so without this every published
@@ -1296,6 +1313,7 @@ impl Mutator {
                 .snapshots_published
                 .fetch_add(1, Ordering::Relaxed);
         }
+        let publish_raw = clock::raw_now().saturating_sub(publish_t0);
         // Snapshot + compaction: on cadence, or forced by FLUSH. Runs
         // after the publish (the snapshot equals the state readers now
         // see) and before the flush acks.
@@ -1306,8 +1324,17 @@ impl Mutator {
             .fetch_add(group, Ordering::Relaxed);
         self.stats.max_group.fetch_max(group, Ordering::Relaxed);
         // Replies go out only after the publish: the next request from
-        // any released writer sees its own write.
-        for (tx, result) in replies {
+        // any released writer sees its own write. The group-level fsync
+        // and publish costs are attributed to every member (a write's
+        // latency really does include them; they are shared, not
+        // divided) — and each traced job's slot is filled before its
+        // reply, so the submitter reads complete times after recv.
+        for (tx, result, slot, mut pt) in replies {
+            pt.add(Phase::Fsync, fsync_raw);
+            pt.add(Phase::Publish, publish_raw);
+            if let Some(slot) = slot {
+                slot.lock().unwrap_or_else(|p| p.into_inner()).merge(&pt);
+            }
             let _ = tx.send(result);
         }
         for tx in flush_acks {
@@ -1837,14 +1864,35 @@ impl Drop for Registry {
     }
 }
 
+/// Whether [`Conn::execute`] materializes a [`TraceReport`] — kept off
+/// the fast path, because building one costs a request re-render, a
+/// response first-line render, and a session-stats diff.
+enum ReportMode<'a> {
+    /// Untraced request: never.
+    Never,
+    /// `TRACE`: always; the caller pre-rendered the inner request text.
+    Always(String),
+    /// Slow log: only when total wall time exceeds the threshold (ns).
+    /// The original wire line, when known, becomes the report's request
+    /// text — so nothing is re-rendered per request.
+    IfSlowerThan(u64, Option<&'a str>),
+}
+
 /// Per-connection dispatch state: the selected database. One `Conn` per
 /// client socket (or per embedded REPL).
 pub struct Conn {
     registry: Arc<Registry>,
     current: Option<Arc<Db>>,
+    /// Name of the selected database (`METRICS` labels and the
+    /// slow-query log need it; the `Arc<Db>` doesn't know its name).
+    current_name: Option<String>,
     /// Deadline applied to every request that doesn't carry its own
     /// `DEADLINE <ms>` prefix (`--request-timeout`). `None` = no limit.
     default_deadline: Option<Duration>,
+    /// Slow-query threshold (`--slow-ms`): requests are traced and ones
+    /// over the threshold log their full phase breakdown to stderr.
+    /// `None` (the default) = no tracing, no logging.
+    slow_ms: Option<u64>,
 }
 
 impl Conn {
@@ -1853,7 +1901,9 @@ impl Conn {
         Conn {
             registry,
             current: None,
+            current_name: None,
             default_deadline: None,
+            slow_ms: None,
         }
     }
 
@@ -1862,6 +1912,15 @@ impl Conn {
     #[must_use]
     pub fn with_request_timeout(mut self, timeout: Option<Duration>) -> Self {
         self.default_deadline = timeout;
+        self
+    }
+
+    /// Sets the slow-query threshold (`--slow-ms`): every request on
+    /// this connection is traced, and ones over the threshold write
+    /// their full phase breakdown to stderr.
+    #[must_use]
+    pub fn with_slow_ms(mut self, slow_ms: Option<u64>) -> Self {
+        self.slow_ms = slow_ms;
         self
     }
 
@@ -1876,7 +1935,7 @@ impl Conn {
                 let deadline = deadline
                     .or(self.default_deadline)
                     .map(|d| Instant::now() + d);
-                match self.handle_with_deadline(req, deadline) {
+                match self.handle_traced(req, deadline, Some(line)) {
                     Response::Error(e) => Response::Error(e.shift_span(payload)),
                     resp => resp,
                 }
@@ -1890,23 +1949,132 @@ impl Conn {
     /// [`Conn::handle_line`] for line coordinates).
     pub fn handle(&mut self, req: Request) -> Response {
         let deadline = self.default_deadline.map(|d| Instant::now() + d);
-        self.handle_with_deadline(req, deadline)
+        self.handle_traced(req, deadline, None)
     }
 
-    fn handle_with_deadline(&mut self, req: Request, deadline: Option<Instant>) -> Response {
-        match self.dispatch(req, deadline) {
-            Ok(resp) => resp,
-            Err(e) => {
-                if e.kind == ErrorKind::Deadline {
-                    // Write-side expiries count themselves (the Db owns
-                    // that path); this covers the read-side search loop.
-                    if let Some(db) = &self.current {
-                        db.stats.deadline_aborts.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                Response::Error(e)
+    /// `line` is the original wire text, when this request came off a
+    /// socket: the slow-query log reports it verbatim instead of paying
+    /// a `Display` re-render of the request on the per-request path. A
+    /// programmatic [`Conn::handle`] has no line and slow-logs `-`.
+    fn handle_traced(
+        &mut self,
+        req: Request,
+        deadline: Option<Instant>,
+        line: Option<&str>,
+    ) -> Response {
+        // `TRACE <request>`: execute the inner request with an enabled
+        // recorder and answer with the phase/counter report instead of
+        // the inner reply (whose outcome line the report carries).
+        if let Request::Trace(inner) = req {
+            let mut rec = TraceRecorder::enabled();
+            let req_text = inner.to_string();
+            let (_, report) =
+                self.execute(*inner, deadline, &mut rec, ReportMode::Always(req_text));
+            let report = report.expect("ReportMode::Always yields a report");
+            return Response::Trace(report.render_body());
+        }
+        let slow = self.slow_ms;
+        let mut rec = TraceRecorder::new(slow.is_some());
+        let mode = match slow {
+            Some(ms) => ReportMode::IfSlowerThan(ms.saturating_mul(1_000_000), line),
+            None => ReportMode::Never,
+        };
+        let (resp, report) = self.execute(req, deadline, &mut rec, mode);
+        // `report` is only materialized for requests over the
+        // threshold — the fast path records phases and nothing else.
+        if let (Some(ms), Some(report)) = (slow, report) {
+            let db = self.current_name.as_deref().unwrap_or("-");
+            let seq = self
+                .current
+                .as_ref()
+                .and_then(|d| d.read_snapshot())
+                .map_or(0, |s| s.seq());
+            eprintln!("{}", report.render_slow_line(db, seq, ms));
+        }
+        resp
+    }
+
+    /// Runs one request under `rec`: dispatch, then the per-request
+    /// accounting — verb/status latency, fired-route latency, engine
+    /// counter deltas, deadline-abort attribution (aborts record their
+    /// elapsed-at-abort under the `aborted` status label rather than
+    /// polluting the completed tail). Returns the response plus a
+    /// [`TraceReport`] when `mode` asks for one.
+    fn execute(
+        &mut self,
+        req: Request,
+        deadline: Option<Instant>,
+        rec: &mut TraceRecorder,
+        mode: ReportMode<'_>,
+    ) -> (Response, Option<TraceReport>) {
+        let verb = verb_of(&req);
+        let counters_before = counters::snapshot();
+        // The scaffold-maintenance diff only surfaces in `TRACE` bodies
+        // (the slow-log line doesn't carry it), so only `Always` mode
+        // pays the before-capture — slow-mode requests skip it.
+        let session_before = matches!(mode, ReportMode::Always(_))
+            .then(|| self.current.as_ref().map(|db| db.view().session().stats()))
+            .flatten();
+        let start = Instant::now();
+        let result = self.dispatch(req, deadline, rec);
+        let elapsed = start.elapsed().as_nanos() as u64;
+        let delta = counters::snapshot().delta_since(&counters_before);
+        let fired = route::take();
+        let aborted = matches!(&result, Err(e) if e.kind == ErrorKind::Deadline);
+        if let Some(db) = &self.current {
+            let m = db.stats.metrics();
+            if let Some(v) = verb {
+                let status = if aborted { Status::Aborted } else { Status::Ok };
+                m.record_verb(v, status, elapsed);
+            }
+            if let Some(r) = fired {
+                m.record_route(r, elapsed);
+            }
+            m.add_engine_counters(&delta);
+            if aborted {
+                db.stats.deadline_aborts.fetch_add(1, Ordering::Relaxed);
             }
         }
+        let resp = match result {
+            Ok(resp) => resp,
+            Err(e) => Response::Error(e),
+        };
+        // Materializing the report costs allocations and renders — it
+        // happens for `TRACE` (explicitly asked) and for slow-logged
+        // requests (already slow), never on the per-request fast path.
+        let request = match mode {
+            ReportMode::Never => None,
+            ReportMode::Always(text) => Some(text),
+            ReportMode::IfSlowerThan(threshold_ns, line) => {
+                (elapsed > threshold_ns).then(|| line.unwrap_or("-").to_string())
+            }
+        };
+        let report = request.map(|request| {
+            let session_after = session_before
+                .is_some()
+                .then(|| self.current.as_ref().map(|db| db.view().session().stats()))
+                .flatten();
+            let (builds, patches, evictions) = match (session_before, session_after) {
+                (Some(b), Some(a)) => (
+                    a.scaffold_builds.saturating_sub(b.scaffold_builds),
+                    a.in_place_patches.saturating_sub(b.in_place_patches),
+                    a.pair_evictions.saturating_sub(b.pair_evictions),
+                ),
+                _ => (0, 0, 0),
+            };
+            TraceReport {
+                request,
+                route: fired.map(|r| r.as_str()),
+                total_ns: elapsed,
+                times: rec.times_ns(elapsed).unwrap_or_default(),
+                counters: delta,
+                scaffold_builds: builds,
+                in_place_patches: patches,
+                pair_evictions: evictions,
+                outcome: resp.render().lines().next().unwrap_or_default().to_string(),
+            }
+        });
+        (resp, report)
     }
 
     fn current(&self) -> Result<&Arc<Db>, WireError> {
@@ -1915,12 +2083,38 @@ impl Conn {
             .ok_or_else(|| WireError::registry("no database selected (OPEN <name> first)"))
     }
 
-    fn dispatch(&mut self, req: Request, deadline: Option<Instant>) -> Result<Response, WireError> {
+    /// Submits a write, threading a [`PhaseTimes`] slot through the
+    /// mutator when the recorder is enabled so the queue-wait / WAL /
+    /// fsync / publish phases measured on the mutator thread fold back
+    /// into this request's trace.
+    fn submit_write(
+        &self,
+        db: &Arc<Db>,
+        op: WriteOp,
+        deadline: Option<Instant>,
+        rec: &mut TraceRecorder,
+    ) -> Result<Response, WireError> {
+        if !rec.is_enabled() {
+            return db.submit_deadline(op, deadline);
+        }
+        let slot = Arc::new(Mutex::new(PhaseTimes::new()));
+        let result = db.submit_deadline_traced(op, deadline, Some(slot.clone()));
+        rec.merge(&slot.lock().unwrap_or_else(|p| p.into_inner()));
+        result
+    }
+
+    fn dispatch(
+        &mut self,
+        req: Request,
+        deadline: Option<Instant>,
+        rec: &mut TraceRecorder,
+    ) -> Result<Response, WireError> {
         match req {
             Request::Open(name) => {
                 let db = self.registry.open(&name);
                 let atoms = db.view().session().len();
                 self.current = Some(db);
+                self.current_name = Some(name.clone());
                 Ok(Response::Ok(format!("using {name} ({atoms} atoms)")))
             }
             Request::Use(name) => {
@@ -1930,70 +2124,108 @@ impl Conn {
                     .ok_or_else(|| WireError::registry(format!("unknown database `{name}`")))?;
                 let atoms = db.view().session().len();
                 self.current = Some(db);
+                self.current_name = Some(name.clone());
                 Ok(Response::Ok(format!("using {name} ({atoms} atoms)")))
             }
             Request::Fact(fragment) => {
                 let db = self.current()?.clone();
-                db.submit_deadline(WriteOp::Fragment(fragment), deadline)
+                self.submit_write(&db, WriteOp::Fragment(fragment), deadline, rec)
             }
             Request::Prepare { name, query } => {
                 let db = self.current()?.clone();
-                db.submit_deadline(WriteOp::Prepare { name, query }, deadline)
+                self.submit_write(&db, WriteOp::Prepare { name, query }, deadline, rec)
             }
             Request::Entail(target) => {
                 let db = self.current()?.clone();
-                self.evaluate(&db, &target, false, deadline)
+                self.evaluate(&db, &target, false, deadline, rec)
             }
             Request::Countermodel(target) => {
                 let db = self.current()?.clone();
-                self.evaluate(&db, &target, true, deadline)
+                self.evaluate(&db, &target, true, deadline, rec)
             }
             Request::Batch(names) => {
                 // One view for the whole batch: every verdict in the
                 // reply is computed against the same snapshot (see the
                 // protocol docs' consistency contract).
                 let db = self.current()?.clone();
-                let start = Instant::now();
                 let view = db.view();
-                let mut pqs = Vec::with_capacity(names.len());
-                for name in &names {
-                    pqs.push(view.prepared(name).ok_or_else(|| {
-                        WireError::registry(format!("unknown prepared query `{name}`"))
-                    })?);
-                }
+                let pqs = rec.time(Phase::Plan, || -> Result<Vec<_>, WireError> {
+                    names
+                        .iter()
+                        .map(|name| {
+                            view.prepared(name).ok_or_else(|| {
+                                WireError::registry(format!("unknown prepared query `{name}`"))
+                            })
+                        })
+                        .collect()
+                })?;
                 let mut eng = Engine::new(view.vocabulary());
                 if let Some(d) = deadline {
                     eng = eng.with_deadline(d);
                 }
-                let mut verdicts = Vec::with_capacity(names.len());
-                for (name, pq) in names.iter().zip(&pqs) {
-                    let v = eng
-                        .entails_prepared(view.session(), pq)
-                        .map_err(|e| WireError::from(&e))?;
-                    verdicts.push((name.clone(), v.holds()));
-                }
+                let verdicts = rec.time(Phase::Search, || -> Result<Vec<_>, WireError> {
+                    names
+                        .iter()
+                        .zip(&pqs)
+                        .map(|(name, pq)| {
+                            let v = eng
+                                .entails_prepared(view.session(), pq)
+                                .map_err(|e| WireError::from(&e))?;
+                            Ok((name.clone(), v.holds()))
+                        })
+                        .collect()
+                })?;
                 let n = names.len() as u64;
                 db.stats.queries.fetch_add(n, Ordering::Relaxed);
                 db.stats.prepared_hits.fetch_add(n, Ordering::Relaxed);
-                db.stats.record_latency(start.elapsed().as_nanos() as u64);
                 Ok(Response::Verdicts(verdicts))
+            }
+            Request::Explain(target) => {
+                let db = self.current()?.clone();
+                let view = db.view();
+                match &target {
+                    Target::Prepared(name) => {
+                        let pq = view.prepared(name).ok_or_else(|| {
+                            WireError::registry(format!("unknown prepared query `{name}`"))
+                        })?;
+                        Ok(Response::Explain(render_explain(name, pq)))
+                    }
+                    Target::Inline(text) => {
+                        // Same constant-free rule as PREPARE: an inline
+                        // plan is compiled here exactly as PREPARE would,
+                        // and constants would pin guard facts that only
+                        // exist per evaluation.
+                        let pq = compile_prepared(view.vocabulary(), text).map_err(|e| {
+                            if e.message.contains("constant-free") {
+                                WireError::proto(
+                                    "EXPLAIN of an inline query requires it constant-free \
+                                     (constants are supported on inline ENTAIL)",
+                                )
+                            } else {
+                                e
+                            }
+                        })?;
+                        Ok(Response::Explain(render_explain(text, &pq)))
+                    }
+                }
+            }
+            // Nested TRACE is rejected at parse time and intercepted in
+            // `handle_with_deadline`; a programmatic `handle(Trace(..))`
+            // still lands here — run the inner request untraced.
+            Request::Trace(inner) => self.dispatch(*inner, deadline, rec),
+            Request::Metrics => {
+                let db = self.current()?.clone();
+                let name = self.current_name.as_deref().unwrap_or("-");
+                Ok(Response::Metrics(
+                    db.stats.metrics().render_prometheus(name),
+                ))
             }
             Request::Stats => {
                 let db = self.current()?.clone();
                 let view = db.view();
                 let session_stats = view.session().stats();
-                let (p50_ns, p99_ns) = db
-                    .stats
-                    .latency
-                    .lock()
-                    .map(|r| r.p50_p99())
-                    .unwrap_or((0, 0));
-                let (_, queue_depth_p99) = db
-                    .stats
-                    .queue_depths
-                    .lock()
-                    .map(|r| r.p50_p99())
-                    .unwrap_or((0, 0));
+                let (p50_ns, p99_ns) = db.stats.metrics.p50_p99();
+                let queue_depth_p99 = db.stats.metrics.queue_depth_histogram().quantile(0.99);
                 Ok(Response::Stats(Box::new(StatsReply {
                     atoms: view.session().len() as u64,
                     epoch: session_stats.epoch,
@@ -2042,11 +2274,23 @@ impl Conn {
             Request::Health => {
                 let db = self.current()?.clone();
                 let (state, detail) = db.health();
+                // Liveness signals ride on the detail line: how stale the
+                // published snapshot is and how deep the commit queue
+                // stands, so a probe can alert on a wedged mutator before
+                // it trips the supervisor.
+                let age_ms = db.view().snapshot_age_ns() / 1_000_000;
+                let depth = db.stats.pending.load(Ordering::Relaxed);
+                let extra = format!("snapshot_age_ms={age_ms} commit_queue_depth={depth}");
+                let detail = if detail.is_empty() {
+                    extra
+                } else {
+                    format!("{detail}; {extra}")
+                };
                 Ok(Response::Health { state, detail })
             }
             Request::Flush => {
                 let db = self.current()?.clone();
-                db.submit_deadline(WriteOp::Flush, deadline)
+                self.submit_write(&db, WriteOp::Flush, deadline, rec)
             }
             Request::Close => Ok(Response::Bye),
         }
@@ -2068,8 +2312,8 @@ impl Conn {
         target: &Target,
         witness: bool,
         deadline: Option<Instant>,
+        rec: &mut TraceRecorder,
     ) -> Result<Response, WireError> {
-        let start = Instant::now();
         let view = db.view();
         // The deadline rides into the Theorem 5.3 search loop, which
         // polls it cooperatively and abandons the search with a typed
@@ -2083,49 +2327,82 @@ impl Conn {
         }
         let resp = match target {
             Target::Prepared(name) => {
-                let pq = view.prepared(name).ok_or_else(|| {
-                    WireError::registry(format!("unknown prepared query `{name}`"))
-                })?;
+                // Laps, not `time()` closures: this is the hottest read
+                // path, and one clock read per boundary keeps the traced
+                // tax within the bench gate's 5% budget. Laps land
+                // *before* each `?` so an erroring phase still shows up
+                // in its trace (deadline aborts attribute their
+                // elapsed-at-abort to the search phase).
+                let pq = view
+                    .prepared(name)
+                    .ok_or_else(|| WireError::registry(format!("unknown prepared query `{name}`")));
+                rec.lap(Phase::Plan);
+                let pq = pq?;
                 db.stats.prepared_hits.fetch_add(1, Ordering::Relaxed);
+                // Warmth check surfaced as its own phase: a cold
+                // disjunctive scaffold rebuilds here rather than inside
+                // the search, so TRACE separates "paid to warm" from
+                // "paid to search".
+                let _ = view.session().disjunctive_scaffold(view.vocabulary());
+                rec.lap(Phase::Scaffold);
                 let v = engine_for(view.vocabulary(), deadline)
                     .entails_prepared(view.session(), pq)
-                    .map_err(|e| WireError::from(&e))?;
-                render_verdict(v, view.vocabulary(), witness)
+                    .map_err(|e| WireError::from(&e));
+                rec.lap(Phase::Search);
+                let out = render_verdict(v?, view.vocabulary(), witness);
+                rec.lap(Phase::Render);
+                out
             }
             Target::Inline(text) => {
-                let expr = parse_query_expr_in(view.vocabulary(), text)
-                    .map_err(|e| WireError::from(&e))?;
+                let expr =
+                    parse_query_expr_in(view.vocabulary(), text).map_err(|e| WireError::from(&e));
+                rec.lap(Phase::Parse);
+                let expr = expr?;
                 if !mentions_constants(&expr) {
                     // Constant-free (the common fast path): straight to
                     // DNF — no database or vocabulary clone — and
                     // evaluate against the pinned warm session.
-                    let q = expr
-                        .to_dnf(view.vocabulary())
-                        .map_err(|e| WireError::from(&e))?;
                     let eng = engine_for(view.vocabulary(), deadline);
-                    let pq = eng.prepare(&q).map_err(|e| WireError::from(&e))?;
+                    let pq = expr
+                        .to_dnf(view.vocabulary())
+                        .map_err(|e| WireError::from(&e))
+                        .and_then(|q| eng.prepare(&q).map_err(|e| WireError::from(&e)));
+                    rec.lap(Phase::Plan);
+                    let pq = pq?;
+                    let _ = view.session().disjunctive_scaffold(view.vocabulary());
+                    rec.lap(Phase::Scaffold);
                     let v = eng
                         .entails_prepared(view.session(), &pq)
-                        .map_err(|e| WireError::from(&e))?;
-                    render_verdict(v, view.vocabulary(), witness)
+                        .map_err(|e| WireError::from(&e));
+                    rec.lap(Phase::Search);
+                    let out = render_verdict(v?, view.vocabulary(), witness);
+                    rec.lap(Phase::Render);
+                    out
                 } else {
                     // Constants in the query: clone-and-augment the
                     // vocabulary and database with their guard facts
                     // (§2) — one-shot evaluation under the
                     // request-local vocabulary.
-                    let mut voc2 = view.vocabulary().clone();
-                    let (aug_db, q) =
-                        eliminate_constants(&mut voc2, view.session().database(), &expr)
-                            .map_err(|e| WireError::from(&e))?;
+                    let planned = (|| {
+                        let mut voc2 = view.vocabulary().clone();
+                        let (aug_db, q) =
+                            eliminate_constants(&mut voc2, view.session().database(), &expr)
+                                .map_err(|e| WireError::from(&e))?;
+                        Ok::<_, WireError>((voc2, aug_db, q))
+                    })();
+                    rec.lap(Phase::Plan);
+                    let (voc2, aug_db, q) = planned?;
                     let v = engine_for(&voc2, deadline)
                         .entails(&aug_db, &q)
-                        .map_err(|e| WireError::from(&e))?;
-                    render_verdict(v, &voc2, witness)
+                        .map_err(|e| WireError::from(&e));
+                    rec.lap(Phase::Search);
+                    let out = render_verdict(v?, &voc2, witness);
+                    rec.lap(Phase::Render);
+                    out
                 }
             }
         };
         db.stats.queries.fetch_add(1, Ordering::Relaxed);
-        db.stats.record_latency(start.elapsed().as_nanos() as u64);
         Ok(resp)
     }
 }
@@ -2166,6 +2443,54 @@ fn render_verdict(v: Verdict, voc: &Vocabulary, witness: bool) -> Response {
     }
 }
 
+/// Maps a request to the histogram verb it records under. `None` means
+/// the request is connection-state or introspection chatter (`OPEN`,
+/// `STATS`, `METRICS`, ...) and stays out of the latency histograms.
+fn verb_of(req: &Request) -> Option<Verb> {
+    match req {
+        Request::Fact(_) => Some(Verb::Fact),
+        Request::Prepare { .. } => Some(Verb::Prepare),
+        Request::Entail(_) => Some(Verb::Entail),
+        Request::Countermodel(_) => Some(Verb::Countermodel),
+        Request::Batch(_) => Some(Verb::Batch),
+        Request::Flush => Some(Verb::Other),
+        Request::Trace(inner) => verb_of(inner),
+        _ => None,
+    }
+}
+
+/// Renders the `EXPLAIN` body for a compiled plan: overall strategy and
+/// route, then one line per disjunct with its route, path count,
+/// variable census, and `!=` expansion decision. Pure introspection —
+/// nothing here touches the session or runs a search.
+fn render_explain(name: &str, pq: &PreparedQuery) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str(&format!("query {name}\n"));
+    out.push_str(&format!("strategy {}\n", pq.strategy().as_str()));
+    out.push_str(&format!("route {}\n", pq.plan().as_str()));
+    out.push_str(&format!(
+        "monadic {}\n",
+        if pq.is_monadic() { "yes" } else { "no" }
+    ));
+    if let Some(cap) = pq.expansion_cap() {
+        out.push_str(&format!("expansion_cap {cap}\n"));
+    }
+    let disjuncts = pq.explain_disjuncts();
+    out.push_str(&format!("disjuncts {}\n", disjuncts.len()));
+    for (i, d) in disjuncts.iter().enumerate() {
+        out.push_str(&format!(
+            "disjunct {i} route {} paths {} order_vars {} object_vars {} ne_atoms {} ne {}\n",
+            d.route.as_str(),
+            d.path_count,
+            d.order_vars,
+            d.object_vars,
+            d.ne_atoms,
+            d.ne_expansion.describe(),
+        ));
+    }
+    out
+}
+
 /// True when the expression mentions any (object or order) constant.
 fn mentions_constants(e: &QueryExpr) -> bool {
     let is_const = |t: &QTerm| !matches!(t, QTerm::Var(_));
@@ -2190,7 +2515,7 @@ fn parse_constant_free(voc: &Vocabulary, text: &str) -> Result<DnfQuery, WireErr
     expr.to_dnf(voc).map_err(|e| WireError::from(&e))
 }
 
-/// A running server: bound address plus shutdown plumbing. Dropping the
+///// A running server: bound address plus shutdown plumbing. Dropping the
 /// handle shuts the accept loop down (worker threads serving still-open
 /// connections finish with their clients) and then gracefully drains
 /// every database — commit queues emptied, WAL tails fsynced, mutator
@@ -2256,6 +2581,10 @@ pub struct ServeOptions {
     /// Default per-request deadline (`--request-timeout`); a request's
     /// own `DEADLINE <ms>` prefix overrides it.
     pub request_timeout: Option<Duration>,
+    /// Slow-query threshold (`--slow-ms`): when set, every request is
+    /// traced and ones over the threshold log their phase breakdown to
+    /// stderr. `None` (the default) disables tracing entirely.
+    pub slow_ms: Option<u64>,
 }
 
 impl ServeOptions {
@@ -2272,6 +2601,7 @@ impl ServeOptions {
             read_timeout: None,
             write_timeout: Some(Duration::from_secs(30)),
             request_timeout: None,
+            slow_ms: None,
         }
     }
 }
@@ -2443,7 +2773,9 @@ fn serve_client(stream: TcpStream, registry: &Arc<Registry>, opts: &ServeOptions
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
-    let mut conn = Conn::new(Arc::clone(registry)).with_request_timeout(opts.request_timeout);
+    let mut conn = Conn::new(Arc::clone(registry))
+        .with_request_timeout(opts.request_timeout)
+        .with_slow_ms(opts.slow_ms);
     let mut buf = Vec::new();
     loop {
         buf.clear();

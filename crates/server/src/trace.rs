@@ -1,0 +1,471 @@
+//! Per-request tracing: phase timers, the `TRACE` report, and the
+//! slow-query log line.
+//!
+//! A request's wall time is one number; *where it went* is the
+//! operational question — the same `ENTAIL` can spend its time in
+//! parse, in scaffold warmth, or deep in the Thm 5.3 search, and a
+//! write's latency splits across queue wait, WAL append, fsync, and
+//! publish. The [`TraceRecorder`] splits a request into [`Phase`]s.
+//!
+//! Cost discipline, disabled: the recorder is an `Option<_>` on the
+//! stack. For untraced requests (no slow-query threshold set),
+//! [`TraceRecorder::time`] is a `None` check and a direct call — no
+//! clock reads, no allocation, nothing on the hot read path.
+//!
+//! Cost discipline, enabled: a warm prepared `ENTAIL` answers in a few
+//! microseconds, so ten `Instant::now()` calls (~35ns each here) would
+//! alone bust the ≤5% tracing-overhead budget. Phase boundaries
+//! therefore read the [`clock`] — `rdtsc` on x86-64, a handful of ns —
+//! and accumulate *raw ticks*. Nobody needs a tick-to-ns calibration
+//! table: the dispatcher measures each request's wall time with one
+//! `Instant` pair anyway (the latency histograms need it), and
+//! [`TraceRecorder::times_ns`] scales the raw phase ticks by this
+//! request's own ns/tick ratio. Self-calibrating, no startup
+//! measurement, immune to nominal-vs-actual TSC frequency.
+//!
+//! The write path is different: the mutator always fills a
+//! [`PhaseTimes`] for each job, because a write already pays for
+//! allocation, WAL I/O, and a snapshot publish — the clock reads vanish
+//! into that, and having the numbers always-on is what lets `TRACE`d
+//! writes and the slow-query log report fsync time without a warm-up
+//! request. The mutator reads the same [`clock`], so its ticks merge
+//! into the submitting request's recorder unit-compatibly.
+
+use indord_core::counters::EngineCounters;
+
+/// The raw monotonic clock behind phase timing.
+///
+/// x86-64 reads the timestamp counter directly (`rdtsc` — invariant and
+/// cross-core-synchronized on every micro-architecture of this
+/// century, and several times cheaper than a vDSO `clock_gettime`).
+/// Other targets fall back to [`Instant`] against a process-lifetime
+/// anchor, where a tick is simply a nanosecond. Either way the unit is
+/// opaque: only *ratios* of raw intervals are meaningful, and
+/// [`TraceRecorder::times_ns`] converts through the enclosing request's
+/// own wall time.
+pub(crate) mod clock {
+    /// An opaque monotonic reading in raw ticks.
+    #[cfg(target_arch = "x86_64")]
+    #[allow(unsafe_code)]
+    #[inline]
+    pub fn raw_now() -> u64 {
+        // SAFETY: `_rdtsc` reads a counter register; no memory is
+        // touched and there are no preconditions. (The crate-level
+        // `deny(unsafe_code)` is lifted for exactly this expression.)
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+
+    /// An opaque monotonic reading in raw ticks (1 tick = 1ns here).
+    #[cfg(not(target_arch = "x86_64"))]
+    #[inline]
+    pub fn raw_now() -> u64 {
+        use std::sync::OnceLock;
+        use std::time::Instant;
+        static ANCHOR: OnceLock<Instant> = OnceLock::new();
+        ANCHOR.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+}
+
+/// A request phase with its own timer.
+///
+/// The read path uses `Parse` through `Render`; the write path `QueueWait`
+/// through `Publish` (plus `Parse`). A phase absent from a request
+/// reads zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Request-line → typed `Request` (and inline query parsing).
+    Parse,
+    /// Plan acquisition: prepared-registry lookup or inline compile.
+    Plan,
+    /// Route selection off the compiled plan.
+    Route,
+    /// Scaffold warmth: building or patching the Thm 5.3 search tables.
+    Scaffold,
+    /// The decision procedure itself.
+    Search,
+    /// Countermodel rendering.
+    Render,
+    /// Write queued behind the group-commit mutator.
+    QueueWait,
+    /// Patchable-vs-structural classification (speculative parse).
+    Classify,
+    /// Applying the fragment to the master session.
+    Apply,
+    /// WAL record append (serialization + write).
+    WalAppend,
+    /// Group fsync.
+    Fsync,
+    /// Snapshot freeze + publish.
+    Publish,
+}
+
+impl Phase {
+    /// All phases, in report order.
+    pub const ALL: [Phase; 12] = [
+        Phase::Parse,
+        Phase::Plan,
+        Phase::Route,
+        Phase::Scaffold,
+        Phase::Search,
+        Phase::Render,
+        Phase::QueueWait,
+        Phase::Classify,
+        Phase::Apply,
+        Phase::WalAppend,
+        Phase::Fsync,
+        Phase::Publish,
+    ];
+
+    /// Stable lowercase label used in `TRACE` output and the slow log.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::Plan => "plan",
+            Phase::Route => "route",
+            Phase::Scaffold => "scaffold",
+            Phase::Search => "search",
+            Phase::Render => "render",
+            Phase::QueueWait => "queue_wait",
+            Phase::Classify => "classify",
+            Phase::Apply => "apply",
+            Phase::WalAppend => "wal_append",
+            Phase::Fsync => "fsync",
+            Phase::Publish => "publish",
+        }
+    }
+
+    fn index(self) -> usize {
+        Phase::ALL.iter().position(|&p| p == self).expect("in ALL")
+    }
+}
+
+/// Per-phase accumulated durations — additive, so re-entering a phase
+/// accumulates. The unit is whatever the writer put in: the recorder
+/// and the mutator accumulate raw [`clock`] ticks; a [`TraceReport`]
+/// carries the nanosecond conversion ([`TraceRecorder::times_ns`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    raw: [u64; Phase::ALL.len()],
+}
+
+impl PhaseTimes {
+    /// All-zero times.
+    pub fn new() -> PhaseTimes {
+        PhaseTimes::default()
+    }
+
+    /// Adds a duration to `phase`.
+    pub fn add(&mut self, phase: Phase, raw: u64) {
+        self.raw[phase.index()] += raw;
+    }
+
+    /// The accumulated duration of `phase`.
+    pub fn get(&self, phase: Phase) -> u64 {
+        self.raw[phase.index()]
+    }
+
+    /// Merges another set of times into this one (used to fold the
+    /// mutator-measured write phases into the request's recorder).
+    pub fn merge(&mut self, other: &PhaseTimes) {
+        for (a, b) in self.raw.iter_mut().zip(other.raw) {
+            *a += b;
+        }
+    }
+
+    /// `(phase, duration)` for every nonzero phase, in report order.
+    pub fn nonzero(&self) -> impl Iterator<Item = (Phase, u64)> + '_ {
+        Phase::ALL
+            .into_iter()
+            .map(|p| (p, self.get(p)))
+            .filter(|&(_, v)| v > 0)
+    }
+
+    /// Rescales raw-tick times to nanoseconds given the enclosing
+    /// request's `(total_ns, total_raw)` wall-time pair. A nonzero raw
+    /// phase never rounds down to zero — a phase that ran reports at
+    /// least 1ns.
+    fn scaled_to_ns(&self, total_ns: u64, total_raw: u64) -> PhaseTimes {
+        let scale = total_ns as f64 / total_raw.max(1) as f64;
+        let mut out = PhaseTimes::new();
+        for (i, &raw) in self.raw.iter().enumerate() {
+            if raw > 0 {
+                out.raw[i] = ((raw as f64 * scale) as u64).max(1);
+            }
+        }
+        out
+    }
+}
+
+/// The per-request phase timer. `None` inner state means disabled:
+/// every operation short-circuits without touching the clock. Lives on
+/// the caller's stack — enabling one is a single raw clock read, no
+/// allocation.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    inner: Option<TraceInner>,
+}
+
+#[derive(Debug)]
+struct TraceInner {
+    /// Raw-tick anchor — the tick side of the self-calibration pair
+    /// ([`TraceRecorder::times_ns`] gets the ns side from the caller).
+    raw_start: u64,
+    /// The last phase boundary, for [`TraceRecorder::lap`]: creation,
+    /// or the end of the most recent `lap`/`time` span.
+    last_raw: u64,
+    /// Accumulated per-phase raw ticks.
+    times: PhaseTimes,
+}
+
+impl TraceRecorder {
+    /// A recorder that measures.
+    pub fn enabled() -> TraceRecorder {
+        let now = clock::raw_now();
+        TraceRecorder {
+            inner: Some(TraceInner {
+                raw_start: now,
+                last_raw: now,
+                times: PhaseTimes::new(),
+            }),
+        }
+    }
+
+    /// The no-op recorder for untraced requests.
+    pub fn disabled() -> TraceRecorder {
+        TraceRecorder { inner: None }
+    }
+
+    /// Enabled iff `on`.
+    pub fn new(on: bool) -> TraceRecorder {
+        if on {
+            TraceRecorder::enabled()
+        } else {
+            TraceRecorder::disabled()
+        }
+    }
+
+    /// Whether this recorder measures anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Runs `f`, attributing its wall time to `phase` when enabled.
+    /// Disabled, this is a branch and a call — no clock reads. Enabled,
+    /// two raw [`clock`] reads — not `Instant`s (see the module doc).
+    #[inline]
+    pub fn time<T>(&mut self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        match &mut self.inner {
+            None => f(),
+            Some(inner) => {
+                let t0 = clock::raw_now();
+                let out = f();
+                let t1 = clock::raw_now();
+                inner.times.add(phase, t1.saturating_sub(t0));
+                inner.last_raw = t1;
+                out
+            }
+        }
+    }
+
+    /// Marks the end of `phase`, attributing everything since the
+    /// previous boundary (recorder creation, or the end of the last
+    /// `lap`/`time` span) to it. One clock read per boundary — half
+    /// the cost of [`TraceRecorder::time`] when phases run
+    /// back-to-back, at the price of the ns-scale dispatch glue
+    /// between phases riding along with the phase that follows it.
+    #[inline]
+    pub fn lap(&mut self, phase: Phase) {
+        if let Some(inner) = &mut self.inner {
+            let now = clock::raw_now();
+            inner.times.add(phase, now.saturating_sub(inner.last_raw));
+            inner.last_raw = now;
+        }
+    }
+
+    /// Adds externally-measured raw [`clock`] ticks to `phase` (write
+    /// phases come back from the mutator already measured).
+    pub fn add_raw(&mut self, phase: Phase, raw: u64) {
+        if let Some(inner) = &mut self.inner {
+            inner.times.add(phase, raw);
+        }
+    }
+
+    /// Folds a full set of phase times in (no-op when disabled).
+    pub fn merge(&mut self, times: &PhaseTimes) {
+        if let Some(inner) = &mut self.inner {
+            inner.times.merge(times);
+        }
+    }
+
+    /// The accumulated raw-tick times, or `None` when disabled.
+    pub fn times(&self) -> Option<&PhaseTimes> {
+        self.inner.as_ref().map(|i| &i.times)
+    }
+
+    /// The accumulated times converted to nanoseconds, or `None` when
+    /// disabled. `total_ns` is the caller's wall-time measurement of
+    /// the same interval this recorder has been live (the dispatcher
+    /// times every request for its histograms anyway); pairing it with
+    /// the recorder's own raw-tick window gives the ns/tick ratio —
+    /// which is why there is no global calibration anywhere.
+    pub fn times_ns(&self, total_ns: u64) -> Option<PhaseTimes> {
+        let inner = self.inner.as_ref()?;
+        let total_raw = clock::raw_now().saturating_sub(inner.raw_start);
+        Some(inner.times.scaled_to_ns(total_ns, total_raw))
+    }
+}
+
+/// Everything a finished traced request knows about itself — rendered
+/// into the `TRACE` response body and the slow-query log line.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// The request rendered back to protocol text (e.g. `ENTAIL disj`).
+    pub request: String,
+    /// The engine route that fired, when an evaluation ran.
+    pub route: Option<&'static str>,
+    /// End-to-end wall time.
+    pub total_ns: u64,
+    /// Per-phase breakdown.
+    pub times: PhaseTimes,
+    /// Engine-counter movement attributable to this request.
+    pub counters: EngineCounters,
+    /// Scaffolds built from scratch during this request.
+    pub scaffold_builds: u64,
+    /// In-place scaffold patches during this request.
+    pub in_place_patches: u64,
+    /// Pair-table evictions during this request.
+    pub pair_evictions: u64,
+    /// One-line outcome (`CERTAIN`, `OK inserted 2 atoms seq=5`, ...).
+    pub outcome: String,
+}
+
+impl TraceReport {
+    /// The `TRACE` response body: one `key value` line per fact, then
+    /// one `phase <name> <ns>` line per nonzero phase. Line-oriented so
+    /// it frames exactly like a countermodel block on the wire.
+    pub fn render_body(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str(&format!("request {}\n", self.request));
+        if let Some(route) = self.route {
+            out.push_str(&format!("route {route}\n"));
+        }
+        out.push_str(&format!("outcome {}\n", self.outcome));
+        out.push_str(&format!("total_ns {}\n", self.total_ns));
+        for (phase, ns) in self.times.nonzero() {
+            out.push_str(&format!("phase {} {ns}\n", phase.as_str()));
+        }
+        out.push_str(&format!(
+            "states_expanded {}\npair_hits {}\npair_misses {}\n",
+            self.counters.states_expanded, self.counters.pair_hits, self.counters.pair_misses
+        ));
+        out.push_str(&format!(
+            "scaffold_builds {}\nin_place_patches {}\npair_evictions {}\n",
+            self.scaffold_builds, self.in_place_patches, self.pair_evictions
+        ));
+        out
+    }
+
+    /// The slow-query log line: everything on one `stderr`-friendly
+    /// line, phases compacted to `name=ns`.
+    pub fn render_slow_line(&self, db: &str, seq: u64, threshold_ms: u64) -> String {
+        let phases: Vec<String> = self
+            .times
+            .nonzero()
+            .map(|(p, ns)| format!("{}={ns}", p.as_str()))
+            .collect();
+        format!(
+            "indord: slow query ({}ms threshold): db={db} seq={seq} route={} total_ns={} request={:?} outcome={:?} phases=[{}] states_expanded={} pair_hits={} pair_misses={}",
+            threshold_ms,
+            self.route.unwrap_or("-"),
+            self.total_ns,
+            self.request,
+            self.outcome,
+            phases.join(" "),
+            self.counters.states_expanded,
+            self.counters.pair_hits,
+            self.counters.pair_misses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn disabled_recorder_never_touches_the_clock() {
+        let mut r = TraceRecorder::disabled();
+        let out = r.time(Phase::Search, || 41 + 1);
+        assert_eq!(out, 42);
+        assert!(!r.is_enabled());
+        assert!(r.times_ns(1_000).is_none());
+        assert!(r.times().is_none());
+    }
+
+    #[test]
+    fn enabled_recorder_accumulates_per_phase() {
+        let wall = Instant::now();
+        let mut r = TraceRecorder::enabled();
+        r.time(Phase::Parse, || {
+            std::thread::sleep(std::time::Duration::from_micros(50))
+        });
+        r.time(Phase::Parse, || {});
+        r.add_raw(Phase::Fsync, 1_000);
+        let times = r.times().unwrap();
+        assert!(times.get(Phase::Parse) > 0);
+        assert_eq!(times.get(Phase::Fsync), 1_000);
+        assert_eq!(times.get(Phase::Search), 0);
+        let nonzero: Vec<Phase> = times.nonzero().map(|(p, _)| p).collect();
+        assert_eq!(nonzero, vec![Phase::Parse, Phase::Fsync]);
+        // The ns conversion scales by this recorder's own wall time:
+        // the 50µs sleep must dominate, and raw-nonzero phases must
+        // stay nonzero after scaling.
+        let ns = r.times_ns(wall.elapsed().as_nanos() as u64).unwrap();
+        assert!(
+            ns.get(Phase::Parse) >= 50_000,
+            "parse {}ns",
+            ns.get(Phase::Parse)
+        );
+        assert!(ns.get(Phase::Fsync) >= 1);
+    }
+
+    #[test]
+    fn raw_clock_is_monotonic_and_scaling_preserves_nonzero() {
+        let a = clock::raw_now();
+        let b = clock::raw_now();
+        assert!(b >= a);
+        let mut t = PhaseTimes::new();
+        t.add(Phase::Search, 3);
+        t.add(Phase::Render, 1_000_000);
+        // A tiny raw value must not vanish in the ns conversion.
+        let ns = t.scaled_to_ns(10, 2_000_000);
+        assert_eq!(ns.get(Phase::Search), 1);
+        assert_eq!(ns.get(Phase::Render), 5);
+        assert_eq!(ns.get(Phase::Parse), 0);
+    }
+
+    #[test]
+    fn report_renders_phases_and_counters() {
+        let mut times = PhaseTimes::new();
+        times.add(Phase::QueueWait, 10);
+        times.add(Phase::WalAppend, 20);
+        times.add(Phase::Fsync, 30);
+        let report = TraceReport {
+            request: "FACT P(u);".to_string(),
+            route: None,
+            total_ns: 100,
+            times,
+            outcome: "OK inserted 1 atoms seq=3".to_string(),
+            ..TraceReport::default()
+        };
+        let body = report.render_body();
+        assert!(body.contains("phase queue_wait 10"), "{body}");
+        assert!(body.contains("phase wal_append 20"), "{body}");
+        assert!(body.contains("phase fsync 30"), "{body}");
+        assert!(body.contains("total_ns 100"), "{body}");
+        let line = report.render_slow_line("lab", 7, 5);
+        assert!(line.contains("db=lab seq=7"), "{line}");
+        assert!(line.contains("fsync=30"), "{line}");
+    }
+}

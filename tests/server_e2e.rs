@@ -542,6 +542,217 @@ fn durable_server_restarts_warm_and_serves_the_prepared_panel() {
     std::fs::remove_dir_all(&root).unwrap();
 }
 
+/// A tiny Prometheus text-format parser for the `METRICS` leg: every
+/// non-comment line must be `name{labels} value`, and the returned map
+/// keys are the full series strings (name + label set).
+fn parse_prometheus(text: &str) -> std::collections::HashMap<String, f64> {
+    let mut series = std::collections::HashMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') {
+            assert!(
+                line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                "unknown comment form: {line}"
+            );
+            continue;
+        }
+        let (key, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("metric line has no value: {line}");
+        });
+        let value: f64 = if value == "+Inf" {
+            f64::INFINITY
+        } else {
+            value
+                .parse()
+                .unwrap_or_else(|_| panic!("unparseable value in: {line}"))
+        };
+        let name_end = key.find('{').unwrap_or(key.len());
+        let name = &key[..name_end];
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in: {line}"
+        );
+        if name_end < key.len() {
+            let labels = &key[name_end..];
+            assert!(
+                labels.starts_with('{') && labels.ends_with('}'),
+                "bad label block in: {line}"
+            );
+            for pair in labels[1..labels.len() - 1].split(',') {
+                let (k, v) = pair
+                    .split_once('=')
+                    .unwrap_or_else(|| panic!("bad label pair `{pair}` in: {line}"));
+                assert!(
+                    !k.is_empty() && v.starts_with('"') && v.ends_with('"'),
+                    "{line}"
+                );
+            }
+        }
+        assert!(
+            series.insert(key.to_string(), value).is_none(),
+            "duplicate series: {key}"
+        );
+    }
+    series
+}
+
+/// The observability legs: `EXPLAIN` names the expected route for each
+/// panel shape without executing, `TRACE`d requests return phase
+/// breakdowns (write phases include WAL/fsync exactly when the server
+/// is durable), and `METRICS` renders valid Prometheus text whose
+/// histogram counts equal the requests sent.
+#[test]
+fn explain_trace_and_metrics_introspect_the_serving_path() {
+    let registry = Arc::new(Registry::new());
+    let mut handle = serve(registry, "127.0.0.1:0", 2).expect("bind ephemeral port");
+    let mut c = Client::connect(handle.addr());
+    c.ok("OPEN lab");
+    c.ok(&format!("FACT {}", seed_fragment()));
+    for (name, text) in PANEL {
+        c.ok(&format!("PREPARE {name}: {text}"));
+    }
+
+    // EXPLAIN names the route each panel shape compiles to — pure
+    // introspection, no execution (the query counter must not move).
+    let explain = |c: &mut Client, target: &str| -> String {
+        match c.send(&format!("EXPLAIN {target}")) {
+            Response::Explain(body) => body,
+            other => panic!("EXPLAIN {target}: unexpected {other:?}"),
+        }
+    };
+    let body = explain(&mut c, "seq");
+    assert!(body.contains("route seq"), "{body}");
+    assert!(body.contains("monadic yes"), "{body}");
+    assert!(body.contains("disjuncts 1"), "{body}");
+    let body = explain(&mut c, "disj");
+    assert!(body.contains("route disjunctive"), "{body}");
+    assert!(body.contains("disjuncts 2"), "{body}");
+    let body = explain(&mut c, "ne");
+    assert!(body.contains("ne_atoms 1"), "{body}");
+    assert!(body.contains("ne expanded("), "{body}");
+    // Inline EXPLAIN compiles the text exactly as PREPARE would.
+    let body = explain(&mut c, PANEL[0].1);
+    assert!(body.contains("route seq"), "{body}");
+    let stats = match c.send("STATS") {
+        Response::Stats(s) => s,
+        other => panic!("STATS: unexpected {other:?}"),
+    };
+    assert_eq!(stats.queries, 0, "EXPLAIN must not execute: {stats:?}");
+
+    // TRACE executes and reports: an evaluation shows its fired route
+    // and search phase; a write on an in-memory server shows the commit
+    // pipeline but *no* WAL or fsync time (there is nothing to sync).
+    let trace = |c: &mut Client, req: &str| -> String {
+        match c.send(&format!("TRACE {req}")) {
+            Response::Trace(body) => body,
+            other => panic!("TRACE {req}: unexpected {other:?}"),
+        }
+    };
+    let body = trace(&mut c, "ENTAIL seq");
+    assert!(body.contains("request ENTAIL seq"), "{body}");
+    // The fired route is db-dependent, not just query-dependent: the
+    // seed carries a `!=` pair, so even the `seq`-planned query runs
+    // through the inequality machinery. TRACE reports what actually
+    // fired — that divergence from EXPLAIN's compiled plan is the point.
+    assert!(body.contains("route ne"), "{body}");
+    assert!(body.contains("outcome CERTAIN"), "{body}");
+    assert!(body.contains("phase search "), "{body}");
+    let body = trace(&mut c, "FACT P2(t0_5);");
+    assert!(body.contains("phase apply "), "{body}");
+    assert!(body.contains("phase publish "), "{body}");
+    assert!(
+        !body.contains("phase wal_append") && !body.contains("phase fsync"),
+        "in-memory write must not report WAL time: {body}"
+    );
+
+    // METRICS: valid Prometheus text, histogram counts equal to the
+    // requests this connection sent (1 traced ENTAIL so far, plus the
+    // loop below; the seed FACT + traced FACT give the write count).
+    const ENTAILS: usize = 5;
+    for _ in 0..ENTAILS - 1 {
+        assert_eq!(c.send("ENTAIL seq"), Response::Verdict(true));
+    }
+    let body = match c.send("METRICS") {
+        Response::Metrics(body) => body,
+        other => panic!("METRICS: unexpected {other:?}"),
+    };
+    let series = parse_prometheus(&body);
+    let get = |k: &str| -> f64 {
+        *series
+            .get(k)
+            .unwrap_or_else(|| panic!("missing series `{k}` in:\n{body}"))
+    };
+    assert_eq!(
+        get(r#"indord_request_duration_ns_count{db="lab",verb="entail",status="ok"}"#),
+        ENTAILS as f64
+    );
+    assert_eq!(
+        get(r#"indord_request_duration_ns_count{db="lab",verb="fact",status="ok"}"#),
+        2.0
+    );
+    assert_eq!(
+        get(r#"indord_request_duration_ns_count{db="lab",verb="prepare",status="ok"}"#),
+        PANEL.len() as f64
+    );
+    // Every ENTAIL fired the ne route (see above); the +Inf bucket is
+    // the series count.
+    assert_eq!(
+        get(r#"indord_route_duration_ns_bucket{db="lab",route="ne",le="+Inf"}"#),
+        ENTAILS as f64
+    );
+    assert!(get(r#"indord_request_duration_ns_sum{db="lab",verb="entail",status="ok"}"#) > 0.0);
+    // Depth is sampled at every mutator submit: 2 FACTs + the PREPAREs.
+    assert_eq!(
+        get(r#"indord_commit_queue_depth_count{db="lab"}"#),
+        (2 + PANEL.len()) as f64
+    );
+
+    // HEALTH carries the liveness extras now.
+    match c.send("HEALTH") {
+        Response::Health { detail, .. } => {
+            assert!(detail.contains("snapshot_age_ms="), "{detail}");
+            assert!(detail.contains("commit_queue_depth=0"), "{detail}");
+        }
+        other => panic!("HEALTH: unexpected {other:?}"),
+    }
+    c.close();
+    handle.shutdown();
+
+    // The durable leg: the same traced write on a `--data-dir` server
+    // must report nonzero WAL append and fsync phases.
+    use std::sync::atomic::AtomicU64;
+    static N: AtomicU64 = AtomicU64::new(0);
+    let root = std::env::temp_dir().join(format!(
+        "indord-e2e-trace-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&root).unwrap();
+    let storage = indord_server::durable::StorageConfig::new(&root);
+    let registry = Arc::new(Registry::with_storage(storage).expect("durable registry"));
+    let mut handle = serve(registry, "127.0.0.1:0", 2).expect("bind ephemeral port");
+    let mut c = Client::connect(handle.addr());
+    c.ok("OPEN lab");
+    c.ok("FACT pred P(ord); P(u);");
+    let body = trace(&mut c, "FACT P(u);");
+    let phase_ns = |body: &str, phase: &str| -> Option<u64> {
+        body.lines()
+            .find_map(|l| l.strip_prefix(&format!("phase {phase} ")))
+            .map(|v| v.parse().expect("phase value parses"))
+    };
+    assert!(
+        phase_ns(&body, "wal_append").is_some_and(|ns| ns > 0),
+        "durable write must report WAL append time: {body}"
+    );
+    assert!(
+        phase_ns(&body, "fsync").is_some_and(|ns| ns > 0),
+        "durable write must report fsync time: {body}"
+    );
+    c.close();
+    handle.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
 #[test]
 fn malformed_lines_get_spanned_errors_over_the_wire() {
     let registry = Arc::new(Registry::new());
